@@ -1,0 +1,111 @@
+/// \file bench_ablation_model.cpp
+/// Ablations of the design choices DESIGN.md calls out (not a paper
+/// artifact — §VII-adjacent "what mattered" analysis):
+///
+///   A. factorized heads (ours) vs one flat softmax over all
+///      configurations (the paper's literal formulation);
+///   B. full per-relation RGCN weights vs basis decomposition
+///      (Schlichtkrull et al.'s regularizer);
+///   C. static graphs only vs graphs + profiled counters (the paper's
+///      §IV-B question, at ablation scale).
+///
+/// Scale: first 12 applications, scenario 1 LOOCV on the Haswell model —
+/// small enough to run in about a minute, large enough to rank variants.
+
+#include <cstdio>
+
+#include "report_utils.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::PnpOptions opt;
+};
+
+double run_variant(const sim::Simulator& simulator,
+                   const core::MeasurementDb& db, core::PnpOptions opt,
+                   int max_apps, std::vector<double>& norms_out) {
+  core::ExperimentOptions eopt;
+  eopt.pnp = std::move(opt);
+  eopt.max_apps = max_apps;
+  eopt.run_pnp_dynamic = false;
+  eopt.run_baselines = false;
+  const auto res = core::run_power_experiment(simulator, db, eopt);
+  const auto& cells = res.tuners.at(core::kPnpStatic);
+
+  const auto by_app = core::regions_by_app(db);
+  std::vector<double> norms;
+  for (int a = 0; a < max_apps; ++a)
+    for (int r : by_app[static_cast<std::size_t>(a)].second)
+      for (std::size_t k = 0; k < res.caps.size(); ++k)
+        norms.push_back(core::normalized_speedup(
+            res.oracle_seconds[static_cast<std::size_t>(r)][k],
+            cells[static_cast<std::size_t>(r)][k].seconds));
+  norms_out = norms;
+  return geomean(norms);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Model ablations (12-app LOOCV, Haswell, scenario 1) ===\n\n");
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space,
+                               workloads::Suite::instance().all_regions());
+
+  auto base = bench::default_experiment_options().pnp;
+  base.trainer.max_epochs = 24;
+
+  std::vector<Variant> variants;
+  variants.push_back({"factored heads (default)", base});
+  {
+    auto v = base;
+    v.factored_heads = false;
+    variants.push_back({"flat 144-way softmax", v});
+  }
+  {
+    auto v = base;
+    v.num_bases = 3;
+    variants.push_back({"basis decomposition (B=3)", v});
+  }
+  {
+    auto v = base;
+    v.use_counters = true;
+    variants.push_back({"+ profiled counters", v});
+  }
+  {
+    auto v = base;
+    v.rgcn_layers = 1;
+    variants.push_back({"1 RGCN layer (vs 4)", v});
+  }
+
+  Table t({"variant", "geomean norm. speedup", ">=0.95x oracle", "weights"});
+  const int max_apps = 12;
+  for (auto& v : variants) {
+    std::vector<double> norms;
+    const double gm = run_variant(simulator, db, v.opt, max_apps, norms);
+    // Count weights of a representative (briefly trained) model.
+    std::vector<int> some;
+    for (int r = 0; r < 10; ++r) some.push_back(r);
+    auto opt_probe = v.opt;
+    opt_probe.trainer.max_epochs = 1;
+    core::PnpTuner sized(db, opt_probe);
+    sized.train_power_scenario(some);
+    t.add_row({v.name, fmt_double(gm, 3),
+               fmt_double(100.0 * fraction_at_least(norms, 0.95), 1) + "%",
+               std::to_string(sized.net().num_weights())});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf(
+      "\nreading: at this reduced scale the graph-only variants converge to "
+      "the same\npredictions — the head/bases/depth choices trade weights, "
+      "not accuracy — while\nprofiled counters add the magnitude information "
+      "static graphs cannot carry\n(the paper's §IV-B finding).\n");
+  return 0;
+}

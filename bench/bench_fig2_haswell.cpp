@@ -1,0 +1,35 @@
+/// \file bench_fig2_haswell.cpp
+/// Reproduces Figure 2: power-constrained tuning on the 16-core Haswell
+/// model. For each of the four power caps (40/60/70/85 W) it reports, per
+/// application, the geometric-mean oracle-normalized speedup of every
+/// tuner (Default, PnP static, PnP dynamic, BLISS, OpenTuner), followed by
+/// the aggregate statistics quoted in §IV-B (geomean speedups of
+/// 1.19/1.12/1.13/1.14× for PnP; ≥0.95×-oracle hit rates; head-to-head
+/// win rates vs BLISS and OpenTuner).
+
+#include <cstdio>
+
+#include "report_utils.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+int main() {
+  std::printf("=== Fig. 2 — Power-constrained tuning (Haswell, LOOCV) ===\n\n");
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space,
+                               workloads::Suite::instance().all_regions());
+
+  auto opt = bench::default_experiment_options();
+  const auto res = core::run_power_experiment(simulator, db, opt);
+
+  for (std::size_t k = 0; k < res.caps.size(); ++k) {
+    std::printf("\n--- normalized speedups at %.0f W (oracle = 1.0) ---\n",
+                res.caps[k]);
+    bench::print_power_chart(res, k);
+  }
+  bench::print_power_aggregates(res);
+  return 0;
+}

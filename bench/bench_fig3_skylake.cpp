@@ -1,0 +1,35 @@
+/// \file bench_fig3_skylake.cpp
+/// Reproduces Figure 3: power-constrained tuning on the 32-core Skylake
+/// model at 75/100/120/150 W — same protocol as Fig. 2 (the paper
+/// additionally warm-starts Skylake training from the Haswell GNN; that
+/// transfer-learning timing claim is reproduced by bench_table2_model).
+/// §IV-B quotes PnP geomean speedups of 1.5/1.25/1.26/1.34× and ≥0.95×-
+/// oracle in ~74% of cases (static) across both systems.
+
+#include <cstdio>
+
+#include "report_utils.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+int main() {
+  std::printf("=== Fig. 3 — Power-constrained tuning (Skylake, LOOCV) ===\n\n");
+  const auto machine = hw::MachineModel::skylake();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space,
+                               workloads::Suite::instance().all_regions());
+
+  auto opt = bench::default_experiment_options();
+  opt.pnp.seed ^= 0x51;
+  const auto res = core::run_power_experiment(simulator, db, opt);
+
+  for (std::size_t k = 0; k < res.caps.size(); ++k) {
+    std::printf("\n--- normalized speedups at %.0f W (oracle = 1.0) ---\n",
+                res.caps[k]);
+    bench::print_power_chart(res, k);
+  }
+  bench::print_power_aggregates(res);
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file bench_fig5_unseen_haswell.cpp
+/// Reproduces Figure 5: tuning at *unseen* power constraints on Haswell
+/// (held-out 40 W and 85 W), mirroring bench_fig4_unseen_skylake. §IV-B
+/// reports Haswell geomean speedups of 1.13× (85 W) and 1.17× (40 W)
+/// versus oracle speedups of 1.16× and 1.27×.
+
+#include <cstdio>
+
+#include "report_utils.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+int main() {
+  std::printf(
+      "=== Fig. 5 — Unseen power constraints (Haswell, counters + "
+      "normalized-cap feature) ===\n");
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space,
+                               workloads::Suite::instance().all_regions());
+  auto opt = bench::default_experiment_options();
+  opt.pnp.seed ^= 0xf5;
+  const auto res = core::run_unseen_cap_experiment(simulator, db, opt);
+
+  for (std::size_t hi = 0; hi < res.heldout_cap_indices.size(); ++hi) {
+    const double cap =
+        res.caps[static_cast<std::size_t>(res.heldout_cap_indices[hi])];
+    std::printf("\n--- held-out cap %.0f W: normalized speedups ---\n", cap);
+    Table t({"application", "Default", "PnP (dynamic)"});
+    std::vector<double> dnorm, pnorm;
+    for (std::size_t r = 0; r < res.regions.size(); ++r) {
+      dnorm.push_back(core::normalized_speedup(res.oracle_seconds[hi][r],
+                                               res.default_seconds[hi][r]));
+      pnorm.push_back(core::normalized_speedup(res.oracle_seconds[hi][r],
+                                               res.pnp[hi][r].seconds));
+    }
+    const auto da = core::per_app_geomean(res.apps, dnorm);
+    const auto pa = core::per_app_geomean(res.apps, pnorm);
+    for (std::size_t a = 0; a < da.apps.size(); ++a)
+      t.add_row({da.apps[a], fmt_double(da.geomeans[a], 3),
+                 fmt_double(pa.geomeans[a], 3)});
+    std::printf("%s", t.to_string().c_str());
+
+    std::vector<double> sp_pnp, sp_oracle;
+    for (std::size_t r = 0; r < res.regions.size(); ++r) {
+      sp_pnp.push_back(res.default_seconds[hi][r] / res.pnp[hi][r].seconds);
+      sp_oracle.push_back(res.default_seconds[hi][r] /
+                          res.oracle_seconds[hi][r]);
+    }
+    std::printf(
+        "\ngeomean speedup over default: PnP %.2fx vs oracle %.2fx\n"
+        "cases >=0.95x oracle: %.1f%%, >=0.80x oracle: %.1f%%\n",
+        geomean(sp_pnp), geomean(sp_oracle),
+        100.0 * fraction_at_least(pnorm, 0.95),
+        100.0 * fraction_at_least(pnorm, 0.80));
+  }
+  return 0;
+}

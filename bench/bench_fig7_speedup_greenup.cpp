@@ -1,0 +1,77 @@
+/// \file bench_fig7_speedup_greenup.cpp
+/// Reproduces Figure 7: the time and energy consequences of EDP tuning.
+/// Per application, the speedup and greenup of each tuner's EDP-optimal
+/// choice over the default configuration at TDP, plus the §IV-C prose
+/// aggregates: PnP speeds up execution in ~84% of cases and reduces energy
+/// in ~94%, with geomean speedup 1.27×/1.12× and greenup 1.40×/1.22× on
+/// Skylake/Haswell (static variant).
+
+#include <cstdio>
+
+#include "report_utils.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+void run_system(const hw::MachineModel& machine, std::uint64_t seed_tweak) {
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space,
+                               workloads::Suite::instance().all_regions());
+  auto opt = bench::default_experiment_options();
+  opt.pnp.seed ^= seed_tweak;  // same seeds as bench_fig6: identical choices
+  const auto res = core::run_edp_experiment(simulator, db, opt);
+
+  const std::size_t R = res.regions.size();
+  std::vector<std::string> names;
+  for (const auto& [n, c] : res.tuners) names.push_back(n);
+
+  for (const char* metric : {"speedup", "greenup"}) {
+    const bool is_speedup = std::string(metric) == "speedup";
+    std::printf("\n--- %s: %s over default@TDP ---\n", machine.name.c_str(),
+                metric);
+    std::vector<std::string> header{"application"};
+    for (const auto& n : names) header.push_back(n);
+    Table t(header);
+    std::map<std::string, std::vector<double>> vals;
+    for (std::size_t r = 0; r < R; ++r) {
+      for (const auto& n : names) {
+        const auto& c = res.tuners.at(n)[r];
+        vals[n].push_back(is_speedup
+                              ? core::speedup(res.default_seconds[r], c.seconds)
+                              : core::greenup(res.default_joules[r], c.joules));
+      }
+    }
+    std::map<std::string, core::PerAppGeomean> ta;
+    for (const auto& n : names) ta[n] = core::per_app_geomean(res.apps, vals[n]);
+    for (std::size_t a = 0; a < ta[names[0]].apps.size(); ++a) {
+      std::vector<std::string> row{ta[names[0]].apps[a]};
+      for (const auto& n : names)
+        row.push_back(fmt_double(ta[n].geomeans[a], 3));
+      t.add_row(row);
+    }
+    std::printf("%s", t.to_string().c_str());
+
+    for (const auto& n : names) {
+      const auto& v = vals[n];
+      std::printf(
+          "  %-16s geomean %.2fx | improved in %4.1f%% of regions | worst "
+          "%.2fx\n",
+          n.c_str(), geomean(v), 100.0 * fraction_at_least(v, 1.0),
+          min_of(v));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "=== Fig. 7 — Speedups & greenups over default@TDP of EDP-tuned "
+      "configurations ===\n");
+  run_system(hw::MachineModel::skylake(), 0x6a);
+  run_system(hw::MachineModel::haswell(), 0x6b);
+  return 0;
+}

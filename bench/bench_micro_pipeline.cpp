@@ -1,0 +1,162 @@
+/// \file bench_micro_pipeline.cpp
+/// google-benchmark micro-benchmarks for the library's substrates: IR
+/// emission, graph construction, RGCN forward/backward, simulator
+/// throughput, exhaustive-sweep (oracle) cost, and per-run cost of the
+/// sampling baselines. These quantify the §VI claim that a trained PnP
+/// tuner needs *no* executions while BLISS/OpenTuner pay per region.
+
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/measurement_db.hpp"
+#include "core/pnp_tuner.hpp"
+#include "graph/builder.hpp"
+#include "ir/extract.hpp"
+#include "nn/loss.hpp"
+#include "nn/trainer.hpp"
+#include "workloads/irgen.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+const workloads::Application& gemm_app() {
+  return *workloads::Suite::instance().find("gemm");
+}
+
+void BM_IrEmission(benchmark::State& state) {
+  const auto& desc = gemm_app().regions[0].desc;
+  for (auto _ : state) {
+    auto m = workloads::emit_application("gemm", {desc});
+    benchmark::DoNotOptimize(m.instruction_count());
+  }
+}
+BENCHMARK(BM_IrEmission);
+
+void BM_FlowGraphBuild(benchmark::State& state) {
+  const auto one =
+      ir::extract_function(gemm_app().module, gemm_app().regions[0].function);
+  for (auto _ : state) {
+    auto g = graph::build_flow_graph(one);
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+BENCHMARK(BM_FlowGraphBuild);
+
+void BM_SimulatorExpected(benchmark::State& state) {
+  const sim::Simulator simulator(hw::MachineModel::haswell());
+  const auto& desc = gemm_app().regions[0].desc;
+  const sim::OmpConfig cfg{16, sim::Schedule::Dynamic, 64};
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulator.expected(desc, cfg, 60.0).seconds);
+}
+BENCHMARK(BM_SimulatorExpected);
+
+void BM_ExhaustiveOracleSweep(benchmark::State& state) {
+  // Cost of what the paper's oracle does for ONE region at one cap:
+  // 127 candidate evaluations.
+  const sim::Simulator simulator(hw::MachineModel::haswell());
+  const auto space = core::SearchSpace::for_machine(hw::MachineModel::haswell());
+  const auto& desc = gemm_app().regions[0].desc;
+  for (auto _ : state) {
+    double best = 1e300;
+    for (int c = 0; c < space.num_candidates_per_cap(); ++c)
+      best = std::min(best,
+                      simulator.expected(desc, space.candidate(c), 60.0).seconds);
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_ExhaustiveOracleSweep);
+
+void BM_RgcnForward(benchmark::State& state) {
+  const auto one =
+      ir::extract_function(gemm_app().module, gemm_app().regions[0].function);
+  const auto fg = graph::build_flow_graph(one);
+  const auto vocab = graph::Vocabulary::from_graphs({&fg});
+  const auto tensors = graph::to_tensors(fg, vocab);
+  nn::RgcnNetConfig cfg;
+  cfg.vocab_size = vocab.size();
+  cfg.head_sizes = {6, 3, 8};
+  cfg.extra_features = 0;
+  nn::RgcnNet net(cfg);
+  for (auto _ : state) {
+    const auto dc = net.forward(tensors, {});
+    benchmark::DoNotOptimize(dc.logits[0]);
+  }
+}
+BENCHMARK(BM_RgcnForward);
+
+void BM_RgcnForwardBackward(benchmark::State& state) {
+  const auto one =
+      ir::extract_function(gemm_app().module, gemm_app().regions[0].function);
+  const auto fg = graph::build_flow_graph(one);
+  const auto vocab = graph::Vocabulary::from_graphs({&fg});
+  const auto tensors = graph::to_tensors(fg, vocab);
+  nn::RgcnNetConfig cfg;
+  cfg.vocab_size = vocab.size();
+  cfg.head_sizes = {6, 3, 8};
+  cfg.extra_features = 0;
+  nn::RgcnNet net(cfg);
+  for (auto _ : state) {
+    const auto gc = net.encode(tensors);
+    const auto dc = net.dense_forward(gc.readout, {});
+    std::vector<double> dlogits(dc.logits.size(), 0.1);
+    const auto dr = net.dense_backward(dc, dlogits);
+    net.gnn_backward(gc, dr);
+    net.zero_grad();
+    benchmark::DoNotOptimize(dc.logits[0]);
+  }
+}
+BENCHMARK(BM_RgcnForwardBackward);
+
+void BM_PnpInference(benchmark::State& state) {
+  // Whole-pipeline inference cost for one unseen region: what replaces the
+  // baselines' 20–40 sampled executions.
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  static const core::MeasurementDb db(
+      simulator, space, workloads::Suite::instance().all_regions());
+  core::PnpOptions opt;
+  opt.trainer.max_epochs = 8;
+  static core::PnpTuner tuner(db, opt);
+  static bool trained = false;
+  if (!trained) {
+    std::vector<int> train;
+    for (int r = 0; r < 40; ++r) train.push_back(r);
+    tuner.train_power_scenario(train);
+    trained = true;
+  }
+  for (auto _ : state)
+    benchmark::DoNotOptimize(tuner.predict_power(50, 1).threads);
+}
+BENCHMARK(BM_PnpInference);
+
+void BM_BlissTuneOneRegion(benchmark::State& state) {
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const auto& desc = gemm_app().regions[0].desc;
+  core::BaselineOptions opt;
+  core::BlissTuner bliss(simulator, space, opt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(bliss.tune_at_cap(desc, 60.0).executions);
+}
+BENCHMARK(BM_BlissTuneOneRegion);
+
+void BM_OpenTunerTuneOneRegion(benchmark::State& state) {
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  const auto& desc = gemm_app().regions[0].desc;
+  core::BaselineOptions opt;
+  core::OpenTunerLike otl(simulator, space, opt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(otl.tune_at_cap(desc, 60.0).executions);
+}
+BENCHMARK(BM_OpenTunerTuneOneRegion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,160 @@
+#pragma once
+
+/// \file report_utils.hpp
+/// Shared reporting for the per-figure benchmark harnesses: per-application
+/// oracle-normalized tables (the bar groups of Figs. 2–6) and the aggregate
+/// statistics the paper quotes in prose (§IV-B/C).
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/loocv.hpp"
+#include "core/metrics.hpp"
+
+namespace pnp::bench {
+
+/// Default experiment options used by all figure harnesses: the Table II
+/// model, shortened-but-sufficient training, and the paper's sampling
+/// budgets for the baselines.
+inline core::ExperimentOptions default_experiment_options() {
+  core::ExperimentOptions opt;
+  opt.pnp.trainer.max_epochs = 28;
+  opt.pnp.trainer.patience = 6;
+  opt.pnp.trainer.min_loss = 8e-2;
+  opt.pnp.seed = 20230222;  // arXiv date of the paper
+  opt.baselines.bliss_samples = 20;
+  opt.baselines.opentuner_evals = 40;
+  return opt;
+}
+
+/// Per-application geomean of oracle-normalized speedups for one tuner at
+/// one cap (the height of one bar in Figs. 2–3).
+inline std::vector<double> per_region_normalized(
+    const core::Scenario1Result& res,
+    const std::vector<std::vector<core::S1Cell>>& cells, std::size_t cap) {
+  std::vector<double> out;
+  out.reserve(res.regions.size());
+  for (std::size_t r = 0; r < res.regions.size(); ++r)
+    out.push_back(core::normalized_speedup(res.oracle_seconds[r][cap],
+                                           cells[r][cap].seconds));
+  return out;
+}
+
+/// Prints one figure chart: rows = applications, columns = tuners, values
+/// = geomean oracle-normalized speedup of the app's regions at `cap`.
+inline void print_power_chart(const core::Scenario1Result& res,
+                              std::size_t cap) {
+  std::vector<std::string> header{"application", "Default"};
+  std::vector<std::string> tuner_names;
+  for (const auto& [name, cells] : res.tuners) tuner_names.push_back(name);
+  for (const auto& n : tuner_names) header.push_back(n);
+  Table t(header);
+
+  // Default normalized values.
+  std::vector<double> def_norm;
+  for (std::size_t r = 0; r < res.regions.size(); ++r)
+    def_norm.push_back(core::normalized_speedup(res.oracle_seconds[r][cap],
+                                                res.default_seconds[r][cap]));
+  const auto def_apps = core::per_app_geomean(res.apps, def_norm);
+
+  std::map<std::string, core::PerAppGeomean> tuner_apps;
+  for (const auto& name : tuner_names)
+    tuner_apps[name] = core::per_app_geomean(
+        res.apps, per_region_normalized(res, res.tuners.at(name), cap));
+
+  for (std::size_t a = 0; a < def_apps.apps.size(); ++a) {
+    std::vector<std::string> row{def_apps.apps[a],
+                                 fmt_double(def_apps.geomeans[a], 3)};
+    for (const auto& name : tuner_names)
+      row.push_back(fmt_double(tuner_apps[name].geomeans[a], 3));
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+/// The aggregate lines the paper quotes: per-cap geomean speedups over the
+/// default, oracle-normalized hit rates, and head-to-head win rates.
+inline void print_power_aggregates(const core::Scenario1Result& res) {
+  std::printf("\n-- aggregate geomean speedup over default, per cap --\n");
+  Table t({"tuner", "cap1", "cap2", "cap3", "cap4", "overall"});
+  {
+    std::vector<std::string> row{"Oracle"};
+    std::vector<double> all;
+    for (std::size_t k = 0; k < res.caps.size(); ++k) {
+      std::vector<double> sp;
+      for (std::size_t r = 0; r < res.regions.size(); ++r)
+        sp.push_back(res.default_seconds[r][k] / res.oracle_seconds[r][k]);
+      row.push_back(fmt_double(geomean(sp), 2));
+      all.insert(all.end(), sp.begin(), sp.end());
+    }
+    row.push_back(fmt_double(geomean(all), 2));
+    t.add_row(row);
+  }
+  for (const auto& [name, cells] : res.tuners) {
+    std::vector<std::string> row{name};
+    std::vector<double> all;
+    for (std::size_t k = 0; k < res.caps.size(); ++k) {
+      std::vector<double> sp;
+      for (std::size_t r = 0; r < res.regions.size(); ++r)
+        sp.push_back(res.default_seconds[r][k] / cells[r][k].seconds);
+      row.push_back(fmt_double(geomean(sp), 2));
+      all.insert(all.end(), sp.begin(), sp.end());
+    }
+    row.push_back(fmt_double(geomean(all), 2));
+    t.add_row(row);
+  }
+  std::printf("%s", t.to_string().c_str());
+
+  std::printf("\n-- fraction of cases within 5%% of the oracle (>=0.95x) --\n");
+  for (const auto& [name, cells] : res.tuners) {
+    std::vector<double> norms;
+    for (std::size_t k = 0; k < res.caps.size(); ++k) {
+      const auto v = per_region_normalized(res, cells, k);
+      norms.insert(norms.end(), v.begin(), v.end());
+    }
+    std::printf("  %-16s %5.1f%%   (>=0.80x: %5.1f%%)\n", name.c_str(),
+                100.0 * fraction_at_least(norms, 0.95),
+                100.0 * fraction_at_least(norms, 0.80));
+  }
+
+  // Head-to-head: PnP (static) vs baselines across all (region, cap) cells.
+  auto win_rate = [&](const std::string& a, const std::string& b) {
+    if (!res.tuners.count(a) || !res.tuners.count(b)) return -1.0;
+    const auto& ca = res.tuners.at(a);
+    const auto& cb = res.tuners.at(b);
+    int wins = 0, total = 0;
+    for (std::size_t r = 0; r < res.regions.size(); ++r) {
+      for (std::size_t k = 0; k < res.caps.size(); ++k) {
+        ++total;
+        if (ca[r][k].seconds <= cb[r][k].seconds) ++wins;
+      }
+    }
+    return 100.0 * wins / total;
+  };
+  const double vs_bliss = win_rate(core::kPnpStatic, core::kBliss);
+  const double vs_ot = win_rate(core::kPnpStatic, core::kOpenTuner);
+  if (vs_bliss >= 0.0)
+    std::printf("\nPnP (static) at least as fast as BLISS in %.1f%% of cases\n",
+                vs_bliss);
+  if (vs_ot >= 0.0)
+    std::printf("PnP (static) at least as fast as OpenTuner in %.1f%% of cases\n",
+                vs_ot);
+
+  // Sampling cost: the PnP tuner needs zero executions.
+  std::printf("\n-- sampled executions per (region, cap) --\n");
+  for (const auto& [name, cells] : res.tuners) {
+    double total = 0.0;
+    for (const auto& rr : cells)
+      for (const auto& c : rr) total += c.executions;
+    std::printf("  %-16s %.1f avg\n", name.c_str(),
+                total / (static_cast<double>(res.regions.size()) *
+                         static_cast<double>(res.caps.size())));
+  }
+}
+
+}  // namespace pnp::bench

@@ -1,0 +1,104 @@
+/// \file quickstart.cpp
+/// Five-minute tour of the PnP-tuner library:
+///   1. load the benchmark suite (30 apps / 68 OpenMP regions),
+///   2. look at one region's IR and PROGRAML flow graph,
+///   3. simulate it under different OpenMP configs and power caps,
+///   4. ask the exhaustive oracle for the best configuration,
+///   5. train a small PnP model and predict for a held-out application.
+
+#include <cstdio>
+#include <string>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "core/loocv.hpp"
+#include "core/measurement_db.hpp"
+#include "core/metrics.hpp"
+#include "graph/export.hpp"
+#include "ir/extract.hpp"
+#include "ir/printer.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+int main() {
+  std::printf("== PnP-Tuner quickstart ==\n\n");
+
+  // 1. The suite.
+  const auto& suite = workloads::Suite::instance();
+  std::printf("suite: %zu applications, %zu OpenMP regions\n",
+              suite.application_count(), suite.total_regions());
+
+  // 2. One region: gemm's single parallel region.
+  const auto* gemm = suite.find("gemm");
+  const auto& region = gemm->regions.front();
+  std::printf("\n-- IR of %s (outlined, llvm-extract style) --\n",
+              region.desc.qualified_name().c_str());
+  const ir::Module one = ir::extract_function(gemm->module, region.function);
+  std::printf("%s", ir::print_function(one, one.functions.front()).c_str());
+
+  const auto fg = graph::build_flow_graph(one);
+  std::printf("\n-- PROGRAML flow graph --\n%s\n\n",
+              graph::summary(fg).c_str());
+
+  // 3. Simulate under a few configurations on the Haswell model.
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  Table t({"config", "cap(W)", "time(ms)", "power(W)", "energy(J)", "GHz"});
+  for (double cap : {40.0, 85.0}) {
+    for (const auto& cfg :
+         {sim::OmpConfig{32, sim::Schedule::Static, 0},
+          sim::OmpConfig{8, sim::Schedule::Dynamic, 64},
+          sim::OmpConfig{1, sim::Schedule::Static, 0}}) {
+      const auto r = simulator.expected(region.desc, cfg, cap);
+      t.add_row({cfg.to_string(), fmt_double(cap, 0),
+                 fmt_double(r.seconds * 1e3, 3), fmt_double(r.avg_power_w, 1),
+                 fmt_double(r.joules, 3), fmt_double(r.frequency_ghz, 2)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  // 4. The oracle: exhaustive sweep of Table I's search space.
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space, suite.all_regions());
+  const int r = db.find_region("gemm", "r0_gemm");
+  for (int k = 0; k < db.num_caps(); ++k) {
+    const int best = db.best_candidate_by_time(r, k);
+    const auto cfg = space.candidate(best);
+    std::printf("oracle @ %3.0f W: %-18s  speedup over default %.2fx\n",
+                space.power_caps()[static_cast<std::size_t>(k)],
+                cfg.to_string().c_str(),
+                core::speedup(db.at_default(r, k).seconds,
+                              db.best_time(r, k)));
+  }
+
+  // 5. Train a small PnP model on eight applications, predict for gemm.
+  std::printf("\ntraining a PnP model (8-app subset, static features)...\n");
+  core::PnpOptions pnp;
+  pnp.trainer.max_epochs = 30;
+  core::PnpTuner tuner(db, pnp);
+  std::vector<int> train;
+  for (const auto& [app, regions] : core::regions_by_app(db)) {
+    if (app == "gemm") continue;
+    if (train.size() >= 20) break;
+    for (int idx : regions) train.push_back(idx);
+  }
+  const auto rep = tuner.train_power_scenario(train);
+  std::printf("trained %d epochs in %.2fs (train acc %.0f%%)\n",
+              rep.epochs_run, rep.seconds, 100.0 * rep.train_accuracy);
+
+  for (int k = 0; k < db.num_caps(); ++k) {
+    const auto cfg = tuner.predict_power(r, k);
+    const double t_pred =
+        simulator
+            .expected(region.desc, cfg,
+                      space.power_caps()[static_cast<std::size_t>(k)])
+            .seconds;
+    std::printf(
+        "PnP    @ %3.0f W: %-18s  %.0f%% of oracle speedup\n",
+        space.power_caps()[static_cast<std::size_t>(k)], cfg.to_string().c_str(),
+        100.0 * core::normalized_speedup(db.best_time(r, k), t_pred));
+  }
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling for the PnP tuner library.
+///
+/// All precondition violations throw pnp::Error so that tests can assert on
+/// failure modes and library consumers get actionable messages instead of
+/// aborts.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pnp {
+
+/// Exception type thrown on any precondition or invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* cond, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace pnp
+
+/// Check a precondition; throws pnp::Error with location info on failure.
+#define PNP_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::pnp::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+  } while (0)
+
+/// Check a precondition with a streamable message.
+#define PNP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::ostringstream pnp_check_os_;                                     \
+      pnp_check_os_ << msg;                                                 \
+      ::pnp::detail::throw_check_failure(#cond, __FILE__, __LINE__,         \
+                                         pnp_check_os_.str());              \
+    }                                                                       \
+  } while (0)

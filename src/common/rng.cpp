@@ -1,0 +1,86 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace pnp {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  PNP_CHECK_MSG(n > 0, "uniform_index requires n > 0");
+  // Rejection-free multiply-shift; bias is negligible for our n (< 2^32).
+  return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  PNP_CHECK_MSG(lo <= hi, "uniform_int requires lo <= hi");
+  return lo + static_cast<int>(uniform_index(
+                  static_cast<std::size_t>(hi - lo + 1)));
+}
+
+double Rng::normal() {
+  // Box–Muller; guard against log(0).
+  double u1 = uniform();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+double Rng::lognormal_jitter(double sigma) { return std::exp(normal(0.0, sigma)); }
+
+std::uint64_t fnv1a(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a(const std::string_view s) { return fnv1a(s.data(), s.size()); }
+
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  // splitmix-style avalanche of the sum.
+  std::uint64_t z = a + 0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace pnp

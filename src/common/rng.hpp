@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic random number generation.
+///
+/// Everything in the repository that needs randomness — weight
+/// initialization, tuner sampling, simulator run-to-run jitter — goes
+/// through these generators so that experiments are bit-reproducible.
+/// We intentionally avoid std::mt19937 + std::*_distribution because their
+/// outputs are not guaranteed identical across standard library
+/// implementations.
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pnp {
+
+/// SplitMix64: used to expand a single seed into stream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  /// Raw 64 random bits.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Log-normal multiplicative jitter: exp(normal(0, sigma)).
+  double lognormal_jitter(double sigma);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = uniform_index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// FNV-1a hash of a byte string; used for stable, platform-independent
+/// hashing of identifiers (e.g. deriving per-kernel noise streams).
+std::uint64_t fnv1a(const void* data, std::size_t size);
+std::uint64_t fnv1a(const std::string_view s);
+
+/// Combine two 64-bit hashes (boost-style avalanche mix).
+std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b);
+
+}  // namespace pnp

@@ -1,0 +1,107 @@
+#include "common/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace pnp {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'N', 'P', 'S', 'T', 'A', 'T', '1'};
+
+void write_u64(std::ostream& os, std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  os.write(reinterpret_cast<const char*>(buf), 8);
+}
+
+std::uint64_t read_u64(std::istream& is) {
+  unsigned char buf[8];
+  is.read(reinterpret_cast<char*>(buf), 8);
+  PNP_CHECK_MSG(is.good(), "truncated StateDict stream");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void StateDict::put(const std::string& name, std::vector<double> values) {
+  entries_[name] = std::move(values);
+}
+
+bool StateDict::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const std::vector<double>& StateDict::get(const std::string& name) const {
+  auto it = entries_.find(name);
+  PNP_CHECK_MSG(it != entries_.end(), "StateDict has no entry '" << name << "'");
+  return it->second;
+}
+
+std::vector<std::string> StateDict::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [k, v] : entries_) out.push_back(k);
+  return out;
+}
+
+void StateDict::save(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  write_u64(os, entries_.size());
+  for (const auto& [name, values] : entries_) {
+    write_u64(os, name.size());
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(os, values.size());
+    for (double d : values) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &d, 8);
+      write_u64(os, bits);
+    }
+  }
+  PNP_CHECK_MSG(os.good(), "StateDict write failed");
+}
+
+StateDict StateDict::load(std::istream& is) {
+  char magic[8];
+  is.read(magic, 8);
+  PNP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
+                "bad StateDict magic");
+  StateDict sd;
+  const std::uint64_t n = read_u64(is);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t name_len = read_u64(is);
+    PNP_CHECK_MSG(name_len < (1ULL << 20), "unreasonable name length");
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    PNP_CHECK_MSG(is.good(), "truncated StateDict name");
+    const std::uint64_t len = read_u64(is);
+    PNP_CHECK_MSG(len < (1ULL << 32), "unreasonable array length");
+    std::vector<double> values(len);
+    for (auto& d : values) {
+      const std::uint64_t bits = read_u64(is);
+      std::memcpy(&d, &bits, 8);
+    }
+    sd.put(name, std::move(values));
+  }
+  return sd;
+}
+
+void StateDict::save_file(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  PNP_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
+  save(os);
+}
+
+StateDict StateDict::load_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PNP_CHECK_MSG(is.is_open(), "cannot open '" << path << "' for reading");
+  return load(is);
+}
+
+}  // namespace pnp

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file serialize.hpp
+/// Minimal binary (de)serialization, used for neural-network state dicts in
+/// the transfer-learning workflow (train on Haswell, reload GNN weights for
+/// Skylake — paper §IV-B).
+///
+/// Format: little-endian, tag/length-prefixed named f64 arrays.
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pnp {
+
+/// Named collection of double arrays — the unit of model persistence.
+class StateDict {
+ public:
+  /// Insert or overwrite an entry.
+  void put(const std::string& name, std::vector<double> values);
+
+  /// True if the entry exists.
+  bool contains(const std::string& name) const;
+
+  /// Fetch an entry; throws pnp::Error if missing.
+  const std::vector<double>& get(const std::string& name) const;
+
+  /// All entry names in lexicographic order.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Serialize to/from a binary stream. Throws pnp::Error on malformed input.
+  void save(std::ostream& os) const;
+  static StateDict load(std::istream& is);
+
+  /// Convenience file helpers.
+  void save_file(const std::string& path) const;
+  static StateDict load_file(const std::string& path);
+
+  bool operator==(const StateDict& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  std::map<std::string, std::vector<double>> entries_;
+};
+
+}  // namespace pnp

@@ -1,0 +1,90 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp {
+
+double mean(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double geomean(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  double s = 0.0;
+  for (double x : xs) {
+    PNP_CHECK_MSG(x > 0.0, "geomean requires strictly positive values, got " << x);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double stddev(std::span<const double> xs) {
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double median(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double min_of(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double fraction_at_least(std::span<const double> xs, double threshold) {
+  PNP_CHECK(!xs.empty());
+  std::size_t c = 0;
+  for (double x : xs)
+    if (x >= threshold) ++c;
+  return static_cast<double>(c) / static_cast<double>(xs.size());
+}
+
+double fraction_below(std::span<const double> xs, double threshold) {
+  return 1.0 - fraction_at_least(xs, threshold);
+}
+
+std::size_t argmin(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  return static_cast<std::size_t>(
+      std::min_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+std::size_t argmax(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  return static_cast<std::size_t>(
+      std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  PNP_CHECK(xs.size() == ys.size() && !xs.empty());
+  const double mx = mean(xs), my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx, dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace pnp

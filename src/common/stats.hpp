@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stats.hpp
+/// Summary statistics used throughout the evaluation (the paper reports
+/// geometric means of speedups/greenups, fractions of cases above
+/// thresholds, etc.).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pnp {
+
+/// Arithmetic mean. Requires non-empty input.
+double mean(std::span<const double> xs);
+
+/// Geometric mean. Requires non-empty input of strictly positive values.
+double geomean(std::span<const double> xs);
+
+/// Population standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Median (copies and sorts).
+double median(std::span<const double> xs);
+
+/// Minimum / maximum. Require non-empty input.
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+
+/// Fraction of entries x with x >= threshold.
+double fraction_at_least(std::span<const double> xs, double threshold);
+
+/// Fraction of entries x with x < threshold.
+double fraction_below(std::span<const double> xs, double threshold);
+
+/// Index of the smallest element; ties broken by the lowest index.
+std::size_t argmin(std::span<const double> xs);
+
+/// Index of the largest element; ties broken by the lowest index.
+std::size_t argmax(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length series.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace pnp

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file strings.hpp
+/// Small string utilities used by the IR printer/parser and table output.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pnp {
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on any whitespace; drops empty fields.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// printf-style double formatting with fixed precision.
+std::string fmt_double(double v, int precision = 3);
+
+}  // namespace pnp

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table and CSV emission for the benchmark harnesses. Every paper
+/// table/figure harness prints both a human-readable table and, optionally,
+/// a CSV block so results can be plotted externally.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pnp {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render with column alignment and a separator line under the header.
+  std::string to_string() const;
+
+  /// Render as CSV (no quoting of separators; callers avoid commas in cells).
+  std::string to_csv() const;
+
+  /// Convenience: print the aligned table to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pnp

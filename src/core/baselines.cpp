@@ -1,0 +1,449 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+/// Candidate universe for one tuning task: either the 127 per-cap
+/// candidates at a fixed cap, or the full 508-point joint space.
+struct Universe {
+  const SearchSpace* space = nullptr;
+  bool joint = false;
+  int fixed_cap_index = 0;
+
+  int size() const {
+    return joint ? space->joint_size() : space->num_candidates_per_cap();
+  }
+
+  SearchSpace::JointPoint point(int idx) const {
+    if (joint) return space->joint_point(idx);
+    SearchSpace::JointPoint p;
+    p.cap_index = fixed_cap_index;
+    p.is_default = (idx == space->num_omp_configs());
+    p.cfg = space->candidate(idx);
+    return p;
+  }
+};
+
+/// Objective evaluation through the noisy simulator. `draw` increments per
+/// evaluation so repeats are independent samples.
+struct Evaluator {
+  const sim::Simulator* sim;
+  const sim::KernelDescriptor* k;
+  const Universe* uni;
+  bool edp_objective = false;
+  std::uint64_t base_draw = 0;
+  int count = 0;
+
+  double operator()(int idx) {
+    const auto p = uni->point(idx);
+    const double cap =
+        uni->space->power_caps()[static_cast<std::size_t>(p.cap_index)];
+    const auto r =
+        sim->measure(*k, p.cfg, cap, base_draw + static_cast<std::uint64_t>(count));
+    ++count;
+    return edp_objective ? r.edp() : r.seconds;
+  }
+};
+
+/// Feature vector for surrogate models: log2 threads, schedule one-hot,
+/// log2 effective chunk, normalized cap.
+std::array<double, 6> features(const SearchSpace& s,
+                               const SearchSpace::JointPoint& p) {
+  const double lt = std::log2(static_cast<double>(p.cfg.threads));
+  const double chunk_eff = p.cfg.chunk == 0 ? 1024.0 : p.cfg.chunk;
+  const double lc = std::log2(chunk_eff);
+  const double cap =
+      s.power_caps()[static_cast<std::size_t>(p.cap_index)] / s.tdp();
+  std::array<double, 6> x{};
+  x[0] = lt / 6.0;
+  x[1] = p.cfg.schedule == sim::Schedule::Static ? 1.0 : 0.0;
+  x[2] = p.cfg.schedule == sim::Schedule::Dynamic ? 1.0 : 0.0;
+  x[3] = p.cfg.schedule == sim::Schedule::Guided ? 1.0 : 0.0;
+  x[4] = lc / 10.0;
+  x[5] = cap;
+  return x;
+}
+
+double sqdist(const std::array<double, 6>& a, const std::array<double, 6>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+/// Solve A x = b for a small dense symmetric positive-definite system via
+/// Gaussian elimination with partial pivoting.
+std::vector<double> solve_dense(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t piv = col;
+    for (std::size_t r = col + 1; r < n; ++r)
+      if (std::abs(a[r][col]) > std::abs(a[piv][col])) piv = r;
+    std::swap(a[col], a[piv]);
+    std::swap(b[col], b[piv]);
+    const double d = a[col][col];
+    PNP_CHECK_MSG(std::abs(d) > 1e-12, "singular system in surrogate fit");
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / d;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri][c] * x[c];
+    x[ri] = s / a[ri][ri];
+  }
+  return x;
+}
+
+/// The BLISS-style surrogate pool. All models consume (feature, log-time)
+/// observations and score unobserved candidates; lower is better.
+class SurrogatePool {
+ public:
+  void observe(const std::array<double, 6>& x, double y) {
+    xs_.push_back(x);
+    ys_.push_back(std::log(std::max(y, 1e-12)));
+  }
+
+  /// model 0: ridge regression on an 8-term design.
+  /// model 1: 3-NN mean.
+  /// model 2: RBF-GP lower-confidence bound.
+  double score(int model, const std::array<double, 6>& x) const {
+    switch (model) {
+      case 0: return ridge_predict(x);
+      case 1: return knn_predict(x);
+      default: return gp_lcb(x);
+    }
+  }
+
+  static constexpr int kNumModels = 3;
+
+ private:
+  static std::array<double, 8> design(const std::array<double, 6>& x) {
+    return {1.0, x[0], x[0] * x[0], x[1], x[2], x[4], x[4] * x[4], x[0] * x[4]};
+  }
+
+  double ridge_predict(const std::array<double, 6>& x) const {
+    const std::size_t m = 8;
+    std::vector<std::vector<double>> ata(m, std::vector<double>(m, 0.0));
+    std::vector<double> atb(m, 0.0);
+    for (std::size_t i = 0; i < xs_.size(); ++i) {
+      const auto phi = design(xs_[i]);
+      for (std::size_t r = 0; r < m; ++r) {
+        atb[r] += phi[r] * ys_[i];
+        for (std::size_t c = 0; c < m; ++c) ata[r][c] += phi[r] * phi[c];
+      }
+    }
+    for (std::size_t r = 0; r < m; ++r) ata[r][r] += 1e-3;  // ridge
+    const auto w = solve_dense(std::move(ata), std::move(atb));
+    const auto phi = design(x);
+    double y = 0.0;
+    for (std::size_t r = 0; r < m; ++r) y += w[r] * phi[r];
+    return y;
+  }
+
+  double knn_predict(const std::array<double, 6>& x) const {
+    std::vector<std::pair<double, double>> dy;  // (dist, y)
+    dy.reserve(xs_.size());
+    for (std::size_t i = 0; i < xs_.size(); ++i)
+      dy.emplace_back(sqdist(x, xs_[i]), ys_[i]);
+    std::sort(dy.begin(), dy.end());
+    const std::size_t k = std::min<std::size_t>(3, dy.size());
+    double s = 0.0;
+    for (std::size_t i = 0; i < k; ++i) s += dy[i].second;
+    return s / static_cast<double>(k);
+  }
+
+  double gp_lcb(const std::array<double, 6>& x) const {
+    const std::size_t n = xs_.size();
+    const double ell2 = 2.0 * 0.35 * 0.35;
+    auto kern = [&](const std::array<double, 6>& a,
+                    const std::array<double, 6>& b) {
+      return std::exp(-sqdist(a, b) / ell2);
+    };
+    std::vector<std::vector<double>> K(n, std::vector<double>(n, 0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) K[i][j] = kern(xs_[i], xs_[j]);
+      K[i][i] += 1e-3;  // noise
+    }
+    const auto alpha = solve_dense(K, ys_);
+    double mu = 0.0, kxx = 0.0;
+    std::vector<double> kx(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      kx[i] = kern(x, xs_[i]);
+      mu += kx[i] * alpha[i];
+      kxx += kx[i] * kx[i];
+    }
+    // Cheap variance proxy: prior variance minus explained correlation.
+    const double var = std::max(1e-6, 1.0 - kxx / static_cast<double>(n));
+    return mu - 1.0 * std::sqrt(var);  // LCB, minimizing
+  }
+
+  std::vector<std::array<double, 6>> xs_;
+  std::vector<double> ys_;
+};
+
+BaselineChoice run_bliss(const sim::Simulator& sim, const SearchSpace& space,
+                         const BaselineOptions& opt,
+                         const sim::KernelDescriptor& k, Universe uni,
+                         bool edp_objective) {
+  Evaluator eval{&sim, &k, &uni, edp_objective,
+                 hash_combine(fnv1a(k.qualified_name()),
+                              hash_combine(opt.seed, 0xb1155)),
+                 0};
+  Rng rng(hash_combine(opt.seed, fnv1a(k.qualified_name())));
+
+  SurrogatePool pool;
+  std::set<int> observed;
+  int best_idx = -1;
+  double best_y = 1e300;
+
+  auto try_candidate = [&](int idx) {
+    if (observed.count(idx)) return;
+    observed.insert(idx);
+    const double y = eval(idx);
+    pool.observe(features(space, uni.point(idx)), y);
+    if (y < best_y) {
+      best_y = y;
+      best_idx = idx;
+    }
+  };
+
+  // Warm start: 5 random distinct points.
+  const int warm = std::min(5, opt.bliss_samples);
+  while (static_cast<int>(observed.size()) < warm)
+    try_candidate(static_cast<int>(rng.uniform_index(
+        static_cast<std::size_t>(uni.size()))));
+
+  // Guided phase: rotate through the surrogate pool; each model nominates
+  // the unobserved candidate it scores best, with ε-greedy exploration.
+  int model = 0;
+  while (static_cast<int>(observed.size()) < opt.bliss_samples) {
+    int pick = -1;
+    if (rng.uniform() < 0.15) {
+      pick = static_cast<int>(
+          rng.uniform_index(static_cast<std::size_t>(uni.size())));
+    } else {
+      double best_score = 1e300;
+      for (int idx = 0; idx < uni.size(); ++idx) {
+        if (observed.count(idx)) continue;
+        const double s = pool.score(model, features(space, uni.point(idx)));
+        if (s < best_score) {
+          best_score = s;
+          pick = idx;
+        }
+      }
+      model = (model + 1) % SurrogatePool::kNumModels;
+    }
+    if (pick < 0) break;
+    try_candidate(pick);
+  }
+
+  PNP_CHECK(best_idx >= 0);
+  const auto p = uni.point(best_idx);
+  return BaselineChoice{p.cap_index, p.cfg, eval.count};
+}
+
+/// One OpenTuner-style search technique: proposes the next candidate index.
+struct Technique {
+  enum Kind { Random, HillClimb, Pattern, MutateBest } kind;
+  int uses = 0;
+  double score_sum = 0.0;  // AUC-style credit
+};
+
+BaselineChoice run_opentuner(const sim::Simulator& sim,
+                             const SearchSpace& space,
+                             const BaselineOptions& opt,
+                             const sim::KernelDescriptor& k, Universe uni,
+                             bool edp_objective) {
+  Evaluator eval{&sim, &k, &uni, edp_objective,
+                 hash_combine(fnv1a(k.qualified_name()),
+                              hash_combine(opt.seed, 0x07e4)),
+                 0};
+  Rng rng(hash_combine(opt.seed ^ 0xabcdef, fnv1a(k.qualified_name())));
+
+  // Decompose an index into coordinate axes (threads, schedule, chunk[, cap])
+  // for neighborhood moves. The default-config point is its own island.
+  const int nt = space.num_thread_classes();
+  const int ns = space.num_schedule_classes();
+  const int nc = static_cast<int>(space.chunk_values().size());
+  const int grid = space.num_omp_configs();
+  const int per_cap = space.num_candidates_per_cap();
+
+  auto to_axes = [&](int idx, std::array<int, 4>& ax) -> bool {
+    const int cap = uni.joint ? idx / per_cap : uni.fixed_cap_index;
+    const int rem = uni.joint ? idx % per_cap : idx;
+    if (rem >= grid) return false;  // default point has no axes
+    ax = {rem / (ns * nc), (rem / nc) % ns, rem % nc, cap};
+    return true;
+  };
+  auto from_axes = [&](const std::array<int, 4>& ax) {
+    const int rem = (ax[0] * ns + ax[1]) * nc + ax[2];
+    return uni.joint ? ax[3] * per_cap + rem : rem;
+  };
+  auto clampi = [](int v, int lo, int hi) { return std::clamp(v, lo, hi); };
+
+  std::map<int, double> seen;  // observed candidate → objective
+  int best_idx = -1;
+  double best_y = 1e300;
+  auto evaluate = [&](int idx) -> double {
+    auto it = seen.find(idx);
+    if (it != seen.end()) return it->second;
+    const double y = eval(idx);
+    seen[idx] = y;
+    if (y < best_y) {
+      best_y = y;
+      best_idx = idx;
+    }
+    return y;
+  };
+
+  std::vector<Technique> techniques = {{Technique::Random, 0, 0.0},
+                                       {Technique::HillClimb, 0, 0.0},
+                                       {Technique::Pattern, 0, 0.0},
+                                       {Technique::MutateBest, 0, 0.0}};
+
+  // Seed with the default configuration and one random point (OpenTuner
+  // seeds from defaults too).
+  evaluate(uni.joint ? (uni.size() - 1) : grid);
+  evaluate(static_cast<int>(
+      rng.uniform_index(static_cast<std::size_t>(uni.size()))));
+
+  int cursor = best_idx;
+  while (eval.count < opt.opentuner_evals) {
+    // AUC-bandit technique selection (UCB over improvement rate).
+    int t_pick = 0;
+    double t_best = -1e300;
+    const double total_uses = 1.0 + static_cast<double>(eval.count);
+    for (std::size_t t = 0; t < techniques.size(); ++t) {
+      const auto& tech = techniques[t];
+      const double exploit =
+          tech.uses > 0 ? tech.score_sum / tech.uses : 1.0;
+      const double explore =
+          std::sqrt(2.0 * std::log(total_uses) / (1.0 + tech.uses));
+      if (exploit + explore > t_best) {
+        t_best = exploit + explore;
+        t_pick = static_cast<int>(t);
+      }
+    }
+    Technique& tech = techniques[static_cast<std::size_t>(t_pick)];
+    ++tech.uses;
+
+    const double before = best_y;
+    std::array<int, 4> ax{};
+    switch (tech.kind) {
+      case Technique::Random:
+        evaluate(static_cast<int>(
+            rng.uniform_index(static_cast<std::size_t>(uni.size()))));
+        break;
+      case Technique::HillClimb: {
+        if (!to_axes(cursor, ax)) { cursor = best_idx >= 0 ? best_idx : 0; if (!to_axes(cursor, ax)) { evaluate(static_cast<int>(rng.uniform_index(static_cast<std::size_t>(uni.size())))); break; } }
+        const int axis = uni.joint ? rng.uniform_int(0, 3) : rng.uniform_int(0, 2);
+        const int dir = rng.uniform() < 0.5 ? -1 : 1;
+        const std::array<int, 4> hi = {nt - 1, ns - 1, nc - 1,
+                                       static_cast<int>(space.power_caps().size()) - 1};
+        ax[static_cast<std::size_t>(axis)] = clampi(
+            ax[static_cast<std::size_t>(axis)] + dir, 0,
+            hi[static_cast<std::size_t>(axis)]);
+        const int idx = from_axes(ax);
+        const double y = evaluate(idx);
+        if (y <= seen[cursor]) cursor = idx;  // accept improving move
+        break;
+      }
+      case Technique::Pattern: {
+        if (best_idx < 0 || !to_axes(best_idx, ax)) break;
+        // Probe ±1 on every axis around the incumbent, budget permitting.
+        const int axes = uni.joint ? 4 : 3;
+        const std::array<int, 4> hi = {nt - 1, ns - 1, nc - 1,
+                                       static_cast<int>(space.power_caps().size()) - 1};
+        for (int axis = 0; axis < axes && eval.count < opt.opentuner_evals;
+             ++axis) {
+          for (int dir : {-1, 1}) {
+            auto probe = ax;
+            probe[static_cast<std::size_t>(axis)] =
+                clampi(probe[static_cast<std::size_t>(axis)] + dir, 0,
+                       hi[static_cast<std::size_t>(axis)]);
+            evaluate(from_axes(probe));
+            if (eval.count >= opt.opentuner_evals) break;
+          }
+        }
+        break;
+      }
+      case Technique::MutateBest: {
+        if (best_idx < 0 || !to_axes(best_idx, ax)) break;
+        const int axis = uni.joint ? rng.uniform_int(0, 3) : rng.uniform_int(0, 2);
+        const std::array<int, 4> hi = {nt - 1, ns - 1, nc - 1,
+                                       static_cast<int>(space.power_caps().size()) - 1};
+        ax[static_cast<std::size_t>(axis)] = rng.uniform_int(
+            0, hi[static_cast<std::size_t>(axis)]);
+        evaluate(from_axes(ax));
+        break;
+      }
+    }
+    tech.score_sum += (before - best_y) > 0.0 ? 1.0 : 0.0;
+  }
+
+  PNP_CHECK(best_idx >= 0);
+  const auto p = uni.point(best_idx);
+  return BaselineChoice{p.cap_index, p.cfg, eval.count};
+}
+
+}  // namespace
+
+BlissTuner::BlissTuner(const sim::Simulator& sim, const SearchSpace& space,
+                       BaselineOptions opt)
+    : sim_(sim), space_(space), opt_(opt) {}
+
+BaselineChoice BlissTuner::tune_at_cap(const sim::KernelDescriptor& k,
+                                       double cap_w) {
+  Universe uni;
+  uni.space = &space_;
+  uni.joint = false;
+  uni.fixed_cap_index = space_.cap_index(cap_w);
+  return run_bliss(sim_, space_, opt_, k, uni, /*edp_objective=*/false);
+}
+
+BaselineChoice BlissTuner::tune_edp(const sim::KernelDescriptor& k) {
+  Universe uni;
+  uni.space = &space_;
+  uni.joint = true;
+  return run_bliss(sim_, space_, opt_, k, uni, /*edp_objective=*/true);
+}
+
+OpenTunerLike::OpenTunerLike(const sim::Simulator& sim,
+                             const SearchSpace& space, BaselineOptions opt)
+    : sim_(sim), space_(space), opt_(opt) {}
+
+BaselineChoice OpenTunerLike::tune_at_cap(const sim::KernelDescriptor& k,
+                                          double cap_w) {
+  Universe uni;
+  uni.space = &space_;
+  uni.joint = false;
+  uni.fixed_cap_index = space_.cap_index(cap_w);
+  return run_opentuner(sim_, space_, opt_, k, uni, /*edp_objective=*/false);
+}
+
+BaselineChoice OpenTunerLike::tune_edp(const sim::KernelDescriptor& k) {
+  Universe uni;
+  uni.space = &space_;
+  uni.joint = true;
+  return run_opentuner(sim_, space_, opt_, k, uni, /*edp_objective=*/true);
+}
+
+}  // namespace pnp::core

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file baselines.hpp
+/// The comparison tuners of the paper's evaluation:
+///
+///  - BlissTuner — after BLISS (Roy et al., PLDI'21): a pool of diverse
+///    lightweight surrogate models (ridge regression, k-NN, a small RBF
+///    Gaussian process) guides ~20 sampled executions per code region
+///    (paper §VI: "BLISS needs 20 sampling runs for each code region").
+///
+///  - OpenTunerLike — after OpenTuner (Ansel et al., PACT'14): an ensemble
+///    of search techniques (random, hill-climbing, pattern search, mutate-
+///    best) coordinated by an AUC-bandit meta-technique, under an
+///    evaluation budget standing in for the paper's `--stop-after` bound.
+///
+/// Both observe *noisy* simulated executions (Simulator::measure), unlike
+/// the PnP tuner which never executes the region.
+
+#include <cstdint>
+
+#include "core/search_space.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace pnp::core {
+
+struct BaselineOptions {
+  int bliss_samples = 20;
+  int opentuner_evals = 40;
+  std::uint64_t seed = 99;
+};
+
+/// Result of a baseline tuning run: the chosen point and the sampling cost.
+struct BaselineChoice {
+  int cap_index = 0;        ///< meaningful for EDP tuning only
+  sim::OmpConfig cfg;
+  int executions = 0;       ///< sampled executions spent
+};
+
+class BlissTuner {
+ public:
+  BlissTuner(const sim::Simulator& sim, const SearchSpace& space,
+             BaselineOptions opt);
+
+  /// Scenario 1: minimize time at a fixed cap.
+  BaselineChoice tune_at_cap(const sim::KernelDescriptor& k, double cap_w);
+
+  /// Scenario 2: minimize EDP over (cap × config).
+  BaselineChoice tune_edp(const sim::KernelDescriptor& k);
+
+ private:
+  const sim::Simulator& sim_;
+  SearchSpace space_;
+  BaselineOptions opt_;
+};
+
+class OpenTunerLike {
+ public:
+  OpenTunerLike(const sim::Simulator& sim, const SearchSpace& space,
+                BaselineOptions opt);
+
+  BaselineChoice tune_at_cap(const sim::KernelDescriptor& k, double cap_w);
+  BaselineChoice tune_edp(const sim::KernelDescriptor& k);
+
+ private:
+  const sim::Simulator& sim_;
+  SearchSpace space_;
+  BaselineOptions opt_;
+};
+
+}  // namespace pnp::core

@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file loocv.hpp
+/// Experiment drivers reproducing the paper's evaluation protocol
+/// (§IV-B/C): leave-one-out cross-validation over applications — each fold
+/// trains the PnP tuner on 29 applications' regions and predicts for the
+/// held-out application's regions — against the oracle (exhaustive
+/// expected-time sweep), the default configuration, BLISS, and the
+/// OpenTuner-like baseline.
+///
+/// Drivers:
+///  - run_power_experiment      → Figs. 2 & 3 (per-cap tuning)
+///  - run_unseen_cap_experiment → Figs. 4 & 5 (held-out power constraints)
+///  - run_edp_experiment        → Figs. 6 & 7 (joint power+config EDP)
+///  - run_transfer_experiment   → §IV-B transfer-learning timing (4.18×)
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/baselines.hpp"
+#include "core/measurement_db.hpp"
+#include "core/pnp_tuner.hpp"
+
+namespace pnp::core {
+
+/// Canonical tuner display names used as keys in result maps.
+inline constexpr const char* kPnpStatic = "PnP (static)";
+inline constexpr const char* kPnpDynamic = "PnP (dynamic)";
+inline constexpr const char* kBliss = "BLISS";
+inline constexpr const char* kOpenTuner = "OpenTuner";
+
+struct ExperimentOptions {
+  PnpOptions pnp;               ///< base (static-variant) tuner options
+  BaselineOptions baselines;
+  bool run_pnp_static = true;
+  bool run_pnp_dynamic = true;  ///< also run the +counters variant
+  bool run_baselines = true;
+  /// Restrict to the first N applications (0 = all) — used by tests to
+  /// keep integration runs fast.
+  int max_apps = 0;
+  std::uint64_t seed = 7;
+};
+
+/// One tuner's choice for one (region, cap) cell.
+struct S1Cell {
+  sim::OmpConfig cfg;
+  double seconds = 0.0;  ///< noiseless expected time of the chosen config
+  int executions = 0;    ///< sampling executions spent (0 for PnP/oracle)
+};
+
+struct Scenario1Result {
+  std::vector<std::string> apps;     ///< application per region
+  std::vector<std::string> regions;  ///< qualified region names
+  std::vector<double> caps;          ///< the four power caps (watts)
+  /// tuner name → [region][cap] choice.
+  std::map<std::string, std::vector<std::vector<S1Cell>>> tuners;
+  std::vector<std::vector<double>> oracle_seconds;   ///< [region][cap]
+  std::vector<std::vector<double>> default_seconds;  ///< [region][cap]
+};
+
+Scenario1Result run_power_experiment(const sim::Simulator& sim,
+                                     const MeasurementDb& db,
+                                     const ExperimentOptions& opt);
+
+struct UnseenCapResult {
+  std::vector<std::string> apps;
+  std::vector<std::string> regions;
+  std::vector<int> heldout_cap_indices;  ///< typically {lowest, highest}
+  std::vector<double> caps;              ///< all caps (watts)
+  /// [heldout][region] → PnP choice (dynamic variant, scalar cap feature).
+  std::vector<std::vector<S1Cell>> pnp;
+  std::vector<std::vector<double>> oracle_seconds;   ///< [heldout][region]
+  std::vector<std::vector<double>> default_seconds;  ///< [heldout][region]
+};
+
+UnseenCapResult run_unseen_cap_experiment(const sim::Simulator& sim,
+                                          const MeasurementDb& db,
+                                          const ExperimentOptions& opt);
+
+/// One tuner's joint (cap, config) choice for one region.
+struct S2Cell {
+  int cap_index = 0;
+  sim::OmpConfig cfg;
+  double seconds = 0.0;
+  double joules = 0.0;
+  int executions = 0;
+};
+
+struct Scenario2Result {
+  std::vector<std::string> apps;
+  std::vector<std::string> regions;
+  std::vector<double> caps;
+  std::map<std::string, std::vector<S2Cell>> tuners;  ///< name → [region]
+  std::vector<double> default_seconds;  ///< default config at TDP
+  std::vector<double> default_joules;
+  std::vector<double> oracle_edp;       ///< best achievable EDP
+};
+
+Scenario2Result run_edp_experiment(const sim::Simulator& sim,
+                                   const MeasurementDb& db,
+                                   const ExperimentOptions& opt);
+
+struct TransferReport {
+  double source_train_seconds = 0.0;   ///< full training on source machine
+  double full_target_seconds = 0.0;    ///< training from scratch on target
+  double transfer_target_seconds = 0.0;///< dense-only retraining on target
+  double speedup = 0.0;                ///< full_target / transfer_target
+  double full_accuracy = 0.0;          ///< train-set exact-match, from-scratch
+  double transfer_accuracy = 0.0;      ///< train-set exact-match, transferred
+  std::size_t full_trainable_weights = 0;
+  std::size_t transfer_trainable_weights = 0;
+};
+
+/// Train scenario-1 models on the full suite of `src`, then on `dst` both
+/// from scratch and with the imported frozen GNN (paper §IV-B).
+TransferReport run_transfer_experiment(const MeasurementDb& src_db,
+                                       const MeasurementDb& dst_db,
+                                       const ExperimentOptions& opt);
+
+/// Region indices of `db` grouped by application (preserving suite order).
+std::vector<std::pair<std::string, std::vector<int>>> regions_by_app(
+    const MeasurementDb& db);
+
+}  // namespace pnp::core

@@ -1,0 +1,87 @@
+#include "core/measurement_db.hpp"
+
+#include "common/error.hpp"
+
+namespace pnp::core {
+
+MeasurementDb::MeasurementDb(
+    const sim::Simulator& sim, const SearchSpace& space,
+    const std::vector<workloads::Suite::RegionRef>& regions)
+    : space_(space), regions_(regions) {
+  per_cap_ = space_.num_candidates_per_cap();
+  const std::size_t total = regions_.size() *
+                            static_cast<std::size_t>(num_caps()) *
+                            static_cast<std::size_t>(per_cap_);
+  results_.reserve(total);
+  for (const auto& rr : regions_) {
+    for (double cap : space_.power_caps()) {
+      for (int c = 0; c < per_cap_; ++c) {
+        results_.push_back(
+            sim.expected(rr.region->desc, space_.candidate(c), cap));
+      }
+    }
+  }
+}
+
+std::size_t MeasurementDb::slot(int region, int cap, int candidate) const {
+  PNP_CHECK(region >= 0 && region < num_regions());
+  PNP_CHECK(cap >= 0 && cap < num_caps());
+  PNP_CHECK(candidate >= 0 && candidate < per_cap_);
+  return (static_cast<std::size_t>(region) * static_cast<std::size_t>(num_caps()) +
+          static_cast<std::size_t>(cap)) *
+             static_cast<std::size_t>(per_cap_) +
+         static_cast<std::size_t>(candidate);
+}
+
+const sim::ExecutionResult& MeasurementDb::at(int region, int cap,
+                                              int candidate) const {
+  return results_[slot(region, cap, candidate)];
+}
+
+const sim::ExecutionResult& MeasurementDb::at_default(int region, int cap) const {
+  return at(region, cap, space_.num_omp_configs());
+}
+
+int MeasurementDb::best_candidate_by_time(int region, int cap) const {
+  int best = 0;
+  double best_t = at(region, cap, 0).seconds;
+  for (int c = 1; c < per_cap_; ++c) {
+    const double t = at(region, cap, c).seconds;
+    if (t < best_t) {
+      best_t = t;
+      best = c;
+    }
+  }
+  return best;
+}
+
+double MeasurementDb::best_time(int region, int cap) const {
+  return at(region, cap, best_candidate_by_time(region, cap)).seconds;
+}
+
+MeasurementDb::JointBest MeasurementDb::best_by_edp(int region) const {
+  JointBest jb;
+  jb.edp = at(region, 0, 0).edp();
+  for (int k = 0; k < num_caps(); ++k) {
+    for (int c = 0; c < per_cap_; ++c) {
+      const double e = at(region, k, c).edp();
+      if (e < jb.edp) {
+        jb.edp = e;
+        jb.cap_index = k;
+        jb.candidate = c;
+      }
+    }
+  }
+  return jb;
+}
+
+int MeasurementDb::find_region(const std::string& app,
+                               const std::string& region) const {
+  for (int r = 0; r < num_regions(); ++r) {
+    const auto& d = regions_[static_cast<std::size_t>(r)].region->desc;
+    if (d.app == app && d.region == region) return r;
+  }
+  return -1;
+}
+
+}  // namespace pnp::core

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file measurement_db.hpp
+/// Exhaustive (region × cap × configuration) measurement tables
+/// (paper §III-C: "at each power level, parallel OpenMP regions in all
+/// considered applications were executed for each runtime configuration").
+///
+/// Serves three roles: oracle lookups (best time / best EDP), default
+/// baselines, and training labels for the PnP tuner.
+
+#include <vector>
+
+#include "core/search_space.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+
+class MeasurementDb {
+ public:
+  /// Sweep every candidate of `space` for every region on `sim`'s machine
+  /// using noiseless expected() results.
+  MeasurementDb(const sim::Simulator& sim, const SearchSpace& space,
+                const std::vector<workloads::Suite::RegionRef>& regions);
+
+  int num_regions() const { return static_cast<int>(regions_.size()); }
+  int num_caps() const { return static_cast<int>(space_.power_caps().size()); }
+  const SearchSpace& space() const { return space_; }
+  const workloads::Suite::RegionRef& region(int r) const {
+    return regions_[static_cast<std::size_t>(r)];
+  }
+
+  /// Result of candidate `c` (grid index or default) at cap `k`.
+  const sim::ExecutionResult& at(int region, int cap, int candidate) const;
+
+  /// Result of the default configuration at cap `k`.
+  const sim::ExecutionResult& at_default(int region, int cap) const;
+
+  // --- Scenario 1: fastest at a fixed cap --------------------------------
+  /// Candidate index minimizing expected time (ties → lowest index).
+  int best_candidate_by_time(int region, int cap) const;
+  double best_time(int region, int cap) const;
+
+  // --- Scenario 2: minimum EDP over the joint space -----------------------
+  struct JointBest {
+    int cap_index = 0;
+    int candidate = 0;
+    double edp = 0.0;
+  };
+  JointBest best_by_edp(int region) const;
+
+  /// Index of the region whose descriptor matches (app, region name); -1
+  /// if absent.
+  int find_region(const std::string& app, const std::string& region) const;
+
+ private:
+  std::size_t slot(int region, int cap, int candidate) const;
+
+  SearchSpace space_;
+  std::vector<workloads::Suite::RegionRef> regions_;
+  std::vector<sim::ExecutionResult> results_;
+  int per_cap_ = 0;
+};
+
+}  // namespace pnp::core

@@ -1,0 +1,42 @@
+#include "core/metrics.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace pnp::core {
+
+double speedup(double t_default, double t_chosen) {
+  PNP_CHECK(t_default > 0.0 && t_chosen > 0.0);
+  return t_default / t_chosen;
+}
+
+double greenup(double e_default, double e_chosen) {
+  PNP_CHECK(e_default > 0.0 && e_chosen > 0.0);
+  return e_default / e_chosen;
+}
+
+double edp_improvement(double edp_default, double edp_chosen) {
+  PNP_CHECK(edp_default > 0.0 && edp_chosen > 0.0);
+  return edp_default / edp_chosen;
+}
+
+double normalized_speedup(double t_best, double t_chosen) {
+  PNP_CHECK(t_best > 0.0 && t_chosen > 0.0);
+  return t_best / t_chosen;
+}
+
+PerAppGeomean per_app_geomean(std::span<const std::string> app_of_value,
+                              std::span<const double> values) {
+  PNP_CHECK(app_of_value.size() == values.size());
+  PerAppGeomean out;
+  std::map<std::string, std::vector<double>> buckets;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (buckets.find(app_of_value[i]) == buckets.end())
+      out.apps.push_back(app_of_value[i]);
+    buckets[app_of_value[i]].push_back(values[i]);
+  }
+  for (const auto& app : out.apps) out.geomeans.push_back(geomean(buckets[app]));
+  return out;
+}
+
+}  // namespace pnp::core

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Evaluation metrics of the paper: speedup over the default configuration,
+/// greenup (energy_old / energy_new, Choi et al.), EDP improvement, and
+/// oracle-normalized variants, plus per-application geometric-mean
+/// aggregation as used on every figure's x-axis.
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pnp::core {
+
+/// speedup = t_default / t_chosen.
+double speedup(double t_default, double t_chosen);
+
+/// greenup = e_default / e_chosen (Choi et al., "A roofline model of energy").
+double greenup(double e_default, double e_chosen);
+
+/// EDP improvement = edp_default / edp_chosen.
+double edp_improvement(double edp_default, double edp_chosen);
+
+/// Oracle-normalized speedup in (0, 1]: (t_default/t) / (t_default/t_best)
+/// = t_best / t.
+double normalized_speedup(double t_best, double t_chosen);
+
+/// Geometric mean per application, preserving first-seen application order.
+/// `app_of_value[i]` names the application of `values[i]`.
+struct PerAppGeomean {
+  std::vector<std::string> apps;
+  std::vector<double> geomeans;
+};
+PerAppGeomean per_app_geomean(std::span<const std::string> app_of_value,
+                              std::span<const double> values);
+
+}  // namespace pnp::core

@@ -1,0 +1,307 @@
+#include "core/pnp_tuner.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ir/extract.hpp"
+#include "nn/loss.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+constexpr int kNumCounters = 5;
+
+std::vector<double> counter_values(const hw::Counters& c) {
+  return {c.instructions, c.l1_misses, c.l2_misses, c.l3_misses,
+          c.branch_mispredictions};
+}
+
+}  // namespace
+
+PnpTuner::PnpTuner(const MeasurementDb& db, PnpOptions options)
+    : db_(db), opt_(std::move(options)) {
+  graphs_.reserve(static_cast<std::size_t>(db_.num_regions()));
+  for (int r = 0; r < db_.num_regions(); ++r) {
+    const auto& rr = db_.region(r);
+    // llvm-extract equivalent: carve the outlined region out of the
+    // application module, then build its PROGRAML graph.
+    const ir::Module one = ir::extract_function(rr.app->module, rr.region->function);
+    graphs_.push_back(graph::build_flow_graph(one));
+  }
+  if (!opt_.train_cap_indices.empty())
+    PNP_CHECK_MSG(!opt_.cap_onehot,
+                  "unseen-cap training requires the scalar cap feature");
+}
+
+int PnpTuner::extra_feature_count(Mode mode) const {
+  int n = 0;
+  if (mode == Mode::Power) n += opt_.cap_onehot ? db_.num_caps() : 1;
+  if (opt_.use_counters) n += kNumCounters;
+  return n;
+}
+
+std::vector<double> PnpTuner::make_extra(int region,
+                                         std::optional<int> cap_index,
+                                         std::optional<double> cap_w) const {
+  std::vector<double> x;
+  if (mode_ == Mode::Power) {
+    if (opt_.cap_onehot) {
+      PNP_CHECK(cap_index.has_value());
+      for (int k = 0; k < db_.num_caps(); ++k)
+        x.push_back(k == *cap_index ? 1.0 : 0.0);
+    } else {
+      // Normalized power constraint (paper §IV-B, unseen-cap experiment).
+      const double w =
+          cap_w.has_value()
+              ? *cap_w
+              : db_.space().power_caps()[static_cast<std::size_t>(
+                    cap_index.value())];
+      x.push_back(w / db_.space().tdp());
+    }
+  }
+  if (opt_.use_counters) {
+    const auto vals = counter_values(db_.at(region, 0, 0).counters);
+    PNP_CHECK(counter_mean_.size() == kNumCounters);
+    for (int i = 0; i < kNumCounters; ++i) {
+      const double z = (std::log1p(vals[static_cast<std::size_t>(i)]) -
+                        counter_mean_[static_cast<std::size_t>(i)]) /
+                       counter_std_[static_cast<std::size_t>(i)];
+      x.push_back(z);
+    }
+  }
+  return x;
+}
+
+std::vector<int> PnpTuner::power_labels(int region, int cap) const {
+  const int c = db_.best_candidate_by_time(region, cap);
+  const sim::OmpConfig cfg = db_.space().candidate(c);
+  const SearchSpace& s = db_.space();
+  const int ti = s.thread_class(cfg.threads);
+  const int si = static_cast<int>(cfg.schedule);
+  const int ci = s.chunk_class(cfg.chunk);
+  if (opt_.factored_heads) return {ti, si, ci};
+  return {(ti * s.num_schedule_classes() + si) * s.num_chunk_classes() + ci};
+}
+
+std::vector<int> PnpTuner::edp_labels(int region) const {
+  const auto jb = db_.best_by_edp(region);
+  const sim::OmpConfig cfg = db_.space().candidate(jb.candidate);
+  const SearchSpace& s = db_.space();
+  const int ti = s.thread_class(cfg.threads);
+  const int si = static_cast<int>(cfg.schedule);
+  const int ci = s.chunk_class(cfg.chunk);
+  if (opt_.factored_heads) return {jb.cap_index, ti, si, ci};
+  const int omp =
+      (ti * s.num_schedule_classes() + si) * s.num_chunk_classes() + ci;
+  const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
+                      s.num_chunk_classes();
+  return {jb.cap_index * per_cap + omp};
+}
+
+sim::OmpConfig PnpTuner::decode_config(const std::vector<int>& preds,
+                                       int base) const {
+  const SearchSpace& s = db_.space();
+  if (opt_.factored_heads) {
+    return s.config_from_classes(preds[static_cast<std::size_t>(base)],
+                                 preds[static_cast<std::size_t>(base) + 1],
+                                 preds[static_cast<std::size_t>(base) + 2]);
+  }
+  int flat = preds[0];
+  if (mode_ == Mode::Edp) {
+    const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
+                        s.num_chunk_classes();
+    flat %= per_cap;
+  }
+  const int ci = flat % s.num_chunk_classes();
+  const int si = (flat / s.num_chunk_classes()) % s.num_schedule_classes();
+  const int ti = flat / (s.num_chunk_classes() * s.num_schedule_classes());
+  return s.config_from_classes(ti, si, ci);
+}
+
+void PnpTuner::build_model(Mode mode, const std::vector<int>& train_regions) {
+  mode_ = mode;
+
+  // Vocabulary strictly from training graphs; held-out regions exercise the
+  // OOV path like the paper's unseen applications do.
+  std::vector<const graph::FlowGraph*> corpus;
+  for (int r : train_regions)
+    corpus.push_back(&graphs_[static_cast<std::size_t>(r)]);
+  vocab_ = graph::Vocabulary::from_graphs(corpus);
+
+  tensors_.clear();
+  tensors_.reserve(graphs_.size());
+  for (const auto& g : graphs_) tensors_.push_back(graph::to_tensors(g, vocab_));
+
+  // Counter normalization from training regions only.
+  if (opt_.use_counters) {
+    counter_mean_.assign(kNumCounters, 0.0);
+    counter_std_.assign(kNumCounters, 0.0);
+    for (int r : train_regions) {
+      const auto vals = counter_values(db_.at(r, 0, 0).counters);
+      for (int i = 0; i < kNumCounters; ++i)
+        counter_mean_[static_cast<std::size_t>(i)] +=
+            std::log1p(vals[static_cast<std::size_t>(i)]);
+    }
+    for (auto& m : counter_mean_) m /= static_cast<double>(train_regions.size());
+    for (int r : train_regions) {
+      const auto vals = counter_values(db_.at(r, 0, 0).counters);
+      for (int i = 0; i < kNumCounters; ++i) {
+        const double d = std::log1p(vals[static_cast<std::size_t>(i)]) -
+                         counter_mean_[static_cast<std::size_t>(i)];
+        counter_std_[static_cast<std::size_t>(i)] += d * d;
+      }
+    }
+    for (auto& s : counter_std_) {
+      s = std::sqrt(s / static_cast<double>(train_regions.size()));
+      if (s < 1e-9) s = 1.0;
+    }
+  }
+
+  nn::RgcnNetConfig nc;
+  nc.vocab_size = vocab_.size();
+  nc.emb_dim = opt_.emb_dim;
+  nc.rgcn_layers = opt_.rgcn_layers;
+  nc.hidden = opt_.hidden;
+  nc.dense_hidden1 = opt_.dense_hidden1;
+  nc.dense_hidden2 = opt_.dense_hidden2;
+  nc.extra_features = extra_feature_count(mode);
+  nc.num_bases = opt_.num_bases;
+  nc.seed = opt_.seed;
+
+  const SearchSpace& s = db_.space();
+  const int per_cap =
+      s.num_thread_classes() * s.num_schedule_classes() * s.num_chunk_classes();
+  if (opt_.factored_heads) {
+    if (mode == Mode::Edp)
+      nc.head_sizes = {s.num_cap_classes(), s.num_thread_classes(),
+                       s.num_schedule_classes(), s.num_chunk_classes()};
+    else
+      nc.head_sizes = {s.num_thread_classes(), s.num_schedule_classes(),
+                       s.num_chunk_classes()};
+  } else {
+    nc.head_sizes = {mode == Mode::Edp ? s.num_cap_classes() * per_cap
+                                       : per_cap};
+  }
+
+  net_ = std::make_unique<nn::RgcnNet>(nc);
+  if (pending_gnn_.has_value()) {
+    net_->load_state_dict(*pending_gnn_, /*load_gnn_only=*/true);
+    net_->set_gnn_frozen(pending_freeze_);
+  }
+}
+
+nn::TrainReport PnpTuner::run_training(
+    const std::vector<nn::TrainSample>& samples) {
+  std::unique_ptr<nn::Optimizer> opt;
+  if (opt_.use_adamw)
+    opt = nn::Adam::adamw_amsgrad(opt_.lr, opt_.weight_decay);
+  else
+    opt = nn::Adam::plain(opt_.lr);
+  return nn::train(*net_, *opt, samples, opt_.trainer);
+}
+
+nn::TrainReport PnpTuner::train_power_scenario(
+    const std::vector<int>& train_regions) {
+  PNP_CHECK(!train_regions.empty());
+  build_model(Mode::Power, train_regions);
+
+  std::vector<int> caps = opt_.train_cap_indices;
+  if (caps.empty())
+    for (int k = 0; k < db_.num_caps(); ++k) caps.push_back(k);
+
+  std::vector<nn::TrainSample> samples;
+  samples.reserve(train_regions.size());
+  for (int r : train_regions) {
+    nn::TrainSample s;
+    s.graph = &tensors_[static_cast<std::size_t>(r)];
+    for (int k : caps) {
+      nn::SampleMember m;
+      m.extra = make_extra(r, k, std::nullopt);
+      m.labels = power_labels(r, k);
+      s.members.push_back(std::move(m));
+    }
+    samples.push_back(std::move(s));
+  }
+  return run_training(samples);
+}
+
+nn::TrainReport PnpTuner::train_edp_scenario(
+    const std::vector<int>& train_regions) {
+  PNP_CHECK(!train_regions.empty());
+  build_model(Mode::Edp, train_regions);
+
+  std::vector<nn::TrainSample> samples;
+  samples.reserve(train_regions.size());
+  for (int r : train_regions) {
+    nn::TrainSample s;
+    s.graph = &tensors_[static_cast<std::size_t>(r)];
+    nn::SampleMember m;
+    m.extra = make_extra(r, std::nullopt, std::nullopt);
+    m.labels = edp_labels(r);
+    s.members.push_back(std::move(m));
+    samples.push_back(std::move(s));
+  }
+  return run_training(samples);
+}
+
+sim::OmpConfig PnpTuner::predict_power(int region, int cap_index) const {
+  PNP_CHECK_MSG(mode_ == Mode::Power && net_ != nullptr,
+                "train_power_scenario must run first");
+  const auto extra = make_extra(region, cap_index, std::nullopt);
+  const auto preds = nn::predict_labels(
+      *net_, tensors_[static_cast<std::size_t>(region)], extra);
+  return decode_config(preds, 0);
+}
+
+sim::OmpConfig PnpTuner::predict_power_at(int region, double cap_w) const {
+  PNP_CHECK_MSG(mode_ == Mode::Power && net_ != nullptr,
+                "train_power_scenario must run first");
+  PNP_CHECK_MSG(!opt_.cap_onehot,
+                "predicting at an arbitrary cap requires the scalar feature");
+  const auto extra = make_extra(region, std::nullopt, cap_w);
+  const auto preds = nn::predict_labels(
+      *net_, tensors_[static_cast<std::size_t>(region)], extra);
+  return decode_config(preds, 0);
+}
+
+PnpTuner::JointChoice PnpTuner::predict_edp(int region) const {
+  PNP_CHECK_MSG(mode_ == Mode::Edp && net_ != nullptr,
+                "train_edp_scenario must run first");
+  const auto extra = make_extra(region, std::nullopt, std::nullopt);
+  const auto preds = nn::predict_labels(
+      *net_, tensors_[static_cast<std::size_t>(region)], extra);
+  JointChoice jc;
+  if (opt_.factored_heads) {
+    jc.cap_index = preds[0];
+    jc.cfg = decode_config(preds, 1);
+  } else {
+    const SearchSpace& s = db_.space();
+    const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
+                        s.num_chunk_classes();
+    jc.cap_index = preds[0] / per_cap;
+    jc.cfg = decode_config(preds, 0);
+  }
+  return jc;
+}
+
+StateDict PnpTuner::state() const {
+  PNP_CHECK_MSG(net_ != nullptr, "no trained model");
+  return net_->state_dict();
+}
+
+void PnpTuner::import_gnn(const StateDict& sd, bool freeze_gnn) {
+  pending_gnn_ = sd;
+  pending_freeze_ = freeze_gnn;
+}
+
+const nn::RgcnNet& PnpTuner::net() const {
+  PNP_CHECK_MSG(net_ != nullptr, "no trained model");
+  return *net_;
+}
+
+const graph::FlowGraph& PnpTuner::region_graph(int region) const {
+  return graphs_.at(static_cast<std::size_t>(region));
+}
+
+}  // namespace pnp::core

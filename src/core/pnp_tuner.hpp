@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file pnp_tuner.hpp
+/// The PnP auto-tuner (paper §III): flow-aware code graphs of OpenMP
+/// regions modeled by an RGCN whose readout feeds a dense classifier that
+/// predicts the best configuration — without executing the code.
+///
+/// Two scenarios (paper §III-D):
+///  1. power-constrained: at a given package cap, predict the OpenMP
+///     configuration (threads / schedule / chunk) minimizing time;
+///  2. EDP: jointly predict a power cap and an OpenMP configuration
+///     minimizing energy-delay product.
+///
+/// Variants:
+///  - static (graphs only) vs dynamic (graphs + five normalized profiled
+///    counters appended to the dense input, §IV-B);
+///  - power-cap feature as one-hot (within-space caps) or as a normalized
+///    scalar (generalizing to *unseen* caps, Figs. 4–5);
+///  - transfer learning: import a GNN stage trained on another machine and
+///    retrain only the dense layers (§IV-B, the 4.18× training-time win).
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/measurement_db.hpp"
+#include "core/search_space.hpp"
+#include "graph/builder.hpp"
+#include "nn/rgcn_net.hpp"
+#include "nn/trainer.hpp"
+
+namespace pnp::core {
+
+struct PnpOptions {
+  // Feature variants.
+  bool use_counters = false;  ///< dynamic variant (5 profiled counters)
+  bool cap_onehot = true;     ///< false → normalized scalar cap feature
+  bool factored_heads = true; ///< false → one flat softmax over all configs
+
+  // Model hyperparameters (paper Table II: 4 RGCN + 3 FC layers; widths
+  // sized for single-core training of 60 LOOCV folds per figure).
+  int emb_dim = 12;
+  int rgcn_layers = 4;
+  int hidden = 16;
+  int dense_hidden1 = 32;
+  int dense_hidden2 = 24;
+  int num_bases = 0;  ///< >0 enables RGCN basis decomposition (ablation)
+
+  // Optimization (Table II: AdamW(amsgrad) for scenario 1, Adam for EDP,
+  // lr 1e-3, batch 16, cross-entropy).
+  bool use_adamw = true;
+  double lr = 1e-3;
+  double weight_decay = 1e-2;
+  nn::TrainerConfig trainer;
+
+  /// Cap indices available during training (scenario 1); empty = all.
+  /// Used by the unseen-power-constraint experiments (Figs. 4–5).
+  std::vector<int> train_cap_indices;
+
+  std::uint64_t seed = 42;
+};
+
+class PnpTuner {
+ public:
+  /// Builds flow graphs for every region in `db` (extract → PROGRAML).
+  PnpTuner(const MeasurementDb& db, PnpOptions options);
+
+  // --- Scenario 1: power-constrained tuning -------------------------------
+  /// Train on the given region indices; labels are the db's best-by-time
+  /// candidates per cap.
+  nn::TrainReport train_power_scenario(const std::vector<int>& train_regions);
+
+  /// Predict the best OpenMP configuration for `region` at `cap_index`.
+  /// `cap_w_override` substitutes the cap feature value (unseen caps).
+  sim::OmpConfig predict_power(int region, int cap_index) const;
+  sim::OmpConfig predict_power_at(int region, double cap_w) const;
+
+  // --- Scenario 2: EDP tuning ---------------------------------------------
+  nn::TrainReport train_edp_scenario(const std::vector<int>& train_regions);
+
+  struct JointChoice {
+    int cap_index = 0;
+    sim::OmpConfig cfg;
+  };
+  JointChoice predict_edp(int region) const;
+
+  // --- Transfer learning ----------------------------------------------------
+  /// GNN-stage weights of the trained model.
+  StateDict state() const;
+  /// Load a (possibly cross-machine) state before training; when `freeze_gnn`
+  /// is set only dense layers train and encode() results are cached.
+  void import_gnn(const StateDict& sd, bool freeze_gnn);
+
+  /// The trained network (valid after train_*).
+  const nn::RgcnNet& net() const;
+
+  const graph::FlowGraph& region_graph(int region) const;
+  const MeasurementDb& db() const { return db_; }
+
+ private:
+  enum class Mode { None, Power, Edp };
+
+  std::vector<double> make_extra(int region, std::optional<int> cap_index,
+                                 std::optional<double> cap_w) const;
+  int extra_feature_count(Mode mode) const;
+  std::vector<int> power_labels(int region, int cap) const;
+  std::vector<int> edp_labels(int region) const;
+  sim::OmpConfig decode_config(const std::vector<int>& preds, int base) const;
+  void build_model(Mode mode, const std::vector<int>& train_regions);
+  nn::TrainReport run_training(const std::vector<nn::TrainSample>& samples);
+
+  const MeasurementDb& db_;
+  PnpOptions opt_;
+  std::vector<graph::FlowGraph> graphs_;           // one per region
+  graph::Vocabulary vocab_;                        // from training graphs
+  std::vector<graph::GraphTensors> tensors_;       // rebuilt per training run
+  std::unique_ptr<nn::RgcnNet> net_;
+  Mode mode_ = Mode::None;
+
+  // Counter normalization (fit on training regions).
+  std::vector<double> counter_mean_, counter_std_;
+
+  // Pending transfer-learning import (applied at build_model time).
+  std::optional<StateDict> pending_gnn_;
+  bool pending_freeze_ = false;
+};
+
+}  // namespace pnp::core

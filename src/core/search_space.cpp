@@ -1,0 +1,114 @@
+#include "core/search_space.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::core {
+
+SearchSpace SearchSpace::for_machine(const hw::MachineModel& m) {
+  SearchSpace s;
+  s.schedules_ = {sim::Schedule::Static, sim::Schedule::Dynamic,
+                  sim::Schedule::Guided};
+  s.chunks_ = {1, 8, 32, 64, 128, 256, 512};
+  if (m.name == "skylake") {
+    s.threads_ = {1, 4, 8, 16, 32, 64};
+    s.caps_ = {75.0, 100.0, 120.0, 150.0};
+  } else if (m.name == "haswell") {
+    s.threads_ = {1, 2, 4, 8, 16, 32};
+    s.caps_ = {40.0, 60.0, 70.0, 85.0};
+  } else {
+    // Generic machine: powers of two up to max threads; caps spanning
+    // [min_cap, tdp] in four steps.
+    int t = 1;
+    while (t < m.max_threads() && s.threads_.size() < 5) {
+      s.threads_.push_back(t);
+      t *= 4;
+    }
+    s.threads_.push_back(m.max_threads());
+    const double lo = m.min_cap_w, hi = m.tdp_w;
+    s.caps_ = {lo, lo + (hi - lo) / 3.0, lo + 2.0 * (hi - lo) / 3.0, hi};
+  }
+  s.default_ = sim::OmpConfig{m.max_threads(), sim::Schedule::Static, 0};
+  return s;
+}
+
+int SearchSpace::num_omp_configs() const {
+  return static_cast<int>(threads_.size() * schedules_.size() * chunks_.size());
+}
+
+sim::OmpConfig SearchSpace::omp_config(int index) const {
+  PNP_CHECK(index >= 0 && index < num_omp_configs());
+  const int nc = static_cast<int>(chunks_.size());
+  const int ns = static_cast<int>(schedules_.size());
+  const int ci = index % nc;
+  const int si = (index / nc) % ns;
+  const int ti = index / (nc * ns);
+  return sim::OmpConfig{threads_[static_cast<std::size_t>(ti)],
+                        schedules_[static_cast<std::size_t>(si)],
+                        chunks_[static_cast<std::size_t>(ci)]};
+}
+
+int SearchSpace::omp_index(const sim::OmpConfig& cfg) const {
+  int ti = -1, si = -1, ci = -1;
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    if (threads_[i] == cfg.threads) ti = static_cast<int>(i);
+  for (std::size_t i = 0; i < schedules_.size(); ++i)
+    if (schedules_[i] == cfg.schedule) si = static_cast<int>(i);
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i] == cfg.chunk) ci = static_cast<int>(i);
+  if (ti < 0 || si < 0 || ci < 0) return -1;
+  const int nc = static_cast<int>(chunks_.size());
+  const int ns = static_cast<int>(schedules_.size());
+  return (ti * ns + si) * nc + ci;
+}
+
+sim::OmpConfig SearchSpace::candidate(int index) const {
+  PNP_CHECK(index >= 0 && index < num_candidates_per_cap());
+  if (index == num_omp_configs()) return default_;
+  return omp_config(index);
+}
+
+SearchSpace::JointPoint SearchSpace::joint_point(int index) const {
+  PNP_CHECK(index >= 0 && index < joint_size());
+  const int per_cap = num_candidates_per_cap();
+  JointPoint p;
+  p.cap_index = index / per_cap;
+  const int ci = index % per_cap;
+  p.is_default = (ci == num_omp_configs());
+  p.cfg = candidate(ci);
+  return p;
+}
+
+int SearchSpace::thread_class(int threads) const {
+  for (std::size_t i = 0; i < threads_.size(); ++i)
+    if (threads_[i] == threads) return static_cast<int>(i);
+  PNP_CHECK_MSG(false, "thread count " << threads << " not in search space");
+}
+
+int SearchSpace::chunk_class(int chunk) const {
+  if (chunk == 0) return 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i] == chunk) return static_cast<int>(i) + 1;
+  PNP_CHECK_MSG(false, "chunk " << chunk << " not in search space");
+}
+
+sim::OmpConfig SearchSpace::config_from_classes(int thread_cls, int sched_cls,
+                                                int chunk_cls) const {
+  PNP_CHECK(thread_cls >= 0 && thread_cls < num_thread_classes());
+  PNP_CHECK(sched_cls >= 0 && sched_cls < num_schedule_classes());
+  PNP_CHECK(chunk_cls >= 0 && chunk_cls < num_chunk_classes());
+  sim::OmpConfig cfg;
+  cfg.threads = threads_[static_cast<std::size_t>(thread_cls)];
+  cfg.schedule = schedules_[static_cast<std::size_t>(sched_cls)];
+  cfg.chunk = (chunk_cls == 0) ? 0 : chunks_[static_cast<std::size_t>(chunk_cls - 1)];
+  return cfg;
+}
+
+int SearchSpace::cap_index(double cap_w) const {
+  for (std::size_t i = 0; i < caps_.size(); ++i)
+    if (std::abs(caps_[i] - cap_w) < 1e-9) return static_cast<int>(i);
+  PNP_CHECK_MSG(false, "cap " << cap_w << " W not in search space");
+}
+
+}  // namespace pnp::core

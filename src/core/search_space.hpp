@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file search_space.hpp
+/// The tuning search space of Table I:
+///
+///   Power caps  : 75/100/120/150 W (Skylake), 40/60/70/85 W (Haswell)
+///   Threads     : 1,4,8,16,32,64 (Skylake), 1,2,4,8,16,32 (Haswell)
+///   Schedule    : static, dynamic, guided
+///   Chunk sizes : 1, 8, 32, 64, 128, 256, 512
+///
+/// 4 × 6 × 3 × 7 = 504 regular configurations, plus the default OpenMP
+/// configuration (all hardware threads, static, compiler-default chunk) at
+/// each of the four caps = 508 total.
+///
+/// The classifier's label space additionally treats "compiler-default
+/// chunk" (chunk = 0) as an eighth chunk class so the default
+/// configuration is representable as a label (see DESIGN.md §2 on this
+/// deliberate deviation); the oracle and the baselines stay on the paper's
+/// 508-point space.
+
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "sim/omp_config.hpp"
+
+namespace pnp::core {
+
+class SearchSpace {
+ public:
+  /// Table I values for one of the two machines (keyed on machine name).
+  static SearchSpace for_machine(const hw::MachineModel& m);
+
+  const std::vector<int>& thread_values() const { return threads_; }
+  const std::vector<sim::Schedule>& schedule_values() const { return schedules_; }
+  const std::vector<int>& chunk_values() const { return chunks_; }
+  const std::vector<double>& power_caps() const { return caps_; }
+
+  /// Thermal design power = the highest cap (no constraint).
+  double tdp() const { return caps_.back(); }
+
+  // --- Per-cap OpenMP configuration grid (126 points) --------------------
+  int num_omp_configs() const;
+  sim::OmpConfig omp_config(int index) const;
+  /// Index of a grid configuration; -1 if not on the grid.
+  int omp_index(const sim::OmpConfig& cfg) const;
+
+  /// The default OpenMP configuration for this machine.
+  sim::OmpConfig default_config() const { return default_; }
+
+  /// Candidates the oracle/baselines scan at one cap: the 126-point grid
+  /// plus the default (index == num_omp_configs() encodes the default).
+  int num_candidates_per_cap() const { return num_omp_configs() + 1; }
+  sim::OmpConfig candidate(int index) const;
+
+  /// Total size of the joint space across caps (paper: 508).
+  int joint_size() const { return static_cast<int>(caps_.size()) * num_candidates_per_cap(); }
+  struct JointPoint {
+    int cap_index;
+    sim::OmpConfig cfg;
+    bool is_default;
+  };
+  JointPoint joint_point(int index) const;
+
+  // --- Label-space helpers for the factorized classifier -----------------
+  /// Head sizes: threads, schedule, chunk classes (chunk 0 = default).
+  int num_thread_classes() const { return static_cast<int>(threads_.size()); }
+  int num_schedule_classes() const { return static_cast<int>(schedules_.size()); }
+  int num_chunk_classes() const { return static_cast<int>(chunks_.size()) + 1; }
+  int num_cap_classes() const { return static_cast<int>(caps_.size()); }
+
+  int thread_class(int threads) const;
+  int chunk_class(int chunk) const;  ///< chunk 0 → class 0
+  /// Build a configuration from head predictions.
+  sim::OmpConfig config_from_classes(int thread_cls, int sched_cls,
+                                     int chunk_cls) const;
+
+  int cap_index(double cap_w) const;
+
+ private:
+  std::vector<int> threads_;
+  std::vector<sim::Schedule> schedules_;
+  std::vector<int> chunks_;
+  std::vector<double> caps_;
+  sim::OmpConfig default_;
+};
+
+}  // namespace pnp::core

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file builder.hpp
+/// Construction of PROGRAML-style flow graphs from mini-IR modules
+/// (paper §III-A: "we use PROGRAML to obtain the corresponding graph
+/// embeddings" of the extracted outlined regions).
+
+#include "graph/flow_graph.hpp"
+#include "graph/vocab.hpp"
+#include "ir/module.hpp"
+
+namespace pnp::graph {
+
+/// Build the flow graph of an entire module (typically the single-function
+/// module produced by ir::extract_function).
+///
+/// Construction rules (mirroring PROGRAML):
+///  - every instruction becomes an Instruction node, text "opcode type"
+///    (calls use "call @callee");
+///  - every SSA temp / argument / global becomes a Variable node
+///    ("var type" / "global type"); constants get Constant nodes dedup'd
+///    by (type, value) within a function;
+///  - control edges: instruction → next instruction in block, terminator →
+///    successor block heads (position = successor ordinal);
+///  - data edges: def instruction → its variable (position 0), and
+///    variable/constant → user instruction (position = operand index);
+///  - call edges: call site → callee entry instruction and callee ret →
+///    call site; external callees get a stub Instruction node
+///    ("decl @callee").
+FlowGraph build_flow_graph(const ir::Module& m);
+
+/// Flatten a flow graph into the tensor form consumed by the RGCN using
+/// the given vocabulary (unknown tokens map to the OOV id).
+GraphTensors to_tensors(const FlowGraph& g, const Vocabulary& vocab);
+
+}  // namespace pnp::graph

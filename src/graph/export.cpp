@@ -1,0 +1,40 @@
+#include "graph/export.hpp"
+
+#include <sstream>
+
+namespace pnp::graph {
+
+std::string to_dot(const FlowGraph& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name << "\" {\n";
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Node& n = g.node(i);
+    const char* shape = "box";
+    if (n.kind == NodeKind::Variable) shape = "ellipse";
+    if (n.kind == NodeKind::Constant) shape = "diamond";
+    os << "  n" << i << " [label=\"" << n.text << "\", shape=" << shape
+       << "];\n";
+  }
+  for (const auto& e : g.edges()) {
+    const char* color = "black";   // control
+    if (e.rel == EdgeRelation::Data) color = "blue";
+    if (e.rel == EdgeRelation::Call) color = "red";
+    os << "  n" << e.src << " -> n" << e.dst << " [color=" << color << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string summary(const FlowGraph& g) {
+  std::ostringstream os;
+  os << g.name << " nodes=" << g.num_nodes() << " (instr="
+     << g.count_kind(NodeKind::Instruction)
+     << " var=" << g.count_kind(NodeKind::Variable)
+     << " const=" << g.count_kind(NodeKind::Constant) << ") edges="
+     << g.num_edges() << " (ctl=" << g.count_relation(EdgeRelation::Control)
+     << " data=" << g.count_relation(EdgeRelation::Data)
+     << " call=" << g.count_relation(EdgeRelation::Call) << ")";
+  return os.str();
+}
+
+}  // namespace pnp::graph

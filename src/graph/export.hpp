@@ -1,0 +1,19 @@
+#pragma once
+
+/// \file export.hpp
+/// Debug/visualization export of flow graphs.
+
+#include <string>
+
+#include "graph/flow_graph.hpp"
+
+namespace pnp::graph {
+
+/// Graphviz dot rendering: node shapes per kind, edge colors per relation.
+std::string to_dot(const FlowGraph& g);
+
+/// Compact one-line summary, e.g.
+/// "gemm:r0 nodes=87 (instr=52 var=24 const=11) edges=140 (ctl=58 data=74 call=8)".
+std::string summary(const FlowGraph& g);
+
+}  // namespace pnp::graph

@@ -1,0 +1,40 @@
+#include "graph/flow_graph.hpp"
+
+#include "common/error.hpp"
+
+namespace pnp::graph {
+
+int FlowGraph::add_node(NodeKind kind, std::string text) {
+  nodes_.push_back(Node{kind, std::move(text)});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void FlowGraph::add_edge(int src, int dst, EdgeRelation rel, int position) {
+  PNP_CHECK_MSG(src >= 0 && src < num_nodes() && dst >= 0 && dst < num_nodes(),
+                "edge endpoint out of range: " << src << " -> " << dst);
+  edges_.push_back(Edge{src, dst, rel, position});
+}
+
+int FlowGraph::count_kind(NodeKind k) const {
+  int c = 0;
+  for (const auto& n : nodes_)
+    if (n.kind == k) ++c;
+  return c;
+}
+
+int FlowGraph::count_relation(EdgeRelation r) const {
+  int c = 0;
+  for (const auto& e : edges_)
+    if (e.rel == r) ++c;
+  return c;
+}
+
+std::vector<int> GraphTensors::in_degree(int relation) const {
+  PNP_CHECK(relation >= 0 && relation < kNumModelRelations);
+  std::vector<int> deg(static_cast<std::size_t>(num_nodes), 0);
+  for (const auto& [src, dst] : rel_edges[static_cast<std::size_t>(relation)])
+    ++deg[static_cast<std::size_t>(dst)];
+  return deg;
+}
+
+}  // namespace pnp::graph

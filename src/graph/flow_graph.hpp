@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file flow_graph.hpp
+/// The flow-aware program multigraph of PROGRAML (Cummins et al., ICML'21),
+/// as used by the paper (§II-A, §III-A): one vertex per instruction,
+/// separate vertices for variables and constants, and typed edges for
+/// control, data, and call flow.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnp::graph {
+
+enum class NodeKind : std::uint8_t {
+  Instruction = 0,
+  Variable = 1,
+  Constant = 2,
+};
+inline constexpr int kNumNodeKinds = 3;
+
+enum class EdgeRelation : std::uint8_t {
+  Control = 0,  ///< instruction → instruction program order / branches
+  Data = 1,     ///< def: instruction → variable; use: variable/const → instr
+  Call = 2,     ///< call site ↔ callee entry/exit
+};
+inline constexpr int kNumEdgeRelations = 3;
+
+/// Number of relations the GNN sees: each edge type contributes a forward
+/// and a backward relation (RGCN with inverse relations).
+inline constexpr int kNumModelRelations = 2 * kNumEdgeRelations;
+
+struct Node {
+  NodeKind kind = NodeKind::Instruction;
+  /// The node's text token, e.g. "fmul f64", "var i64", "const f64".
+  /// This is what the vocabulary embeds (the paper's "IR code block" node
+  /// feature).
+  std::string text;
+};
+
+struct Edge {
+  int src = -1;
+  int dst = -1;
+  EdgeRelation rel = EdgeRelation::Control;
+  /// Operand position (data) or successor ordinal (control); keeps the
+  /// construction deterministic and testable.
+  int position = 0;
+};
+
+/// A flow-aware multigraph for one OpenMP region.
+class FlowGraph {
+ public:
+  std::string name;
+
+  int add_node(NodeKind kind, std::string text);
+  void add_edge(int src, int dst, EdgeRelation rel, int position = 0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  const Node& node(int i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Count of nodes of a given kind.
+  int count_kind(NodeKind k) const;
+
+  /// Count of edges of a given relation.
+  int count_relation(EdgeRelation r) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+/// Edge lists regrouped per model relation (3 edge types × 2 directions) —
+/// the compact form consumed by the RGCN. Relation index = 2*rel + dir,
+/// dir 0 = forward (src→dst as stored), dir 1 = reversed.
+struct GraphTensors {
+  std::string name;
+  int num_nodes = 0;
+  std::vector<int> token;  ///< vocabulary id per node
+  std::vector<int> kind;   ///< NodeKind per node as int
+  /// For each model relation: list of (source, target) pairs meaning
+  /// "target aggregates source".
+  std::array<std::vector<std::pair<int, int>>, kNumModelRelations> rel_edges;
+
+  /// In-degree of each node under one model relation (normalization
+  /// constants c_{i,r} of the RGCN).
+  std::vector<int> in_degree(int relation) const;
+};
+
+}  // namespace pnp::graph

@@ -1,0 +1,42 @@
+#include "graph/vocab.hpp"
+
+#include "common/error.hpp"
+#include "graph/flow_graph.hpp"
+
+namespace pnp::graph {
+
+Vocabulary::Vocabulary() { token_of_id_.push_back("<oov>"); }
+
+int Vocabulary::add(const std::string& token) {
+  auto it = id_of_token_.find(token);
+  if (it != id_of_token_.end()) return it->second;
+  const int id = static_cast<int>(token_of_id_.size());
+  id_of_token_[token] = id;
+  token_of_id_.push_back(token);
+  return id;
+}
+
+int Vocabulary::id_or_oov(const std::string& token) const {
+  auto it = id_of_token_.find(token);
+  return it == id_of_token_.end() ? 0 : it->second;
+}
+
+bool Vocabulary::contains(const std::string& token) const {
+  return id_of_token_.count(token) != 0;
+}
+
+const std::string& Vocabulary::token(int id) const {
+  PNP_CHECK(id >= 0 && id < size());
+  return token_of_id_[static_cast<std::size_t>(id)];
+}
+
+Vocabulary Vocabulary::from_graphs(const std::vector<const FlowGraph*>& corpus) {
+  Vocabulary v;
+  for (const FlowGraph* g : corpus) {
+    PNP_CHECK(g != nullptr);
+    for (const auto& n : g->nodes()) v.add(n.text);
+  }
+  return v;
+}
+
+}  // namespace pnp::graph

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file vocab.hpp
+/// Token vocabulary for node texts. The embedding step of the paper
+/// ("the code region IRs are used to generate an embedding [that] maps IR
+/// text to tensors") is realized as a learned embedding table indexed by
+/// these token ids.
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pnp::graph {
+
+class FlowGraph;
+
+/// Deterministic token → id mapping with an out-of-vocabulary bucket at
+/// id 0. Built from a training corpus so LOOCV folds can exercise OOV
+/// handling on held-out applications.
+class Vocabulary {
+ public:
+  Vocabulary();
+
+  /// Register a token (no-op if present); returns its id.
+  int add(const std::string& token);
+
+  /// Id of a token, or the OOV id (0) when unknown.
+  int id_or_oov(const std::string& token) const;
+
+  /// True if the token is known.
+  bool contains(const std::string& token) const;
+
+  /// Number of ids including the OOV bucket.
+  int size() const { return static_cast<int>(token_of_id_.size()); }
+
+  /// The token string for an id (OOV id yields "<oov>").
+  const std::string& token(int id) const;
+
+  /// Build a vocabulary from the node texts of a corpus of graphs,
+  /// inserting tokens in first-seen order for determinism.
+  static Vocabulary from_graphs(const std::vector<const FlowGraph*>& corpus);
+
+ private:
+  std::map<std::string, int> id_of_token_;
+  std::vector<std::string> token_of_id_;
+};
+
+}  // namespace pnp::graph

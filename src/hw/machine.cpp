@@ -1,0 +1,82 @@
+#include "hw/machine.hpp"
+
+#include "common/error.hpp"
+
+namespace pnp::hw {
+
+double MachineModel::l3_total_bytes(int sockets_used) const {
+  return l3_mib_per_socket * 1024.0 * 1024.0 * sockets_used;
+}
+
+double MachineModel::l2_total_bytes(int cores_used) const {
+  return l2_kib_per_core * 1024.0 * cores_used;
+}
+
+double MachineModel::l1_total_bytes(int cores_used) const {
+  return l1d_kib_per_core * 1024.0 * cores_used;
+}
+
+double MachineModel::power_demand_w(int active_cores, int sockets_used,
+                                    double f_ghz, double activity) const {
+  PNP_CHECK(active_cores >= 0 && active_cores <= total_cores());
+  PNP_CHECK(sockets_used >= 0 && sockets_used <= sockets);
+  const double per_core =
+      alpha_w_per_core * f_ghz * f_ghz * f_ghz + beta_w_per_core * f_ghz;
+  const double act = 0.35 + 0.65 * activity;  // stalled cores still clock
+  return p_static_w + p_uncore_per_socket_w * sockets_used +
+         active_cores * per_core * act;
+}
+
+MachineModel MachineModel::skylake() {
+  MachineModel m;
+  m.name = "skylake";
+  m.sockets = 2;
+  m.cores_per_socket = 16;
+  m.smt_per_core = 2;
+  m.fmin_ghz = 0.8;
+  m.fmax_ghz = 3.7;
+  m.fstep_ghz = 0.1;
+  m.l1d_kib_per_core = 32.0;
+  m.l2_kib_per_core = 1024.0;
+  m.l3_mib_per_socket = 22.0;
+  m.mem_bw_gbs_per_socket = 100.0;
+  m.p_static_w = 18.0;
+  m.p_uncore_per_socket_w = 7.0;
+  // Calibrated so that all 32 cores at ~2.6 GHz demand ≈ TDP (150 W) and
+  // tightening the cap to 75 W forces all-core frequency to ≈ 1.3 GHz.
+  m.alpha_w_per_core = 0.166;
+  m.beta_w_per_core = 0.30;
+  m.tdp_w = 150.0;
+  m.min_cap_w = 75.0;
+  m.flops_per_cycle_per_core = 16.0;
+  m.smt_throughput_gain = 1.25;
+  return m;
+}
+
+MachineModel MachineModel::haswell() {
+  MachineModel m;
+  m.name = "haswell";
+  m.sockets = 2;
+  m.cores_per_socket = 8;
+  m.smt_per_core = 2;
+  m.fmin_ghz = 0.8;
+  m.fmax_ghz = 3.2;
+  m.fstep_ghz = 0.1;
+  m.l1d_kib_per_core = 32.0;
+  m.l2_kib_per_core = 256.0;
+  m.l3_mib_per_socket = 20.0;
+  m.mem_bw_gbs_per_socket = 59.0;
+  m.p_static_w = 10.0;
+  m.p_uncore_per_socket_w = 5.0;
+  // Calibrated so that 16 cores at ~2.4 GHz demand ≈ TDP (85 W) and a
+  // 40 W cap forces all-core frequency to ≈ 1.1 GHz.
+  m.alpha_w_per_core = 0.242;
+  m.beta_w_per_core = 0.30;
+  m.tdp_w = 85.0;
+  m.min_cap_w = 40.0;
+  m.flops_per_cycle_per_core = 8.0;
+  m.smt_throughput_gain = 1.25;
+  return m;
+}
+
+}  // namespace pnp::hw

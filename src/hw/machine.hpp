@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file machine.hpp
+/// Parameterized analytical models of the paper's two experimental
+/// platforms (§IV-A):
+///   - "Skylake": Intel Xeon Gold 6142, 2 sockets × 16 cores, 2-way SMT,
+///     package power 75 W (min cap) … 150 W (TDP);
+///   - "Haswell": Intel Xeon E5-2630 v3, 2 sockets × 8 cores, 2-way SMT,
+///     package power 40 W (min cap) … 85 W (TDP).
+///
+/// The model covers exactly what the tuning problem needs: how the
+/// sustainable core frequency falls as the RAPL package cap tightens and
+/// the active-core count grows (cube-law dynamic power), how much compute
+/// and memory bandwidth a configuration can draw, and cache capacities for
+/// the miss model. See DESIGN.md §4.4 for the substitution rationale.
+
+#include <string>
+
+namespace pnp::hw {
+
+struct MachineModel {
+  std::string name;
+
+  // Topology.
+  int sockets = 2;
+  int cores_per_socket = 16;
+  int smt_per_core = 2;
+
+  // Frequency ladder (GHz).
+  double fmin_ghz = 0.8;
+  double fmax_ghz = 3.7;
+  double fstep_ghz = 0.1;
+
+  // Cache capacities.
+  double l1d_kib_per_core = 32.0;
+  double l2_kib_per_core = 1024.0;
+  double l3_mib_per_socket = 22.0;
+
+  // Memory subsystem.
+  double mem_bw_gbs_per_socket = 100.0;
+  double numa_remote_factor = 0.85;  ///< bandwidth retained across sockets
+
+  // Power model: P(cap demand) = p_static + sockets_used * p_uncore +
+  //              active_cores * (alpha·f³ + beta·f).
+  double p_static_w = 18.0;
+  double p_uncore_per_socket_w = 7.0;
+  double alpha_w_per_core = 0.166;  ///< f in GHz
+  double beta_w_per_core = 0.30;
+
+  // Package limits (per Table I of the paper).
+  double tdp_w = 150.0;
+  double min_cap_w = 75.0;
+
+  // Core throughput.
+  double flops_per_cycle_per_core = 16.0;  ///< vector FMA peak
+  double smt_throughput_gain = 1.25;       ///< 2nd hyperthread yield
+
+  int total_cores() const { return sockets * cores_per_socket; }
+  int max_threads() const { return total_cores() * smt_per_core; }
+  double l3_total_bytes(int sockets_used) const;
+  double l2_total_bytes(int cores_used) const;
+  double l1_total_bytes(int cores_used) const;
+
+  /// Package power demanded when `active_cores` run at `f_ghz` with the
+  /// given core-activity factor in [0,1] (memory-stalled cores draw less).
+  double power_demand_w(int active_cores, int sockets_used, double f_ghz,
+                        double activity = 1.0) const;
+
+  /// The Xeon Gold 6142 node of the paper.
+  static MachineModel skylake();
+  /// The Xeon E5-2630 v3 node of the paper.
+  static MachineModel haswell();
+};
+
+}  // namespace pnp::hw

@@ -1,0 +1,51 @@
+#include "hw/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::hw {
+
+PowerCapController::PowerCapController(const MachineModel& machine)
+    : machine_(machine), cap_w_(machine.tdp_w) {}
+
+double PowerCapController::set_cap_watts(double watts) {
+  cap_w_ = std::clamp(watts, machine_.min_cap_w, machine_.tdp_w);
+  return cap_w_;
+}
+
+double PowerCapController::max_frequency_ghz(int active_cores,
+                                             int sockets_used) const {
+  return max_frequency_ghz(machine_, cap_w_, active_cores, sockets_used);
+}
+
+double PowerCapController::max_frequency_ghz(const MachineModel& m,
+                                             double cap_w, int active_cores,
+                                             int sockets_used) {
+  PNP_CHECK(active_cores >= 1 && sockets_used >= 1);
+  // Walk the ladder downward until the demand fits. Demand is evaluated at
+  // full activity — RAPL must budget for the worst case within its window.
+  double f = m.fmax_ghz;
+  while (f > m.fmin_ghz + 1e-9 &&
+         m.power_demand_w(active_cores, sockets_used, f) > cap_w)
+    f -= m.fstep_ghz;
+  return std::max(f, m.fmin_ghz);
+}
+
+void EnergyMeter::accumulate(double watts, double seconds) {
+  PNP_CHECK(watts >= 0.0 && seconds >= 0.0);
+  joules_ += watts * seconds;
+  seconds_ += seconds;
+}
+
+double EnergyMeter::average_power_w() const {
+  return seconds_ > 0.0 ? joules_ / seconds_ : 0.0;
+}
+
+void EnergyMeter::reset() {
+  joules_ = 0.0;
+  seconds_ = 0.0;
+}
+
+}  // namespace pnp::hw

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file power.hpp
+/// The Variorum/RAPL facade (paper §II-B, §III-C): package power capping
+/// and energy accounting, plus the PAPI-like counter record.
+///
+/// On the authors' testbed this is `variorum_cap_best_effort_node_power_limit`
+/// over Intel MSRs; here the same interface is served by the analytical
+/// machine model: a cap determines the highest frequency-ladder point whose
+/// package power demand stays within budget at the active core count.
+
+#include <cstdint>
+
+#include "hw/machine.hpp"
+
+namespace pnp::hw {
+
+/// Simulated-RAPL package power controller for one machine.
+class PowerCapController {
+ public:
+  explicit PowerCapController(const MachineModel& machine);
+
+  /// Set the package cap in watts; clamped to [min_cap_w, tdp_w].
+  /// Returns the applied (clamped) value — mirroring best-effort capping.
+  double set_cap_watts(double watts);
+
+  double cap_watts() const { return cap_w_; }
+
+  /// Highest ladder frequency sustainable with `active_cores` running
+  /// compute-heavy code under the current cap. Never below fmin.
+  double max_frequency_ghz(int active_cores, int sockets_used) const;
+
+  /// Same, for an explicit cap (stateless helper).
+  static double max_frequency_ghz(const MachineModel& m, double cap_w,
+                                  int active_cores, int sockets_used);
+
+  const MachineModel& machine() const { return machine_; }
+
+ private:
+  const MachineModel& machine_;
+  double cap_w_;
+};
+
+/// The five performance counters the paper's dynamic variant feeds to the
+/// dense layers (§IV-B): L1/L2/L3 cache misses, instructions, and
+/// mispredicted branches.
+struct Counters {
+  double instructions = 0.0;
+  double l1_misses = 0.0;
+  double l2_misses = 0.0;
+  double l3_misses = 0.0;
+  double branch_mispredictions = 0.0;
+};
+
+/// Accumulates energy over (power, duration) intervals — the RAPL energy
+/// MSR analogue used by the EDP experiments.
+class EnergyMeter {
+ public:
+  /// Record an interval of `seconds` at `watts`.
+  void accumulate(double watts, double seconds);
+
+  double joules() const { return joules_; }
+  double seconds() const { return seconds_; }
+
+  /// Mean power over everything recorded so far (0 if nothing recorded).
+  double average_power_w() const;
+
+  void reset();
+
+ private:
+  double joules_ = 0.0;
+  double seconds_ = 0.0;
+};
+
+}  // namespace pnp::hw

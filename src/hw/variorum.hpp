@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file variorum.hpp
+/// A Variorum-flavoured C-style facade over the power substrate
+/// (paper §II-B / §III-C: "we used Variorum APIs to interface with RAPL and
+/// device MSRs to constrain power"). Downstream code written against
+/// LLNL Variorum's vocabulary can port to the simulator by swapping
+/// headers: the functions mirror variorum_cap_best_effort_node_power_limit,
+/// variorum_print_power, and the monitoring entry points, returning 0 on
+/// success like the original.
+///
+/// The facade holds one NodePowerDomain per modeled node; the OO interface
+/// underneath (PowerCapController / EnergyMeter) remains the primary API.
+
+#include <string>
+
+#include "hw/machine.hpp"
+#include "hw/power.hpp"
+
+namespace pnp::hw::variorum {
+
+/// One node's power-management state (package domain only, like the
+/// paper's CPU capping). Owns a copy of the machine model so callers may
+/// pass temporaries (PowerCapController itself only borrows).
+class NodePowerDomain {
+ public:
+  explicit NodePowerDomain(MachineModel machine)
+      : machine_(std::move(machine)), controller_(machine_) {}
+
+  // The controller borrows machine_; this type must not be moved/copied.
+  NodePowerDomain(const NodePowerDomain&) = delete;
+  NodePowerDomain& operator=(const NodePowerDomain&) = delete;
+
+  PowerCapController& controller() { return controller_; }
+  const PowerCapController& controller() const { return controller_; }
+  EnergyMeter& meter() { return meter_; }
+  const EnergyMeter& meter() const { return meter_; }
+
+ private:
+  MachineModel machine_;
+  PowerCapController controller_;
+  EnergyMeter meter_;
+};
+
+/// Best-effort node power cap, clamped to the machine's [min_cap, TDP]
+/// window. Returns 0 on success (Variorum convention); the applied value
+/// is written to *applied_watts when non-null.
+inline int cap_best_effort_node_power_limit(NodePowerDomain& node,
+                                            double watts,
+                                            double* applied_watts = nullptr) {
+  const double applied = node.controller().set_cap_watts(watts);
+  if (applied_watts != nullptr) *applied_watts = applied;
+  return 0;
+}
+
+/// Current package power limit in watts.
+inline int get_node_power_limit(const NodePowerDomain& node, double* watts) {
+  if (watts == nullptr) return -1;
+  *watts = node.controller().cap_watts();
+  return 0;
+}
+
+/// Accumulated package energy (the RAPL energy MSR analogue).
+inline int get_node_energy_joules(const NodePowerDomain& node,
+                                  double* joules) {
+  if (joules == nullptr) return -1;
+  *joules = node.meter().joules();
+  return 0;
+}
+
+/// Human-readable power summary, à la variorum_print_power().
+inline std::string print_power(const NodePowerDomain& node) {
+  const auto& m = node.controller().machine();
+  std::string s = "node=" + m.name;
+  s += " cap=" + std::to_string(node.controller().cap_watts()) + "W";
+  s += " tdp=" + std::to_string(m.tdp_w) + "W";
+  s += " min=" + std::to_string(m.min_cap_w) + "W";
+  s += " energy=" + std::to_string(node.meter().joules()) + "J";
+  return s;
+}
+
+}  // namespace pnp::hw::variorum

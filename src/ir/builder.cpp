@@ -1,0 +1,229 @@
+#include "ir/builder.hpp"
+
+#include "common/error.hpp"
+
+namespace pnp::ir {
+
+Builder::Builder(Module& module, Function& function)
+    : module_(module), fn_(function) {
+  if (!fn_.blocks.empty()) cur_block_ = 0;
+}
+
+int Builder::add_block(const std::string& name) {
+  PNP_CHECK_MSG(fn_.block_index(name) < 0,
+                "duplicate block name '" << name << "'");
+  fn_.blocks.push_back(BasicBlock{name, {}});
+  return static_cast<int>(fn_.blocks.size()) - 1;
+}
+
+void Builder::set_block(int block_index) {
+  PNP_CHECK(block_index >= 0 &&
+            block_index < static_cast<int>(fn_.blocks.size()));
+  cur_block_ = block_index;
+}
+
+BasicBlock& Builder::block() {
+  PNP_CHECK_MSG(cur_block_ >= 0, "no insertion block set");
+  return fn_.blocks[static_cast<std::size_t>(cur_block_)];
+}
+
+Value Builder::arg(int index) const {
+  PNP_CHECK(index >= 0 && index < static_cast<int>(fn_.args.size()));
+  return Value::arg(index, fn_.args[static_cast<std::size_t>(index)].type);
+}
+
+Value Builder::global(const std::string& name) const {
+  const int idx = module_.global_index(name);
+  PNP_CHECK_MSG(idx >= 0, "unknown global '@" << name << "'");
+  return Value::global(idx);
+}
+
+Value Builder::append(Instruction instr) {
+  const bool produces =
+      instr.type != Type::Void || instr.op == Opcode::Alloca;
+  Value result;
+  if (produces) {
+    instr.result = fn_.next_temp++;
+    const Type result_type =
+        (instr.op == Opcode::Alloca) ? Type::Ptr : instr.type;
+    result = Value::temp(instr.result, result_type);
+  }
+  block().instrs.push_back(std::move(instr));
+  return result;
+}
+
+Value Builder::alloca_(Type elem) {
+  Instruction in;
+  in.op = Opcode::Alloca;
+  in.type = elem;
+  return append(std::move(in));
+}
+
+Value Builder::load(Type t, Value ptr) {
+  PNP_CHECK_MSG(ptr.type == Type::Ptr, "load pointer operand must be ptr");
+  Instruction in;
+  in.op = Opcode::Load;
+  in.type = t;
+  in.operands = {ptr};
+  return append(std::move(in));
+}
+
+void Builder::store(Value value, Value ptr) {
+  PNP_CHECK_MSG(ptr.type == Type::Ptr, "store pointer operand must be ptr");
+  Instruction in;
+  in.op = Opcode::Store;
+  in.type = Type::Void;
+  in.operands = {value, ptr};
+  append(std::move(in));
+}
+
+Value Builder::gep(Value ptr, Value index) {
+  PNP_CHECK_MSG(ptr.type == Type::Ptr, "gep base must be ptr");
+  Instruction in;
+  in.op = Opcode::Gep;
+  in.type = Type::Ptr;
+  in.operands = {ptr, index};
+  // Gep's `type` is the result type (ptr); append() keys result creation on
+  // non-void type.
+  in.type = Type::Ptr;
+  return append(std::move(in));
+}
+
+Value Builder::gep2(Value ptr, Value i0, Value i1) {
+  PNP_CHECK_MSG(ptr.type == Type::Ptr, "gep base must be ptr");
+  Instruction in;
+  in.op = Opcode::Gep;
+  in.type = Type::Ptr;
+  in.operands = {ptr, i0, i1};
+  return append(std::move(in));
+}
+
+Value Builder::binop(Opcode op, Value lhs, Value rhs) {
+  PNP_CHECK_MSG(lhs.type == rhs.type,
+                "binop operand types differ: " << type_name(lhs.type) << " vs "
+                                               << type_name(rhs.type));
+  Instruction in;
+  in.op = op;
+  in.type = lhs.type;
+  in.operands = {lhs, rhs};
+  return append(std::move(in));
+}
+
+Value Builder::icmp(const std::string& predicate, Value lhs, Value rhs) {
+  PNP_CHECK(lhs.type == rhs.type && is_integer(lhs.type));
+  Instruction in;
+  in.op = Opcode::ICmp;
+  in.type = Type::I1;
+  in.aux = predicate;
+  in.operands = {lhs, rhs};
+  return append(std::move(in));
+}
+
+Value Builder::fcmp(const std::string& predicate, Value lhs, Value rhs) {
+  PNP_CHECK(lhs.type == rhs.type && is_float(lhs.type));
+  Instruction in;
+  in.op = Opcode::FCmp;
+  in.type = Type::I1;
+  in.aux = predicate;
+  in.operands = {lhs, rhs};
+  return append(std::move(in));
+}
+
+Value Builder::select(Value cond, Value a, Value b) {
+  PNP_CHECK(cond.type == Type::I1 && a.type == b.type);
+  Instruction in;
+  in.op = Opcode::Select;
+  in.type = a.type;
+  in.operands = {cond, a, b};
+  return append(std::move(in));
+}
+
+Value Builder::cast(Opcode op, Type to, Value v) {
+  Instruction in;
+  in.op = op;
+  in.type = to;
+  in.operands = {v};
+  return append(std::move(in));
+}
+
+Value Builder::phi(Type t, const std::vector<std::pair<Value, int>>& incoming) {
+  Instruction in;
+  in.op = Opcode::Phi;
+  in.type = t;
+  for (const auto& [v, blk] : incoming) {
+    in.operands.push_back(v);
+    in.operands.push_back(Value::block(blk));
+  }
+  return append(std::move(in));
+}
+
+void Builder::phi_add_incoming(Value phi_result, Value incoming,
+                               int block_index) {
+  PNP_CHECK(phi_result.kind == Value::Kind::Temp);
+  for (auto& b : fn_.blocks) {
+    for (auto& in : b.instrs) {
+      if (in.op == Opcode::Phi && in.result == phi_result.index) {
+        in.operands.push_back(incoming);
+        in.operands.push_back(Value::block(block_index));
+        return;
+      }
+    }
+  }
+  PNP_CHECK_MSG(false, "phi %" << phi_result.index << " not found");
+}
+
+void Builder::br(int block_index) {
+  Instruction in;
+  in.op = Opcode::Br;
+  in.operands = {Value::block(block_index)};
+  append(std::move(in));
+}
+
+void Builder::condbr(Value cond, int then_block, int else_block) {
+  PNP_CHECK(cond.type == Type::I1);
+  Instruction in;
+  in.op = Opcode::CondBr;
+  in.operands = {cond, Value::block(then_block), Value::block(else_block)};
+  append(std::move(in));
+}
+
+void Builder::ret() {
+  Instruction in;
+  in.op = Opcode::Ret;
+  append(std::move(in));
+}
+
+void Builder::ret(Value v) {
+  Instruction in;
+  in.op = Opcode::Ret;
+  in.operands = {v};
+  append(std::move(in));
+}
+
+Value Builder::call(Type ret_type, const std::string& callee,
+                    const std::vector<Value>& args) {
+  Instruction in;
+  in.op = Opcode::Call;
+  in.type = ret_type;
+  in.aux = callee;
+  in.operands = args;
+  return append(std::move(in));
+}
+
+void Builder::atomicrmw(const std::string& operation, Value ptr, Value value) {
+  PNP_CHECK(ptr.type == Type::Ptr);
+  Instruction in;
+  in.op = Opcode::AtomicRMW;
+  in.type = Type::Void;
+  in.aux = operation;
+  in.operands = {ptr, value};
+  append(std::move(in));
+}
+
+void Builder::barrier() {
+  Instruction in;
+  in.op = Opcode::Barrier;
+  append(std::move(in));
+}
+
+}  // namespace pnp::ir

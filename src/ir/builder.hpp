@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file builder.hpp
+/// Convenience API for constructing mini-IR functions, in the spirit of
+/// llvm::IRBuilder. The workload suite's IR synthesizer is built on top of
+/// this.
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace pnp::ir {
+
+/// Builds instructions into a current insertion block of one function.
+/// The builder owns temp-id allocation for the function it targets.
+class Builder {
+ public:
+  /// Target an existing function inside `module`. The function must outlive
+  /// the builder.
+  Builder(Module& module, Function& function);
+
+  /// Create a new basic block; does not change the insertion point.
+  /// Returns the block index.
+  int add_block(const std::string& name);
+
+  /// Set the insertion point to the given block index.
+  void set_block(int block_index);
+
+  /// Current insertion block index.
+  int current_block() const { return cur_block_; }
+
+  // --- Value factories -----------------------------------------------
+  Value arg(int index) const;
+  Value global(const std::string& name) const;
+  Value ci64(std::int64_t v) const { return Value::const_int(v, Type::I64); }
+  Value ci32(std::int64_t v) const { return Value::const_int(v, Type::I32); }
+  Value cf64(double v) const { return Value::const_float(v, Type::F64); }
+
+  // --- Memory ---------------------------------------------------------
+  Value alloca_(Type elem);
+  Value load(Type t, Value ptr);
+  void store(Value value, Value ptr);
+  Value gep(Value ptr, Value index);
+  Value gep2(Value ptr, Value i0, Value i1);
+
+  // --- Arithmetic -----------------------------------------------------
+  Value binop(Opcode op, Value lhs, Value rhs);
+  Value add(Value a, Value b) { return binop(Opcode::Add, a, b); }
+  Value sub(Value a, Value b) { return binop(Opcode::Sub, a, b); }
+  Value mul(Value a, Value b) { return binop(Opcode::Mul, a, b); }
+  Value sdiv(Value a, Value b) { return binop(Opcode::SDiv, a, b); }
+  Value srem(Value a, Value b) { return binop(Opcode::SRem, a, b); }
+  Value fadd(Value a, Value b) { return binop(Opcode::FAdd, a, b); }
+  Value fsub(Value a, Value b) { return binop(Opcode::FSub, a, b); }
+  Value fmul(Value a, Value b) { return binop(Opcode::FMul, a, b); }
+  Value fdiv(Value a, Value b) { return binop(Opcode::FDiv, a, b); }
+
+  /// Integer comparison; predicate ∈ {eq,ne,slt,sle,sgt,sge}.
+  Value icmp(const std::string& predicate, Value lhs, Value rhs);
+  /// Float comparison; predicate ∈ {oeq,one,olt,ole,ogt,oge}.
+  Value fcmp(const std::string& predicate, Value lhs, Value rhs);
+
+  Value select(Value cond, Value a, Value b);
+  Value cast(Opcode op, Type to, Value v);
+  Value sitofp(Value v, Type to = Type::F64) { return cast(Opcode::SIToFP, to, v); }
+  Value sext(Value v, Type to = Type::I64) { return cast(Opcode::SExt, to, v); }
+
+  // --- Control flow ----------------------------------------------------
+  /// Phi node; pairs of (incoming value, block index).
+  Value phi(Type t, const std::vector<std::pair<Value, int>>& incoming);
+  /// Add an incoming edge to an existing phi (needed for loop back-edges).
+  void phi_add_incoming(Value phi_result, Value incoming, int block_index);
+  void br(int block_index);
+  void condbr(Value cond, int then_block, int else_block);
+  void ret();
+  void ret(Value v);
+
+  // --- Calls & parallel-runtime ----------------------------------------
+  Value call(Type ret_type, const std::string& callee,
+             const std::vector<Value>& args);
+  void atomicrmw(const std::string& operation, Value ptr, Value value);
+  void barrier();
+
+ private:
+  Value append(Instruction instr);
+  BasicBlock& block();
+
+  Module& module_;
+  Function& fn_;
+  int cur_block_ = -1;
+};
+
+}  // namespace pnp::ir

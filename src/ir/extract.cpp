@@ -1,0 +1,62 @@
+#include "ir/extract.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace pnp::ir {
+
+Module extract_function(const Module& m, const std::string& function_name) {
+  const Function* fn = m.find_function(function_name);
+  PNP_CHECK_MSG(fn != nullptr,
+                "extract: no function '@" << function_name << "' in module '"
+                                          << m.name << "'");
+
+  // Collect referenced globals and callees.
+  std::set<int> used_globals;
+  std::set<std::string> used_callees;
+  for (const auto& b : fn->blocks) {
+    for (const auto& in : b.instrs) {
+      if (in.op == Opcode::Call) used_callees.insert(in.aux);
+      for (const auto& v : in.operands)
+        if (v.kind == Value::Kind::Global) used_globals.insert(v.index);
+    }
+  }
+
+  Module out;
+  out.name = m.name + ":" + function_name;
+
+  // Re-index globals.
+  std::map<int, int> global_remap;
+  for (int gi : used_globals) {
+    global_remap[gi] = static_cast<int>(out.globals.size());
+    out.globals.push_back(m.globals[static_cast<std::size_t>(gi)]);
+  }
+
+  // Referenced callees become declarations (whether they were module
+  // functions or already external) — exactly llvm-extract's behaviour.
+  for (const auto& callee : used_callees) {
+    if (const Function* cf = m.find_function(callee)) {
+      Declaration d;
+      d.name = cf->name;
+      d.ret = cf->ret;
+      for (const auto& a : cf->args) d.params.push_back(a.type);
+      out.declarations.push_back(std::move(d));
+    } else {
+      for (const auto& d : m.declarations)
+        if (d.name == callee) out.declarations.push_back(d);
+    }
+  }
+
+  Function copy = *fn;
+  for (auto& b : copy.blocks)
+    for (auto& in : b.instrs)
+      for (auto& v : in.operands)
+        if (v.kind == Value::Kind::Global)
+          v.index = global_remap.at(v.index);
+  out.functions.push_back(std::move(copy));
+  return out;
+}
+
+}  // namespace pnp::ir

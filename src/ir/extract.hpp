@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file extract.hpp
+/// The `llvm-extract` equivalent (paper §III-A): carve one outlined OpenMP
+/// region function out of an application module, together with the globals
+/// and external declarations it references. The resulting single-function
+/// module is what the flow-graph builder consumes.
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace pnp::ir {
+
+/// Extract `function_name` (plus referenced globals/declarations) from `m`
+/// into a fresh module named `<m.name>:<function_name>`.
+/// Throws pnp::Error if the function does not exist.
+Module extract_function(const Module& m, const std::string& function_name);
+
+}  // namespace pnp::ir

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file instruction.hpp
+/// Instructions and operand references of the mini-IR.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/type.hpp"
+
+namespace pnp::ir {
+
+enum class Opcode : std::uint8_t {
+  // Memory
+  Alloca, Load, Store, Gep,
+  // Integer arithmetic
+  Add, Sub, Mul, SDiv, SRem, And, Or, Xor, Shl, LShr,
+  // Floating-point arithmetic
+  FAdd, FSub, FMul, FDiv,
+  // Comparisons
+  ICmp, FCmp,
+  // Conversions
+  Trunc, SExt, ZExt, SIToFP, FPToSI, FPExt, FPTrunc,
+  // Control and data flow
+  Select, Phi, Br, CondBr, Ret, Call,
+  // Parallel-runtime constructs (what an OpenMP lowering leaves behind)
+  AtomicRMW, Barrier,
+};
+
+/// Mnemonic text of an opcode (also the node token used by pnp::graph).
+std::string_view opcode_name(Opcode op);
+
+/// Parse a mnemonic; returns true on success.
+bool parse_opcode(std::string_view name, Opcode& out);
+
+/// True for instructions that end a basic block.
+constexpr bool is_terminator(Opcode op) {
+  return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+/// A reference to an SSA value, function argument, global, constant, or
+/// basic block (blocks appear as operands of branches and phis).
+struct Value {
+  enum class Kind : std::uint8_t {
+    None, Temp, Arg, Global, ConstInt, ConstFloat, Block,
+  };
+
+  Kind kind = Kind::None;
+  Type type = Type::Void;
+  int index = -1;            ///< temp id / arg index / global index / block index
+  std::int64_t ival = 0;     ///< ConstInt payload
+  double fval = 0.0;         ///< ConstFloat payload
+
+  static Value temp(int id, Type t) { return {Kind::Temp, t, id, 0, 0.0}; }
+  static Value arg(int idx, Type t) { return {Kind::Arg, t, idx, 0, 0.0}; }
+  static Value global(int idx) { return {Kind::Global, Type::Ptr, idx, 0, 0.0}; }
+  static Value const_int(std::int64_t v, Type t = Type::I64) {
+    return {Kind::ConstInt, t, -1, v, 0.0};
+  }
+  static Value const_float(double v, Type t = Type::F64) {
+    return {Kind::ConstFloat, t, -1, 0, v};
+  }
+  static Value block(int idx) { return {Kind::Block, Type::Void, idx, 0, 0.0}; }
+
+  bool is_constant() const {
+    return kind == Kind::ConstInt || kind == Kind::ConstFloat;
+  }
+
+  bool operator==(const Value& o) const {
+    return kind == o.kind && type == o.type && index == o.index &&
+           ival == o.ival && fval == o.fval;
+  }
+};
+
+/// One mini-IR instruction.
+///
+/// Operand conventions by opcode:
+///  - binary ops:   {lhs, rhs}
+///  - Load:         {ptr}
+///  - Store:        {value, ptr}
+///  - Gep:          {ptr, idx...}
+///  - ICmp/FCmp:    {lhs, rhs}, predicate in `aux`
+///  - Select:       {cond, a, b}
+///  - Phi:          {v0, block0, v1, block1, ...}
+///  - Br:           {block}
+///  - CondBr:       {cond, then_block, else_block}
+///  - Ret:          {} or {value}
+///  - Call:         {args...}, callee name in `aux`
+///  - AtomicRMW:    {ptr, value}, operation ("add"/"fadd"/...) in `aux`
+///  - Alloca:       {}, `type` = element type, result is a ptr
+///  - Barrier:      {}
+struct Instruction {
+  Opcode op = Opcode::Barrier;
+  Type type = Type::Void;  ///< result type (element type for Alloca)
+  int result = -1;         ///< defining temp id; -1 when no result
+  std::vector<Value> operands;
+  std::string aux;         ///< predicate / callee / atomic operation
+
+  bool has_result() const { return result >= 0; }
+};
+
+}  // namespace pnp::ir

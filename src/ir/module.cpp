@@ -1,0 +1,103 @@
+#include "ir/module.hpp"
+
+#include <algorithm>
+
+namespace pnp::ir {
+
+namespace {
+
+constexpr struct {
+  Opcode op;
+  std::string_view name;
+} kOpcodeNames[] = {
+    {Opcode::Alloca, "alloca"},   {Opcode::Load, "load"},
+    {Opcode::Store, "store"},     {Opcode::Gep, "gep"},
+    {Opcode::Add, "add"},         {Opcode::Sub, "sub"},
+    {Opcode::Mul, "mul"},         {Opcode::SDiv, "sdiv"},
+    {Opcode::SRem, "srem"},       {Opcode::And, "and"},
+    {Opcode::Or, "or"},           {Opcode::Xor, "xor"},
+    {Opcode::Shl, "shl"},         {Opcode::LShr, "lshr"},
+    {Opcode::FAdd, "fadd"},       {Opcode::FSub, "fsub"},
+    {Opcode::FMul, "fmul"},       {Opcode::FDiv, "fdiv"},
+    {Opcode::ICmp, "icmp"},       {Opcode::FCmp, "fcmp"},
+    {Opcode::Trunc, "trunc"},     {Opcode::SExt, "sext"},
+    {Opcode::ZExt, "zext"},       {Opcode::SIToFP, "sitofp"},
+    {Opcode::FPToSI, "fptosi"},   {Opcode::FPExt, "fpext"},
+    {Opcode::FPTrunc, "fptrunc"}, {Opcode::Select, "select"},
+    {Opcode::Phi, "phi"},         {Opcode::Br, "br"},
+    {Opcode::CondBr, "condbr"},   {Opcode::Ret, "ret"},
+    {Opcode::Call, "call"},       {Opcode::AtomicRMW, "atomicrmw"},
+    {Opcode::Barrier, "barrier"},
+};
+
+}  // namespace
+
+std::string_view opcode_name(Opcode op) {
+  for (const auto& e : kOpcodeNames)
+    if (e.op == op) return e.name;
+  return "?";
+}
+
+bool parse_opcode(std::string_view name, Opcode& out) {
+  for (const auto& e : kOpcodeNames) {
+    if (e.name == name) {
+      out = e.op;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_type(std::string_view name, Type& out) {
+  for (Type t : {Type::Void, Type::I1, Type::I32, Type::I64, Type::F32,
+                 Type::F64, Type::Ptr}) {
+    if (type_name(t) == name) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Function::block_index(std::string_view block_name) const {
+  for (std::size_t i = 0; i < blocks.size(); ++i)
+    if (blocks[i].name == block_name) return static_cast<int>(i);
+  return -1;
+}
+
+std::size_t Function::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& b : blocks) n += b.instrs.size();
+  return n;
+}
+
+int Module::global_index(std::string_view global_name) const {
+  for (std::size_t i = 0; i < globals.size(); ++i)
+    if (globals[i].name == global_name) return static_cast<int>(i);
+  return -1;
+}
+
+const Function* Module::find_function(std::string_view fn_name) const {
+  for (const auto& f : functions)
+    if (f.name == fn_name) return &f;
+  return nullptr;
+}
+
+Function* Module::find_function(std::string_view fn_name) {
+  for (auto& f : functions)
+    if (f.name == fn_name) return &f;
+  return nullptr;
+}
+
+bool Module::is_declared(std::string_view fn_name) const {
+  return std::any_of(declarations.begin(), declarations.end(),
+                     [&](const Declaration& d) { return d.name == fn_name; });
+}
+
+std::size_t Module::instruction_count() const {
+  std::size_t n = 0;
+  for (const auto& f : functions) n += f.instruction_count();
+  return n;
+}
+
+}  // namespace pnp::ir

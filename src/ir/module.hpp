@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file module.hpp
+/// Containers of the mini-IR: basic blocks, functions, globals, modules.
+///
+/// A `Module` corresponds to one application; each OpenMP parallel region
+/// is represented the way Clang leaves it after lowering: an *outlined*
+/// function named `<app>.<region>.omp_outlined`. A synthetic `@<app>.main`
+/// caller provides the call-flow context. `extract.hpp` mirrors
+/// `llvm-extract`, carving a single region (plus the globals/declarations
+/// it references) out of the module for graph construction.
+
+#include <string>
+#include <vector>
+
+#include "ir/instruction.hpp"
+
+namespace pnp::ir {
+
+/// A labeled sequence of instructions ending in a terminator.
+struct BasicBlock {
+  std::string name;  ///< label, e.g. "bb3"
+  std::vector<Instruction> instrs;
+};
+
+/// A typed function argument.
+struct Argument {
+  std::string name;  ///< e.g. "a0"
+  Type type = Type::Ptr;
+};
+
+/// An external function prototype (e.g. `declare f64 @sqrt(f64)`).
+struct Declaration {
+  std::string name;
+  Type ret = Type::Void;
+  std::vector<Type> params;
+};
+
+/// A module-level array/scalar symbol (`global @A f64`). All globals are
+/// addressed through opaque pointers; `elem_type` records the element type.
+struct Global {
+  std::string name;
+  Type elem_type = Type::F64;
+};
+
+/// A function definition.
+struct Function {
+  std::string name;
+  Type ret = Type::Void;
+  std::vector<Argument> args;
+  std::vector<BasicBlock> blocks;
+  int next_temp = 0;  ///< first unused temp id (maintained by the builder)
+
+  /// Index of the block with the given name, or -1.
+  int block_index(std::string_view block_name) const;
+
+  /// Total instruction count across all blocks.
+  std::size_t instruction_count() const;
+};
+
+/// One translation unit / application.
+struct Module {
+  std::string name;
+  std::vector<Global> globals;
+  std::vector<Declaration> declarations;
+  std::vector<Function> functions;
+
+  /// Index of the global with the given name, or -1.
+  int global_index(std::string_view global_name) const;
+
+  /// Pointer to the function with the given name, or nullptr.
+  const Function* find_function(std::string_view fn_name) const;
+  Function* find_function(std::string_view fn_name);
+
+  /// True if `name` is a declared external.
+  bool is_declared(std::string_view fn_name) const;
+
+  /// Total instruction count across all functions.
+  std::size_t instruction_count() const;
+};
+
+}  // namespace pnp::ir

@@ -1,0 +1,442 @@
+#include "ir/parser.hpp"
+
+#include <charconv>
+#include <map>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace pnp::ir {
+
+namespace {
+
+/// Cursor over one instruction line.
+class LineLexer {
+ public:
+  LineLexer(std::string_view s, int line_no) : s_(s), line_(line_no) {}
+
+  bool eof() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+
+  /// Next token: identifier, %name, @name, number, or single punctuation.
+  std::string next() {
+    skip_ws();
+    PNP_CHECK_MSG(pos_ < s_.size(), "line " << line_ << ": unexpected end");
+    const char c = s_[pos_];
+    if (c == '%' || c == '@') {
+      std::size_t j = pos_ + 1;
+      while (j < s_.size() && (std::isalnum(static_cast<unsigned char>(s_[j])) ||
+                               s_[j] == '_' || s_[j] == '.' || s_[j] == '-'))
+        ++j;
+      auto tok = std::string(s_.substr(pos_, j - pos_));
+      pos_ = j;
+      return tok;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.' || c == '_') {
+      std::size_t j = pos_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) || s_[j] == '_' ||
+              s_[j] == '.' || s_[j] == '-' || s_[j] == '+'))
+        ++j;
+      auto tok = std::string(s_.substr(pos_, j - pos_));
+      pos_ = j;
+      return tok;
+    }
+    ++pos_;
+    return std::string(1, c);
+  }
+
+  /// Peek without consuming.
+  std::string peek() {
+    const std::size_t save = pos_;
+    if (eof()) return {};
+    auto t = next();
+    pos_ = save;
+    return t;
+  }
+
+  void expect(std::string_view tok) {
+    auto t = next();
+    PNP_CHECK_MSG(t == tok,
+                  "line " << line_ << ": expected '" << tok << "', got '" << t
+                          << "'");
+  }
+
+  /// Consume `tok` if it is next; returns whether it was consumed.
+  bool accept(std::string_view tok) {
+    const std::size_t save = pos_;
+    if (eof()) return false;
+    if (next() == tok) return true;
+    pos_ = save;
+    return false;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+Type parse_type_tok(const std::string& tok, int line) {
+  Type t;
+  PNP_CHECK_MSG(parse_type(tok, t), "line " << line << ": bad type '" << tok
+                                            << "'");
+  return t;
+}
+
+bool is_number_token(const std::string& tok) {
+  if (tok.empty()) return false;
+  const char c = tok[0];
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+         c == '.';
+}
+
+bool looks_float(const std::string& tok) {
+  return tok.find('.') != std::string::npos ||
+         tok.find('e') != std::string::npos ||
+         tok.find("inf") != std::string::npos ||
+         tok.find("nan") != std::string::npos;
+}
+
+/// Parses one function body; holds name→index maps.
+class FunctionParser {
+ public:
+  FunctionParser(Module& m, Function& fn) : m_(m), fn_(fn) {
+    for (std::size_t i = 0; i < fn_.args.size(); ++i)
+      arg_index_[fn_.args[i].name] = static_cast<int>(i);
+  }
+
+  /// Pre-pass: register block labels so forward branches resolve.
+  void register_block(const std::string& name) {
+    block_index_["%" + name] = static_cast<int>(fn_.blocks.size());
+    fn_.blocks.push_back(BasicBlock{name, {}});
+  }
+
+  void parse_instruction(const std::string& line, int line_no, int block_idx) {
+    LineLexer lex(line, line_no);
+    Instruction in;
+
+    std::string tok = lex.next();
+    if (tok[0] == '%') {
+      // "%tN = ..."
+      PNP_CHECK_MSG(tok.size() > 1 && tok[1] == 't',
+                    "line " << line_no << ": results must be temps, got '"
+                            << tok << "'");
+      in.result = std::stoi(tok.substr(2));
+      lex.expect("=");
+      tok = lex.next();
+    }
+
+    Opcode op;
+    PNP_CHECK_MSG(parse_opcode(tok, op),
+                  "line " << line_no << ": unknown opcode '" << tok << "'");
+    in.op = op;
+
+    switch (op) {
+      case Opcode::Alloca: {
+        in.type = parse_type_tok(lex.next(), line_no);
+        break;
+      }
+      case Opcode::Load: {
+        in.type = parse_type_tok(lex.next(), line_no);
+        in.operands.push_back(value(lex, Type::Ptr));
+        break;
+      }
+      case Opcode::Store: {
+        const Type t = parse_type_tok(lex.next(), line_no);
+        in.operands.push_back(value(lex, t));
+        lex.expect(",");
+        in.operands.push_back(value(lex, Type::Ptr));
+        break;
+      }
+      case Opcode::Gep: {
+        in.type = Type::Ptr;
+        in.operands.push_back(value(lex, Type::Ptr));
+        while (lex.accept(","))
+          in.operands.push_back(value(lex, Type::I64));
+        break;
+      }
+      case Opcode::ICmp:
+      case Opcode::FCmp: {
+        in.aux = lex.next();
+        const Type t = parse_type_tok(lex.next(), line_no);
+        in.type = Type::I1;
+        in.operands.push_back(value(lex, t));
+        lex.expect(",");
+        in.operands.push_back(value(lex, t));
+        break;
+      }
+      case Opcode::Select: {
+        in.type = parse_type_tok(lex.next(), line_no);
+        in.operands.push_back(value(lex, Type::I1));
+        lex.expect(",");
+        in.operands.push_back(value(lex, in.type));
+        lex.expect(",");
+        in.operands.push_back(value(lex, in.type));
+        break;
+      }
+      case Opcode::Phi: {
+        in.type = parse_type_tok(lex.next(), line_no);
+        do {
+          lex.expect("[");
+          in.operands.push_back(value(lex, in.type));
+          lex.expect(",");
+          in.operands.push_back(block_ref(lex));
+          lex.expect("]");
+        } while (lex.accept(","));
+        break;
+      }
+      case Opcode::Br: {
+        in.operands.push_back(block_ref(lex));
+        break;
+      }
+      case Opcode::CondBr: {
+        in.operands.push_back(value(lex, Type::I1));
+        lex.expect(",");
+        in.operands.push_back(block_ref(lex));
+        lex.expect(",");
+        in.operands.push_back(block_ref(lex));
+        break;
+      }
+      case Opcode::Ret: {
+        if (!lex.eof()) {
+          const Type t = parse_type_tok(lex.next(), line_no);
+          in.operands.push_back(value(lex, t));
+        }
+        break;
+      }
+      case Opcode::Call: {
+        in.type = parse_type_tok(lex.next(), line_no);
+        std::string callee = lex.next();
+        PNP_CHECK_MSG(callee[0] == '@',
+                      "line " << line_no << ": call expects @callee");
+        in.aux = callee.substr(1);
+        lex.expect("(");
+        // Parameter types come from the callee's declaration or from an
+        // already-parsed module function (the printer emits callees before
+        // callers, so intra-module signatures are available here).
+        std::vector<Type> params;
+        for (const auto& d : m_.declarations)
+          if (d.name == in.aux) params = d.params;
+        if (params.empty()) {
+          if (const Function* target = m_.find_function(in.aux))
+            for (const auto& a : target->args) params.push_back(a.type);
+        }
+        std::size_t argi = 0;
+        if (!lex.accept(")")) {
+          do {
+            const Type hint =
+                argi < params.size() ? params[argi] : Type::F64;
+            in.operands.push_back(value(lex, hint));
+            ++argi;
+          } while (lex.accept(","));
+          lex.expect(")");
+        }
+        break;
+      }
+      case Opcode::AtomicRMW: {
+        in.aux = lex.next();
+        const Type t = parse_type_tok(lex.next(), line_no);
+        in.operands.push_back(value(lex, Type::Ptr));
+        lex.expect(",");
+        in.operands.push_back(value(lex, t));
+        break;
+      }
+      case Opcode::Barrier:
+        break;
+      default: {
+        // Binary arithmetic / casts: "<op> <type> operand(, operand)".
+        in.type = parse_type_tok(lex.next(), line_no);
+        // Cast source operands keep their own type; constants take the
+        // result type as a best-effort hint.
+        in.operands.push_back(value(lex, in.type));
+        while (lex.accept(","))
+          in.operands.push_back(value(lex, in.type));
+        break;
+      }
+    }
+
+    PNP_CHECK_MSG(lex.eof(), "line " << line_no << ": trailing tokens");
+    if (in.has_result())
+      temp_type_[in.result] =
+          (in.op == Opcode::Alloca) ? Type::Ptr : in.type;
+    fn_.blocks[static_cast<std::size_t>(block_idx)].instrs.push_back(
+        std::move(in));
+  }
+
+  void finalize() {
+    int max_temp = -1;
+    for (const auto& [id, t] : temp_type_) max_temp = std::max(max_temp, id);
+    fn_.next_temp = max_temp + 1;
+  }
+
+ private:
+  Value block_ref(LineLexer& lex) {
+    const std::string tok = lex.next();
+    auto it = block_index_.find(tok);
+    PNP_CHECK_MSG(it != block_index_.end(),
+                  "line " << lex.line() << ": unknown block '" << tok << "'");
+    return Value::block(it->second);
+  }
+
+  Value value(LineLexer& lex, Type hint) {
+    const std::string tok = lex.next();
+    PNP_CHECK_MSG(!tok.empty(), "line " << lex.line() << ": missing operand");
+    if (tok[0] == '@') {
+      const int gi = m_.global_index(tok.substr(1));
+      PNP_CHECK_MSG(gi >= 0, "line " << lex.line() << ": unknown global '"
+                                     << tok << "'");
+      return Value::global(gi);
+    }
+    if (tok[0] == '%') {
+      const std::string name = tok.substr(1);
+      if (auto it = arg_index_.find(name); it != arg_index_.end())
+        return Value::arg(it->second,
+                          fn_.args[static_cast<std::size_t>(it->second)].type);
+      PNP_CHECK_MSG(name.size() > 1 && name[0] == 't',
+                    "line " << lex.line() << ": unknown value '" << tok << "'");
+      const int id = std::stoi(name.substr(1));
+      auto it = temp_type_.find(id);
+      // Forward references only occur through phi back-edges; trust the
+      // phi's declared type (hint) there and fix nothing else.
+      const Type t = (it != temp_type_.end()) ? it->second : hint;
+      return Value::temp(id, t);
+    }
+    PNP_CHECK_MSG(is_number_token(tok),
+                  "line " << lex.line() << ": bad operand '" << tok << "'");
+    if (is_float(hint) || looks_float(tok)) {
+      return Value::const_float(std::stod(tok),
+                                is_float(hint) ? hint : Type::F64);
+    }
+    return Value::const_int(std::stoll(tok),
+                            is_integer(hint) ? hint : Type::I64);
+  }
+
+  Module& m_;
+  Function& fn_;
+  std::map<std::string, int> arg_index_;
+  std::map<std::string, int> block_index_;
+  std::map<int, Type> temp_type_;
+};
+
+}  // namespace
+
+Module parse_module(std::string_view text) {
+  Module m;
+  const auto lines = split(text, '\n');
+  std::size_t i = 0;
+  int line_no = 0;
+  auto next_line = [&]() -> std::optional<std::string> {
+    while (i < lines.size()) {
+      auto t = std::string(trim(lines[i]));
+      ++i;
+      ++line_no;
+      if (t.empty() || starts_with(t, ";")) continue;
+      return t;
+    }
+    return std::nullopt;
+  };
+
+  bool saw_module_header = false;
+  while (auto line_opt = next_line()) {
+    const std::string& line = *line_opt;
+    if (starts_with(line, "module ")) {
+      PNP_CHECK_MSG(!saw_module_header, "line " << line_no
+                                                << ": duplicate module header");
+      saw_module_header = true;
+      const auto q0 = line.find('"');
+      const auto q1 = line.rfind('"');
+      PNP_CHECK_MSG(q0 != std::string::npos && q1 > q0,
+                    "line " << line_no << ": bad module header");
+      m.name = line.substr(q0 + 1, q1 - q0 - 1);
+    } else if (starts_with(line, "global ")) {
+      LineLexer lex(line, line_no);
+      lex.expect("global");
+      std::string name = lex.next();
+      PNP_CHECK_MSG(name[0] == '@', "line " << line_no << ": bad global name");
+      const Type t = parse_type_tok(lex.next(), line_no);
+      m.globals.push_back(Global{name.substr(1), t});
+    } else if (starts_with(line, "declare ")) {
+      LineLexer lex(line, line_no);
+      lex.expect("declare");
+      Declaration d;
+      d.ret = parse_type_tok(lex.next(), line_no);
+      std::string name = lex.next();
+      PNP_CHECK_MSG(name[0] == '@', "line " << line_no << ": bad declare name");
+      d.name = name.substr(1);
+      lex.expect("(");
+      if (!lex.accept(")")) {
+        do {
+          d.params.push_back(parse_type_tok(lex.next(), line_no));
+        } while (lex.accept(","));
+        lex.expect(")");
+      }
+      m.declarations.push_back(std::move(d));
+    } else if (starts_with(line, "define ")) {
+      LineLexer lex(line, line_no);
+      lex.expect("define");
+      Function fn;
+      fn.ret = parse_type_tok(lex.next(), line_no);
+      std::string name = lex.next();
+      PNP_CHECK_MSG(name[0] == '@', "line " << line_no << ": bad function name");
+      fn.name = name.substr(1);
+      lex.expect("(");
+      if (!lex.accept(")")) {
+        do {
+          Argument a;
+          a.type = parse_type_tok(lex.next(), line_no);
+          std::string an = lex.next();
+          PNP_CHECK_MSG(an[0] == '%', "line " << line_no << ": bad arg name");
+          a.name = an.substr(1);
+          fn.args.push_back(std::move(a));
+        } while (lex.accept(","));
+        lex.expect(")");
+      }
+      lex.expect("{");
+
+      // Collect the body lines, then two-pass parse (labels first).
+      std::vector<std::pair<std::string, int>> body;
+      while (true) {
+        auto body_line = next_line();
+        PNP_CHECK_MSG(body_line.has_value(),
+                      "line " << line_no << ": unterminated function body");
+        if (*body_line == "}") break;
+        body.emplace_back(*body_line, line_no);
+      }
+
+      FunctionParser fp(m, fn);
+      for (const auto& [bl, ln] : body)
+        if (ends_with(bl, ":"))
+          fp.register_block(bl.substr(0, bl.size() - 1));
+      int cur_block = -1;
+      for (const auto& [bl, ln] : body) {
+        if (ends_with(bl, ":")) {
+          cur_block = fn.block_index(bl.substr(0, bl.size() - 1));
+          continue;
+        }
+        PNP_CHECK_MSG(cur_block >= 0,
+                      "line " << ln << ": instruction before first label");
+        fp.parse_instruction(bl, ln, cur_block);
+      }
+      fp.finalize();
+      m.functions.push_back(std::move(fn));
+    } else {
+      PNP_CHECK_MSG(false, "line " << line_no << ": unrecognized line '"
+                                   << line << "'");
+    }
+  }
+  return m;
+}
+
+}  // namespace pnp::ir

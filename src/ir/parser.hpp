@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file parser.hpp
+/// Parser for the textual mini-IR produced by printer.hpp. Throws
+/// pnp::Error with a line number on malformed input.
+
+#include <string>
+#include <string_view>
+
+#include "ir/module.hpp"
+
+namespace pnp::ir {
+
+/// Parse a complete module from its textual form.
+Module parse_module(std::string_view text);
+
+}  // namespace pnp::ir

@@ -1,0 +1,154 @@
+#include "ir/printer.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pnp::ir {
+
+namespace {
+
+/// Shortest round-trip decimal form of a double.
+std::string double_str(double v) {
+  char buf[64];
+  auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  PNP_CHECK(ec == std::errc());
+  std::string s(buf, p);
+  // Ensure the token is visually distinct from an integer literal.
+  if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+      s.find("inf") == std::string::npos && s.find("nan") == std::string::npos)
+    s += ".0";
+  return s;
+}
+
+std::string operand_str(const Module& m, const Function& fn, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::Temp:
+      return "%t" + std::to_string(v.index);
+    case Value::Kind::Arg:
+      return "%" + fn.args[static_cast<std::size_t>(v.index)].name;
+    case Value::Kind::Global:
+      return "@" + m.globals[static_cast<std::size_t>(v.index)].name;
+    case Value::Kind::ConstInt:
+      return std::to_string(v.ival);
+    case Value::Kind::ConstFloat:
+      return double_str(v.fval);
+    case Value::Kind::Block:
+      return "%" + fn.blocks[static_cast<std::size_t>(v.index)].name;
+    case Value::Kind::None:
+      break;
+  }
+  PNP_CHECK_MSG(false, "cannot print operand of kind None");
+}
+
+}  // namespace
+
+std::string print_instruction(const Module& m, const Function& fn,
+                              const Instruction& in) {
+  std::ostringstream os;
+  auto op_str = [&](std::size_t i) { return operand_str(m, fn, in.operands[i]); };
+
+  if (in.has_result()) os << "%t" << in.result << " = ";
+
+  switch (in.op) {
+    case Opcode::Alloca:
+      os << "alloca " << type_name(in.type);
+      break;
+    case Opcode::Load:
+      os << "load " << type_name(in.type) << " " << op_str(0);
+      break;
+    case Opcode::Store:
+      os << "store " << type_name(in.operands[0].type) << " " << op_str(0)
+         << ", " << op_str(1);
+      break;
+    case Opcode::Gep:
+      os << "gep " << op_str(0);
+      for (std::size_t i = 1; i < in.operands.size(); ++i)
+        os << ", " << op_str(i);
+      break;
+    case Opcode::ICmp:
+    case Opcode::FCmp:
+      os << opcode_name(in.op) << " " << in.aux << " "
+         << type_name(in.operands[0].type) << " " << op_str(0) << ", "
+         << op_str(1);
+      break;
+    case Opcode::Select:
+      os << "select " << type_name(in.type) << " " << op_str(0) << ", "
+         << op_str(1) << ", " << op_str(2);
+      break;
+    case Opcode::Phi: {
+      os << "phi " << type_name(in.type);
+      for (std::size_t i = 0; i + 1 < in.operands.size(); i += 2)
+        os << (i == 0 ? " " : ", ") << "[ " << op_str(i) << ", " << op_str(i + 1)
+           << " ]";
+      break;
+    }
+    case Opcode::Br:
+      os << "br " << op_str(0);
+      break;
+    case Opcode::CondBr:
+      os << "condbr " << op_str(0) << ", " << op_str(1) << ", " << op_str(2);
+      break;
+    case Opcode::Ret:
+      os << "ret";
+      if (!in.operands.empty())
+        os << " " << type_name(in.operands[0].type) << " " << op_str(0);
+      break;
+    case Opcode::Call: {
+      os << "call " << type_name(in.type) << " @" << in.aux << "(";
+      for (std::size_t i = 0; i < in.operands.size(); ++i)
+        os << (i ? ", " : "") << op_str(i);
+      os << ")";
+      break;
+    }
+    case Opcode::AtomicRMW:
+      os << "atomicrmw " << in.aux << " " << type_name(in.operands[1].type)
+         << " " << op_str(0) << ", " << op_str(1);
+      break;
+    case Opcode::Barrier:
+      os << "barrier";
+      break;
+    default:
+      // Binary arithmetic and casts share one form:
+      //   %tN = <op> <type> operands...
+      os << opcode_name(in.op) << " " << type_name(in.type);
+      for (std::size_t i = 0; i < in.operands.size(); ++i)
+        os << (i ? ", " : " ") << op_str(i);
+      break;
+  }
+  return os.str();
+}
+
+std::string print_function(const Module& m, const Function& fn) {
+  std::ostringstream os;
+  os << "define " << type_name(fn.ret) << " @" << fn.name << "(";
+  for (std::size_t i = 0; i < fn.args.size(); ++i)
+    os << (i ? ", " : "") << type_name(fn.args[i].type) << " %"
+       << fn.args[i].name;
+  os << ") {\n";
+  for (const auto& b : fn.blocks) {
+    os << b.name << ":\n";
+    for (const auto& in : b.instrs)
+      os << "  " << print_instruction(m, fn, in) << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print_module(const Module& m) {
+  std::ostringstream os;
+  os << "module \"" << m.name << "\"\n";
+  for (const auto& g : m.globals)
+    os << "global @" << g.name << " " << type_name(g.elem_type) << "\n";
+  for (const auto& d : m.declarations) {
+    os << "declare " << type_name(d.ret) << " @" << d.name << "(";
+    for (std::size_t i = 0; i < d.params.size(); ++i)
+      os << (i ? ", " : "") << type_name(d.params[i]);
+    os << ")\n";
+  }
+  for (const auto& f : m.functions) os << print_function(m, f);
+  return os.str();
+}
+
+}  // namespace pnp::ir

@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file printer.hpp
+/// Textual form of the mini-IR. `print_module(parse_module(text))` is
+/// guaranteed to reproduce `text` (round-trip tested).
+
+#include <string>
+
+#include "ir/module.hpp"
+
+namespace pnp::ir {
+
+/// Render one instruction (no trailing newline). `fn` supplies arg/block
+/// names; `m` supplies global names.
+std::string print_instruction(const Module& m, const Function& fn,
+                              const Instruction& instr);
+
+/// Render a whole function definition.
+std::string print_function(const Module& m, const Function& fn);
+
+/// Render a whole module.
+std::string print_module(const Module& m);
+
+}  // namespace pnp::ir

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file type.hpp
+/// The mini-IR type system. A deliberately small subset of LLVM's types —
+/// everything the OpenMP kernels in the workload suite need.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pnp::ir {
+
+enum class Type : std::uint8_t {
+  Void,
+  I1,   ///< booleans / comparison results
+  I32,
+  I64,  ///< loop counters, indices
+  F32,
+  F64,  ///< the kernels' arithmetic element type
+  Ptr,  ///< opaque pointer (LLVM >= 15 style)
+};
+
+constexpr bool is_integer(Type t) {
+  return t == Type::I1 || t == Type::I32 || t == Type::I64;
+}
+
+constexpr bool is_float(Type t) { return t == Type::F32 || t == Type::F64; }
+
+constexpr bool is_arith(Type t) { return is_integer(t) || is_float(t); }
+
+constexpr std::string_view type_name(Type t) {
+  switch (t) {
+    case Type::Void: return "void";
+    case Type::I1: return "i1";
+    case Type::I32: return "i32";
+    case Type::I64: return "i64";
+    case Type::F32: return "f32";
+    case Type::F64: return "f64";
+    case Type::Ptr: return "ptr";
+  }
+  return "?";
+}
+
+/// Parse a type name; returns true on success.
+bool parse_type(std::string_view name, Type& out);
+
+}  // namespace pnp::ir

@@ -1,0 +1,242 @@
+#include "ir/verifier.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ir/printer.hpp"
+
+namespace pnp::ir {
+
+namespace {
+
+class FunctionVerifier {
+ public:
+  FunctionVerifier(const Module& m, const Function& fn,
+                   std::vector<std::string>& out)
+      : m_(m), fn_(fn), out_(out) {}
+
+  void run() {
+    if (fn_.blocks.empty()) {
+      fail("", "function has no blocks");
+      return;
+    }
+    collect_defs();
+    for (std::size_t bi = 0; bi < fn_.blocks.size(); ++bi) check_block(bi);
+  }
+
+ private:
+  void fail(const std::string& where, const std::string& msg) {
+    std::ostringstream os;
+    os << fn_.name << (where.empty() ? "" : ":" + where) << ": " << msg;
+    out_.push_back(os.str());
+  }
+
+  void collect_defs() {
+    for (const auto& b : fn_.blocks) {
+      for (const auto& in : b.instrs) {
+        if (!in.has_result()) continue;
+        if (temp_def_.count(in.result))
+          fail(b.name, "temp %t" + std::to_string(in.result) + " redefined");
+        temp_def_[in.result] =
+            (in.op == Opcode::Alloca) ? Type::Ptr : in.type;
+      }
+    }
+  }
+
+  void check_operand(const BasicBlock& b, const Instruction& in,
+                     const Value& v) {
+    switch (v.kind) {
+      case Value::Kind::Temp: {
+        auto it = temp_def_.find(v.index);
+        if (it == temp_def_.end()) {
+          fail(b.name, "use of undefined temp %t" + std::to_string(v.index));
+        } else if (it->second != v.type) {
+          fail(b.name, "temp %t" + std::to_string(v.index) +
+                           " used with type " + std::string(type_name(v.type)) +
+                           " but defined as " +
+                           std::string(type_name(it->second)) + " in '" +
+                           print_instruction(m_, fn_, in) + "'");
+        }
+        break;
+      }
+      case Value::Kind::Arg:
+        if (v.index < 0 || v.index >= static_cast<int>(fn_.args.size()))
+          fail(b.name, "argument index out of range");
+        break;
+      case Value::Kind::Global:
+        if (v.index < 0 || v.index >= static_cast<int>(m_.globals.size()))
+          fail(b.name, "global index out of range");
+        break;
+      case Value::Kind::Block:
+        if (v.index < 0 || v.index >= static_cast<int>(fn_.blocks.size()))
+          fail(b.name, "branch target out of range");
+        break;
+      case Value::Kind::ConstInt:
+        if (!is_integer(v.type))
+          fail(b.name, "integer constant with non-integer type");
+        break;
+      case Value::Kind::ConstFloat:
+        if (!is_float(v.type))
+          fail(b.name, "float constant with non-float type");
+        break;
+      case Value::Kind::None:
+        fail(b.name, "operand of kind None");
+        break;
+    }
+  }
+
+  void check_block(std::size_t bi) {
+    const BasicBlock& b = fn_.blocks[bi];
+    if (b.instrs.empty()) {
+      fail(b.name, "empty block");
+      return;
+    }
+    for (std::size_t ii = 0; ii < b.instrs.size(); ++ii) {
+      const Instruction& in = b.instrs[ii];
+      const bool last = (ii + 1 == b.instrs.size());
+      if (is_terminator(in.op) != last) {
+        fail(b.name, last ? "block does not end in a terminator"
+                          : "terminator in the middle of a block");
+      }
+      for (const auto& v : in.operands) check_operand(b, in, v);
+      check_instruction(b, in);
+    }
+  }
+
+  void check_instruction(const BasicBlock& b, const Instruction& in) {
+    auto expect_operands = [&](std::size_t n) {
+      if (in.operands.size() != n)
+        fail(b.name, std::string(opcode_name(in.op)) + " expects " +
+                         std::to_string(n) + " operands, has " +
+                         std::to_string(in.operands.size()));
+    };
+    switch (in.op) {
+      case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+      case Opcode::SDiv: case Opcode::SRem: case Opcode::And:
+      case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+      case Opcode::LShr:
+        expect_operands(2);
+        if (!is_integer(in.type))
+          fail(b.name, "integer binop with non-integer type");
+        break;
+      case Opcode::FAdd: case Opcode::FSub: case Opcode::FMul:
+      case Opcode::FDiv:
+        expect_operands(2);
+        if (!is_float(in.type))
+          fail(b.name, "float binop with non-float type");
+        break;
+      case Opcode::Load:
+        expect_operands(1);
+        if (!in.operands.empty() && in.operands[0].type != Type::Ptr)
+          fail(b.name, "load operand must be a pointer");
+        break;
+      case Opcode::Store:
+        expect_operands(2);
+        if (in.operands.size() == 2 && in.operands[1].type != Type::Ptr)
+          fail(b.name, "store target must be a pointer");
+        break;
+      case Opcode::Gep:
+        if (in.operands.size() < 2)
+          fail(b.name, "gep needs a base pointer and at least one index");
+        else if (in.operands[0].type != Type::Ptr)
+          fail(b.name, "gep base must be a pointer");
+        break;
+      case Opcode::ICmp:
+        expect_operands(2);
+        if (in.aux != "eq" && in.aux != "ne" && in.aux != "slt" &&
+            in.aux != "sle" && in.aux != "sgt" && in.aux != "sge")
+          fail(b.name, "bad icmp predicate '" + in.aux + "'");
+        break;
+      case Opcode::FCmp:
+        expect_operands(2);
+        if (in.aux != "oeq" && in.aux != "one" && in.aux != "olt" &&
+            in.aux != "ole" && in.aux != "ogt" && in.aux != "oge")
+          fail(b.name, "bad fcmp predicate '" + in.aux + "'");
+        break;
+      case Opcode::Select:
+        expect_operands(3);
+        break;
+      case Opcode::Phi:
+        if (in.operands.size() < 2 || in.operands.size() % 2 != 0)
+          fail(b.name, "phi needs (value, block) pairs");
+        else
+          for (std::size_t i = 0; i < in.operands.size(); i += 2)
+            if (in.operands[i + 1].kind != Value::Kind::Block)
+              fail(b.name, "phi incoming slot is not a block");
+        break;
+      case Opcode::Br:
+        expect_operands(1);
+        break;
+      case Opcode::CondBr:
+        expect_operands(3);
+        if (!in.operands.empty() && in.operands[0].type != Type::I1)
+          fail(b.name, "condbr condition must be i1");
+        break;
+      case Opcode::Ret:
+        if (fn_.ret == Type::Void) {
+          expect_operands(0);
+        } else {
+          expect_operands(1);
+          if (!in.operands.empty() && in.operands[0].type != fn_.ret)
+            fail(b.name, "ret type mismatch");
+        }
+        break;
+      case Opcode::Call: {
+        const bool is_internal = m_.find_function(in.aux) != nullptr;
+        const bool is_external = m_.is_declared(in.aux);
+        if (!is_internal && !is_external)
+          fail(b.name, "call to unknown function '@" + in.aux + "'");
+        break;
+      }
+      case Opcode::AtomicRMW:
+        expect_operands(2);
+        if (in.aux != "add" && in.aux != "fadd" && in.aux != "min" &&
+            in.aux != "max" && in.aux != "fmin" && in.aux != "fmax")
+          fail(b.name, "bad atomicrmw operation '" + in.aux + "'");
+        break;
+      case Opcode::Alloca:
+      case Opcode::Barrier:
+        expect_operands(in.op == Opcode::Barrier ? 0 : 0);
+        break;
+      default:
+        // Casts: single operand.
+        expect_operands(1);
+        break;
+    }
+  }
+
+  const Module& m_;
+  const Function& fn_;
+  std::vector<std::string>& out_;
+  std::map<int, Type> temp_def_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify_module(const Module& m) {
+  std::vector<std::string> problems;
+  std::set<std::string> fn_names;
+  for (const auto& f : m.functions) {
+    if (!fn_names.insert(f.name).second)
+      problems.push_back("duplicate function '@" + f.name + "'");
+    FunctionVerifier(m, f, problems).run();
+  }
+  std::set<std::string> gnames;
+  for (const auto& g : m.globals)
+    if (!gnames.insert(g.name).second)
+      problems.push_back("duplicate global '@" + g.name + "'");
+  return problems;
+}
+
+void verify_or_throw(const Module& m) {
+  const auto problems = verify_module(m);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "IR verification failed for module '" << m.name << "':";
+  for (const auto& p : problems) os << "\n  " << p;
+  throw Error(os.str());
+}
+
+}  // namespace pnp::ir

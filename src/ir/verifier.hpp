@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file verifier.hpp
+/// Structural and type checking of mini-IR modules, in the spirit of
+/// llvm::verifyModule. The workload generator runs every synthesized region
+/// through this before graph construction.
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+
+namespace pnp::ir {
+
+/// Collect all verification failures in `m` (empty means the module is
+/// well-formed). Messages are prefixed with `function:block` context.
+std::vector<std::string> verify_module(const Module& m);
+
+/// Throws pnp::Error listing all problems if the module is malformed.
+void verify_or_throw(const Module& m);
+
+}  // namespace pnp::ir

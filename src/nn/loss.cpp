@@ -1,0 +1,44 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::nn {
+
+double softmax_cross_entropy(std::span<const double> logits, int label,
+                             std::span<double> grad) {
+  PNP_CHECK(logits.size() == grad.size() && !logits.empty());
+  PNP_CHECK(label >= 0 && label < static_cast<int>(logits.size()));
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double z = 0.0;
+  for (double v : logits) z += std::exp(v - mx);
+  const double logz = std::log(z) + mx;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double p = std::exp(logits[i] - logz);
+    grad[i] = p;
+  }
+  grad[static_cast<std::size_t>(label)] -= 1.0;
+  return logz - logits[static_cast<std::size_t>(label)];
+}
+
+std::vector<double> softmax(std::span<const double> logits) {
+  PNP_CHECK(!logits.empty());
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> p(logits.size());
+  double z = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - mx);
+    z += p[i];
+  }
+  for (double& v : p) v /= z;
+  return p;
+}
+
+int argmax_index(std::span<const double> xs) {
+  PNP_CHECK(!xs.empty());
+  return static_cast<int>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
+}  // namespace pnp::nn

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file loss.hpp
+/// Softmax cross-entropy (the paper's loss function, Table II), including
+/// the multi-head variant used by the factorized configuration classifier.
+
+#include <span>
+#include <vector>
+
+namespace pnp::nn {
+
+/// Numerically stable log-softmax + NLL for one head.
+/// Returns the loss; writes d(loss)/d(logits) into `grad` (same length).
+double softmax_cross_entropy(std::span<const double> logits, int label,
+                             std::span<double> grad);
+
+/// Probability vector (softmax) — used at inference to rank configurations.
+std::vector<double> softmax(std::span<const double> logits);
+
+/// Argmax convenience with deterministic (lowest index) tie-breaking.
+int argmax_index(std::span<const double> xs);
+
+}  // namespace pnp::nn

@@ -1,0 +1,112 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::nn {
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0) {
+  PNP_CHECK(rows >= 0 && cols >= 0);
+}
+
+Matrix Matrix::xavier(int rows, int cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double a = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) v = rng.uniform(-a, a);
+  return m;
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::add_scaled(const Matrix& other, double a) {
+  PNP_CHECK(same_shape(other));
+  const double* o = other.data_.data();
+  double* d = data_.data();
+  for (std::size_t i = 0; i < data_.size(); ++i) d[i] += a * o[i];
+}
+
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.rows() && a.rows() == c.rows() &&
+                    b.cols() == c.cols(),
+                "gemm shapes: (" << a.rows() << "x" << a.cols() << ")·("
+                                 << b.rows() << "x" << b.cols() << ") -> ("
+                                 << c.rows() << "x" << c.cols() << ")");
+  const int m = a.rows(), k = a.cols(), n = b.cols();
+  for (int i = 0; i < m; ++i) {
+    const double* ai = a.row(i);
+    double* ci = c.row(i);
+    for (int p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.row(p);
+      for (int j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.rows() == b.rows() && a.cols() == c.rows() &&
+                    b.cols() == c.cols(),
+                "gemm_tn shapes mismatch");
+  const int k = a.rows(), m = a.cols(), n = b.cols();
+  for (int p = 0; p < k; ++p) {
+    const double* ap = a.row(p);
+    const double* bp = b.row(p);
+    for (int i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.row(i);
+      for (int j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+}
+
+void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.cols() && a.rows() == c.rows() &&
+                    b.rows() == c.cols(),
+                "gemm_nt shapes mismatch");
+  const int m = a.rows(), k = a.cols(), n = b.rows();
+  for (int i = 0; i < m; ++i) {
+    const double* ai = a.row(i);
+    double* ci = c.row(i);
+    for (int j = 0; j < n; ++j) {
+      const double* bj = b.row(j);
+      double s = 0.0;
+      for (int p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] += s;
+    }
+  }
+}
+
+void add_bias_rows(Matrix& m, std::span<const double> bias) {
+  PNP_CHECK(static_cast<int>(bias.size()) == m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    double* mi = m.row(i);
+    for (int j = 0; j < m.cols(); ++j) mi[j] += bias[static_cast<std::size_t>(j)];
+  }
+}
+
+void colsum_acc(const Matrix& m, std::span<double> out) {
+  PNP_CHECK(static_cast<int>(out.size()) == m.cols());
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* mi = m.row(i);
+    for (int j = 0; j < m.cols(); ++j) out[static_cast<std::size_t>(j)] += mi[j];
+  }
+}
+
+double frob_inner(const Matrix& a, const Matrix& b) {
+  PNP_CHECK(a.same_shape(b));
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+}  // namespace pnp::nn

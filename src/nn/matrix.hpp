@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file matrix.hpp
+/// Row-major dense matrices and the handful of BLAS-like kernels the GNN
+/// needs. Double precision throughout so finite-difference gradient checks
+/// are meaningful.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace pnp::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols);
+
+  static Matrix zeros(int rows, int cols) { return Matrix(rows, cols); }
+
+  /// Xavier/Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+  static Matrix xavier(int rows, int cols, Rng& rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  double* row(int r) {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  const double* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  std::span<const double> flat() const { return data_; }
+  std::span<double> flat() { return data_; }
+
+  void fill(double v);
+  void zero() { fill(0.0); }
+
+  /// this += a * other (axpy); shapes must match.
+  void add_scaled(const Matrix& other, double a);
+
+  bool same_shape(const Matrix& o) const {
+    return rows_ == o.rows_ && cols_ == o.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C += A · B. Shapes: A (m×k), B (k×n), C (m×n).
+void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += Aᵀ · B. Shapes: A (k×m), B (k×n), C (m×n).
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C += A · Bᵀ. Shapes: A (m×k), B (n×k), C (m×n).
+void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Add a bias row vector to every row of m.
+void add_bias_rows(Matrix& m, std::span<const double> bias);
+
+/// Accumulate the column sums of m into out (size cols).
+void colsum_acc(const Matrix& m, std::span<double> out);
+
+/// Frobenius inner product Σᵢⱼ aᵢⱼ·bᵢⱼ.
+double frob_inner(const Matrix& a, const Matrix& b);
+
+}  // namespace pnp::nn

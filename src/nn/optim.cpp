@@ -1,0 +1,91 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::nn {
+
+Sgd::Sgd(double lr, double momentum) : lr_(lr), momentum_(momentum) {}
+
+void Sgd::step(std::vector<Param*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    for (const Param* p : params)
+      velocity_.push_back(Matrix::zeros(p->w.rows(), p->w.cols()));
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    if (!p.trainable) continue;
+    if (momentum_ > 0.0) {
+      Matrix& v = velocity_[i];
+      for (std::size_t k = 0; k < v.size(); ++k) {
+        v.data()[k] = momentum_ * v.data()[k] + p.g.data()[k];
+        p.w.data()[k] -= lr_ * v.data()[k];
+      }
+    } else {
+      p.w.add_scaled(p.g, -lr_);
+    }
+  }
+}
+
+Adam::Adam(Config cfg) : cfg_(cfg) {}
+
+std::unique_ptr<Adam> Adam::adamw_amsgrad(double lr, double weight_decay) {
+  Config c;
+  c.lr = lr;
+  c.weight_decay = weight_decay;
+  c.decoupled_weight_decay = true;
+  c.amsgrad = true;
+  return std::make_unique<Adam>(c);
+}
+
+std::unique_ptr<Adam> Adam::plain(double lr) {
+  Config c;
+  c.lr = lr;
+  return std::make_unique<Adam>(c);
+}
+
+void Adam::step(std::vector<Param*>& params) {
+  if (m_.size() != params.size()) {
+    m_.clear();
+    v_.clear();
+    vhat_.clear();
+    for (const Param* p : params) {
+      m_.push_back(Matrix::zeros(p->w.rows(), p->w.cols()));
+      v_.push_back(Matrix::zeros(p->w.rows(), p->w.cols()));
+      vhat_.push_back(Matrix::zeros(p->w.rows(), p->w.cols()));
+    }
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    if (!p.trainable) continue;
+    PNP_CHECK(m_[i].same_shape(p.w));
+    double* w = p.w.data();
+    const double* g = p.g.data();
+    double* m = m_[i].data();
+    double* v = v_[i].data();
+    double* vh = vhat_[i].data();
+    for (std::size_t k = 0; k < p.w.size(); ++k) {
+      double grad = g[k];
+      if (!cfg_.decoupled_weight_decay && cfg_.weight_decay > 0.0)
+        grad += cfg_.weight_decay * w[k];  // classic Adam L2
+      m[k] = cfg_.beta1 * m[k] + (1.0 - cfg_.beta1) * grad;
+      v[k] = cfg_.beta2 * v[k] + (1.0 - cfg_.beta2) * grad * grad;
+      const double mhat = m[k] / bc1;
+      double vcur = v[k] / bc2;
+      if (cfg_.amsgrad) {
+        vh[k] = std::max(vh[k], vcur);
+        vcur = vh[k];
+      }
+      if (cfg_.decoupled_weight_decay && cfg_.weight_decay > 0.0)
+        w[k] -= cfg_.lr * cfg_.weight_decay * w[k];  // AdamW decay
+      w[k] -= cfg_.lr * mhat / (std::sqrt(vcur) + cfg_.eps);
+    }
+  }
+}
+
+}  // namespace pnp::nn

@@ -1,0 +1,87 @@
+#pragma once
+
+/// \file optim.hpp
+/// Optimizers. The paper (Table II) uses AdamW with amsgrad for the
+/// power-constrained scenario and Adam for the EDP scenario; plain SGD is
+/// kept for tests and ablations.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace pnp::nn {
+
+/// A named trainable tensor with its gradient accumulator.
+struct Param {
+  std::string name;
+  Matrix w;
+  Matrix g;
+  bool trainable = true;
+
+  Param(std::string n, Matrix weights)
+      : name(std::move(n)),
+        w(std::move(weights)),
+        g(Matrix::zeros(w.rows(), w.cols())) {}
+};
+
+/// Base optimizer interface; `step` consumes and applies the accumulated
+/// gradients of all trainable params (frozen params are skipped), then the
+/// caller zeroes gradients.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual void step(std::vector<Param*>& params) = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double lr, double momentum = 0.0);
+  void step(std::vector<Param*>& params) override;
+  std::string name() const override { return "sgd"; }
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<Matrix> velocity_;  // parallel to params by index
+};
+
+/// Adam / AdamW. `decoupled_weight_decay=false` gives classic Adam (with
+/// optional L2 folded into the gradient); `true` gives AdamW. `amsgrad`
+/// keeps the running max of the second-moment estimate (Table II:
+/// "AdamW (amsgrad)").
+class Adam final : public Optimizer {
+ public:
+  struct Config {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+    bool decoupled_weight_decay = false;  // true = AdamW
+    bool amsgrad = false;
+  };
+
+  explicit Adam(Config cfg);
+
+  /// Paper defaults for the two scenarios.
+  static std::unique_ptr<Adam> adamw_amsgrad(double lr = 1e-3,
+                                             double weight_decay = 1e-2);
+  static std::unique_ptr<Adam> plain(double lr = 1e-3);
+
+  void step(std::vector<Param*>& params) override;
+  std::string name() const override {
+    return cfg_.decoupled_weight_decay ? "adamw" : "adam";
+  }
+
+ private:
+  Config cfg_;
+  std::int64_t t_ = 0;
+  std::vector<Matrix> m_, v_, vhat_;  // parallel to params by index
+};
+
+}  // namespace pnp::nn

@@ -1,0 +1,396 @@
+#include "nn/rgcn_net.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp::nn {
+
+namespace {
+
+inline double leaky(double x, double slope) { return x > 0.0 ? x : slope * x; }
+inline double leaky_grad(double x, double slope) { return x > 0.0 ? 1.0 : slope; }
+inline double relu(double x) { return x > 0.0 ? x : 0.0; }
+inline double relu_grad(double x) { return x > 0.0 ? 1.0 : 0.0; }
+
+}  // namespace
+
+int RgcnNet::add_param(const std::string& name, Matrix m, bool gnn_stage) {
+  params_.push_back(std::make_unique<Param>(name, std::move(m)));
+  is_gnn_param_.push_back(gnn_stage);
+  return static_cast<int>(params_.size()) - 1;
+}
+
+RgcnNet::RgcnNet(RgcnNetConfig cfg) : cfg_(std::move(cfg)) {
+  PNP_CHECK_MSG(cfg_.vocab_size > 0, "vocab_size must be set");
+  PNP_CHECK_MSG(!cfg_.head_sizes.empty(), "head_sizes must be set");
+  PNP_CHECK(cfg_.rgcn_layers >= 1 && cfg_.num_relations >= 1);
+
+  Rng rng(cfg_.seed);
+
+  emb_token_ = add_param("emb.token",
+                         Matrix::xavier(cfg_.vocab_size, cfg_.emb_dim, rng),
+                         /*gnn_stage=*/true);
+  emb_kind_ = add_param("emb.kind",
+                        Matrix::xavier(graph::kNumNodeKinds, cfg_.emb_dim, rng),
+                        true);
+
+  for (int l = 0; l < cfg_.rgcn_layers; ++l) {
+    const int d_in = (l == 0) ? cfg_.emb_dim : cfg_.hidden;
+    const int d_out = cfg_.hidden;
+    LayerParams lp;
+    const std::string prefix = "rgcn." + std::to_string(l) + ".";
+    lp.w0 = add_param(prefix + "w0", Matrix::xavier(d_in, d_out, rng), true);
+    lp.bias = add_param(prefix + "bias", Matrix::zeros(1, d_out), true);
+    if (cfg_.num_bases > 0) {
+      for (int b = 0; b < cfg_.num_bases; ++b)
+        lp.basis.push_back(add_param(prefix + "basis." + std::to_string(b),
+                                     Matrix::xavier(d_in, d_out, rng), true));
+      lp.coef = add_param(prefix + "coef",
+                          Matrix::xavier(cfg_.num_relations, cfg_.num_bases, rng),
+                          true);
+    } else {
+      for (int r = 0; r < cfg_.num_relations; ++r)
+        lp.wr.push_back(add_param(prefix + "wr." + std::to_string(r),
+                                  Matrix::xavier(d_in, d_out, rng), true));
+    }
+    layers_.push_back(lp);
+  }
+
+  const int dense_in = cfg_.hidden + cfg_.extra_features;
+  w1_ = add_param("dense.w1", Matrix::xavier(dense_in, cfg_.dense_hidden1, rng),
+                  false);
+  b1_ = add_param("dense.b1", Matrix::zeros(1, cfg_.dense_hidden1), false);
+  w2_ = add_param("dense.w2",
+                  Matrix::xavier(cfg_.dense_hidden1, cfg_.dense_hidden2, rng),
+                  false);
+  b2_ = add_param("dense.b2", Matrix::zeros(1, cfg_.dense_hidden2), false);
+  w3_ = add_param("dense.w3",
+                  Matrix::xavier(cfg_.dense_hidden2, cfg_.total_logits(), rng),
+                  false);
+  b3_ = add_param("dense.b3", Matrix::zeros(1, cfg_.total_logits()), false);
+
+  int off = 0;
+  for (int h : cfg_.head_sizes) {
+    head_offset_.push_back(off);
+    off += h;
+  }
+}
+
+Matrix RgcnNet::relation_weight(const LayerParams& lp, int relation) const {
+  if (cfg_.num_bases == 0)
+    return P(lp.wr[static_cast<std::size_t>(relation)]).w;
+  const Matrix& coef = P(lp.coef).w;
+  Matrix w = Matrix::zeros(P(lp.basis[0]).w.rows(), P(lp.basis[0]).w.cols());
+  for (int b = 0; b < cfg_.num_bases; ++b)
+    w.add_scaled(P(lp.basis[static_cast<std::size_t>(b)]).w,
+                 coef(relation, b));
+  return w;
+}
+
+RgcnNet::GnnCache RgcnNet::encode(const graph::GraphTensors& g) const {
+  PNP_CHECK_MSG(g.num_nodes > 0, "cannot encode an empty graph");
+  const int n = g.num_nodes;
+  GnnCache cache;
+  cache.g = &g;
+
+  // Embedding: H0[i] = emb_token[token_i] + emb_kind[kind_i].
+  Matrix h0(n, cfg_.emb_dim);
+  const Matrix& et = P(emb_token_).w;
+  const Matrix& ek = P(emb_kind_).w;
+  for (int i = 0; i < n; ++i) {
+    const int tok = g.token[static_cast<std::size_t>(i)];
+    const int kind = g.kind[static_cast<std::size_t>(i)];
+    PNP_CHECK(tok >= 0 && tok < cfg_.vocab_size);
+    const double* trow = et.row(tok);
+    const double* krow = ek.row(kind);
+    double* out = h0.row(i);
+    for (int d = 0; d < cfg_.emb_dim; ++d) out[d] = trow[d] + krow[d];
+  }
+  cache.H.push_back(std::move(h0));
+
+  // Normalization constants per relation (shared across layers).
+  cache.deg.resize(static_cast<std::size_t>(cfg_.num_relations));
+  for (int r = 0; r < cfg_.num_relations; ++r)
+    cache.deg[static_cast<std::size_t>(r)] = g.in_degree(r);
+
+  for (int l = 0; l < cfg_.rgcn_layers; ++l) {
+    const Matrix& h = cache.H.back();
+    const LayerParams& lp = layers_[static_cast<std::size_t>(l)];
+    const int d_in = h.cols();
+
+    // Per-relation normalized aggregation M_r[t] = Σ_{(s→t)∈r} h[s]/c_{t,r}.
+    std::vector<Matrix> ms;
+    ms.reserve(static_cast<std::size_t>(cfg_.num_relations));
+    for (int r = 0; r < cfg_.num_relations; ++r) {
+      Matrix m(n, d_in);
+      const auto& deg = cache.deg[static_cast<std::size_t>(r)];
+      for (const auto& [src, dst] : g.rel_edges[static_cast<std::size_t>(r)]) {
+        const double inv =
+            1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
+        const double* hs = h.row(src);
+        double* mt = m.row(dst);
+        for (int d = 0; d < d_in; ++d) mt[d] += inv * hs[d];
+      }
+      ms.push_back(std::move(m));
+    }
+
+    Matrix z(n, cfg_.hidden);
+    gemm_acc(h, P(lp.w0).w, z);
+    for (int r = 0; r < cfg_.num_relations; ++r) {
+      const Matrix wr = relation_weight(lp, r);
+      gemm_acc(ms[static_cast<std::size_t>(r)], wr, z);
+    }
+    add_bias_rows(z, P(lp.bias).w.flat());
+
+    Matrix hn(n, cfg_.hidden);
+    for (std::size_t k = 0; k < z.size(); ++k)
+      hn.data()[k] = leaky(z.data()[k], cfg_.leaky_slope);
+
+    cache.M.push_back(std::move(ms));
+    cache.Z.push_back(std::move(z));
+    cache.H.push_back(std::move(hn));
+  }
+
+  // Mean-pool readout over all nodes.
+  const Matrix& hl = cache.H.back();
+  cache.readout.assign(static_cast<std::size_t>(cfg_.hidden), 0.0);
+  for (int i = 0; i < n; ++i) {
+    const double* hi = hl.row(i);
+    for (int d = 0; d < cfg_.hidden; ++d)
+      cache.readout[static_cast<std::size_t>(d)] += hi[d];
+  }
+  for (double& v : cache.readout) v /= static_cast<double>(n);
+  return cache;
+}
+
+RgcnNet::DenseCache RgcnNet::dense_forward(std::span<const double> readout,
+                                           std::span<const double> extra) const {
+  PNP_CHECK(static_cast<int>(readout.size()) == cfg_.hidden);
+  PNP_CHECK_MSG(static_cast<int>(extra.size()) == cfg_.extra_features,
+                "expected " << cfg_.extra_features << " extra features, got "
+                            << extra.size());
+  DenseCache c;
+  c.u0.assign(readout.begin(), readout.end());
+  c.u0.insert(c.u0.end(), extra.begin(), extra.end());
+
+  auto linear = [&](const std::vector<double>& in, int w_idx, int b_idx) {
+    const Matrix& w = P(w_idx).w;
+    const Matrix& b = P(b_idx).w;
+    PNP_CHECK(static_cast<int>(in.size()) == w.rows());
+    std::vector<double> out(static_cast<std::size_t>(w.cols()));
+    for (int j = 0; j < w.cols(); ++j) out[static_cast<std::size_t>(j)] = b(0, j);
+    for (int i = 0; i < w.rows(); ++i) {
+      const double vi = in[static_cast<std::size_t>(i)];
+      if (vi == 0.0) continue;
+      const double* wi = w.row(i);
+      for (int j = 0; j < w.cols(); ++j)
+        out[static_cast<std::size_t>(j)] += vi * wi[j];
+    }
+    return out;
+  };
+
+  c.z1 = linear(c.u0, w1_, b1_);
+  c.a1.resize(c.z1.size());
+  for (std::size_t i = 0; i < c.z1.size(); ++i) c.a1[i] = relu(c.z1[i]);
+  c.z2 = linear(c.a1, w2_, b2_);
+  c.a2.resize(c.z2.size());
+  for (std::size_t i = 0; i < c.z2.size(); ++i) c.a2[i] = relu(c.z2[i]);
+  c.logits = linear(c.a2, w3_, b3_);
+  return c;
+}
+
+RgcnNet::DenseCache RgcnNet::forward(const graph::GraphTensors& g,
+                                     std::span<const double> extra) const {
+  const GnnCache gc = encode(g);
+  return dense_forward(gc.readout, extra);
+}
+
+std::vector<double> RgcnNet::dense_backward(const DenseCache& c,
+                                            std::span<const double> dlogits) {
+  PNP_CHECK(static_cast<int>(dlogits.size()) == cfg_.total_logits());
+
+  // d(out)/d(in) of a linear layer, accumulating weight/bias grads.
+  auto backward_linear = [&](const std::vector<double>& in,
+                             std::span<const double> dout, int w_idx,
+                             int b_idx) {
+    Param& wp = P(w_idx);
+    Param& bp = P(b_idx);
+    for (int j = 0; j < wp.w.cols(); ++j)
+      bp.g(0, j) += dout[static_cast<std::size_t>(j)];
+    std::vector<double> din(in.size(), 0.0);
+    for (int i = 0; i < wp.w.rows(); ++i) {
+      const double vi = in[static_cast<std::size_t>(i)];
+      double* gw = wp.g.row(i);
+      const double* w = wp.w.row(i);
+      double acc = 0.0;
+      for (int j = 0; j < wp.w.cols(); ++j) {
+        gw[j] += vi * dout[static_cast<std::size_t>(j)];
+        acc += w[j] * dout[static_cast<std::size_t>(j)];
+      }
+      din[static_cast<std::size_t>(i)] = acc;
+    }
+    return din;
+  };
+
+  std::vector<double> da2 = backward_linear(c.a2, dlogits, w3_, b3_);
+  for (std::size_t i = 0; i < da2.size(); ++i) da2[i] *= relu_grad(c.z2[i]);
+  std::vector<double> da1 = backward_linear(c.a1, da2, w2_, b2_);
+  for (std::size_t i = 0; i < da1.size(); ++i) da1[i] *= relu_grad(c.z1[i]);
+  std::vector<double> du0 = backward_linear(c.u0, da1, w1_, b1_);
+
+  // First cfg_.hidden entries of u0 are the readout.
+  return {du0.begin(), du0.begin() + cfg_.hidden};
+}
+
+void RgcnNet::gnn_backward(const GnnCache& cache,
+                           std::span<const double> d_readout) {
+  if (gnn_frozen_) return;
+  PNP_CHECK(cache.g != nullptr);
+  PNP_CHECK(static_cast<int>(d_readout.size()) == cfg_.hidden);
+  const graph::GraphTensors& g = *cache.g;
+  const int n = g.num_nodes;
+
+  // Readout backward: every node receives d_readout / n.
+  Matrix dh(n, cfg_.hidden);
+  for (int i = 0; i < n; ++i) {
+    double* di = dh.row(i);
+    for (int d = 0; d < cfg_.hidden; ++d)
+      di[d] = d_readout[static_cast<std::size_t>(d)] / static_cast<double>(n);
+  }
+
+  for (int l = cfg_.rgcn_layers - 1; l >= 0; --l) {
+    const LayerParams& lp = layers_[static_cast<std::size_t>(l)];
+    const Matrix& z = cache.Z[static_cast<std::size_t>(l)];
+    const Matrix& h_in = cache.H[static_cast<std::size_t>(l)];
+    const auto& ms = cache.M[static_cast<std::size_t>(l)];
+    const int d_in = h_in.cols();
+
+    // Through the activation.
+    Matrix dz(n, cfg_.hidden);
+    for (std::size_t k = 0; k < z.size(); ++k)
+      dz.data()[k] = dh.data()[k] * leaky_grad(z.data()[k], cfg_.leaky_slope);
+
+    // Bias and self-weight.
+    colsum_acc(dz, P(lp.bias).g.flat());
+    gemm_tn_acc(h_in, dz, P(lp.w0).g);
+
+    Matrix dh_prev(n, d_in);
+    gemm_nt_acc(dz, P(lp.w0).w, dh_prev);
+
+    for (int r = 0; r < cfg_.num_relations; ++r) {
+      const Matrix& mr = ms[static_cast<std::size_t>(r)];
+
+      if (cfg_.num_bases == 0) {
+        Param& wr = P(lp.wr[static_cast<std::size_t>(r)]);
+        gemm_tn_acc(mr, dz, wr.g);
+        // dM_r = dz · W_rᵀ, then scatter back through the aggregation.
+        Matrix dmr(n, d_in);
+        gemm_nt_acc(dz, wr.w, dmr);
+        const auto& deg = cache.deg[static_cast<std::size_t>(r)];
+        for (const auto& [src, dst] :
+             g.rel_edges[static_cast<std::size_t>(r)]) {
+          const double inv =
+              1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
+          const double* dmt = dmr.row(dst);
+          double* dhs = dh_prev.row(src);
+          for (int d = 0; d < d_in; ++d) dhs[d] += inv * dmt[d];
+        }
+      } else {
+        // Basis mode: G_r = M_rᵀ·dz feeds both coef and basis grads.
+        Matrix gr(d_in, cfg_.hidden);
+        gemm_tn_acc(mr, dz, gr);
+        Param& coef = P(lp.coef);
+        for (int b = 0; b < cfg_.num_bases; ++b) {
+          Param& vb = P(lp.basis[static_cast<std::size_t>(b)]);
+          coef.g(r, b) += frob_inner(gr, vb.w);
+          vb.g.add_scaled(gr, coef.w(r, b));
+        }
+        const Matrix wr = relation_weight(lp, r);
+        Matrix dmr(n, d_in);
+        gemm_nt_acc(dz, wr, dmr);
+        const auto& deg = cache.deg[static_cast<std::size_t>(r)];
+        for (const auto& [src, dst] :
+             g.rel_edges[static_cast<std::size_t>(r)]) {
+          const double inv =
+              1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
+          const double* dmt = dmr.row(dst);
+          double* dhs = dh_prev.row(src);
+          for (int d = 0; d < d_in; ++d) dhs[d] += inv * dmt[d];
+        }
+      }
+    }
+    dh = std::move(dh_prev);
+  }
+
+  // Embedding backward: scatter rows into the two tables.
+  Param& et = P(emb_token_);
+  Param& ek = P(emb_kind_);
+  for (int i = 0; i < n; ++i) {
+    const int tok = g.token[static_cast<std::size_t>(i)];
+    const int kind = g.kind[static_cast<std::size_t>(i)];
+    const double* di = dh.row(i);
+    double* gt = et.g.row(tok);
+    double* gk = ek.g.row(kind);
+    for (int d = 0; d < cfg_.emb_dim; ++d) {
+      gt[d] += di[d];
+      gk[d] += di[d];
+    }
+  }
+}
+
+std::span<const double> RgcnNet::head_logits(const DenseCache& cache,
+                                             int head) const {
+  PNP_CHECK(head >= 0 && head < static_cast<int>(cfg_.head_sizes.size()));
+  const int off = head_offset_[static_cast<std::size_t>(head)];
+  const int len = cfg_.head_sizes[static_cast<std::size_t>(head)];
+  return std::span<const double>(cache.logits)
+      .subspan(static_cast<std::size_t>(off), static_cast<std::size_t>(len));
+}
+
+std::vector<Param*> RgcnNet::params() {
+  std::vector<Param*> out;
+  out.reserve(params_.size());
+  for (auto& p : params_) out.push_back(p.get());
+  return out;
+}
+
+std::size_t RgcnNet::num_weights(bool trainable_only) const {
+  std::size_t n = 0;
+  for (const auto& p : params_)
+    if (!trainable_only || p->trainable) n += p->w.size();
+  return n;
+}
+
+void RgcnNet::zero_grad() {
+  for (auto& p : params_) p->g.zero();
+}
+
+void RgcnNet::set_gnn_frozen(bool frozen) {
+  gnn_frozen_ = frozen;
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    if (is_gnn_param_[i]) params_[i]->trainable = !frozen;
+}
+
+StateDict RgcnNet::state_dict() const {
+  StateDict sd;
+  for (const auto& p : params_) {
+    std::vector<double> v(p->w.flat().begin(), p->w.flat().end());
+    sd.put(p->name, std::move(v));
+  }
+  return sd;
+}
+
+void RgcnNet::load_state_dict(const StateDict& sd, bool load_gnn_only) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    if (load_gnn_only && !is_gnn_param_[i]) continue;
+    const auto& v = sd.get(p.name);
+    PNP_CHECK_MSG(v.size() == p.w.size(),
+                  "state entry '" << p.name << "' has " << v.size()
+                                  << " values, expected " << p.w.size());
+    std::copy(v.begin(), v.end(), p.w.data());
+  }
+}
+
+}  // namespace pnp::nn

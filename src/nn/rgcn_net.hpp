@@ -1,0 +1,154 @@
+#pragma once
+
+/// \file rgcn_net.hpp
+/// The PnP tuner's neural network (paper §III-D1, Table II):
+///
+///   token/kind embedding → 4 × RGCN (LeakyReLU) → mean-pool readout →
+///   [⊕ extra features] → 3 × fully-connected (ReLU) → classification heads
+///
+/// RGCN layer (Schlichtkrull et al., ESWC'18):
+///   h'_i = σ( W₀ h_i + Σ_r Σ_{j∈N_r(i)} (1/c_{i,r}) W_r h_j + b )
+/// with c_{i,r} = |N_r(i)| and one relation per (flow type, direction).
+/// Optional basis decomposition W_r = Σ_b a_{rb} V_b regularizes the
+/// per-relation weights (ablation: PnpModelConfig in core).
+///
+/// The "extra features" slot carries the dynamic variant's inputs: the five
+/// normalized PAPI-like counters and/or the normalized power cap
+/// (paper §IV-B).
+///
+/// Backward passes are hand-derived and covered by finite-difference
+/// gradient checks in tests/nn_gradcheck_test.cpp.
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "graph/flow_graph.hpp"
+#include "nn/matrix.hpp"
+#include "nn/optim.hpp"
+
+namespace pnp::nn {
+
+struct RgcnNetConfig {
+  int vocab_size = 0;  ///< required: graph::Vocabulary::size()
+  int emb_dim = 16;
+  int rgcn_layers = 4;     ///< Table II: RGCN (4)
+  int hidden = 20;         ///< RGCN output width
+  int dense_hidden1 = 32;  ///< Table II: FCNN (3) — two hidden + logits
+  int dense_hidden2 = 24;
+  std::vector<int> head_sizes;  ///< e.g. {6,3,7} threads/schedule/chunk
+  int extra_features = 0;       ///< appended to the readout vector
+  int num_relations = graph::kNumModelRelations;
+  int num_bases = 0;  ///< 0 = full per-relation weights, >0 = basis decomp
+  double leaky_slope = 0.01;
+  std::uint64_t seed = 42;
+
+  int total_logits() const {
+    int s = 0;
+    for (int h : head_sizes) s += h;
+    return s;
+  }
+};
+
+class RgcnNet {
+ public:
+  explicit RgcnNet(RgcnNetConfig cfg);
+
+  /// Cached intermediate state of one GNN forward pass.
+  struct GnnCache {
+    const graph::GraphTensors* g = nullptr;
+    /// H[0] = embedding output … H[L] = final node features (all N×d).
+    std::vector<Matrix> H;
+    /// Pre-activation of each layer (Z[l] for layer l, 0-based).
+    std::vector<Matrix> Z;
+    /// Per-layer, per-relation normalized aggregates M_r = Â_r · H.
+    std::vector<std::vector<Matrix>> M;
+    /// Per-relation in-degrees (normalization constants), shared by layers.
+    std::vector<std::vector<int>> deg;
+    /// Mean-pooled readout (length = hidden).
+    std::vector<double> readout;
+  };
+
+  /// Cached state of one dense-head forward pass.
+  struct DenseCache {
+    std::vector<double> u0;      ///< readout ⊕ extra
+    std::vector<double> z1, a1;  ///< dense layer 1 pre/post activation
+    std::vector<double> z2, a2;  ///< dense layer 2 pre/post activation
+    std::vector<double> logits;  ///< concatenated head logits
+  };
+
+  /// Run the GNN over one graph (no gradient effects).
+  GnnCache encode(const graph::GraphTensors& g) const;
+
+  /// Run the dense classifier on a readout (+ extra features).
+  DenseCache dense_forward(std::span<const double> readout,
+                           std::span<const double> extra) const;
+
+  /// Convenience: encode + dense in one call.
+  DenseCache forward(const graph::GraphTensors& g,
+                     std::span<const double> extra) const;
+
+  /// Accumulate dense-layer gradients for d(loss)/d(logits); returns
+  /// d(loss)/d(readout) for the caller to feed into gnn_backward.
+  std::vector<double> dense_backward(const DenseCache& cache,
+                                     std::span<const double> dlogits);
+
+  /// Accumulate GNN gradients for d(loss)/d(readout).
+  void gnn_backward(const GnnCache& cache, std::span<const double> d_readout);
+
+  /// View of one head's logits inside a DenseCache.
+  std::span<const double> head_logits(const DenseCache& cache, int head) const;
+
+  const RgcnNetConfig& config() const { return cfg_; }
+
+  /// All parameters (stable addresses for the optimizer).
+  std::vector<Param*> params();
+
+  /// Number of scalar weights (trainable only, or all).
+  std::size_t num_weights(bool trainable_only = false) const;
+
+  void zero_grad();
+
+  /// Freeze/unfreeze the GNN stage (embedding + RGCN layers) — the paper's
+  /// transfer-learning step retrains only the dense layers (§IV-B).
+  void set_gnn_frozen(bool frozen);
+  bool gnn_frozen() const { return gnn_frozen_; }
+
+  /// Persistence. `load_gnn_only` restores just the embedding + RGCN
+  /// weights (cross-machine transfer where the dense head is re-learned).
+  StateDict state_dict() const;
+  void load_state_dict(const StateDict& sd, bool load_gnn_only = false);
+
+ private:
+  // Parameter handles (indices into params_).
+  struct LayerParams {
+    int w0 = -1;
+    int bias = -1;
+    std::vector<int> wr;     // full mode: one per relation
+    std::vector<int> basis;  // basis mode: num_bases matrices
+    int coef = -1;           // basis mode: (relations × bases)
+  };
+
+  Param& P(int idx) { return *params_[static_cast<std::size_t>(idx)]; }
+  const Param& P(int idx) const { return *params_[static_cast<std::size_t>(idx)]; }
+  int add_param(const std::string& name, Matrix m, bool gnn_stage);
+
+  /// Effective relation weight (composes basis if enabled).
+  Matrix relation_weight(const LayerParams& lp, int relation) const;
+
+  RgcnNetConfig cfg_;
+  std::vector<std::unique_ptr<Param>> params_;
+  std::vector<bool> is_gnn_param_;
+  bool gnn_frozen_ = false;
+
+  int emb_token_ = -1;
+  int emb_kind_ = -1;
+  std::vector<LayerParams> layers_;
+  int w1_ = -1, b1_ = -1, w2_ = -1, b2_ = -1, w3_ = -1, b3_ = -1;
+  std::vector<int> head_offset_;
+};
+
+}  // namespace pnp::nn

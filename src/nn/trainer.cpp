@@ -1,0 +1,166 @@
+#include "nn/trainer.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+
+namespace pnp::nn {
+
+namespace {
+
+/// Scale all accumulated gradients by `s` (used to mean-reduce a batch).
+void scale_grads(RgcnNet& net, double s) {
+  for (Param* p : net.params())
+    for (double& g : p->g.flat()) g *= s;
+}
+
+/// Forward + backward of one sample group; returns summed member loss.
+/// Gradients are accumulated into the net.
+double sample_backward(RgcnNet& net, const TrainSample& s,
+                       const RgcnNet::GnnCache& gc) {
+  const int hidden = net.config().hidden;
+  std::vector<double> d_readout(static_cast<std::size_t>(hidden), 0.0);
+  double loss = 0.0;
+  for (const SampleMember& m : s.members) {
+    const auto dc = net.dense_forward(gc.readout, m.extra);
+    std::vector<double> dlogits(dc.logits.size(), 0.0);
+    PNP_CHECK(m.labels.size() == net.config().head_sizes.size());
+    int off = 0;
+    for (std::size_t h = 0; h < m.labels.size(); ++h) {
+      const int len = net.config().head_sizes[h];
+      loss += softmax_cross_entropy(
+          std::span<const double>(dc.logits)
+              .subspan(static_cast<std::size_t>(off),
+                       static_cast<std::size_t>(len)),
+          m.labels[h],
+          std::span<double>(dlogits).subspan(static_cast<std::size_t>(off),
+                                             static_cast<std::size_t>(len)));
+      off += len;
+    }
+    const auto dr = net.dense_backward(dc, dlogits);
+    for (std::size_t d = 0; d < d_readout.size(); ++d) d_readout[d] += dr[d];
+  }
+  net.gnn_backward(gc, d_readout);
+  return loss;
+}
+
+}  // namespace
+
+TrainReport train(RgcnNet& net, Optimizer& opt,
+                  std::span<const TrainSample> samples,
+                  const TrainerConfig& cfg) {
+  PNP_CHECK_MSG(!samples.empty(), "no training samples");
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Frozen-GNN encode cache (keyed by graph pointer).
+  std::map<const graph::GraphTensors*, RgcnNet::GnnCache> frozen_cache;
+
+  Rng rng(cfg.seed);
+  std::vector<std::size_t> order(samples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto param_ptrs = net.params();
+
+  TrainReport report;
+  double best_loss = 1e300;
+  int stale = 0;
+
+  for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t total_members = 0;
+
+    net.zero_grad();
+    int batch_members = 0;
+    auto flush = [&]() {
+      if (batch_members == 0) return;
+      scale_grads(net, 1.0 / batch_members);
+      opt.step(param_ptrs);
+      net.zero_grad();
+      batch_members = 0;
+    };
+
+    for (std::size_t oi : order) {
+      const TrainSample& s = samples[oi];
+      PNP_CHECK(s.graph != nullptr && !s.members.empty());
+
+      const RgcnNet::GnnCache* gc = nullptr;
+      RgcnNet::GnnCache local;
+      if (net.gnn_frozen()) {
+        auto it = frozen_cache.find(s.graph);
+        if (it == frozen_cache.end())
+          it = frozen_cache.emplace(s.graph, net.encode(*s.graph)).first;
+        gc = &it->second;
+      } else {
+        local = net.encode(*s.graph);
+        gc = &local;
+      }
+
+      epoch_loss += sample_backward(net, s, *gc);
+      total_members += s.members.size();
+      batch_members += static_cast<int>(s.members.size());
+      if (batch_members >= cfg.batch_size) flush();
+    }
+    flush();
+
+    const double mean_loss = epoch_loss / static_cast<double>(total_members);
+    report.epoch_loss.push_back(mean_loss);
+    if (cfg.verbose)
+      std::printf("epoch %3d  loss %.4f\n", epoch, mean_loss);
+
+    if (mean_loss < best_loss - 1e-4) {
+      best_loss = mean_loss;
+      stale = 0;
+    } else {
+      ++stale;
+    }
+    if (mean_loss < cfg.min_loss || stale >= cfg.patience) break;
+  }
+
+  report.epochs_run = static_cast<int>(report.epoch_loss.size());
+  report.final_loss = report.epoch_loss.back();
+  report.train_accuracy = evaluate_accuracy(net, samples);
+  report.seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+  return report;
+}
+
+double evaluate_accuracy(const RgcnNet& net,
+                         std::span<const TrainSample> samples) {
+  std::size_t correct = 0, total = 0;
+  for (const TrainSample& s : samples) {
+    const auto gc = net.encode(*s.graph);
+    for (const SampleMember& m : s.members) {
+      const auto dc = net.dense_forward(gc.readout, m.extra);
+      bool all = true;
+      for (std::size_t h = 0; h < m.labels.size(); ++h) {
+        const auto logits = net.head_logits(dc, static_cast<int>(h));
+        if (argmax_index(logits) != m.labels[h]) {
+          all = false;
+          break;
+        }
+      }
+      correct += all ? 1 : 0;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) /
+                                static_cast<double>(total);
+}
+
+std::vector<int> predict_labels(const RgcnNet& net,
+                                const graph::GraphTensors& g,
+                                std::span<const double> extra) {
+  const auto dc = net.forward(g, extra);
+  std::vector<int> out;
+  out.reserve(net.config().head_sizes.size());
+  for (std::size_t h = 0; h < net.config().head_sizes.size(); ++h)
+    out.push_back(argmax_index(net.head_logits(dc, static_cast<int>(h))));
+  return out;
+}
+
+}  // namespace pnp::nn

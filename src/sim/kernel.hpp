@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file kernel.hpp
+/// The runtime-relevant characterization of one OpenMP parallel region.
+///
+/// Each of the workload suite's 68 regions carries one KernelDescriptor;
+/// the same descriptor drives both the synthetic IR generation (so the
+/// GNN's input graph reflects the code's nature) and the execution
+/// simulator's cost model (so the best configuration follows from that
+/// nature) — preserving the structure→behaviour coupling the paper's
+/// static approach learns.
+
+#include <string>
+
+namespace pnp::sim {
+
+struct KernelDescriptor {
+  std::string app;     ///< application name, e.g. "lulesh"
+  std::string region;  ///< region name, e.g. "r3_apply_accel_bc"
+
+  /// Iterations of the parallelized (outer) loop.
+  double trip_count = 1024;
+  /// Floating-point work per outer iteration.
+  double flops_per_iter = 1000;
+  /// Memory traffic per outer iteration (bytes touched, pre-cache).
+  double bytes_per_iter = 512;
+  /// Total resident data (drives the cache-miss model).
+  double working_set_bytes = 8.0 * 1024 * 1024;
+
+  /// Load imbalance across iterations: 0 = uniform, 1 = strong ramp
+  /// (max iteration cost ≈ 2× the mean).
+  double imbalance = 0.0;
+  /// Branch divergence inside the body (0..1) — feeds the misprediction
+  /// counter and a small pipeline penalty.
+  double branch_div = 0.0;
+  /// Amdahl serial fraction inside the region.
+  double serial_frac = 0.0;
+  /// Fraction of work serialized by critical sections / atomics.
+  double critical_frac = 0.0;
+  /// Relative cost of a dynamic-schedule dequeue for this kernel (1 = nominal).
+  double chunk_overhead_scale = 1.0;
+
+  int loop_nest_depth = 1;   ///< loop nesting inside the region body
+  bool reduction = false;    ///< OpenMP reduction / atomic combine present
+  bool has_calls = false;    ///< calls math intrinsics (sqrt/exp/...)
+
+  /// Fraction of machine peak FLOPs this body can reach (ILP/vectorizability).
+  double flop_efficiency = 0.25;
+
+  std::string qualified_name() const { return app + "." + region; }
+};
+
+}  // namespace pnp::sim

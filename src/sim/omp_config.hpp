@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file omp_config.hpp
+/// OpenMP runtime configurations — the tuning knobs of Table I: thread
+/// count, scheduling policy, chunk size.
+
+#include <string>
+
+namespace pnp::sim {
+
+enum class Schedule { Static = 0, Dynamic = 1, Guided = 2 };
+inline constexpr int kNumSchedules = 3;
+
+const char* schedule_name(Schedule s);
+
+/// One OpenMP runtime configuration. `chunk == 0` means the compiler /
+/// runtime default: block partition for static, 1 for dynamic, trip/(2n)
+/// decaying for guided.
+struct OmpConfig {
+  int threads = 1;
+  Schedule schedule = Schedule::Static;
+  int chunk = 0;
+
+  std::string to_string() const;
+
+  bool operator==(const OmpConfig& o) const {
+    return threads == o.threads && schedule == o.schedule && chunk == o.chunk;
+  }
+};
+
+}  // namespace pnp::sim

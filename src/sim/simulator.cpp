@@ -1,0 +1,234 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pnp::sim {
+
+namespace {
+
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+
+/// Fraction of traffic that survives (misses) a cache of `cache_bytes`
+/// given a working set of `ws` bytes.
+double residual(double cache_bytes, double ws) {
+  if (ws <= 0.0) return 0.0;
+  return clamp01(1.0 - cache_bytes / ws);
+}
+
+/// Memory bandwidth utilization as a function of threads per socket:
+/// one thread cannot saturate a socket; ~4 threads can.
+double bw_utilization(double threads_per_socket) {
+  return std::min(1.0, 1.3 * threads_per_socket / (threads_per_socket + 1.2));
+}
+
+}  // namespace
+
+const char* schedule_name(Schedule s) {
+  switch (s) {
+    case Schedule::Static: return "static";
+    case Schedule::Dynamic: return "dynamic";
+    case Schedule::Guided: return "guided";
+  }
+  return "?";
+}
+
+std::string OmpConfig::to_string() const {
+  std::string s = std::to_string(threads);
+  s += "t/";
+  s += schedule_name(schedule);
+  s += "/";
+  s += (chunk == 0) ? "def" : std::to_string(chunk);
+  return s;
+}
+
+Simulator::Simulator(const hw::MachineModel& machine, Options options)
+    : machine_(machine), options_(options) {}
+
+OmpConfig Simulator::default_config() const {
+  return OmpConfig{machine_.max_threads(), Schedule::Static, 0};
+}
+
+ExecutionResult Simulator::expected(const KernelDescriptor& k,
+                                    const OmpConfig& cfg, double cap_w) const {
+  PNP_CHECK_MSG(cfg.threads >= 1, "need at least one thread");
+  PNP_CHECK_MSG(cap_w > 0.0, "power cap must be positive");
+  const hw::MachineModel& m = machine_;
+
+  const int n = std::min(cfg.threads, m.max_threads());
+  const int cores = std::min(n, m.total_cores());
+  const int sockets_used =
+      (cores + m.cores_per_socket - 1) / m.cores_per_socket;
+  // SMT: threads beyond physical cores add partial throughput.
+  const double smt_mult =
+      1.0 + (m.smt_throughput_gain - 1.0) *
+                std::max(0, n - cores) / static_cast<double>(cores);
+
+  const double cap = std::clamp(cap_w, m.min_cap_w, m.tdp_w);
+  const double f =
+      hw::PowerCapController::max_frequency_ghz(m, cap, cores, sockets_used);
+
+  // ---- Work volumes -----------------------------------------------------
+  const double trip = std::max(1.0, k.trip_count);
+  const double total_flops = trip * k.flops_per_iter;
+  const double total_bytes = trip * k.bytes_per_iter;
+  const double ws = std::max(1.0, k.working_set_bytes);
+
+  // Cache filtering (aggregate caches of the cores in use).
+  const double resid3 = residual(m.l3_total_bytes(sockets_used), ws);
+  const double dram_bytes =
+      total_bytes * (options_.cache_leak + (1.0 - options_.cache_leak) * resid3);
+
+  // ---- Raw phase times ---------------------------------------------------
+  const double branch_penalty = 1.0 + 0.25 * k.branch_div;
+  const double comp_rate =
+      cores * smt_mult * m.flops_per_cycle_per_core * k.flop_efficiency * f *
+      1e9 / branch_penalty;
+  const double serial_comp_rate =
+      m.flops_per_cycle_per_core * k.flop_efficiency * f * 1e9 /
+      branch_penalty;
+
+  const double threads_per_socket =
+      static_cast<double>(cores) / static_cast<double>(sockets_used);
+  double bw = m.mem_bw_gbs_per_socket * 1e9 * sockets_used *
+              bw_utilization(threads_per_socket);
+  if (sockets_used > 1) bw *= m.numa_remote_factor;
+  const double bw_single =
+      m.mem_bw_gbs_per_socket * 1e9 * bw_utilization(1.0);
+
+  const double par_frac = 1.0 - k.serial_frac;
+  const double t_comp = par_frac * total_flops / comp_rate;
+  const double t_mem = par_frac * dram_bytes / bw;
+  double t_work = std::max(t_comp, t_mem) +
+                  options_.overlap_fraction * std::min(t_comp, t_mem);
+
+  // ---- Scheduling: imbalance and overhead ---------------------------------
+  // Default chunk sizes per the OpenMP spec / libgomp behaviour.
+  double chunk = static_cast<double>(cfg.chunk);
+  if (chunk <= 0.0) {
+    switch (cfg.schedule) {
+      case Schedule::Static: chunk = std::ceil(trip / n); break;
+      case Schedule::Dynamic: chunk = 1.0; break;
+      case Schedule::Guided: chunk = std::max(1.0, trip / (2.0 * n)); break;
+    }
+  }
+  chunk = std::min(chunk, trip);
+
+  // Residual imbalance factor λ ≥ 1 (ramp-profile model; see DESIGN.md).
+  const double n_frac = 1.0 - 1.0 / n;
+  const double rho = std::min(1.0, chunk * n / trip);
+  double lambda = 1.0;
+  double n_chunks = std::max(1.0, trip / chunk);
+  switch (cfg.schedule) {
+    case Schedule::Static:
+      lambda = 1.0 + k.imbalance * n_frac * rho;
+      break;
+    case Schedule::Dynamic:
+      lambda = 1.0 + k.imbalance * n_frac * std::min(1.0, rho / 4.0);
+      break;
+    case Schedule::Guided: {
+      lambda = 1.0 + k.imbalance * n_frac * std::min(1.0, rho / 2.0);
+      // Guided generates ~n·log(trip/(chunk·n)) chunks.
+      n_chunks = n * std::max(1.0, std::log2(1.0 + trip / (chunk * n))) + n;
+      break;
+    }
+  }
+
+  // Starvation when there are fewer chunks than threads.
+  const double par_eff = std::min(static_cast<double>(n), n_chunks);
+  const double starvation = static_cast<double>(n) / par_eff;
+
+  // Dequeue overhead (dynamic and guided pay per chunk; static is free).
+  const double f_scale = 2.5 / f;  // overheads are core-clocked
+  double t_sched = 0.0;
+  if (cfg.schedule != Schedule::Static) {
+    const double t_dequeue = 60e-9 * k.chunk_overhead_scale * f_scale;
+    const double contention = 1.0 + 0.015 * n;
+    t_sched = (n_chunks / n) * t_dequeue * contention;
+  }
+
+  t_work *= lambda * starvation;
+
+  // ---- Fixed overheads -----------------------------------------------------
+  // Fork + join barrier: a per-thread wake/arrive cost at core clock
+  // (libgomp-like: ~1 µs base, tens of µs at high thread counts under
+  // lowered clocks). The super-linear frequency sensitivity models the
+  // compounding of spin-wait latencies once RAPL throttles the clock —
+  // this is what makes tiny regions prefer few threads and is the engine
+  // of the paper's §I motivating example (7.54× at 40 W vs 1.67× at TDP).
+  const double t_fork =
+      (0.8e-6 + 0.12e-6 * n) * std::pow(f_scale, 1.6);
+  const double t_serial =
+      k.serial_frac * (total_flops / serial_comp_rate + dram_bytes / bw_single);
+  const double t_single_comp = total_flops / serial_comp_rate;
+  const double t_crit =
+      k.critical_frac * t_single_comp * (1.0 + 0.03 * (n - 1));
+  const double t_reduce =
+      k.reduction ? n * 100e-9 * f_scale : 0.0;
+
+  const double seconds = t_fork + t_serial + t_work + t_sched + t_crit + t_reduce;
+
+  // ---- Power & energy -------------------------------------------------------
+  const double activity =
+      (t_comp + t_mem) > 0.0 ? t_comp / std::max(t_comp, t_mem) : 1.0;
+  const double demand =
+      m.power_demand_w(cores, sockets_used, f, clamp01(activity));
+  const double power = std::min(demand, cap);
+
+  ExecutionResult r;
+  r.seconds = seconds;
+  r.joules = power * seconds;
+  r.avg_power_w = power;
+  r.frequency_ghz = f;
+  r.counters = profile_counters(k);
+  return r;
+}
+
+ExecutionResult Simulator::measure(const KernelDescriptor& k,
+                                   const OmpConfig& cfg, double cap_w,
+                                   std::uint64_t draw) const {
+  ExecutionResult r = expected(k, cfg, cap_w);
+  // Deterministic per-(machine, kernel, config, cap, draw) jitter stream.
+  std::uint64_t seed = fnv1a(machine_.name);
+  seed = hash_combine(seed, fnv1a(k.qualified_name()));
+  seed = hash_combine(seed, static_cast<std::uint64_t>(cfg.threads));
+  seed = hash_combine(seed, static_cast<std::uint64_t>(cfg.schedule));
+  seed = hash_combine(seed, static_cast<std::uint64_t>(cfg.chunk));
+  seed = hash_combine(seed, static_cast<std::uint64_t>(cap_w * 16.0));
+  seed = hash_combine(seed, draw);
+  Rng rng(seed);
+  const double jt = rng.lognormal_jitter(options_.noise_sigma);
+  const double jp = rng.lognormal_jitter(options_.noise_sigma * 0.5);
+  r.seconds *= jt;
+  r.avg_power_w *= jp;
+  r.joules = r.avg_power_w * r.seconds;
+  return r;
+}
+
+hw::Counters Simulator::profile_counters(const KernelDescriptor& k) const {
+  const hw::MachineModel& m = machine_;
+  const double trip = std::max(1.0, k.trip_count);
+  const double ws = std::max(1.0, k.working_set_bytes);
+  const double lines = trip * k.bytes_per_iter / 64.0;
+
+  const int cores = m.total_cores();
+  const double r1 = std::max(0.30, residual(m.l1_total_bytes(cores), ws));
+  const double r2 = residual(m.l2_total_bytes(cores), ws);
+  const double r3 = 0.02 + 0.98 * residual(m.l3_total_bytes(m.sockets), ws);
+
+  hw::Counters c;
+  c.instructions = trip * (2.2 * k.flops_per_iter +
+                           0.6 * k.bytes_per_iter / 8.0 + 4.0 +
+                           2.0 * k.loop_nest_depth);
+  c.l1_misses = lines * r1;
+  c.l2_misses = lines * std::min(r1, r2);
+  c.l3_misses = lines * std::min({r1, r2, r3});
+  c.branch_mispredictions =
+      trip * (1.0 + k.loop_nest_depth) * k.branch_div * 0.3;
+  return c;
+}
+
+}  // namespace pnp::sim

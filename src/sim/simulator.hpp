@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file simulator.hpp
+/// The OpenMP execution simulator: a mechanistic (roofline + scheduling)
+/// cost model that maps (kernel, OpenMP config, power cap) to execution
+/// time, energy, and PAPI-like counters on a modeled machine.
+///
+/// Model summary (see DESIGN.md §4.5):
+///  - power cap → sustainable core frequency via hw::PowerCapController;
+///  - compute time from FLOP throughput (cores × SMT yield × f);
+///  - memory time from DRAM traffic surviving the cache hierarchy, against
+///    saturating per-socket bandwidth with a NUMA factor;
+///  - schedule-dependent load imbalance and dequeue overheads
+///    (static/dynamic/guided × chunk size);
+///  - fork/join barrier, Amdahl serial fraction, critical-section
+///    serialization, reduction combine;
+///  - energy = package power (activity-scaled, cap-clamped) × time;
+///  - `measure()` adds deterministic log-normal run-to-run jitter so
+///    sampling-based tuners (BLISS/OpenTuner) face realistic variance,
+///    while `expected()` is the noiseless ground truth used for oracle
+///    labels.
+
+#include <cstdint>
+
+#include "hw/machine.hpp"
+#include "hw/power.hpp"
+#include "sim/kernel.hpp"
+#include "sim/omp_config.hpp"
+
+namespace pnp::sim {
+
+struct ExecutionResult {
+  double seconds = 0.0;
+  double joules = 0.0;
+  double avg_power_w = 0.0;
+  double frequency_ghz = 0.0;
+  hw::Counters counters;
+
+  double edp() const { return joules * seconds; }
+};
+
+class Simulator {
+ public:
+  struct Options {
+    /// Log-normal σ of measure() jitter. Real µs–ms-scale OpenMP region
+    /// timings show 5–15% run-to-run variation; this is what separates
+    /// sampling-based tuners (which see noisy observations) from the
+    /// static PnP tuner and the noiseless oracle.
+    double noise_sigma = 0.12;
+    double cache_leak = 0.02;     ///< DRAM traffic floor past a fitting cache
+    double overlap_fraction = 0.2;///< compute/memory overlap imperfection
+  };
+
+  explicit Simulator(const hw::MachineModel& machine)
+      : Simulator(machine, Options{}) {}
+  Simulator(const hw::MachineModel& machine, Options options);
+
+  /// Noiseless expected execution at a package power cap (watts).
+  ExecutionResult expected(const KernelDescriptor& k, const OmpConfig& cfg,
+                           double cap_w) const;
+
+  /// One "measured" execution: expected() with deterministic jitter.
+  /// Distinct `draw` values give independent samples; the stream is a pure
+  /// function of (machine, kernel, config, cap, draw).
+  ExecutionResult measure(const KernelDescriptor& k, const OmpConfig& cfg,
+                          double cap_w, std::uint64_t draw) const;
+
+  /// The five counters the dynamic variant profiles, collected at the
+  /// default configuration (paper: "execute applications twice" — the
+  /// counters do not depend on the candidate configuration).
+  hw::Counters profile_counters(const KernelDescriptor& k) const;
+
+  /// The default OpenMP configuration on this machine: all hardware
+  /// threads, static schedule, compiler-default chunk.
+  OmpConfig default_config() const;
+
+  const hw::MachineModel& machine() const { return machine_; }
+  const Options& options() const { return options_; }
+
+ private:
+  hw::MachineModel machine_;
+  Options options_;
+};
+
+}  // namespace pnp::sim

@@ -1,0 +1,274 @@
+#include "workloads/irgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "ir/builder.hpp"
+#include "ir/verifier.hpp"
+
+namespace pnp::workloads {
+
+namespace {
+
+using ir::Builder;
+using ir::Opcode;
+using ir::Type;
+using ir::Value;
+
+void declare_once(ir::Module& m, const ir::Declaration& d) {
+  if (!m.is_declared(d.name)) m.declarations.push_back(d);
+}
+
+int clamp_int(double v, int lo, int hi) {
+  return std::clamp(static_cast<int>(std::lround(v)), lo, hi);
+}
+
+/// Emits the innermost computation body; returns the running accumulator.
+struct BodyPlan {
+  int n_loads = 2;
+  int n_flops = 4;
+  int n_stores = 1;
+  bool divergent_branch = false;
+  bool math_call = false;
+  bool atomic_combine = false;
+  bool critical_section = false;
+};
+
+BodyPlan plan_body(const sim::KernelDescriptor& k) {
+  BodyPlan p;
+  p.n_loads = clamp_int(1.5 * std::log2(1.0 + k.bytes_per_iter / 8.0), 1, 10);
+  p.n_flops = clamp_int(2.0 * std::log2(1.0 + k.flops_per_iter), 1, 16);
+  p.n_stores = k.bytes_per_iter > 64 ? 2 : 1;
+  p.divergent_branch = k.branch_div > 0.15;
+  p.math_call = k.has_calls;
+  p.atomic_combine = k.reduction;
+  p.critical_section = k.critical_frac > 0.01;
+  return p;
+}
+
+/// A loop level under construction.
+struct LoopFrame {
+  int header = -1;
+  int body = -1;
+  int latch = -1;
+  int exit = -1;
+  Value induction;  // phi in header
+};
+
+/// Opens a counted loop `for (i = 0; i < bound; ++i)` starting from the
+/// current insertion point; leaves the builder inside the body block.
+LoopFrame open_loop(Builder& b, int level, Value bound) {
+  LoopFrame fr;
+  const std::string tag = "l" + std::to_string(level);
+  fr.header = b.add_block(tag + ".header");
+  fr.body = b.add_block(tag + ".body");
+  fr.latch = b.add_block(tag + ".latch");
+  fr.exit = b.add_block(tag + ".exit");
+
+  const int pre = b.current_block();
+  b.br(fr.header);
+
+  b.set_block(fr.header);
+  fr.induction = b.phi(Type::I64, {{b.ci64(0), pre}});
+  const Value cond = b.icmp("slt", fr.induction, bound);
+  b.condbr(cond, fr.body, fr.exit);
+
+  b.set_block(fr.body);
+  return fr;
+}
+
+/// Closes a loop opened by open_loop: jumps to the latch, increments, and
+/// loops back; leaves the builder in the exit block.
+void close_loop(Builder& b, const LoopFrame& fr) {
+  b.br(fr.latch);
+  b.set_block(fr.latch);
+  const Value next = b.add(fr.induction, b.ci64(1));
+  b.br(fr.header);
+  b.phi_add_incoming(fr.induction, next, fr.latch);
+  b.set_block(fr.exit);
+}
+
+}  // namespace
+
+std::string emit_region(ir::Module& m, const sim::KernelDescriptor& k) {
+  // Globals this region streams through (named per region for locality).
+  const std::string base = k.region;
+  auto add_global = [&](const std::string& suffix) {
+    const std::string name = base + "_" + suffix;
+    if (m.global_index(name) < 0) m.globals.push_back(ir::Global{name, Type::F64});
+    return name;
+  };
+  const std::string g_in = add_global("in");
+  const std::string g_out = add_global("out");
+
+  declare_once(m, {"omp_get_thread_num", Type::I32, {}});
+  declare_once(m, {"omp_get_num_threads", Type::I32, {}});
+
+  ir::Function fn;
+  fn.name = k.app + "." + k.region + ".omp_outlined";
+  fn.ret = Type::Void;
+  fn.args.push_back(ir::Argument{"ctx", Type::Ptr});
+  fn.args.push_back(ir::Argument{"n", Type::I64});
+  m.functions.push_back(std::move(fn));
+  ir::Function& f = m.functions.back();
+
+  Builder b(m, f);
+  const int entry = b.add_block("entry");
+  b.set_block(entry);
+
+  const Value tid32 = b.call(Type::I32, "omp_get_thread_num", {});
+  const Value tid = b.sext(tid32, Type::I64);
+  const Value nthr32 = b.call(Type::I32, "omp_get_num_threads", {});
+  const Value nthr = b.sext(nthr32, Type::I64);
+  (void)nthr;
+
+  const BodyPlan plan = plan_body(k);
+
+  // Serial fraction: a __kmpc_single-guarded prologue executed by the
+  // elected thread only.
+  if (k.serial_frac > 0.02) {
+    declare_once(m, {"__kmpc_single", Type::I32, {Type::Ptr}});
+    declare_once(m, {"__kmpc_end_single", Type::Void, {Type::Ptr}});
+    const Value got = b.call(Type::I32, "__kmpc_single", {b.arg(0)});
+    const Value is_single = b.icmp("ne", got, b.ci32(0));
+    const int single_bb = b.add_block("single.body");
+    const int after_single = b.add_block("single.end");
+    b.condbr(is_single, single_bb, after_single);
+    b.set_block(single_bb);
+    const Value p = b.gep(b.global(g_out), b.ci64(0));
+    const Value v = b.load(Type::F64, p);
+    const Value v2 = b.fmul(v, b.cf64(0.5));
+    b.store(v2, p);
+    b.call(Type::Void, "__kmpc_end_single", {b.arg(0)});
+    b.br(after_single);
+    b.set_block(after_single);
+  }
+
+  // The parallelized outer loop. Trip count appears as a constant bound —
+  // the magnitude the static graph cannot see.
+  const Value outer_bound =
+      b.ci64(static_cast<std::int64_t>(std::max(1.0, k.trip_count)));
+  const int depth = std::clamp(k.loop_nest_depth, 1, 3);
+
+  std::vector<LoopFrame> frames;
+  frames.push_back(open_loop(b, 0, outer_bound));
+
+  // Data-dependent inner bound models imbalanced (CSR/triangular) nests.
+  for (int level = 1; level < depth; ++level) {
+    Value bound;
+    if (k.imbalance > 0.15) {
+      const Value bp = b.gep(b.global(g_in), frames.back().induction);
+      const Value bw = b.load(Type::F64, bp);
+      bound = b.cast(Opcode::FPToSI, Type::I64, bw);
+    } else {
+      bound = b.ci64(
+          static_cast<std::int64_t>(std::max(1.0, k.trip_count / 4.0)));
+    }
+    frames.push_back(open_loop(b, level, bound));
+  }
+
+  // ---- Innermost body ------------------------------------------------------
+  const Value idx = frames.back().induction;
+
+  if (plan.critical_section) {
+    declare_once(m, {"__kmpc_critical", Type::Void, {Type::Ptr}});
+    b.call(Type::Void, "__kmpc_critical", {b.arg(0)});
+  }
+
+  // Loads.
+  std::vector<Value> vals;
+  for (int i = 0; i < plan.n_loads; ++i) {
+    const Value off = b.add(idx, b.ci64(i));
+    const Value p = b.gep(b.global(g_in), off);
+    vals.push_back(b.load(Type::F64, p));
+  }
+  if (vals.empty()) vals.push_back(b.cf64(1.0));
+
+  // Divergent branch: body splits on a data-dependent predicate.
+  Value acc = vals[0];
+  if (plan.divergent_branch) {
+    const Value pred = b.fcmp("ogt", acc, b.cf64(0.0));
+    const int then_bb = b.add_block("div.then");
+    const int else_bb = b.add_block("div.else");
+    const int join_bb = b.add_block("div.join");
+    b.condbr(pred, then_bb, else_bb);
+    b.set_block(then_bb);
+    const Value tv = b.fmul(acc, b.cf64(1.5));
+    b.br(join_bb);
+    b.set_block(else_bb);
+    const Value ev = b.fadd(acc, b.cf64(2.5));
+    b.br(join_bb);
+    b.set_block(join_bb);
+    acc = b.phi(Type::F64, {{tv, then_bb}, {ev, else_bb}});
+  }
+
+  // Arithmetic chain; mix of fmul/fadd proportional to intensity.
+  for (int i = 0; i < plan.n_flops; ++i) {
+    const Value rhs = vals[static_cast<std::size_t>(i) % vals.size()];
+    acc = (i % 3 == 2) ? b.fadd(acc, rhs) : b.fmul(acc, rhs);
+  }
+  if (plan.math_call) {
+    declare_once(m, {"sqrt", Type::F64, {Type::F64}});
+    acc = b.call(Type::F64, "sqrt", {acc});
+  }
+
+  // Stores / combine.
+  if (plan.atomic_combine) {
+    const Value p = b.gep(b.global(g_out), tid);
+    b.atomicrmw("fadd", p, acc);
+  }
+  for (int i = 0; i < plan.n_stores; ++i) {
+    const Value off = b.add(idx, b.ci64(100 + i));
+    const Value p = b.gep(b.global(g_out), off);
+    b.store(acc, p);
+  }
+
+  if (plan.critical_section) {
+    declare_once(m, {"__kmpc_end_critical", Type::Void, {Type::Ptr}});
+    b.call(Type::Void, "__kmpc_end_critical", {b.arg(0)});
+  }
+
+  // Close the nest inside-out; implicit OpenMP barrier; return.
+  for (auto it = frames.rbegin(); it != frames.rend(); ++it)
+    close_loop(b, *it);
+  b.barrier();
+  b.ret();
+
+  return f.name;
+}
+
+ir::Module emit_application(const std::string& app_name,
+                            const std::vector<sim::KernelDescriptor>& regions) {
+  PNP_CHECK(!regions.empty());
+  ir::Module m;
+  m.name = app_name;
+
+  std::vector<std::string> fn_names;
+  for (const auto& k : regions) {
+    PNP_CHECK_MSG(k.app == app_name,
+                  "descriptor app '" << k.app << "' != module '" << app_name
+                                     << "'");
+    fn_names.push_back(emit_region(m, k));
+  }
+
+  // Driver providing call-flow context.
+  ir::Function driver;
+  driver.name = app_name + ".main";
+  driver.ret = Type::Void;
+  driver.args.push_back(ir::Argument{"ctx", Type::Ptr});
+  m.functions.push_back(std::move(driver));
+  ir::Function& dr = *m.find_function(app_name + ".main");
+  Builder b(m, dr);
+  const int entry = b.add_block("entry");
+  b.set_block(entry);
+  for (const auto& fname : fn_names)
+    b.call(Type::Void, fname, {b.arg(0), b.ci64(1)});
+  b.ret();
+
+  ir::verify_or_throw(m);
+  return m;
+}
+
+}  // namespace pnp::workloads

@@ -1,0 +1,402 @@
+#include "workloads/suite.hpp"
+
+#include "common/error.hpp"
+#include "workloads/irgen.hpp"
+
+namespace pnp::workloads {
+
+namespace {
+
+using sim::KernelDescriptor;
+
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * 1024.0;
+
+/// Builders per kernel family. Values are chosen so that region runtimes
+/// land in the µs–tens-of-ms range and the families have distinct optima
+/// (see suite.hpp header comment and DESIGN.md §4.5).
+
+/// Dense BLAS-3-like compute kernel (gemm family).
+KernelDescriptor blas3(std::string app, std::string region, double n,
+                       double imbalance = 0.0, bool calls = false) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = n;
+  k.flops_per_iter = 2.0 * n * n;       // rank-1 update row
+  k.bytes_per_iter = 2.0 * n * 8.0;     // one row of each operand
+  k.working_set_bytes = 3.0 * n * n * 8.0;
+  k.imbalance = imbalance;
+  k.loop_nest_depth = 3;
+  k.flop_efficiency = 0.35;
+  k.has_calls = calls;
+  return k;
+}
+
+/// Bandwidth-bound 2-D stencil sweep.
+KernelDescriptor stencil(std::string app, std::string region, double n,
+                         double arrays, double serial_frac = 0.0) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = n;                      // rows
+  k.flops_per_iter = 6.0 * n;
+  k.bytes_per_iter = arrays * n * 8.0;   // rows streamed per iteration
+  k.working_set_bytes = arrays * n * n * 8.0;
+  k.serial_frac = serial_frac;
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = 0.20;
+  return k;
+}
+
+/// Memory-bound BLAS-2 (matrix-vector family).
+KernelDescriptor blas2(std::string app, std::string region, double n,
+                       double passes = 1.0, bool reduction = false) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = n;
+  k.flops_per_iter = 2.0 * n * passes;
+  k.bytes_per_iter = passes * n * 8.0;
+  k.working_set_bytes = passes * n * n * 8.0;
+  k.reduction = reduction;
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = 0.15;
+  return k;
+}
+
+/// Triangular / factorization kernel with ramp imbalance.
+KernelDescriptor triangular(std::string app, std::string region, double n,
+                            double imbalance, double serial_frac = 0.0,
+                            bool calls = false) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = n;
+  k.flops_per_iter = n * n / 3.0;
+  k.bytes_per_iter = n * 8.0;
+  k.working_set_bytes = n * n * 8.0;
+  k.imbalance = imbalance;
+  k.serial_frac = serial_frac;
+  k.loop_nest_depth = 3;
+  k.flop_efficiency = 0.22;
+  k.has_calls = calls;
+  return k;
+}
+
+/// Monte Carlo cross-section lookup (XSBench/RSBench family).
+KernelDescriptor monte_carlo(std::string app, std::string region,
+                             double lookups, double ws_mib,
+                             double divergence) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = lookups;
+  k.flops_per_iter = 90.0;
+  k.bytes_per_iter = 640.0;  // scattered grid reads
+  k.working_set_bytes = ws_mib * MiB;
+  k.imbalance = 0.35;
+  k.branch_div = divergence;
+  k.reduction = true;
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = 0.06;
+  k.chunk_overhead_scale = 0.8;
+  return k;
+}
+
+/// Tiny boundary/ghost kernel — fork/join-overhead dominated.
+KernelDescriptor tiny(std::string app, std::string region, double trip,
+                      double flops = 4.0, double bytes = 24.0) {
+  KernelDescriptor k;
+  k.app = std::move(app);
+  k.region = std::move(region);
+  k.trip_count = trip;
+  k.flops_per_iter = flops;
+  k.bytes_per_iter = bytes;
+  k.working_set_bytes = trip * bytes;
+  k.loop_nest_depth = 1;
+  k.flop_efficiency = 0.10;
+  return k;
+}
+
+std::vector<KernelDescriptor> make_app_regions(const std::string& app) {
+  std::vector<KernelDescriptor> rs;
+  auto add = [&](KernelDescriptor k) { rs.push_back(std::move(k)); };
+
+  // ---- Proxy / mini applications (figure order) -------------------------
+  if (app == "rsbench") {
+    // Multipole cross-section lookups: heavy divergence, resonance windows.
+    add(monte_carlo(app, "r0_xs_lookup", 160000, 64, 0.7));
+    auto k = monte_carlo(app, "r1_verification", 40000, 64, 0.5);
+    k.reduction = true;
+    k.flops_per_iter = 40.0;
+    add(k);
+  } else if (app == "xsbench") {
+    // Unionized-grid lookups: huge working set, random access.
+    add(monte_carlo(app, "r0_macro_xs", 200000, 240, 0.6));
+    auto k = monte_carlo(app, "r1_grid_init", 60000, 240, 0.2);
+    k.branch_div = 0.1;
+    k.imbalance = 0.1;
+    add(k);
+  } else if (app == "minife") {
+    // CG solver pieces.
+    auto spmv = blas2(app, "r0_spmv", 6000, 4.0);
+    spmv.imbalance = 0.35;  // row-length variance
+    spmv.working_set_bytes = 200 * MiB;
+    add(spmv);
+    auto dot = blas2(app, "r1_dot", 800000, 0.002, true);
+    dot.bytes_per_iter = 16.0;
+    dot.flops_per_iter = 2.0;
+    dot.working_set_bytes = 13 * MiB;
+    dot.loop_nest_depth = 1;
+    add(dot);
+    auto waxpby = blas2(app, "r2_waxpby", 800000, 0.003);
+    waxpby.bytes_per_iter = 24.0;
+    waxpby.flops_per_iter = 3.0;
+    waxpby.working_set_bytes = 19 * MiB;
+    waxpby.loop_nest_depth = 1;
+    add(waxpby);
+    auto asm_k = triangular(app, "r3_matrix_assembly", 2200, 0.3, 0.05);
+    asm_k.critical_frac = 0.02;
+    asm_k.reduction = true;
+    add(asm_k);
+    auto bc = tiny(app, "r4_dirichlet_bc", 12000, 6.0, 32.0);
+    add(bc);
+    auto vinit = tiny(app, "r5_vector_init", 800000, 1.0, 8.0);
+    vinit.working_set_bytes = 6.4e6;
+    add(vinit);
+  } else if (app == "quicksilver") {
+    // Particle histories: extreme imbalance + divergence.
+    auto cyc = monte_carlo(app, "r0_cycle_tracking", 120000, 96, 0.75);
+    cyc.imbalance = 0.8;
+    cyc.chunk_overhead_scale = 1.2;
+    add(cyc);
+    auto init = monte_carlo(app, "r1_cycle_init", 60000, 96, 0.2);
+    init.imbalance = 0.15;
+    init.branch_div = 0.15;
+    add(init);
+    auto tally = monte_carlo(app, "r2_tallies", 80000, 32, 0.3);
+    tally.critical_frac = 0.03;
+    tally.imbalance = 0.3;
+    add(tally);
+    auto fin = tiny(app, "r3_cycle_finalize", 20000, 8.0, 48.0);
+    fin.reduction = true;
+    add(fin);
+    auto pop = blas2(app, "r4_population_control", 120000, 0.004);
+    pop.bytes_per_iter = 56.0;
+    pop.branch_div = 0.4;
+    pop.imbalance = 0.25;
+    pop.working_set_bytes = 7 * MiB;
+    pop.loop_nest_depth = 1;
+    add(pop);
+  } else if (app == "miniamr") {
+    // Adaptive stencil on refined octree blocks.
+    auto st = stencil(app, "r0_stencil_sweep", 3000, 4.0);
+    st.imbalance = 0.5;  // refinement imbalance
+    add(st);
+    auto cmp = stencil(app, "r1_block_compare", 2200, 2.0);
+    cmp.imbalance = 0.45;
+    cmp.branch_div = 0.3;
+    add(cmp);
+    auto rf = triangular(app, "r2_refine", 1200, 0.6, 0.1);
+    rf.critical_frac = 0.05;
+    add(rf);
+    auto gx = tiny(app, "r3_ghost_exchange", 9000, 2.0, 64.0);
+    gx.working_set_bytes = 2 * MiB;
+    add(gx);
+    auto cks = blas2(app, "r4_checksum", 500000, 0.002, true);
+    cks.bytes_per_iter = 16.0;
+    cks.flops_per_iter = 2.0;
+    cks.working_set_bytes = 8 * MiB;
+    cks.loop_nest_depth = 1;
+    add(cks);
+    auto pack = tiny(app, "r5_comm_pack", 16000, 2.0, 96.0);
+    pack.working_set_bytes = 1.5 * MiB;
+    add(pack);
+  } else if (app == "lulesh") {
+    // Shock hydrodynamics proxy: nine regions of very different nature.
+    auto f0 = blas3(app, "r0_calc_force", 900, 0.1);
+    f0.flop_efficiency = 0.28;
+    add(f0);
+    auto f1 = blas3(app, "r1_volume_force", 800, 0.1, true);
+    add(f1);
+    auto is = stencil(app, "r2_integrate_stress", 2600, 3.0);
+    is.imbalance = 0.2;
+    add(is);
+    // The §I motivating kernel: ApplyAccelerationBoundaryConditionsForNodes —
+    // trivially small, fork/join dominated.
+    add(tiny(app, "r3_apply_accel_bc", 2500, 3.0, 24.0));
+    auto vel = stencil(app, "r4_calc_velocity", 3200, 2.0);
+    add(vel);
+    auto kin = blas3(app, "r5_kinematics", 700, 0.15, true);
+    kin.flop_efficiency = 0.30;
+    add(kin);
+    auto qg = stencil(app, "r6_monotonic_q_gradient", 2400, 3.0);
+    qg.branch_div = 0.3;
+    add(qg);
+    auto mat = monte_carlo(app, "r7_apply_material", 90000, 48, 0.5);
+    mat.imbalance = 0.4;
+    mat.reduction = false;
+    mat.flops_per_iter = 160.0;
+    mat.flop_efficiency = 0.12;
+    add(mat);
+    auto en = blas3(app, "r8_calc_energy", 600, 0.1, true);
+    en.branch_div = 0.25;
+    add(en);
+  }
+
+  // ---- PolyBench (figure order) ------------------------------------------
+  else if (app == "seidel-2d") {
+    // Gauss–Seidel wavefront dependency: a large serial remainder.
+    add(stencil(app, "r0_sweep", 2800, 3.0, /*serial_frac=*/0.35));
+  } else if (app == "adi") {
+    add(stencil(app, "r0_column_sweep", 2600, 5.0));
+    auto r1 = stencil(app, "r1_row_sweep", 2600, 3.0);
+    add(r1);
+  } else if (app == "jacobi-2d") {
+    add(stencil(app, "r0_stencil_a", 3400, 3.0));
+    add(stencil(app, "r1_stencil_b", 3400, 3.0));
+  } else if (app == "bicg") {
+    add(blas2(app, "r0_q_av", 7000, 1.0));
+    add(blas2(app, "r1_s_atr", 7000, 1.0, true));
+  } else if (app == "atax") {
+    add(blas2(app, "r0_ax", 6500, 1.0));
+    add(blas2(app, "r1_aty", 6500, 1.0, true));
+  } else if (app == "gramschmidt") {
+    add(triangular(app, "r0_projection", 1300, 0.6, 0.0, true));
+    auto nrm = blas2(app, "r1_normalize", 1300, 1.0, true);
+    nrm.has_calls = true;
+    add(nrm);
+  } else if (app == "correlation") {
+    auto mean = blas2(app, "r0_mean_stddev", 1600, 1.0, true);
+    mean.has_calls = true;
+    add(mean);
+    add(triangular(app, "r1_corr_matrix", 1600, 0.5));
+  } else if (app == "doitgen") {
+    auto k = blas3(app, "r0_contraction", 900);
+    k.working_set_bytes = 30 * MiB;
+    add(k);
+  } else if (app == "covariance") {
+    add(blas2(app, "r0_center", 1700, 1.0));
+    add(triangular(app, "r1_cov_matrix", 1700, 0.5));
+  } else if (app == "gemm") {
+    add(blas3(app, "r0_gemm", 1100));
+  } else if (app == "syrk") {
+    add(blas3(app, "r0_syrk", 1000, 0.45));
+  } else if (app == "cholesky") {
+    add(triangular(app, "r0_factorize", 1400, 0.65, 0.08, true));
+  } else if (app == "gemver") {
+    add(blas2(app, "r0_a_update", 5200, 2.0));
+    add(blas2(app, "r1_xw_update", 5200, 2.0, true));
+  } else if (app == "mvt") {
+    add(blas2(app, "r0_x1", 6000, 1.0, true));
+    add(blas2(app, "r1_x2", 6000, 1.0, true));
+  } else if (app == "durbin") {
+    auto k = triangular(app, "r0_levinson", 500, 0.3, 0.45);
+    k.flops_per_iter = 2.0 * 500;
+    k.bytes_per_iter = 500 * 8.0;
+    k.working_set_bytes = 2 * MiB;
+    k.loop_nest_depth = 2;
+    add(k);
+  } else if (app == "trisolv") {
+    // The paper's outlier: fastest with a single thread everywhere. The
+    // forward-substitution recurrence leaves almost no parallel work, and
+    // the little that remains sits behind a lock.
+    auto k = triangular(app, "r0_forward_subst", 2000, 0.1, 0.95);
+    k.flops_per_iter = 2.0 * 2000 * 0.002;
+    k.bytes_per_iter = 2000 * 8.0 * 0.002;
+    k.working_set_bytes = 16 * MiB;
+    k.critical_frac = 0.25;
+    k.loop_nest_depth = 2;
+    add(k);
+  } else if (app == "syr2k") {
+    add(blas3(app, "r0_rank2k_a", 950, 0.45));
+    add(blas3(app, "r1_rank2k_b", 950, 0.45));
+  } else if (app == "lu") {
+    add(triangular(app, "r0_eliminate", 1400, 0.7));
+    auto up = triangular(app, "r1_update", 1400, 0.7);
+    up.flops_per_iter = 1400.0 * 1400.0 / 4.0;
+    add(up);
+  } else if (app == "symm") {
+    add(blas3(app, "r0_symm", 1000, 0.2));
+  } else if (app == "fdtd-2d") {
+    add(stencil(app, "r0_update_e", 3000, 4.0));
+    add(stencil(app, "r1_update_h", 3000, 4.0));
+  } else if (app == "fdtd-apml") {
+    auto a = stencil(app, "r0_update_bz", 2400, 5.0);
+    a.branch_div = 0.2;  // PML boundary conditionals
+    add(a);
+    add(stencil(app, "r1_update_ex_ey", 2400, 5.0));
+  } else if (app == "2mm") {
+    add(blas3(app, "r0_first_mm", 1000));
+    add(blas3(app, "r1_second_mm", 1000));
+  } else if (app == "gesummv") {
+    add(blas2(app, "r0_summv", 6800, 2.0, true));
+  } else if (app == "trmm") {
+    add(blas3(app, "r0_trmm", 1000, 0.5));
+  }
+
+  PNP_CHECK_MSG(!rs.empty(), "unknown application '" << app << "'");
+  return rs;
+}
+
+const std::vector<std::string> kAppOrder = {
+    // Proxy/mini apps first, then PolyBench — the order of the paper's
+    // figures (Fig. 2–7 x-axes).
+    "rsbench",    "xsbench",     "minife",    "quicksilver", "miniamr",
+    "lulesh",     "seidel-2d",   "adi",       "jacobi-2d",   "bicg",
+    "atax",       "gramschmidt", "correlation", "doitgen",   "covariance",
+    "gemm",       "syrk",        "cholesky",  "gemver",      "mvt",
+    "durbin",     "trisolv",     "syr2k",     "lu",          "symm",
+    "fdtd-2d",    "fdtd-apml",   "2mm",       "gesummv",     "trmm",
+};
+
+}  // namespace
+
+Suite::Suite() {
+  apps_.reserve(kAppOrder.size());
+  for (const auto& name : kAppOrder) {
+    Application app;
+    app.name = name;
+    auto descs = make_app_regions(name);
+    app.module = emit_application(name, descs);
+    for (auto& d : descs) {
+      Region r;
+      r.function = d.app + "." + d.region + ".omp_outlined";
+      r.desc = std::move(d);
+      app.regions.push_back(std::move(r));
+    }
+    apps_.push_back(std::move(app));
+  }
+}
+
+const Suite& Suite::instance() {
+  static const Suite suite;
+  return suite;
+}
+
+std::size_t Suite::total_regions() const {
+  std::size_t n = 0;
+  for (const auto& a : apps_) n += a.regions.size();
+  return n;
+}
+
+std::vector<Suite::RegionRef> Suite::all_regions() const {
+  std::vector<RegionRef> out;
+  out.reserve(total_regions());
+  for (const auto& a : apps_)
+    for (const auto& r : a.regions) out.push_back(RegionRef{&a, &r});
+  return out;
+}
+
+const Application* Suite::find(const std::string& name) const {
+  for (const auto& a : apps_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+std::vector<std::string> Suite::application_names() const {
+  return kAppOrder;
+}
+
+}  // namespace pnp::workloads

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file suite.hpp
+/// The paper's benchmark corpus (§III-C, §IV): 30 applications with 68
+/// OpenMP parallel regions — 24 PolyBench kernels plus the proxy-/mini-apps
+/// RSBench, XSBench, miniFE, Quicksilver, miniAMR, and LULESH.
+///
+/// Every region is described by a KernelDescriptor (see sim/kernel.hpp)
+/// from which both its outlined IR (workloads/irgen.hpp) and its simulated
+/// runtime behaviour derive. Descriptor values are set per kernel family:
+/// dense BLAS-3 compute kernels, bandwidth-bound stencils and BLAS-2,
+/// triangular/factorization kernels with ramp imbalance, Monte Carlo
+/// lookup kernels with branch divergence, and the proxy apps' mixed
+/// regions (including LULESH's tiny boundary-condition kernel that drives
+/// the paper's §I motivating example).
+
+#include <string>
+#include <vector>
+
+#include "ir/module.hpp"
+#include "sim/kernel.hpp"
+
+namespace pnp::workloads {
+
+/// One OpenMP region: descriptor + the outlined function in the module.
+struct Region {
+  sim::KernelDescriptor desc;
+  std::string function;  ///< "<app>.<region>.omp_outlined"
+};
+
+/// One application: its IR module and regions.
+struct Application {
+  std::string name;
+  ir::Module module;
+  std::vector<Region> regions;
+};
+
+/// The full benchmark corpus, built once per process (IR emission +
+/// verification happen at first access).
+class Suite {
+ public:
+  static const Suite& instance();
+
+  const std::vector<Application>& applications() const { return apps_; }
+
+  std::size_t application_count() const { return apps_.size(); }
+  std::size_t total_regions() const;
+
+  /// All regions in application order, each paired with its application.
+  struct RegionRef {
+    const Application* app;
+    const Region* region;
+  };
+  std::vector<RegionRef> all_regions() const;
+
+  const Application* find(const std::string& name) const;
+
+  /// Application names in the figure order of the paper.
+  std::vector<std::string> application_names() const;
+
+ private:
+  Suite();
+  std::vector<Application> apps_;
+};
+
+}  // namespace pnp::workloads

@@ -1,0 +1,146 @@
+/// Tests for the baseline tuners (BLISS-style and OpenTuner-like):
+/// budget accounting, sanity of the returned configurations, and the
+/// relationship oracle ≥ tuner ≥ worst case.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "core/baselines.hpp"
+#include "core/measurement_db.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new hw::MachineModel(hw::MachineModel::haswell());
+    simulator_ = new sim::Simulator(*machine_);
+    space_ = new SearchSpace(SearchSpace::for_machine(*machine_));
+    db_ = new MeasurementDb(*simulator_, *space_,
+                            workloads::Suite::instance().all_regions());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete space_;
+    delete simulator_;
+    delete machine_;
+  }
+
+  static hw::MachineModel* machine_;
+  static sim::Simulator* simulator_;
+  static SearchSpace* space_;
+  static MeasurementDb* db_;
+};
+
+hw::MachineModel* BaselinesTest::machine_ = nullptr;
+sim::Simulator* BaselinesTest::simulator_ = nullptr;
+SearchSpace* BaselinesTest::space_ = nullptr;
+MeasurementDb* BaselinesTest::db_ = nullptr;
+
+TEST_F(BaselinesTest, BlissRespectsSamplingBudget) {
+  BaselineOptions opt;
+  opt.bliss_samples = 20;
+  BlissTuner bliss(*simulator_, *space_, opt);
+  const auto& desc = db_->region(0).region->desc;
+  const auto c = bliss.tune_at_cap(desc, 60.0);
+  EXPECT_LE(c.executions, 20);
+  EXPECT_GE(c.executions, 5);
+}
+
+TEST_F(BaselinesTest, OpenTunerRespectsEvalBudget) {
+  BaselineOptions opt;
+  opt.opentuner_evals = 40;
+  OpenTunerLike otl(*simulator_, *space_, opt);
+  const auto& desc = db_->region(0).region->desc;
+  const auto c = otl.tune_edp(desc);
+  EXPECT_LE(c.executions, 40);
+  EXPECT_GE(c.executions, 2);
+}
+
+TEST_F(BaselinesTest, ChoicesAreValidSpacePoints) {
+  BaselineOptions opt;
+  BlissTuner bliss(*simulator_, *space_, opt);
+  OpenTunerLike otl(*simulator_, *space_, opt);
+  for (int r : {0, 20, 40, 60}) {
+    const auto& desc = db_->region(r).region->desc;
+    for (const auto& c : {bliss.tune_at_cap(desc, 40.0),
+                          otl.tune_at_cap(desc, 40.0)}) {
+      const bool on_grid = space_->omp_index(c.cfg) >= 0;
+      const bool is_default = c.cfg == space_->default_config();
+      EXPECT_TRUE(on_grid || is_default) << c.cfg.to_string();
+    }
+    const auto je = bliss.tune_edp(desc);
+    EXPECT_GE(je.cap_index, 0);
+    EXPECT_LT(je.cap_index, 4);
+  }
+}
+
+TEST_F(BaselinesTest, NeverBeatTheOracleMeaningfully) {
+  // Baselines pick from the same space the oracle scans; with noisy
+  // sampling their *selected* configuration can be at most marginally
+  // better than the oracle's noiseless best (ties / jitter).
+  BaselineOptions opt;
+  BlissTuner bliss(*simulator_, *space_, opt);
+  OpenTunerLike otl(*simulator_, *space_, opt);
+  for (int r : {3, 17, 33, 51}) {
+    const auto& desc = db_->region(r).region->desc;
+    for (int k : {0, 3}) {
+      const double cap = space_->power_caps()[static_cast<std::size_t>(k)];
+      const double oracle = db_->best_time(r, k);
+      for (const auto& c :
+           {bliss.tune_at_cap(desc, cap), otl.tune_at_cap(desc, cap)}) {
+        const double t = simulator_->expected(desc, c.cfg, cap).seconds;
+        EXPECT_GE(t, oracle * 0.999);
+      }
+    }
+  }
+}
+
+TEST_F(BaselinesTest, UsuallyBeatTheDefault) {
+  // Aggregate sanity: sampling tuners should recover most of the headroom.
+  BaselineOptions opt;
+  BlissTuner bliss(*simulator_, *space_, opt);
+  std::vector<double> norm;
+  for (int r = 0; r < db_->num_regions(); r += 6) {
+    const auto& desc = db_->region(r).region->desc;
+    const double cap = space_->power_caps()[0];
+    const auto c = bliss.tune_at_cap(desc, cap);
+    const double t = simulator_->expected(desc, c.cfg, cap).seconds;
+    norm.push_back(db_->at_default(r, 0).seconds / t);
+  }
+  EXPECT_GT(geomean(norm), 1.0);
+}
+
+TEST_F(BaselinesTest, DeterministicGivenSeed) {
+  BaselineOptions opt;
+  opt.seed = 4242;
+  const auto& desc = db_->region(10).region->desc;
+  BlissTuner b1(*simulator_, *space_, opt);
+  BlissTuner b2(*simulator_, *space_, opt);
+  const auto c1 = b1.tune_at_cap(desc, 70.0);
+  const auto c2 = b2.tune_at_cap(desc, 70.0);
+  EXPECT_TRUE(c1.cfg == c2.cfg);
+  OpenTunerLike o1(*simulator_, *space_, opt);
+  OpenTunerLike o2(*simulator_, *space_, opt);
+  EXPECT_TRUE(o1.tune_edp(desc).cfg == o2.tune_edp(desc).cfg);
+}
+
+TEST_F(BaselinesTest, SeedsChangeTrajectories) {
+  BaselineOptions a, b;
+  a.seed = 1;
+  b.seed = 2;
+  int differ = 0;
+  BlissTuner ta(*simulator_, *space_, a);
+  BlissTuner tb(*simulator_, *space_, b);
+  for (int r : {5, 15, 25, 35, 45}) {
+    const auto& desc = db_->region(r).region->desc;
+    if (!(ta.tune_at_cap(desc, 40.0).cfg == tb.tune_at_cap(desc, 40.0).cfg))
+      ++differ;
+  }
+  EXPECT_GE(differ, 1);
+}
+
+}  // namespace
+}  // namespace pnp::core

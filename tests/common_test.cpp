@@ -1,0 +1,199 @@
+/// Unit tests for pnp::common — RNG determinism, statistics, tables,
+/// serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+namespace pnp {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng r(11);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[r.uniform_index(10)];
+  for (int c : seen) EXPECT_GT(c, 300);  // roughly uniform
+}
+
+TEST(Rng, UniformIndexRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_index(0), Error);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng r(13);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.normal();
+  EXPECT_NEAR(mean(xs), 0.0, 0.03);
+  EXPECT_NEAR(stddev(xs), 1.0, 0.03);
+}
+
+TEST(Rng, LognormalJitterCentersNearOne) {
+  Rng r(17);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = r.lognormal_jitter(0.03);
+  EXPECT_NEAR(mean(xs), 1.0, 0.01);
+  for (double x : xs) EXPECT_GT(x, 0.0);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Hash, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("hello"), fnv1a("hello"));
+  EXPECT_NE(fnv1a("hello"), fnv1a("hellp"));
+  EXPECT_NE(fnv1a(""), 0u);
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Stats, MeanGeomeanBasics) {
+  std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 7.0 / 3.0);
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW(geomean(xs), Error);
+}
+
+TEST(Stats, MedianEvenOdd) {
+  std::vector<double> odd{3.0, 1.0, 2.0};
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Stats, FractionAtLeast) {
+  std::vector<double> xs{0.5, 0.95, 1.0, 0.94};
+  EXPECT_DOUBLE_EQ(fraction_at_least(xs, 0.95), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.95), 0.5);
+}
+
+TEST(Stats, ArgminArgmaxTieBreaksLow) {
+  std::vector<double> xs{2.0, 1.0, 1.0, 3.0};
+  EXPECT_EQ(argmin(xs), 1u);
+  std::vector<double> ys{3.0, 3.0, 1.0};
+  EXPECT_EQ(argmax(ys), 0u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> zs{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Strings, SplitJoinTrim) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(join({"a", "b"}, "-"), "a-b");
+  EXPECT_EQ(trim("  x \t"), "x");
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_TRUE(ends_with("foobar", "bar"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+}
+
+TEST(Strings, SplitWsDropsEmpty) {
+  auto parts = split_ws("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Table, AlignmentAndCsv) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  const auto s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "name,value\nx,1\nlonger,2.5\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(StateDict, RoundTripThroughStream) {
+  StateDict sd;
+  sd.put("alpha", {1.0, -2.5, 3.25});
+  sd.put("beta", {});
+  sd.put("gamma", {1e-300, 1e300});
+  std::stringstream ss;
+  sd.save(ss);
+  const StateDict back = StateDict::load(ss);
+  EXPECT_EQ(back, sd);
+  EXPECT_TRUE(back.contains("alpha"));
+  EXPECT_EQ(back.get("alpha").size(), 3u);
+  EXPECT_THROW(back.get("missing"), Error);
+}
+
+TEST(StateDict, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "not a statedict";
+  EXPECT_THROW(StateDict::load(ss), Error);
+}
+
+TEST(CheckMacros, ThrowWithMessage) {
+  try {
+    PNP_CHECK_MSG(false, "ctx " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("ctx 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace pnp

@@ -1,0 +1,280 @@
+/// Tests for the tuner core: Table I search-space enumeration, the
+/// exhaustive measurement database / oracle, and metrics algebra.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "common/error.hpp"
+#include <cmath>
+
+#include "common/stats.hpp"
+#include "core/measurement_db.hpp"
+#include "core/metrics.hpp"
+#include "core/search_space.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+namespace {
+
+TEST(SearchSpace, TableOneCountsSkylake) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::skylake());
+  EXPECT_EQ(s.thread_values(), (std::vector<int>{1, 4, 8, 16, 32, 64}));
+  EXPECT_EQ(s.power_caps(), (std::vector<double>{75, 100, 120, 150}));
+  EXPECT_EQ(s.chunk_values(), (std::vector<int>{1, 8, 32, 64, 128, 256, 512}));
+  EXPECT_EQ(s.num_omp_configs(), 126);
+  EXPECT_EQ(s.num_candidates_per_cap(), 127);
+  // 504 regular + 4 defaults = 508 (paper §III-B).
+  EXPECT_EQ(s.joint_size(), 508);
+  EXPECT_DOUBLE_EQ(s.tdp(), 150.0);
+}
+
+TEST(SearchSpace, TableOneCountsHaswell) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::haswell());
+  EXPECT_EQ(s.thread_values(), (std::vector<int>{1, 2, 4, 8, 16, 32}));
+  EXPECT_EQ(s.power_caps(), (std::vector<double>{40, 60, 70, 85}));
+  EXPECT_EQ(s.joint_size(), 508);
+}
+
+TEST(SearchSpace, OmpIndexRoundTrip) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::haswell());
+  std::set<std::string> seen;
+  for (int i = 0; i < s.num_omp_configs(); ++i) {
+    const auto cfg = s.omp_config(i);
+    EXPECT_EQ(s.omp_index(cfg), i);
+    EXPECT_TRUE(seen.insert(cfg.to_string()).second) << "duplicate config";
+  }
+  EXPECT_EQ(s.omp_index(s.default_config()), -1);  // default is off-grid
+}
+
+TEST(SearchSpace, JointPointEnumeration) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::haswell());
+  int defaults = 0;
+  std::set<int> caps_seen;
+  for (int i = 0; i < s.joint_size(); ++i) {
+    const auto p = s.joint_point(i);
+    caps_seen.insert(p.cap_index);
+    if (p.is_default) {
+      ++defaults;
+      EXPECT_EQ(p.cfg.threads, 32);
+      EXPECT_EQ(p.cfg.chunk, 0);
+    }
+  }
+  EXPECT_EQ(defaults, 4);
+  EXPECT_EQ(caps_seen.size(), 4u);
+}
+
+TEST(SearchSpace, DefaultConfigIsAllHardwareThreads) {
+  const auto sky = SearchSpace::for_machine(hw::MachineModel::skylake());
+  EXPECT_EQ(sky.default_config().threads, 64);
+  EXPECT_EQ(sky.default_config().schedule, sim::Schedule::Static);
+  EXPECT_EQ(sky.default_config().chunk, 0);
+}
+
+TEST(SearchSpace, ClassCodecs) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::haswell());
+  EXPECT_EQ(s.num_thread_classes(), 6);
+  EXPECT_EQ(s.num_schedule_classes(), 3);
+  EXPECT_EQ(s.num_chunk_classes(), 8);  // 7 + compiler-default
+  EXPECT_EQ(s.num_cap_classes(), 4);
+  EXPECT_EQ(s.thread_class(8), 3);
+  EXPECT_EQ(s.chunk_class(0), 0);
+  EXPECT_EQ(s.chunk_class(512), 7);
+  const auto cfg = s.config_from_classes(3, 1, 4);
+  EXPECT_EQ(cfg.threads, 8);
+  EXPECT_EQ(cfg.schedule, sim::Schedule::Dynamic);
+  EXPECT_EQ(cfg.chunk, 64);
+  EXPECT_THROW(s.thread_class(5), Error);
+  EXPECT_THROW(s.chunk_class(33), Error);
+  EXPECT_THROW(s.cap_index(99.0), Error);
+  EXPECT_EQ(s.cap_index(70.0), 2);
+}
+
+TEST(Metrics, Definitions) {
+  EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(greenup(100.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(edp_improvement(8.0, 2.0), 4.0);
+  EXPECT_DOUBLE_EQ(normalized_speedup(1.0, 2.0), 0.5);
+  EXPECT_THROW(speedup(0.0, 1.0), Error);
+}
+
+TEST(Metrics, PerAppGeomeanGroupsInOrder) {
+  const std::vector<std::string> apps{"b", "b", "a", "a", "b"};
+  const std::vector<double> vals{2.0, 8.0, 3.0, 3.0, 1.0};
+  const auto g = per_app_geomean(apps, vals);
+  ASSERT_EQ(g.apps.size(), 2u);
+  EXPECT_EQ(g.apps[0], "b");  // first-seen order
+  EXPECT_EQ(g.apps[1], "a");
+  EXPECT_NEAR(g.geomeans[0], std::cbrt(16.0), 1e-12);
+  EXPECT_DOUBLE_EQ(g.geomeans[1], 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// MeasurementDb against the full suite (shared fixture — the sweep of
+// 68 × 4 × 127 configurations runs once).
+// ---------------------------------------------------------------------------
+
+class DbTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new hw::MachineModel(hw::MachineModel::haswell());
+    simulator_ = new sim::Simulator(*machine_);
+    space_ = new SearchSpace(SearchSpace::for_machine(*machine_));
+    db_ = new MeasurementDb(*simulator_, *space_,
+                            workloads::Suite::instance().all_regions());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete space_;
+    delete simulator_;
+    delete machine_;
+  }
+
+  static hw::MachineModel* machine_;
+  static sim::Simulator* simulator_;
+  static SearchSpace* space_;
+  static MeasurementDb* db_;
+};
+
+hw::MachineModel* DbTest::machine_ = nullptr;
+sim::Simulator* DbTest::simulator_ = nullptr;
+SearchSpace* DbTest::space_ = nullptr;
+MeasurementDb* DbTest::db_ = nullptr;
+
+TEST_F(DbTest, CoversWholeSuite) {
+  EXPECT_EQ(db_->num_regions(), 68);
+  EXPECT_EQ(db_->num_caps(), 4);
+}
+
+TEST_F(DbTest, OracleNeverWorseThanAnyCandidate) {
+  for (int r = 0; r < db_->num_regions(); r += 7) {
+    for (int k = 0; k < db_->num_caps(); ++k) {
+      const double best = db_->best_time(r, k);
+      for (int c = 0; c < space_->num_candidates_per_cap(); c += 13)
+        EXPECT_LE(best, db_->at(r, k, c).seconds + 1e-15);
+      EXPECT_LE(best, db_->at_default(r, k).seconds + 1e-15);
+    }
+  }
+}
+
+TEST_F(DbTest, EdpOracleNeverWorseThanAnyJointPoint) {
+  for (int r = 0; r < db_->num_regions(); r += 11) {
+    const auto jb = db_->best_by_edp(r);
+    for (int k = 0; k < db_->num_caps(); ++k)
+      for (int c = 0; c < space_->num_candidates_per_cap(); c += 17)
+        EXPECT_LE(jb.edp, db_->at(r, k, c).edp() + 1e-15);
+  }
+}
+
+TEST_F(DbTest, LookupMatchesFreshSimulation) {
+  const int r = db_->find_region("gemm", "r0_gemm");
+  ASSERT_GE(r, 0);
+  const auto cfg = space_->omp_config(37);
+  const auto fresh = simulator_->expected(db_->region(r).region->desc, cfg,
+                                          space_->power_caps()[1]);
+  EXPECT_DOUBLE_EQ(db_->at(r, 1, 37).seconds, fresh.seconds);
+  EXPECT_DOUBLE_EQ(db_->at(r, 1, 37).joules, fresh.joules);
+}
+
+TEST_F(DbTest, FindRegionHandlesMissing) {
+  EXPECT_EQ(db_->find_region("gemm", "nope"), -1);
+  EXPECT_GE(db_->find_region("lulesh", "r3_apply_accel_bc"), 0);
+}
+
+TEST_F(DbTest, BestConfigsAreDiverseAcrossSuite) {
+  // The corpus must not collapse to one best configuration, otherwise
+  // there is nothing for a tuner to learn.
+  std::set<std::string> best_configs;
+  std::set<int> best_threads;
+  for (int r = 0; r < db_->num_regions(); ++r) {
+    const int c = db_->best_candidate_by_time(r, 0);
+    const auto cfg = space_->candidate(c);
+    best_configs.insert(cfg.to_string());
+    best_threads.insert(cfg.threads);
+  }
+  EXPECT_GE(best_configs.size(), 8u);
+  EXPECT_GE(best_threads.size(), 3u);
+}
+
+TEST_F(DbTest, TrisolvOracleUsesOneThread) {
+  // Paper §VI: the trisolv region is fastest single-threaded everywhere.
+  const int r = db_->find_region("trisolv", "r0_forward_subst");
+  ASSERT_GE(r, 0);
+  for (int k = 0; k < db_->num_caps(); ++k) {
+    const auto cfg = space_->candidate(db_->best_candidate_by_time(r, k));
+    EXPECT_EQ(cfg.threads, 1) << "cap index " << k;
+  }
+}
+
+TEST_F(DbTest, OracleBeatsDefaultOnAggregate) {
+  // Geometric-mean headroom must exist (it is what the tuners chase).
+  std::vector<double> speedups;
+  for (int r = 0; r < db_->num_regions(); ++r)
+    for (int k = 0; k < db_->num_caps(); ++k)
+      speedups.push_back(db_->at_default(r, k).seconds / db_->best_time(r, k));
+  const double gm = geomean(speedups);
+  EXPECT_GT(gm, 1.1);
+  EXPECT_LT(gm, 5.0);
+}
+
+TEST_F(DbTest, LowCapHasMoreHeadroomThanTdp) {
+  // The paper's Fig. 2/3 pattern: tuning pays more at tighter caps.
+  std::vector<double> low, high;
+  for (int r = 0; r < db_->num_regions(); ++r) {
+    low.push_back(db_->at_default(r, 0).seconds / db_->best_time(r, 0));
+    high.push_back(db_->at_default(r, db_->num_caps() - 1).seconds /
+                   db_->best_time(r, db_->num_caps() - 1));
+  }
+  EXPECT_GT(geomean(low), geomean(high));
+}
+
+TEST_F(DbTest, EdpOracleBeatsDefaultAtTdp) {
+  std::vector<double> gains;
+  const int tdp = db_->num_caps() - 1;
+  for (int r = 0; r < db_->num_regions(); ++r) {
+    const auto& d = db_->at_default(r, tdp);
+    gains.push_back(d.edp() / db_->best_by_edp(r).edp);
+  }
+  EXPECT_GT(geomean(gains), 1.3);
+}
+
+TEST_F(DbTest, MotivatingExampleShapeHolds) {
+  // §I: the LULESH boundary-condition kernel's tuning headroom declines
+  // monotonically as the cap rises, its best configs use few threads, and
+  // the EDP optimum is not at TDP.
+  const int r = db_->find_region("lulesh", "r3_apply_accel_bc");
+  ASSERT_GE(r, 0);
+  double prev = 1e300;
+  for (int k = 0; k < db_->num_caps(); ++k) {
+    const double sp = db_->at_default(r, k).seconds / db_->best_time(r, k);
+    EXPECT_GT(sp, 1.5) << "cap index " << k;
+    EXPECT_LT(sp, prev);
+    prev = sp;
+    const auto cfg = space_->candidate(db_->best_candidate_by_time(r, k));
+    EXPECT_LE(cfg.threads, 8);
+  }
+  const auto jb = db_->best_by_edp(r);
+  EXPECT_LT(jb.cap_index, db_->num_caps() - 1);  // EDP optimum below TDP
+}
+
+TEST_F(DbTest, MemoryBoundKernelsPreferLowCapsForEdp) {
+  // The race-to-halt violation at corpus scale: for clearly bandwidth-
+  // bound kernels the EDP-optimal cap is one of the two lowest.
+  for (const char* name : {"jacobi-2d", "fdtd-2d", "mvt", "atax"}) {
+    const auto* app = workloads::Suite::instance().find(name);
+    ASSERT_NE(app, nullptr);
+    const int r = db_->find_region(name, app->regions[0].desc.region);
+    ASSERT_GE(r, 0) << name;
+    EXPECT_LE(db_->best_by_edp(r).cap_index, 1) << name;
+  }
+}
+
+TEST_F(DbTest, InvalidIndicesThrow) {
+  EXPECT_THROW(db_->at(-1, 0, 0), Error);
+  EXPECT_THROW(db_->at(0, 9, 0), Error);
+  EXPECT_THROW(db_->at(0, 0, 1000), Error);
+}
+
+}  // namespace
+}  // namespace pnp::core

@@ -1,0 +1,250 @@
+/// Unit tests for the PROGRAML-style flow-graph substrate: construction
+/// invariants, vocabulary, and tensor conversion.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "graph/export.hpp"
+#include "graph/flow_graph.hpp"
+#include "graph/vocab.hpp"
+#include "ir/builder.hpp"
+#include "ir/extract.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::graph {
+namespace {
+
+ir::Module simple_loop_module() {
+  ir::Module m;
+  m.name = "g";
+  m.globals.push_back(ir::Global{"A", ir::Type::F64});
+  m.declarations.push_back(ir::Declaration{"sqrt", ir::Type::F64, {ir::Type::F64}});
+  m.functions.push_back(ir::Function{"loop", ir::Type::Void,
+                                     {ir::Argument{"n", ir::Type::I64}},
+                                     {},
+                                     0});
+  ir::Builder b(m, m.functions.back());
+  const int entry = b.add_block("entry");
+  const int header = b.add_block("header");
+  const int body = b.add_block("body");
+  const int exit = b.add_block("exit");
+  b.set_block(entry);
+  b.br(header);
+  b.set_block(header);
+  const auto i = b.phi(ir::Type::I64, {{b.ci64(0), entry}});
+  const auto c = b.icmp("slt", i, b.arg(0));
+  b.condbr(c, body, exit);
+  b.set_block(body);
+  const auto p = b.gep(b.global("A"), i);
+  const auto v = b.load(ir::Type::F64, p);
+  const auto s = b.call(ir::Type::F64, "sqrt", {v});
+  b.store(s, p);
+  const auto ni = b.add(i, b.ci64(1));
+  b.br(header);
+  b.phi_add_incoming(i, ni, body);
+  b.set_block(exit);
+  b.ret();
+  return m;
+}
+
+TEST(FlowGraphBuild, NodeKindsAndCounts) {
+  const auto g = build_flow_graph(simple_loop_module());
+  // 11 instructions + 1 extern stub for sqrt.
+  EXPECT_EQ(g.count_kind(NodeKind::Instruction), 12);
+  // Variables: arg n, temps (phi, icmp, gep, load, call, add), global A.
+  EXPECT_EQ(g.count_kind(NodeKind::Variable), 8);
+  // Constants: 0 and 1.
+  EXPECT_EQ(g.count_kind(NodeKind::Constant), 2);
+}
+
+TEST(FlowGraphBuild, ControlEdgesOnlyBetweenInstructions) {
+  const auto g = build_flow_graph(simple_loop_module());
+  for (const auto& e : g.edges()) {
+    if (e.rel != EdgeRelation::Control) continue;
+    EXPECT_EQ(g.node(e.src).kind, NodeKind::Instruction);
+    EXPECT_EQ(g.node(e.dst).kind, NodeKind::Instruction);
+  }
+}
+
+TEST(FlowGraphBuild, DataEdgesTouchExactlyOneNonInstruction) {
+  const auto g = build_flow_graph(simple_loop_module());
+  int data_edges = 0;
+  for (const auto& e : g.edges()) {
+    if (e.rel != EdgeRelation::Data) continue;
+    ++data_edges;
+    const bool src_instr = g.node(e.src).kind == NodeKind::Instruction;
+    const bool dst_instr = g.node(e.dst).kind == NodeKind::Instruction;
+    EXPECT_NE(src_instr, dst_instr)
+        << "data edge must connect an instruction with a variable/constant";
+    // Constants are only ever read (never defined).
+    if (g.node(e.dst).kind == NodeKind::Constant)
+      ADD_FAILURE() << "constant node used as a data-edge target";
+  }
+  EXPECT_GT(data_edges, 10);
+}
+
+TEST(FlowGraphBuild, BranchTargetsGetControlEdges) {
+  const auto g = build_flow_graph(simple_loop_module());
+  // The condbr instruction has 2 successor control edges; plus every
+  // non-terminal instruction has its fallthrough edge. Count edges whose
+  // src is the condbr node (text "condbr").
+  int condbr_node = -1;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.node(i).text == "condbr") condbr_node = i;
+  ASSERT_GE(condbr_node, 0);
+  int succ = 0;
+  for (const auto& e : g.edges())
+    if (e.rel == EdgeRelation::Control && e.src == condbr_node) ++succ;
+  EXPECT_EQ(succ, 2);
+}
+
+TEST(FlowGraphBuild, BackEdgeExistsForLoop) {
+  const auto g = build_flow_graph(simple_loop_module());
+  // The body's terminating br jumps back to the header's phi — so some
+  // control edge must go from a later node id to an earlier one.
+  bool back = false;
+  for (const auto& e : g.edges())
+    if (e.rel == EdgeRelation::Control && e.dst < e.src) back = true;
+  EXPECT_TRUE(back);
+}
+
+TEST(FlowGraphBuild, ExternalCallGetsStubAndRoundTripEdges) {
+  const auto g = build_flow_graph(simple_loop_module());
+  int stub = -1;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    if (g.node(i).text == "decl @sqrt") stub = i;
+  ASSERT_GE(stub, 0);
+  int to_stub = 0, from_stub = 0;
+  for (const auto& e : g.edges()) {
+    if (e.rel != EdgeRelation::Call) continue;
+    if (e.dst == stub) ++to_stub;
+    if (e.src == stub) ++from_stub;
+  }
+  EXPECT_EQ(to_stub, 1);
+  EXPECT_EQ(from_stub, 1);
+}
+
+TEST(FlowGraphBuild, InternalCallLinksCallerAndCallee) {
+  // Use a real suite application: its driver calls every region.
+  const auto& suite = workloads::Suite::instance();
+  const auto* app = suite.find("gemm");
+  ASSERT_NE(app, nullptr);
+  const auto g = build_flow_graph(app->module);
+  int call_edges = 0;
+  for (const auto& e : g.edges())
+    if (e.rel == EdgeRelation::Call) ++call_edges;
+  // Driver calls 1 region (entry + ret edges) plus the region's intrinsic
+  // calls: at least 2 call edges.
+  EXPECT_GE(call_edges, 2);
+}
+
+TEST(FlowGraphBuild, ConstantsDedupedByValue) {
+  ir::Module m;
+  m.name = "c";
+  m.functions.push_back(ir::Function{"f", ir::Type::Void, {}, {}, 0});
+  ir::Builder b(m, m.functions.back());
+  b.set_block(b.add_block("entry"));
+  const auto x = b.fadd(b.cf64(2.5), b.cf64(2.5));  // same constant twice
+  b.fmul(x, b.cf64(3.5));                           // a different one
+  b.ret();
+  const auto g = build_flow_graph(m);
+  EXPECT_EQ(g.count_kind(NodeKind::Constant), 2);
+}
+
+TEST(FlowGraphBuild, Deterministic) {
+  const auto g1 = build_flow_graph(simple_loop_module());
+  const auto g2 = build_flow_graph(simple_loop_module());
+  ASSERT_EQ(g1.num_nodes(), g2.num_nodes());
+  ASSERT_EQ(g1.num_edges(), g2.num_edges());
+  for (int i = 0; i < g1.num_nodes(); ++i) {
+    EXPECT_EQ(g1.node(i).kind, g2.node(i).kind);
+    EXPECT_EQ(g1.node(i).text, g2.node(i).text);
+  }
+}
+
+TEST(Vocabulary, OovAtZeroAndFirstSeenOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.size(), 1);
+  EXPECT_EQ(v.id_or_oov("anything"), 0);
+  const int a = v.add("alpha");
+  const int b = v.add("beta");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+  EXPECT_EQ(v.add("alpha"), 1);  // idempotent
+  EXPECT_EQ(v.id_or_oov("beta"), 2);
+  EXPECT_EQ(v.token(2), "beta");
+  EXPECT_EQ(v.token(0), "<oov>");
+}
+
+TEST(Vocabulary, FromGraphsCoversAllTokens) {
+  const auto m = simple_loop_module();
+  const auto g = build_flow_graph(m);
+  const auto v = Vocabulary::from_graphs({&g});
+  for (const auto& n : g.nodes()) EXPECT_TRUE(v.contains(n.text)) << n.text;
+}
+
+TEST(GraphTensors, RelationsSplitByDirection) {
+  const auto m = simple_loop_module();
+  const auto g = build_flow_graph(m);
+  const auto v = Vocabulary::from_graphs({&g});
+  const auto t = to_tensors(g, v);
+  EXPECT_EQ(t.num_nodes, g.num_nodes());
+  // Forward and backward lists mirror each other.
+  for (int rel = 0; rel < kNumEdgeRelations; ++rel) {
+    const auto& fwd = t.rel_edges[static_cast<std::size_t>(2 * rel)];
+    const auto& bwd = t.rel_edges[static_cast<std::size_t>(2 * rel + 1)];
+    ASSERT_EQ(fwd.size(), bwd.size());
+    for (std::size_t i = 0; i < fwd.size(); ++i) {
+      EXPECT_EQ(fwd[i].first, bwd[i].second);
+      EXPECT_EQ(fwd[i].second, bwd[i].first);
+    }
+  }
+}
+
+TEST(GraphTensors, InDegreeMatchesEdges) {
+  const auto m = simple_loop_module();
+  const auto g = build_flow_graph(m);
+  const auto v = Vocabulary::from_graphs({&g});
+  const auto t = to_tensors(g, v);
+  for (int rel = 0; rel < kNumModelRelations; ++rel) {
+    const auto deg = t.in_degree(rel);
+    std::size_t sum = 0;
+    for (int d : deg) sum += static_cast<std::size_t>(d);
+    EXPECT_EQ(sum, t.rel_edges[static_cast<std::size_t>(rel)].size());
+  }
+}
+
+TEST(GraphTensors, OovTokensForUnseenVocabulary) {
+  const auto m = simple_loop_module();
+  const auto g = build_flow_graph(m);
+  Vocabulary empty;  // nothing registered
+  const auto t = to_tensors(g, empty);
+  for (int tok : t.token) EXPECT_EQ(tok, 0);
+}
+
+TEST(GraphExport, DotContainsNodesAndColors) {
+  const auto g = build_flow_graph(simple_loop_module());
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("color=blue"), std::string::npos);  // data edges
+  EXPECT_NE(dot.find("color=red"), std::string::npos);   // call edges
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);
+}
+
+TEST(GraphExport, SummaryMentionsCounts) {
+  const auto g = build_flow_graph(simple_loop_module());
+  const auto s = summary(g);
+  EXPECT_NE(s.find("nodes="), std::string::npos);
+  EXPECT_NE(s.find("call="), std::string::npos);
+}
+
+TEST(FlowGraph, EdgeEndpointValidation) {
+  FlowGraph g;
+  const int a = g.add_node(NodeKind::Instruction, "x");
+  EXPECT_THROW(g.add_edge(a, 5, EdgeRelation::Control), pnp::Error);
+  EXPECT_THROW(g.add_edge(-1, a, EdgeRelation::Data), pnp::Error);
+}
+
+}  // namespace
+}  // namespace pnp::graph

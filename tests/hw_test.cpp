@@ -1,0 +1,142 @@
+/// Unit tests for the hardware/power substrate: machine models, the
+/// RAPL/Variorum-style power-cap controller, and the energy meter.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "hw/machine.hpp"
+#include "hw/power.hpp"
+
+namespace pnp::hw {
+namespace {
+
+TEST(MachineModel, PaperTopologies) {
+  const auto sky = MachineModel::skylake();
+  EXPECT_EQ(sky.total_cores(), 32);
+  EXPECT_EQ(sky.max_threads(), 64);
+  EXPECT_DOUBLE_EQ(sky.tdp_w, 150.0);
+  EXPECT_DOUBLE_EQ(sky.min_cap_w, 75.0);
+
+  const auto has = MachineModel::haswell();
+  EXPECT_EQ(has.total_cores(), 16);
+  EXPECT_EQ(has.max_threads(), 32);
+  EXPECT_DOUBLE_EQ(has.tdp_w, 85.0);
+  EXPECT_DOUBLE_EQ(has.min_cap_w, 40.0);
+}
+
+TEST(MachineModel, AllCoreDemandNearTdp) {
+  // Calibration invariant: all cores busy at a realistic all-core clock
+  // should demand roughly the TDP (it is what TDP means).
+  const auto sky = MachineModel::skylake();
+  const double d = sky.power_demand_w(32, 2, 2.6, 1.0);
+  EXPECT_NEAR(d, sky.tdp_w, 10.0);
+
+  const auto has = MachineModel::haswell();
+  const double dh = has.power_demand_w(16, 2, 2.4, 1.0);
+  EXPECT_NEAR(dh, has.tdp_w, 8.0);
+}
+
+TEST(MachineModel, PowerDemandMonotoneInFrequencyAndCores) {
+  const auto m = MachineModel::skylake();
+  double prev = 0.0;
+  for (double f = 1.0; f <= 3.7; f += 0.3) {
+    const double d = m.power_demand_w(16, 1, f);
+    EXPECT_GT(d, prev);
+    prev = d;
+  }
+  EXPECT_LT(m.power_demand_w(4, 1, 2.0), m.power_demand_w(8, 1, 2.0));
+}
+
+TEST(MachineModel, MemoryStalledCoresDrawLess) {
+  const auto m = MachineModel::haswell();
+  EXPECT_LT(m.power_demand_w(16, 2, 2.0, 0.1),
+            m.power_demand_w(16, 2, 2.0, 1.0));
+}
+
+TEST(MachineModel, CacheTotalsScaleWithResources) {
+  const auto m = MachineModel::skylake();
+  EXPECT_DOUBLE_EQ(m.l3_total_bytes(2), 2.0 * m.l3_total_bytes(1));
+  EXPECT_DOUBLE_EQ(m.l2_total_bytes(8), 2.0 * m.l2_total_bytes(4));
+  EXPECT_GT(m.l2_total_bytes(1), m.l1_total_bytes(1));
+}
+
+TEST(PowerCap, ClampsToMachineLimits) {
+  const auto m = MachineModel::haswell();
+  PowerCapController ctl(m);
+  EXPECT_DOUBLE_EQ(ctl.cap_watts(), m.tdp_w);  // default: TDP
+  EXPECT_DOUBLE_EQ(ctl.set_cap_watts(10.0), m.min_cap_w);
+  EXPECT_DOUBLE_EQ(ctl.set_cap_watts(500.0), m.tdp_w);
+  EXPECT_DOUBLE_EQ(ctl.set_cap_watts(60.0), 60.0);
+}
+
+TEST(PowerCap, FrequencyFallsAsCapTightens) {
+  const auto m = MachineModel::haswell();
+  double prev = 0.0;
+  for (double cap : {40.0, 60.0, 70.0, 85.0}) {
+    const double f = PowerCapController::max_frequency_ghz(m, cap, 16, 2);
+    EXPECT_GE(f, prev);  // higher cap → at least as fast
+    prev = f;
+    EXPECT_GE(f, m.fmin_ghz);
+    EXPECT_LE(f, m.fmax_ghz);
+  }
+}
+
+TEST(PowerCap, FrequencyFallsWithMoreActiveCores) {
+  const auto m = MachineModel::skylake();
+  const double f4 = PowerCapController::max_frequency_ghz(m, 100.0, 4, 1);
+  const double f16 = PowerCapController::max_frequency_ghz(m, 100.0, 16, 1);
+  const double f32 = PowerCapController::max_frequency_ghz(m, 100.0, 32, 2);
+  EXPECT_GT(f4, f16);
+  EXPECT_GT(f16, f32);
+}
+
+TEST(PowerCap, SingleCoreRunsAtMaxEvenUnderLowCap) {
+  // One active core fits any sane package budget at top clock.
+  const auto m = MachineModel::haswell();
+  EXPECT_DOUBLE_EQ(
+      PowerCapController::max_frequency_ghz(m, m.min_cap_w, 1, 1),
+      m.fmax_ghz);
+}
+
+TEST(PowerCap, ChosenFrequencyRespectsBudget) {
+  const auto m = MachineModel::skylake();
+  for (double cap : {75.0, 100.0, 120.0, 150.0}) {
+    for (int cores : {1, 8, 16, 32}) {
+      const int sockets = cores > 16 ? 2 : 1;
+      const double f =
+          PowerCapController::max_frequency_ghz(m, cap, cores, sockets);
+      if (f > m.fmin_ghz + 1e-9)  // above the floor, demand must fit
+        EXPECT_LE(m.power_demand_w(cores, sockets, f), cap + 1e-9)
+            << "cap " << cap << " cores " << cores;
+    }
+  }
+}
+
+TEST(PowerCap, StatefulAndStaticAgree) {
+  const auto m = MachineModel::haswell();
+  PowerCapController ctl(m);
+  ctl.set_cap_watts(60.0);
+  EXPECT_DOUBLE_EQ(ctl.max_frequency_ghz(8, 1),
+                   PowerCapController::max_frequency_ghz(m, 60.0, 8, 1));
+}
+
+TEST(EnergyMeter, IntegratesPowerOverTime) {
+  EnergyMeter em;
+  em.accumulate(100.0, 2.0);
+  em.accumulate(50.0, 2.0);
+  EXPECT_DOUBLE_EQ(em.joules(), 300.0);
+  EXPECT_DOUBLE_EQ(em.seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(em.average_power_w(), 75.0);
+  em.reset();
+  EXPECT_DOUBLE_EQ(em.joules(), 0.0);
+  EXPECT_DOUBLE_EQ(em.average_power_w(), 0.0);
+}
+
+TEST(EnergyMeter, RejectsNegativeInputs) {
+  EnergyMeter em;
+  EXPECT_THROW(em.accumulate(-1.0, 1.0), Error);
+  EXPECT_THROW(em.accumulate(1.0, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace pnp::hw

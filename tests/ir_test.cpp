@@ -1,0 +1,331 @@
+/// Unit tests for the mini-IR substrate: builder, printer/parser
+/// round-trips, verifier diagnostics, and llvm-extract-style extraction.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "ir/builder.hpp"
+#include "ir/extract.hpp"
+#include "ir/module.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+
+namespace pnp::ir {
+namespace {
+
+/// A small but representative module: a loop with a phi, loads/stores,
+/// arithmetic, a call, and an atomic.
+Module make_test_module() {
+  Module m;
+  m.name = "testmod";
+  m.globals.push_back(Global{"A", Type::F64});
+  m.globals.push_back(Global{"B", Type::F64});
+  m.declarations.push_back(Declaration{"sqrt", Type::F64, {Type::F64}});
+
+  Function fn;
+  fn.name = "kernel";
+  fn.ret = Type::Void;
+  fn.args.push_back(Argument{"p", Type::Ptr});
+  fn.args.push_back(Argument{"n", Type::I64});
+  m.functions.push_back(std::move(fn));
+  Function& f = m.functions.back();
+
+  Builder b(m, f);
+  const int entry = b.add_block("entry");
+  const int header = b.add_block("header");
+  const int body = b.add_block("body");
+  const int exit = b.add_block("exit");
+
+  b.set_block(entry);
+  b.br(header);
+
+  b.set_block(header);
+  const Value i = b.phi(Type::I64, {{b.ci64(0), entry}});
+  const Value cond = b.icmp("slt", i, b.arg(1));
+  b.condbr(cond, body, exit);
+
+  b.set_block(body);
+  const Value pa = b.gep(b.global("A"), i);
+  const Value va = b.load(Type::F64, pa);
+  const Value v2 = b.fmul(va, b.cf64(2.5));
+  const Value v3 = b.call(Type::F64, "sqrt", {v2});
+  const Value pb = b.gep(b.global("B"), i);
+  b.store(v3, pb);
+  b.atomicrmw("fadd", b.arg(0), v3);
+  const Value inext = b.add(i, b.ci64(1));
+  b.br(header);
+  b.phi_add_incoming(i, inext, body);
+
+  b.set_block(exit);
+  b.barrier();
+  b.ret();
+  return m;
+}
+
+TEST(IrBuilder, ProducesVerifiableModule) {
+  const Module m = make_test_module();
+  EXPECT_TRUE(verify_module(m).empty());
+  EXPECT_EQ(m.instruction_count(), 15u);
+}
+
+TEST(IrBuilder, TempIdsAreSequential) {
+  const Module m = make_test_module();
+  const Function& f = m.functions.front();
+  EXPECT_EQ(f.next_temp, 8);  // phi, icmp, gep, load, fmul, call, gep, add
+}
+
+TEST(IrBuilder, TypeMismatchThrows) {
+  Module m;
+  m.name = "x";
+  m.functions.push_back(Function{"f", Type::Void, {}, {}, 0});
+  Builder b(m, m.functions.back());
+  b.set_block(b.add_block("entry"));
+  EXPECT_THROW(b.fadd(b.cf64(1.0), b.ci64(1)), Error);
+  EXPECT_THROW(b.load(Type::F64, b.ci64(3)), Error);
+  EXPECT_THROW(b.icmp("slt", b.cf64(1.0), b.cf64(2.0)), Error);
+}
+
+TEST(IrBuilder, DuplicateBlockNameThrows) {
+  Module m;
+  m.functions.push_back(Function{"f", Type::Void, {}, {}, 0});
+  Builder b(m, m.functions.back());
+  b.add_block("bb");
+  EXPECT_THROW(b.add_block("bb"), Error);
+}
+
+TEST(IrPrinter, ContainsExpectedConstructs) {
+  const Module m = make_test_module();
+  const std::string text = print_module(m);
+  EXPECT_NE(text.find("module \"testmod\""), std::string::npos);
+  EXPECT_NE(text.find("global @A f64"), std::string::npos);
+  EXPECT_NE(text.find("declare f64 @sqrt(f64)"), std::string::npos);
+  EXPECT_NE(text.find("define void @kernel(ptr %p, i64 %n)"), std::string::npos);
+  EXPECT_NE(text.find("phi i64 [ 0, %entry ]"), std::string::npos);
+  EXPECT_NE(text.find("icmp slt i64"), std::string::npos);
+  EXPECT_NE(text.find("atomicrmw fadd f64 %p"), std::string::npos);
+  EXPECT_NE(text.find("call f64 @sqrt("), std::string::npos);
+  EXPECT_NE(text.find("barrier"), std::string::npos);
+}
+
+TEST(IrParser, RoundTripIsIdentity) {
+  const Module m = make_test_module();
+  const std::string once = print_module(m);
+  const Module back = parse_module(once);
+  EXPECT_TRUE(verify_module(back).empty());
+  EXPECT_EQ(print_module(back), once);
+}
+
+TEST(IrParser, RoundTripPreservesCounts) {
+  const Module m = make_test_module();
+  const Module back = parse_module(print_module(m));
+  EXPECT_EQ(back.instruction_count(), m.instruction_count());
+  EXPECT_EQ(back.globals.size(), m.globals.size());
+  EXPECT_EQ(back.declarations.size(), m.declarations.size());
+  EXPECT_EQ(back.functions.size(), m.functions.size());
+}
+
+TEST(IrParser, FloatConstantsRoundTrip) {
+  Module m;
+  m.name = "f";
+  m.functions.push_back(Function{"g", Type::Void, {}, {}, 0});
+  Builder b(m, m.functions.back());
+  b.set_block(b.add_block("entry"));
+  const Value v = b.fadd(b.cf64(0.1), b.cf64(1e-300));
+  b.fmul(v, b.cf64(12345.6789));
+  b.ret();
+  const Module back = parse_module(print_module(m));
+  EXPECT_EQ(print_module(back), print_module(m));
+  const auto& ops = back.functions[0].blocks[0].instrs[0].operands;
+  EXPECT_DOUBLE_EQ(ops[0].fval, 0.1);
+  EXPECT_DOUBLE_EQ(ops[1].fval, 1e-300);
+}
+
+TEST(IrParser, SelectCastsAndMultiIndexGepRoundTrip) {
+  Module m;
+  m.name = "misc";
+  m.globals.push_back(Global{"G", Type::F64});
+  m.functions.push_back(Function{"f", Type::Void,
+                                 {Argument{"p", Type::Ptr},
+                                  Argument{"i", Type::I64}},
+                                 {},
+                                 0});
+  Builder b(m, m.functions.back());
+  b.set_block(b.add_block("entry"));
+  const Value p2 = b.gep2(b.global("G"), b.arg(1), b.ci64(7));
+  const Value v = b.load(Type::F64, p2);
+  const Value cond = b.fcmp("olt", v, b.cf64(0.0));
+  const Value sel = b.select(cond, v, b.cf64(1.0));
+  const Value as_int = b.cast(Opcode::FPToSI, Type::I64, sel);
+  const Value widened = b.sitofp(as_int, Type::F64);
+  const Value narrowed = b.cast(Opcode::FPTrunc, Type::F32, widened);
+  (void)narrowed;
+  b.ret();
+  ASSERT_TRUE(verify_module(m).empty());
+  const std::string text = print_module(m);
+  EXPECT_EQ(print_module(parse_module(text)), text);
+}
+
+TEST(IrParser, RejectsGarbage) {
+  EXPECT_THROW(parse_module("nonsense line"), Error);
+  EXPECT_THROW(parse_module("define void @f() {\n"), Error);  // unterminated
+  EXPECT_THROW(parse_module("define void @f() {\nentry:\n  frobnicate\n}\n"),
+               Error);
+}
+
+TEST(IrParser, RejectsUnknownOperands) {
+  EXPECT_THROW(
+      parse_module("define void @f() {\nentry:\n  br %nosuchblock\n}\n"),
+      Error);
+  EXPECT_THROW(parse_module(
+                   "define void @f() {\nentry:\n  store f64 1.0, @missing\n}\n"),
+               Error);
+}
+
+TEST(IrVerifier, DetectsMissingTerminator) {
+  Module m = make_test_module();
+  m.functions[0].blocks[2].instrs.pop_back();  // drop body's 'br'
+  const auto problems = verify_module(m);
+  ASSERT_FALSE(problems.empty());
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("terminator") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(IrVerifier, DetectsUseOfUndefinedTemp) {
+  Module m = make_test_module();
+  Instruction bogus;
+  bogus.op = Opcode::FAdd;
+  bogus.type = Type::F64;
+  bogus.result = 99;
+  bogus.operands = {Value::temp(77, Type::F64), Value::const_float(1.0)};
+  auto& body = m.functions[0].blocks[2].instrs;
+  body.insert(body.begin(), bogus);
+  const auto problems = verify_module(m);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("undefined temp %t77") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(IrVerifier, DetectsRedefinition) {
+  Module m = make_test_module();
+  auto& body = m.functions[0].blocks[2].instrs;
+  Instruction dup = body[1];  // the load (defines a temp)
+  body.insert(body.begin() + 2, dup);
+  const auto problems = verify_module(m);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("redefined") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(IrVerifier, DetectsBadPredicate) {
+  Module m = make_test_module();
+  m.functions[0].blocks[1].instrs[1].aux = "weird";
+  const auto problems = verify_module(m);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("predicate") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(IrVerifier, DetectsUnknownCallee) {
+  Module m = make_test_module();
+  m.declarations.clear();  // sqrt becomes unknown
+  const auto problems = verify_module(m);
+  bool found = false;
+  for (const auto& p : problems)
+    if (p.find("unknown function") != std::string::npos) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(IrVerifier, ThrowHelperListsProblems) {
+  Module m = make_test_module();
+  m.functions[0].blocks[2].instrs.pop_back();
+  EXPECT_THROW(verify_or_throw(m), Error);
+  EXPECT_NO_THROW(verify_or_throw(make_test_module()));
+}
+
+TEST(IrExtract, CarvesFunctionWithDependencies) {
+  Module m = make_test_module();
+  // Add a second function that should not survive extraction.
+  Function extra;
+  extra.name = "other";
+  extra.ret = Type::Void;
+  m.functions.push_back(std::move(extra));
+  Builder b(m, m.functions.back());
+  b.set_block(b.add_block("entry"));
+  b.ret();
+
+  const Module ext = extract_function(m, "kernel");
+  EXPECT_EQ(ext.name, "testmod:kernel");
+  ASSERT_EQ(ext.functions.size(), 1u);
+  EXPECT_EQ(ext.functions[0].name, "kernel");
+  EXPECT_EQ(ext.globals.size(), 2u);  // A and B both referenced
+  ASSERT_EQ(ext.declarations.size(), 1u);
+  EXPECT_EQ(ext.declarations[0].name, "sqrt");
+  EXPECT_TRUE(verify_module(ext).empty());
+}
+
+TEST(IrExtract, RemapsGlobalIndices) {
+  Module m = make_test_module();
+  // Prepend an unreferenced global so indices shift.
+  m.globals.insert(m.globals.begin(), Global{"unused", Type::F64});
+  for (auto& bb : m.functions[0].blocks)
+    for (auto& in : bb.instrs)
+      for (auto& v : in.operands)
+        if (v.kind == Value::Kind::Global) ++v.index;
+  ASSERT_TRUE(verify_module(m).empty());
+
+  const Module ext = extract_function(m, "kernel");
+  EXPECT_EQ(ext.globals.size(), 2u);
+  EXPECT_TRUE(verify_module(ext).empty());
+  // The printed form must reference the same global names as the original.
+  const std::string text = print_module(ext);
+  EXPECT_NE(text.find("@A"), std::string::npos);
+  EXPECT_NE(text.find("@B"), std::string::npos);
+  EXPECT_EQ(text.find("@unused"), std::string::npos);
+}
+
+TEST(IrExtract, MissingFunctionThrows) {
+  const Module m = make_test_module();
+  EXPECT_THROW(extract_function(m, "nope"), Error);
+}
+
+TEST(IrTypes, Predicates) {
+  EXPECT_TRUE(is_integer(Type::I1));
+  EXPECT_TRUE(is_integer(Type::I64));
+  EXPECT_FALSE(is_integer(Type::F32));
+  EXPECT_TRUE(is_float(Type::F64));
+  EXPECT_FALSE(is_float(Type::Ptr));
+  EXPECT_TRUE(is_arith(Type::I32));
+  EXPECT_FALSE(is_arith(Type::Void));
+}
+
+TEST(IrTypes, NameRoundTrip) {
+  for (Type t : {Type::Void, Type::I1, Type::I32, Type::I64, Type::F32,
+                 Type::F64, Type::Ptr}) {
+    Type back;
+    ASSERT_TRUE(parse_type(type_name(t), back));
+    EXPECT_EQ(back, t);
+  }
+  Type dummy;
+  EXPECT_FALSE(parse_type("i128", dummy));
+}
+
+TEST(IrOpcodes, NameRoundTrip) {
+  for (Opcode op : {Opcode::Load, Opcode::Store, Opcode::FAdd, Opcode::Phi,
+                    Opcode::CondBr, Opcode::AtomicRMW, Opcode::Barrier,
+                    Opcode::Gep, Opcode::SIToFP}) {
+    Opcode back;
+    ASSERT_TRUE(parse_opcode(opcode_name(op), back));
+    EXPECT_EQ(back, op);
+  }
+  Opcode dummy;
+  EXPECT_FALSE(parse_opcode("fma", dummy));
+}
+
+}  // namespace
+}  // namespace pnp::ir

@@ -1,0 +1,169 @@
+/// Unit tests for the PnP tuner wrapper itself: feature construction,
+/// label encoding, the flat-head and basis-decomposition ablation paths,
+/// and state import/export.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/pnp_tuner.hpp"
+#include "graph/export.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+namespace {
+
+class PnpTunerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    machine_ = new hw::MachineModel(hw::MachineModel::haswell());
+    simulator_ = new sim::Simulator(*machine_);
+    space_ = new SearchSpace(SearchSpace::for_machine(*machine_));
+    db_ = new MeasurementDb(*simulator_, *space_,
+                            workloads::Suite::instance().all_regions());
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    delete space_;
+    delete simulator_;
+    delete machine_;
+  }
+
+  static PnpOptions fast(std::uint64_t seed = 5) {
+    PnpOptions p;
+    p.trainer.max_epochs = 12;
+    p.trainer.patience = 4;
+    p.seed = seed;
+    return p;
+  }
+
+  static std::vector<int> first_regions(int n) {
+    std::vector<int> v;
+    for (int r = 0; r < n; ++r) v.push_back(r);
+    return v;
+  }
+
+  static hw::MachineModel* machine_;
+  static sim::Simulator* simulator_;
+  static SearchSpace* space_;
+  static MeasurementDb* db_;
+};
+
+hw::MachineModel* PnpTunerTest::machine_ = nullptr;
+sim::Simulator* PnpTunerTest::simulator_ = nullptr;
+SearchSpace* PnpTunerTest::space_ = nullptr;
+MeasurementDb* PnpTunerTest::db_ = nullptr;
+
+TEST_F(PnpTunerTest, BuildsOneGraphPerRegion) {
+  PnpTuner tuner(*db_, fast());
+  for (int r = 0; r < db_->num_regions(); r += 10) {
+    const auto& g = tuner.region_graph(r);
+    EXPECT_GT(g.num_nodes(), 0) << graph::summary(g);
+  }
+}
+
+TEST_F(PnpTunerTest, FlatHeadVariantTrainsAndPredicts) {
+  auto opt = fast(7);
+  opt.factored_heads = false;  // one softmax over 6*3*8 = 144 classes
+  PnpTuner tuner(*db_, opt);
+  tuner.train_power_scenario(first_regions(25));
+  for (int r = 25; r < 30; ++r) {
+    const auto cfg = tuner.predict_power(r, 0);
+    EXPECT_GE(space_->thread_class(cfg.threads), 0);
+    EXPECT_GE(space_->chunk_class(cfg.chunk), 0);
+  }
+}
+
+TEST_F(PnpTunerTest, FlatHeadEdpVariantDecodesCap) {
+  auto opt = fast(9);
+  opt.factored_heads = false;
+  PnpTuner tuner(*db_, opt);
+  tuner.train_edp_scenario(first_regions(25));
+  for (int r = 25; r < 30; ++r) {
+    const auto jc = tuner.predict_edp(r);
+    EXPECT_GE(jc.cap_index, 0);
+    EXPECT_LT(jc.cap_index, 4);
+  }
+}
+
+TEST_F(PnpTunerTest, BasisDecompositionAblationRuns) {
+  auto opt = fast(11);
+  opt.num_bases = 3;  // RGCN basis decomposition (Schlichtkrull et al.)
+  PnpTuner tuner(*db_, opt);
+  const auto rep = tuner.train_power_scenario(first_regions(20));
+  EXPECT_GT(rep.epochs_run, 0);
+  const auto cfg = tuner.predict_power(40, 2);
+  EXPECT_GE(cfg.threads, 1);
+}
+
+TEST_F(PnpTunerTest, CountersVariantChangesFeatureWidth) {
+  auto s = fast(13);
+  PnpTuner stat(*db_, s);
+  stat.train_power_scenario(first_regions(15));
+  auto d = fast(13);
+  d.use_counters = true;
+  PnpTuner dyn(*db_, d);
+  dyn.train_power_scenario(first_regions(15));
+  // 4 cap one-hot vs 4 + 5 counters.
+  EXPECT_EQ(stat.net().config().extra_features, 4);
+  EXPECT_EQ(dyn.net().config().extra_features, 9);
+}
+
+TEST_F(PnpTunerTest, UnseenCapRequiresScalarFeature) {
+  auto opt = fast(15);
+  opt.train_cap_indices = {1, 2, 3};
+  opt.cap_onehot = true;  // invalid combination
+  EXPECT_THROW(PnpTuner(*db_, opt), Error);
+}
+
+TEST_F(PnpTunerTest, PredictBeforeTrainThrows) {
+  PnpTuner tuner(*db_, fast());
+  EXPECT_THROW(tuner.predict_power(0, 0), Error);
+  EXPECT_THROW(tuner.predict_edp(0), Error);
+  EXPECT_THROW(tuner.state(), Error);
+}
+
+TEST_F(PnpTunerTest, ScenarioModesAreExclusive) {
+  PnpTuner tuner(*db_, fast());
+  tuner.train_power_scenario(first_regions(12));
+  EXPECT_THROW(tuner.predict_edp(0), Error);
+  tuner.train_edp_scenario(first_regions(12));
+  EXPECT_THROW(tuner.predict_power(0, 0), Error);
+  EXPECT_NO_THROW(tuner.predict_edp(0));
+}
+
+TEST_F(PnpTunerTest, StateRoundTripsBetweenTuners) {
+  auto opt = fast(17);
+  PnpTuner a(*db_, opt);
+  a.train_power_scenario(first_regions(20));
+  const auto sd = a.state();
+
+  // Import into a fresh tuner with a different seed: after loading the GNN
+  // and retraining the dense stage, predictions must be well-formed and
+  // the GNN weights must match the source.
+  auto opt2 = fast(99);
+  PnpTuner b(*db_, opt2);
+  b.import_gnn(sd, /*freeze_gnn=*/true);
+  b.train_power_scenario(first_regions(20));
+  EXPECT_EQ(b.net().state_dict().get("emb.token"), sd.get("emb.token"));
+  EXPECT_EQ(b.net().state_dict().get("rgcn.3.w0"), sd.get("rgcn.3.w0"));
+  EXPECT_NE(b.net().state_dict().get("dense.w1"), sd.get("dense.w1"));
+}
+
+TEST_F(PnpTunerTest, LabelsMatchOracle) {
+  // The training labels must decode back to the db's best candidates.
+  PnpTuner tuner(*db_, fast());
+  (void)tuner;  // labels are private; verify through the db directly
+  for (int r = 0; r < db_->num_regions(); r += 9) {
+    for (int k = 0; k < db_->num_caps(); ++k) {
+      const int c = db_->best_candidate_by_time(r, k);
+      const auto cfg = space_->candidate(c);
+      const auto back = space_->config_from_classes(
+          space_->thread_class(cfg.threads), static_cast<int>(cfg.schedule),
+          space_->chunk_class(cfg.chunk));
+      EXPECT_TRUE(back == cfg) << cfg.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pnp::core

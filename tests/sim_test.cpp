@@ -1,0 +1,333 @@
+/// Tests for the OpenMP execution simulator: invariants the cost model
+/// must satisfy (monotonicity in the power cap, schedule trade-offs,
+/// bandwidth saturation, Amdahl effects) plus determinism and the noise
+/// model. Parameterized sweeps act as property tests across the Table I
+/// configuration grid.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "sim/kernel.hpp"
+#include "sim/simulator.hpp"
+
+namespace pnp::sim {
+namespace {
+
+KernelDescriptor compute_kernel() {
+  KernelDescriptor k;
+  k.app = "t";
+  k.region = "compute";
+  k.trip_count = 1024;
+  k.flops_per_iter = 2.0e6;
+  k.bytes_per_iter = 8192;
+  k.working_set_bytes = 24e6;
+  k.flop_efficiency = 0.35;
+  return k;
+}
+
+KernelDescriptor memory_kernel() {
+  KernelDescriptor k;
+  k.app = "t";
+  k.region = "memory";
+  k.trip_count = 4000;
+  k.flops_per_iter = 2.0e4;
+  k.bytes_per_iter = 96000;
+  k.working_set_bytes = 400e6;
+  k.flop_efficiency = 0.2;
+  return k;
+}
+
+KernelDescriptor imbalanced_kernel() {
+  KernelDescriptor k = compute_kernel();
+  k.region = "imbalanced";
+  k.imbalance = 0.8;
+  return k;
+}
+
+KernelDescriptor tiny_kernel() {
+  KernelDescriptor k;
+  k.app = "t";
+  k.region = "tiny";
+  k.trip_count = 2000;
+  k.flops_per_iter = 3.0;
+  k.bytes_per_iter = 24.0;
+  k.working_set_bytes = 48000;
+  k.flop_efficiency = 0.1;
+  return k;
+}
+
+class SimTest : public ::testing::Test {
+ protected:
+  hw::MachineModel machine_ = hw::MachineModel::haswell();
+  Simulator sim_{machine_};
+};
+
+TEST_F(SimTest, TimeDecreasesWithHigherCapForComputeBound) {
+  const auto k = compute_kernel();
+  const OmpConfig cfg{16, Schedule::Static, 0};
+  double prev = 1e300;
+  for (double cap : {40.0, 60.0, 70.0, 85.0}) {
+    const double t = sim_.expected(k, cfg, cap).seconds;
+    EXPECT_LE(t, prev + 1e-12);
+    prev = t;
+  }
+  // And meaningfully so: 40 W must be clearly slower than TDP.
+  EXPECT_GT(sim_.expected(k, cfg, 40.0).seconds,
+            1.3 * sim_.expected(k, cfg, 85.0).seconds);
+}
+
+TEST_F(SimTest, MemoryBoundInsensitiveToCap) {
+  const auto k = memory_kernel();
+  const OmpConfig cfg{16, Schedule::Static, 0};
+  const double t_low = sim_.expected(k, cfg, 40.0).seconds;
+  const double t_tdp = sim_.expected(k, cfg, 85.0).seconds;
+  // Within ~15%: DRAM bandwidth, not core clock, limits this kernel.
+  EXPECT_LT(t_low / t_tdp, 1.15);
+}
+
+TEST_F(SimTest, ComputeBoundScalesWithThreads) {
+  const auto k = compute_kernel();
+  const double t1 =
+      sim_.expected(k, OmpConfig{1, Schedule::Static, 0}, 85.0).seconds;
+  const double t16 =
+      sim_.expected(k, OmpConfig{16, Schedule::Static, 0}, 85.0).seconds;
+  EXPECT_GT(t1 / t16, 5.0);   // strong scaling...
+  EXPECT_LT(t1 / t16, 16.0);  // ...but sub-linear (power + overheads)
+}
+
+TEST_F(SimTest, MemoryBoundSaturates) {
+  const auto k = memory_kernel();
+  const double t8 =
+      sim_.expected(k, OmpConfig{8, Schedule::Static, 0}, 85.0).seconds;
+  const double t32 =
+      sim_.expected(k, OmpConfig{32, Schedule::Static, 0}, 85.0).seconds;
+  // Beyond saturation, more threads gain little.
+  EXPECT_LT(t8 / t32, 2.2);
+}
+
+TEST_F(SimTest, DynamicBeatsStaticUnderImbalance) {
+  const auto k = imbalanced_kernel();
+  const double t_static =
+      sim_.expected(k, OmpConfig{16, Schedule::Static, 0}, 85.0).seconds;
+  const double t_dynamic =
+      sim_.expected(k, OmpConfig{16, Schedule::Dynamic, 32}, 85.0).seconds;
+  EXPECT_LT(t_dynamic, t_static);
+}
+
+TEST_F(SimTest, StaticBeatsDynamicWhenBalancedAndChunksTiny) {
+  auto k = compute_kernel();
+  k.trip_count = 200000;
+  k.flops_per_iter = 40.0;
+  k.bytes_per_iter = 64.0;
+  k.chunk_overhead_scale = 2.0;
+  const double t_static =
+      sim_.expected(k, OmpConfig{16, Schedule::Static, 0}, 85.0).seconds;
+  const double t_dyn1 =
+      sim_.expected(k, OmpConfig{16, Schedule::Dynamic, 1}, 85.0).seconds;
+  EXPECT_LT(t_static, t_dyn1);
+}
+
+TEST_F(SimTest, GuidedBetweenStaticAndDynamicOnImbalance) {
+  const auto k = imbalanced_kernel();
+  const OmpConfig cs{16, Schedule::Static, 8};
+  const OmpConfig cg{16, Schedule::Guided, 8};
+  const OmpConfig cd{16, Schedule::Dynamic, 8};
+  const double ts = sim_.expected(k, cs, 85.0).seconds;
+  const double tg = sim_.expected(k, cg, 85.0).seconds;
+  const double td = sim_.expected(k, cd, 85.0).seconds;
+  EXPECT_LE(td, tg);
+  EXPECT_LE(tg, ts);
+}
+
+TEST_F(SimTest, TinyKernelPrefersFewThreads) {
+  const auto k = tiny_kernel();
+  const double t_all =
+      sim_.expected(k, OmpConfig{32, Schedule::Static, 0}, 40.0).seconds;
+  const double t_few =
+      sim_.expected(k, OmpConfig{4, Schedule::Static, 0}, 40.0).seconds;
+  EXPECT_LT(t_few, t_all);
+}
+
+TEST_F(SimTest, SerialFractionCapsScaling) {
+  auto k = compute_kernel();
+  k.serial_frac = 0.5;
+  const double t1 =
+      sim_.expected(k, OmpConfig{1, Schedule::Static, 0}, 85.0).seconds;
+  const double t16 =
+      sim_.expected(k, OmpConfig{16, Schedule::Static, 0}, 85.0).seconds;
+  EXPECT_LT(t1 / t16, 2.2);  // Amdahl: at most ~2x for 50% serial
+}
+
+TEST_F(SimTest, CriticalSectionsPenalizeManyThreads) {
+  auto k = compute_kernel();
+  k.critical_frac = 0.2;
+  const auto base = compute_kernel();
+  const OmpConfig cfg{16, Schedule::Static, 0};
+  EXPECT_GT(sim_.expected(k, cfg, 85.0).seconds,
+            sim_.expected(base, cfg, 85.0).seconds);
+}
+
+TEST_F(SimTest, EnergyEqualsPowerTimesTime) {
+  const auto k = compute_kernel();
+  for (double cap : {40.0, 85.0}) {
+    const auto r = sim_.expected(k, OmpConfig{8, Schedule::Dynamic, 64}, cap);
+    EXPECT_NEAR(r.joules, r.avg_power_w * r.seconds, 1e-9);
+    EXPECT_LE(r.avg_power_w, cap + 1e-9);  // RAPL holds the budget
+    EXPECT_DOUBLE_EQ(r.edp(), r.joules * r.seconds);
+  }
+}
+
+TEST_F(SimTest, FrequencyReportedWithinLadder) {
+  const auto k = compute_kernel();
+  const auto r = sim_.expected(k, OmpConfig{16, Schedule::Static, 0}, 60.0);
+  EXPECT_GE(r.frequency_ghz, machine_.fmin_ghz);
+  EXPECT_LE(r.frequency_ghz, machine_.fmax_ghz);
+}
+
+TEST_F(SimTest, LowerCapLowersPowerForSameConfig) {
+  const auto k = compute_kernel();
+  const OmpConfig cfg{16, Schedule::Static, 0};
+  EXPECT_LT(sim_.expected(k, cfg, 40.0).avg_power_w,
+            sim_.expected(k, cfg, 85.0).avg_power_w);
+}
+
+TEST_F(SimTest, ExpectedIsDeterministic) {
+  const auto k = compute_kernel();
+  const OmpConfig cfg{8, Schedule::Guided, 32};
+  const auto a = sim_.expected(k, cfg, 60.0);
+  const auto b = sim_.expected(k, cfg, 60.0);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_DOUBLE_EQ(a.joules, b.joules);
+}
+
+TEST_F(SimTest, MeasureJitterIsDeterministicPerDraw) {
+  const auto k = compute_kernel();
+  const OmpConfig cfg{8, Schedule::Guided, 32};
+  const auto a0 = sim_.measure(k, cfg, 60.0, 0);
+  const auto b0 = sim_.measure(k, cfg, 60.0, 0);
+  EXPECT_DOUBLE_EQ(a0.seconds, b0.seconds);
+  const auto a1 = sim_.measure(k, cfg, 60.0, 1);
+  EXPECT_NE(a0.seconds, a1.seconds);
+}
+
+TEST_F(SimTest, MeasureJitterIsBounded) {
+  const auto k = compute_kernel();
+  const OmpConfig cfg{8, Schedule::Static, 0};
+  const double expected = sim_.expected(k, cfg, 60.0).seconds;
+  for (std::uint64_t d = 0; d < 50; ++d) {
+    const double t = sim_.measure(k, cfg, 60.0, d).seconds;
+    EXPECT_GT(t, expected * 0.5);  // ~±4σ of the 12% log-normal jitter
+    EXPECT_LT(t, expected * 2.0);
+  }
+}
+
+TEST_F(SimTest, CountersScaleWithWork) {
+  const auto small = tiny_kernel();
+  const auto big = compute_kernel();
+  const auto cs = sim_.profile_counters(small);
+  const auto cb = sim_.profile_counters(big);
+  EXPECT_GT(cb.instructions, cs.instructions);
+  EXPECT_GT(cb.l3_misses, 0.0);
+  // Cache hierarchy orders misses.
+  EXPECT_GE(cs.l1_misses, cs.l2_misses);
+  EXPECT_GE(cs.l2_misses, cs.l3_misses);
+}
+
+TEST_F(SimTest, BranchyKernelsMispredictMore) {
+  auto k = compute_kernel();
+  auto kb = k;
+  kb.branch_div = 0.7;
+  EXPECT_GT(sim_.profile_counters(kb).branch_mispredictions,
+            sim_.profile_counters(k).branch_mispredictions);
+  // And they run slower.
+  const OmpConfig cfg{16, Schedule::Static, 0};
+  EXPECT_GT(sim_.expected(kb, cfg, 85.0).seconds,
+            sim_.expected(k, cfg, 85.0).seconds);
+}
+
+TEST_F(SimTest, DefaultConfigUsesAllHardwareThreads) {
+  EXPECT_EQ(sim_.default_config().threads, machine_.max_threads());
+  EXPECT_EQ(sim_.default_config().schedule, Schedule::Static);
+  EXPECT_EQ(sim_.default_config().chunk, 0);
+}
+
+TEST_F(SimTest, InvalidInputsThrow) {
+  const auto k = compute_kernel();
+  EXPECT_THROW(sim_.expected(k, OmpConfig{0, Schedule::Static, 0}, 85.0),
+               pnp::Error);
+  EXPECT_THROW(sim_.expected(k, OmpConfig{8, Schedule::Static, 0}, 0.0),
+               pnp::Error);
+}
+
+TEST(SimConfig, ToStringFormats) {
+  EXPECT_EQ((OmpConfig{8, Schedule::Dynamic, 64}).to_string(), "8t/dynamic/64");
+  EXPECT_EQ((OmpConfig{32, Schedule::Static, 0}).to_string(), "32t/static/def");
+  EXPECT_EQ((OmpConfig{1, Schedule::Guided, 1}).to_string(), "1t/guided/1");
+}
+
+// ---------------------------------------------------------------------------
+// Property sweeps over the whole Table I grid.
+// ---------------------------------------------------------------------------
+
+struct SweepCase {
+  int threads;
+  Schedule sched;
+  int chunk;
+};
+
+class GridSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  hw::MachineModel machine_ = hw::MachineModel::skylake();
+  Simulator sim_{machine_};
+};
+
+TEST_P(GridSweep, SaneResultsEverywhere) {
+  const auto p = GetParam();
+  const OmpConfig cfg{p.threads, p.sched, p.chunk};
+  for (const auto& k :
+       {compute_kernel(), memory_kernel(), imbalanced_kernel(), tiny_kernel()}) {
+    for (double cap : {75.0, 100.0, 120.0, 150.0}) {
+      const auto r = sim_.expected(k, cfg, cap);
+      EXPECT_TRUE(std::isfinite(r.seconds)) << cfg.to_string();
+      EXPECT_GT(r.seconds, 0.0);
+      EXPECT_GT(r.joules, 0.0);
+      EXPECT_LE(r.avg_power_w, cap + 1e-9);
+      EXPECT_GE(r.avg_power_w, 0.0);
+    }
+  }
+}
+
+TEST_P(GridSweep, MonotoneInCapEverywhere) {
+  const auto p = GetParam();
+  const OmpConfig cfg{p.threads, p.sched, p.chunk};
+  for (const auto& k : {compute_kernel(), memory_kernel(), tiny_kernel()}) {
+    double prev = 1e300;
+    for (double cap : {75.0, 100.0, 120.0, 150.0}) {
+      const double t = sim_.expected(k, cfg, cap).seconds;
+      EXPECT_LE(t, prev * (1.0 + 1e-12));
+      prev = t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableOneGrid, GridSweep,
+    ::testing::Values(SweepCase{1, Schedule::Static, 1},
+                      SweepCase{4, Schedule::Static, 128},
+                      SweepCase{8, Schedule::Dynamic, 1},
+                      SweepCase{16, Schedule::Dynamic, 256},
+                      SweepCase{32, Schedule::Guided, 8},
+                      SweepCase{64, Schedule::Guided, 512},
+                      SweepCase{64, Schedule::Static, 0},
+                      SweepCase{16, Schedule::Guided, 0},
+                      SweepCase{8, Schedule::Dynamic, 0}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::to_string(info.param.threads) + "t_" +
+             std::string(schedule_name(info.param.sched)) + "_c" +
+             std::to_string(info.param.chunk);
+    });
+
+}  // namespace
+}  // namespace pnp::sim

@@ -1,0 +1,55 @@
+/// Tests for the Variorum-style facade over the power substrate.
+
+#include <gtest/gtest.h>
+
+#include "hw/variorum.hpp"
+
+namespace pnp::hw::variorum {
+namespace {
+
+TEST(Variorum, CapIsBestEffortClamped) {
+  NodePowerDomain node(MachineModel::haswell());
+  double applied = 0.0;
+  EXPECT_EQ(cap_best_effort_node_power_limit(node, 10.0, &applied), 0);
+  EXPECT_DOUBLE_EQ(applied, 40.0);  // clamped to min cap
+  EXPECT_EQ(cap_best_effort_node_power_limit(node, 60.0, &applied), 0);
+  EXPECT_DOUBLE_EQ(applied, 60.0);
+  EXPECT_EQ(cap_best_effort_node_power_limit(node, 1000.0, nullptr), 0);
+  double w = 0.0;
+  EXPECT_EQ(get_node_power_limit(node, &w), 0);
+  EXPECT_DOUBLE_EQ(w, 85.0);  // clamped to TDP
+}
+
+TEST(Variorum, EnergyReadsTrackMeter) {
+  NodePowerDomain node(MachineModel::skylake());
+  node.meter().accumulate(100.0, 3.0);
+  double j = 0.0;
+  EXPECT_EQ(get_node_energy_joules(node, &j), 0);
+  EXPECT_DOUBLE_EQ(j, 300.0);
+}
+
+TEST(Variorum, NullPointersRejected) {
+  NodePowerDomain node(MachineModel::skylake());
+  EXPECT_EQ(get_node_power_limit(node, nullptr), -1);
+  EXPECT_EQ(get_node_energy_joules(node, nullptr), -1);
+}
+
+TEST(Variorum, PrintPowerMentionsDomain) {
+  NodePowerDomain node(MachineModel::skylake());
+  cap_best_effort_node_power_limit(node, 120.0, nullptr);
+  const auto s = print_power(node);
+  EXPECT_NE(s.find("skylake"), std::string::npos);
+  EXPECT_NE(s.find("120"), std::string::npos);
+}
+
+TEST(Variorum, CapAffectsFrequencyThroughController) {
+  NodePowerDomain node(MachineModel::haswell());
+  cap_best_effort_node_power_limit(node, 40.0, nullptr);
+  const double f_low = node.controller().max_frequency_ghz(16, 2);
+  cap_best_effort_node_power_limit(node, 85.0, nullptr);
+  const double f_tdp = node.controller().max_frequency_ghz(16, 2);
+  EXPECT_LT(f_low, f_tdp);
+}
+
+}  // namespace
+}  // namespace pnp::hw::variorum

@@ -1,0 +1,270 @@
+/// Tests for the workload suite and IR generation: corpus shape (the
+/// paper's 30 applications / 68 regions), IR validity of every region,
+/// structural fidelity of generated code to its descriptor, and graph
+/// size bounds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "graph/builder.hpp"
+#include "ir/extract.hpp"
+#include "ir/parser.hpp"
+#include "ir/printer.hpp"
+#include "ir/verifier.hpp"
+#include "workloads/irgen.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::workloads {
+namespace {
+
+TEST(Suite, PaperCorpusShape) {
+  const auto& s = Suite::instance();
+  EXPECT_EQ(s.application_count(), 30u);
+  EXPECT_EQ(s.total_regions(), 68u);
+}
+
+TEST(Suite, ContainsAllPaperApplications) {
+  const auto& s = Suite::instance();
+  for (const char* name :
+       {"rsbench", "xsbench", "minife", "quicksilver", "miniamr", "lulesh",
+        "seidel-2d", "adi", "jacobi-2d", "bicg", "atax", "gramschmidt",
+        "correlation", "doitgen", "covariance", "gemm", "syrk", "cholesky",
+        "gemver", "mvt", "durbin", "trisolv", "syr2k", "lu", "symm",
+        "fdtd-2d", "fdtd-apml", "2mm", "gesummv", "trmm"}) {
+    EXPECT_NE(s.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(s.find("notanapp"), nullptr);
+}
+
+TEST(Suite, ProxyAppsHaveMultipleRegions) {
+  const auto& s = Suite::instance();
+  EXPECT_EQ(s.find("lulesh")->regions.size(), 9u);
+  EXPECT_EQ(s.find("minife")->regions.size(), 6u);
+  EXPECT_EQ(s.find("miniamr")->regions.size(), 6u);
+  EXPECT_EQ(s.find("quicksilver")->regions.size(), 5u);
+  EXPECT_EQ(s.find("rsbench")->regions.size(), 2u);
+  EXPECT_EQ(s.find("xsbench")->regions.size(), 2u);
+}
+
+TEST(Suite, EveryModuleVerifies) {
+  for (const auto& app : Suite::instance().applications()) {
+    EXPECT_TRUE(ir::verify_module(app.module).empty()) << app.name;
+  }
+}
+
+TEST(Suite, EveryRegionFunctionExistsAndExtracts) {
+  for (const auto& app : Suite::instance().applications()) {
+    for (const auto& r : app.regions) {
+      const auto* fn = app.module.find_function(r.function);
+      ASSERT_NE(fn, nullptr) << r.function;
+      const auto one = ir::extract_function(app.module, r.function);
+      EXPECT_TRUE(ir::verify_module(one).empty()) << r.function;
+      EXPECT_EQ(one.functions.size(), 1u);
+    }
+  }
+}
+
+TEST(Suite, RegionNamesUniqueAndQualified) {
+  std::set<std::string> names;
+  for (const auto& rr : Suite::instance().all_regions()) {
+    const auto qn = rr.region->desc.qualified_name();
+    EXPECT_TRUE(names.insert(qn).second) << "duplicate region " << qn;
+    EXPECT_EQ(rr.region->desc.app, rr.app->name);
+  }
+  EXPECT_EQ(names.size(), 68u);
+}
+
+TEST(Suite, EveryModuleRoundTripsThroughText) {
+  // Printer/parser must handle everything the generator can emit.
+  for (const auto& app : Suite::instance().applications()) {
+    const std::string text = ir::print_module(app.module);
+    const auto back = ir::parse_module(text);
+    EXPECT_EQ(ir::print_module(back), text) << app.name;
+  }
+}
+
+TEST(Suite, GraphSizesWithinModelBudget) {
+  for (const auto& app : Suite::instance().applications()) {
+    for (const auto& r : app.regions) {
+      const auto one = ir::extract_function(app.module, r.function);
+      const auto g = graph::build_flow_graph(one);
+      EXPECT_GE(g.num_nodes(), 15) << r.desc.qualified_name();
+      EXPECT_LE(g.num_nodes(), 400) << r.desc.qualified_name();
+      EXPECT_GT(g.num_edges(), g.num_nodes() / 2);
+    }
+  }
+}
+
+TEST(Suite, DescriptorsAreDiverse) {
+  // The corpus must span compute-bound, memory-bound, imbalanced, tiny,
+  // divergent, and serial-heavy kernels — the families the tuner learns.
+  int imbalanced = 0, divergent = 0, reductions = 0, serial_heavy = 0,
+      tiny_k = 0;
+  for (const auto& rr : Suite::instance().all_regions()) {
+    const auto& d = rr.region->desc;
+    if (d.imbalance > 0.4) ++imbalanced;
+    if (d.branch_div > 0.4) ++divergent;
+    if (d.reduction) ++reductions;
+    if (d.serial_frac > 0.3) ++serial_heavy;
+    if (d.trip_count * (d.flops_per_iter + d.bytes_per_iter) < 1e6) ++tiny_k;
+  }
+  EXPECT_GE(imbalanced, 8);
+  EXPECT_GE(divergent, 4);
+  EXPECT_GE(reductions, 8);
+  EXPECT_GE(serial_heavy, 3);
+  EXPECT_GE(tiny_k, 4);
+}
+
+TEST(Suite, TrisolvIsTheSingleThreadOutlier) {
+  // Paper §VI: trisolv runs fastest with one thread everywhere.
+  const auto* app = Suite::instance().find("trisolv");
+  ASSERT_NE(app, nullptr);
+  EXPECT_GT(app->regions[0].desc.serial_frac, 0.8);
+}
+
+TEST(Suite, InstanceIsSingleton) {
+  EXPECT_EQ(&Suite::instance(), &Suite::instance());
+}
+
+// ---------------------------------------------------------------------------
+// IR generation fidelity: descriptor traits must be visible in the code.
+// ---------------------------------------------------------------------------
+
+sim::KernelDescriptor base_desc() {
+  sim::KernelDescriptor k;
+  k.app = "test";
+  k.region = "r0";
+  k.trip_count = 100;
+  k.flops_per_iter = 64;
+  k.bytes_per_iter = 128;
+  k.loop_nest_depth = 2;
+  return k;
+}
+
+int count_opcode(const ir::Module& m, ir::Opcode op) {
+  int n = 0;
+  for (const auto& f : m.functions)
+    for (const auto& b : f.blocks)
+      for (const auto& in : b.instrs)
+        if (in.op == op) ++n;
+  return n;
+}
+
+TEST(IrGen, ReductionEmitsAtomic) {
+  auto k = base_desc();
+  k.reduction = true;
+  const auto m = emit_application("test", {k});
+  EXPECT_GE(count_opcode(m, ir::Opcode::AtomicRMW), 1);
+  auto k2 = base_desc();
+  const auto m2 = emit_application("test", {k2});
+  EXPECT_EQ(count_opcode(m2, ir::Opcode::AtomicRMW), 0);
+}
+
+TEST(IrGen, DivergenceEmitsBranchyBody) {
+  auto k = base_desc();
+  k.branch_div = 0.6;
+  const auto m = emit_application("test", {k});
+  auto k2 = base_desc();
+  k2.branch_div = 0.0;
+  const auto m2 = emit_application("test", {k2});
+  EXPECT_GT(count_opcode(m, ir::Opcode::CondBr), count_opcode(m2, ir::Opcode::CondBr));
+  EXPECT_GE(count_opcode(m, ir::Opcode::FCmp), 1);
+}
+
+TEST(IrGen, CriticalSectionEmitsKmpcCalls) {
+  auto k = base_desc();
+  k.critical_frac = 0.1;
+  const auto m = emit_application("test", {k});
+  const std::string text = ir::print_module(m);
+  EXPECT_NE(text.find("@__kmpc_critical"), std::string::npos);
+  EXPECT_NE(text.find("@__kmpc_end_critical"), std::string::npos);
+}
+
+TEST(IrGen, SerialFractionEmitsSingleConstruct) {
+  auto k = base_desc();
+  k.serial_frac = 0.5;
+  const auto m = emit_application("test", {k});
+  const std::string text = ir::print_module(m);
+  EXPECT_NE(text.find("@__kmpc_single"), std::string::npos);
+}
+
+TEST(IrGen, MathCallsEmitIntrinsics) {
+  auto k = base_desc();
+  k.has_calls = true;
+  const auto m = emit_application("test", {k});
+  const std::string text = ir::print_module(m);
+  EXPECT_NE(text.find("call f64 @sqrt"), std::string::npos);
+}
+
+TEST(IrGen, NestDepthShapesLoops) {
+  auto k1 = base_desc();
+  k1.loop_nest_depth = 1;
+  auto k3 = base_desc();
+  k3.loop_nest_depth = 3;
+  const auto m1 = emit_application("test", {k1});
+  const auto m3 = emit_application("test", {k3});
+  EXPECT_GT(count_opcode(m3, ir::Opcode::Phi), count_opcode(m1, ir::Opcode::Phi));
+}
+
+TEST(IrGen, ImbalanceLoadsInnerBound) {
+  // Imbalanced nests read their inner trip count from memory (CSR-style),
+  // visible as a fptosi cast.
+  auto k = base_desc();
+  k.imbalance = 0.7;
+  k.loop_nest_depth = 2;
+  const auto m = emit_application("test", {k});
+  EXPECT_GE(count_opcode(m, ir::Opcode::FPToSI), 1);
+  auto kb = base_desc();
+  kb.imbalance = 0.0;
+  kb.loop_nest_depth = 2;
+  const auto mb = emit_application("test", {kb});
+  EXPECT_EQ(count_opcode(mb, ir::Opcode::FPToSI), 0);
+}
+
+TEST(IrGen, ArithmeticIntensityShapesBody) {
+  auto hot = base_desc();
+  hot.flops_per_iter = 1e6;
+  hot.bytes_per_iter = 16;
+  auto cold = base_desc();
+  cold.flops_per_iter = 4;
+  cold.bytes_per_iter = 4096;
+  const auto mh = emit_application("test", {hot});
+  const auto mc = emit_application("test", {cold});
+  const int hot_flops =
+      count_opcode(mh, ir::Opcode::FMul) + count_opcode(mh, ir::Opcode::FAdd);
+  const int cold_flops =
+      count_opcode(mc, ir::Opcode::FMul) + count_opcode(mc, ir::Opcode::FAdd);
+  EXPECT_GT(hot_flops, cold_flops);
+  EXPECT_GT(count_opcode(mc, ir::Opcode::Load),
+            count_opcode(mh, ir::Opcode::Load));
+}
+
+TEST(IrGen, RegionEndsWithBarrier) {
+  const auto m = emit_application("test", {base_desc()});
+  EXPECT_GE(count_opcode(m, ir::Opcode::Barrier), 1);
+}
+
+TEST(IrGen, DriverCallsEveryRegion) {
+  auto k1 = base_desc();
+  auto k2 = base_desc();
+  k2.region = "r1";
+  const auto m = emit_application("test", {k1, k2});
+  const auto* driver = m.find_function("test.main");
+  ASSERT_NE(driver, nullptr);
+  int calls = 0;
+  for (const auto& b : driver->blocks)
+    for (const auto& in : b.instrs)
+      if (in.op == ir::Opcode::Call) ++calls;
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(IrGen, MismatchedAppNameThrows) {
+  auto k = base_desc();
+  k.app = "other";
+  EXPECT_THROW(emit_application("test", {k}), pnp::Error);
+}
+
+}  // namespace
+}  // namespace pnp::workloads
