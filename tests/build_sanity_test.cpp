@@ -1,0 +1,67 @@
+/// Build-wiring smoke test: exercises the quickstart pipeline end-to-end
+/// (suite -> IR extraction -> PROGRAML flow graph -> simulator -> tiny PnP
+/// train -> predict) so that ctest fails loudly if any module in the
+/// pnp_common..pnp_core library stack stops linking or regresses its API.
+
+#include <gtest/gtest.h>
+
+#include "core/loocv.hpp"
+#include "core/measurement_db.hpp"
+#include "core/metrics.hpp"
+#include "graph/builder.hpp"
+#include "graph/export.hpp"
+#include "ir/extract.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp {
+namespace {
+
+TEST(BuildSanityTest, QuickstartPipelineRuns) {
+  // 1. Suite loads with the paper's 30 applications / 68 regions.
+  const auto& suite = workloads::Suite::instance();
+  ASSERT_EQ(suite.application_count(), 30u);
+  ASSERT_EQ(suite.total_regions(), 68u);
+
+  // 2. Extract one region's IR and build its flow graph.
+  const auto* gemm = suite.find("gemm");
+  ASSERT_NE(gemm, nullptr);
+  ASSERT_FALSE(gemm->regions.empty());
+  const auto& region = gemm->regions.front();
+  const ir::Module one = ir::extract_function(gemm->module, region.function);
+  ASSERT_FALSE(one.functions.empty());
+  const auto fg = graph::build_flow_graph(one);
+  EXPECT_GT(fg.num_nodes(), 0);
+  EXPECT_FALSE(graph::summary(fg).empty());
+
+  // 3. Simulate the region under a power cap.
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto r40 = simulator.expected(
+      region.desc, sim::OmpConfig{8, sim::Schedule::Static, 0}, 40.0);
+  EXPECT_GT(r40.seconds, 0.0);
+  EXPECT_GT(r40.joules, 0.0);
+  EXPECT_LE(r40.avg_power_w, 40.0 + 1.0);
+
+  // 4. Train a deliberately tiny PnP model and predict a config.
+  const auto space = core::SearchSpace::for_machine(machine);
+  const core::MeasurementDb db(simulator, space, suite.all_regions());
+  core::PnpOptions pnp;
+  pnp.trainer.max_epochs = 3;
+  core::PnpTuner tuner(db, pnp);
+  std::vector<int> train;
+  for (int r = 0; r < 10; ++r) train.push_back(r);
+  const auto rep = tuner.train_power_scenario(train);
+  EXPECT_GE(rep.epochs_run, 1);
+
+  const int region_idx = db.find_region("gemm", "r0_gemm");
+  ASSERT_GE(region_idx, 0);
+  for (int k = 0; k < db.num_caps(); ++k) {
+    const auto cfg = tuner.predict_power(region_idx, k);
+    EXPECT_GE(cfg.threads, 1);
+    EXPECT_LE(cfg.threads, machine.max_threads());
+    EXPECT_GE(cfg.chunk, 0);
+  }
+}
+
+}  // namespace
+}  // namespace pnp

@@ -105,9 +105,10 @@ TEST(PowerCap, ChosenFrequencyRespectsBudget) {
       const int sockets = cores > 16 ? 2 : 1;
       const double f =
           PowerCapController::max_frequency_ghz(m, cap, cores, sockets);
-      if (f > m.fmin_ghz + 1e-9)  // above the floor, demand must fit
+      if (f > m.fmin_ghz + 1e-9) {  // above the floor, demand must fit
         EXPECT_LE(m.power_demand_w(cores, sockets, f), cap + 1e-9)
             << "cap " << cap << " cores " << cores;
+      }
     }
   }
 }
