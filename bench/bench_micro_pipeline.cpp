@@ -1,11 +1,25 @@
 /// \file bench_micro_pipeline.cpp
 /// google-benchmark micro-benchmarks for the library's substrates: IR
-/// emission, graph construction, RGCN forward/backward, simulator
-/// throughput, exhaustive-sweep (oracle) cost, and per-run cost of the
-/// sampling baselines. These quantify the §VI claim that a trained PnP
-/// tuner needs *no* executions while BLISS/OpenTuner pay per region.
+/// emission, graph construction (+ CSR tensor form), RGCN
+/// forward/backward in steady-state training mode (reused workspaces, the
+/// path train() drives), one full train epoch, simulator throughput,
+/// exhaustive-sweep (oracle) cost, and per-run cost of the sampling
+/// baselines. These quantify the §VI claim that a trained PnP tuner needs
+/// *no* executions while BLISS/OpenTuner pay per region.
+///
+/// Besides the normal console output, the binary writes BENCH_micro.json
+/// (kernel → ns/op) to the working directory — or to the path in the
+/// PNP_BENCH_JSON environment variable — for CI artifact upload and the
+/// before/after tables in docs/BENCHMARKS.md.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/baselines.hpp"
 #include "core/measurement_db.hpp"
@@ -13,6 +27,7 @@
 #include "graph/builder.hpp"
 #include "ir/extract.hpp"
 #include "nn/loss.hpp"
+#include "nn/optim.hpp"
 #include "nn/trainer.hpp"
 #include "workloads/irgen.hpp"
 #include "workloads/suite.hpp"
@@ -44,6 +59,20 @@ void BM_FlowGraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_FlowGraphBuild);
 
+void BM_GraphTensorsBuild(benchmark::State& state) {
+  // Vocabulary lookup + per-relation edge lists + the CSR message-passing
+  // form (dst-sorted offsets, 1/deg) built once per graph.
+  const auto one =
+      ir::extract_function(gemm_app().module, gemm_app().regions[0].function);
+  const auto fg = graph::build_flow_graph(one);
+  const auto vocab = graph::Vocabulary::from_graphs({&fg});
+  for (auto _ : state) {
+    auto t = graph::to_tensors(fg, vocab);
+    benchmark::DoNotOptimize(t.csr(0).num_edges());
+  }
+}
+BENCHMARK(BM_GraphTensorsBuild);
+
 void BM_SimulatorExpected(benchmark::State& state) {
   const sim::Simulator simulator(hw::MachineModel::haswell());
   const auto& desc = gemm_app().regions[0].desc;
@@ -69,19 +98,28 @@ void BM_ExhaustiveOracleSweep(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveOracleSweep);
 
+nn::RgcnNetConfig table2_config(int vocab_size) {
+  nn::RgcnNetConfig cfg;
+  cfg.vocab_size = vocab_size;
+  cfg.head_sizes = {6, 3, 8};
+  cfg.extra_features = 0;
+  return cfg;
+}
+
 void BM_RgcnForward(benchmark::State& state) {
+  // Steady-state training mode: the encode/dense workspaces are reused
+  // across passes (zero allocation), exactly as train() drives them.
   const auto one =
       ir::extract_function(gemm_app().module, gemm_app().regions[0].function);
   const auto fg = graph::build_flow_graph(one);
   const auto vocab = graph::Vocabulary::from_graphs({&fg});
   const auto tensors = graph::to_tensors(fg, vocab);
-  nn::RgcnNetConfig cfg;
-  cfg.vocab_size = vocab.size();
-  cfg.head_sizes = {6, 3, 8};
-  cfg.extra_features = 0;
-  nn::RgcnNet net(cfg);
+  nn::RgcnNet net(table2_config(vocab.size()));
+  nn::RgcnNet::GnnCache gc;
+  nn::RgcnNet::DenseCache dc;
   for (auto _ : state) {
-    const auto dc = net.forward(tensors, {});
+    net.encode_into(tensors, gc);
+    net.dense_forward_into(gc.readout, {}, dc);
     benchmark::DoNotOptimize(dc.logits[0]);
   }
 }
@@ -93,15 +131,14 @@ void BM_RgcnForwardBackward(benchmark::State& state) {
   const auto fg = graph::build_flow_graph(one);
   const auto vocab = graph::Vocabulary::from_graphs({&fg});
   const auto tensors = graph::to_tensors(fg, vocab);
-  nn::RgcnNetConfig cfg;
-  cfg.vocab_size = vocab.size();
-  cfg.head_sizes = {6, 3, 8};
-  cfg.extra_features = 0;
-  nn::RgcnNet net(cfg);
+  nn::RgcnNet net(table2_config(vocab.size()));
+  nn::RgcnNet::GnnCache gc;
+  nn::RgcnNet::DenseCache dc;
+  std::vector<double> dlogits;
   for (auto _ : state) {
-    const auto gc = net.encode(tensors);
-    const auto dc = net.dense_forward(gc.readout, {});
-    std::vector<double> dlogits(dc.logits.size(), 0.1);
+    net.encode_into(tensors, gc);
+    net.dense_forward_into(gc.readout, {}, dc);
+    dlogits.assign(dc.logits.size(), 0.1);
     const auto dr = net.dense_backward(dc, dlogits);
     net.gnn_backward(gc, dr);
     net.zero_grad();
@@ -109,6 +146,46 @@ void BM_RgcnForwardBackward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RgcnForwardBackward);
+
+void BM_TrainEpoch(benchmark::State& state) {
+  // One full training epoch (16 region graphs × 4 members, batch 16) —
+  // the unit the LOOCV folds repeat tens of times per trained fold.
+  const auto& suite = workloads::Suite::instance();
+  std::vector<graph::FlowGraph> graphs;
+  std::vector<const graph::FlowGraph*> graph_ptrs;
+  const auto regions = suite.all_regions();
+  for (int i = 0; i < 16 && i < static_cast<int>(regions.size()); ++i) {
+    const auto& rr = regions[static_cast<std::size_t>(i)];
+    const auto m = ir::extract_function(rr.app->module, rr.region->function);
+    graphs.push_back(graph::build_flow_graph(m));
+  }
+  for (const auto& g : graphs) graph_ptrs.push_back(&g);
+  const auto vocab = graph::Vocabulary::from_graphs(graph_ptrs);
+  std::vector<graph::GraphTensors> tensors;
+  for (const auto& g : graphs) tensors.push_back(graph::to_tensors(g, vocab));
+
+  std::vector<nn::TrainSample> samples;
+  for (std::size_t i = 0; i < tensors.size(); ++i) {
+    nn::TrainSample s;
+    s.graph = &tensors[i];
+    for (int mbr = 0; mbr < 4; ++mbr)
+      s.members.push_back(nn::SampleMember{
+          {}, {static_cast<int>(i) % 6, mbr % 3, (mbr + static_cast<int>(i)) % 8}});
+    samples.push_back(std::move(s));
+  }
+
+  nn::TrainerConfig tc;
+  tc.max_epochs = 1;
+  tc.patience = 1000;
+  tc.min_loss = 0.0;
+  nn::RgcnNet net(table2_config(vocab.size()));
+  auto opt = nn::Adam::adamw_amsgrad();
+  for (auto _ : state) {
+    const auto rep = nn::train(net, *opt, samples, tc);
+    benchmark::DoNotOptimize(rep.final_loss);
+  }
+}
+BENCHMARK(BM_TrainEpoch);
 
 void BM_PnpInference(benchmark::State& state) {
   // Whole-pipeline inference cost for one unseen region: what replaces the
@@ -157,6 +234,74 @@ void BM_OpenTunerTuneOneRegion(benchmark::State& state) {
 }
 BENCHMARK(BM_OpenTunerTuneOneRegion);
 
+/// Console output plus a kernel → ns/op map written as BENCH_micro.json
+/// (or $PNP_BENCH_JSON) when the run finishes — the machine-readable
+/// artifact CI uploads and docs/BENCHMARKS.md tables are built from.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  // benchmark 1.8 replaced Run::error_occurred with Run::skipped; detect
+  // whichever this libbenchmark has so the bench builds against both.
+  template <class R, class = void>
+  struct HasSkipped : std::false_type {};
+  template <class R>
+  struct HasSkipped<R, std::void_t<decltype(std::declval<const R&>().skipped)>>
+      : std::true_type {};
+  template <class R>
+  static bool run_skipped(const R& run) {
+    if constexpr (HasSkipped<R>::value)
+      return static_cast<bool>(run.skipped);
+    else
+      return run.error_occurred;
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run_skipped(run) || run.run_type != Run::RT_Iteration) continue;
+      const double ns = run.GetAdjustedRealTime();  // console unit is ns
+      // Keep one entry per kernel (under --benchmark_repetitions every
+      // repetition reports the same name — keep the fastest).
+      bool found = false;
+      for (auto& [name, best] : results_)
+        if (name == run.benchmark_name()) {
+          best = std::min(best, ns);
+          found = true;
+          break;
+        }
+      if (!found) results_.emplace_back(run.benchmark_name(), ns);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  void Finalize() override {
+    benchmark::ConsoleReporter::Finalize();
+    const char* env_path = std::getenv("PNP_BENCH_JSON");
+    const std::string path = env_path ? env_path : "BENCH_micro.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < results_.size(); ++i)
+      std::fprintf(f, "  \"%s\": %.1f%s\n", results_[i].first.c_str(),
+                   results_[i].second, i + 1 < results_.size() ? "," : "");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s (%zu kernels, ns/op)\n", path.c_str(),
+                 results_.size());
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

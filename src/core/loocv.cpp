@@ -1,12 +1,36 @@
 #include "core/loocv.hpp"
 
 #include <algorithm>
+#include <exception>
 
 #include "common/error.hpp"
 
 namespace pnp::core {
 
 namespace {
+
+/// Run `body(fold)` for every fold. Folds are fully independent (each
+/// trains its own tuner and writes disjoint result cells), so with
+/// PNP_PARALLEL they run concurrently — results are bit-identical to the
+/// sequential order no matter the thread count.
+template <class Body>
+void for_each_fold(int num_folds, Body&& body) {
+#ifdef PNP_PARALLEL
+  std::exception_ptr err;
+#pragma omp parallel for schedule(dynamic, 1)
+  for (int fold = 0; fold < num_folds; ++fold) {
+    try {
+      body(fold);
+    } catch (...) {
+#pragma omp critical
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+#else
+  for (int fold = 0; fold < num_folds; ++fold) body(fold);
+#endif
+}
 
 /// LOOCV fold structure over applications.
 struct Folds {
@@ -38,10 +62,10 @@ void loocv_power(const sim::Simulator& sim, const MeasurementDb& db,
                  const PnpOptions& pnp_opt, const Folds& folds,
                  std::vector<std::vector<S1Cell>>& out) {
   const auto& caps = db.space().power_caps();
-  for (std::size_t fold = 0; fold < folds.by_app.size(); ++fold) {
+  for_each_fold(static_cast<int>(folds.by_app.size()), [&](int fold) {
     PnpTuner tuner(db, pnp_opt);
-    tuner.train_power_scenario(folds.training_for(fold));
-    for (int r : folds.by_app[fold].second) {
+    tuner.train_power_scenario(folds.training_for(static_cast<std::size_t>(fold)));
+    for (int r : folds.by_app[static_cast<std::size_t>(fold)].second) {
       for (std::size_t k = 0; k < caps.size(); ++k) {
         const auto cfg = tuner.predict_power(r, static_cast<int>(k));
         S1Cell cell;
@@ -51,7 +75,7 @@ void loocv_power(const sim::Simulator& sim, const MeasurementDb& db,
         out[static_cast<std::size_t>(r)][k] = cell;
       }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -173,10 +197,11 @@ UnseenCapResult run_unseen_cap_experiment(const sim::Simulator& sim,
     for (int k = 0; k < static_cast<int>(caps.size()); ++k)
       if (k != heldout) pnp.train_cap_indices.push_back(k);
 
-    for (std::size_t fold = 0; fold < folds.by_app.size(); ++fold) {
+    for_each_fold(static_cast<int>(folds.by_app.size()), [&](int fold) {
       PnpTuner tuner(db, pnp);
-      tuner.train_power_scenario(folds.training_for(fold));
-      for (int r : folds.by_app[fold].second) {
+      tuner.train_power_scenario(
+          folds.training_for(static_cast<std::size_t>(fold)));
+      for (int r : folds.by_app[static_cast<std::size_t>(fold)].second) {
         const auto cfg = tuner.predict_power_at(
             r, caps[static_cast<std::size_t>(heldout)]);
         S1Cell cell;
@@ -186,7 +211,7 @@ UnseenCapResult run_unseen_cap_experiment(const sim::Simulator& sim,
                            .seconds;
         res.pnp[hi][static_cast<std::size_t>(r)] = cell;
       }
-    }
+    });
   }
   return res;
 }
@@ -226,14 +251,15 @@ Scenario2Result run_edp_experiment(const sim::Simulator& sim,
   auto run_pnp_variant = [&](const PnpOptions& pnp_opt, const char* name) {
     auto& cells = res.tuners[name];
     cells.assign(R, S2Cell{});
-    for (std::size_t fold = 0; fold < folds.by_app.size(); ++fold) {
+    for_each_fold(static_cast<int>(folds.by_app.size()), [&](int fold) {
       PnpTuner tuner(db, pnp_opt);
-      tuner.train_edp_scenario(folds.training_for(fold));
-      for (int r : folds.by_app[fold].second) {
+      tuner.train_edp_scenario(
+          folds.training_for(static_cast<std::size_t>(fold)));
+      for (int r : folds.by_app[static_cast<std::size_t>(fold)].second) {
         const auto jc = tuner.predict_edp(r);
         cells[static_cast<std::size_t>(r)] = eval_choice(r, jc.cap_index, jc.cfg);
       }
-    }
+    });
   };
 
   if (opt.run_pnp_static) {

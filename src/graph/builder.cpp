@@ -221,6 +221,9 @@ GraphTensors to_tensors(const FlowGraph& g, const Vocabulary& vocab) {
     t.rel_edges[static_cast<std::size_t>(fwd)].emplace_back(e.src, e.dst);
     t.rel_edges[static_cast<std::size_t>(fwd + 1)].emplace_back(e.dst, e.src);
   }
+  // Build the CSR message-passing form once, up front, so encode() never
+  // pays for it and the tensors can be shared read-only across threads.
+  t.finalize();
   return t;
 }
 

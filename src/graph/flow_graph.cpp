@@ -37,4 +37,49 @@ std::vector<int> GraphTensors::in_degree(int relation) const {
   return deg;
 }
 
+void GraphTensors::finalize() const {
+  for (int r = 0; r < kNumModelRelations; ++r) csr(r);
+}
+
+const RelationCsr& GraphTensors::csr(int relation) const {
+  PNP_CHECK(relation >= 0 && relation < kNumModelRelations);
+  const auto ri = static_cast<std::size_t>(relation);
+  const auto& edges = rel_edges[ri];
+  RelationCsr& c = csr_[ri];
+  if (csr_built_[ri] && csr_edges_[ri] == edges.size() &&
+      csr_nodes_[ri] == num_nodes)
+    return c;
+
+  const auto n = static_cast<std::size_t>(num_nodes);
+  c.row_offset.assign(n + 1, 0);
+  // Counting sort by target; the fill below is stable, so each target's
+  // sources keep the order the edges were added in.
+  for (const auto& [src, dst] : edges) {
+    PNP_CHECK_MSG(src >= 0 && src < num_nodes && dst >= 0 && dst < num_nodes,
+                  "edge endpoint out of range: " << src << " -> " << dst);
+    ++c.row_offset[static_cast<std::size_t>(dst) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) c.row_offset[i + 1] += c.row_offset[i];
+
+  c.src.resize(edges.size());
+  std::vector<int> cursor(c.row_offset.begin(), c.row_offset.end() - 1);
+  for (const auto& [src, dst] : edges)
+    c.src[static_cast<std::size_t>(cursor[static_cast<std::size_t>(dst)]++)] =
+        src;
+
+  c.inv_deg.assign(n, 0.0);
+  c.active_dst.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const int deg = c.row_offset[i + 1] - c.row_offset[i];
+    if (deg == 0) continue;
+    c.inv_deg[i] = 1.0 / static_cast<double>(deg);
+    c.active_dst.push_back(static_cast<int>(i));
+  }
+
+  csr_edges_[ri] = edges.size();
+  csr_nodes_[ri] = num_nodes;
+  csr_built_[ri] = true;
+  return c;
+}
+
 }  // namespace pnp::graph

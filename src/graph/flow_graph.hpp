@@ -74,6 +74,23 @@ class FlowGraph {
   std::vector<Edge> edges_;
 };
 
+/// Compressed-sparse-row view of one model relation, grouped by target
+/// node: the sources aggregated by target `t` are
+/// `src[row_offset[t] .. row_offset[t+1])`, in the order the edges were
+/// added. `inv_deg[t]` is the RGCN normalization constant 1/c_{t,r}
+/// (0.0 for targets with no in-edges), and `active_dst` lists, in
+/// ascending order, exactly the targets with at least one in-edge — the
+/// only rows a message-passing kernel needs to visit.
+struct RelationCsr {
+  std::vector<int> row_offset;  ///< size num_nodes + 1
+  std::vector<int> src;         ///< edge sources grouped by target
+  std::vector<double> inv_deg;  ///< size num_nodes; 1/deg or 0.0
+  std::vector<int> active_dst;  ///< targets with deg > 0, ascending
+
+  int num_edges() const { return static_cast<int>(src.size()); }
+  int num_active() const { return static_cast<int>(active_dst.size()); }
+};
+
 /// Edge lists regrouped per model relation (3 edge types × 2 directions) —
 /// the compact form consumed by the RGCN. Relation index = 2*rel + dir,
 /// dir 0 = forward (src→dst as stored), dir 1 = reversed.
@@ -89,6 +106,26 @@ struct GraphTensors {
   /// In-degree of each node under one model relation (normalization
   /// constants c_{i,r} of the RGCN).
   std::vector<int> in_degree(int relation) const;
+
+  /// Build the per-relation CSR forms now. `to_tensors` calls this once at
+  /// construction; calling it again after `rel_edges` grew rebuilds only
+  /// the changed relations. Safe to skip: csr() builds lazily.
+  void finalize() const;
+
+  /// CSR view of one model relation. Lazily (re)built when the relation's
+  /// edge-list size or the node count changed since the last build, so
+  /// hand-assembled tensors (tests) work without an explicit finalize().
+  /// Caveat: rewriting an existing edge in place (same list size) is not
+  /// detected — call finalize() on a fresh relation list instead. Not
+  /// thread-safe on first access — finalize() before sharing across
+  /// threads.
+  const RelationCsr& csr(int relation) const;
+
+ private:
+  mutable std::array<RelationCsr, kNumModelRelations> csr_;
+  mutable std::array<std::size_t, kNumModelRelations> csr_edges_{};
+  mutable std::array<int, kNumModelRelations> csr_nodes_{};
+  mutable std::array<bool, kNumModelRelations> csr_built_{};
 };
 
 }  // namespace pnp::graph

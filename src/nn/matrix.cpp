@@ -2,6 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#if defined(__AVX512F__) || (defined(__AVX2__) && defined(__FMA__))
+#include <immintrin.h>
+#endif
 
 #include "common/error.hpp"
 
@@ -24,6 +31,13 @@ Matrix Matrix::xavier(int rows, int cols, Rng& rng) {
 
 void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Matrix::resize(int rows, int cols) {
+  PNP_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols));
+}
+
 void Matrix::add_scaled(const Matrix& other, double a) {
   PNP_CHECK(same_shape(other));
   const double* o = other.data_.data();
@@ -31,12 +45,424 @@ void Matrix::add_scaled(const Matrix& other, double a) {
   for (std::size_t i = 0; i < data_.size(); ++i) d[i] += a * o[i];
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// GEMM engine. One driver serves all public entry points:
+//  - A can be read normally (av = A[i][p]) or transposed (av = A[p][i]);
+//  - C tiles either accumulate (loaded first) or are freshly initialized
+//    (from a broadcast bias row, or zero) — fusing away the separate
+//    zero-fill/bias passes;
+//  - A·Bᵀ products transpose B once into a per-thread scratch and reuse
+//    the same driver, so the hot reduction always streams B rows.
+// Each micro-tile holds an MI-row × (≤kColTile)-column patch of C in
+// registers across the whole k reduction; B row loads amortize over MI
+// rows. Three ISA levels: AVX-512, AVX2+FMA, and a blocked scalar
+// fallback with identical structure.
+// ---------------------------------------------------------------------------
+
+enum class AMode { Normal, Transposed };
+enum class CInit { Acc, Fresh };  // Fresh: init from bias row (null → 0)
+
+struct GemmArgs {
+  const double* a;
+  std::size_t lda;
+  const double* b;
+  std::size_t ldb;
+  double* c;
+  std::size_t ldc;
+  const double* bias;  // only read in CInit::Fresh mode; may be null
+  int m, n, k;
+  // Optional row maps (CSR gather/scatter without materialized copies):
+  // row i of A reads a[amap[i]], row p of B reads b[bmap[p]], row i of C
+  // writes c[cmap[i]]. cmap rows must be distinct (they are CSR targets).
+  const int* amap = nullptr;
+  const int* bmap = nullptr;
+  const int* cmap = nullptr;
+};
+
+inline const double* b_row(const GemmArgs& g, int p) {
+  const int idx = g.bmap ? g.bmap[p] : p;
+  return g.b + static_cast<std::size_t>(idx) * g.ldb;
+}
+
+inline double* c_row(const GemmArgs& g, int i) {
+  const int idx = g.cmap ? g.cmap[i] : i;
+  return g.c + static_cast<std::size_t>(idx) * g.ldc;
+}
+
+#ifdef PNP_PARALLEL
+// Row-parallel threshold: below ~this many MACs a parallel region costs
+// more than it saves. Row blocks are disjoint and per-element summation
+// order never depends on the thread count, so the parallel path is
+// bit-identical to the sequential one.
+constexpr double kParallelGrainMacs = 2.5e5;
+#endif
+
+template <AMode AM>
+inline double a_elem(const GemmArgs& g, int i, int p) {
+  if constexpr (AM == AMode::Normal) {
+    const int row = g.amap ? g.amap[i] : i;
+    return g.a[static_cast<std::size_t>(row) * g.lda +
+               static_cast<std::size_t>(p)];
+  } else {
+    return g.a[static_cast<std::size_t>(p) * g.lda +
+               static_cast<std::size_t>(i)];
+  }
+}
+
+#if defined(__AVX512F__)
+
+constexpr int kRowTile = 8;   // C rows per micro-tile
+constexpr int kColTile = 24;  // 3 × 8 lanes (8×3 zmm accs + 3 B + av fit in 32 regs)
+
+template <AMode AM, CInit CI, int MI, int NV>
+void micro(const GemmArgs& g, int i0, int j0, __mmask8 tail) {
+  __m512d acc[MI][NV];
+  for (int r = 0; r < MI; ++r) {
+    const double* cr = c_row(g, i0 + r) + j0;
+    for (int v = 0; v < NV; ++v) {
+      if constexpr (CI == CInit::Acc) {
+        acc[r][v] = (v == NV - 1) ? _mm512_maskz_loadu_pd(tail, cr + 8 * v)
+                                  : _mm512_loadu_pd(cr + 8 * v);
+      } else {
+        acc[r][v] =
+            g.bias == nullptr
+                ? _mm512_setzero_pd()
+                : ((v == NV - 1)
+                       ? _mm512_maskz_loadu_pd(tail, g.bias + j0 + 8 * v)
+                       : _mm512_loadu_pd(g.bias + j0 + 8 * v));
+      }
+    }
+  }
+  for (int p = 0; p < g.k; ++p) {
+    const double* bp = b_row(g, p) + j0;
+    __m512d bv[NV];
+    for (int v = 0; v < NV; ++v)
+      bv[v] = (v == NV - 1) ? _mm512_maskz_loadu_pd(tail, bp + 8 * v)
+                            : _mm512_loadu_pd(bp + 8 * v);
+    for (int r = 0; r < MI; ++r) {
+      const __m512d av = _mm512_set1_pd(a_elem<AM>(g, i0 + r, p));
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm512_fmadd_pd(av, bv[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MI; ++r) {
+    double* cr = c_row(g, i0 + r) + j0;
+    for (int v = 0; v < NV; ++v) {
+      if (v == NV - 1)
+        _mm512_mask_storeu_pd(cr + 8 * v, tail, acc[r][v]);
+      else
+        _mm512_storeu_pd(cr + 8 * v, acc[r][v]);
+    }
+  }
+}
+
+template <AMode AM, CInit CI, int MI>
+void micro_cols(const GemmArgs& g, int i0, int j0, int nv, __mmask8 tail) {
+  switch (nv) {
+    case 1: micro<AM, CI, MI, 1>(g, i0, j0, tail); break;
+    case 2: micro<AM, CI, MI, 2>(g, i0, j0, tail); break;
+    case 3: micro<AM, CI, MI, 3>(g, i0, j0, tail); break;
+    default: break;
+  }
+}
+
+template <AMode AM, CInit CI>
+void row_block(const GemmArgs& g, int i0, int mi) {
+  auto cols = [&](auto mi_tag) {
+    constexpr int MI = decltype(mi_tag)::value;
+    int j0 = 0;
+    for (; j0 + kColTile <= g.n; j0 += kColTile)
+      micro<AM, CI, MI, 3>(g, i0, j0, 0xff);
+    const int rem = g.n - j0;
+    if (rem == 0) return;
+    const int nv = (rem + 7) / 8;
+    const auto tail = static_cast<__mmask8>(
+        (rem % 8) ? ((1u << (rem % 8)) - 1u) : 0xffu);
+    micro_cols<AM, CI, MI>(g, i0, j0, nv, tail);
+  };
+  switch (mi) {
+    case 8: cols(std::integral_constant<int, 8>{}); break;
+    case 7: cols(std::integral_constant<int, 7>{}); break;
+    case 6: cols(std::integral_constant<int, 6>{}); break;
+    case 5: cols(std::integral_constant<int, 5>{}); break;
+    case 4: cols(std::integral_constant<int, 4>{}); break;
+    case 3: cols(std::integral_constant<int, 3>{}); break;
+    case 2: cols(std::integral_constant<int, 2>{}); break;
+    case 1: cols(std::integral_constant<int, 1>{}); break;
+    default: break;
+  }
+}
+
+#elif defined(__AVX2__) && defined(__FMA__)
+
+constexpr int kRowTile = 4;  // C rows per micro-tile
+constexpr int kColTile = 8;  // 2 × 4 lanes
+
+inline __m256i avx2_tail_mask(int lanes) {
+  // lanes in 1..4: all-ones in the first `lanes` 64-bit slots.
+  alignas(32) static constexpr std::int64_t kBits[8] = {-1, -1, -1, -1,
+                                                       0,  0,  0,  0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kBits + (4 - lanes)));
+}
+
+template <AMode AM, CInit CI, int MI, int NV>
+void micro(const GemmArgs& g, int i0, int j0, __m256i tail) {
+  __m256d acc[MI][NV];
+  for (int r = 0; r < MI; ++r) {
+    const double* cr = c_row(g, i0 + r) + j0;
+    for (int v = 0; v < NV; ++v) {
+      if constexpr (CI == CInit::Acc) {
+        acc[r][v] = (v == NV - 1) ? _mm256_maskload_pd(cr + 4 * v, tail)
+                                  : _mm256_loadu_pd(cr + 4 * v);
+      } else {
+        acc[r][v] =
+            g.bias == nullptr
+                ? _mm256_setzero_pd()
+                : ((v == NV - 1)
+                       ? _mm256_maskload_pd(g.bias + j0 + 4 * v, tail)
+                       : _mm256_loadu_pd(g.bias + j0 + 4 * v));
+      }
+    }
+  }
+  for (int p = 0; p < g.k; ++p) {
+    const double* bp = b_row(g, p) + j0;
+    __m256d bv[NV];
+    for (int v = 0; v < NV; ++v)
+      bv[v] = (v == NV - 1) ? _mm256_maskload_pd(bp + 4 * v, tail)
+                            : _mm256_loadu_pd(bp + 4 * v);
+    for (int r = 0; r < MI; ++r) {
+      const __m256d av = _mm256_set1_pd(a_elem<AM>(g, i0 + r, p));
+      for (int v = 0; v < NV; ++v)
+        acc[r][v] = _mm256_fmadd_pd(av, bv[v], acc[r][v]);
+    }
+  }
+  for (int r = 0; r < MI; ++r) {
+    double* cr = c_row(g, i0 + r) + j0;
+    for (int v = 0; v < NV; ++v) {
+      if (v == NV - 1)
+        _mm256_maskstore_pd(cr + 4 * v, tail, acc[r][v]);
+      else
+        _mm256_storeu_pd(cr + 4 * v, acc[r][v]);
+    }
+  }
+}
+
+template <AMode AM, CInit CI>
+void row_block(const GemmArgs& g, int i0, int mi) {
+  auto cols = [&](auto mi_tag) {
+    constexpr int MI = decltype(mi_tag)::value;
+    const __m256i full = avx2_tail_mask(4);
+    int j0 = 0;
+    for (; j0 + kColTile <= g.n; j0 += kColTile)
+      micro<AM, CI, MI, 2>(g, i0, j0, full);
+    const int rem = g.n - j0;
+    if (rem == 0) return;
+    const __m256i tail = avx2_tail_mask((rem % 4) ? rem % 4 : 4);
+    if (rem > 4)
+      micro<AM, CI, MI, 2>(g, i0, j0, tail);
+    else
+      micro<AM, CI, MI, 1>(g, i0, j0, tail);
+  };
+  switch (mi) {
+    case 4: cols(std::integral_constant<int, 4>{}); break;
+    case 3: cols(std::integral_constant<int, 3>{}); break;
+    case 2: cols(std::integral_constant<int, 2>{}); break;
+    case 1: cols(std::integral_constant<int, 1>{}); break;
+    default: break;
+  }
+}
+
+#else  // scalar fallback
+
+constexpr int kRowTile = 4;
+constexpr int kColTile = 32;
+
+template <AMode AM, CInit CI, int MI>
+void micro(const GemmArgs& g, int i0, int j0, int nj) {
+  double acc[MI][kColTile];
+  for (int r = 0; r < MI; ++r) {
+    if constexpr (CI == CInit::Acc) {
+      const double* cr = c_row(g, i0 + r) + j0;
+      for (int j = 0; j < nj; ++j) acc[r][j] = cr[j];
+    } else if (g.bias != nullptr) {
+      for (int j = 0; j < nj; ++j) acc[r][j] = g.bias[j0 + j];
+    } else {
+      for (int j = 0; j < nj; ++j) acc[r][j] = 0.0;
+    }
+  }
+  for (int p = 0; p < g.k; ++p) {
+    const double* bp = b_row(g, p) + j0;
+    double av[MI];
+    for (int r = 0; r < MI; ++r) av[r] = a_elem<AM>(g, i0 + r, p);
+    for (int r = 0; r < MI; ++r)
+      for (int j = 0; j < nj; ++j) acc[r][j] += av[r] * bp[j];
+  }
+  for (int r = 0; r < MI; ++r) {
+    double* cr = c_row(g, i0 + r) + j0;
+    for (int j = 0; j < nj; ++j) cr[j] = acc[r][j];
+  }
+}
+
+template <AMode AM, CInit CI>
+void row_block(const GemmArgs& g, int i0, int mi) {
+  for (int j0 = 0; j0 < g.n; j0 += kColTile) {
+    const int nj = std::min(kColTile, g.n - j0);
+    switch (mi) {
+      case 4: micro<AM, CI, 4>(g, i0, j0, nj); break;
+      case 3: micro<AM, CI, 3>(g, i0, j0, nj); break;
+      case 2: micro<AM, CI, 2>(g, i0, j0, nj); break;
+      case 1: micro<AM, CI, 1>(g, i0, j0, nj); break;
+      default: break;
+    }
+  }
+}
+
+#endif  // ISA selection
+
+template <AMode AM, CInit CI>
+void gemm_drive(const GemmArgs& g) {
+#ifdef PNP_PARALLEL
+  if (static_cast<double>(g.m) * static_cast<double>(g.k) *
+          static_cast<double>(g.n) >=
+      kParallelGrainMacs) {
+#pragma omp parallel for schedule(static)
+    for (int i0 = 0; i0 < g.m; i0 += kRowTile)
+      row_block<AM, CI>(g, i0, std::min(kRowTile, g.m - i0));
+    return;
+  }
+#endif
+  for (int i0 = 0; i0 < g.m; i0 += kRowTile)
+    row_block<AM, CI>(g, i0, std::min(kRowTile, g.m - i0));
+}
+
+/// B (n×k) transposed into a per-thread scratch (k×n) so A·Bᵀ runs through
+/// the row-streaming driver. The scratch grows once per thread and is
+/// reused, so steady-state training does not allocate here.
+const double* transpose_to_scratch(const Matrix& b) {
+  thread_local std::vector<double> scratch;
+  const int n = b.rows(), k = b.cols();
+  scratch.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(k));
+  double* bt = scratch.data();
+  for (int j = 0; j < n; ++j) {
+    const double* bj = b.row(j);
+    for (int p = 0; p < k; ++p)
+      bt[static_cast<std::size_t>(p) * n + j] = bj[p];
+  }
+  return bt;
+}
+
+}  // namespace
+
 void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   PNP_CHECK_MSG(a.cols() == b.rows() && a.rows() == c.rows() &&
                     b.cols() == c.cols(),
                 "gemm shapes: (" << a.rows() << "x" << a.cols() << ")·("
                                  << b.rows() << "x" << b.cols() << ") -> ("
                                  << c.rows() << "x" << c.cols() << ")");
+  const GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+                   b.data(),  static_cast<std::size_t>(b.cols()),
+                   c.data(),  static_cast<std::size_t>(c.cols()),
+                   nullptr,   c.rows(), c.cols(), a.cols()};
+  gemm_drive<AMode::Normal, CInit::Acc>(g);
+}
+
+void gemm_bias(const Matrix& a, const Matrix& b, std::span<const double> bias,
+               Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.rows() && a.rows() == c.rows() &&
+                    b.cols() == c.cols(),
+                "gemm_bias shapes mismatch");
+  PNP_CHECK(bias.empty() || static_cast<int>(bias.size()) == c.cols());
+  const GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+                   b.data(),  static_cast<std::size_t>(b.cols()),
+                   c.data(),  static_cast<std::size_t>(c.cols()),
+                   bias.empty() ? nullptr : bias.data(),
+                   c.rows(),  c.cols(),  a.cols()};
+  gemm_drive<AMode::Normal, CInit::Fresh>(g);
+}
+
+void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.rows() == b.rows() && a.cols() == c.rows() &&
+                    b.cols() == c.cols(),
+                "gemm_tn shapes mismatch");
+  const GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+                   b.data(),  static_cast<std::size_t>(b.cols()),
+                   c.data(),  static_cast<std::size_t>(c.cols()),
+                   nullptr,   c.rows(), c.cols(), a.rows()};
+  gemm_drive<AMode::Transposed, CInit::Acc>(g);
+}
+
+void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.cols() && a.rows() == c.rows() &&
+                    b.rows() == c.cols(),
+                "gemm_nt shapes mismatch");
+  const GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+                   transpose_to_scratch(b),
+                   static_cast<std::size_t>(b.rows()),
+                   c.data(),  static_cast<std::size_t>(c.cols()),
+                   nullptr,   c.rows(), c.cols(), a.cols()};
+  gemm_drive<AMode::Normal, CInit::Acc>(g);
+}
+
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.cols() && a.rows() == c.rows() &&
+                    b.rows() == c.cols(),
+                "gemm_nt shapes mismatch");
+  const GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+                   transpose_to_scratch(b),
+                   static_cast<std::size_t>(b.rows()),
+                   c.data(),  static_cast<std::size_t>(c.cols()),
+                   nullptr,   c.rows(), c.cols(), a.cols()};
+  gemm_drive<AMode::Normal, CInit::Fresh>(g);
+}
+
+void gemm_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::span<const int> rows) {
+  PNP_CHECK_MSG(a.cols() == b.rows() && b.cols() == c.cols() &&
+                    static_cast<int>(rows.size()) == a.rows(),
+                "gemm_acc_rows shapes mismatch");
+  GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+             b.data(),  static_cast<std::size_t>(b.cols()),
+             c.data(),  static_cast<std::size_t>(c.cols()),
+             nullptr,   a.rows(), c.cols(), a.cols()};
+  g.cmap = rows.data();
+  gemm_drive<AMode::Normal, CInit::Acc>(g);
+}
+
+void gemm_tn_acc_rows(const Matrix& a, const Matrix& b,
+                      std::span<const int> rows, Matrix& c) {
+  PNP_CHECK_MSG(static_cast<int>(rows.size()) == a.rows() &&
+                    a.cols() == c.rows() && b.cols() == c.cols(),
+                "gemm_tn_acc_rows shapes mismatch");
+  GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+             b.data(),  static_cast<std::size_t>(b.cols()),
+             c.data(),  static_cast<std::size_t>(c.cols()),
+             nullptr,   c.rows(), c.cols(), a.rows()};
+  g.bmap = rows.data();
+  gemm_drive<AMode::Transposed, CInit::Acc>(g);
+}
+
+void gemm_nt_rows(const Matrix& a, std::span<const int> rows, const Matrix& b,
+                  Matrix& c) {
+  PNP_CHECK_MSG(a.cols() == b.cols() && b.rows() == c.cols() &&
+                    static_cast<int>(rows.size()) == c.rows(),
+                "gemm_nt_rows shapes mismatch");
+  GemmArgs g{a.data(),  static_cast<std::size_t>(a.cols()),
+             transpose_to_scratch(b),
+             static_cast<std::size_t>(b.rows()),
+             c.data(),  static_cast<std::size_t>(c.cols()),
+             nullptr,   c.rows(), c.cols(), a.cols()};
+  g.amap = rows.data();
+  gemm_drive<AMode::Normal, CInit::Fresh>(g);
+}
+
+namespace detail {
+
+void gemm_acc_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK(a.cols() == b.rows() && a.rows() == c.rows() &&
+            b.cols() == c.cols());
   const int m = a.rows(), k = a.cols(), n = b.cols();
   for (int i = 0; i < m; ++i) {
     const double* ai = a.row(i);
@@ -50,10 +476,9 @@ void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  PNP_CHECK_MSG(a.rows() == b.rows() && a.cols() == c.rows() &&
-                    b.cols() == c.cols(),
-                "gemm_tn shapes mismatch");
+void gemm_tn_acc_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK(a.rows() == b.rows() && a.cols() == c.rows() &&
+            b.cols() == c.cols());
   const int k = a.rows(), m = a.cols(), n = b.cols();
   for (int p = 0; p < k; ++p) {
     const double* ap = a.row(p);
@@ -67,10 +492,9 @@ void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c) {
   }
 }
 
-void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
-  PNP_CHECK_MSG(a.cols() == b.cols() && a.rows() == c.rows() &&
-                    b.rows() == c.cols(),
-                "gemm_nt shapes mismatch");
+void gemm_nt_acc_naive(const Matrix& a, const Matrix& b, Matrix& c) {
+  PNP_CHECK(a.cols() == b.cols() && a.rows() == c.rows() &&
+            b.rows() == c.cols());
   const int m = a.rows(), k = a.cols(), n = b.rows();
   for (int i = 0; i < m; ++i) {
     const double* ai = a.row(i);
@@ -83,6 +507,8 @@ void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c) {
     }
   }
 }
+
+}  // namespace detail
 
 void add_bias_rows(Matrix& m, std::span<const double> bias) {
   PNP_CHECK(static_cast<int>(bias.size()) == m.cols());

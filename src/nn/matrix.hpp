@@ -53,6 +53,11 @@ class Matrix {
   void fill(double v);
   void zero() { fill(0.0); }
 
+  /// Reshape in place, reusing the existing allocation when it is large
+  /// enough (the zero-allocation training workspaces rely on this).
+  /// Contents are unspecified afterwards — callers must overwrite or zero.
+  void resize(int rows, int cols);
+
   /// this += a * other (axpy); shapes must match.
   void add_scaled(const Matrix& other, double a);
 
@@ -67,6 +72,15 @@ class Matrix {
 };
 
 /// C += A · B. Shapes: A (m×k), B (k×n), C (m×n).
+///
+/// The gemm kernels hold register-blocked C tiles across the whole k
+/// reduction and use FMA SIMD micro-kernels when the build targets AVX-512
+/// or AVX2 (e.g. -march=native via the PNP_NATIVE option), falling back to
+/// a cache-blocked scalar path elsewhere. When the library is built with
+/// PNP_PARALLEL they are additionally OpenMP row-parallel above a flop
+/// threshold; row blocks of C are disjoint and each row's summation order
+/// is independent of the thread count, so parallel results are
+/// bit-identical to the single-thread run.
 void gemm_acc(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C += Aᵀ · B. Shapes: A (k×m), B (k×n), C (m×n).
@@ -74,6 +88,43 @@ void gemm_tn_acc(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// C += A · Bᵀ. Shapes: A (m×k), B (n×k), C (m×n).
 void gemm_nt_acc(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// C = A · B (+ bias broadcast to every row when non-empty). The
+/// overwrite/bias-fused variants save the zero-fill + bias passes the
+/// accumulate forms would need; shapes as gemm_acc, bias size n or 0.
+void gemm_bias(const Matrix& a, const Matrix& b, std::span<const double> bias,
+               Matrix& c);
+
+/// C = A · Bᵀ (overwrite). Shapes as gemm_nt_acc.
+void gemm_nt(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Row-mapped variants for CSR message passing: instead of materializing
+/// gathered/scattered copies of the compressed per-relation matrices, the
+/// kernels index the mapped operand's rows directly. `rows` must hold
+/// distinct valid row indices of the mapped matrix.
+///
+/// C.row(rows[i]) += A.row(i) · B — scatter-accumulate (rows of C).
+void gemm_acc_rows(const Matrix& a, const Matrix& b, Matrix& c,
+                   std::span<const int> rows);
+
+/// C += Aᵀ · B_sel with B_sel.row(p) = b.row(rows[p]) — gathered B.
+void gemm_tn_acc_rows(const Matrix& a, const Matrix& b,
+                      std::span<const int> rows, Matrix& c);
+
+/// C = A_sel · Bᵀ with A_sel.row(i) = a.row(rows[i]) — gathered A.
+void gemm_nt_rows(const Matrix& a, std::span<const int> rows, const Matrix& b,
+                  Matrix& c);
+
+namespace detail {
+
+/// Textbook triple-loop reference kernels. Kept (and exported) as the
+/// ground truth the property tests in tests/nn_kernels_test.cpp compare
+/// the blocked/parallel kernels against.
+void gemm_acc_naive(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_tn_acc_naive(const Matrix& a, const Matrix& b, Matrix& c);
+void gemm_nt_acc_naive(const Matrix& a, const Matrix& b, Matrix& c);
+
+}  // namespace detail
 
 /// Add a bias row vector to every row of m.
 void add_bias_rows(Matrix& m, std::span<const double> bias);

@@ -77,25 +77,40 @@ RgcnNet::RgcnNet(RgcnNetConfig cfg) : cfg_(std::move(cfg)) {
   }
 }
 
-Matrix RgcnNet::relation_weight(const LayerParams& lp, int relation) const {
+const Matrix& RgcnNet::relation_weight(const LayerParams& lp, int relation,
+                                       Matrix& scratch) const {
   if (cfg_.num_bases == 0)
     return P(lp.wr[static_cast<std::size_t>(relation)]).w;
   const Matrix& coef = P(lp.coef).w;
-  Matrix w = Matrix::zeros(P(lp.basis[0]).w.rows(), P(lp.basis[0]).w.cols());
+  scratch.resize(P(lp.basis[0]).w.rows(), P(lp.basis[0]).w.cols());
+  scratch.zero();
   for (int b = 0; b < cfg_.num_bases; ++b)
-    w.add_scaled(P(lp.basis[static_cast<std::size_t>(b)]).w,
-                 coef(relation, b));
-  return w;
+    scratch.add_scaled(P(lp.basis[static_cast<std::size_t>(b)]).w,
+                       coef(relation, b));
+  return scratch;
 }
 
 RgcnNet::GnnCache RgcnNet::encode(const graph::GraphTensors& g) const {
+  GnnCache cache;
+  encode_into(g, cache);
+  return cache;
+}
+
+void RgcnNet::encode_into(const graph::GraphTensors& g,
+                          GnnCache& cache) const {
   PNP_CHECK_MSG(g.num_nodes > 0, "cannot encode an empty graph");
   const int n = g.num_nodes;
-  GnnCache cache;
+  const int L = cfg_.rgcn_layers;
+  const auto nrel = static_cast<std::size_t>(cfg_.num_relations);
   cache.g = &g;
+  cache.H.resize(static_cast<std::size_t>(L) + 1);
+  cache.Z.resize(static_cast<std::size_t>(L));
+  cache.M.resize(static_cast<std::size_t>(L));
+  if (cfg_.num_bases > 0) cache.relw.resize(static_cast<std::size_t>(L));
 
   // Embedding: H0[i] = emb_token[token_i] + emb_kind[kind_i].
-  Matrix h0(n, cfg_.emb_dim);
+  Matrix& h0 = cache.H[0];
+  h0.resize(n, cfg_.emb_dim);
   const Matrix& et = P(emb_token_).w;
   const Matrix& ek = P(emb_kind_).w;
   for (int i = 0; i < n; ++i) {
@@ -107,53 +122,65 @@ RgcnNet::GnnCache RgcnNet::encode(const graph::GraphTensors& g) const {
     double* out = h0.row(i);
     for (int d = 0; d < cfg_.emb_dim; ++d) out[d] = trow[d] + krow[d];
   }
-  cache.H.push_back(std::move(h0));
 
-  // Normalization constants per relation (shared across layers).
-  cache.deg.resize(static_cast<std::size_t>(cfg_.num_relations));
-  for (int r = 0; r < cfg_.num_relations; ++r)
-    cache.deg[static_cast<std::size_t>(r)] = g.in_degree(r);
-
-  for (int l = 0; l < cfg_.rgcn_layers; ++l) {
-    const Matrix& h = cache.H.back();
-    const LayerParams& lp = layers_[static_cast<std::size_t>(l)];
+  for (int l = 0; l < L; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    const Matrix& h = cache.H[li];
+    const LayerParams& lp = layers_[li];
     const int d_in = h.cols();
 
-    // Per-relation normalized aggregation M_r[t] = Σ_{(s→t)∈r} h[s]/c_{t,r}.
-    std::vector<Matrix> ms;
-    ms.reserve(static_cast<std::size_t>(cfg_.num_relations));
+    auto& ms = cache.M[li];
+    ms.resize(nrel);
+    if (cfg_.num_bases > 0) cache.relw[li].resize(nrel);
+
+    // Self-loop term with the bias folded into the kernel's C-tile init:
+    // Z = H·W₀ + b, relations then accumulate on top.
+    Matrix& z = cache.Z[li];
+    z.resize(n, cfg_.hidden);
+    gemm_bias(h, P(lp.w0).w, P(lp.bias).w.flat(), z);
+
     for (int r = 0; r < cfg_.num_relations; ++r) {
-      Matrix m(n, d_in);
-      const auto& deg = cache.deg[static_cast<std::size_t>(r)];
-      for (const auto& [src, dst] : g.rel_edges[static_cast<std::size_t>(r)]) {
-        const double inv =
-            1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
-        const double* hs = h.row(src);
-        double* mt = m.row(dst);
-        for (int d = 0; d < d_in; ++d) mt[d] += inv * hs[d];
+      const auto ri = static_cast<std::size_t>(r);
+      const graph::RelationCsr& csr = g.csr(r);
+      const int active = csr.num_active();
+
+      // CSR aggregation, compressed to active targets:
+      // M_r[i] = (1/c_{t,r}) Σ_{s∈N_r(t)} h[s] for t = active_dst[i].
+      Matrix& mc = ms[ri];
+      mc.resize(active, d_in);
+      for (int idx = 0; idx < active; ++idx) {
+        const auto dst =
+            static_cast<std::size_t>(csr.active_dst[static_cast<std::size_t>(idx)]);
+        const int b0 = csr.row_offset[dst];
+        const int b1 = csr.row_offset[dst + 1];
+        const double inv = csr.inv_deg[dst];
+        double* out = mc.row(idx);
+        const double* hs = h.row(csr.src[static_cast<std::size_t>(b0)]);
+        for (int d = 0; d < d_in; ++d) out[d] = inv * hs[d];
+        for (int e = b0 + 1; e < b1; ++e) {
+          hs = h.row(csr.src[static_cast<std::size_t>(e)]);
+          for (int d = 0; d < d_in; ++d) out[d] += inv * hs[d];
+        }
       }
-      ms.push_back(std::move(m));
-    }
 
-    Matrix z(n, cfg_.hidden);
-    gemm_acc(h, P(lp.w0).w, z);
-    for (int r = 0; r < cfg_.num_relations; ++r) {
-      const Matrix wr = relation_weight(lp, r);
-      gemm_acc(ms[static_cast<std::size_t>(r)], wr, z);
+      // Z rows of active targets += M_r · W_r, scatter-accumulated by the
+      // row-mapped kernel. Basis-combined weights land in the cache so the
+      // backward pass reuses them instead of recombining.
+      const Matrix& wr =
+          cfg_.num_bases > 0
+              ? relation_weight(lp, r, cache.relw[li][ri])
+              : P(lp.wr[ri]).w;
+      if (active == 0) continue;
+      gemm_acc_rows(mc, wr, z, csr.active_dst);
     }
-    add_bias_rows(z, P(lp.bias).w.flat());
-
-    Matrix hn(n, cfg_.hidden);
+    Matrix& hn = cache.H[li + 1];
+    hn.resize(n, cfg_.hidden);
     for (std::size_t k = 0; k < z.size(); ++k)
       hn.data()[k] = leaky(z.data()[k], cfg_.leaky_slope);
-
-    cache.M.push_back(std::move(ms));
-    cache.Z.push_back(std::move(z));
-    cache.H.push_back(std::move(hn));
   }
 
   // Mean-pool readout over all nodes.
-  const Matrix& hl = cache.H.back();
+  const Matrix& hl = cache.H[static_cast<std::size_t>(L)];
   cache.readout.assign(static_cast<std::size_t>(cfg_.hidden), 0.0);
   for (int i = 0; i < n; ++i) {
     const double* hi = hl.row(i);
@@ -161,24 +188,31 @@ RgcnNet::GnnCache RgcnNet::encode(const graph::GraphTensors& g) const {
       cache.readout[static_cast<std::size_t>(d)] += hi[d];
   }
   for (double& v : cache.readout) v /= static_cast<double>(n);
-  return cache;
 }
 
 RgcnNet::DenseCache RgcnNet::dense_forward(std::span<const double> readout,
                                            std::span<const double> extra) const {
+  DenseCache c;
+  dense_forward_into(readout, extra, c);
+  return c;
+}
+
+void RgcnNet::dense_forward_into(std::span<const double> readout,
+                                 std::span<const double> extra,
+                                 DenseCache& c) const {
   PNP_CHECK(static_cast<int>(readout.size()) == cfg_.hidden);
   PNP_CHECK_MSG(static_cast<int>(extra.size()) == cfg_.extra_features,
                 "expected " << cfg_.extra_features << " extra features, got "
                             << extra.size());
-  DenseCache c;
   c.u0.assign(readout.begin(), readout.end());
   c.u0.insert(c.u0.end(), extra.begin(), extra.end());
 
-  auto linear = [&](const std::vector<double>& in, int w_idx, int b_idx) {
+  auto linear = [&](const std::vector<double>& in, int w_idx, int b_idx,
+                    std::vector<double>& out) {
     const Matrix& w = P(w_idx).w;
     const Matrix& b = P(b_idx).w;
     PNP_CHECK(static_cast<int>(in.size()) == w.rows());
-    std::vector<double> out(static_cast<std::size_t>(w.cols()));
+    out.resize(static_cast<std::size_t>(w.cols()));
     for (int j = 0; j < w.cols(); ++j) out[static_cast<std::size_t>(j)] = b(0, j);
     for (int i = 0; i < w.rows(); ++i) {
       const double vi = in[static_cast<std::size_t>(i)];
@@ -187,17 +221,15 @@ RgcnNet::DenseCache RgcnNet::dense_forward(std::span<const double> readout,
       for (int j = 0; j < w.cols(); ++j)
         out[static_cast<std::size_t>(j)] += vi * wi[j];
     }
-    return out;
   };
 
-  c.z1 = linear(c.u0, w1_, b1_);
+  linear(c.u0, w1_, b1_, c.z1);
   c.a1.resize(c.z1.size());
   for (std::size_t i = 0; i < c.z1.size(); ++i) c.a1[i] = relu(c.z1[i]);
-  c.z2 = linear(c.a1, w2_, b2_);
+  linear(c.a1, w2_, b2_, c.z2);
   c.a2.resize(c.z2.size());
   for (std::size_t i = 0; i < c.z2.size(); ++i) c.a2[i] = relu(c.z2[i]);
-  c.logits = linear(c.a2, w3_, b3_);
-  return c;
+  linear(c.a2, w3_, b3_, c.logits);
 }
 
 RgcnNet::DenseCache RgcnNet::forward(const graph::GraphTensors& g,
@@ -206,27 +238,29 @@ RgcnNet::DenseCache RgcnNet::forward(const graph::GraphTensors& g,
   return dense_forward(gc.readout, extra);
 }
 
-std::vector<double> RgcnNet::dense_backward(const DenseCache& c,
-                                            std::span<const double> dlogits) {
+template <class GetGrad>
+std::vector<double> RgcnNet::dense_backward_impl(
+    const DenseCache& c, std::span<const double> dlogits, GetGrad&& G) const {
   PNP_CHECK(static_cast<int>(dlogits.size()) == cfg_.total_logits());
 
   // d(out)/d(in) of a linear layer, accumulating weight/bias grads.
   auto backward_linear = [&](const std::vector<double>& in,
                              std::span<const double> dout, int w_idx,
                              int b_idx) {
-    Param& wp = P(w_idx);
-    Param& bp = P(b_idx);
-    for (int j = 0; j < wp.w.cols(); ++j)
-      bp.g(0, j) += dout[static_cast<std::size_t>(j)];
+    const Matrix& w = P(w_idx).w;
+    Matrix& gw_m = G(w_idx);
+    Matrix& gb_m = G(b_idx);
+    for (int j = 0; j < w.cols(); ++j)
+      gb_m(0, j) += dout[static_cast<std::size_t>(j)];
     std::vector<double> din(in.size(), 0.0);
-    for (int i = 0; i < wp.w.rows(); ++i) {
+    for (int i = 0; i < w.rows(); ++i) {
       const double vi = in[static_cast<std::size_t>(i)];
-      double* gw = wp.g.row(i);
-      const double* w = wp.w.row(i);
+      double* gw = gw_m.row(i);
+      const double* wi = w.row(i);
       double acc = 0.0;
-      for (int j = 0; j < wp.w.cols(); ++j) {
+      for (int j = 0; j < w.cols(); ++j) {
         gw[j] += vi * dout[static_cast<std::size_t>(j)];
-        acc += w[j] * dout[static_cast<std::size_t>(j)];
+        acc += wi[j] * dout[static_cast<std::size_t>(j)];
       }
       din[static_cast<std::size_t>(i)] = acc;
     }
@@ -243,8 +277,25 @@ std::vector<double> RgcnNet::dense_backward(const DenseCache& c,
   return {du0.begin(), du0.begin() + cfg_.hidden};
 }
 
-void RgcnNet::gnn_backward(const GnnCache& cache,
-                           std::span<const double> d_readout) {
+std::vector<double> RgcnNet::dense_backward(const DenseCache& c,
+                                            std::span<const double> dlogits) {
+  return dense_backward_impl(
+      c, dlogits, [this](int idx) -> Matrix& { return P(idx).g; });
+}
+
+std::vector<double> RgcnNet::dense_backward_into(
+    const DenseCache& c, std::span<const double> dlogits,
+    GradBuffer& grads) const {
+  PNP_CHECK(grads.size() == params_.size());
+  return dense_backward_impl(c, dlogits, [&grads](int idx) -> Matrix& {
+    return grads[static_cast<std::size_t>(idx)];
+  });
+}
+
+template <class GetGrad>
+void RgcnNet::gnn_backward_impl(const GnnCache& cache,
+                                std::span<const double> d_readout,
+                                BackwardWs& ws, GetGrad&& G) const {
   if (gnn_frozen_) return;
   PNP_CHECK(cache.g != nullptr);
   PNP_CHECK(static_cast<int>(d_readout.size()) == cfg_.hidden);
@@ -252,91 +303,133 @@ void RgcnNet::gnn_backward(const GnnCache& cache,
   const int n = g.num_nodes;
 
   // Readout backward: every node receives d_readout / n.
-  Matrix dh(n, cfg_.hidden);
+  Matrix* dh = &ws.dh;
+  Matrix* dh_prev = &ws.dh_prev;
+  dh->resize(n, cfg_.hidden);
   for (int i = 0; i < n; ++i) {
-    double* di = dh.row(i);
+    double* di = dh->row(i);
     for (int d = 0; d < cfg_.hidden; ++d)
       di[d] = d_readout[static_cast<std::size_t>(d)] / static_cast<double>(n);
   }
 
   for (int l = cfg_.rgcn_layers - 1; l >= 0; --l) {
-    const LayerParams& lp = layers_[static_cast<std::size_t>(l)];
-    const Matrix& z = cache.Z[static_cast<std::size_t>(l)];
-    const Matrix& h_in = cache.H[static_cast<std::size_t>(l)];
-    const auto& ms = cache.M[static_cast<std::size_t>(l)];
+    const auto li = static_cast<std::size_t>(l);
+    const LayerParams& lp = layers_[li];
+    const Matrix& z = cache.Z[li];
+    const Matrix& h_in = cache.H[li];
+    const auto& ms = cache.M[li];
     const int d_in = h_in.cols();
 
     // Through the activation.
-    Matrix dz(n, cfg_.hidden);
+    Matrix& dz = ws.dz;
+    dz.resize(n, cfg_.hidden);
     for (std::size_t k = 0; k < z.size(); ++k)
-      dz.data()[k] = dh.data()[k] * leaky_grad(z.data()[k], cfg_.leaky_slope);
+      dz.data()[k] = dh->data()[k] * leaky_grad(z.data()[k], cfg_.leaky_slope);
 
     // Bias and self-weight.
-    colsum_acc(dz, P(lp.bias).g.flat());
-    gemm_tn_acc(h_in, dz, P(lp.w0).g);
+    colsum_acc(dz, G(lp.bias).flat());
+    gemm_tn_acc(h_in, dz, G(lp.w0));
 
-    Matrix dh_prev(n, d_in);
-    gemm_nt_acc(dz, P(lp.w0).w, dh_prev);
+    dh_prev->resize(n, d_in);
+    gemm_nt(dz, P(lp.w0).w, *dh_prev);
 
     for (int r = 0; r < cfg_.num_relations; ++r) {
-      const Matrix& mr = ms[static_cast<std::size_t>(r)];
+      const auto ri = static_cast<std::size_t>(r);
+      const graph::RelationCsr& csr = g.csr(r);
+      const int active = csr.num_active();
+      const Matrix& mc = ms[ri];
+      PNP_CHECK_MSG(mc.rows() == active,
+                    "stale GnnCache: graph edges changed since encode");
 
+      // All relation kernels run on compressed rows, reading/writing dz at
+      // the relation's active targets through the row maps directly — no
+      // gathered copies.
+      const Matrix* wr = nullptr;
       if (cfg_.num_bases == 0) {
-        Param& wr = P(lp.wr[static_cast<std::size_t>(r)]);
-        gemm_tn_acc(mr, dz, wr.g);
-        // dM_r = dz · W_rᵀ, then scatter back through the aggregation.
-        Matrix dmr(n, d_in);
-        gemm_nt_acc(dz, wr.w, dmr);
-        const auto& deg = cache.deg[static_cast<std::size_t>(r)];
-        for (const auto& [src, dst] :
-             g.rel_edges[static_cast<std::size_t>(r)]) {
-          const double inv =
-              1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
-          const double* dmt = dmr.row(dst);
-          double* dhs = dh_prev.row(src);
-          for (int d = 0; d < d_in; ++d) dhs[d] += inv * dmt[d];
-        }
+        gemm_tn_acc_rows(mc, dz, csr.active_dst, G(lp.wr[ri]));
+        wr = &P(lp.wr[ri]).w;
       } else {
-        // Basis mode: G_r = M_rᵀ·dz feeds both coef and basis grads.
-        Matrix gr(d_in, cfg_.hidden);
-        gemm_tn_acc(mr, dz, gr);
-        Param& coef = P(lp.coef);
+        // Basis mode: G_r = M_rᵀ·dz feeds both coef and basis grads; the
+        // combined W_r was computed at encode time and shared here.
+        Matrix& gr = ws.gr;
+        gr.resize(d_in, cfg_.hidden);
+        gr.zero();
+        gemm_tn_acc_rows(mc, dz, csr.active_dst, gr);
+        Matrix& coef_g = G(lp.coef);
         for (int b = 0; b < cfg_.num_bases; ++b) {
-          Param& vb = P(lp.basis[static_cast<std::size_t>(b)]);
-          coef.g(r, b) += frob_inner(gr, vb.w);
-          vb.g.add_scaled(gr, coef.w(r, b));
+          const auto bi = static_cast<std::size_t>(b);
+          coef_g(r, b) += frob_inner(gr, P(lp.basis[bi]).w);
+          G(lp.basis[bi]).add_scaled(gr, P(lp.coef).w(r, b));
         }
-        const Matrix wr = relation_weight(lp, r);
-        Matrix dmr(n, d_in);
-        gemm_nt_acc(dz, wr, dmr);
-        const auto& deg = cache.deg[static_cast<std::size_t>(r)];
-        for (const auto& [src, dst] :
-             g.rel_edges[static_cast<std::size_t>(r)]) {
-          const double inv =
-              1.0 / static_cast<double>(deg[static_cast<std::size_t>(dst)]);
-          const double* dmt = dmr.row(dst);
-          double* dhs = dh_prev.row(src);
-          for (int d = 0; d < d_in; ++d) dhs[d] += inv * dmt[d];
+        wr = &cache.relw[li][ri];
+      }
+      if (active == 0) continue;
+
+      // dM_r = dz·W_rᵀ on compressed rows, then scatter back through the
+      // normalized aggregation: dH[s] += (1/c_{t,r})·dM_r[t].
+      Matrix& dmc = ws.dmc;
+      dmc.resize(active, d_in);
+      gemm_nt_rows(dz, csr.active_dst, *wr, dmc);
+      for (int idx = 0; idx < active; ++idx) {
+        const auto dst = static_cast<std::size_t>(
+            csr.active_dst[static_cast<std::size_t>(idx)]);
+        const double inv = csr.inv_deg[dst];
+        double* dmt = dmc.row(idx);
+        for (int d = 0; d < d_in; ++d) dmt[d] *= inv;
+        const int b0 = csr.row_offset[dst];
+        const int b1 = csr.row_offset[dst + 1];
+        for (int e = b0; e < b1; ++e) {
+          double* dhs = dh_prev->row(csr.src[static_cast<std::size_t>(e)]);
+          for (int d = 0; d < d_in; ++d) dhs[d] += dmt[d];
         }
       }
     }
-    dh = std::move(dh_prev);
+    std::swap(dh, dh_prev);
   }
 
   // Embedding backward: scatter rows into the two tables.
-  Param& et = P(emb_token_);
-  Param& ek = P(emb_kind_);
+  Matrix& gt_m = G(emb_token_);
+  Matrix& gk_m = G(emb_kind_);
   for (int i = 0; i < n; ++i) {
     const int tok = g.token[static_cast<std::size_t>(i)];
     const int kind = g.kind[static_cast<std::size_t>(i)];
-    const double* di = dh.row(i);
-    double* gt = et.g.row(tok);
-    double* gk = ek.g.row(kind);
+    const double* di = dh->row(i);
+    double* gt = gt_m.row(tok);
+    double* gk = gk_m.row(kind);
     for (int d = 0; d < cfg_.emb_dim; ++d) {
       gt[d] += di[d];
       gk[d] += di[d];
     }
   }
+}
+
+void RgcnNet::gnn_backward(const GnnCache& cache,
+                           std::span<const double> d_readout) {
+  gnn_backward_impl(cache, d_readout, bws_,
+                    [this](int idx) -> Matrix& { return P(idx).g; });
+}
+
+void RgcnNet::gnn_backward_into(const GnnCache& cache,
+                                std::span<const double> d_readout,
+                                GradBuffer& grads, BackwardWs& ws) const {
+  PNP_CHECK(grads.size() == params_.size());
+  gnn_backward_impl(cache, d_readout, ws, [&grads](int idx) -> Matrix& {
+    return grads[static_cast<std::size_t>(idx)];
+  });
+}
+
+RgcnNet::GradBuffer RgcnNet::make_grad_buffer() const {
+  GradBuffer gb;
+  gb.reserve(params_.size());
+  for (const auto& p : params_)
+    gb.push_back(Matrix::zeros(p->w.rows(), p->w.cols()));
+  return gb;
+}
+
+void RgcnNet::add_grad_buffer(const GradBuffer& gb) {
+  PNP_CHECK(gb.size() == params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i)
+    params_[i]->g.add_scaled(gb[i], 1.0);
 }
 
 std::span<const double> RgcnNet::head_logits(const DenseCache& cache,

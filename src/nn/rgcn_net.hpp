@@ -57,17 +57,24 @@ class RgcnNet {
  public:
   explicit RgcnNet(RgcnNetConfig cfg);
 
-  /// Cached intermediate state of one GNN forward pass.
+  /// Cached intermediate state of one GNN forward pass. Doubles as the
+  /// forward workspace: encode_into() reuses every buffer in here, so
+  /// repeated encodes of same-shaped graphs do zero heap allocation.
   struct GnnCache {
     const graph::GraphTensors* g = nullptr;
     /// H[0] = embedding output … H[L] = final node features (all N×d).
     std::vector<Matrix> H;
     /// Pre-activation of each layer (Z[l] for layer l, 0-based).
     std::vector<Matrix> Z;
-    /// Per-layer, per-relation normalized aggregates M_r = Â_r · H.
+    /// Per-layer, per-relation normalized aggregates in CSR-compressed
+    /// form: row i of M[l][r] is Â_r·H for the i-th *active* target of
+    /// relation r (see graph::RelationCsr::active_dst) — zero rows are
+    /// never materialized.
     std::vector<std::vector<Matrix>> M;
-    /// Per-relation in-degrees (normalization constants), shared by layers.
-    std::vector<std::vector<int>> deg;
+    /// Basis mode only: the combined relation weights W_r = Σ_b a_rb·V_b
+    /// of each layer, computed once at encode time and shared with the
+    /// backward pass (valid for the weights as of that encode).
+    std::vector<std::vector<Matrix>> relw;
     /// Mean-pooled readout (length = hidden).
     std::vector<double> readout;
   };
@@ -80,12 +87,39 @@ class RgcnNet {
     std::vector<double> logits;  ///< concatenated head logits
   };
 
+  /// Scratch matrices for one GNN backward pass; reused across calls so
+  /// steady-state training allocates nothing.
+  struct BackwardWs {
+    Matrix dh, dh_prev;  ///< d(loss)/dH flowing down the layers
+    Matrix dz;           ///< activation-gradient of the current layer
+    Matrix dmc;          ///< d(loss)/dM_r, compressed rows
+    Matrix gr;           ///< basis mode: M_rᵀ·dz shared by coef/basis grads
+  };
+
+  /// One gradient matrix per parameter (index-parallel to params()) —
+  /// the per-thread accumulation target of the parallel trainer.
+  using GradBuffer = std::vector<Matrix>;
+  GradBuffer make_grad_buffer() const;
+  /// params[i].g += gb[i] for all parameters.
+  void add_grad_buffer(const GradBuffer& gb);
+
   /// Run the GNN over one graph (no gradient effects).
   GnnCache encode(const graph::GraphTensors& g) const;
+
+  /// As encode(), but reusing `cache`'s buffers (zero allocation when the
+  /// shapes already match). Safe to call concurrently from several threads
+  /// with distinct caches, provided the graph's CSR form has been built
+  /// (graph::GraphTensors::finalize()).
+  void encode_into(const graph::GraphTensors& g, GnnCache& cache) const;
 
   /// Run the dense classifier on a readout (+ extra features).
   DenseCache dense_forward(std::span<const double> readout,
                            std::span<const double> extra) const;
+
+  /// As dense_forward(), but reusing `cache`'s buffers.
+  void dense_forward_into(std::span<const double> readout,
+                          std::span<const double> extra,
+                          DenseCache& cache) const;
 
   /// Convenience: encode + dense in one call.
   DenseCache forward(const graph::GraphTensors& g,
@@ -96,8 +130,20 @@ class RgcnNet {
   std::vector<double> dense_backward(const DenseCache& cache,
                                      std::span<const double> dlogits);
 
+  /// As dense_backward(), but accumulating into `grads` instead of the
+  /// parameters' own gradients (thread-safe with distinct buffers).
+  std::vector<double> dense_backward_into(const DenseCache& cache,
+                                          std::span<const double> dlogits,
+                                          GradBuffer& grads) const;
+
   /// Accumulate GNN gradients for d(loss)/d(readout).
   void gnn_backward(const GnnCache& cache, std::span<const double> d_readout);
+
+  /// As gnn_backward(), but accumulating into `grads` with caller-owned
+  /// scratch (thread-safe with distinct buffers/workspaces).
+  void gnn_backward_into(const GnnCache& cache,
+                         std::span<const double> d_readout, GradBuffer& grads,
+                         BackwardWs& ws) const;
 
   /// View of one head's logits inside a DenseCache.
   std::span<const double> head_logits(const DenseCache& cache, int head) const;
@@ -136,8 +182,19 @@ class RgcnNet {
   const Param& P(int idx) const { return *params_[static_cast<std::size_t>(idx)]; }
   int add_param(const std::string& name, Matrix m, bool gnn_stage);
 
-  /// Effective relation weight (composes basis if enabled).
-  Matrix relation_weight(const LayerParams& lp, int relation) const;
+  /// Effective relation weight: a reference to the parameter itself in
+  /// full mode, or `scratch` filled with the basis combination.
+  const Matrix& relation_weight(const LayerParams& lp, int relation,
+                                Matrix& scratch) const;
+
+  template <class GetGrad>
+  std::vector<double> dense_backward_impl(const DenseCache& cache,
+                                          std::span<const double> dlogits,
+                                          GetGrad&& G) const;
+  template <class GetGrad>
+  void gnn_backward_impl(const GnnCache& cache,
+                         std::span<const double> d_readout, BackwardWs& ws,
+                         GetGrad&& G) const;
 
   RgcnNetConfig cfg_;
   std::vector<std::unique_ptr<Param>> params_;
@@ -149,6 +206,9 @@ class RgcnNet {
   std::vector<LayerParams> layers_;
   int w1_ = -1, b1_ = -1, w2_ = -1, b2_ = -1, w3_ = -1, b3_ = -1;
   std::vector<int> head_offset_;
+
+  /// Default backward scratch for the sequential gnn_backward() overload.
+  BackwardWs bws_;
 };
 
 }  // namespace pnp::nn

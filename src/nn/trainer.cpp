@@ -2,7 +2,12 @@
 
 #include <chrono>
 #include <cstdio>
-#include <map>
+#include <exception>
+#include <unordered_map>
+
+#ifdef PNP_PARALLEL
+#include <omp.h>
+#endif
 
 #include "common/error.hpp"
 #include "nn/loss.hpp"
@@ -17,33 +22,54 @@ void scale_grads(RgcnNet& net, double s) {
     for (double& g : p->g.flat()) g *= s;
 }
 
+/// Reusable per-worker state: forward/backward workspaces plus the small
+/// per-member scratch vectors, so the hot GNN passes allocate nothing in
+/// steady state (the tiny dense-layer backward still makes a few
+/// ≤32-element vector allocations per member).
+struct SampleCtx {
+  RgcnNet::GnnCache gc;
+  RgcnNet::DenseCache dc;
+  RgcnNet::BackwardWs ws;
+  std::vector<double> d_readout;
+  std::vector<double> dlogits;
+};
+
 /// Forward + backward of one sample group; returns summed member loss.
-/// Gradients are accumulated into the net.
+/// Gradients go into `grads` when set (the parallel per-thread path, which
+/// only calls const members of `net`), or straight into the net otherwise.
 double sample_backward(RgcnNet& net, const TrainSample& s,
-                       const RgcnNet::GnnCache& gc) {
+                       const RgcnNet::GnnCache& gc, SampleCtx& ctx,
+                       RgcnNet::GradBuffer* grads) {
   const int hidden = net.config().hidden;
-  std::vector<double> d_readout(static_cast<std::size_t>(hidden), 0.0);
+  ctx.d_readout.assign(static_cast<std::size_t>(hidden), 0.0);
   double loss = 0.0;
   for (const SampleMember& m : s.members) {
-    const auto dc = net.dense_forward(gc.readout, m.extra);
-    std::vector<double> dlogits(dc.logits.size(), 0.0);
+    net.dense_forward_into(gc.readout, m.extra, ctx.dc);
+    ctx.dlogits.assign(ctx.dc.logits.size(), 0.0);
     PNP_CHECK(m.labels.size() == net.config().head_sizes.size());
     int off = 0;
     for (std::size_t h = 0; h < m.labels.size(); ++h) {
       const int len = net.config().head_sizes[h];
       loss += softmax_cross_entropy(
-          std::span<const double>(dc.logits)
+          std::span<const double>(ctx.dc.logits)
               .subspan(static_cast<std::size_t>(off),
                        static_cast<std::size_t>(len)),
           m.labels[h],
-          std::span<double>(dlogits).subspan(static_cast<std::size_t>(off),
-                                             static_cast<std::size_t>(len)));
+          std::span<double>(ctx.dlogits)
+              .subspan(static_cast<std::size_t>(off),
+                       static_cast<std::size_t>(len)));
       off += len;
     }
-    const auto dr = net.dense_backward(dc, dlogits);
-    for (std::size_t d = 0; d < d_readout.size(); ++d) d_readout[d] += dr[d];
+    const auto dr = grads
+                        ? net.dense_backward_into(ctx.dc, ctx.dlogits, *grads)
+                        : net.dense_backward(ctx.dc, ctx.dlogits);
+    for (std::size_t d = 0; d < ctx.d_readout.size(); ++d)
+      ctx.d_readout[d] += dr[d];
   }
-  net.gnn_backward(gc, d_readout);
+  if (grads)
+    net.gnn_backward_into(gc, ctx.d_readout, *grads, ctx.ws);
+  else
+    net.gnn_backward(gc, ctx.d_readout);
   return loss;
 }
 
@@ -55,8 +81,41 @@ TrainReport train(RgcnNet& net, Optimizer& opt,
   PNP_CHECK_MSG(!samples.empty(), "no training samples");
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Frozen-GNN encode cache (keyed by graph pointer).
-  std::map<const graph::GraphTensors*, RgcnNet::GnnCache> frozen_cache;
+  // Validate up front and make sure every graph's CSR form exists before
+  // any parallel region touches it (lazy builds are not thread-safe).
+  for (const TrainSample& s : samples) {
+    PNP_CHECK(s.graph != nullptr && !s.members.empty());
+    s.graph->finalize();
+  }
+
+  // Frozen-GNN encode cache (keyed by graph pointer), filled once up front
+  // so epochs only do (cheap) dense passes and threads share it read-only.
+  std::unordered_map<const graph::GraphTensors*, RgcnNet::GnnCache>
+      frozen_cache;
+  if (net.gnn_frozen()) {
+    for (const TrainSample& s : samples) {
+      auto [it, inserted] = frozen_cache.try_emplace(s.graph);
+      if (inserted) net.encode_into(*s.graph, it->second);
+    }
+  }
+
+#ifdef PNP_PARALLEL
+  // Inside an active parallel region (e.g. concurrent LOOCV folds) a
+  // nested omp-for would get a team of one — keep the sequential path and
+  // skip the per-thread buffers there.
+  const int num_workers = omp_in_parallel() ? 1 : omp_get_max_threads();
+#else
+  const int num_workers = 1;
+#endif
+  std::vector<SampleCtx> ctx(static_cast<std::size_t>(num_workers));
+  // Parallel mode: per-thread gradient buffers, reduced in fixed thread
+  // order after each batch. With OpenMP's static schedule the sample →
+  // thread assignment is deterministic, so training is bit-reproducible
+  // run to run for a given thread count.
+  std::vector<RgcnNet::GradBuffer> thread_grads;
+  if (num_workers > 1)
+    for (int t = 0; t < num_workers; ++t)
+      thread_grads.push_back(net.make_grad_buffer());
 
   Rng rng(cfg.seed);
   std::vector<std::size_t> order(samples.size());
@@ -68,38 +127,83 @@ TrainReport train(RgcnNet& net, Optimizer& opt,
   double best_loss = 1e300;
   int stale = 0;
 
+  std::vector<const TrainSample*> batch;
+  std::vector<double> batch_loss;
+
+  // Gradient of one staged batch, accumulated into the net; returns the
+  // batch's summed member loss (summed in sample order regardless of the
+  // thread count, so early stopping sees a deterministic value).
+  auto batch_backward = [&]() -> double {
+    batch_loss.assign(batch.size(), 0.0);
+#ifdef PNP_PARALLEL
+    const int nb = static_cast<int>(batch.size());
+    if (num_workers > 1 && nb > 1) {
+      std::exception_ptr err;
+#pragma omp parallel for schedule(static)
+      for (int i = 0; i < nb; ++i) {
+        const auto t = static_cast<std::size_t>(omp_get_thread_num());
+        try {
+          const TrainSample& s = *batch[static_cast<std::size_t>(i)];
+          const RgcnNet::GnnCache* gc = nullptr;
+          if (net.gnn_frozen()) {
+            gc = &frozen_cache.at(s.graph);
+          } else {
+            net.encode_into(*s.graph, ctx[t].gc);
+            gc = &ctx[t].gc;
+          }
+          batch_loss[static_cast<std::size_t>(i)] =
+              sample_backward(net, s, *gc, ctx[t], &thread_grads[t]);
+        } catch (...) {
+#pragma omp critical
+          if (!err) err = std::current_exception();
+        }
+      }
+      if (err) std::rethrow_exception(err);
+      for (auto& tg : thread_grads) {
+        net.add_grad_buffer(tg);
+        for (Matrix& m : tg) m.zero();
+      }
+    } else
+#endif
+    {
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const TrainSample& s = *batch[i];
+        const RgcnNet::GnnCache* gc = nullptr;
+        if (net.gnn_frozen()) {
+          gc = &frozen_cache.at(s.graph);
+        } else {
+          net.encode_into(*s.graph, ctx[0].gc);
+          gc = &ctx[0].gc;
+        }
+        batch_loss[i] = sample_backward(net, s, *gc, ctx[0], nullptr);
+      }
+    }
+    double loss = 0.0;
+    for (double v : batch_loss) loss += v;
+    return loss;
+  };
+
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t total_members = 0;
 
     net.zero_grad();
+    batch.clear();
     int batch_members = 0;
     auto flush = [&]() {
       if (batch_members == 0) return;
+      epoch_loss += batch_backward();
       scale_grads(net, 1.0 / batch_members);
       opt.step(param_ptrs);
       net.zero_grad();
+      batch.clear();
       batch_members = 0;
     };
 
     for (std::size_t oi : order) {
       const TrainSample& s = samples[oi];
-      PNP_CHECK(s.graph != nullptr && !s.members.empty());
-
-      const RgcnNet::GnnCache* gc = nullptr;
-      RgcnNet::GnnCache local;
-      if (net.gnn_frozen()) {
-        auto it = frozen_cache.find(s.graph);
-        if (it == frozen_cache.end())
-          it = frozen_cache.emplace(s.graph, net.encode(*s.graph)).first;
-        gc = &it->second;
-      } else {
-        local = net.encode(*s.graph);
-        gc = &local;
-      }
-
-      epoch_loss += sample_backward(net, s, *gc);
+      batch.push_back(&s);
       total_members += s.members.size();
       batch_members += static_cast<int>(s.members.size());
       if (batch_members >= cfg.batch_size) flush();
@@ -132,10 +236,22 @@ TrainReport train(RgcnNet& net, Optimizer& opt,
 double evaluate_accuracy(const RgcnNet& net,
                          std::span<const TrainSample> samples) {
   std::size_t correct = 0, total = 0;
+  // One encode per distinct graph — samples sharing a graph (e.g. the four
+  // power caps of one region) reuse the cached pass, as train() does. Only
+  // the readout is kept per graph; one workspace serves every encode.
+  std::unordered_map<const graph::GraphTensors*, std::vector<double>>
+      readouts;
+  RgcnNet::GnnCache ws;
+  RgcnNet::DenseCache dc;
   for (const TrainSample& s : samples) {
-    const auto gc = net.encode(*s.graph);
+    PNP_CHECK(s.graph != nullptr);
+    auto [it, inserted] = readouts.try_emplace(s.graph);
+    if (inserted) {
+      net.encode_into(*s.graph, ws);
+      it->second = ws.readout;
+    }
     for (const SampleMember& m : s.members) {
-      const auto dc = net.dense_forward(gc.readout, m.extra);
+      net.dense_forward_into(it->second, m.extra, dc);
       bool all = true;
       for (std::size_t h = 0; h < m.labels.size(); ++h) {
         const auto logits = net.head_logits(dc, static_cast<int>(h));
