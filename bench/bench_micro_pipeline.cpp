@@ -14,6 +14,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -29,6 +30,7 @@
 #include "nn/loss.hpp"
 #include "nn/optim.hpp"
 #include "nn/trainer.hpp"
+#include "serve/inference_engine.hpp"
 #include "workloads/irgen.hpp"
 #include "workloads/suite.hpp"
 
@@ -209,6 +211,41 @@ void BM_PnpInference(benchmark::State& state) {
     benchmark::DoNotOptimize(tuner.predict_power(50, 1).threads);
 }
 BENCHMARK(BM_PnpInference);
+
+void BM_PredictBatch(benchmark::State& state) {
+  // Steady-state serving: a 64-query batch (16 regions × 4 caps) through
+  // the InferenceEngine. Each distinct graph is encoded once ever (cached
+  // across batches) and all per-query buffers are reused — compare the
+  // per-query cost (ns/op ÷ 64) against BM_PnpInference, which re-encodes
+  // the graph on every call.
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  static const core::MeasurementDb db(
+      simulator, space, workloads::Suite::instance().all_regions());
+  static serve::InferenceEngine* engine = [] {
+    core::PnpOptions opt;
+    opt.trainer.max_epochs = 8;
+    core::PnpTuner tuner(db, opt);
+    std::vector<int> train;
+    for (int r = 0; r < 40; ++r) train.push_back(r);
+    tuner.train_power_scenario(train);
+    return new serve::InferenceEngine(std::move(tuner));
+  }();
+  static const std::vector<serve::PowerQuery> queries = [] {
+    std::vector<serve::PowerQuery> q;
+    for (int r = 40; r < 56; ++r)
+      for (int k = 0; k < db.num_caps(); ++k) q.push_back({r, k});
+    return q;
+  }();
+  for (auto _ : state) {
+    auto out = engine->predict_power_batch(queries);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(queries.size()));
+}
+BENCHMARK(BM_PredictBatch);
 
 void BM_BlissTuneOneRegion(benchmark::State& state) {
   const auto machine = hw::MachineModel::haswell();

@@ -4,15 +4,17 @@
 /// trained on one system can be reused on another, retraining only the
 /// dense classifier. The paper reports a 4.18× training-time reduction.
 ///
-/// This example trains on the Haswell model, saves the state dict to disk
-/// (the deployment artifact), reloads it for the Skylake model with a
-/// frozen GNN, and compares wall-clock time and quality against training
-/// Skylake from scratch.
+/// This example trains on the Haswell model, saves the full versioned
+/// tuner artifact to disk (the deployment unit of docs/SERVING.md),
+/// reloads it in-place to verify bit-identical predictions, then imports
+/// its GNN stage for the Skylake model with a frozen GNN and compares
+/// wall-clock time and quality against training Skylake from scratch.
 
 #include <cstdio>
 
 #include "common/serialize.hpp"
 #include "core/loocv.hpp"
+#include "core/tuner_artifact.hpp"
 #include "workloads/suite.hpp"
 
 using namespace pnp;
@@ -36,12 +38,18 @@ int main() {
   pnp.trainer.patience = 1000;  // fixed epochs for a fair timing comparison
   pnp.trainer.min_loss = 0.0;
 
-  // 1. Train on Haswell and persist the model.
+  // 1. Train on Haswell and persist the full tuner artifact.
   core::PnpTuner source(db_h, pnp);
   const auto rep_h = source.train_power_scenario(all);
-  source.state().save_file("/tmp/pnp_haswell.state");
-  std::printf("haswell training: %.2fs (%d epochs) -> /tmp/pnp_haswell.state\n",
+  source.save("/tmp/pnp_haswell.pnp");
+  std::printf("haswell training: %.2fs (%d epochs) -> /tmp/pnp_haswell.pnp\n",
               rep_h.seconds, rep_h.epochs_run);
+
+  // Sanity: a fresh load of the artifact serves bit-identical predictions.
+  const core::PnpTuner reloaded = core::PnpTuner::load(db_h, "/tmp/pnp_haswell.pnp");
+  const bool identical = reloaded.predict_power(0, 0) == source.predict_power(0, 0);
+  std::printf("artifact reload check: predictions %s\n",
+              identical ? "bit-identical" : "DIVERGED");
 
   // 2. Skylake from scratch.
   core::PnpTuner scratch(db_s, pnp);
@@ -50,9 +58,11 @@ int main() {
               rep_scratch.seconds, rep_scratch.train_accuracy);
 
   // 3. Skylake with the imported, frozen Haswell GNN (dense-only training).
+  // The artifact carries the whole tuner; transfer uses just its GNN stage.
   core::PnpTuner transfer(db_s, pnp);
-  transfer.import_gnn(StateDict::load_file("/tmp/pnp_haswell.state"),
-                      /*freeze_gnn=*/true);
+  transfer.import_gnn(
+      core::TunerArtifact::load_file("/tmp/pnp_haswell.pnp").net_weights,
+      /*freeze_gnn=*/true);
   const auto rep_xfer = transfer.train_power_scenario(all);
   std::printf("skylake transferred:    %.2fs  (train acc %.2f)\n",
               rep_xfer.seconds, rep_xfer.train_accuracy);

@@ -39,7 +39,8 @@ double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
 
 std::size_t Rng::uniform_index(std::size_t n) {
   PNP_CHECK_MSG(n > 0, "uniform_index requires n > 0");
-  // Rejection-free multiply-shift; bias is negligible for our n (< 2^32).
+  // Scale a 53-bit uniform into [0, n); the trailing % n only guards the
+  // uniform() ≈ 1 rounding edge case. Bias is negligible for our n (< 2^32).
   return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
 }
 

@@ -1,8 +1,10 @@
 #include "common/serialize.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 
 #include "common/error.hpp"
@@ -11,7 +13,19 @@ namespace pnp {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'N', 'P', 'S', 'T', 'A', 'T', '1'};
+constexpr char kMagicV1[8] = {'P', 'N', 'P', 'S', 'T', 'A', 'T', '1'};
+constexpr char kMagicV2[8] = {'P', 'N', 'P', 'S', 'T', 'A', 'T', '2'};
+
+// v2 entry tags.
+constexpr unsigned char kTagArray = 1;
+constexpr unsigned char kTagString = 2;
+constexpr unsigned char kTagInt = 3;
+
+constexpr std::uint64_t kMaxNameLen = 1ULL << 20;
+// Variable-length payloads are read in bounded chunks so a malformed
+// length fails at the first missing byte instead of pre-allocating the
+// claimed size.
+constexpr std::uint64_t kChunkBytes = 1ULL << 16;
 
 void write_u64(std::ostream& os, std::uint64_t v) {
   unsigned char buf[8];
@@ -19,14 +33,98 @@ void write_u64(std::ostream& os, std::uint64_t v) {
   os.write(reinterpret_cast<const char*>(buf), 8);
 }
 
-std::uint64_t read_u64(std::istream& is) {
-  unsigned char buf[8];
-  is.read(reinterpret_cast<char*>(buf), 8);
-  PNP_CHECK_MSG(is.good(), "truncated StateDict stream");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
-  return v;
-}
+/// Bounded reader over a StateDict stream: when the stream is seekable the
+/// remaining byte count is known up front, and every claimed length is
+/// validated against it before any allocation happens.
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {
+    const auto pos = is_.tellg();
+    if (pos < 0) {
+      is_.clear();
+      return;  // non-seekable: chunked reads still bound memory
+    }
+    is_.seekg(0, std::ios::end);
+    const auto end = is_.tellg();
+    is_.seekg(pos);
+    if (end >= pos && is_.good())
+      remaining_ = static_cast<std::uint64_t>(end - pos);
+    else
+      is_.clear();
+  }
+
+  /// Fail fast when an on-disk length claims more bytes than remain.
+  void check_claim(std::uint64_t bytes, const char* what) const {
+    PNP_CHECK_MSG(!remaining_.has_value() || bytes <= *remaining_,
+                  "malformed StateDict: " << what << " claims " << bytes
+                                          << " bytes but only " << *remaining_
+                                          << " remain");
+  }
+
+  void read_bytes(char* dst, std::uint64_t n, const char* what) {
+    check_claim(n, what);
+    is_.read(dst, static_cast<std::streamsize>(n));
+    PNP_CHECK_MSG(is_.good(), "truncated StateDict: " << what);
+    if (remaining_.has_value()) *remaining_ -= n;
+  }
+
+  unsigned char read_u8(const char* what) {
+    char b;
+    read_bytes(&b, 1, what);
+    return static_cast<unsigned char>(b);
+  }
+
+  std::uint64_t read_u64(const char* what) {
+    unsigned char buf[8];
+    read_bytes(reinterpret_cast<char*>(buf), 8, what);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+    return v;
+  }
+
+  std::string read_string(std::uint64_t len, const char* what) {
+    check_claim(len, what);
+    std::string s;
+    while (s.size() < len) {
+      const std::uint64_t take = std::min<std::uint64_t>(kChunkBytes, len - s.size());
+      const std::size_t old = s.size();
+      s.resize(old + static_cast<std::size_t>(take));
+      read_bytes(s.data() + old, take, what);
+    }
+    return s;
+  }
+
+  std::vector<double> read_f64_array(std::uint64_t len, const char* what) {
+    PNP_CHECK_MSG(len <= (1ULL << 60), "unreasonable array length");
+    check_claim(len * 8, what);
+    std::vector<double> v;
+    unsigned char buf[kChunkBytes];
+    while (v.size() < len) {
+      const std::uint64_t take =
+          std::min<std::uint64_t>(kChunkBytes / 8, len - v.size());
+      read_bytes(reinterpret_cast<char*>(buf), take * 8, what);
+      const std::size_t old = v.size();
+      v.resize(old + static_cast<std::size_t>(take));
+      for (std::uint64_t i = 0; i < take; ++i) {
+        std::uint64_t bits = 0;
+        for (int b = 0; b < 8; ++b)
+          bits |= static_cast<std::uint64_t>(buf[i * 8 + b]) << (8 * b);
+        std::memcpy(&v[old + i], &bits, 8);
+      }
+    }
+    return v;
+  }
+
+  /// True when the stream has no bytes left.
+  bool at_end() {
+    return is_.peek() == std::char_traits<char>::eof();
+  }
+
+ private:
+  std::istream& is_;
+  std::optional<std::uint64_t> remaining_;
+};
 
 }  // namespace
 
@@ -34,13 +132,43 @@ void StateDict::put(const std::string& name, std::vector<double> values) {
   entries_[name] = std::move(values);
 }
 
+void StateDict::put_string(const std::string& name, std::string value) {
+  strings_[name] = std::move(value);
+}
+
+void StateDict::put_int(const std::string& name, std::int64_t value) {
+  ints_[name] = value;
+}
+
 bool StateDict::contains(const std::string& name) const {
   return entries_.count(name) != 0;
+}
+
+bool StateDict::contains_string(const std::string& name) const {
+  return strings_.count(name) != 0;
+}
+
+bool StateDict::contains_int(const std::string& name) const {
+  return ints_.count(name) != 0;
 }
 
 const std::vector<double>& StateDict::get(const std::string& name) const {
   auto it = entries_.find(name);
   PNP_CHECK_MSG(it != entries_.end(), "StateDict has no entry '" << name << "'");
+  return it->second;
+}
+
+const std::string& StateDict::get_string(const std::string& name) const {
+  auto it = strings_.find(name);
+  PNP_CHECK_MSG(it != strings_.end(),
+                "StateDict has no string entry '" << name << "'");
+  return it->second;
+}
+
+std::int64_t StateDict::get_int(const std::string& name) const {
+  auto it = ints_.find(name);
+  PNP_CHECK_MSG(it != ints_.end(),
+                "StateDict has no int entry '" << name << "'");
   return it->second;
 }
 
@@ -52,11 +180,16 @@ std::vector<std::string> StateDict::names() const {
 }
 
 void StateDict::save(std::ostream& os) const {
-  os.write(kMagic, sizeof(kMagic));
-  write_u64(os, entries_.size());
-  for (const auto& [name, values] : entries_) {
+  os.write(kMagicV2, sizeof(kMagicV2));
+  write_u64(os, entries_.size() + strings_.size() + ints_.size());
+  auto write_header = [&os](unsigned char tag, const std::string& name) {
+    const char t = static_cast<char>(tag);
+    os.write(&t, 1);
     write_u64(os, name.size());
     os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  };
+  for (const auto& [name, values] : entries_) {
+    write_header(kTagArray, name);
     write_u64(os, values.size());
     for (double d : values) {
       std::uint64_t bits;
@@ -64,38 +197,78 @@ void StateDict::save(std::ostream& os) const {
       write_u64(os, bits);
     }
   }
+  for (const auto& [name, value] : strings_) {
+    write_header(kTagString, name);
+    write_u64(os, value.size());
+    os.write(value.data(), static_cast<std::streamsize>(value.size()));
+  }
+  for (const auto& [name, value] : ints_) {
+    write_header(kTagInt, name);
+    write_u64(os, static_cast<std::uint64_t>(value));
+  }
   PNP_CHECK_MSG(os.good(), "StateDict write failed");
 }
 
 StateDict StateDict::load(std::istream& is) {
+  Reader r(is);
   char magic[8];
-  is.read(magic, 8);
-  PNP_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 8) == 0,
-                "bad StateDict magic");
+  r.read_bytes(magic, 8, "magic");
+  int version = 0;
+  if (std::memcmp(magic, kMagicV1, 8) == 0) version = 1;
+  if (std::memcmp(magic, kMagicV2, 8) == 0) version = 2;
+  PNP_CHECK_MSG(version != 0, "bad StateDict magic");
+
   StateDict sd;
-  const std::uint64_t n = read_u64(is);
+  const std::uint64_t n = r.read_u64("entry count");
+  PNP_CHECK_MSG(n <= (1ULL << 40), "unreasonable entry count");
+  // Smallest possible entry: [tag] + name length + empty name + payload
+  // length — bounds absurd entry counts before the loop starts.
+  r.check_claim(n * (version == 2 ? 17 : 16), "entry count");
   for (std::uint64_t i = 0; i < n; ++i) {
-    const std::uint64_t name_len = read_u64(is);
-    PNP_CHECK_MSG(name_len < (1ULL << 20), "unreasonable name length");
-    std::string name(name_len, '\0');
-    is.read(name.data(), static_cast<std::streamsize>(name_len));
-    PNP_CHECK_MSG(is.good(), "truncated StateDict name");
-    const std::uint64_t len = read_u64(is);
-    PNP_CHECK_MSG(len < (1ULL << 32), "unreasonable array length");
-    std::vector<double> values(len);
-    for (auto& d : values) {
-      const std::uint64_t bits = read_u64(is);
-      std::memcpy(&d, &bits, 8);
+    const unsigned char tag = version == 1 ? kTagArray : r.read_u8("entry tag");
+    const std::uint64_t name_len = r.read_u64("name length");
+    PNP_CHECK_MSG(name_len < kMaxNameLen, "unreasonable name length");
+    const std::string name = r.read_string(name_len, "entry name");
+    switch (tag) {
+      case kTagArray: {
+        const std::uint64_t len = r.read_u64("array length");
+        PNP_CHECK_MSG(
+            sd.entries_.emplace(name, r.read_f64_array(len, "array data"))
+                .second,
+            "duplicate StateDict entry '" << name << "'");
+        break;
+      }
+      case kTagString: {
+        const std::uint64_t len = r.read_u64("string length");
+        PNP_CHECK_MSG(
+            sd.strings_.emplace(name, r.read_string(len, "string data")).second,
+            "duplicate StateDict string entry '" << name << "'");
+        break;
+      }
+      case kTagInt: {
+        const std::int64_t v =
+            static_cast<std::int64_t>(r.read_u64("int value"));
+        PNP_CHECK_MSG(sd.ints_.emplace(name, v).second,
+                      "duplicate StateDict int entry '" << name << "'");
+        break;
+      }
+      default:
+        PNP_CHECK_MSG(false, "unknown StateDict entry tag "
+                                 << static_cast<int>(tag));
     }
-    sd.put(name, std::move(values));
   }
+  PNP_CHECK_MSG(r.at_end(), "trailing bytes after last StateDict entry");
   return sd;
 }
 
 void StateDict::save_file(const std::string& path) const {
-  std::ofstream os(path, std::ios::binary);
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
   PNP_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
   save(os);
+  os.flush();
+  PNP_CHECK_MSG(os.good(), "writing '" << path << "' failed (disk full?)");
+  os.close();
+  PNP_CHECK_MSG(!os.fail(), "closing '" << path << "' failed");
 }
 
 StateDict StateDict::load_file(const std::string& path) {

@@ -1,11 +1,13 @@
 #pragma once
 
 /// \file serialize.hpp
-/// Minimal binary (de)serialization, used for neural-network state dicts in
-/// the transfer-learning workflow (train on Haswell, reload GNN weights for
-/// Skylake — paper §IV-B).
+/// Minimal binary (de)serialization, used for neural-network state dicts
+/// and whole-tuner artifacts (train on Haswell, reload for Skylake —
+/// paper §IV-B; docs/SERVING.md documents the on-disk layout).
 ///
-/// Format: little-endian, tag/length-prefixed named f64 arrays.
+/// Format v2 ("PNPSTAT2"): little-endian, tag/length-prefixed typed
+/// entries — f64 arrays, UTF-8 strings, and signed 64-bit integers.
+/// v1 ("PNPSTAT1") files, which hold f64 arrays only, still load.
 
 #include <cstdint>
 #include <iosfwd>
@@ -15,37 +17,57 @@
 
 namespace pnp {
 
-/// Named collection of double arrays — the unit of model persistence.
+/// Named collection of double arrays, strings, and integers — the unit of
+/// model persistence. Each kind has its own namespace: an array, a string,
+/// and an int may share a name without colliding.
 class StateDict {
  public:
   /// Insert or overwrite an entry.
   void put(const std::string& name, std::vector<double> values);
+  void put_string(const std::string& name, std::string value);
+  void put_int(const std::string& name, std::int64_t value);
 
   /// True if the entry exists.
   bool contains(const std::string& name) const;
+  bool contains_string(const std::string& name) const;
+  bool contains_int(const std::string& name) const;
 
   /// Fetch an entry; throws pnp::Error if missing.
   const std::vector<double>& get(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
 
-  /// All entry names in lexicographic order.
+  /// All f64-array entry names in lexicographic order.
   std::vector<std::string> names() const;
 
+  /// Number of f64-array entries (v1-compatible notion of size).
   std::size_t size() const { return entries_.size(); }
 
-  /// Serialize to/from a binary stream. Throws pnp::Error on malformed input.
+  /// Serialize to a binary stream (always writes format v2).
   void save(std::ostream& os) const;
+
+  /// Deserialize from a binary stream; accepts v1 and v2 files. Throws
+  /// pnp::Error on any malformed input — bad magic, truncation at any
+  /// field boundary, lengths exceeding the remaining stream, duplicate
+  /// entry names, or trailing bytes after the last entry — and never
+  /// pre-allocates more memory than the stream actually provides.
   static StateDict load(std::istream& is);
 
-  /// Convenience file helpers.
+  /// Convenience file helpers. save_file flushes and verifies the stream
+  /// before returning, so a full disk is an error, not a silent
+  /// truncation.
   void save_file(const std::string& path) const;
   static StateDict load_file(const std::string& path);
 
   bool operator==(const StateDict& other) const {
-    return entries_ == other.entries_;
+    return entries_ == other.entries_ && strings_ == other.strings_ &&
+           ints_ == other.ints_;
   }
 
  private:
   std::map<std::string, std::vector<double>> entries_;
+  std::map<std::string, std::string> strings_;
+  std::map<std::string, std::int64_t> ints_;
 };
 
 }  // namespace pnp

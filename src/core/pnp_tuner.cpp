@@ -1,8 +1,10 @@
 #include "core/pnp_tuner.hpp"
 
+#include <array>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/tuner_artifact.hpp"
 #include "ir/extract.hpp"
 #include "nn/loss.hpp"
 
@@ -12,7 +14,7 @@ namespace {
 
 constexpr int kNumCounters = 5;
 
-std::vector<double> counter_values(const hw::Counters& c) {
+std::array<double, kNumCounters> counter_values(const hw::Counters& c) {
   return {c.instructions, c.l1_misses, c.l2_misses, c.l3_misses,
           c.branch_mispredictions};
 }
@@ -41,10 +43,10 @@ int PnpTuner::extra_feature_count(Mode mode) const {
   return n;
 }
 
-std::vector<double> PnpTuner::make_extra(int region,
-                                         std::optional<int> cap_index,
-                                         std::optional<double> cap_w) const {
-  std::vector<double> x;
+void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
+                          std::optional<double> cap_w,
+                          std::vector<double>& x) const {
+  x.clear();
   if (mode_ == Mode::Power) {
     if (opt_.cap_onehot) {
       PNP_CHECK(cap_index.has_value());
@@ -70,6 +72,13 @@ std::vector<double> PnpTuner::make_extra(int region,
       x.push_back(z);
     }
   }
+}
+
+std::vector<double> PnpTuner::make_extra(int region,
+                                         std::optional<int> cap_index,
+                                         std::optional<double> cap_w) const {
+  std::vector<double> x;
+  fill_extra(region, cap_index, cap_w, x);
   return x;
 }
 
@@ -117,6 +126,20 @@ sim::OmpConfig PnpTuner::decode_config(const std::vector<int>& preds,
   const int si = (flat / s.num_chunk_classes()) % s.num_schedule_classes();
   const int ti = flat / (s.num_chunk_classes() * s.num_schedule_classes());
   return s.config_from_classes(ti, si, ci);
+}
+
+std::vector<int> PnpTuner::head_layout(Mode mode) const {
+  const SearchSpace& s = db_.space();
+  const int per_cap =
+      s.num_thread_classes() * s.num_schedule_classes() * s.num_chunk_classes();
+  if (opt_.factored_heads) {
+    if (mode == Mode::Edp)
+      return {s.num_cap_classes(), s.num_thread_classes(),
+              s.num_schedule_classes(), s.num_chunk_classes()};
+    return {s.num_thread_classes(), s.num_schedule_classes(),
+            s.num_chunk_classes()};
+  }
+  return {mode == Mode::Edp ? s.num_cap_classes() * per_cap : per_cap};
 }
 
 void PnpTuner::build_model(Mode mode, const std::vector<int>& train_regions) {
@@ -169,20 +192,7 @@ void PnpTuner::build_model(Mode mode, const std::vector<int>& train_regions) {
   nc.num_bases = opt_.num_bases;
   nc.seed = opt_.seed;
 
-  const SearchSpace& s = db_.space();
-  const int per_cap =
-      s.num_thread_classes() * s.num_schedule_classes() * s.num_chunk_classes();
-  if (opt_.factored_heads) {
-    if (mode == Mode::Edp)
-      nc.head_sizes = {s.num_cap_classes(), s.num_thread_classes(),
-                       s.num_schedule_classes(), s.num_chunk_classes()};
-    else
-      nc.head_sizes = {s.num_thread_classes(), s.num_schedule_classes(),
-                       s.num_chunk_classes()};
-  } else {
-    nc.head_sizes = {mode == Mode::Edp ? s.num_cap_classes() * per_cap
-                                       : per_cap};
-  }
+  nc.head_sizes = head_layout(mode);
 
   net_ = std::make_unique<nn::RgcnNet>(nc);
   if (pending_gnn_.has_value()) {
@@ -283,6 +293,73 @@ PnpTuner::JointChoice PnpTuner::predict_edp(int region) const {
     jc.cfg = decode_config(preds, 0);
   }
   return jc;
+}
+
+void PnpTuner::save(const std::string& path) const {
+  PNP_CHECK_MSG(net_ != nullptr && mode_ != Mode::None,
+                "no trained model to save — run train_*_scenario first");
+  TunerArtifact art;
+  art.set_options(opt_);
+  art.mode = mode_ == Mode::Power ? TunerArtifact::Mode::Power
+                                  : TunerArtifact::Mode::Edp;
+  art.vocab_tokens.reserve(static_cast<std::size_t>(vocab_.size()) - 1);
+  for (int id = 1; id < vocab_.size(); ++id)
+    art.vocab_tokens.push_back(vocab_.token(id));
+  art.counter_mean = counter_mean_;
+  art.counter_std = counter_std_;
+  art.head_sizes = net_->config().head_sizes;
+  art.extra_features = net_->config().extra_features;
+  art.net_weights = net_->state_dict();
+  art.save_file(path);
+}
+
+PnpTuner PnpTuner::load(const MeasurementDb& db, const std::string& path) {
+  const TunerArtifact art = TunerArtifact::load_file(path);
+  PnpTuner tuner(db, art.options());
+  tuner.restore(art);
+  return tuner;
+}
+
+void PnpTuner::restore(const TunerArtifact& art) {
+  mode_ = art.mode == TunerArtifact::Mode::Power ? Mode::Power : Mode::Edp;
+  vocab_ = art.make_vocab();
+  tensors_.clear();
+  tensors_.reserve(graphs_.size());
+  for (const auto& g : graphs_) tensors_.push_back(graph::to_tensors(g, vocab_));
+
+  counter_mean_ = art.counter_mean;
+  counter_std_ = art.counter_std;
+  if (opt_.use_counters)
+    PNP_CHECK_MSG(counter_mean_.size() == kNumCounters,
+                  "artifact stores " << counter_mean_.size()
+                                     << " counter stats, expected "
+                                     << kNumCounters);
+
+  // The artifact's classifier layout must agree with this db's search
+  // space — loading a tuner against an incompatible machine is an error,
+  // not a silent misprediction (cross-machine reuse goes through
+  // import_gnn instead).
+  PNP_CHECK_MSG(art.head_sizes == head_layout(mode_),
+                "artifact head layout does not match this measurement db's "
+                "search space");
+  PNP_CHECK_MSG(art.extra_features == extra_feature_count(mode_),
+                "artifact extra-feature count " << art.extra_features
+                                                << " does not match this "
+                                                   "db/options layout");
+
+  nn::RgcnNetConfig nc;
+  nc.vocab_size = vocab_.size();
+  nc.emb_dim = opt_.emb_dim;
+  nc.rgcn_layers = opt_.rgcn_layers;
+  nc.hidden = opt_.hidden;
+  nc.dense_hidden1 = opt_.dense_hidden1;
+  nc.dense_hidden2 = opt_.dense_hidden2;
+  nc.extra_features = art.extra_features;
+  nc.num_bases = opt_.num_bases;
+  nc.seed = opt_.seed;
+  nc.head_sizes = art.head_sizes;
+  net_ = std::make_unique<nn::RgcnNet>(nc);
+  net_->load_state_dict(art.net_weights);
 }
 
 StateDict PnpTuner::state() const {

@@ -29,7 +29,13 @@
 #include "nn/rgcn_net.hpp"
 #include "nn/trainer.hpp"
 
+namespace pnp::serve {
+class InferenceEngine;
+}
+
 namespace pnp::core {
+
+struct TunerArtifact;
 
 struct PnpOptions {
   // Feature variants.
@@ -65,6 +71,10 @@ class PnpTuner {
   /// Builds flow graphs for every region in `db` (extract → PROGRAML).
   PnpTuner(const MeasurementDb& db, PnpOptions options);
 
+  /// Which scenario the tuner was trained (or loaded) for.
+  enum class Mode { None, Power, Edp };
+  Mode mode() const { return mode_; }
+
   // --- Scenario 1: power-constrained tuning -------------------------------
   /// Train on the given region indices; labels are the db's best-by-time
   /// candidates per cap.
@@ -84,6 +94,20 @@ class PnpTuner {
   };
   JointChoice predict_edp(int region) const;
 
+  // --- Persistence ----------------------------------------------------------
+  /// Write the full trained tuner — options, vocabulary, counter stats,
+  /// mode, head layout, and all net weights — as a versioned artifact
+  /// (docs/SERVING.md). Throws if no scenario has been trained.
+  void save(const std::string& path) const;
+
+  /// Reload a saved tuner against a measurement db with a compatible
+  /// search space. Predictions are bit-identical to the tuner that was
+  /// saved. Throws pnp::Error on malformed or incompatible artifacts.
+  static PnpTuner load(const MeasurementDb& db, const std::string& path);
+
+  /// The training vocabulary (valid after train_* or load()).
+  const graph::Vocabulary& vocab() const { return vocab_; }
+
   // --- Transfer learning ----------------------------------------------------
   /// GNN-stage weights of the trained model.
   StateDict state() const;
@@ -98,11 +122,21 @@ class PnpTuner {
   const MeasurementDb& db() const { return db_; }
 
  private:
-  enum class Mode { None, Power, Edp };
+  // The batched inference fast path reuses the tuner's private caches and
+  // decode helpers without widening the public API.
+  friend class pnp::serve::InferenceEngine;
 
+  /// make_extra into a caller-owned buffer (no allocation once the
+  /// buffer's capacity is warm) — the serving fast path.
+  void fill_extra(int region, std::optional<int> cap_index,
+                  std::optional<double> cap_w, std::vector<double>& x) const;
   std::vector<double> make_extra(int region, std::optional<int> cap_index,
                                  std::optional<double> cap_w) const;
   int extra_feature_count(Mode mode) const;
+  /// Classifier head layout for a mode under this db's search space.
+  std::vector<int> head_layout(Mode mode) const;
+  /// Restore trained state from a loaded artifact (load() helper).
+  void restore(const TunerArtifact& art);
   std::vector<int> power_labels(int region, int cap) const;
   std::vector<int> edp_labels(int region) const;
   sim::OmpConfig decode_config(const std::vector<int>& preds, int base) const;

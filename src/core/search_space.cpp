@@ -18,12 +18,13 @@ SearchSpace SearchSpace::for_machine(const hw::MachineModel& m) {
     s.threads_ = {1, 2, 4, 8, 16, 32};
     s.caps_ = {40.0, 60.0, 70.0, 85.0};
   } else {
-    // Generic machine: powers of two up to max threads; caps spanning
-    // [min_cap, tdp] in four steps.
+    // Generic machine: powers of two up to max threads (at most 6 thread
+    // classes including max_threads itself); caps spanning [min_cap, tdp]
+    // in four steps.
     int t = 1;
     while (t < m.max_threads() && s.threads_.size() < 5) {
       s.threads_.push_back(t);
-      t *= 4;
+      t *= 2;
     }
     s.threads_.push_back(m.max_threads());
     const double lo = m.min_cap_w, hi = m.tdp_w;
@@ -84,6 +85,7 @@ int SearchSpace::thread_class(int threads) const {
   for (std::size_t i = 0; i < threads_.size(); ++i)
     if (threads_[i] == threads) return static_cast<int>(i);
   PNP_CHECK_MSG(false, "thread count " << threads << " not in search space");
+  throw Error("unreachable");  // PNP_CHECK_MSG(false, …) always throws
 }
 
 int SearchSpace::chunk_class(int chunk) const {
@@ -91,6 +93,7 @@ int SearchSpace::chunk_class(int chunk) const {
   for (std::size_t i = 0; i < chunks_.size(); ++i)
     if (chunks_[i] == chunk) return static_cast<int>(i) + 1;
   PNP_CHECK_MSG(false, "chunk " << chunk << " not in search space");
+  throw Error("unreachable");
 }
 
 sim::OmpConfig SearchSpace::config_from_classes(int thread_cls, int sched_cls,
@@ -109,6 +112,7 @@ int SearchSpace::cap_index(double cap_w) const {
   for (std::size_t i = 0; i < caps_.size(); ++i)
     if (std::abs(caps_[i] - cap_w) < 1e-9) return static_cast<int>(i);
   PNP_CHECK_MSG(false, "cap " << cap_w << " W not in search space");
+  throw Error("unreachable");
 }
 
 }  // namespace pnp::core

@@ -1,0 +1,250 @@
+#include "core/tuner_artifact.hpp"
+
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/pnp_tuner.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+constexpr const char* kNetPrefix = "net.";
+
+double get_scalar(const StateDict& sd, const std::string& name) {
+  const auto& v = sd.get(name);
+  PNP_CHECK_MSG(v.size() == 1,
+                "artifact entry '" << name << "' must hold exactly one value");
+  return v[0];
+}
+
+std::vector<int> get_int_array(const StateDict& sd, const std::string& name) {
+  std::vector<int> out;
+  for (double d : sd.get(name)) {
+    // Range-check before the cast: float→int conversion of an
+    // unrepresentable value (1e300, NaN) is undefined behavior.
+    PNP_CHECK_MSG(std::isfinite(d) && d >= -2147483648.0 &&
+                      d < 2147483648.0 && d == std::floor(d),
+                  "artifact entry '" << name
+                                     << "' holds a non-integer value");
+    out.push_back(static_cast<int>(d));
+  }
+  return out;
+}
+
+std::vector<double> to_doubles(const std::vector<int>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+}  // namespace
+
+void TunerArtifact::set_options(const PnpOptions& o) {
+  opt_use_counters = o.use_counters;
+  opt_cap_onehot = o.cap_onehot;
+  opt_factored_heads = o.factored_heads;
+  opt_emb_dim = o.emb_dim;
+  opt_rgcn_layers = o.rgcn_layers;
+  opt_hidden = o.hidden;
+  opt_dense_hidden1 = o.dense_hidden1;
+  opt_dense_hidden2 = o.dense_hidden2;
+  opt_num_bases = o.num_bases;
+  opt_use_adamw = o.use_adamw;
+  opt_lr = o.lr;
+  opt_weight_decay = o.weight_decay;
+  opt_train_cap_indices = o.train_cap_indices;
+  opt_seed = o.seed;
+  opt_trainer_max_epochs = o.trainer.max_epochs;
+  opt_trainer_batch_size = o.trainer.batch_size;
+  opt_trainer_patience = o.trainer.patience;
+  opt_trainer_min_loss = o.trainer.min_loss;
+  opt_trainer_seed = o.trainer.seed;
+}
+
+PnpOptions TunerArtifact::options() const {
+  PnpOptions o;
+  o.use_counters = opt_use_counters;
+  o.cap_onehot = opt_cap_onehot;
+  o.factored_heads = opt_factored_heads;
+  o.emb_dim = opt_emb_dim;
+  o.rgcn_layers = opt_rgcn_layers;
+  o.hidden = opt_hidden;
+  o.dense_hidden1 = opt_dense_hidden1;
+  o.dense_hidden2 = opt_dense_hidden2;
+  o.num_bases = opt_num_bases;
+  o.use_adamw = opt_use_adamw;
+  o.lr = opt_lr;
+  o.weight_decay = opt_weight_decay;
+  o.train_cap_indices = opt_train_cap_indices;
+  o.seed = opt_seed;
+  o.trainer.max_epochs = opt_trainer_max_epochs;
+  o.trainer.batch_size = opt_trainer_batch_size;
+  o.trainer.patience = opt_trainer_patience;
+  o.trainer.min_loss = opt_trainer_min_loss;
+  o.trainer.seed = opt_trainer_seed;
+  return o;
+}
+
+graph::Vocabulary TunerArtifact::make_vocab() const {
+  graph::Vocabulary v;
+  for (const auto& tok : vocab_tokens) v.add(tok);
+  PNP_CHECK_MSG(v.size() == static_cast<int>(vocab_tokens.size()) + 1,
+                "artifact vocabulary contains duplicate tokens");
+  return v;
+}
+
+StateDict TunerArtifact::to_state_dict() const {
+  StateDict sd;
+  sd.put_string("artifact.kind", kKind);
+  sd.put_int("artifact.version", kFormatVersion);
+  sd.put_int("tuner.mode", static_cast<int>(mode));
+
+  sd.put_int("opt.use_counters", opt_use_counters ? 1 : 0);
+  sd.put_int("opt.cap_onehot", opt_cap_onehot ? 1 : 0);
+  sd.put_int("opt.factored_heads", opt_factored_heads ? 1 : 0);
+  sd.put_int("opt.emb_dim", opt_emb_dim);
+  sd.put_int("opt.rgcn_layers", opt_rgcn_layers);
+  sd.put_int("opt.hidden", opt_hidden);
+  sd.put_int("opt.dense_hidden1", opt_dense_hidden1);
+  sd.put_int("opt.dense_hidden2", opt_dense_hidden2);
+  sd.put_int("opt.num_bases", opt_num_bases);
+  sd.put_int("opt.use_adamw", opt_use_adamw ? 1 : 0);
+  sd.put("opt.lr", {opt_lr});
+  sd.put("opt.weight_decay", {opt_weight_decay});
+  sd.put("opt.train_cap_indices", to_doubles(opt_train_cap_indices));
+  sd.put_int("opt.seed", static_cast<std::int64_t>(opt_seed));
+  sd.put_int("opt.trainer.max_epochs", opt_trainer_max_epochs);
+  sd.put_int("opt.trainer.batch_size", opt_trainer_batch_size);
+  sd.put_int("opt.trainer.patience", opt_trainer_patience);
+  sd.put("opt.trainer.min_loss", {opt_trainer_min_loss});
+  sd.put_int("opt.trainer.seed", static_cast<std::int64_t>(opt_trainer_seed));
+
+  std::string joined;
+  for (std::size_t i = 0; i < vocab_tokens.size(); ++i) {
+    const std::string& tok = vocab_tokens[i];
+    PNP_CHECK_MSG(!tok.empty() && tok.find('\n') == std::string::npos,
+                  "vocabulary token " << i << " is empty or contains '\\n'");
+    if (i) joined += '\n';
+    joined += tok;
+  }
+  sd.put_int("vocab.count", static_cast<std::int64_t>(vocab_tokens.size()));
+  sd.put_string("vocab.tokens", joined);
+
+  sd.put("norm.counter_mean", counter_mean);
+  sd.put("norm.counter_std", counter_std);
+
+  sd.put("model.head_sizes", to_doubles(head_sizes));
+  sd.put_int("model.extra_features", extra_features);
+  sd.put_int("model.vocab_size",
+             static_cast<std::int64_t>(vocab_tokens.size()) + 1);
+
+  for (const auto& name : net_weights.names())
+    sd.put(kNetPrefix + name, net_weights.get(name));
+  return sd;
+}
+
+TunerArtifact TunerArtifact::from_state_dict(const StateDict& sd) {
+  PNP_CHECK_MSG(sd.contains_string("artifact.kind") &&
+                    sd.get_string("artifact.kind") == kKind,
+                "not a pnp-tuner artifact");
+  const std::int64_t version = sd.get_int("artifact.version");
+  PNP_CHECK_MSG(version >= 1 && version <= kFormatVersion,
+                "unsupported artifact version " << version << " (this build "
+                "understands <= " << kFormatVersion << ")");
+
+  TunerArtifact a;
+  a.version = version;
+  const std::int64_t mode = sd.get_int("tuner.mode");
+  PNP_CHECK_MSG(mode == 1 || mode == 2,
+                "artifact holds no trained scenario (mode " << mode << ")");
+  a.mode = static_cast<Mode>(mode);
+
+  a.opt_use_counters = sd.get_int("opt.use_counters") != 0;
+  a.opt_cap_onehot = sd.get_int("opt.cap_onehot") != 0;
+  a.opt_factored_heads = sd.get_int("opt.factored_heads") != 0;
+  // Network dimensions feed allocations at RgcnNet construction; bound
+  // them here so a crafted artifact fails with pnp::Error, not bad_alloc.
+  const auto checked_dim = [&sd](const char* name, std::int64_t lo) {
+    const std::int64_t v = sd.get_int(name);
+    PNP_CHECK_MSG(v >= lo && v <= (1 << 16),
+                  "artifact option " << name << " out of range: " << v);
+    return static_cast<int>(v);
+  };
+  a.opt_emb_dim = checked_dim("opt.emb_dim", 1);
+  a.opt_rgcn_layers = checked_dim("opt.rgcn_layers", 1);
+  a.opt_hidden = checked_dim("opt.hidden", 1);
+  a.opt_dense_hidden1 = checked_dim("opt.dense_hidden1", 1);
+  a.opt_dense_hidden2 = checked_dim("opt.dense_hidden2", 1);
+  a.opt_num_bases = checked_dim("opt.num_bases", 0);
+  a.opt_use_adamw = sd.get_int("opt.use_adamw") != 0;
+  a.opt_lr = get_scalar(sd, "opt.lr");
+  a.opt_weight_decay = get_scalar(sd, "opt.weight_decay");
+  a.opt_train_cap_indices = get_int_array(sd, "opt.train_cap_indices");
+  a.opt_seed = static_cast<std::uint64_t>(sd.get_int("opt.seed"));
+  a.opt_trainer_max_epochs =
+      static_cast<int>(sd.get_int("opt.trainer.max_epochs"));
+  a.opt_trainer_batch_size =
+      static_cast<int>(sd.get_int("opt.trainer.batch_size"));
+  a.opt_trainer_patience = static_cast<int>(sd.get_int("opt.trainer.patience"));
+  a.opt_trainer_min_loss = get_scalar(sd, "opt.trainer.min_loss");
+  a.opt_trainer_seed =
+      static_cast<std::uint64_t>(sd.get_int("opt.trainer.seed"));
+
+  const std::int64_t vocab_count = sd.get_int("vocab.count");
+  PNP_CHECK_MSG(vocab_count >= 0 && vocab_count < (1LL << 32),
+                "unreasonable vocabulary count " << vocab_count);
+  const std::string& joined = sd.get_string("vocab.tokens");
+  if (vocab_count > 0) {
+    std::size_t start = 0;
+    for (std::int64_t i = 0; i < vocab_count; ++i) {
+      const std::size_t end = joined.find('\n', start);
+      const bool last = i + 1 == vocab_count;
+      PNP_CHECK_MSG(last ? end == std::string::npos : end != std::string::npos,
+                    "vocab.tokens holds a different token count than "
+                    "vocab.count");
+      const std::string tok = joined.substr(
+          start, last ? std::string::npos : end - start);
+      PNP_CHECK_MSG(!tok.empty(), "empty vocabulary token " << i);
+      a.vocab_tokens.push_back(tok);
+      start = end + 1;
+    }
+  } else {
+    PNP_CHECK_MSG(joined.empty(),
+                  "vocab.tokens non-empty but vocab.count is zero");
+  }
+  PNP_CHECK_MSG(sd.get_int("model.vocab_size") == vocab_count + 1,
+                "model.vocab_size disagrees with vocab.count");
+
+  a.counter_mean = sd.get("norm.counter_mean");
+  a.counter_std = sd.get("norm.counter_std");
+  PNP_CHECK_MSG(a.counter_mean.size() == a.counter_std.size(),
+                "counter mean/std length mismatch");
+  PNP_CHECK_MSG(!a.opt_use_counters || !a.counter_mean.empty(),
+                "counters enabled but no normalization stats stored");
+
+  a.head_sizes = get_int_array(sd, "model.head_sizes");
+  PNP_CHECK_MSG(!a.head_sizes.empty(), "artifact has no classifier heads");
+  for (int h : a.head_sizes)
+    PNP_CHECK_MSG(h > 0 && h <= (1 << 20),
+                  "classifier head size out of range: " << h);
+  a.extra_features = static_cast<int>(sd.get_int("model.extra_features"));
+  PNP_CHECK_MSG(a.extra_features >= 0 && a.extra_features <= (1 << 20),
+                "extra-feature count out of range: " << a.extra_features);
+
+  const std::string prefix = kNetPrefix;
+  for (const auto& name : sd.names())
+    if (name.rfind(prefix, 0) == 0)
+      a.net_weights.put(name.substr(prefix.size()), sd.get(name));
+  PNP_CHECK_MSG(a.net_weights.size() > 0, "artifact has no network weights");
+  return a;
+}
+
+void TunerArtifact::save_file(const std::string& path) const {
+  to_state_dict().save_file(path);
+}
+
+TunerArtifact TunerArtifact::load_file(const std::string& path) {
+  return from_state_dict(StateDict::load_file(path));
+}
+
+}  // namespace pnp::core

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file tuner_artifact.hpp
+/// The versioned on-disk form of a trained PnP tuner — everything needed
+/// to reload it in a fresh process and serve bit-identical predictions:
+/// PnpOptions, the training vocabulary, counter normalization statistics,
+/// the trained scenario (mode), the classifier head layout, and all
+/// network weights. See docs/SERVING.md for the byte-level layout and the
+/// compatibility rules.
+///
+/// The artifact is stored as a single v2 StateDict file whose metadata
+/// lives in string/int entries ("artifact.*", "opt.*", "vocab.*",
+/// "model.*", "norm.*") and whose network weights carry a "net." prefix.
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.hpp"
+#include "graph/vocab.hpp"
+
+namespace pnp::core {
+
+struct PnpOptions;
+
+struct TunerArtifact {
+  /// Bumped when the artifact layout changes incompatibly; loaders reject
+  /// files with a newer version than they understand.
+  static constexpr std::int64_t kFormatVersion = 1;
+  static constexpr const char* kKind = "pnp-tuner";
+
+  /// Mirrors PnpTuner's private mode enum (0 = none is rejected on save).
+  enum class Mode : int { None = 0, Power = 1, Edp = 2 };
+
+  /// The format version actually stored in the loaded file (≤
+  /// kFormatVersion); kFormatVersion for artifacts built in-process.
+  std::int64_t version = kFormatVersion;
+  Mode mode = Mode::None;
+  /// Vocabulary tokens for ids 1..size-1, in id order (id 0 is the
+  /// implicit OOV bucket). Tokens must not contain '\n'.
+  std::vector<std::string> vocab_tokens;
+  std::vector<double> counter_mean, counter_std;  ///< empty unless counters
+  std::vector<int> head_sizes;
+  int extra_features = 0;
+  StateDict net_weights;  ///< unprefixed RgcnNet parameter names
+
+  // PnpOptions is round-tripped field by field (see tuner_artifact.cpp);
+  // the struct itself is stored here for symmetric save/load code.
+  bool opt_use_counters = false;
+  bool opt_cap_onehot = true;
+  bool opt_factored_heads = true;
+  int opt_emb_dim = 0;
+  int opt_rgcn_layers = 0;
+  int opt_hidden = 0;
+  int opt_dense_hidden1 = 0;
+  int opt_dense_hidden2 = 0;
+  int opt_num_bases = 0;
+  bool opt_use_adamw = true;
+  double opt_lr = 0.0;
+  double opt_weight_decay = 0.0;
+  std::vector<int> opt_train_cap_indices;
+  std::uint64_t opt_seed = 0;
+  int opt_trainer_max_epochs = 0;
+  int opt_trainer_batch_size = 0;
+  int opt_trainer_patience = 0;
+  double opt_trainer_min_loss = 0.0;
+  std::uint64_t opt_trainer_seed = 0;
+
+  /// Capture/restore the option block.
+  void set_options(const PnpOptions& o);
+  PnpOptions options() const;
+
+  /// Rebuild the vocabulary (token ids identical to the one serialized).
+  graph::Vocabulary make_vocab() const;
+
+  /// Pack into / unpack from a StateDict. from_state_dict validates the
+  /// kind, version, and internal consistency and throws pnp::Error on any
+  /// violation.
+  StateDict to_state_dict() const;
+  static TunerArtifact from_state_dict(const StateDict& sd);
+
+  /// File round-trip through the hardened StateDict reader/writer.
+  void save_file(const std::string& path) const;
+  static TunerArtifact load_file(const std::string& path);
+};
+
+}  // namespace pnp::core

@@ -1,0 +1,160 @@
+#include "serve/inference_engine.hpp"
+
+#ifdef PNP_PARALLEL
+#include <omp.h>
+#endif
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+
+namespace pnp::serve {
+
+namespace {
+
+int worker_count() {
+#ifdef PNP_PARALLEL
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const core::MeasurementDb& db,
+                                 const std::string& path)
+    : InferenceEngine(core::PnpTuner::load(db, path)) {}
+
+InferenceEngine::InferenceEngine(core::PnpTuner tuner)
+    : tuner_(std::move(tuner)) {
+  PNP_CHECK_MSG(tuner_.net_ != nullptr && tuner_.mode_ != core::PnpTuner::Mode::None,
+                "InferenceEngine needs a trained or loaded tuner");
+  scratch_.resize(static_cast<std::size_t>(worker_count()));
+}
+
+void InferenceEngine::validate_region(int region) const {
+  PNP_CHECK_MSG(region >= 0 && region < tuner_.db_.num_regions(),
+                "region " << region << " out of range [0, "
+                          << tuner_.db_.num_regions() << ")");
+}
+
+void InferenceEngine::ensure_encoded(std::span<const int> regions) {
+  // The OpenMP thread count may have been raised since construction
+  // (omp_set_num_threads); re-size the per-thread scratch at this serial
+  // point so the dense phase never indexes past it.
+  if (scratch_.size() < static_cast<std::size_t>(worker_count()))
+    scratch_.resize(static_cast<std::size_t>(worker_count()));
+  // Validate the whole batch before touching the cache: a reserved slot
+  // for a region that never gets encoded would poison every later query.
+  for (int r : regions) validate_region(r);
+  pending_.clear();
+  for (int r : regions) {
+    // try_emplace both dedupes the work list and reserves the cache slot;
+    // unordered_map references stay valid across later insertions.
+    if (enc_.try_emplace(r).second) pending_.push_back(r);
+  }
+  if (pending_.empty()) return;
+  const auto encode_one = [this](int r) {
+    tuner_.net_->encode_into(
+        tuner_.tensors_[static_cast<std::size_t>(r)], enc_.find(r)->second);
+  };
+#ifdef PNP_PARALLEL
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t i = 0; i < pending_.size(); ++i) encode_one(pending_[i]);
+#else
+  for (int r : pending_) encode_one(r);
+#endif
+}
+
+void InferenceEngine::run_heads(int region, std::optional<int> cap_index,
+                                Scratch& s) {
+  tuner_.fill_extra(region, cap_index, std::nullopt, s.extra);
+  const nn::RgcnNet& net = *tuner_.net_;
+  net.dense_forward_into(enc_.find(region)->second.readout, s.extra, s.dc);
+  s.preds.clear();
+  const int heads = static_cast<int>(net.config().head_sizes.size());
+  for (int h = 0; h < heads; ++h)
+    s.preds.push_back(nn::argmax_index(net.head_logits(s.dc, h)));
+}
+
+sim::OmpConfig InferenceEngine::predict_power(int region, int cap_index) {
+  const PowerQuery q{region, cap_index};
+  return predict_power_batch(std::span<const PowerQuery>(&q, 1))[0];
+}
+
+core::PnpTuner::JointChoice InferenceEngine::predict_edp(int region) {
+  return predict_edp_batch(std::span<const int>(&region, 1))[0];
+}
+
+std::vector<sim::OmpConfig> InferenceEngine::predict_power_batch(
+    std::span<const PowerQuery> queries) {
+  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Power,
+                "engine serves an EDP model; use predict_edp_batch");
+  const int num_caps = tuner_.db_.num_caps();
+  regions_buf_.clear();
+  regions_buf_.reserve(queries.size());
+  for (const PowerQuery& q : queries) {
+    PNP_CHECK_MSG(q.cap_index >= 0 && q.cap_index < num_caps,
+                  "cap index " << q.cap_index << " out of range [0, "
+                               << num_caps << ")");
+    regions_buf_.push_back(q.region);
+  }
+  ensure_encoded(regions_buf_);
+
+  std::vector<sim::OmpConfig> out(queries.size());
+  // Queries are independent and each writes its own slot, so the parallel
+  // path is bit-identical to the serial one.
+#ifdef PNP_PARALLEL
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Scratch& s = scratch_[static_cast<std::size_t>(omp_get_thread_num())];
+    run_heads(queries[i].region, queries[i].cap_index, s);
+    out[i] = tuner_.decode_config(s.preds, 0);
+  }
+#else
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    Scratch& s = scratch_[0];
+    run_heads(queries[i].region, queries[i].cap_index, s);
+    out[i] = tuner_.decode_config(s.preds, 0);
+  }
+#endif
+  return out;
+}
+
+std::vector<core::PnpTuner::JointChoice> InferenceEngine::predict_edp_batch(
+    std::span<const int> regions) {
+  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Edp,
+                "engine serves a power-scenario model; use "
+                "predict_power_batch");
+  ensure_encoded(regions);
+
+  const core::SearchSpace& space = tuner_.db_.space();
+  const int per_cap = space.num_thread_classes() *
+                      space.num_schedule_classes() * space.num_chunk_classes();
+  const auto decode_one = [&](int region, Scratch& s) {
+    run_heads(region, std::nullopt, s);
+    core::PnpTuner::JointChoice jc;
+    if (tuner_.opt_.factored_heads) {
+      jc.cap_index = s.preds[0];
+      jc.cfg = tuner_.decode_config(s.preds, 1);
+    } else {
+      jc.cap_index = s.preds[0] / per_cap;
+      jc.cfg = tuner_.decode_config(s.preds, 0);
+    }
+    return jc;
+  };
+
+  std::vector<core::PnpTuner::JointChoice> out(regions.size());
+#ifdef PNP_PARALLEL
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    out[i] = decode_one(
+        regions[i], scratch_[static_cast<std::size_t>(omp_get_thread_num())]);
+#else
+  for (std::size_t i = 0; i < regions.size(); ++i)
+    out[i] = decode_one(regions[i], scratch_[0]);
+#endif
+  return out;
+}
+
+}  // namespace pnp::serve

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file inference_engine.hpp
+/// Batched inference over a trained (usually reloaded) PnP tuner — the
+/// serving half of the paper's train-once, predict-anywhere deployment
+/// story (§IV-B). The engine owns the tuner and answers predict_power /
+/// predict_edp for batches of queries:
+///
+///  - each distinct region graph is encoded through the GNN at most once
+///    and the encoding is cached across batches (weights are immutable
+///    while serving, so encodings never go stale);
+///  - every per-query buffer (dense workspace, extra features, argmax
+///    scratch) is reused, so steady-state serving does zero heap
+///    allocation;
+///  - under PNP_PARALLEL the encode and dense phases run query-parallel
+///    with per-thread scratch, bit-identical to the serial path.
+///
+/// See docs/SERVING.md for the end-to-end flow (pnp_tune CLI → artifact →
+/// engine).
+
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pnp_tuner.hpp"
+
+namespace pnp::serve {
+
+/// One scenario-1 query: the best OpenMP configuration for `region` under
+/// power cap `cap_index`.
+struct PowerQuery {
+  int region = 0;
+  int cap_index = 0;
+};
+
+class InferenceEngine {
+ public:
+  /// Serve the artifact at `path` against `db` (the fresh-process entry:
+  /// load + validate + ready to predict). Throws pnp::Error on malformed
+  /// or incompatible artifacts.
+  InferenceEngine(const core::MeasurementDb& db, const std::string& path);
+
+  /// Adopt an already-trained or already-loaded tuner.
+  explicit InferenceEngine(core::PnpTuner tuner);
+
+  const core::PnpTuner& tuner() const { return tuner_; }
+
+  /// Single-query predictions; bit-identical to PnpTuner::predict_* but
+  /// allocation-free in steady state.
+  sim::OmpConfig predict_power(int region, int cap_index);
+  core::PnpTuner::JointChoice predict_edp(int region);
+
+  /// Batched predictions, one result per query in query order.
+  /// Bit-identical to calling the single-query APIs one by one.
+  std::vector<sim::OmpConfig> predict_power_batch(
+      std::span<const PowerQuery> queries);
+  std::vector<core::PnpTuner::JointChoice> predict_edp_batch(
+      std::span<const int> regions);
+
+  /// Number of region encodings currently cached.
+  std::size_t cached_encodings() const { return enc_.size(); }
+
+ private:
+  /// Per-thread dense-phase scratch (index 0 serves the serial path).
+  struct Scratch {
+    nn::RgcnNet::DenseCache dc;
+    std::vector<double> extra;
+    std::vector<int> preds;
+  };
+
+  void validate_region(int region) const;
+  /// Encode any not-yet-cached regions of the batch (parallel when built
+  /// with PNP_PARALLEL).
+  void ensure_encoded(std::span<const int> regions);
+  /// Dense pass + argmax for one query using `s`'s buffers; fills s.preds.
+  void run_heads(int region, std::optional<int> cap_index, Scratch& s);
+
+  core::PnpTuner tuner_;
+  std::unordered_map<int, nn::RgcnNet::GnnCache> enc_;
+  std::vector<Scratch> scratch_;
+  std::vector<int> pending_;      ///< ensure_encoded work list (reused)
+  std::vector<int> regions_buf_;  ///< per-batch region-id staging (reused)
+};
+
+}  // namespace pnp::serve

@@ -91,6 +91,34 @@ TEST(SearchSpace, ClassCodecs) {
   EXPECT_EQ(s.cap_index(70.0), 2);
 }
 
+TEST(SearchSpace, GenericMachineThreadsArePowersOfTwoNoDuplicates) {
+  // The generic branch promises powers of two up to max_threads, at most
+  // 6 thread classes, strictly increasing and duplicate-free.
+  for (const int max_threads : {1, 2, 3, 4, 48, 64}) {
+    SCOPED_TRACE(max_threads);
+    hw::MachineModel m = hw::MachineModel::haswell();
+    m.name = "generic-test-machine";
+    m.sockets = 1;
+    m.smt_per_core = 1;
+    m.cores_per_socket = max_threads;
+    ASSERT_EQ(m.max_threads(), max_threads);
+
+    const auto s = SearchSpace::for_machine(m);
+    const auto& t = s.thread_values();
+    ASSERT_FALSE(t.empty());
+    EXPECT_LE(t.size(), 6u);
+    EXPECT_EQ(t.front(), 1);
+    EXPECT_EQ(t.back(), max_threads);
+    for (std::size_t i = 1; i < t.size(); ++i)
+      EXPECT_LT(t[i - 1], t[i]) << "not strictly increasing at " << i;
+    for (std::size_t i = 0; i + 1 < t.size(); ++i)
+      EXPECT_EQ(t[i] & (t[i] - 1), 0) << t[i] << " is not a power of two";
+    // thread_class must round-trip every value in the generic space too.
+    for (std::size_t i = 0; i < t.size(); ++i)
+      EXPECT_EQ(s.thread_class(t[i]), static_cast<int>(i));
+  }
+}
+
 TEST(Metrics, Definitions) {
   EXPECT_DOUBLE_EQ(speedup(2.0, 1.0), 2.0);
   EXPECT_DOUBLE_EQ(greenup(100.0, 50.0), 2.0);

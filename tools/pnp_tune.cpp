@@ -1,0 +1,189 @@
+/// \file pnp_tune.cpp
+/// End-to-end CLI for the persistence + serving workflow (docs/SERVING.md):
+///
+///   pnp_tune train   --machine haswell --scenario power --out model.pnp
+///                    [--epochs N] [--predictions preds.txt]
+///   pnp_tune predict --machine haswell --model model.pnp
+///                    [--predictions preds.txt]
+///   pnp_tune info    --model model.pnp
+///
+/// `train` trains a tuner on every region of the machine's measurement db,
+/// saves the versioned artifact, and dumps the model's predictions for the
+/// whole (region × cap) grid. `predict` reloads the artifact in a fresh
+/// process and dumps the same grid through the batched InferenceEngine —
+/// the two dumps must be byte-identical (CI diffs them). `info` prints the
+/// artifact metadata without needing a measurement db.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/tuner_artifact.hpp"
+#include "serve/inference_engine.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string machine = "haswell";
+  std::string scenario = "power";
+  std::string model_path;
+  std::string predictions_path;  // empty = stdout
+  int epochs = 12;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s train   --machine haswell|skylake --scenario power|edp\n"
+               "             --out MODEL [--epochs N] [--predictions FILE]\n"
+               "  %s predict --machine haswell|skylake --model MODEL\n"
+               "             [--predictions FILE]\n"
+               "  %s info    --model MODEL\n",
+               argv0, argv0, argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--machine") a.machine = value();
+    else if (flag == "--scenario") a.scenario = value();
+    else if (flag == "--out" || flag == "--model") a.model_path = value();
+    else if (flag == "--predictions") a.predictions_path = value();
+    else if (flag == "--epochs") a.epochs = std::stoi(value());
+    else usage(argv[0]);
+  }
+  return a;
+}
+
+hw::MachineModel machine_for(const std::string& name) {
+  if (name == "haswell") return hw::MachineModel::haswell();
+  if (name == "skylake") return hw::MachineModel::skylake();
+  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+/// Dump predictions over the full query grid in a stable text format —
+/// the train-process and fresh-process outputs are diffed byte for byte.
+void dump_predictions(serve::InferenceEngine& engine, std::ostream& os) {
+  const core::MeasurementDb& db = engine.tuner().db();
+  if (engine.tuner().mode() == core::PnpTuner::Mode::Power) {
+    std::vector<serve::PowerQuery> queries;
+    for (int r = 0; r < db.num_regions(); ++r)
+      for (int k = 0; k < db.num_caps(); ++k) queries.push_back({r, k});
+    const auto configs = engine.predict_power_batch(queries);
+    for (std::size_t i = 0; i < queries.size(); ++i)
+      os << "region=" << queries[i].region << " cap=" << queries[i].cap_index
+         << " " << configs[i].to_string() << "\n";
+  } else {
+    std::vector<int> regions;
+    for (int r = 0; r < db.num_regions(); ++r) regions.push_back(r);
+    const auto choices = engine.predict_edp_batch(regions);
+    for (std::size_t i = 0; i < regions.size(); ++i)
+      os << "region=" << regions[i] << " cap*=" << choices[i].cap_index << " "
+         << choices[i].cfg.to_string() << "\n";
+  }
+}
+
+void dump_to(serve::InferenceEngine& engine, const std::string& path) {
+  if (path.empty()) {
+    dump_predictions(engine, std::cout);
+    return;
+  }
+  std::ofstream os(path);
+  PNP_CHECK_MSG(os.is_open(), "cannot open '" << path << "' for writing");
+  dump_predictions(engine, os);
+  os.flush();
+  PNP_CHECK_MSG(os.good(), "writing '" << path << "' failed");
+}
+
+int cmd_train(const Args& a) {
+  if (a.model_path.empty()) throw Error("train needs --out MODEL");
+  const auto machine = machine_for(a.machine);
+  const sim::Simulator sim(machine);
+  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+                               workloads::Suite::instance().all_regions());
+  core::PnpOptions opt;
+  opt.trainer.max_epochs = a.epochs;
+  core::PnpTuner tuner(db, opt);
+  std::vector<int> all;
+  for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
+
+  nn::TrainReport report;
+  if (a.scenario == "power") report = tuner.train_power_scenario(all);
+  else if (a.scenario == "edp") report = tuner.train_edp_scenario(all);
+  else throw Error("unknown scenario '" + a.scenario + "'");
+  std::fprintf(stderr, "trained %s/%s: %d epochs, %.2fs, train acc %.2f\n",
+               a.machine.c_str(), a.scenario.c_str(), report.epochs_run,
+               report.seconds, report.train_accuracy);
+
+  tuner.save(a.model_path);
+  std::fprintf(stderr, "saved artifact -> %s\n", a.model_path.c_str());
+
+  serve::InferenceEngine engine(std::move(tuner));
+  dump_to(engine, a.predictions_path);
+  return 0;
+}
+
+int cmd_predict(const Args& a) {
+  if (a.model_path.empty()) throw Error("predict needs --model MODEL");
+  const auto machine = machine_for(a.machine);
+  const sim::Simulator sim(machine);
+  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+                               workloads::Suite::instance().all_regions());
+  serve::InferenceEngine engine(db, a.model_path);
+  std::fprintf(stderr, "loaded artifact %s (%zu regions)\n",
+               a.model_path.c_str(),
+               static_cast<std::size_t>(db.num_regions()));
+  dump_to(engine, a.predictions_path);
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  if (a.model_path.empty()) throw Error("info needs --model MODEL");
+  const auto art = core::TunerArtifact::load_file(a.model_path);
+  std::printf("artifact: %s v%lld\n", core::TunerArtifact::kKind,
+              static_cast<long long>(art.version));
+  std::printf("mode: %s\n",
+              art.mode == core::TunerArtifact::Mode::Power ? "power" : "edp");
+  std::printf("vocab tokens: %zu (+1 OOV)\n", art.vocab_tokens.size());
+  std::printf("head sizes:");
+  for (int h : art.head_sizes) std::printf(" %d", h);
+  std::printf("\nextra features: %d\n", art.extra_features);
+  std::printf("counter stats: %zu\n", art.counter_mean.size());
+  std::size_t weights = 0;
+  for (const auto& name : art.net_weights.names())
+    weights += art.net_weights.get(name).size();
+  std::printf("net parameters: %zu tensors, %zu weights\n",
+              art.net_weights.names().size(), weights);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse_args(argc, argv);
+    if (a.command == "train") return cmd_train(a);
+    if (a.command == "predict") return cmd_predict(a);
+    if (a.command == "info") return cmd_info(a);
+    usage(argv[0]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pnp_tune: error: %s\n", e.what());
+    return 1;
+  }
+}
