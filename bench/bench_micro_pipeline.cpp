@@ -31,6 +31,7 @@
 #include "nn/optim.hpp"
 #include "nn/trainer.hpp"
 #include "serve/inference_engine.hpp"
+#include "workloads/generator.hpp"
 #include "workloads/irgen.hpp"
 #include "workloads/suite.hpp"
 
@@ -50,6 +51,21 @@ void BM_IrEmission(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_IrEmission);
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  // Procedural corpus sampling + IR emission + verification for 32
+  // regions — the per-run setup cost of every cross-suite evaluation
+  // (pnp_eval) and generated-load scenario.
+  workloads::GeneratorOptions opt;
+  opt.seed = 7;
+  opt.num_regions = 32;
+  const workloads::Generator gen(opt);
+  for (auto _ : state) {
+    const auto corpus = gen.generate();
+    benchmark::DoNotOptimize(corpus.total_regions());
+  }
+}
+BENCHMARK(BM_GenerateCorpus);
 
 void BM_FlowGraphBuild(benchmark::State& state) {
   const auto one =

@@ -1,0 +1,343 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pnp {
+
+// --- JsonWriter ------------------------------------------------------------
+
+void JsonWriter::before_value() {
+  PNP_CHECK_MSG(!done_, "JSON document already complete");
+  if (!stack_.empty() && stack_.back() == 'o')
+    PNP_CHECK_MSG(have_key_, "value inside an object requires key() first");
+  if (need_comma_) out_ += ',';
+  have_key_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_ += 'o';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  PNP_CHECK_MSG(!stack_.empty() && stack_.back() == 'o' && !have_key_,
+                "end_object without matching begin_object");
+  out_ += '}';
+  stack_.pop_back();
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_ += 'a';
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  PNP_CHECK_MSG(!stack_.empty() && stack_.back() == 'a',
+                "end_array without matching begin_array");
+  out_ += ']';
+  stack_.pop_back();
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  PNP_CHECK_MSG(!stack_.empty() && stack_.back() == 'o' && !have_key_,
+                "key() is only valid directly inside an object");
+  if (need_comma_) out_ += ',';
+  out_ += json_quote(k);
+  out_ += ':';
+  need_comma_ = false;
+  have_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  PNP_CHECK_MSG(std::isfinite(v), "JSON numbers must be finite, got " << v);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // %.17g prints integral doubles without a decimal point ("3"); that is
+  // still valid JSON and round-trips exactly, so keep it as is.
+  out_ += buf;
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ += json_quote(s);
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  need_comma_ = true;
+  if (stack_.empty()) done_ = true;
+  return *this;
+}
+
+std::string JsonWriter::str() const {
+  PNP_CHECK_MSG(done_ && stack_.empty(),
+                "JSON document incomplete (open containers or no value)");
+  return out_ + "\n";
+}
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --- json_validate ---------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent syntax checker. Positions are byte offsets.
+class Parser {
+ public:
+  explicit Parser(std::string_view t) : t_(t) {}
+
+  bool run(std::string* error) {
+    ok_ = value();
+    if (ok_) {
+      skip_ws();
+      if (pos_ != t_.size()) fail("trailing content");
+    }
+    if (!ok_ && error) {
+      *error = "byte " + std::to_string(pos_) + ": " + msg_;
+    }
+    return ok_;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (ok_) {
+      msg_ = why;
+      ok_ = false;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < t_.size() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                                t_[pos_] == '\n' || t_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    if (pos_ < t_.size() && t_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view lit) {
+    if (t_.substr(pos_, lit.size()) != lit) return fail("bad literal");
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) return fail("expected string");
+    while (pos_ < t_.size()) {
+      const unsigned char c = static_cast<unsigned char>(t_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return fail("unescaped control character in string");
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= t_.size()) return fail("truncated escape");
+        const char e = t_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= t_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    t_[pos_ + static_cast<std::size_t>(i)])))
+              return fail("bad \\u escape");
+          }
+          pos_ += 4;
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return fail("bad escape character");
+        }
+      }
+      ++pos_;
+    }
+    return fail("unterminated string");
+  }
+
+  bool digits() {
+    if (pos_ >= t_.size() || !std::isdigit(static_cast<unsigned char>(t_[pos_])))
+      return false;
+    while (pos_ < t_.size() &&
+           std::isdigit(static_cast<unsigned char>(t_[pos_])))
+      ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (eat('0')) {
+      // no leading zeros
+    } else if (!digits()) {
+      return fail("bad number");
+    }
+    if (eat('.') && !digits()) return fail("bad fraction");
+    if (pos_ < t_.size() && (t_[pos_] == 'e' || t_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < t_.size() && (t_[pos_] == '+' || t_[pos_] == '-')) ++pos_;
+      if (!digits()) return fail("bad exponent");
+    }
+    return true;
+  }
+
+  bool value() {
+    if (++depth_ > 256) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= t_.size()) return fail("expected value");
+    bool r = false;
+    switch (t_[pos_]) {
+      case '{':
+        r = object();
+        break;
+      case '[':
+        r = array();
+        break;
+      case '"':
+        r = string();
+        break;
+      case 't':
+        r = literal("true");
+        break;
+      case 'f':
+        r = literal("false");
+        break;
+      case 'n':
+        r = literal("null");
+        break;
+      default:
+        r = number();
+    }
+    --depth_;
+    return r;
+  }
+
+  bool object() {
+    eat('{');
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return fail("expected object key");
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' after key");
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool array() {
+    eat('[');
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      if (!value()) return false;
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string_view t_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  bool ok_ = true;
+  std::string msg_;
+};
+
+}  // namespace
+
+bool json_validate(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace pnp

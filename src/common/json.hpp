@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal deterministic JSON emission + syntax validation.
+///
+/// JsonWriter produces byte-stable output: keys are emitted in call order,
+/// numbers are formatted with fixed printf conversions (%.17g preserves
+/// doubles exactly), and there is no locale, pointer, or timestamp
+/// dependence — two runs of the same deterministic computation yield
+/// byte-identical documents (the property tools/pnp_eval's CI smoke
+/// diffs). json_validate is a strict RFC 8259 syntax checker used by
+/// tests and by emitters as a self-check before writing to disk.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pnp {
+
+/// Streaming writer for a single JSON document. Usage:
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("n").value(3).key("xs").begin_array().value(1.5).end_array();
+///   w.end_object();
+///   std::string doc = w.str();
+/// Structural misuse (value without key inside an object, unbalanced
+/// end_*, str() before completion) throws pnp::Error.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit an object key; must be directly inside an object and followed by
+  /// exactly one value (or container).
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& null();
+
+  /// The finished document (exactly one complete top-level value),
+  /// terminated with a newline.
+  std::string str() const;
+
+ private:
+  void before_value();
+
+  std::string out_;
+  std::string stack_;       // 'o' / 'a' nesting
+  bool need_comma_ = false;
+  bool have_key_ = false;   // inside an object, key() emitted, value due
+  bool done_ = false;
+};
+
+/// Escape a string for embedding in a JSON document (no surrounding
+/// quotes added by the caller — the result includes them).
+std::string json_quote(std::string_view s);
+
+/// Strict JSON syntax check of a complete document. Returns true when
+/// `text` is exactly one valid JSON value (plus whitespace); otherwise
+/// false, with a short position-tagged message in *error when provided.
+bool json_validate(std::string_view text, std::string* error = nullptr);
+
+}  // namespace pnp

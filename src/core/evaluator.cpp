@@ -1,0 +1,208 @@
+#include "core/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+/// Relative tolerance for "the chosen config ties the oracle".
+constexpr double kOracleTieRtol = 1e-9;
+
+SplitMetrics metrics_over(std::span<const double> chosen,
+                          std::span<const double> dflt,
+                          std::span<const double> best) {
+  SplitMetrics m;
+  m.queries = static_cast<int>(chosen.size());
+  if (chosen.empty()) return m;
+  std::vector<double> sp, nsp;
+  sp.reserve(chosen.size());
+  nsp.reserve(chosen.size());
+  int ties = 0;
+  for (std::size_t i = 0; i < chosen.size(); ++i) {
+    sp.push_back(speedup(dflt[i], chosen[i]));
+    nsp.push_back(normalized_speedup(best[i], chosen[i]));
+    if (chosen[i] <= best[i] * (1.0 + kOracleTieRtol)) ++ties;
+  }
+  m.geomean_speedup = geomean(sp);
+  m.geomean_normalized = geomean(nsp);
+  m.oracle_match = static_cast<double>(ties) / static_cast<double>(m.queries);
+  return m;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const sim::Simulator& sim, const MeasurementDb& db)
+    : sim_(sim), db_(db) {}
+
+void Evaluator::check_split(const EvalSplit& split) const {
+  PNP_CHECK_MSG(!split.train_regions.empty(),
+                "split '" << split.name << "' has no training regions");
+  PNP_CHECK_MSG(!split.test_regions.empty(),
+                "split '" << split.name << "' has no test regions");
+  std::unordered_set<int> train;
+  for (int r : split.train_regions) {
+    PNP_CHECK_MSG(r >= 0 && r < db_.num_regions(),
+                  "train region " << r << " out of range");
+    PNP_CHECK_MSG(train.insert(r).second, "train region " << r
+                                          << " duplicated in split '"
+                                          << split.name << "'");
+  }
+  std::unordered_set<int> test;
+  for (int r : split.test_regions) {
+    PNP_CHECK_MSG(r >= 0 && r < db_.num_regions(),
+                  "test region " << r << " out of range");
+    PNP_CHECK_MSG(test.insert(r).second, "test region " << r
+                                         << " duplicated in split '"
+                                         << split.name << "'");
+    PNP_CHECK_MSG(!train.count(r), "region " << r << " is in both train and "
+                                             << "test of split '" << split.name
+                                             << "'");
+  }
+  std::unordered_set<int> caps;
+  for (int k : split.train_cap_indices) {
+    PNP_CHECK_MSG(k >= 0 && k < db_.num_caps(),
+                  "train cap index " << k << " out of range");
+    PNP_CHECK_MSG(caps.insert(k).second, "train cap index "
+                                         << k << " duplicated in split '"
+                                         << split.name << "'");
+  }
+  if (!split.train_cap_indices.empty())
+    PNP_CHECK_MSG(static_cast<int>(caps.size()) < db_.num_caps(),
+                  "unseen-cap split '" << split.name << "' holds out no cap");
+}
+
+std::vector<int> Evaluator::eval_caps(const EvalSplit& split) const {
+  std::vector<int> caps;
+  if (split.train_cap_indices.empty()) {
+    for (int k = 0; k < db_.num_caps(); ++k) caps.push_back(k);
+    return caps;
+  }
+  std::unordered_set<int> seen(split.train_cap_indices.begin(),
+                               split.train_cap_indices.end());
+  for (int k = 0; k < db_.num_caps(); ++k)
+    if (!seen.count(k)) caps.push_back(k);
+  return caps;
+}
+
+PnpTuner Evaluator::train(const EvalSplit& split,
+                          const EvaluatorOptions& opt) const {
+  check_split(split);
+  PnpOptions pnp = opt.pnp;
+  pnp.seed = hash_combine(opt.pnp.seed, fnv1a(split.name));
+  if (!split.train_cap_indices.empty()) {
+    // Paper §IV-B: behaviour at unobserved constraints needs the scalar
+    // cap feature plus the profiled counters.
+    pnp.train_cap_indices = split.train_cap_indices;
+    pnp.cap_onehot = false;
+    pnp.use_counters = true;
+  }
+  PnpTuner tuner(db_, pnp);
+  tuner.train_power_scenario(split.train_regions);
+  return tuner;
+}
+
+std::vector<Evaluator::Query> Evaluator::queries(const EvalSplit& split) const {
+  check_split(split);
+  const auto caps = eval_caps(split);
+  std::vector<Query> out;
+  out.reserve(split.test_regions.size() * caps.size());
+  for (int r : split.test_regions)
+    for (int k : caps) out.push_back(Query{r, k});
+  return out;
+}
+
+SplitResult Evaluator::score(const EvalSplit& split,
+                             std::span<const sim::OmpConfig> configs) const {
+  const auto qs = queries(split);
+  PNP_CHECK_MSG(configs.size() == qs.size(),
+                "score() got " << configs.size() << " configs for "
+                               << qs.size() << " queries");
+  const auto& cap_w = db_.space().power_caps();
+
+  SplitResult res;
+  res.name = split.name;
+  res.num_train_regions = static_cast<int>(split.train_regions.size());
+  res.num_test_regions = static_cast<int>(split.test_regions.size());
+  res.eval_cap_indices = eval_caps(split);
+
+  std::vector<double> chosen(qs.size()), dflt(qs.size()), best(qs.size());
+  std::vector<std::string> apps(qs.size());
+  std::vector<double> sp_per_query(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto& q = qs[i];
+    const auto& desc = db_.region(q.region).region->desc;
+    chosen[i] = sim_.expected(desc, configs[i],
+                              cap_w[static_cast<std::size_t>(q.cap_index)])
+                    .seconds;
+    dflt[i] = db_.at_default(q.region, q.cap_index).seconds;
+    best[i] = db_.best_time(q.region, q.cap_index);
+    apps[i] = desc.app;
+    sp_per_query[i] = speedup(dflt[i], chosen[i]);
+  }
+
+  res.overall = metrics_over(chosen, dflt, best);
+  for (int k : res.eval_cap_indices) {
+    std::vector<double> c, d, b;
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      if (qs[i].cap_index != k) continue;
+      c.push_back(chosen[i]);
+      d.push_back(dflt[i]);
+      b.push_back(best[i]);
+    }
+    res.per_cap.push_back(metrics_over(c, d, b));
+  }
+  res.per_app_speedup = per_app_geomean(apps, sp_per_query);
+  return res;
+}
+
+SplitResult Evaluator::evaluate(const EvalSplit& split,
+                                const EvaluatorOptions& opt) const {
+  const PnpTuner tuner = train(split, opt);
+  const auto qs = queries(split);
+  const bool heldout = !split.train_cap_indices.empty();
+  const auto& cap_w = db_.space().power_caps();
+  std::vector<sim::OmpConfig> configs;
+  configs.reserve(qs.size());
+  for (const auto& q : qs) {
+    configs.push_back(
+        heldout ? tuner.predict_power_at(
+                      q.region, cap_w[static_cast<std::size_t>(q.cap_index)])
+                : tuner.predict_power(q.region, q.cap_index));
+  }
+  return score(split, configs);
+}
+
+EvalSplit make_app_split(
+    const MeasurementDb& db, std::string name,
+    const std::function<bool(const std::string&)>& is_test) {
+  EvalSplit s;
+  s.name = std::move(name);
+  for (int r = 0; r < db.num_regions(); ++r) {
+    const auto& app = db.region(r).region->desc.app;
+    (is_test(app) ? s.test_regions : s.train_regions).push_back(r);
+  }
+  return s;
+}
+
+EvalSplit with_heldout_cap(EvalSplit split, int heldout_cap, int num_caps) {
+  // With a single cap the complement is empty, which EvalSplit treats as
+  // the ordinary all-caps sentinel — the opposite of holding a cap out.
+  PNP_CHECK_MSG(num_caps >= 2,
+                "holding out a cap requires at least two caps, got "
+                    << num_caps);
+  PNP_CHECK_MSG(heldout_cap >= 0 && heldout_cap < num_caps,
+                "held-out cap " << heldout_cap << " out of range");
+  split.train_cap_indices.clear();
+  for (int k = 0; k < num_caps; ++k)
+    if (k != heldout_cap) split.train_cap_indices.push_back(k);
+  return split;
+}
+
+}  // namespace pnp::core

@@ -19,14 +19,16 @@ namespace pnp::core {
 class MeasurementDb {
  public:
   /// Sweep every candidate of `space` for every region on `sim`'s machine
-  /// using noiseless expected() results.
+  /// using noiseless expected() results. `regions` may come from any
+  /// Corpus (the paper Suite, a generated corpus, or a concatenation of
+  /// both); the referenced corpora must outlive this db.
   MeasurementDb(const sim::Simulator& sim, const SearchSpace& space,
-                const std::vector<workloads::Suite::RegionRef>& regions);
+                const std::vector<workloads::Corpus::RegionRef>& regions);
 
   int num_regions() const { return static_cast<int>(regions_.size()); }
   int num_caps() const { return static_cast<int>(space_.power_caps().size()); }
   const SearchSpace& space() const { return space_; }
-  const workloads::Suite::RegionRef& region(int r) const {
+  const workloads::Corpus::RegionRef& region(int r) const {
     return regions_[static_cast<std::size_t>(r)];
   }
 
@@ -57,7 +59,7 @@ class MeasurementDb {
   std::size_t slot(int region, int cap, int candidate) const;
 
   SearchSpace space_;
-  std::vector<workloads::Suite::RegionRef> regions_;
+  std::vector<workloads::Corpus::RegionRef> regions_;
   std::vector<sim::ExecutionResult> results_;
   int per_cap_ = 0;
 };

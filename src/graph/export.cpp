@@ -2,7 +2,40 @@
 
 #include <sstream>
 
+#include "common/error.hpp"
+#include "common/json.hpp"
+
 namespace pnp::graph {
+
+namespace {
+
+const char* kind_name(NodeKind k) {
+  switch (k) {
+    case NodeKind::Instruction:
+      return "instruction";
+    case NodeKind::Variable:
+      return "variable";
+    case NodeKind::Constant:
+      return "constant";
+  }
+  PNP_CHECK_MSG(false, "unreachable node kind " << static_cast<int>(k));
+  throw Error("unreachable");
+}
+
+const char* relation_name(EdgeRelation r) {
+  switch (r) {
+    case EdgeRelation::Control:
+      return "control";
+    case EdgeRelation::Data:
+      return "data";
+    case EdgeRelation::Call:
+      return "call";
+  }
+  PNP_CHECK_MSG(false, "unreachable edge relation " << static_cast<int>(r));
+  throw Error("unreachable");
+}
+
+}  // namespace
 
 std::string to_dot(const FlowGraph& g) {
   std::ostringstream os;
@@ -23,6 +56,39 @@ std::string to_dot(const FlowGraph& g) {
   }
   os << "}\n";
   return os.str();
+}
+
+std::string to_json(const FlowGraph& g) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value(g.name);
+  w.key("num_nodes").value(g.num_nodes());
+  w.key("num_edges").value(g.num_edges());
+  w.key("nodes").begin_array();
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const Node& n = g.node(i);
+    w.begin_object();
+    w.key("id").value(i);
+    w.key("kind").value(kind_name(n.kind));
+    w.key("text").value(n.text);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("edges").begin_array();
+  for (const auto& e : g.edges()) {
+    w.begin_object();
+    w.key("src").value(e.src);
+    w.key("dst").value(e.dst);
+    w.key("rel").value(relation_name(e.rel));
+    w.key("position").value(e.position);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::string doc = w.str();
+  std::string err;
+  PNP_CHECK_MSG(json_validate(doc, &err), "graph JSON self-check: " << err);
+  return doc;
 }
 
 std::string summary(const FlowGraph& g) {

@@ -12,6 +12,14 @@ namespace pnp::graph {
 /// Graphviz dot rendering: node shapes per kind, edge colors per relation.
 std::string to_dot(const FlowGraph& g);
 
+/// Node-link JSON rendering (strict JSON, validated before return):
+/// {"name":…, "num_nodes":N, "num_edges":M,
+///  "nodes":[{"id":0,"kind":"instruction","text":"…"},…],
+///  "edges":[{"src":…,"dst":…,"rel":"control","position":…},…]}.
+/// Nodes and edges appear in graph order, once each; output is a pure
+/// function of the graph, so repeated calls are byte-identical.
+std::string to_json(const FlowGraph& g);
+
 /// Compact one-line summary, e.g.
 /// "gemm:r0 nodes=87 (instr=52 var=24 const=11) edges=140 (ctl=58 data=74 call=8)".
 std::string summary(const FlowGraph& g);

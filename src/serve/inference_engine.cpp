@@ -66,9 +66,20 @@ void InferenceEngine::ensure_encoded(std::span<const int> regions) {
 #endif
 }
 
+template <class Fn>
+void InferenceEngine::for_each_query(std::size_t n, Fn&& fn) {
+#ifdef PNP_PARALLEL
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < n; ++i)
+    fn(i, scratch_[static_cast<std::size_t>(omp_get_thread_num())]);
+#else
+  for (std::size_t i = 0; i < n; ++i) fn(i, scratch_[0]);
+#endif
+}
+
 void InferenceEngine::run_heads(int region, std::optional<int> cap_index,
-                                Scratch& s) {
-  tuner_.fill_extra(region, cap_index, std::nullopt, s.extra);
+                                std::optional<double> cap_w, Scratch& s) {
+  tuner_.fill_extra(region, cap_index, cap_w, s.extra);
   const nn::RgcnNet& net = *tuner_.net_;
   net.dense_forward_into(enc_.find(region)->second.readout, s.extra, s.dc);
   s.preds.clear();
@@ -102,22 +113,28 @@ std::vector<sim::OmpConfig> InferenceEngine::predict_power_batch(
   ensure_encoded(regions_buf_);
 
   std::vector<sim::OmpConfig> out(queries.size());
-  // Queries are independent and each writes its own slot, so the parallel
-  // path is bit-identical to the serial one.
-#ifdef PNP_PARALLEL
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    Scratch& s = scratch_[static_cast<std::size_t>(omp_get_thread_num())];
-    run_heads(queries[i].region, queries[i].cap_index, s);
+  for_each_query(queries.size(), [&](std::size_t i, Scratch& s) {
+    run_heads(queries[i].region, queries[i].cap_index, std::nullopt, s);
     out[i] = tuner_.decode_config(s.preds, 0);
-  }
-#else
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    Scratch& s = scratch_[0];
-    run_heads(queries[i].region, queries[i].cap_index, s);
+  });
+  return out;
+}
+
+std::vector<sim::OmpConfig> InferenceEngine::predict_power_at_batch(
+    std::span<const int> regions, double cap_w) {
+  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Power,
+                "engine serves an EDP model; use predict_edp_batch");
+  PNP_CHECK_MSG(!tuner_.opt_.cap_onehot,
+                "predicting at arbitrary caps requires a scalar-cap model "
+                "(cap_onehot == false)");
+  PNP_CHECK_MSG(cap_w > 0.0, "cap must be positive, got " << cap_w);
+  ensure_encoded(regions);
+
+  std::vector<sim::OmpConfig> out(regions.size());
+  for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
+    run_heads(regions[i], std::nullopt, cap_w, s);
     out[i] = tuner_.decode_config(s.preds, 0);
-  }
-#endif
+  });
   return out;
 }
 
@@ -132,7 +149,7 @@ std::vector<core::PnpTuner::JointChoice> InferenceEngine::predict_edp_batch(
   const int per_cap = space.num_thread_classes() *
                       space.num_schedule_classes() * space.num_chunk_classes();
   const auto decode_one = [&](int region, Scratch& s) {
-    run_heads(region, std::nullopt, s);
+    run_heads(region, std::nullopt, std::nullopt, s);
     core::PnpTuner::JointChoice jc;
     if (tuner_.opt_.factored_heads) {
       jc.cap_index = s.preds[0];
@@ -145,15 +162,9 @@ std::vector<core::PnpTuner::JointChoice> InferenceEngine::predict_edp_batch(
   };
 
   std::vector<core::PnpTuner::JointChoice> out(regions.size());
-#ifdef PNP_PARALLEL
-#pragma omp parallel for schedule(static)
-  for (std::size_t i = 0; i < regions.size(); ++i)
-    out[i] = decode_one(
-        regions[i], scratch_[static_cast<std::size_t>(omp_get_thread_num())]);
-#else
-  for (std::size_t i = 0; i < regions.size(); ++i)
-    out[i] = decode_one(regions[i], scratch_[0]);
-#endif
+  for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
+    out[i] = decode_one(regions[i], s);
+  });
   return out;
 }
 

@@ -58,6 +58,15 @@ class InferenceEngine {
   std::vector<core::PnpTuner::JointChoice> predict_edp_batch(
       std::span<const int> regions);
 
+  /// Batched scenario-1 predictions at an arbitrary package cap in watts —
+  /// including caps outside the training search space (paper Figs. 4–5).
+  /// Requires a scalar-cap model (cap_onehot == false); bit-identical to
+  /// PnpTuner::predict_power_at per region. Used by the cross-suite
+  /// generalization harness to serve held-out-cap grids over generated
+  /// corpora.
+  std::vector<sim::OmpConfig> predict_power_at_batch(
+      std::span<const int> regions, double cap_w);
+
   /// Number of region encodings currently cached.
   std::size_t cached_encodings() const { return enc_.size(); }
 
@@ -73,8 +82,16 @@ class InferenceEngine {
   /// Encode any not-yet-cached regions of the batch (parallel when built
   /// with PNP_PARALLEL).
   void ensure_encoded(std::span<const int> regions);
+  /// Run `fn(i, scratch)` for every i in [0, n) — query-parallel with
+  /// per-thread scratch under PNP_PARALLEL, serial otherwise. Queries are
+  /// independent and write disjoint outputs, so the parallel path is
+  /// bit-identical to the serial one.
+  template <class Fn>
+  void for_each_query(std::size_t n, Fn&& fn);
   /// Dense pass + argmax for one query using `s`'s buffers; fills s.preds.
-  void run_heads(int region, std::optional<int> cap_index, Scratch& s);
+  /// `cap_w` substitutes the scalar cap feature (held-out caps).
+  void run_heads(int region, std::optional<int> cap_index,
+                 std::optional<double> cap_w, Scratch& s);
 
   core::PnpTuner tuner_;
   std::unordered_map<int, nn::RgcnNet::GnnCache> enc_;

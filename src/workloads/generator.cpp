@@ -1,0 +1,297 @@
+#include "workloads/generator.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "workloads/irgen.hpp"
+
+namespace pnp::workloads {
+
+namespace {
+
+using sim::KernelDescriptor;
+
+constexpr double MiB = 1024.0 * 1024.0;
+
+/// Stream tags keeping the app-level and region-level draws independent.
+constexpr std::uint64_t kAppStream = 0xA11C0DE5ULL;
+constexpr std::uint64_t kRegionStream = 0x4E610215ULL;
+
+double log_uniform(Rng& rng, double lo, double hi) {
+  return std::exp(rng.uniform(std::log(lo), std::log(hi)));
+}
+
+/// Integer-valued problem size. Deterministic for a fixed libm: uniform()
+/// is exact integer arithmetic, but exp/log are only ULP-accurate, so a
+/// different libm could floor to a neighbouring integer (see the seeding
+/// contract in generator.hpp).
+double sample_size(Rng& rng, double lo, double hi) {
+  return std::floor(log_uniform(rng, lo, hi));
+}
+
+bool chance(Rng& rng, double p) { return rng.uniform() < p; }
+
+/// Optionally-present trait: 0 with probability 1-p, else uniform in
+/// [lo, hi]. Draws exactly two values either way so the stream layout
+/// (and thus every later draw) does not depend on the coin.
+double maybe(Rng& rng, double p, double lo, double hi) {
+  const bool on = chance(rng, p);
+  const double v = rng.uniform(lo, hi);
+  return on ? v : 0.0;
+}
+
+// --- Family samplers -------------------------------------------------------
+// Each mirrors the corresponding hand-built family in suite.cpp but draws
+// its parameters from the per-region stream. The returned tag becomes the
+// region-name suffix ("r<i>_<tag>").
+
+struct Sampled {
+  KernelDescriptor desc;
+  const char* tag;
+};
+
+Sampled sample_blas3(Rng& rng) {
+  KernelDescriptor k;
+  const double n = sample_size(rng, 450, 1500);
+  k.trip_count = n;
+  k.flops_per_iter = 2.0 * n * n;
+  k.bytes_per_iter = 2.0 * n * 8.0;
+  k.working_set_bytes = 3.0 * n * n * 8.0;
+  k.imbalance = maybe(rng, 0.4, 0.05, 0.5);
+  k.branch_div = maybe(rng, 0.2, 0.16, 0.3);
+  k.loop_nest_depth = 3;
+  k.flop_efficiency = rng.uniform(0.24, 0.4);
+  k.has_calls = chance(rng, 0.3);
+  return {k, "gemm"};
+}
+
+Sampled sample_stencil(Rng& rng) {
+  KernelDescriptor k;
+  const double n = sample_size(rng, 1800, 3800);
+  const double arrays = rng.uniform_int(2, 5);
+  k.trip_count = n;
+  k.flops_per_iter = 6.0 * n;
+  k.bytes_per_iter = arrays * n * 8.0;
+  k.working_set_bytes = arrays * n * n * 8.0;
+  k.serial_frac = maybe(rng, 0.25, 0.05, 0.35);
+  k.imbalance = maybe(rng, 0.3, 0.1, 0.55);
+  k.branch_div = maybe(rng, 0.25, 0.16, 0.35);
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = rng.uniform(0.15, 0.25);
+  return {k, "sweep"};
+}
+
+Sampled sample_factorization(Rng& rng) {
+  KernelDescriptor k;
+  const double n = sample_size(rng, 500, 2000);
+  k.trip_count = n;
+  k.flops_per_iter = n * n / 3.0;
+  k.bytes_per_iter = n * 8.0;
+  k.working_set_bytes = n * n * 8.0;
+  k.imbalance = rng.uniform(0.3, 0.8);
+  k.serial_frac = maybe(rng, 0.4, 0.02, 0.15);
+  k.critical_frac = maybe(rng, 0.25, 0.011, 0.05);
+  k.loop_nest_depth = 3;
+  k.flop_efficiency = rng.uniform(0.18, 0.26);
+  k.has_calls = chance(rng, 0.35);
+  k.reduction = chance(rng, 0.3);
+  return {k, "solve"};
+}
+
+Sampled sample_monte_carlo(Rng& rng, double ws_lo_mib, double ws_hi_mib) {
+  KernelDescriptor k;
+  k.trip_count = sample_size(rng, 4e4, 2.4e5);
+  k.flops_per_iter = rng.uniform(40.0, 160.0);
+  k.bytes_per_iter = 640.0;  // scattered grid reads
+  k.working_set_bytes = rng.uniform(ws_lo_mib, ws_hi_mib) * MiB;
+  k.imbalance = rng.uniform(0.1, 0.8);
+  k.branch_div = rng.uniform(0.2, 0.8);
+  k.critical_frac = maybe(rng, 0.2, 0.011, 0.04);
+  k.reduction = chance(rng, 0.8);
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = rng.uniform(0.05, 0.12);
+  k.chunk_overhead_scale = rng.uniform(0.8, 1.25);
+  return {k, "lookup"};
+}
+
+Sampled sample_critical(Rng& rng) {
+  // The trisolv/matrix-assembly corner: little parallel work, much of it
+  // behind a lock or an elected serial section.
+  KernelDescriptor k;
+  const double n = sample_size(rng, 800, 4000);
+  k.trip_count = n;
+  k.flops_per_iter = n * rng.uniform(0.01, 0.5);
+  k.bytes_per_iter = n * 8.0 * rng.uniform(0.002, 0.05);
+  k.working_set_bytes = rng.uniform(2.0, 32.0) * MiB;
+  k.critical_frac = rng.uniform(0.05, 0.3);
+  k.serial_frac = rng.uniform(0.2, 0.95);
+  k.imbalance = maybe(rng, 0.5, 0.05, 0.3);
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = rng.uniform(0.08, 0.2);
+  k.reduction = chance(rng, 0.4);
+  return {k, "locked"};
+}
+
+Sampled sample_blas2(Rng& rng) {
+  KernelDescriptor k;
+  const double n = sample_size(rng, 3000, 8000);
+  const double passes = rng.uniform(1.0, 4.0);
+  k.trip_count = n;
+  k.flops_per_iter = 2.0 * n * passes;
+  k.bytes_per_iter = passes * n * 8.0;
+  k.working_set_bytes = passes * n * n * 8.0;
+  k.imbalance = maybe(rng, 0.4, 0.1, 0.5);
+  k.reduction = chance(rng, 0.5);
+  k.loop_nest_depth = 2;
+  k.flop_efficiency = rng.uniform(0.1, 0.2);
+  return {k, "spmv"};
+}
+
+Sampled sample_tiny(Rng& rng) {
+  KernelDescriptor k;
+  k.trip_count = sample_size(rng, 2e3, 8e5);
+  k.flops_per_iter = rng.uniform(1.0, 8.0);
+  k.bytes_per_iter = rng.uniform(8.0, 96.0);
+  k.working_set_bytes = k.trip_count * k.bytes_per_iter;
+  k.loop_nest_depth = 1;
+  k.flop_efficiency = rng.uniform(0.08, 0.12);
+  k.reduction = chance(rng, 0.3);
+  return {k, "tiny"};
+}
+
+Sampled sample_region(Family f, Rng& rng) {
+  switch (f) {
+    case Family::Blas3:
+      return sample_blas3(rng);
+    case Family::Stencil:
+      return sample_stencil(rng);
+    case Family::Factorization:
+      return sample_factorization(rng);
+    case Family::MonteCarlo:
+      return sample_monte_carlo(rng, 32.0, 256.0);
+    case Family::Critical:
+      return sample_critical(rng);
+    case Family::ProxyMix: {
+      // Mixed proxy-app region: one of four sub-shapes per region.
+      switch (rng.uniform_int(0, 3)) {
+        case 0:
+          return sample_blas2(rng);
+        case 1:
+          return sample_tiny(rng);
+        case 2: {
+          auto s = sample_stencil(rng);
+          s.tag = "halo";
+          return s;
+        }
+        default: {
+          auto s = sample_monte_carlo(rng, 16.0, 96.0);
+          s.tag = "tally";
+          return s;
+        }
+      }
+    }
+  }
+  PNP_CHECK_MSG(false, "unreachable family " << static_cast<int>(f));
+  throw Error("unreachable");
+}
+
+Family pick_family(Rng& rng, const std::array<double, kNumFamilies>& w) {
+  double total = 0.0;
+  for (double x : w) total += x;
+  double u = rng.uniform() * total;
+  int last_positive = 0;
+  for (int f = 0; f < kNumFamilies; ++f) {
+    if (w[static_cast<std::size_t>(f)] <= 0.0) continue;
+    last_positive = f;
+    if (u < w[static_cast<std::size_t>(f)]) return static_cast<Family>(f);
+    u -= w[static_cast<std::size_t>(f)];
+  }
+  return static_cast<Family>(last_positive);  // float round-off fallback
+}
+
+}  // namespace
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::Blas3:
+      return "blas3";
+    case Family::Stencil:
+      return "stencil";
+    case Family::Factorization:
+      return "factor";
+    case Family::MonteCarlo:
+      return "montecarlo";
+    case Family::Critical:
+      return "critical";
+    case Family::ProxyMix:
+      return "proxymix";
+  }
+  PNP_CHECK_MSG(false, "unreachable family " << static_cast<int>(f));
+  throw Error("unreachable");
+}
+
+Generator::Generator(GeneratorOptions options) : opt_(std::move(options)) {
+  PNP_CHECK_MSG(opt_.num_regions > 0, "num_regions must be positive");
+  PNP_CHECK_MSG(opt_.max_regions_per_app >= 1,
+                "max_regions_per_app must be >= 1");
+  double total = 0.0;
+  for (double w : opt_.family_weights) {
+    PNP_CHECK_MSG(w >= 0.0, "family weights must be non-negative");
+    total += w;
+  }
+  PNP_CHECK_MSG(total > 0.0, "at least one family weight must be positive");
+}
+
+Corpus Generator::generate() const {
+  std::vector<Application> apps;
+  int remaining = opt_.num_regions;
+  for (std::uint64_t a = 0; remaining > 0; ++a) {
+    // App-level draws (family, region count) come from a stream keyed by
+    // the application index alone.
+    Rng app_rng(hash_combine(opt_.seed, hash_combine(kAppStream, a)));
+    const Family family = pick_family(app_rng, opt_.family_weights);
+    int count = app_rng.uniform_int(1, opt_.max_regions_per_app);
+    if (count > remaining) count = remaining;
+    remaining -= count;
+
+    Application app;
+    app.name = "g" + std::to_string(a) + "_" + family_name(family);
+
+    std::vector<KernelDescriptor> descs;
+    descs.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t r = 0; r < static_cast<std::uint64_t>(count); ++r) {
+      Rng rng(hash_combine(opt_.seed,
+                           hash_combine(kRegionStream, hash_combine(a, r))));
+      Sampled s = sample_region(family, rng);
+      s.desc.app = app.name;
+      s.desc.region = "r" + std::to_string(r) + "_" + s.tag;
+      descs.push_back(std::move(s.desc));
+    }
+
+    app.module = emit_application(app.name, descs);  // verifies the IR
+    for (auto& d : descs) {
+      Region region;
+      region.function = d.app + "." + d.region + ".omp_outlined";
+      region.desc = std::move(d);
+      app.regions.push_back(std::move(region));
+    }
+    apps.push_back(std::move(app));
+  }
+  return Corpus(std::move(apps));
+}
+
+std::optional<Family> Generator::family_of(const std::string& app_name) {
+  if (app_name.empty() || app_name[0] != 'g') return std::nullopt;
+  const auto sep = app_name.find('_');
+  if (sep == std::string::npos || sep < 2) return std::nullopt;  // need digits
+  for (std::size_t i = 1; i < sep; ++i)
+    if (app_name[i] < '0' || app_name[i] > '9') return std::nullopt;
+  const std::string tag = app_name.substr(sep + 1);
+  for (int f = 0; f < kNumFamilies; ++f)
+    if (tag == family_name(static_cast<Family>(f)))
+      return static_cast<Family>(f);
+  return std::nullopt;
+}
+
+}  // namespace pnp::workloads

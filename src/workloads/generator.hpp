@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file generator.hpp
+/// Procedural workload generation: a seeded, deterministic sampler over
+/// sim::KernelDescriptor space that produces arbitrary-size corpora shaped
+/// exactly like the paper suite (workloads::Corpus), so generated programs
+/// flow through the identical pipeline — IR emission + verification,
+/// PROGRAML graphs, measurement sweeps, training, serving.
+///
+/// Regions are organized by kernel-family archetype, mirroring the
+/// families the hand-built paper corpus spans (suite.cpp):
+///   - Blas3         dense BLAS-3-like compute (gemm/syrk/2mm family);
+///   - Stencil       bandwidth-bound sweeps (jacobi/fdtd family);
+///   - Factorization triangular/factorization nests with ramp imbalance
+///                   (lu/cholesky/gramschmidt family);
+///   - MonteCarlo    branch-divergent scattered lookups with reductions
+///                   (XSBench/RSBench/Quicksilver family);
+///   - Critical      critical-section-/serial-fraction-dominated kernels
+///                   (the trisolv corner of the space);
+///   - ProxyMix      mixed proxy-app regions — per region one of
+///                   {BLAS-2, tiny fork/join-bound, stencil, lookup}
+///                   shapes with blended traits (miniFE/miniAMR/LULESH
+///                   family).
+///
+/// Seeding contract (docs/WORKLOADS.md): every sampled value is a pure
+/// function of (options.seed, application index, region index) — drawn
+/// from per-region xoshiro streams keyed by hash, never from shared
+/// generator state. Two Generator instances with equal options therefore
+/// produce bit-identical corpora (names, descriptors, and printed IR),
+/// independent of call order or thread count. Log-uniform size draws go
+/// through std::exp/std::log, which are not required to be correctly
+/// rounded, so bit-identity across *machines* additionally assumes the
+/// same libm (true for any one CI platform; differing libms may round a
+/// ULP apart and shift a sampled size).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "workloads/suite.hpp"
+
+namespace pnp::workloads {
+
+/// Kernel-family archetypes the sampler draws from.
+enum class Family : int {
+  Blas3 = 0,
+  Stencil = 1,
+  Factorization = 2,
+  MonteCarlo = 3,
+  Critical = 4,
+  ProxyMix = 5,
+};
+inline constexpr int kNumFamilies = 6;
+
+/// Stable lowercase tag, e.g. "blas3"; embedded in generated app names.
+const char* family_name(Family f);
+
+struct GeneratorOptions {
+  std::uint64_t seed = 7;
+  /// Total regions in the generated corpus (> 0). Regions are grouped
+  /// into applications of 1..max_regions_per_app regions each.
+  int num_regions = 64;
+  int max_regions_per_app = 4;
+  /// Relative sampling weight per family (Family enum order). Weights of
+  /// 0 exclude a family; at least one must be positive.
+  std::array<double, kNumFamilies> family_weights{1, 1, 1, 1, 1, 1};
+};
+
+class Generator {
+ public:
+  /// Validates the options (throws pnp::Error on nonsense).
+  explicit Generator(GeneratorOptions options);
+
+  const GeneratorOptions& options() const { return opt_; }
+
+  /// Sample the corpus: applications named "g<idx>_<family>", each with
+  /// its regions' IR emitted and verified (emit_application throws on any
+  /// malformed module, so every returned region passes ir::verify).
+  /// Deterministic per the seeding contract above.
+  Corpus generate() const;
+
+  /// The family an application was sampled from, recovered from its name
+  /// ("g03_stencil" → Stencil); nullopt for names this generator did not
+  /// produce (e.g. paper-suite apps).
+  static std::optional<Family> family_of(const std::string& app_name);
+
+ private:
+  GeneratorOptions opt_;
+};
+
+}  // namespace pnp::workloads

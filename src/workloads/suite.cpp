@@ -353,6 +353,33 @@ const std::vector<std::string> kAppOrder = {
 
 }  // namespace
 
+std::size_t Corpus::total_regions() const {
+  std::size_t n = 0;
+  for (const auto& a : apps_) n += a.regions.size();
+  return n;
+}
+
+std::vector<Corpus::RegionRef> Corpus::all_regions() const {
+  std::vector<RegionRef> out;
+  out.reserve(total_regions());
+  for (const auto& a : apps_)
+    for (const auto& r : a.regions) out.push_back(RegionRef{&a, &r});
+  return out;
+}
+
+const Application* Corpus::find(const std::string& name) const {
+  for (const auto& a : apps_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+std::vector<std::string> Corpus::application_names() const {
+  std::vector<std::string> names;
+  names.reserve(apps_.size());
+  for (const auto& a : apps_) names.push_back(a.name);
+  return names;
+}
+
 Suite::Suite() {
   apps_.reserve(kAppOrder.size());
   for (const auto& name : kAppOrder) {
@@ -373,30 +400,6 @@ Suite::Suite() {
 const Suite& Suite::instance() {
   static const Suite suite;
   return suite;
-}
-
-std::size_t Suite::total_regions() const {
-  std::size_t n = 0;
-  for (const auto& a : apps_) n += a.regions.size();
-  return n;
-}
-
-std::vector<Suite::RegionRef> Suite::all_regions() const {
-  std::vector<RegionRef> out;
-  out.reserve(total_regions());
-  for (const auto& a : apps_)
-    for (const auto& r : a.regions) out.push_back(RegionRef{&a, &r});
-  return out;
-}
-
-const Application* Suite::find(const std::string& name) const {
-  for (const auto& a : apps_)
-    if (a.name == name) return &a;
-  return nullptr;
-}
-
-std::vector<std::string> Suite::application_names() const {
-  return kAppOrder;
 }
 
 }  // namespace pnp::workloads

@@ -1,0 +1,225 @@
+/// Tests for graph/export (previously untested): the DOT and JSON
+/// renderings must be syntactically sound, mention every vertex and edge
+/// exactly once, and be deterministic; summary() must report the exact
+/// kind/relation counts. Also covers the common/json emission layer the
+/// JSON export is built on (writer correctness + strict validation).
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "graph/builder.hpp"
+#include "graph/export.hpp"
+#include "ir/extract.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::graph {
+namespace {
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pin) {
+  std::size_t n = 0;
+  for (std::size_t p = hay.find(pin); p != std::string::npos;
+       p = hay.find(pin, p + pin.size()))
+    ++n;
+  return n;
+}
+
+/// Small hand-built multigraph, including a duplicate (src, dst, rel)
+/// edge — exports must keep both.
+FlowGraph small_graph() {
+  FlowGraph g;
+  g.name = "test:g";
+  const int a = g.add_node(NodeKind::Instruction, "br");
+  const int b = g.add_node(NodeKind::Instruction, "fadd f64");
+  const int v = g.add_node(NodeKind::Variable, "var f64");
+  const int c = g.add_node(NodeKind::Constant, "const f64");
+  g.add_edge(a, b, EdgeRelation::Control, 0);
+  g.add_edge(b, v, EdgeRelation::Data, 0);
+  g.add_edge(c, b, EdgeRelation::Data, 1);
+  g.add_edge(c, b, EdgeRelation::Data, 2);  // duplicate endpoints
+  g.add_edge(a, b, EdgeRelation::Call, 0);
+  return g;
+}
+
+FlowGraph suite_graph() {
+  const auto* app = workloads::Suite::instance().find("gemm");
+  const auto one = ir::extract_function(app->module, app->regions[0].function);
+  return build_flow_graph(one);
+}
+
+TEST(ExportDot, MentionsEveryVertexAndEdgeExactlyOnce) {
+  const FlowGraph g = small_graph();
+  const std::string dot = to_dot(g);
+  EXPECT_EQ(dot.rfind("digraph", 0), 0u);
+  EXPECT_EQ(count_occurrences(dot, "{"), 1u);
+  EXPECT_EQ(count_occurrences(dot, "}"), 1u);
+  for (int i = 0; i < g.num_nodes(); ++i)
+    EXPECT_EQ(count_occurrences(dot, "  n" + std::to_string(i) + " [label="),
+              1u)
+        << i;
+  EXPECT_EQ(count_occurrences(dot, " -> "),
+            static_cast<std::size_t>(g.num_edges()));
+  // Edge lines carry their relation color.
+  EXPECT_EQ(count_occurrences(dot, "color=blue"), 3u);   // data
+  EXPECT_EQ(count_occurrences(dot, "color=red"), 1u);    // call
+  EXPECT_EQ(count_occurrences(dot, "color=black"), 1u);  // control
+}
+
+TEST(ExportDot, DeterministicAndCoversSuiteGraph) {
+  const FlowGraph g = suite_graph();
+  const std::string a = to_dot(g);
+  EXPECT_EQ(a, to_dot(g));
+  EXPECT_EQ(count_occurrences(a, " -> "),
+            static_cast<std::size_t>(g.num_edges()));
+  EXPECT_EQ(count_occurrences(a, "[label="),
+            static_cast<std::size_t>(g.num_nodes()));
+}
+
+TEST(ExportJson, ValidatesAndMentionsEveryVertexAndEdgeExactlyOnce) {
+  const FlowGraph g = small_graph();
+  const std::string doc = to_json(g);
+  std::string err;
+  EXPECT_TRUE(json_validate(doc, &err)) << err;
+  for (int i = 0; i < g.num_nodes(); ++i)
+    EXPECT_EQ(
+        count_occurrences(doc, "{\"id\":" + std::to_string(i) + ",\"kind\""),
+        1u)
+        << i;
+  EXPECT_EQ(count_occurrences(doc, "\"src\":"),
+            static_cast<std::size_t>(g.num_edges()));
+  EXPECT_EQ(count_occurrences(doc, "\"dst\":"),
+            static_cast<std::size_t>(g.num_edges()));
+  EXPECT_NE(doc.find("\"num_nodes\":4"), std::string::npos);
+  EXPECT_NE(doc.find("\"num_edges\":5"), std::string::npos);
+  // Kinds and relations spelled out, duplicate edge kept.
+  EXPECT_EQ(count_occurrences(doc, "\"kind\":\"instruction\""), 2u);
+  EXPECT_EQ(count_occurrences(doc, "\"kind\":\"variable\""), 1u);
+  EXPECT_EQ(count_occurrences(doc, "\"kind\":\"constant\""), 1u);
+  EXPECT_EQ(count_occurrences(doc, "\"rel\":\"data\""), 3u);
+  EXPECT_EQ(count_occurrences(doc, "\"src\":3,\"dst\":1,\"rel\":\"data\""),
+            2u);
+}
+
+TEST(ExportJson, DeterministicOnSuiteGraphAndEscapesText) {
+  const FlowGraph g = suite_graph();
+  const std::string a = to_json(g);
+  EXPECT_EQ(a, to_json(g));
+  std::string err;
+  EXPECT_TRUE(json_validate(a, &err)) << err;
+
+  FlowGraph weird;
+  weird.name = "quo\"te\\slash\nline";
+  weird.add_node(NodeKind::Instruction, "text with \"quotes\"\tand tabs");
+  const std::string doc = to_json(weird);
+  EXPECT_TRUE(json_validate(doc, &err)) << err;
+  EXPECT_NE(doc.find("quo\\\"te\\\\slash\\nline"), std::string::npos);
+}
+
+TEST(ExportSummary, ReportsExactCounts) {
+  const FlowGraph g = small_graph();
+  const std::string s = summary(g);
+  EXPECT_NE(s.find("test:g"), std::string::npos);
+  EXPECT_NE(s.find("nodes=4"), std::string::npos);
+  EXPECT_NE(s.find("instr=2"), std::string::npos);
+  EXPECT_NE(s.find("var=1"), std::string::npos);
+  EXPECT_NE(s.find("const=1"), std::string::npos);
+  EXPECT_NE(s.find("edges=5"), std::string::npos);
+  EXPECT_NE(s.find("ctl=1"), std::string::npos);
+  EXPECT_NE(s.find("data=3"), std::string::npos);
+  EXPECT_NE(s.find("call=1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// common/json: the emission layer under the JSON export and pnp_eval.
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriter, BuildsNestedDocument) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("n").value(3);
+  w.key("pi").value(3.25);
+  w.key("big").value(std::uint64_t{18446744073709551615ULL});
+  w.key("ok").value(true);
+  w.key("name").value("a\"b");
+  w.key("none").null();
+  w.key("xs").begin_array().value(1).value(2.5).begin_object().end_object();
+  w.end_array();
+  w.end_object();
+  const std::string doc = w.str();
+  EXPECT_EQ(doc,
+            "{\"n\":3,\"pi\":3.25,\"big\":18446744073709551615,\"ok\":true,"
+            "\"name\":\"a\\\"b\",\"none\":null,\"xs\":[1,2.5,{}]}\n");
+  std::string err;
+  EXPECT_TRUE(json_validate(doc, &err)) << err;
+}
+
+TEST(JsonWriter, DoubleRoundTripsExactly) {
+  JsonWriter w;
+  w.begin_array().value(0.1).value(1.0 / 3.0).value(-2.5e-17).end_array();
+  const std::string doc = w.str();
+  EXPECT_TRUE(json_validate(doc));
+  // %.17g preserves every double bit-exactly.
+  double a = 0, b = 0, c = 0;
+  ASSERT_EQ(std::sscanf(doc.c_str(), "[%lg,%lg,%lg]", &a, &b, &c), 3);
+  EXPECT_EQ(a, 0.1);
+  EXPECT_EQ(b, 1.0 / 3.0);
+  EXPECT_EQ(c, -2.5e-17);
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.value(1), pnp::Error);  // value without key
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), pnp::Error);  // mismatched close
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(w.str(), pnp::Error);  // incomplete document
+  }
+  {
+    JsonWriter w;
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), pnp::Error);  // dangling key
+  }
+  {
+    JsonWriter w;
+    w.value(1);
+    EXPECT_THROW(w.value(2), pnp::Error);  // second top-level value
+  }
+  {
+    JsonWriter w;
+    w.begin_array();
+    EXPECT_THROW(w.value(1.0 / 0.0), pnp::Error);  // non-finite number
+  }
+}
+
+TEST(JsonValidate, AcceptsValidRejectsInvalid) {
+  for (const char* good :
+       {"{}", "[]", "null", "true", "-1.5e-3", "\"s\"", "[1,2,3]",
+        "{\"a\":[{\"b\":null}]}", "  {\"a\" : 1}  ", "\"\\u00e9\\n\""}) {
+    std::string err;
+    EXPECT_TRUE(json_validate(good, &err)) << good << ": " << err;
+  }
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "{a:1}", "01", "1 2",
+        "nul", "[\"\\x\"]", "\"unterminated", "{\"a\":1,}", "[}", "+1",
+        "\"\\u12g4\""}) {
+    EXPECT_FALSE(json_validate(bad)) << bad;
+  }
+}
+
+TEST(JsonQuote, EscapesControlAndSpecials) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c\nd\te\r"), "\"a\\\"b\\\\c\\nd\\te\\r\"");
+  EXPECT_EQ(json_quote(std::string_view("\x01", 1)), "\"\\u0001\"");
+}
+
+}  // namespace
+}  // namespace pnp::graph

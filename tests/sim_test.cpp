@@ -11,6 +11,7 @@
 #include "common/error.hpp"
 #include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
+#include "workloads/generator.hpp"
 
 namespace pnp::sim {
 namespace {
@@ -308,6 +309,94 @@ TEST_P(GridSweep, MonotoneInCapEverywhere) {
       const double t = sim_.expected(k, cfg, cap).seconds;
       EXPECT_LE(t, prev * (1.0 + 1e-12));
       prev = t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cost-model invariants over procedurally generated descriptors. Golden
+// values can't catch a regression that bends the model smoothly; these
+// properties must hold for *any* descriptor the generator can sample.
+// ---------------------------------------------------------------------------
+
+class GeneratedDescriptorSweep : public ::testing::Test {
+ protected:
+  static std::vector<KernelDescriptor> descriptors() {
+    workloads::GeneratorOptions opt;
+    opt.seed = 3;
+    opt.num_regions = 24;
+    // Keep the corpus alive while reading its RegionRefs (they point into
+    // it); descriptors are copied out so the sweep below owns its data.
+    const workloads::Corpus corpus = workloads::Generator(opt).generate();
+    std::vector<KernelDescriptor> out;
+    for (const auto& rr : corpus.all_regions()) out.push_back(rr.region->desc);
+    return out;
+  }
+
+  static std::vector<OmpConfig> configs() {
+    return {OmpConfig{1, Schedule::Static, 0},
+            OmpConfig{8, Schedule::Dynamic, 32},
+            OmpConfig{16, Schedule::Guided, 8},
+            OmpConfig{32, Schedule::Static, 256}};
+  }
+};
+
+TEST_F(GeneratedDescriptorSweep, RuntimeNonIncreasingInPowerCap) {
+  for (const auto& machine :
+       {hw::MachineModel::haswell(), hw::MachineModel::skylake()}) {
+    const Simulator sim(machine);
+    for (const auto& k : descriptors()) {
+      for (const auto& cfg : configs()) {
+        double prev = 1e300;
+        for (double cap = machine.min_cap_w; cap <= machine.tdp_w;
+             cap += (machine.tdp_w - machine.min_cap_w) / 8.0) {
+          const double t = sim.expected(k, cfg, cap).seconds;
+          EXPECT_LE(t, prev * (1.0 + 1e-12))
+              << k.qualified_name() << " " << cfg.to_string() << " @" << cap;
+          prev = t;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(GeneratedDescriptorSweep, PowerNeverExceedsCapAndResultsPositive) {
+  const auto machine = hw::MachineModel::haswell();
+  const Simulator sim(machine);
+  for (const auto& k : descriptors()) {
+    for (const auto& cfg : configs()) {
+      for (double cap : {40.0, 52.5, 60.0, 70.0, 85.0}) {
+        const auto r = sim.expected(k, cfg, cap);
+        EXPECT_LE(r.avg_power_w, cap + 1e-9)
+            << k.qualified_name() << " " << cfg.to_string();
+        EXPECT_GE(r.avg_power_w, 0.0);
+        EXPECT_TRUE(std::isfinite(r.seconds));
+        EXPECT_GT(r.seconds, 0.0) << k.qualified_name();
+        EXPECT_GT(r.joules, 0.0) << k.qualified_name();
+        EXPECT_GT(r.edp(), 0.0) << k.qualified_name();
+        EXPECT_GE(r.frequency_ghz, machine.fmin_ghz);
+        EXPECT_LE(r.frequency_ghz, machine.fmax_ghz);
+      }
+    }
+  }
+}
+
+TEST_F(GeneratedDescriptorSweep, MeasureStaysPositiveAndNearTheCap) {
+  // measure() adds log-normal meter jitter on top of expected(), so the
+  // hard cap invariant is an expected() property (above); the measured
+  // power reading may wobble around it but must stay within the jitter
+  // envelope (σ = 6% ⇒ ±5σ ≈ ×1.35) and strictly positive.
+  const auto machine = hw::MachineModel::haswell();
+  const Simulator sim(machine);
+  for (const auto& k : descriptors()) {
+    const OmpConfig cfg{8, Schedule::Dynamic, 32};
+    for (std::uint64_t draw = 0; draw < 3; ++draw) {
+      const auto r = sim.measure(k, cfg, 60.0, draw);
+      EXPECT_GT(r.seconds, 0.0) << k.qualified_name();
+      EXPECT_GT(r.joules, 0.0);
+      EXPECT_GT(r.avg_power_w, 0.0);
+      EXPECT_LE(r.avg_power_w, 60.0 * 1.35) << k.qualified_name();
+      EXPECT_NEAR(r.joules, r.avg_power_w * r.seconds, 1e-9);
     }
   }
 }

@@ -129,6 +129,64 @@ TEST(Suite, InstanceIsSingleton) {
 }
 
 // ---------------------------------------------------------------------------
+// Corpus: the shared abstraction under the paper suite and generated
+// corpora (everything downstream consumes RegionRefs, not Suite itself).
+// ---------------------------------------------------------------------------
+
+TEST(Corpus, HandBuiltCorpusBehavesLikeSuite) {
+  sim::KernelDescriptor k;
+  k.app = "toy";
+  k.region = "r0_loop";
+  std::vector<Application> apps;
+  Application app;
+  app.name = "toy";
+  app.module = emit_application("toy", {k});
+  Region region;
+  region.function = "toy.r0_loop.omp_outlined";
+  region.desc = k;
+  app.regions.push_back(std::move(region));
+  apps.push_back(std::move(app));
+
+  const Corpus corpus(std::move(apps));
+  EXPECT_EQ(corpus.application_count(), 1u);
+  EXPECT_EQ(corpus.total_regions(), 1u);
+  ASSERT_NE(corpus.find("toy"), nullptr);
+  EXPECT_EQ(corpus.find("absent"), nullptr);
+  EXPECT_EQ(corpus.application_names(), std::vector<std::string>{"toy"});
+  const auto refs = corpus.all_regions();
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].app, &corpus.applications()[0]);
+  EXPECT_EQ(refs[0].region, &corpus.applications()[0].regions[0]);
+}
+
+TEST(Corpus, SuiteIsACorpusAndNamesFollowAppOrder) {
+  const Corpus& corpus = Suite::instance();  // upcast must be seamless
+  EXPECT_EQ(corpus.total_regions(), 68u);
+  const auto names = corpus.application_names();
+  ASSERT_EQ(names.size(), corpus.application_count());
+  for (std::size_t i = 0; i < names.size(); ++i)
+    EXPECT_EQ(names[i], corpus.applications()[i].name);
+  EXPECT_EQ(names.front(), "rsbench");
+  EXPECT_EQ(names.back(), "trmm");
+}
+
+TEST(Corpus, RegionRefsStableAcrossCorpusMove) {
+  sim::KernelDescriptor k;
+  k.app = "toy";
+  k.region = "r0_loop";
+  std::vector<Application> apps(1);
+  apps[0].name = "toy";
+  apps[0].module = emit_application("toy", {k});
+  apps[0].regions.push_back(Region{k, "toy.r0_loop.omp_outlined"});
+  Corpus first(std::move(apps));
+  const auto refs = first.all_regions();
+  const Corpus second(std::move(first));  // move the corpus, not its apps
+  ASSERT_EQ(refs.size(), 1u);
+  EXPECT_EQ(refs[0].app, &second.applications()[0]);
+  EXPECT_EQ(refs[0].region->desc.app, "toy");
+}
+
+// ---------------------------------------------------------------------------
 // IR generation fidelity: descriptor traits must be visible in the code.
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,296 @@
+/// \file pnp_eval.cpp
+/// Cross-suite generalization harness CLI (docs/WORKLOADS.md):
+///
+///   pnp_eval --seed 7 --regions 64 [--machine haswell|skylake]
+///            [--epochs N] [--max-per-app K] [--counters] [--out FILE]
+///
+/// End-to-end flow: procedurally generate a corpus of --regions OpenMP
+/// regions (workloads::Generator), build one MeasurementDb over paper
+/// suite + generated corpus, then train/evaluate the §IV split axes via
+/// core::Evaluator with predictions served through the batched
+/// serve::InferenceEngine:
+///
+///   - unseen-app:          train on the 68 paper regions, test on every
+///                          generated region (all apps unseen);
+///   - unseen-family-<f>:   train on paper + all generated families but f,
+///                          test on family f (one split per family
+///                          present in the generated corpus);
+///   - unseen-cap-low/high: train on paper regions at all caps but one
+///                          (scalar cap feature + counters), test on the
+///                          generated regions at the held-out cap.
+///
+/// Output is one stable JSON document (schema "pnp-eval-v1", self-checked
+/// with json_validate before writing): a pure function of the flags, so
+/// two runs with the same arguments are byte-identical — serial and
+/// OMP_NUM_THREADS-fixed PNP_PARALLEL builds included. CI runs it twice
+/// and diffs.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "core/evaluator.hpp"
+#include "serve/inference_engine.hpp"
+#include "workloads/generator.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+struct Args {
+  std::uint64_t seed = 7;
+  int regions = 64;
+  int max_per_app = 4;
+  int epochs = 12;
+  bool counters = false;
+  std::string machine = "haswell";
+  std::string out_path;  // empty = stdout
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seed N] [--regions N] [--machine haswell|skylake]\n"
+               "          [--epochs N] [--max-per-app N] [--counters]\n"
+               "          [--out FILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--seed") a.seed = std::stoull(value());
+    else if (flag == "--regions") a.regions = std::stoi(value());
+    else if (flag == "--machine") a.machine = value();
+    else if (flag == "--epochs") a.epochs = std::stoi(value());
+    else if (flag == "--max-per-app") a.max_per_app = std::stoi(value());
+    else if (flag == "--counters") a.counters = true;
+    else if (flag == "--out") a.out_path = value();
+    else usage(argv[0]);
+  }
+  return a;
+}
+
+hw::MachineModel machine_for(const std::string& name) {
+  if (name == "haswell") return hw::MachineModel::haswell();
+  if (name == "skylake") return hw::MachineModel::skylake();
+  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+/// Serve one split's test grid through the batched engine, in the
+/// row-major (region, cap) order core::Evaluator::score expects.
+std::vector<sim::OmpConfig> predict_split(const core::Evaluator& evaluator,
+                                          const core::EvalSplit& split,
+                                          serve::InferenceEngine& engine,
+                                          const std::vector<double>& caps_w) {
+  const auto qs = evaluator.queries(split);
+  if (split.train_cap_indices.empty()) {
+    std::vector<serve::PowerQuery> pq;
+    pq.reserve(qs.size());
+    for (const auto& q : qs) pq.push_back({q.region, q.cap_index});
+    return engine.predict_power_batch(pq);
+  }
+  // Held-out caps: one scalar-cap batch per evaluated cap, interleaved
+  // back into query order (queries() is row-major test_regions × caps).
+  const std::vector<int> eval_caps = evaluator.eval_caps(split);
+  const std::size_t C = eval_caps.size();
+  std::vector<sim::OmpConfig> configs(qs.size());
+  for (std::size_t c = 0; c < C; ++c) {
+    const auto out = engine.predict_power_at_batch(
+        split.test_regions,
+        caps_w[static_cast<std::size_t>(eval_caps[c])]);
+    for (std::size_t r = 0; r < out.size(); ++r) configs[r * C + c] = out[r];
+  }
+  return configs;
+}
+
+void emit_metrics(JsonWriter& w, const core::SplitMetrics& m) {
+  w.begin_object();
+  w.key("queries").value(m.queries);
+  w.key("geomean_speedup").value(m.geomean_speedup);
+  w.key("geomean_normalized").value(m.geomean_normalized);
+  w.key("oracle_match").value(m.oracle_match);
+  w.end_object();
+}
+
+void emit_split(JsonWriter& w, const core::EvalSplit& split,
+                const core::SplitResult& res, bool base_counters,
+                const std::vector<double>& caps_w) {
+  // Unseen-cap splits train with the scalar cap feature and counters
+  // forced on (Evaluator::train, paper §IV-B recipe) regardless of
+  // --counters; record the configuration actually used.
+  const bool scalar_cap = !split.train_cap_indices.empty();
+  w.begin_object();
+  w.key("name").value(res.name);
+  w.key("train_regions").value(res.num_train_regions);
+  w.key("test_regions").value(res.num_test_regions);
+  w.key("scalar_cap").value(scalar_cap);
+  w.key("counters").value(base_counters || scalar_cap);
+  w.key("eval_caps_w").begin_array();
+  for (int k : res.eval_cap_indices)
+    w.value(caps_w[static_cast<std::size_t>(k)]);
+  w.end_array();
+  w.key("overall");
+  emit_metrics(w, res.overall);
+  w.key("per_cap").begin_array();
+  for (std::size_t i = 0; i < res.per_cap.size(); ++i) {
+    w.begin_object();
+    w.key("cap_w").value(
+        caps_w[static_cast<std::size_t>(res.eval_cap_indices[i])]);
+    w.key("metrics");
+    emit_metrics(w, res.per_cap[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("per_app").begin_array();
+  for (std::size_t i = 0; i < res.per_app_speedup.apps.size(); ++i) {
+    w.begin_object();
+    w.key("app").value(res.per_app_speedup.apps[i]);
+    w.key("geomean_speedup").value(res.per_app_speedup.geomeans[i]);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+int run(const Args& a) {
+  const auto machine = machine_for(a.machine);
+  const sim::Simulator sim(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+
+  workloads::GeneratorOptions gopt;
+  gopt.seed = a.seed;
+  gopt.num_regions = a.regions;
+  gopt.max_regions_per_app = a.max_per_app;
+  const workloads::Generator generator(gopt);
+  const workloads::Corpus generated = generator.generate();
+  std::fprintf(stderr, "generated %zu applications / %zu regions (seed %llu)\n",
+               generated.application_count(), generated.total_regions(),
+               static_cast<unsigned long long>(a.seed));
+
+  // One measurement db over both corpora: paper regions first, generated
+  // regions after — split indices derive from application names.
+  auto regions = workloads::Suite::instance().all_regions();
+  const std::size_t paper_regions = regions.size();
+  for (const auto& rr : generated.all_regions()) regions.push_back(rr);
+  const core::MeasurementDb db(sim, space, regions);
+
+  core::EvaluatorOptions eopt;
+  eopt.pnp.trainer.max_epochs = a.epochs;
+  eopt.pnp.use_counters = a.counters;
+  eopt.pnp.seed = a.seed;
+  const core::Evaluator evaluator(sim, db);
+
+  const auto is_generated = [&](const std::string& app) {
+    return workloads::Generator::family_of(app).has_value();
+  };
+
+  std::vector<core::EvalSplit> splits;
+  splits.push_back(core::make_app_split(db, "unseen-app", is_generated));
+  for (int f = 0; f < workloads::kNumFamilies; ++f) {
+    const auto fam = static_cast<workloads::Family>(f);
+    auto s = core::make_app_split(
+        db, std::string("unseen-family-") + workloads::family_name(fam),
+        [&](const std::string& app) {
+          return workloads::Generator::family_of(app) == fam;
+        });
+    if (!s.test_regions.empty()) splits.push_back(std::move(s));
+  }
+  splits.push_back(core::with_heldout_cap(
+      core::make_app_split(db, "unseen-cap-low", is_generated), 0,
+      db.num_caps()));
+  splits.push_back(core::with_heldout_cap(
+      core::make_app_split(db, "unseen-cap-high", is_generated),
+      db.num_caps() - 1, db.num_caps()));
+
+  const auto& caps_w = space.power_caps();
+  std::vector<core::SplitResult> results;
+  for (const auto& split : splits) {
+    serve::InferenceEngine engine(evaluator.train(split, eopt));
+    const auto configs = predict_split(evaluator, split, engine, caps_w);
+    results.push_back(evaluator.score(split, configs));
+    const auto& res = results.back();
+    std::fprintf(stderr,
+                 "%-24s train=%d test=%d speedup=%.3f normalized=%.3f\n",
+                 res.name.c_str(), res.num_train_regions, res.num_test_regions,
+                 res.overall.geomean_speedup, res.overall.geomean_normalized);
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value("pnp-eval-v1");
+  w.key("machine").value(a.machine);
+  w.key("seed").value(static_cast<std::uint64_t>(a.seed));
+  w.key("generator").begin_object();
+  w.key("regions").value(a.regions);
+  w.key("max_regions_per_app").value(a.max_per_app);
+  w.key("applications").value(
+      static_cast<std::int64_t>(generated.application_count()));
+  w.key("families").begin_object();
+  {
+    std::vector<int> counts(workloads::kNumFamilies, 0);
+    for (const auto& app : generated.applications()) {
+      const auto fam = workloads::Generator::family_of(app.name);
+      if (fam)
+        counts[static_cast<std::size_t>(*fam)] +=
+            static_cast<int>(app.regions.size());
+    }
+    for (int f = 0; f < workloads::kNumFamilies; ++f)
+      w.key(workloads::family_name(static_cast<workloads::Family>(f)))
+          .value(counts[static_cast<std::size_t>(f)]);
+  }
+  w.end_object();
+  w.end_object();
+  w.key("corpus").begin_object();
+  w.key("paper_regions").value(static_cast<std::int64_t>(paper_regions));
+  w.key("generated_regions").value(
+      static_cast<std::int64_t>(generated.total_regions()));
+  w.key("total_regions").value(db.num_regions());
+  w.end_object();
+  w.key("training").begin_object();
+  w.key("epochs").value(a.epochs);
+  w.key("counters").value(a.counters);  // base flag; see per-split values
+  w.end_object();
+  w.key("splits").begin_array();
+  for (std::size_t i = 0; i < results.size(); ++i)
+    emit_split(w, splits[i], results[i], a.counters, caps_w);
+  w.end_array();
+  w.end_object();
+
+  const std::string doc = w.str();
+  std::string err;
+  PNP_CHECK_MSG(json_validate(doc, &err), "pnp_eval JSON self-check: " << err);
+
+  if (a.out_path.empty()) {
+    std::cout << doc;
+    PNP_CHECK_MSG(std::cout.good(), "writing to stdout failed");
+  } else {
+    std::ofstream os(a.out_path, std::ios::binary);
+    PNP_CHECK_MSG(os.is_open(), "cannot open '" << a.out_path << "'");
+    os << doc;
+    os.flush();
+    PNP_CHECK_MSG(os.good(), "writing '" << a.out_path << "' failed");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pnp_eval: error: %s\n", e.what());
+    return 1;
+  }
+}
