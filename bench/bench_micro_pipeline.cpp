@@ -31,6 +31,7 @@
 #include "nn/optim.hpp"
 #include "nn/trainer.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/tuning_service.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/irgen.hpp"
 #include "workloads/suite.hpp"
@@ -262,6 +263,39 @@ void BM_PredictBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(queries.size()));
 }
 BENCHMARK(BM_PredictBatch);
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  // Concurrent serving throughput: N caller threads issue single power
+  // queries against one TuningService (sharded encoding cache + admission
+  // queue). Reported as queries/sec via items_per_second; compare 1/2/4
+  // threads to see how coalescing and cache sharding hold up under
+  // contention (numbers in docs/BENCHMARKS.md).
+  const auto machine = hw::MachineModel::haswell();
+  const sim::Simulator simulator(machine);
+  const auto space = core::SearchSpace::for_machine(machine);
+  static const core::MeasurementDb db(
+      simulator, space, workloads::Suite::instance().all_regions());
+  static serve::TuningService* service = [] {
+    core::PnpOptions opt;
+    opt.trainer.max_epochs = 8;
+    core::PnpTuner tuner(db, opt);
+    std::vector<int> train;
+    for (int r = 0; r < 40; ++r) train.push_back(r);
+    tuner.train_power_scenario(train);
+    return new serve::TuningService(std::move(tuner));
+  }();
+  // Round-robin over 16 held-out regions × all caps; offset per thread so
+  // concurrent callers hit different shards.
+  int i = state.thread_index() * 7;
+  for (auto _ : state) {
+    const serve::TuneRequest q =
+        serve::TuneRequest::power(40 + (i % 16), i % db.num_caps());
+    ++i;
+    benchmark::DoNotOptimize(service->tune(q).config.threads);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
 
 void BM_BlissTuneOneRegion(benchmark::State& state) {
   const auto machine = hw::MachineModel::haswell();

@@ -12,7 +12,7 @@ namespace pnp::core {
 
 namespace {
 
-constexpr int kNumCounters = 5;
+constexpr int kNumCounters = kNumProfiledCounters;
 
 std::array<double, kNumCounters> counter_values(const hw::Counters& c) {
   return {c.instructions, c.l1_misses, c.l2_misses, c.l3_misses,
@@ -37,10 +37,8 @@ PnpTuner::PnpTuner(const MeasurementDb& db, PnpOptions options)
 }
 
 int PnpTuner::extra_feature_count(Mode mode) const {
-  int n = 0;
-  if (mode == Mode::Power) n += opt_.cap_onehot ? db_.num_caps() : 1;
-  if (opt_.use_counters) n += kNumCounters;
-  return n;
+  return tuner_extra_feature_count(mode == Mode::Power, opt_.cap_onehot,
+                                   db_.num_caps(), opt_.use_counters);
 }
 
 void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
@@ -129,17 +127,8 @@ sim::OmpConfig PnpTuner::decode_config(const std::vector<int>& preds,
 }
 
 std::vector<int> PnpTuner::head_layout(Mode mode) const {
-  const SearchSpace& s = db_.space();
-  const int per_cap =
-      s.num_thread_classes() * s.num_schedule_classes() * s.num_chunk_classes();
-  if (opt_.factored_heads) {
-    if (mode == Mode::Edp)
-      return {s.num_cap_classes(), s.num_thread_classes(),
-              s.num_schedule_classes(), s.num_chunk_classes()};
-    return {s.num_thread_classes(), s.num_schedule_classes(),
-            s.num_chunk_classes()};
-  }
-  return {mode == Mode::Edp ? s.num_cap_classes() * per_cap : per_cap};
+  return tuner_head_layout(db_.space(), opt_.factored_heads,
+                           mode == Mode::Edp);
 }
 
 void PnpTuner::build_model(Mode mode, const std::vector<int>& train_regions) {
@@ -309,18 +298,26 @@ void PnpTuner::save(const std::string& path) const {
   art.counter_std = counter_std_;
   art.head_sizes = net_->config().head_sizes;
   art.extra_features = net_->config().extra_features;
+  art.set_space(db_.space());
   art.net_weights = net_->state_dict();
   art.save_file(path);
 }
 
 PnpTuner PnpTuner::load(const MeasurementDb& db, const std::string& path) {
   const TunerArtifact art = TunerArtifact::load_file(path);
+  // Reject incompatible artifacts before building any model state (graph
+  // extraction and tensor construction are the expensive part of the
+  // constructor) — hot reload relies on this being side-effect-free.
+  validate_artifact(art, db);
   PnpTuner tuner(db, art.options());
   tuner.restore(art);
   return tuner;
 }
 
 void PnpTuner::restore(const TunerArtifact& art) {
+  // load() validates before constructing; re-validate here so restore is
+  // safe on its own too (the checks are cheap and side-effect-free).
+  validate_artifact(art, db_);
   mode_ = art.mode == TunerArtifact::Mode::Power ? Mode::Power : Mode::Edp;
   vocab_ = art.make_vocab();
   tensors_.clear();
@@ -329,23 +326,6 @@ void PnpTuner::restore(const TunerArtifact& art) {
 
   counter_mean_ = art.counter_mean;
   counter_std_ = art.counter_std;
-  if (opt_.use_counters)
-    PNP_CHECK_MSG(counter_mean_.size() == kNumCounters,
-                  "artifact stores " << counter_mean_.size()
-                                     << " counter stats, expected "
-                                     << kNumCounters);
-
-  // The artifact's classifier layout must agree with this db's search
-  // space — loading a tuner against an incompatible machine is an error,
-  // not a silent misprediction (cross-machine reuse goes through
-  // import_gnn instead).
-  PNP_CHECK_MSG(art.head_sizes == head_layout(mode_),
-                "artifact head layout does not match this measurement db's "
-                "search space");
-  PNP_CHECK_MSG(art.extra_features == extra_feature_count(mode_),
-                "artifact extra-feature count " << art.extra_features
-                                                << " does not match this "
-                                                   "db/options layout");
 
   nn::RgcnNetConfig nc;
   nc.vocab_size = vocab_.size();

@@ -30,7 +30,7 @@
 #include "nn/trainer.hpp"
 
 namespace pnp::serve {
-class InferenceEngine;
+class ModelState;
 }
 
 namespace pnp::core {
@@ -122,9 +122,9 @@ class PnpTuner {
   const MeasurementDb& db() const { return db_; }
 
  private:
-  // The batched inference fast path reuses the tuner's private caches and
-  // decode helpers without widening the public API.
-  friend class pnp::serve::InferenceEngine;
+  // The serving layer's immutable model wrapper reuses the tuner's private
+  // caches and decode helpers without widening the public API.
+  friend class pnp::serve::ModelState;
 
   /// make_extra into a caller-owned buffer (no allocation once the
   /// buffer's capacity is warm) — the serving fast path.

@@ -4,7 +4,9 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "core/measurement_db.hpp"
 #include "core/pnp_tuner.hpp"
+#include "core/search_space.hpp"
 
 namespace pnp::core {
 
@@ -85,6 +87,13 @@ PnpOptions TunerArtifact::options() const {
   return o;
 }
 
+void TunerArtifact::set_space(const SearchSpace& space) {
+  space_threads = space.thread_values();
+  space_chunks = space.chunk_values();
+  space_caps = space.power_caps();
+  space_schedules = space.num_schedule_classes();
+}
+
 graph::Vocabulary TunerArtifact::make_vocab() const {
   graph::Vocabulary v;
   for (const auto& tok : vocab_tokens) v.add(tok);
@@ -137,6 +146,11 @@ StateDict TunerArtifact::to_state_dict() const {
   sd.put_int("model.extra_features", extra_features);
   sd.put_int("model.vocab_size",
              static_cast<std::int64_t>(vocab_tokens.size()) + 1);
+
+  sd.put("space.threads", to_doubles(space_threads));
+  sd.put("space.chunks", to_doubles(space_chunks));
+  sd.put("space.caps", space_caps);
+  sd.put_int("space.schedules", space_schedules);
 
   for (const auto& name : net_weights.names())
     sd.put(kNetPrefix + name, net_weights.get(name));
@@ -231,6 +245,21 @@ TunerArtifact TunerArtifact::from_state_dict(const StateDict& sd) {
   PNP_CHECK_MSG(a.extra_features >= 0 && a.extra_features <= (1 << 20),
                 "extra-feature count out of range: " << a.extra_features);
 
+  if (version >= 2) {
+    // The search-space fingerprint is mandatory from v2 on (it may be
+    // empty only for artifacts round-tripped from v1 files, which then
+    // skip the fingerprint check at validation time).
+    a.space_threads = get_int_array(sd, "space.threads");
+    a.space_chunks = get_int_array(sd, "space.chunks");
+    a.space_caps = sd.get("space.caps");
+    a.space_schedules = static_cast<int>(sd.get_int("space.schedules"));
+    PNP_CHECK_MSG(a.space_threads.size() <= 4096 &&
+                      a.space_chunks.size() <= 4096 &&
+                      a.space_caps.size() <= 4096 && a.space_schedules >= 0 &&
+                      a.space_schedules <= 4096,
+                  "unreasonable search-space fingerprint");
+  }
+
   const std::string prefix = kNetPrefix;
   for (const auto& name : sd.names())
     if (name.rfind(prefix, 0) == 0)
@@ -245,6 +274,73 @@ void TunerArtifact::save_file(const std::string& path) const {
 
 TunerArtifact TunerArtifact::load_file(const std::string& path) {
   return from_state_dict(StateDict::load_file(path));
+}
+
+std::vector<int> tuner_head_layout(const SearchSpace& space,
+                                   bool factored_heads, bool edp_scenario) {
+  const int per_cap = space.num_thread_classes() *
+                      space.num_schedule_classes() * space.num_chunk_classes();
+  if (factored_heads) {
+    if (edp_scenario)
+      return {space.num_cap_classes(), space.num_thread_classes(),
+              space.num_schedule_classes(), space.num_chunk_classes()};
+    return {space.num_thread_classes(), space.num_schedule_classes(),
+            space.num_chunk_classes()};
+  }
+  return {edp_scenario ? space.num_cap_classes() * per_cap : per_cap};
+}
+
+int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
+                              int num_caps, bool use_counters) {
+  int n = 0;
+  if (power_scenario) n += cap_onehot ? num_caps : 1;
+  if (use_counters) n += kNumProfiledCounters;
+  return n;
+}
+
+void validate_artifact(const TunerArtifact& art, const MeasurementDb& db) {
+  PNP_CHECK_MSG(art.mode != TunerArtifact::Mode::None,
+                "artifact holds no trained scenario");
+  const bool edp = art.mode == TunerArtifact::Mode::Edp;
+  const SearchSpace& space = db.space();
+
+  // The classifier layout the db's search space demands: loading a tuner
+  // against an incompatible machine is an error, not a silent
+  // misprediction (cross-machine reuse goes through import_gnn instead).
+  PNP_CHECK_MSG(
+      art.head_sizes == tuner_head_layout(space, art.opt_factored_heads, edp),
+      "artifact head layout does not match this measurement db's search "
+      "space");
+  PNP_CHECK_MSG(art.extra_features ==
+                    tuner_extra_feature_count(!edp, art.opt_cap_onehot,
+                                              db.num_caps(), art.opt_use_counters),
+                "artifact extra-feature count " << art.extra_features
+                                                << " does not match this "
+                                                   "db/options layout");
+  if (art.opt_use_counters)
+    PNP_CHECK_MSG(art.counter_mean.size() ==
+                      static_cast<std::size_t>(kNumProfiledCounters),
+                  "artifact stores " << art.counter_mean.size()
+                                     << " counter stats, expected "
+                                     << kNumProfiledCounters);
+  for (int k : art.opt_train_cap_indices)
+    PNP_CHECK_MSG(k >= 0 && k < db.num_caps(),
+                  "artifact train-cap index " << k << " out of range [0, "
+                                              << db.num_caps() << ")");
+
+  // v2+ artifacts carry the exact space they were trained on; two machines
+  // can share a head layout (Haswell/Skylake both classify 6×3×8 over 4
+  // caps) yet mean different things by class i, so compare the values.
+  if (!art.space_threads.empty() || !art.space_chunks.empty() ||
+      !art.space_caps.empty() || art.space_schedules != 0) {
+    PNP_CHECK_MSG(art.space_threads == space.thread_values() &&
+                      art.space_chunks == space.chunk_values() &&
+                      art.space_caps == space.power_caps() &&
+                      art.space_schedules == space.num_schedule_classes(),
+                  "artifact was trained against a different search space "
+                  "(thread/chunk/cap grid mismatch) — cross-machine reuse "
+                  "goes through import_gnn, not load");
+  }
 }
 
 }  // namespace pnp::core

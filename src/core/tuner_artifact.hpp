@@ -10,7 +10,8 @@
 ///
 /// The artifact is stored as a single v2 StateDict file whose metadata
 /// lives in string/int entries ("artifact.*", "opt.*", "vocab.*",
-/// "model.*", "norm.*") and whose network weights carry a "net." prefix.
+/// "model.*", "norm.*", "space.*") and whose network weights carry a
+/// "net." prefix.
 
 #include <string>
 #include <vector>
@@ -21,11 +22,20 @@
 namespace pnp::core {
 
 struct PnpOptions;
+class MeasurementDb;
+class SearchSpace;
+
+/// Number of profiled hardware counters the dynamic variant appends to the
+/// dense input (paper §IV-B): instructions, L1/L2/L3 misses, branch
+/// mispredictions.
+inline constexpr int kNumProfiledCounters = 5;
 
 struct TunerArtifact {
   /// Bumped when the artifact layout changes incompatibly; loaders reject
-  /// files with a newer version than they understand.
-  static constexpr std::int64_t kFormatVersion = 1;
+  /// files with a newer version than they understand. v2 added the
+  /// "space.*" search-space fingerprint; v1 files (no fingerprint) still
+  /// load, skipping the fingerprint check.
+  static constexpr std::int64_t kFormatVersion = 2;
   static constexpr const char* kKind = "pnp-tuner";
 
   /// Mirrors PnpTuner's private mode enum (0 = none is rejected on save).
@@ -42,6 +52,16 @@ struct TunerArtifact {
   std::vector<int> head_sizes;
   int extra_features = 0;
   StateDict net_weights;  ///< unprefixed RgcnNet parameter names
+
+  /// Fingerprint of the search space the tuner was trained against
+  /// (format v2+; empty/0 when loaded from a v1 file). Lets loaders
+  /// reject a cross-machine artifact even when the machines happen to
+  /// share a classifier head layout (Haswell and Skylake both have
+  /// 6×3×8 classes over 4 caps, but different thread/cap values).
+  std::vector<int> space_threads;
+  std::vector<int> space_chunks;
+  std::vector<double> space_caps;
+  int space_schedules = 0;
 
   // PnpOptions is round-tripped field by field (see tuner_artifact.cpp);
   // the struct itself is stored here for symmetric save/load code.
@@ -78,9 +98,31 @@ struct TunerArtifact {
   StateDict to_state_dict() const;
   static TunerArtifact from_state_dict(const StateDict& sd);
 
+  /// Record the search space the tuner was trained against (save path).
+  void set_space(const SearchSpace& space);
+
   /// File round-trip through the hardened StateDict reader/writer.
   void save_file(const std::string& path) const;
   static TunerArtifact load_file(const std::string& path);
 };
+
+/// Classifier head layout a trained tuner must have for `space` — shared
+/// by training (build_model), restore, and artifact validation.
+std::vector<int> tuner_head_layout(const SearchSpace& space,
+                                   bool factored_heads, bool edp_scenario);
+
+/// Width of the dense classifier's extra-feature slot for a mode/options
+/// combination under a db with `num_caps` power caps.
+int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
+                              int num_caps, bool use_counters);
+
+/// Validate a loaded artifact against the measurement db it is about to
+/// serve: classifier head layout, extra-feature width, counter stats,
+/// train-cap indices, and (v2+ artifacts) the recorded search-space
+/// fingerprint must all agree with `db`. Throws pnp::Error on any
+/// mismatch; used by PnpTuner::load *before* any model state is built and
+/// by serve::TuningService::reload so a bad artifact can never displace a
+/// live model.
+void validate_artifact(const TunerArtifact& art, const MeasurementDb& db);
 
 }  // namespace pnp::core

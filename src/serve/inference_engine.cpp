@@ -19,23 +19,100 @@ int worker_count() {
 #endif
 }
 
+const char* mode_name(core::PnpTuner::Mode m) {
+  switch (m) {
+    case core::PnpTuner::Mode::Power:
+      return "power";
+    case core::PnpTuner::Mode::Edp:
+      return "edp";
+    default:
+      return "untrained";
+  }
+}
+
 }  // namespace
+
+// --- ModelState --------------------------------------------------------------
+
+ModelState::ModelState(core::PnpTuner tuner) : tuner_(std::move(tuner)) {
+  PNP_CHECK_MSG(
+      tuner_.net_ != nullptr && tuner_.mode_ != core::PnpTuner::Mode::None,
+      "serving needs a trained or loaded tuner");
+}
+
+bool ModelState::scalar_cap() const { return !tuner_.opt_.cap_onehot; }
+
+void ModelState::validate_region(int region) const {
+  PNP_CHECK_MSG(region >= 0 && region < tuner_.db_.num_regions(),
+                "region " << region << " out of range [0, "
+                          << tuner_.db_.num_regions() << ")");
+}
+
+void ModelState::validate_cap(int cap_index) const {
+  PNP_CHECK_MSG(cap_index >= 0 && cap_index < tuner_.db_.num_caps(),
+                "cap index " << cap_index << " out of range [0, "
+                             << tuner_.db_.num_caps() << ")");
+}
+
+void ModelState::require_mode(core::PnpTuner::Mode m, const char* what) const {
+  PNP_CHECK_MSG(tuner_.mode_ == m, what << " not servable by a "
+                                        << mode_name(tuner_.mode_)
+                                        << "-scenario model");
+}
+
+void ModelState::require_scalar_cap() const {
+  PNP_CHECK_MSG(!tuner_.opt_.cap_onehot,
+                "predicting at arbitrary caps requires a scalar-cap model "
+                "(cap_onehot == false)");
+}
+
+void ModelState::encode(int region, nn::RgcnNet::GnnCache& out) const {
+  validate_region(region);
+  tuner_.net_->encode_into(tuner_.tensors_[static_cast<std::size_t>(region)],
+                           out);
+}
+
+void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
+                           std::optional<int> cap_index,
+                           std::optional<double> cap_w, Scratch& s) const {
+  tuner_.fill_extra(region, cap_index, cap_w, s.extra);
+  const nn::RgcnNet& net = *tuner_.net_;
+  net.dense_forward_into(enc.readout, s.extra, s.dc);
+  s.preds.clear();
+  const int heads = static_cast<int>(net.config().head_sizes.size());
+  for (int h = 0; h < heads; ++h)
+    s.preds.push_back(nn::argmax_index(net.head_logits(s.dc, h)));
+}
+
+sim::OmpConfig ModelState::decode_power(const Scratch& s) const {
+  return tuner_.decode_config(s.preds, 0);
+}
+
+core::PnpTuner::JointChoice ModelState::decode_edp(const Scratch& s) const {
+  core::PnpTuner::JointChoice jc;
+  if (tuner_.opt_.factored_heads) {
+    jc.cap_index = s.preds[0];
+    jc.cfg = tuner_.decode_config(s.preds, 1);
+  } else {
+    const core::SearchSpace& space = tuner_.db_.space();
+    const int per_cap = space.num_thread_classes() *
+                        space.num_schedule_classes() *
+                        space.num_chunk_classes();
+    jc.cap_index = s.preds[0] / per_cap;
+    jc.cfg = tuner_.decode_config(s.preds, 0);
+  }
+  return jc;
+}
+
+// --- InferenceEngine ---------------------------------------------------------
 
 InferenceEngine::InferenceEngine(const core::MeasurementDb& db,
                                  const std::string& path)
     : InferenceEngine(core::PnpTuner::load(db, path)) {}
 
 InferenceEngine::InferenceEngine(core::PnpTuner tuner)
-    : tuner_(std::move(tuner)) {
-  PNP_CHECK_MSG(tuner_.net_ != nullptr && tuner_.mode_ != core::PnpTuner::Mode::None,
-                "InferenceEngine needs a trained or loaded tuner");
+    : state_(std::move(tuner)) {
   scratch_.resize(static_cast<std::size_t>(worker_count()));
-}
-
-void InferenceEngine::validate_region(int region) const {
-  PNP_CHECK_MSG(region >= 0 && region < tuner_.db_.num_regions(),
-                "region " << region << " out of range [0, "
-                          << tuner_.db_.num_regions() << ")");
 }
 
 void InferenceEngine::ensure_encoded(std::span<const int> regions) {
@@ -46,7 +123,7 @@ void InferenceEngine::ensure_encoded(std::span<const int> regions) {
     scratch_.resize(static_cast<std::size_t>(worker_count()));
   // Validate the whole batch before touching the cache: a reserved slot
   // for a region that never gets encoded would poison every later query.
-  for (int r : regions) validate_region(r);
+  for (int r : regions) state_.validate_region(r);
   pending_.clear();
   for (int r : regions) {
     // try_emplace both dedupes the work list and reserves the cache slot;
@@ -55,8 +132,7 @@ void InferenceEngine::ensure_encoded(std::span<const int> regions) {
   }
   if (pending_.empty()) return;
   const auto encode_one = [this](int r) {
-    tuner_.net_->encode_into(
-        tuner_.tensors_[static_cast<std::size_t>(r)], enc_.find(r)->second);
+    state_.encode(r, enc_.find(r)->second);
   };
 #ifdef PNP_PARALLEL
 #pragma omp parallel for schedule(dynamic)
@@ -77,17 +153,6 @@ void InferenceEngine::for_each_query(std::size_t n, Fn&& fn) {
 #endif
 }
 
-void InferenceEngine::run_heads(int region, std::optional<int> cap_index,
-                                std::optional<double> cap_w, Scratch& s) {
-  tuner_.fill_extra(region, cap_index, cap_w, s.extra);
-  const nn::RgcnNet& net = *tuner_.net_;
-  net.dense_forward_into(enc_.find(region)->second.readout, s.extra, s.dc);
-  s.preds.clear();
-  const int heads = static_cast<int>(net.config().head_sizes.size());
-  for (int h = 0; h < heads; ++h)
-    s.preds.push_back(nn::argmax_index(net.head_logits(s.dc, h)));
-}
-
 sim::OmpConfig InferenceEngine::predict_power(int region, int cap_index) {
   const PowerQuery q{region, cap_index};
   return predict_power_batch(std::span<const PowerQuery>(&q, 1))[0];
@@ -99,71 +164,50 @@ core::PnpTuner::JointChoice InferenceEngine::predict_edp(int region) {
 
 std::vector<sim::OmpConfig> InferenceEngine::predict_power_batch(
     std::span<const PowerQuery> queries) {
-  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Power,
-                "engine serves an EDP model; use predict_edp_batch");
-  const int num_caps = tuner_.db_.num_caps();
+  state_.require_mode(core::PnpTuner::Mode::Power, "a power query");
   regions_buf_.clear();
   regions_buf_.reserve(queries.size());
   for (const PowerQuery& q : queries) {
-    PNP_CHECK_MSG(q.cap_index >= 0 && q.cap_index < num_caps,
-                  "cap index " << q.cap_index << " out of range [0, "
-                               << num_caps << ")");
+    state_.validate_cap(q.cap_index);
     regions_buf_.push_back(q.region);
   }
   ensure_encoded(regions_buf_);
 
   std::vector<sim::OmpConfig> out(queries.size());
   for_each_query(queries.size(), [&](std::size_t i, Scratch& s) {
-    run_heads(queries[i].region, queries[i].cap_index, std::nullopt, s);
-    out[i] = tuner_.decode_config(s.preds, 0);
+    state_.run_heads(enc_.find(queries[i].region)->second, queries[i].region,
+                     queries[i].cap_index, std::nullopt, s);
+    out[i] = state_.decode_power(s);
   });
   return out;
 }
 
 std::vector<sim::OmpConfig> InferenceEngine::predict_power_at_batch(
     std::span<const int> regions, double cap_w) {
-  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Power,
-                "engine serves an EDP model; use predict_edp_batch");
-  PNP_CHECK_MSG(!tuner_.opt_.cap_onehot,
-                "predicting at arbitrary caps requires a scalar-cap model "
-                "(cap_onehot == false)");
+  state_.require_mode(core::PnpTuner::Mode::Power, "a power query");
+  state_.require_scalar_cap();
   PNP_CHECK_MSG(cap_w > 0.0, "cap must be positive, got " << cap_w);
   ensure_encoded(regions);
 
   std::vector<sim::OmpConfig> out(regions.size());
   for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
-    run_heads(regions[i], std::nullopt, cap_w, s);
-    out[i] = tuner_.decode_config(s.preds, 0);
+    state_.run_heads(enc_.find(regions[i])->second, regions[i], std::nullopt,
+                     cap_w, s);
+    out[i] = state_.decode_power(s);
   });
   return out;
 }
 
 std::vector<core::PnpTuner::JointChoice> InferenceEngine::predict_edp_batch(
     std::span<const int> regions) {
-  PNP_CHECK_MSG(tuner_.mode_ == core::PnpTuner::Mode::Edp,
-                "engine serves a power-scenario model; use "
-                "predict_power_batch");
+  state_.require_mode(core::PnpTuner::Mode::Edp, "an edp query");
   ensure_encoded(regions);
-
-  const core::SearchSpace& space = tuner_.db_.space();
-  const int per_cap = space.num_thread_classes() *
-                      space.num_schedule_classes() * space.num_chunk_classes();
-  const auto decode_one = [&](int region, Scratch& s) {
-    run_heads(region, std::nullopt, std::nullopt, s);
-    core::PnpTuner::JointChoice jc;
-    if (tuner_.opt_.factored_heads) {
-      jc.cap_index = s.preds[0];
-      jc.cfg = tuner_.decode_config(s.preds, 1);
-    } else {
-      jc.cap_index = s.preds[0] / per_cap;
-      jc.cfg = tuner_.decode_config(s.preds, 0);
-    }
-    return jc;
-  };
 
   std::vector<core::PnpTuner::JointChoice> out(regions.size());
   for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
-    out[i] = decode_one(regions[i], s);
+    state_.run_heads(enc_.find(regions[i])->second, regions[i], std::nullopt,
+                     std::nullopt, s);
+    out[i] = state_.decode_edp(s);
   });
   return out;
 }

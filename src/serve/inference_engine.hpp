@@ -1,23 +1,27 @@
 #pragma once
 
 /// \file inference_engine.hpp
-/// Batched inference over a trained (usually reloaded) PnP tuner — the
-/// serving half of the paper's train-once, predict-anywhere deployment
-/// story (§IV-B). The engine owns the tuner and answers predict_power /
-/// predict_edp for batches of queries:
+/// The serving half of the paper's train-once, predict-anywhere deployment
+/// story (§IV-B), in two layers:
 ///
-///  - each distinct region graph is encoded through the GNN at most once
-///    and the encoding is cached across batches (weights are immutable
-///    while serving, so encodings never go stale);
-///  - every per-query buffer (dense workspace, extra features, argmax
-///    scratch) is reused, so steady-state serving does zero heap
-///    allocation;
-///  - under PNP_PARALLEL the encode and dense phases run query-parallel
-///    with per-thread scratch, bit-identical to the serial path.
+///  - ModelState: an immutable trained model (tuner + net + tensors) with
+///    const, thread-safe primitives — encode a region into a caller-owned
+///    cache, run the dense heads with caller-owned scratch, decode the
+///    predictions. Every serving front end (the single-threaded batched
+///    InferenceEngine below, the concurrent serve::TuningService) is a
+///    cache/scheduling policy over these primitives, and hot reload is
+///    "publish a new ModelState snapshot".
+///
+///  - InferenceEngine: batched single-caller serving. Each distinct region
+///    graph is encoded through the GNN at most once and cached across
+///    batches; per-query buffers are reused so steady-state serving does
+///    zero heap allocation; under PNP_PARALLEL the encode and dense phases
+///    run query-parallel with per-thread scratch, bit-identical to serial.
 ///
 /// See docs/SERVING.md for the end-to-end flow (pnp_tune CLI → artifact →
-/// engine).
+/// engine → service).
 
+#include <optional>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -34,6 +38,62 @@ struct PowerQuery {
   int cap_index = 0;
 };
 
+/// An immutable trained model. All methods are const and safe to call
+/// concurrently from many threads provided each thread passes its own
+/// GnnCache / Scratch (the model itself is never mutated after
+/// construction). This is the unit serve::TuningService snapshots for
+/// zero-downtime hot reload.
+class ModelState {
+ public:
+  /// Adopt a trained or loaded tuner. Throws pnp::Error if the tuner has
+  /// no trained scenario.
+  explicit ModelState(core::PnpTuner tuner);
+
+  const core::PnpTuner& tuner() const { return tuner_; }
+  core::PnpTuner::Mode mode() const { return tuner_.mode(); }
+  int num_regions() const { return tuner_.db().num_regions(); }
+  int num_caps() const { return tuner_.db().num_caps(); }
+  /// True when the model uses the normalized scalar cap feature and can
+  /// therefore serve arbitrary (unseen) caps in watts.
+  bool scalar_cap() const;
+
+  /// Per-query dense-phase scratch; reused across calls so steady-state
+  /// serving allocates nothing.
+  struct Scratch {
+    nn::RgcnNet::DenseCache dc;
+    std::vector<double> extra;
+    std::vector<int> preds;
+  };
+
+  // --- Validation (all throw pnp::Error) ---------------------------------
+  void validate_region(int region) const;
+  void validate_cap(int cap_index) const;
+  /// Require the trained scenario to be `m`; `what` names the request in
+  /// the error message.
+  void require_mode(core::PnpTuner::Mode m, const char* what) const;
+  void require_scalar_cap() const;
+
+  // --- Serving primitives ------------------------------------------------
+  /// GNN-encode one region into `out`, reusing its buffers (zero
+  /// allocation when the shapes already match).
+  void encode(int region, nn::RgcnNet::GnnCache& out) const;
+
+  /// Dense pass + argmax over a cached encoding; fills s.preds. Exactly
+  /// one of `cap_index` / `cap_w` is set for power queries (cap_w serves
+  /// held-out caps on scalar-cap models); both empty for EDP.
+  void run_heads(const nn::RgcnNet::GnnCache& enc, int region,
+                 std::optional<int> cap_index, std::optional<double> cap_w,
+                 Scratch& s) const;
+
+  /// Decode s.preds after a power-scenario run_heads.
+  sim::OmpConfig decode_power(const Scratch& s) const;
+  /// Decode s.preds after an EDP run_heads.
+  core::PnpTuner::JointChoice decode_edp(const Scratch& s) const;
+
+ private:
+  core::PnpTuner tuner_;
+};
+
 class InferenceEngine {
  public:
   /// Serve the artifact at `path` against `db` (the fresh-process entry:
@@ -44,7 +104,9 @@ class InferenceEngine {
   /// Adopt an already-trained or already-loaded tuner.
   explicit InferenceEngine(core::PnpTuner tuner);
 
-  const core::PnpTuner& tuner() const { return tuner_; }
+  const core::PnpTuner& tuner() const { return state_.tuner(); }
+  /// The immutable model this engine serves.
+  const ModelState& state() const { return state_; }
 
   /// Single-query predictions; bit-identical to PnpTuner::predict_* but
   /// allocation-free in steady state.
@@ -72,13 +134,8 @@ class InferenceEngine {
 
  private:
   /// Per-thread dense-phase scratch (index 0 serves the serial path).
-  struct Scratch {
-    nn::RgcnNet::DenseCache dc;
-    std::vector<double> extra;
-    std::vector<int> preds;
-  };
+  using Scratch = ModelState::Scratch;
 
-  void validate_region(int region) const;
   /// Encode any not-yet-cached regions of the batch (parallel when built
   /// with PNP_PARALLEL).
   void ensure_encoded(std::span<const int> regions);
@@ -88,12 +145,8 @@ class InferenceEngine {
   /// bit-identical to the serial one.
   template <class Fn>
   void for_each_query(std::size_t n, Fn&& fn);
-  /// Dense pass + argmax for one query using `s`'s buffers; fills s.preds.
-  /// `cap_w` substitutes the scalar cap feature (held-out caps).
-  void run_heads(int region, std::optional<int> cap_index,
-                 std::optional<double> cap_w, Scratch& s);
 
-  core::PnpTuner tuner_;
+  ModelState state_;
   std::unordered_map<int, nn::RgcnNet::GnnCache> enc_;
   std::vector<Scratch> scratch_;
   std::vector<int> pending_;      ///< ensure_encoded work list (reused)

@@ -1,0 +1,274 @@
+#include "serve/tuning_service.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pnp::serve {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+}  // namespace
+
+// --- Snapshot ----------------------------------------------------------------
+
+TuningService::Snapshot::Snapshot(core::PnpTuner tuner,
+                                  std::size_t shard_count,
+                                  std::shared_ptr<Counters> ctrs)
+    : model(std::move(tuner)),
+      locks(shard_count),
+      shards(shard_count),
+      counters(std::move(ctrs)) {}
+
+const nn::RgcnNet::GnnCache& TuningService::Snapshot::encoding(
+    int region) const {
+  const std::size_t stripe =
+      locks.stripe_of(static_cast<std::uint64_t>(region));
+  {
+    std::shared_lock<std::shared_mutex> rl(locks.at(stripe));
+    const auto it = shards[stripe].find(region);
+    if (it != shards[stripe].end()) {
+      counters->encode_hits.fetch_add(1, kRelaxed);
+      // Safe to use after unlock: entries are append-only and the pointee
+      // is immutable once published under the stripe lock.
+      return *it->second;
+    }
+  }
+  // Miss: run the GNN outside any lock — encoding dominates the cost and
+  // must not serialize unrelated regions. If two threads race on the same
+  // region, both encodes are bit-identical and the first insert wins.
+  auto fresh = std::make_unique<nn::RgcnNet::GnnCache>();
+  model.encode(region, *fresh);
+  counters->encode_misses.fetch_add(1, kRelaxed);
+  std::unique_lock<std::shared_mutex> wl(locks.at(stripe));
+  const auto [it, inserted] =
+      shards[stripe].try_emplace(region, std::move(fresh));
+  return *it->second;
+}
+
+TuneResult TuningService::Snapshot::serve(const TuneRequest& q,
+                                          ModelState::Scratch& s) const {
+  model.validate_region(q.region);
+  TuneResult out;
+  out.model_version = version;
+  switch (q.kind) {
+    case TuneRequest::Kind::Power: {
+      model.require_mode(core::PnpTuner::Mode::Power, "a power query");
+      model.validate_cap(q.cap_index);
+      model.run_heads(encoding(q.region), q.region, q.cap_index, std::nullopt,
+                      s);
+      out.config = model.decode_power(s);
+      out.cap_index = q.cap_index;
+      return out;
+    }
+    case TuneRequest::Kind::PowerAt: {
+      model.require_mode(core::PnpTuner::Mode::Power, "a power_at query");
+      model.require_scalar_cap();
+      PNP_CHECK_MSG(q.cap_w > 0.0,
+                    "cap must be positive, got " << q.cap_w << " W");
+      model.run_heads(encoding(q.region), q.region, std::nullopt, q.cap_w, s);
+      out.config = model.decode_power(s);
+      out.cap_index = -1;
+      return out;
+    }
+    case TuneRequest::Kind::Edp: {
+      model.require_mode(core::PnpTuner::Mode::Edp, "an edp query");
+      model.run_heads(encoding(q.region), q.region, std::nullopt,
+                      std::nullopt, s);
+      const core::PnpTuner::JointChoice jc = model.decode_edp(s);
+      out.config = jc.cfg;
+      out.cap_index = jc.cap_index;
+      return out;
+    }
+  }
+  PNP_CHECK_MSG(false, "unknown request kind "
+                           << static_cast<int>(q.kind));
+  throw Error("unreachable");
+}
+
+std::size_t TuningService::Snapshot::cached() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    std::shared_lock<std::shared_mutex> rl(locks.at(i));
+    n += shards[i].size();
+  }
+  return n;
+}
+
+// --- ScratchLease ------------------------------------------------------------
+
+TuningService::ScratchLease::ScratchLease(TuningService& svc) : svc_(svc) {
+  std::lock_guard<std::mutex> lk(svc_.scratch_mu_);
+  if (svc_.scratch_free_.empty()) {
+    svc_.scratch_owned_.push_back(std::make_unique<ModelState::Scratch>());
+    scratch_ = svc_.scratch_owned_.back().get();
+  } else {
+    scratch_ = svc_.scratch_free_.back();
+    svc_.scratch_free_.pop_back();
+  }
+}
+
+TuningService::ScratchLease::~ScratchLease() {
+  std::lock_guard<std::mutex> lk(svc_.scratch_mu_);
+  svc_.scratch_free_.push_back(scratch_);
+}
+
+// --- TuningService -----------------------------------------------------------
+
+TuningService::TuningService(const core::MeasurementDb& db,
+                             const std::string& artifact_path,
+                             TuningServiceOptions options)
+    : db_(db), opt_(options), counters_(std::make_shared<Counters>()) {
+  std::lock_guard<std::mutex> rl(reload_mu_);
+  publish_locked(core::PnpTuner::load(db_, artifact_path));
+}
+
+TuningService::TuningService(core::PnpTuner tuner,
+                             TuningServiceOptions options)
+    : db_(tuner.db()), opt_(options),
+      counters_(std::make_shared<Counters>()) {
+  std::lock_guard<std::mutex> rl(reload_mu_);
+  publish_locked(std::move(tuner));
+}
+
+std::size_t TuningService::shard_count() const {
+  return static_cast<std::size_t>(std::max(1, opt_.cache_shards));
+}
+
+std::uint64_t TuningService::publish_locked(core::PnpTuner tuner) {
+  // ModelState's constructor rejects untrained tuners, so an invalid
+  // candidate throws here, before anything is published.
+  auto snap =
+      std::make_shared<Snapshot>(std::move(tuner), shard_count(), counters_);
+  snap->version = snapshot_.version() + 1;
+  const std::uint64_t published = snapshot_.publish(std::move(snap));
+  return published;
+}
+
+std::uint64_t TuningService::reload(const std::string& artifact_path) {
+  std::lock_guard<std::mutex> rl(reload_mu_);
+  try {
+    // Everything fallible happens off to the side: artifact parse,
+    // search-space validation (core::validate_artifact, inside load),
+    // tensor rebuild. The live snapshot is untouched until publish.
+    core::PnpTuner fresh = core::PnpTuner::load(db_, artifact_path);
+    const auto cur = snapshot_.current();
+    PNP_CHECK_MSG(fresh.mode() == cur.value->model.mode(),
+                  "reload would switch the served scenario (power vs edp); "
+                  "start a new service for a different scenario");
+    const std::uint64_t v = publish_locked(std::move(fresh));
+    counters_->reloads.fetch_add(1, kRelaxed);
+    return v;
+  } catch (...) {
+    counters_->failed_reloads.fetch_add(1, kRelaxed);
+    throw;
+  }
+}
+
+core::PnpTuner::Mode TuningService::mode() const {
+  return snapshot_.current().value->model.mode();
+}
+
+std::size_t TuningService::cached_encodings() const {
+  return snapshot_.current().value->cached();
+}
+
+void TuningService::run_batch(const std::vector<Pending*>& batch) {
+  counters_->batches.fetch_add(1, kRelaxed);
+  counters_->coalesced.fetch_add(batch.size() - 1, kRelaxed);
+  // One snapshot for the whole batch: every request in it is served —
+  // and version-tagged — by exactly one model, never a half-swapped one.
+  const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
+  ScratchLease lease(*this);
+  for (Pending* p : batch) {
+    try {
+      p->result = snap->serve(*p->req, lease.get());
+    } catch (...) {
+      p->error = std::current_exception();
+    }
+  }
+}
+
+TuneResult TuningService::tune(const TuneRequest& request) {
+  counters_->requests.fetch_add(1, kRelaxed);
+
+  if (!opt_.coalesce) {
+    counters_->batches.fetch_add(1, kRelaxed);
+    const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
+    ScratchLease lease(*this);
+    return snap->serve(request, lease.get());
+  }
+
+  Pending p;
+  p.req = &request;
+  std::unique_lock<std::mutex> lk(admit_mu_);
+  queue_.push_back(&p);
+  // Wake a leader parked in its bounded batch_wait: the queue just grew.
+  // With batch_wait == 0 no leader ever parks there, so skip the
+  // broadcast — it would only wake followers into re-sleeping.
+  if (opt_.batch_wait.count() > 0) admit_cv_.notify_all();
+  while (!p.done) {
+    if (leader_active_) {
+      // Follower: a leader is executing (or filling) a batch; our request
+      // either rides in it or waits for the next leader.
+      admit_cv_.wait(lk);
+      continue;
+    }
+    // Become the leader. Optionally wait — bounded — for the batch to
+    // fill, then take up to max_batch queued requests and execute them
+    // outside the lock.
+    leader_active_ = true;
+    const std::size_t max_batch =
+        static_cast<std::size_t>(std::max(1, opt_.max_batch));
+    if (opt_.batch_wait.count() > 0 && queue_.size() < max_batch) {
+      admit_cv_.wait_for(lk, opt_.batch_wait,
+                         [&] { return queue_.size() >= max_batch; });
+    }
+    const std::size_t take = std::min(queue_.size(), max_batch);
+    const std::vector<Pending*> batch(queue_.begin(),
+                                      queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(take));
+    lk.unlock();
+    run_batch(batch);
+    lk.lock();
+    for (Pending* q : batch) q->done = true;
+    leader_active_ = false;
+    // Wake the batch's owners and the next leader candidate.
+    admit_cv_.notify_all();
+  }
+  lk.unlock();
+  if (p.error) std::rethrow_exception(p.error);
+  return p.result;
+}
+
+std::vector<TuneResult> TuningService::tune_batch(
+    std::span<const TuneRequest> requests) {
+  counters_->requests.fetch_add(requests.size(), kRelaxed);
+  counters_->batches.fetch_add(1, kRelaxed);
+  if (!requests.empty())
+    counters_->coalesced.fetch_add(requests.size() - 1, kRelaxed);
+  const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
+  ScratchLease lease(*this);
+  std::vector<TuneResult> out;
+  out.reserve(requests.size());
+  for (const TuneRequest& q : requests)
+    out.push_back(snap->serve(q, lease.get()));
+  return out;
+}
+
+TuningService::Stats TuningService::stats() const {
+  Stats s;
+  s.requests = counters_->requests.load(kRelaxed);
+  s.batches = counters_->batches.load(kRelaxed);
+  s.coalesced = counters_->coalesced.load(kRelaxed);
+  s.encode_hits = counters_->encode_hits.load(kRelaxed);
+  s.encode_misses = counters_->encode_misses.load(kRelaxed);
+  s.reloads = counters_->reloads.load(kRelaxed);
+  s.failed_reloads = counters_->failed_reloads.load(kRelaxed);
+  return s;
+}
+
+}  // namespace pnp::serve

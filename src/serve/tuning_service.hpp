@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file tuning_service.hpp
+/// Thread-safe concurrent tuning service — the production front end of the
+/// paper's deployment story: many callers asking "best (threads, schedule,
+/// chunk) under this power cap" at once, against a model that can be
+/// replaced without downtime. Three mechanisms (docs/SERVING.md has the
+/// full contracts):
+///
+///  - **Sharded encoding cache.** Per-region GNN encodings live in N
+///    lock-striped shards (common/sync.hpp StripedSharedMutex), so
+///    queries for unrelated regions never contend; each region is encoded
+///    at most once per model version and the encode itself runs outside
+///    any lock.
+///
+///  - **Admission queue.** Small concurrent requests coalesce into
+///    batches (leader/follower combining): the first caller to find no
+///    active leader takes the queued requests — optionally waiting a
+///    bounded `batch_wait` for the batch to fill — executes them against
+///    one model snapshot, and wakes the owners. Callers never see the
+///    queue; tune() simply returns their result (or rethrows their
+///    error).
+///
+///  - **Versioned hot reload.** reload(path) loads and validates a new
+///    artifact entirely off to the side, then atomically publishes it
+///    (common/sync.hpp VersionedSnapshot). In-flight requests finish on
+///    the snapshot that admitted them; requests admitted after the
+///    publish use the new model; a failed reload (corrupt / incompatible
+///    / missing artifact) throws and the old model keeps serving. Every
+///    result is tagged with the model version that served it.
+///
+/// Determinism contract: a request's result is a pure function of
+/// (request, model version). Concurrent execution, batching order, cache
+/// state, and thread count never change any result — the stress suite
+/// (tests/service_test.cpp) checks bit-identity against a single-threaded
+/// reference run, including across a mid-stream reload.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sync.hpp"
+#include "serve/inference_engine.hpp"
+
+namespace pnp::serve {
+
+/// One tuning request. `Power` asks for the best OpenMP configuration at
+/// a search-space cap index; `PowerAt` at an arbitrary cap in watts
+/// (scalar-cap models only, paper Figs. 4–5); `Edp` for the joint
+/// (cap, configuration) minimizing energy-delay product.
+struct TuneRequest {
+  enum class Kind { Power, PowerAt, Edp };
+  Kind kind = Kind::Power;
+  int region = 0;
+  int cap_index = 0;  ///< Kind::Power only
+  double cap_w = 0.0; ///< Kind::PowerAt only
+
+  static TuneRequest power(int region, int cap_index) {
+    return {Kind::Power, region, cap_index, 0.0};
+  }
+  static TuneRequest power_at(int region, double cap_w) {
+    return {Kind::PowerAt, region, 0, cap_w};
+  }
+  static TuneRequest edp(int region) { return {Kind::Edp, region, 0, 0.0}; }
+};
+
+struct TuneResult {
+  sim::OmpConfig config;
+  /// Edp: the predicted best cap index. Power: the request's cap index
+  /// echoed back. PowerAt: -1 (the cap was given in watts).
+  int cap_index = -1;
+  /// The model version that served this request (1 for the initial model,
+  /// +1 per successful reload). Proves swap atomicity: a result is always
+  /// consistent with exactly this version's single-threaded predictions.
+  std::uint64_t model_version = 0;
+};
+
+struct TuningServiceOptions {
+  /// Lock stripes of the per-version encoding cache (≥ 1).
+  int cache_shards = 16;
+  /// Largest batch one admission-queue leader executes at once (≥ 1).
+  int max_batch = 64;
+  /// Bounded extra wait for a batch to fill before the leader runs it.
+  /// 0 (default) adds no latency: a leader takes whatever is queued at
+  /// that instant, and batches still form naturally under load because
+  /// requests arriving while a leader executes queue up for the next one.
+  std::chrono::microseconds batch_wait{0};
+  /// false → skip the admission queue entirely: every caller executes its
+  /// own request directly against the current snapshot (lowest latency,
+  /// no coalescing; cache sharding still applies).
+  bool coalesce = true;
+};
+
+class TuningService {
+ public:
+  /// Load + validate the artifact at `artifact_path` and serve it against
+  /// `db`. Throws pnp::Error on malformed or incompatible artifacts.
+  TuningService(const core::MeasurementDb& db,
+                const std::string& artifact_path,
+                TuningServiceOptions options = {});
+
+  /// Adopt an already-trained or already-loaded tuner as version 1.
+  explicit TuningService(core::PnpTuner tuner,
+                         TuningServiceOptions options = {});
+
+  TuningService(const TuningService&) = delete;
+  TuningService& operator=(const TuningService&) = delete;
+
+  /// Serve one request. Thread-safe; blocks until the result is ready
+  /// (possibly riding in another caller's batch). Throws pnp::Error for
+  /// invalid requests (bad region/cap, kind not servable by the current
+  /// model's scenario) — an invalid request never affects the others in
+  /// its batch.
+  TuneResult tune(const TuneRequest& request);
+
+  /// Serve a caller-assembled batch against a single model snapshot (all
+  /// results carry the same version). Thread-safe; bypasses the admission
+  /// queue — the batch is already formed. Throws on the first invalid
+  /// request.
+  std::vector<TuneResult> tune_batch(std::span<const TuneRequest> requests);
+
+  /// Zero-downtime model replacement: load the artifact at `path`,
+  /// validate it against the live db and the served scenario, and
+  /// atomically publish it as the new version. Returns the new version.
+  /// On any failure — missing file, corrupt bytes, wrong search space,
+  /// scenario switch — throws pnp::Error and the current model keeps
+  /// serving, unchanged. Concurrent reloads are serialized.
+  std::uint64_t reload(const std::string& artifact_path);
+
+  /// Version of the model currently serving new requests.
+  std::uint64_t model_version() const { return snapshot_.version(); }
+  /// Scenario of the model currently serving new requests.
+  core::PnpTuner::Mode mode() const;
+  /// Region encodings cached by the current snapshot.
+  std::size_t cached_encodings() const;
+
+  struct Stats {
+    std::uint64_t requests = 0;       ///< tune() + tune_batch() requests
+    std::uint64_t batches = 0;        ///< executed batches (incl. direct)
+    std::uint64_t coalesced = 0;      ///< requests − batches: requests
+                                      ///< that shared a batch instead of
+                                      ///< executing one of their own
+                                      ///< (another caller's admission
+                                      ///< batch, or extra members of a
+                                      ///< tune_batch() call)
+    std::uint64_t encode_hits = 0;    ///< cache lookups that found the
+                                      ///< region already encoded
+    std::uint64_t encode_misses = 0;  ///< lookups that ran the GNN
+    std::uint64_t reloads = 0;        ///< successful reload() calls
+    std::uint64_t failed_reloads = 0; ///< reload() calls that threw
+  };
+  Stats stats() const;
+
+ private:
+  /// Monotonic counters shared by the service and its snapshots (shared
+  /// ownership: an in-flight snapshot may outlive a publish).
+  struct Counters {
+    std::atomic<std::uint64_t> requests{0}, batches{0}, coalesced{0},
+        encode_hits{0}, encode_misses{0}, reloads{0}, failed_reloads{0};
+  };
+
+  /// One published model: the immutable ModelState plus its sharded
+  /// encoding cache. The cache is internally synchronized and append-only
+  /// (entries are never replaced or erased), so a reference returned by
+  /// encoding() stays valid for the snapshot's lifetime.
+  struct Snapshot {
+    Snapshot(core::PnpTuner tuner, std::size_t shard_count,
+             std::shared_ptr<Counters> counters);
+
+    std::uint64_t version = 0;
+    ModelState model;
+    StripedSharedMutex locks;
+    /// shards[i] guarded by locks.at(i); GnnCache pointees are immutable
+    /// once inserted.
+    mutable std::vector<
+        std::unordered_map<int, std::unique_ptr<nn::RgcnNet::GnnCache>>>
+        shards;
+    std::shared_ptr<Counters> counters;
+
+    /// Get-or-compute the encoding of `region` (encode runs unlocked; on
+    /// a race the first insert wins — both encodings are bit-identical).
+    const nn::RgcnNet::GnnCache& encoding(int region) const;
+    /// Serve one request entirely against this snapshot.
+    TuneResult serve(const TuneRequest& q, ModelState::Scratch& s) const;
+    std::size_t cached() const;
+  };
+
+  /// A request parked in the admission queue.
+  struct Pending {
+    const TuneRequest* req = nullptr;
+    TuneResult result;
+    std::exception_ptr error;
+    bool done = false;
+  };
+
+  /// RAII lease of a Scratch from the service pool.
+  class ScratchLease {
+   public:
+    explicit ScratchLease(TuningService& svc);
+    ~ScratchLease();
+    ModelState::Scratch& get() { return *scratch_; }
+
+   private:
+    TuningService& svc_;
+    ModelState::Scratch* scratch_;
+  };
+
+  std::size_t shard_count() const;
+  /// Build + publish a snapshot; all publishes run under reload_mu_.
+  std::uint64_t publish_locked(core::PnpTuner tuner);
+  /// Execute a formed batch against one snapshot, filling each Pending.
+  void run_batch(const std::vector<Pending*>& batch);
+
+  const core::MeasurementDb& db_;
+  TuningServiceOptions opt_;
+  std::shared_ptr<Counters> counters_;
+  VersionedSnapshot<Snapshot> snapshot_;
+  std::mutex reload_mu_;  ///< serializes publishes (ctor + reload)
+
+  // Admission queue (leader/follower combining).
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  std::vector<Pending*> queue_;
+  bool leader_active_ = false;
+
+  // Scratch pool (grows on demand, reused forever).
+  std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<ModelState::Scratch>> scratch_owned_;
+  std::vector<ModelState::Scratch*> scratch_free_;
+};
+
+}  // namespace pnp::serve
