@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/latency_histogram.hpp"
 #include "core/baselines.hpp"
 #include "core/measurement_db.hpp"
 #include "core/pnp_tuner.hpp"
@@ -296,6 +297,22 @@ void BM_ServiceThroughput(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ServiceThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+void BM_HistogramRecord(benchmark::State& state) {
+  // The per-request cost the network server pays to record one latency
+  // sample into common::LatencyHistogram (one relaxed fetch_add per
+  // counter, no locks). Run at 1/4 threads: the multi-threaded rate
+  // shows the recording path stays wait-free under the worker pool.
+  static LatencyHistogram hist;
+  std::uint64_t v = 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(state.thread_index());
+  for (auto _ : state) {
+    v = v * 6364136223846793005ull + 1442695040888963407ull;
+    hist.record((v >> 33) & 0xfffff);  // 0..1M ns, several octaves
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord)->Threads(1)->Threads(4)->UseRealTime();
 
 void BM_BlissTuneOneRegion(benchmark::State& state) {
   const auto machine = hw::MachineModel::haswell();

@@ -1,0 +1,160 @@
+#include "common/latency_histogram.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+#include "common/wire.hpp"
+
+namespace pnp {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBucketCount) {}
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) {
+  if (ns < kSubBuckets) return static_cast<std::size_t>(ns);
+  if (ns > kMaxTracked) return kOverflowBucket;
+  const int octave = std::bit_width(ns) - 1;  // >= kSubBits
+  const int shift = octave - kSubBits;
+  return (static_cast<std::size_t>(shift) + 1) * kSubBuckets +
+         static_cast<std::size_t>((ns >> shift) - kSubBuckets);
+}
+
+LatencyHistogram::Bounds LatencyHistogram::bucket_bounds(std::size_t idx) {
+  PNP_CHECK_MSG(idx < kBucketCount, "bucket index " << idx
+                                    << " out of range [0, " << kBucketCount
+                                    << ")");
+  if (idx == kOverflowBucket)
+    return {kMaxTracked + 1, ~std::uint64_t{0}};
+  if (idx < kSubBuckets) return {idx, idx};
+  const int shift = static_cast<int>(idx / kSubBuckets) - 1;
+  const std::uint64_t sub = (idx % kSubBuckets) + kSubBuckets;
+  return {sub << shift, ((sub + 1) << shift) - 1};
+}
+
+void LatencyHistogram::record(std::uint64_t ns) {
+  buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+  while (prev < ns && !max_ns_.compare_exchange_weak(
+                          prev, ns, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  total_ns_.fetch_add(other.total_ns(), std::memory_order_relaxed);
+  const std::uint64_t omax = other.max_ns();
+  std::uint64_t prev = max_ns_.load(std::memory_order_relaxed);
+  while (prev < omax && !max_ns_.compare_exchange_weak(
+                            prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::bucket(std::size_t idx) const {
+  PNP_CHECK_MSG(idx < kBucketCount, "bucket index " << idx
+                                    << " out of range [0, " << kBucketCount
+                                    << ")");
+  return buckets_[idx].load(std::memory_order_relaxed);
+}
+
+LatencyHistogram::Bounds LatencyHistogram::quantile_bounds(double q) const {
+  const std::uint64_t n = count();
+  PNP_CHECK_MSG(n > 0, "quantile of an empty histogram");
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the q-quantile sample, 1-based: ceil(q * n), at least 1.
+  std::uint64_t rank = static_cast<std::uint64_t>(q * static_cast<double>(n));
+  if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      Bounds b = bucket_bounds(i);
+      // The exact max tightens both the overflow bucket and the tail
+      // bucket of the in-range distribution.
+      const std::uint64_t mx = max_ns();
+      if (b.upper > mx) b.upper = mx;
+      if (b.lower > b.upper) b.lower = b.upper;
+      return b;
+    }
+  }
+  // Unreachable: cum reaches count() by the last bucket.
+  PNP_CHECK_MSG(false, "histogram counters inconsistent");
+  return {};
+}
+
+namespace {
+/// Layout tag in the wire form: decoding rejects a histogram built with a
+/// different bucket geometry instead of silently misbinning.
+constexpr std::uint32_t kWireLayout =
+    (static_cast<std::uint32_t>(LatencyHistogram::kSubBits) << 16) |
+    static_cast<std::uint32_t>(LatencyHistogram::kBucketCount);
+}  // namespace
+
+void LatencyHistogram::encode(std::string& out) const {
+  wire::put_u32(out, kWireLayout);
+  wire::put_u64(out, count());
+  wire::put_u64(out, total_ns());
+  wire::put_u64(out, max_ns());
+  std::uint32_t nonzero = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i)
+    if (buckets_[i].load(std::memory_order_relaxed)) ++nonzero;
+  wire::put_u32(out, nonzero);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (!c) continue;
+    wire::put_u32(out, static_cast<std::uint32_t>(i));
+    wire::put_u64(out, c);
+  }
+}
+
+void LatencyHistogram::decode(wire::Reader& r) {
+  const std::uint32_t layout = r.u32();
+  PNP_CHECK_MSG(layout == kWireLayout,
+                "histogram layout mismatch: got " << layout << ", expected "
+                                                  << kWireLayout);
+  const std::uint64_t count = r.u64();
+  const std::uint64_t total = r.u64();
+  const std::uint64_t mx = r.u64();
+  const std::uint32_t nonzero = r.u32();
+  PNP_CHECK_MSG(nonzero <= kBucketCount,
+                "histogram claims " << nonzero << " non-empty buckets of "
+                                    << kBucketCount);
+  reset();
+  std::uint64_t sum = 0;
+  std::uint32_t prev_idx = 0;
+  for (std::uint32_t i = 0; i < nonzero; ++i) {
+    const std::uint32_t idx = r.u32();
+    const std::uint64_t c = r.u64();
+    PNP_CHECK_MSG(idx < kBucketCount, "histogram bucket index " << idx
+                                      << " out of range");
+    PNP_CHECK_MSG(i == 0 || idx > prev_idx,
+                  "histogram bucket indices not strictly increasing");
+    PNP_CHECK_MSG(c > 0, "histogram entry with zero count");
+    prev_idx = idx;
+    buckets_[idx].store(c, std::memory_order_relaxed);
+    sum += c;
+  }
+  PNP_CHECK_MSG(sum == count, "histogram count " << count
+                              << " does not match bucket sum " << sum);
+  PNP_CHECK_MSG(count > 0 || (total == 0 && mx == 0),
+                "empty histogram with non-zero summary counters");
+  count_.store(count, std::memory_order_relaxed);
+  total_ns_.store(total, std::memory_order_relaxed);
+  max_ns_.store(mx, std::memory_order_relaxed);
+}
+
+}  // namespace pnp

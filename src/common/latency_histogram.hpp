@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file latency_histogram.hpp
+/// Lock-cheap per-request latency recording for the serving layer
+/// (docs/SERVING.md): a fixed array of log-spaced buckets in nanoseconds
+/// (HDR-style linear-log layout: 8 sub-buckets per power-of-two octave,
+/// so every bucket's width is ≤ 1/8 of its lower bound), recorded into
+/// with one relaxed atomic increment — no locks, no allocation, safe to
+/// hammer from every server worker at once.
+///
+/// Contracts the tests (tests/histogram_test.cpp) pin down:
+///
+///  - **Bracketing.** quantile_bounds(q) returns an inclusive [lower,
+///    upper] window that contains the exact q-quantile of the recorded
+///    samples; upper/lower ≤ 1 + 1/8 for in-range buckets (sub-bucket
+///    resolution), so quantile_ns(q) — the upper bound — overestimates by
+///    at most 12.5% plus one nanosecond of integer rounding.
+///  - **Deterministic merge.** Buckets are plain counters, so merging
+///    per-thread histograms is integer addition: any merge order yields
+///    identical counts, and a merged histogram equals the histogram of
+///    the concatenated samples.
+///  - **Overflow.** Values above kMaxTracked (~9.1 minutes) land in a
+///    dedicated overflow bucket; count()/max_ns() stay exact, and a
+///    quantile that falls into the overflow bucket reports
+///    [kMaxTracked+1, max_ns()].
+///  - **Wire round trip.** encode()/decode() carry the histogram inside
+///    the `stats` frame as a sparse (index, count) list; decode validates
+///    the layout tag and every index, and rejects malformed input with
+///    pnp::Error.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pnp {
+
+namespace wire {
+class Reader;
+}
+
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits buckets per octave.
+  static constexpr int kSubBits = 3;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+  /// Largest bucket shift; regular buckets cover [0, kMaxTracked].
+  static constexpr int kMaxShift = 35;
+  /// Largest value (ns) that lands in a regular bucket: 2^39 − 1 ≈ 9.1 min.
+  static constexpr std::uint64_t kMaxTracked =
+      (1ull << (kMaxShift + kSubBits + 1)) - 1;
+  /// Regular buckets plus one overflow bucket.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kMaxShift + 2) * kSubBuckets + 1;
+  static constexpr std::size_t kOverflowBucket = kBucketCount - 1;
+
+  LatencyHistogram();
+
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  /// Record one latency sample. One relaxed fetch_add per counter —
+  /// thread-safe and wait-free.
+  void record(std::uint64_t ns);
+
+  /// Add every counter of `other` into this histogram (commutative, so
+  /// per-thread histograms merge deterministically in any order).
+  void merge(const LatencyHistogram& other);
+
+  /// Zero every counter.
+  void reset();
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  /// Exact maximum recorded value (0 when empty).
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow_count() const {
+    return buckets_[kOverflowBucket].load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t idx) const;
+
+  /// Inclusive value range [lower, upper] of one bucket. The overflow
+  /// bucket reports [kMaxTracked + 1, uint64 max].
+  struct Bounds {
+    std::uint64_t lower = 0;
+    std::uint64_t upper = 0;
+  };
+  static std::size_t bucket_index(std::uint64_t ns);
+  static Bounds bucket_bounds(std::size_t idx);
+
+  /// Bracket of the q-quantile (q clamped to (0, 1]): the bounds of the
+  /// bucket holding the ceil(q·count)-th smallest sample. An overflow-
+  /// bucket hit reports upper = max_ns() (exact). Requires count() > 0.
+  Bounds quantile_bounds(double q) const;
+  /// Conservative scalar quantile: quantile_bounds(q).upper.
+  std::uint64_t quantile_ns(double q) const { return quantile_bounds(q).upper; }
+
+  /// Append the wire form (docs/SERVING.md stats frame): layout tag,
+  /// summary counters, then a sparse (u32 index, u64 count) list of the
+  /// non-empty buckets.
+  void encode(std::string& out) const;
+  /// Replace this histogram's contents with a decoded wire form. Throws
+  /// pnp::Error on any malformed input (layout mismatch, bad index,
+  /// duplicate or unsorted indices, counter mismatch, truncation).
+  void decode(wire::Reader& r);
+
+ private:
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace pnp

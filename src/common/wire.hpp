@@ -1,0 +1,105 @@
+#pragma once
+
+/// \file wire.hpp
+/// Byte-level encode/decode for the serving wire format (docs/SERVING.md,
+/// "Network protocol"): little-endian fixed-width integers and IEEE-754
+/// doubles appended to a std::string, and a bounds-checked Reader that
+/// treats its input as hostile — every read is validated against the
+/// remaining bytes and failures throw pnp::Error, never read past the
+/// end. Header-only; shared by common::LatencyHistogram (stats-frame
+/// payload), serve::protocol, and the loadgen/test clients, so both sides
+/// of every frame agree byte-for-byte.
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace pnp::wire {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+/// IEEE-754 bits, so doubles (e.g. power_at caps in watts) round-trip
+/// bit-identically — the determinism contract depends on it.
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+inline void put_bytes(std::string& out, std::string_view s) {
+  out.append(s);
+}
+
+/// Bounds-checked sequential reader over one payload. All accessors throw
+/// pnp::Error on truncation; expect_done() rejects trailing garbage.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1, "u8");
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4, "u32");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8, "u64");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data_[pos_++]))
+           << (8 * i);
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string_view bytes(std::size_t n) {
+    need(n, "byte string");
+    std::string_view v = data_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+  /// Reject payloads with trailing bytes (a well-formed frame is consumed
+  /// exactly).
+  void expect_done(const char* what) const {
+    PNP_CHECK_MSG(done(), what << ": " << remaining()
+                               << " trailing byte(s) after payload");
+  }
+
+ private:
+  void need(std::size_t n, const char* what) const {
+    PNP_CHECK_MSG(remaining() >= n, "truncated payload: need " << n
+                                    << " byte(s) for " << what << ", have "
+                                    << remaining());
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pnp::wire

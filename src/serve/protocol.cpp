@@ -1,0 +1,221 @@
+#include "serve/protocol.hpp"
+
+#include "common/error.hpp"
+#include "common/wire.hpp"
+
+namespace pnp::serve::protocol {
+
+namespace {
+
+void put_i32(std::string& out, int v) {
+  wire::put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+int get_i32(wire::Reader& r) { return static_cast<int>(r.u32()); }
+
+std::string response_header(std::uint64_t id, Status status) {
+  std::string out;
+  wire::put_u64(out, id);
+  wire::put_u8(out, static_cast<std::uint8_t>(status));
+  return out;
+}
+
+}  // namespace
+
+std::string encode_request(const Request& q) {
+  std::string out;
+  wire::put_u64(out, q.id);
+  wire::put_u8(out, static_cast<std::uint8_t>(q.op));
+  switch (q.op) {
+    case Op::Power:
+      put_i32(out, q.tune.region);
+      put_i32(out, q.tune.cap_index);
+      break;
+    case Op::PowerAt:
+      put_i32(out, q.tune.region);
+      wire::put_f64(out, q.tune.cap_w);
+      break;
+    case Op::Edp:
+      put_i32(out, q.tune.region);
+      break;
+    case Op::Reload:
+      wire::put_u32(out, static_cast<std::uint32_t>(q.reload_path.size()));
+      wire::put_bytes(out, q.reload_path);
+      break;
+    case Op::Stats:
+      break;
+  }
+  return out;
+}
+
+Request decode_request(std::string_view payload) {
+  wire::Reader r(payload);
+  Request q;
+  q.id = r.u64();
+  const std::uint8_t op = r.u8();
+  switch (op) {
+    case static_cast<std::uint8_t>(Op::Power): {
+      q.op = Op::Power;
+      const int region = get_i32(r);
+      const int cap = get_i32(r);
+      q.tune = TuneRequest::power(region, cap);
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::PowerAt): {
+      q.op = Op::PowerAt;
+      const int region = get_i32(r);
+      const double watts = r.f64();
+      q.tune = TuneRequest::power_at(region, watts);
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::Edp): {
+      q.op = Op::Edp;
+      q.tune = TuneRequest::edp(get_i32(r));
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::Reload): {
+      q.op = Op::Reload;
+      const std::uint32_t len = r.u32();
+      PNP_CHECK_MSG(len > 0, "reload request with an empty artifact path");
+      q.reload_path = std::string(r.bytes(len));
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::Stats):
+      q.op = Op::Stats;
+      break;
+    default:
+      throw Error("unknown opcode " + std::to_string(op));
+  }
+  r.expect_done("request");
+  return q;
+}
+
+std::uint64_t peek_id(std::string_view payload) {
+  if (payload.size() < 8) return 0;
+  wire::Reader r(payload);
+  return r.u64();
+}
+
+std::string encode_tune_response(std::uint64_t id, Op op, const TuneResult& r) {
+  std::string out = response_header(id, Status::Ok);
+  wire::put_u8(out, static_cast<std::uint8_t>(op));
+  put_i32(out, r.config.threads);
+  wire::put_u8(out, static_cast<std::uint8_t>(r.config.schedule));
+  put_i32(out, r.config.chunk);
+  put_i32(out, r.cap_index);
+  wire::put_u64(out, r.model_version);
+  return out;
+}
+
+std::string encode_reload_response(std::uint64_t id, std::uint64_t version) {
+  std::string out = response_header(id, Status::Ok);
+  wire::put_u8(out, static_cast<std::uint8_t>(Op::Reload));
+  wire::put_u64(out, version);
+  return out;
+}
+
+std::string encode_stats_response(std::uint64_t id, const ServerCounters& sc,
+                                  const TuningService::Stats& svc,
+                                  const LatencyHistogram& hist) {
+  std::string out = response_header(id, Status::Ok);
+  wire::put_u8(out, static_cast<std::uint8_t>(Op::Stats));
+  wire::put_u64(out, sc.connections);
+  wire::put_u64(out, sc.ok);
+  wire::put_u64(out, sc.errors);
+  wire::put_u64(out, sc.shed);
+  wire::put_u64(out, sc.malformed);
+  wire::put_u64(out, svc.requests);
+  wire::put_u64(out, svc.batches);
+  wire::put_u64(out, svc.coalesced);
+  wire::put_u64(out, svc.encode_hits);
+  wire::put_u64(out, svc.encode_misses);
+  wire::put_u64(out, svc.reloads);
+  wire::put_u64(out, svc.failed_reloads);
+  hist.encode(out);
+  return out;
+}
+
+std::string encode_error_response(std::uint64_t id, std::string_view message) {
+  std::string out = response_header(id, Status::Error);
+  wire::put_u32(out, static_cast<std::uint32_t>(message.size()));
+  wire::put_bytes(out, message);
+  return out;
+}
+
+std::string encode_shed_response(std::uint64_t id) {
+  return response_header(id, Status::Shed);
+}
+
+Response decode_response(std::string_view payload,
+                         LatencyHistogram* stats_hist) {
+  wire::Reader r(payload);
+  Response resp;
+  resp.id = r.u64();
+  const std::uint8_t status = r.u8();
+  switch (status) {
+    case static_cast<std::uint8_t>(Status::Ok):
+      break;
+    case static_cast<std::uint8_t>(Status::Error): {
+      resp.status = Status::Error;
+      const std::uint32_t len = r.u32();
+      resp.error = std::string(r.bytes(len));
+      r.expect_done("error response");
+      return resp;
+    }
+    case static_cast<std::uint8_t>(Status::Shed):
+      resp.status = Status::Shed;
+      r.expect_done("shed response");
+      return resp;
+    default:
+      throw Error("unknown response status " + std::to_string(status));
+  }
+  const std::uint8_t op = r.u8();
+  switch (op) {
+    case static_cast<std::uint8_t>(Op::Power):
+    case static_cast<std::uint8_t>(Op::PowerAt):
+    case static_cast<std::uint8_t>(Op::Edp): {
+      resp.op = static_cast<Op>(op);
+      resp.result.config.threads = get_i32(r);
+      const std::uint8_t sched = r.u8();
+      PNP_CHECK_MSG(sched < static_cast<std::uint8_t>(sim::kNumSchedules),
+                    "bad schedule byte " << static_cast<int>(sched));
+      resp.result.config.schedule = static_cast<sim::Schedule>(sched);
+      resp.result.config.chunk = get_i32(r);
+      resp.result.cap_index = get_i32(r);
+      resp.result.model_version = r.u64();
+      break;
+    }
+    case static_cast<std::uint8_t>(Op::Reload):
+      resp.op = Op::Reload;
+      resp.new_version = r.u64();
+      break;
+    case static_cast<std::uint8_t>(Op::Stats): {
+      resp.op = Op::Stats;
+      resp.server.connections = r.u64();
+      resp.server.ok = r.u64();
+      resp.server.errors = r.u64();
+      resp.server.shed = r.u64();
+      resp.server.malformed = r.u64();
+      resp.service.requests = r.u64();
+      resp.service.batches = r.u64();
+      resp.service.coalesced = r.u64();
+      resp.service.encode_hits = r.u64();
+      resp.service.encode_misses = r.u64();
+      resp.service.reloads = r.u64();
+      resp.service.failed_reloads = r.u64();
+      if (stats_hist != nullptr) {
+        stats_hist->decode(r);
+      } else {
+        LatencyHistogram skipped;
+        skipped.decode(r);
+      }
+      break;
+    }
+    default:
+      throw Error("unknown opcode echo " + std::to_string(op));
+  }
+  r.expect_done("response");
+  return resp;
+}
+
+}  // namespace pnp::serve::protocol

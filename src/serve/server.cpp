@@ -1,0 +1,271 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace pnp::serve {
+
+namespace {
+
+ServerOptions validated(ServerOptions opt) {
+  PNP_CHECK_MSG(opt.workers >= 1, "a server needs at least one worker");
+  PNP_CHECK_MSG(opt.queue_depth >= 1,
+                "a server needs an admission queue of at least one");
+  PNP_CHECK_MSG(opt.max_frame_bytes > 0 &&
+                    opt.max_frame_bytes <= net::kMaxFrameBytes,
+                "max_frame_bytes " << opt.max_frame_bytes
+                                   << " outside (0, " << net::kMaxFrameBytes
+                                   << "]");
+  return opt;
+}
+
+bool is_tune_op(protocol::Op op) {
+  return op == protocol::Op::Power || op == protocol::Op::PowerAt ||
+         op == protocol::Op::Edp;
+}
+
+}  // namespace
+
+Server::Server(TuningService& service, ServerOptions options)
+    : service_(service),
+      opt_(validated(std::move(options))),
+      listener_(net::Address::parse(opt_.listen)) {
+  workers_.reserve(static_cast<std::size_t>(opt_.workers));
+  for (int i = 0; i < opt_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::accept_loop() {
+  for (;;) {
+    std::optional<net::Socket> sock;
+    try {
+      sock = listener_.accept();
+    } catch (const std::exception&) {
+      return;  // listener torn down under us during shutdown
+    }
+    if (!sock.has_value()) return;  // interrupted: shutting down
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Conn>(std::move(*sock));
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.push_back(conn);
+    readers_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::optional<std::string> payload;
+    try {
+      payload = net::recv_frame(conn->sock, opt_.max_frame_bytes);
+    } catch (const std::exception& e) {
+      // Unsynchronizable stream (truncated prefix, oversized claim,
+      // mid-frame disconnect): best-effort error frame, then wind this
+      // connection down. Only half-close here — in-flight jobs may still
+      // be writing their replies, and the fd itself is closed once all
+      // threads are joined in shutdown(). Other connections are
+      // untouched.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      reply(*conn, protocol::encode_error_response(0, e.what()));
+      close_writes(*conn);
+      conn->sock.shutdown_read();
+      return;
+    }
+    if (!payload.has_value()) return;  // clean EOF at a frame boundary
+
+    Job job;
+    job.conn = conn;
+    job.admitted = std::chrono::steady_clock::now();
+    try {
+      job.request = protocol::decode_request(*payload);
+    } catch (const std::exception& e) {
+      // The frame boundary is intact — reject just this request and keep
+      // the connection serving.
+      malformed_.fetch_add(1, std::memory_order_relaxed);
+      reply(*conn,
+            protocol::encode_error_response(protocol::peek_id(*payload),
+                                            e.what()));
+      continue;
+    }
+    admit(std::move(job));
+  }
+}
+
+bool Server::admit(Job job) {
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    if (admitting_ && queue_.size() <
+                          static_cast<std::size_t>(opt_.queue_depth)) {
+      queue_.push_back(std::move(job));
+      queue_cv_.notify_one();
+      return true;
+    }
+  }
+  // Full queue (or draining): explicit backpressure, never unbounded
+  // buffering — the client gets a shed frame right now. Count before
+  // sending (a client holding shed frame N must find it in stats), but
+  // take the count back if the frame could not be delivered: during a
+  // drain the reader may still be flushing requests that were buffered
+  // before the FIN went out, and a refusal the client can never observe
+  // must not show up in the final stats the client reconciles against.
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (!reply(*job.conn, protocol::encode_shed_response(job.request.id)))
+    shed_.fetch_sub(1, std::memory_order_relaxed);
+  return false;
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return !queue_.empty() || workers_stop_; });
+      if (queue_.empty()) return;  // workers_stop_ && drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++executing_;
+    }
+    if (opt_.test_hook_before_execute) opt_.test_hook_before_execute();
+    execute(job);
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --executing_;
+      if (queue_.empty() && executing_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+void Server::execute(const Job& job) {
+  const protocol::Request& q = job.request;
+  std::string out;
+  switch (q.op) {
+    case protocol::Op::Power:
+    case protocol::Op::PowerAt:
+    case protocol::Op::Edp:
+      try {
+        const TuneResult r = service_.tune(q.tune);
+        out = protocol::encode_tune_response(q.id, q.op, r);
+        ok_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        out = protocol::encode_error_response(q.id, e.what());
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case protocol::Op::Reload:
+      try {
+        const std::uint64_t v = service_.reload(q.reload_path);
+        out = protocol::encode_reload_response(q.id, v);
+        ok_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        out = protocol::encode_error_response(q.id, e.what());
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case protocol::Op::Stats: {
+      // Counters are sampled before this stats request itself is counted.
+      protocol::ServerCounters sc;
+      const Stats st = stats();
+      sc.connections = st.connections;
+      sc.ok = st.ok;
+      sc.errors = st.errors;
+      sc.shed = st.shed;
+      sc.malformed = st.malformed;
+      out = protocol::encode_stats_response(q.id, sc, service_.stats(),
+                                            latency_);
+      ok_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+  }
+  // Record before replying: once a client holds the reply to request N,
+  // any later stats frame is guaranteed to include N's latency sample.
+  if (is_tune_op(q.op)) {
+    const auto dt = std::chrono::steady_clock::now() - job.admitted;
+    latency_.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+  reply(*job.conn, out);
+}
+
+bool Server::reply(Conn& conn, std::string_view payload) {
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  if (conn.write_closed) return false;
+  try {
+    net::send_frame(conn.sock, payload);
+    return true;
+  } catch (const std::exception&) {
+    // The peer is gone; its reader will observe EOF and wind the
+    // connection down. Nothing useful to do with the reply.
+    return false;
+  }
+}
+
+void Server::close_writes(Conn& conn) {
+  // Taking write_mu means a FIN can never land mid-frame: either a
+  // reply's last byte precedes it, or the reply never starts.
+  std::lock_guard<std::mutex> lk(conn.write_mu);
+  if (conn.write_closed) return;
+  conn.write_closed = true;
+  conn.sock.shutdown_write();
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(shutdown_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  // 1. Stop admitting (late arrivals get shed frames) and close the
+  //    listener so no new connections form.
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    admitting_ = false;
+  }
+  listener_.interrupt();
+  if (acceptor_.joinable()) acceptor_.join();
+  // 2. Wake readers blocked mid-recv; half-read frames were never
+  //    admitted, so nothing accepted is lost.
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) c->sock.shutdown_read();
+  }
+  // 3. Drain: every admitted request executes and flushes its reply.
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    drain_cv_.wait(lk, [this] { return queue_.empty() && executing_ == 0; });
+    workers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+  // 4. Close write sides (clients see EOF after their last reply), join
+  //    readers, drop connections. close_writes serializes the FIN
+  //    against in-flight replies; readers still flushing buffered-
+  //    before-FIN requests get fail-fast (uncounted) shed refusals.
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) close_writes(*c);
+  }
+  for (auto& r : readers_) r.join();
+  readers_.clear();
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns_.clear();
+  }
+  listener_.close();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = connections_.load(std::memory_order_relaxed);
+  s.ok = ok_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace pnp::serve

@@ -1,0 +1,308 @@
+/// \file histogram_test.cpp
+/// common::LatencyHistogram contract tests (the serving layer's latency
+/// export, docs/SERVING.md): quantile bracketing (the reported window
+/// always contains the exact sample quantile, and overestimates by at
+/// most one sub-bucket), deterministic cross-thread merge (merged
+/// per-thread histograms equal the histogram of the concatenated
+/// samples, in any merge order), overflow-bucket behavior above
+/// kMaxTracked, and the stats-frame encode/decode round trip including
+/// rejection of every malformed-wire shape.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/latency_histogram.hpp"
+#include "common/wire.hpp"
+
+namespace pnp {
+namespace {
+
+using Hist = LatencyHistogram;
+
+/// Deterministic sample stream: a tiny LCG stretched over several
+/// octaves, with exact duplicates mixed in.
+std::vector<std::uint64_t> lcg_samples(int n, std::uint64_t seed) {
+  std::vector<std::uint64_t> v;
+  v.reserve(static_cast<std::size_t>(n));
+  std::uint64_t s = seed;
+  for (int i = 0; i < n; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    // Spread over [0, 2^26) with a bias toward small values, as real
+    // latencies are.
+    const int shift = static_cast<int>((s >> 58) % 27);
+    v.push_back((s >> 33) >> (26 - shift) % 27);
+  }
+  return v;
+}
+
+/// The exact q-quantile the histogram brackets: the ceil(q*n)-th smallest.
+std::uint64_t exact_quantile(std::vector<std::uint64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(v.size())));
+  rank = std::min(std::max<std::size_t>(rank, 1), v.size());
+  return v[rank - 1];
+}
+
+// --- bucket layout -----------------------------------------------------------
+
+TEST(LatencyHistogram, BucketIndexAndBoundsAreMutuallyConsistent) {
+  // Every probed value must land in a bucket whose bounds contain it.
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v < 300; ++v) probes.push_back(v);
+  for (int p = 3; p < 40; ++p) {
+    const std::uint64_t b = 1ull << p;
+    probes.insert(probes.end(), {b - 1, b, b + 1});
+  }
+  probes.insert(probes.end(),
+                {Hist::kMaxTracked - 1, Hist::kMaxTracked,
+                 Hist::kMaxTracked + 1, ~0ull});
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = Hist::bucket_index(v);
+    ASSERT_LT(idx, Hist::kBucketCount) << "value " << v;
+    const auto b = Hist::bucket_bounds(idx);
+    EXPECT_LE(b.lower, v) << "value " << v << " bucket " << idx;
+    EXPECT_GE(b.upper, v) << "value " << v << " bucket " << idx;
+  }
+  // Above kMaxTracked is exactly the overflow bucket.
+  EXPECT_EQ(Hist::bucket_index(Hist::kMaxTracked), Hist::kOverflowBucket - 1);
+  EXPECT_EQ(Hist::bucket_index(Hist::kMaxTracked + 1), Hist::kOverflowBucket);
+  EXPECT_EQ(Hist::bucket_index(~0ull), Hist::kOverflowBucket);
+}
+
+TEST(LatencyHistogram, BucketsTileTheTrackedRangeWithoutGapsOrOverlap) {
+  std::uint64_t expect_lower = 0;
+  for (std::size_t i = 0; i + 1 < Hist::kBucketCount; ++i) {
+    const auto b = Hist::bucket_bounds(i);
+    EXPECT_EQ(b.lower, expect_lower) << "bucket " << i;
+    ASSERT_GE(b.upper, b.lower) << "bucket " << i;
+    // Sub-bucket resolution: width ≤ lower/8 for every octave bucket.
+    if (b.lower >= Hist::kSubBuckets) {
+      EXPECT_LE(b.upper - b.lower + 1, b.lower / 8 + 1) << "bucket " << i;
+    }
+    expect_lower = b.upper + 1;
+  }
+  EXPECT_EQ(expect_lower, Hist::kMaxTracked + 1);
+  const auto of = Hist::bucket_bounds(Hist::kOverflowBucket);
+  EXPECT_EQ(of.lower, Hist::kMaxTracked + 1);
+  EXPECT_EQ(of.upper, ~0ull);
+  EXPECT_THROW(Hist::bucket_bounds(Hist::kBucketCount), Error);
+}
+
+// --- quantile bracketing -----------------------------------------------------
+
+TEST(LatencyHistogram, QuantileBoundsBracketTheExactSampleQuantile) {
+  const auto samples = lcg_samples(5000, 0x9e3779b97f4a7c15ull);
+  Hist h;
+  for (const auto v : samples) h.record(v);
+  ASSERT_EQ(h.count(), samples.size());
+
+  for (const double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+    const std::uint64_t exact = exact_quantile(samples, q);
+    const auto b = h.quantile_bounds(q);
+    EXPECT_LE(b.lower, exact) << "q=" << q;
+    EXPECT_GE(b.upper, exact) << "q=" << q;
+    // The scalar form is the conservative upper bound, and in-range
+    // buckets are at most one sub-bucket wide: ≤ 12.5% + 1 ns high.
+    EXPECT_EQ(h.quantile_ns(q), b.upper);
+    EXPECT_LE(b.upper, exact + exact / 8 + 1) << "q=" << q;
+  }
+  // p100's upper bound is clamped to the exact max.
+  EXPECT_EQ(h.quantile_ns(1.0), h.max_ns());
+  EXPECT_EQ(h.max_ns(), *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(LatencyHistogram, QuantilesOfTinyAndSingularDistributions) {
+  Hist h;
+  h.record(42);
+  // One sample: every quantile is that sample, exactly (42 < kSubBuckets*8
+  // octave → still bracketed; upper clamped to max).
+  for (const double q : {0.001, 0.5, 0.99, 1.0}) {
+    const auto b = h.quantile_bounds(q);
+    EXPECT_LE(b.lower, 42u) << "q=" << q;
+    EXPECT_EQ(b.upper, 42u) << "q=" << q;
+  }
+  // Sub-kSubBuckets values get exact single-value buckets.
+  Hist tiny;
+  for (std::uint64_t v = 0; v < Hist::kSubBuckets; ++v) tiny.record(v);
+  EXPECT_EQ(tiny.quantile_bounds(0.0001).lower, 0u);
+  EXPECT_EQ(tiny.quantile_bounds(0.0001).upper, 0u);
+  EXPECT_EQ(tiny.quantile_ns(1.0), Hist::kSubBuckets - 1);
+}
+
+TEST(LatencyHistogram, QuantileOnEmptyHistogramThrows) {
+  Hist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max_ns(), 0u);
+  EXPECT_THROW(h.quantile_bounds(0.5), Error);
+}
+
+// --- overflow ----------------------------------------------------------------
+
+TEST(LatencyHistogram, OverflowBucketKeepsExactCountAndMax) {
+  Hist h;
+  h.record(100);
+  h.record(Hist::kMaxTracked + 1);
+  h.record(~0ull);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.max_ns(), ~0ull);
+  // A quantile landing in overflow reports [kMaxTracked+1, exact max].
+  const auto b = h.quantile_bounds(0.9);
+  EXPECT_EQ(b.lower, Hist::kMaxTracked + 1);
+  EXPECT_EQ(b.upper, ~0ull);
+  // But a quantile below it is untouched by the overflow samples.
+  EXPECT_LE(h.quantile_bounds(0.33).upper, 103u);
+}
+
+// --- merge -------------------------------------------------------------------
+
+TEST(LatencyHistogram, MergeEqualsConcatenationInAnyOrder) {
+  const auto all = lcg_samples(3000, 7);
+  constexpr int kThreads = 6;
+
+  // Reference: one histogram over the concatenated stream.
+  Hist want;
+  for (const auto v : all) want.record(v);
+
+  // kThreads histograms recorded concurrently over disjoint slices, then
+  // merged in two different orders.
+  std::vector<Hist> parts(kThreads);
+  {
+    std::vector<std::thread> team;
+    for (int t = 0; t < kThreads; ++t)
+      team.emplace_back([&, t] {
+        for (std::size_t i = static_cast<std::size_t>(t); i < all.size();
+             i += kThreads)
+          parts[static_cast<std::size_t>(t)].record(all[i]);
+      });
+    for (auto& th : team) th.join();
+  }
+  Hist fwd, rev;
+  for (int t = 0; t < kThreads; ++t) fwd.merge(parts[t]);
+  for (int t = kThreads - 1; t >= 0; --t) rev.merge(parts[t]);
+
+  for (const Hist* got : {&fwd, &rev}) {
+    EXPECT_EQ(got->count(), want.count());
+    EXPECT_EQ(got->total_ns(), want.total_ns());
+    EXPECT_EQ(got->max_ns(), want.max_ns());
+    for (std::size_t i = 0; i < Hist::kBucketCount; ++i)
+      ASSERT_EQ(got->bucket(i), want.bucket(i)) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogram, ConcurrentRecordIntoOneHistogramLosesNothing) {
+  Hist h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t)
+    team.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.record(static_cast<std::uint64_t>(t * 1000 + i % 777));
+    });
+  for (auto& th : team) th.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_sum = 0;
+  for (std::size_t i = 0; i < Hist::kBucketCount; ++i) bucket_sum += h.bucket(i);
+  EXPECT_EQ(bucket_sum, h.count());
+}
+
+// --- wire round trip ---------------------------------------------------------
+
+TEST(LatencyHistogram, EncodeDecodeRoundTripsEveryCounter) {
+  Hist h;
+  for (const auto v : lcg_samples(2000, 11)) h.record(v);
+  h.record(Hist::kMaxTracked + 5);  // make the overflow bucket non-empty
+
+  std::string payload;
+  h.encode(payload);
+
+  Hist got;
+  got.record(999999);  // decode must replace, not merge
+  wire::Reader r(payload);
+  got.decode(r);
+  EXPECT_TRUE(r.done());
+
+  EXPECT_EQ(got.count(), h.count());
+  EXPECT_EQ(got.total_ns(), h.total_ns());
+  EXPECT_EQ(got.max_ns(), h.max_ns());
+  EXPECT_EQ(got.overflow_count(), h.overflow_count());
+  for (std::size_t i = 0; i < Hist::kBucketCount; ++i)
+    ASSERT_EQ(got.bucket(i), h.bucket(i)) << "bucket " << i;
+  // Re-encoding the decoded histogram is byte-identical.
+  std::string again;
+  got.encode(again);
+  EXPECT_EQ(again, payload);
+}
+
+TEST(LatencyHistogram, EmptyHistogramRoundTrips) {
+  Hist h;
+  std::string payload;
+  h.encode(payload);
+  Hist got;
+  wire::Reader r(payload);
+  got.decode(r);
+  EXPECT_EQ(got.count(), 0u);
+  EXPECT_EQ(got.max_ns(), 0u);
+}
+
+TEST(LatencyHistogram, DecodeRejectsMalformedWire) {
+  Hist h;
+  h.record(5);
+  h.record(5000);
+  std::string good;
+  h.encode(good);
+
+  const auto expect_reject = [](std::string payload) {
+    Hist sink;
+    wire::Reader r(payload);
+    EXPECT_THROW(sink.decode(r), Error) << "payload size " << payload.size();
+  };
+
+  // Truncation at every prefix length.
+  for (std::size_t n = 0; n < good.size(); ++n)
+    expect_reject(good.substr(0, n));
+
+  // Layout tag mismatch (a histogram built with different constants).
+  {
+    std::string bad = good;
+    bad[0] = static_cast<char>(bad[0] ^ 1);
+    expect_reject(bad);
+  }
+  // Bucket index out of range / unsorted / duplicated, and a bucket-sum
+  // that disagrees with the count header — rebuild the wire form by hand.
+  const auto build = [&](std::uint32_t idx0, std::uint32_t idx1,
+                         std::uint64_t n0, std::uint64_t n1,
+                         std::uint64_t count) {
+    std::string out;
+    wire::put_u32(out, (static_cast<std::uint32_t>(Hist::kSubBits) << 16) |
+                           static_cast<std::uint32_t>(Hist::kBucketCount));
+    wire::put_u64(out, count);
+    wire::put_u64(out, 5005);  // total
+    wire::put_u64(out, 5000);  // max
+    wire::put_u32(out, 2);     // nonzero buckets
+    wire::put_u32(out, idx0);
+    wire::put_u64(out, n0);
+    wire::put_u32(out, idx1);
+    wire::put_u64(out, n1);
+    return out;
+  };
+  const auto i5 = static_cast<std::uint32_t>(Hist::bucket_index(5));
+  const auto i5k = static_cast<std::uint32_t>(Hist::bucket_index(5000));
+  expect_reject(build(i5, static_cast<std::uint32_t>(Hist::kBucketCount), 1, 1,
+                      2));                      // index out of range
+  expect_reject(build(i5k, i5, 1, 1, 2));       // unsorted
+  expect_reject(build(i5, i5, 1, 1, 2));        // duplicate
+  expect_reject(build(i5, i5k, 0, 2, 2));       // zero count entry
+  expect_reject(build(i5, i5k, 1, 2, 2));       // bucket sum != count
+}
+
+}  // namespace
+}  // namespace pnp

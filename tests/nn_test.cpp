@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -453,18 +454,27 @@ TEST(Trainer, FrozenGnnTrainsFasterPerEpoch) {
   tc.patience = 1000;  // run all epochs for a fair timing comparison
   tc.min_loss = 0.0;
 
-  RgcnNet full(cfg);
-  auto o1 = Adam::plain(1e-3);
-  const auto rep_full = train(full, *o1, samples, tc);
+  // Wall clock on a noisy shared box: compare best-of-3 runs, not single
+  // samples — the minimum strips scheduler preemption from both sides.
+  double full_s = 1e30, frozen_s = 1e30;
+  int full_epochs = -1, frozen_epochs = -1;
+  for (int rep = 0; rep < 3; ++rep) {
+    RgcnNet full(cfg);
+    auto o1 = Adam::plain(1e-3);
+    const auto rep_full = train(full, *o1, samples, tc);
+    full_s = std::min(full_s, rep_full.seconds);
+    full_epochs = rep_full.epochs_run;
 
-  RgcnNet frozen(cfg);
-  frozen.set_gnn_frozen(true);
-  auto o2 = Adam::plain(1e-3);
-  const auto rep_frozen = train(frozen, *o2, samples, tc);
-
-  EXPECT_EQ(rep_full.epochs_run, rep_frozen.epochs_run);
+    RgcnNet frozen(cfg);
+    frozen.set_gnn_frozen(true);
+    auto o2 = Adam::plain(1e-3);
+    const auto rep_frozen = train(frozen, *o2, samples, tc);
+    frozen_s = std::min(frozen_s, rep_frozen.seconds);
+    frozen_epochs = rep_frozen.epochs_run;
+  }
+  EXPECT_EQ(full_epochs, frozen_epochs);
   // The cached-encode path must be substantially faster (paper: 4.18×).
-  EXPECT_LT(rep_frozen.seconds, rep_full.seconds);
+  EXPECT_LT(frozen_s, full_s);
 }
 
 TEST(Trainer, PredictLabelsMatchesEvaluate) {

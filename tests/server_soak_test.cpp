@@ -1,0 +1,363 @@
+/// \file server_soak_test.cpp
+/// Soak + concurrency for the network front end (serve::Server): N client
+/// threads stream mixed power/power_at traffic over their own
+/// connections while a mid-stream hot reload swaps the model — every
+/// served result must match the single-threaded PnpTuner reference *for
+/// the model version that tagged it* — and a drain-under-load shutdown
+/// must answer every accepted request before EOF with the stats frame
+/// accounting for every reply. Client threads never call gtest
+/// assertions: they record into pre-sized slots and the main thread
+/// verifies after join (the suite runs under TSan/ASan in CI).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/net.hpp"
+#include "serve/server.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp {
+namespace {
+
+namespace proto = serve::protocol;
+
+constexpr int kClients = 6;
+constexpr int kPerClient = 150;
+constexpr int kWindow = 8;  ///< outstanding pipeline depth per client
+
+proto::Op op_of(const serve::TuneRequest& q) {
+  return q.kind == serve::TuneRequest::Kind::PowerAt ? proto::Op::PowerAt
+                                                     : proto::Op::Power;
+}
+
+class SoakFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto machine = hw::MachineModel::haswell();
+    sim_ = new sim::Simulator(machine);
+    auto regions = workloads::Suite::instance().all_regions();
+    regions.resize(10);
+    db_ = new core::MeasurementDb(
+        *sim_, core::SearchSpace::for_machine(machine), regions);
+    path_a_ = save_power_artifact(3, "soak_model_a.pnp");
+    path_b_ = save_power_artifact(5, "soak_model_b.pnp");
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    delete sim_;
+    db_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static std::string save_power_artifact(int epochs, const char* name) {
+    core::PnpOptions opt;
+    opt.cap_onehot = false;
+    opt.trainer.max_epochs = epochs;
+    opt.trainer.min_loss = 0.0;
+    core::PnpTuner t(*db_, opt);
+    std::vector<int> all;
+    for (int r = 0; r < db_->num_regions(); ++r) all.push_back(r);
+    t.train_power_scenario(all);
+    const std::string path = ::testing::TempDir() + name;
+    t.save(path);
+    return path;
+  }
+
+  /// Client c's deterministic request stream (seeded LCG per client).
+  static std::vector<serve::TuneRequest> client_requests(int client, int n) {
+    std::vector<serve::TuneRequest> reqs;
+    std::uint64_t s = 0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(client);
+    const auto next = [&s] {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<std::uint32_t>(s >> 33);
+    };
+    const int regions = db_->num_regions();
+    const int caps = db_->num_caps();
+    for (int i = 0; i < n; ++i) {
+      const int region = static_cast<int>(next() % regions);
+      if (i % 3 == 2)
+        reqs.push_back(serve::TuneRequest::power_at(
+            region, 30.0 + static_cast<double>(next() % 600) / 10.0));
+      else
+        reqs.push_back(serve::TuneRequest::power(
+            region, static_cast<int>(next() % caps)));
+    }
+    return reqs;
+  }
+
+  /// Reference answers for one request set through a freshly loaded
+  /// tuner (independent code path: no cache, no batching, no server).
+  static std::vector<serve::TuneResult> reference_answers(
+      const std::string& artifact, std::uint64_t version,
+      const std::vector<serve::TuneRequest>& reqs) {
+    const core::PnpTuner ref = core::PnpTuner::load(*db_, artifact);
+    std::vector<serve::TuneResult> out;
+    out.reserve(reqs.size());
+    for (const auto& q : reqs) {
+      serve::TuneResult r;
+      r.model_version = version;
+      if (q.kind == serve::TuneRequest::Kind::PowerAt) {
+        r.config = ref.predict_power_at(q.region, q.cap_w);
+        r.cap_index = -1;
+      } else {
+        r.config = ref.predict_power(q.region, q.cap_index);
+        r.cap_index = q.cap_index;
+      }
+      out.push_back(r);
+    }
+    return out;
+  }
+
+  static sim::Simulator* sim_;
+  static core::MeasurementDb* db_;
+  static std::string path_a_, path_b_;
+};
+
+sim::Simulator* SoakFixture::sim_ = nullptr;
+core::MeasurementDb* SoakFixture::db_ = nullptr;
+std::string SoakFixture::path_a_;
+std::string SoakFixture::path_b_;
+
+/// One client thread's recorded outcome; workers record, main asserts.
+struct ClientLog {
+  std::vector<proto::Response> replies;  ///< slot i = reply to request i
+  int received = 0;
+  int shed = 0;
+  std::string failure;  ///< non-empty = transport/protocol exception text
+};
+
+/// Windowed pipelining: keep up to kWindow requests outstanding, match
+/// replies (possibly out of order) back to request slots by id.
+void run_client(const net::Address& addr,
+                const std::vector<serve::TuneRequest>& reqs, ClientLog& log) {
+  try {
+    net::Socket sock = net::connect_to(addr, /*retry_ms=*/2000);
+    sock.set_recv_timeout_ms(20000);
+    log.replies.resize(reqs.size());
+    std::size_t sent = 0;
+    int outstanding = 0;
+    const auto recv_one = [&] {
+      auto payload = net::recv_frame(sock);
+      PNP_CHECK_MSG(payload.has_value(), "unexpected EOF mid-stream");
+      const proto::Response r = proto::decode_response(*payload);
+      PNP_CHECK_MSG(r.id >= 1 && r.id <= reqs.size(),
+                    "reply id " << r.id << " out of range");
+      log.replies[static_cast<std::size_t>(r.id) - 1] = r;
+      ++log.received;
+      if (r.status == proto::Status::Shed) ++log.shed;
+      --outstanding;
+    };
+    while (sent < reqs.size()) {
+      proto::Request q;
+      q.id = static_cast<std::uint64_t>(sent) + 1;
+      q.op = op_of(reqs[sent]);
+      q.tune = reqs[sent];
+      net::send_frame(sock, proto::encode_request(q));
+      ++sent;
+      ++outstanding;
+      while (outstanding >= kWindow) recv_one();
+    }
+    while (outstanding > 0) recv_one();
+  } catch (const std::exception& e) {
+    log.failure = e.what();
+  }
+}
+
+TEST_F(SoakFixture, ConcurrentClientsMatchVersionTaggedReferenceAcrossReload) {
+  serve::TuningService service(*db_, path_a_);
+  serve::ServerOptions opt;
+  opt.workers = 4;
+  opt.queue_depth = 256;  // > kClients * kWindow: nothing may shed
+  serve::Server server(service, opt);
+
+  std::vector<std::vector<serve::TuneRequest>> reqs;
+  for (int c = 0; c < kClients; ++c)
+    reqs.push_back(client_requests(c, kPerClient));
+
+  std::vector<ClientLog> logs(kClients);
+  std::vector<std::thread> team;
+  for (int c = 0; c < kClients; ++c)
+    team.emplace_back(
+        [&, c] { run_client(server.address(), reqs[c], logs[c]); });
+
+  // Mid-stream hot reload from its own connection, racing the clients.
+  std::uint64_t new_version = 0;
+  std::string reload_failure;
+  std::thread reloader([&] {
+    try {
+      net::Socket sock = net::connect_to(server.address(), 2000);
+      sock.set_recv_timeout_ms(20000);
+      proto::Request q;
+      q.id = 1;
+      q.op = proto::Op::Reload;
+      q.reload_path = path_b_;
+      net::send_frame(sock, proto::encode_request(q));
+      auto payload = net::recv_frame(sock);
+      PNP_CHECK_MSG(payload.has_value(), "EOF before reload reply");
+      const proto::Response r = proto::decode_response(*payload);
+      PNP_CHECK_MSG(r.status == proto::Status::Ok, "reload failed: " << r.error);
+      new_version = r.new_version;
+    } catch (const std::exception& e) {
+      reload_failure = e.what();
+    }
+  });
+  for (auto& t : team) t.join();
+  reloader.join();
+
+  ASSERT_TRUE(reload_failure.empty()) << reload_failure;
+  EXPECT_EQ(new_version, 2u);
+
+  // Every reply matches the reference for the version that tagged it.
+  std::uint64_t v1_hits = 0, v2_hits = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(logs[c].failure.empty()) << "client " << c << ": "
+                                         << logs[c].failure;
+    ASSERT_EQ(logs[c].received, kPerClient) << "client " << c;
+    ASSERT_EQ(logs[c].shed, 0) << "client " << c;
+    const auto want_v1 = reference_answers(path_a_, 1, reqs[c]);
+    const auto want_v2 = reference_answers(path_b_, 2, reqs[c]);
+    for (int i = 0; i < kPerClient; ++i) {
+      const proto::Response& r = logs[c].replies[static_cast<std::size_t>(i)];
+      ASSERT_EQ(r.status, proto::Status::Ok)
+          << "client " << c << " request " << i << ": " << r.error;
+      ASSERT_TRUE(r.result.model_version == 1 || r.result.model_version == 2)
+          << "client " << c << " request " << i << " tagged v"
+          << r.result.model_version;
+      const auto& want = r.result.model_version == 1
+                             ? want_v1[static_cast<std::size_t>(i)]
+                             : want_v2[static_cast<std::size_t>(i)];
+      EXPECT_EQ(r.result.config, want.config)
+          << "client " << c << " request " << i << " (v"
+          << r.result.model_version << ")";
+      EXPECT_EQ(r.result.cap_index, want.cap_index)
+          << "client " << c << " request " << i;
+      r.result.model_version == 1 ? ++v1_hits : ++v2_hits;
+    }
+  }
+  // The reload really happened mid-stream: traffic on both sides of it.
+  // (kWindow replies per client are still in flight when the reload
+  // lands, so with 6×150 requests both versions must appear unless the
+  // reload raced past the entire run — tolerated but worth seeing.)
+  RecordProperty("v1_hits", static_cast<int>(v1_hits));
+  RecordProperty("v2_hits", static_cast<int>(v2_hits));
+  EXPECT_EQ(v1_hits + v2_hits,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.ok, static_cast<std::uint64_t>(kClients) * kPerClient + 1);
+  EXPECT_EQ(st.shed, 0u);
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(st.malformed, 0u);
+  EXPECT_EQ(server.latency().count(),
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+TEST_F(SoakFixture, DrainUnderLoadAnswersEveryAcceptedRequestExactlyOnce) {
+  serve::TuningService service(*db_, path_a_);
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  opt.queue_depth = 32;
+  auto server = std::make_unique<serve::Server>(service, opt);
+
+  // Clients stream until the server goes away; each records how many
+  // replies of each status it saw and how many requests it sent.
+  struct DrainLog {
+    std::atomic<int> sent{0};
+    int ok = 0, errors = 0, shed = 0;
+    bool clean_eof = false;
+    std::string failure;
+  };
+  std::vector<DrainLog> logs(kClients);
+  std::vector<std::thread> team;
+  for (int c = 0; c < kClients; ++c)
+    team.emplace_back([&, c] {
+      DrainLog& log = logs[c];
+      try {
+        net::Socket sock = net::connect_to(server->address(), 2000);
+        sock.set_recv_timeout_ms(20000);
+        const auto reqs = client_requests(c, 64);
+        std::uint64_t id = 0;
+        int outstanding = 0;
+        bool open = true;
+        const auto recv_one = [&]() -> bool {
+          auto payload = net::recv_frame(sock);
+          if (!payload.has_value()) return false;  // server drained us
+          const proto::Response r = proto::decode_response(*payload);
+          if (r.status == proto::Status::Ok) ++log.ok;
+          else if (r.status == proto::Status::Error) ++log.errors;
+          else ++log.shed;
+          --outstanding;
+          return true;
+        };
+        // Stream until the drain tears the connection down (send fails
+        // or a read hits EOF); a generous cap bounds the runtime if the
+        // shutdown below were ever to go missing.
+        while (open && id < 20000) {
+          const auto& q = reqs[static_cast<std::size_t>(id) % reqs.size()];
+          proto::Request req;
+          req.id = ++id;
+          req.op = op_of(q);
+          req.tune = q;
+          try {
+            net::send_frame(sock, proto::encode_request(req));
+          } catch (const std::exception&) {
+            break;  // write side torn down by the drain
+          }
+          log.sent.fetch_add(1, std::memory_order_relaxed);
+          ++outstanding;
+          while (open && outstanding >= kWindow) open = recv_one();
+        }
+        // Collect every reply the server still owes, through to EOF —
+        // the drain contract says they all arrive before the close.
+        while (recv_one()) {
+        }
+        log.clean_eof = true;
+      } catch (const std::exception& e) {
+        log.failure = e.what();
+      }
+    });
+
+  // Let traffic build, then drain while clients are mid-burst.
+  for (;;) {
+    std::uint64_t total = 0;
+    for (auto& l : logs) total += static_cast<std::uint64_t>(l.sent.load());
+    if (total >= 200) break;
+    std::this_thread::yield();
+  }
+  server->shutdown();
+  for (auto& t : team) t.join();
+
+  // Accounting: every reply the server counted was flushed to a client
+  // before its EOF — the drain lost zero accepted requests.
+  std::uint64_t client_ok = 0, client_errors = 0, client_shed = 0;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(logs[c].failure.empty()) << "client " << c << ": "
+                                         << logs[c].failure;
+    EXPECT_TRUE(logs[c].clean_eof) << "client " << c;
+    client_ok += static_cast<std::uint64_t>(logs[c].ok);
+    client_errors += static_cast<std::uint64_t>(logs[c].errors);
+    client_shed += static_cast<std::uint64_t>(logs[c].shed);
+  }
+  const auto st = server->stats();
+  EXPECT_EQ(st.ok, client_ok);
+  EXPECT_EQ(st.errors, client_errors);
+  EXPECT_EQ(st.shed, client_shed);
+  EXPECT_EQ(st.malformed, 0u);
+  EXPECT_EQ(st.connections, static_cast<std::uint64_t>(kClients));
+  // Tune traffic only, ok or error, lands in the histogram.
+  EXPECT_EQ(server->latency().count(), client_ok + client_errors);
+  EXPECT_GT(client_ok, 0u);
+  server.reset();
+}
+
+}  // namespace
+}  // namespace pnp

@@ -1,0 +1,595 @@
+/// \file server_test.cpp
+/// The network front end (serve::Server + serve/protocol): loopback
+/// round trips of every request type bit-identical to a direct
+/// TuningService / PnpTuner reference, the malformed-frame corpus
+/// (truncated length prefix, oversized length claim, unknown opcode,
+/// garbage payload, trailing bytes, mid-frame disconnect) each rejected
+/// cleanly while a canary connection keeps serving, deterministic
+/// load-shedding when the admission queue fills (workers parked on the
+/// test hook), and graceful drain: every accepted request answers before
+/// the connection sees EOF. Client threads never call gtest assertions;
+/// they record and the main thread verifies.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/net.hpp"
+#include "common/wire.hpp"
+#include "serve/server.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp {
+namespace {
+
+namespace proto = serve::protocol;
+
+/// A test client: one connection, frame-level send/recv, id-keyed reply
+/// collection (the server may answer a pipeline out of order).
+struct Client {
+  explicit Client(const net::Address& addr) : sock(net::connect_to(addr)) {
+    sock.set_recv_timeout_ms(10000);  // a hung test fails, not wedges
+  }
+
+  void send(const proto::Request& q) {
+    net::send_frame(sock, proto::encode_request(q));
+  }
+  void send_tune(std::uint64_t id, proto::Op op, const serve::TuneRequest& t) {
+    proto::Request q;
+    q.id = id;
+    q.op = op;
+    q.tune = t;
+    send(q);
+  }
+  /// Raw bytes, bypassing framing — the malformed-frame corpus.
+  void send_raw(std::string_view bytes) {
+    sock.write_all(bytes.data(), bytes.size());
+  }
+
+  /// Next response frame; throws on EOF (use eof() when EOF is the point).
+  proto::Response recv() {
+    auto payload = net::recv_frame(sock);
+    PNP_CHECK_MSG(payload.has_value(), "unexpected EOF from server");
+    return proto::decode_response(*payload);
+  }
+  /// Collect exactly n responses keyed by id.
+  std::map<std::uint64_t, proto::Response> recv_n(std::size_t n) {
+    std::map<std::uint64_t, proto::Response> out;
+    for (std::size_t i = 0; i < n; ++i) {
+      const proto::Response r = recv();
+      out[r.id] = r;
+    }
+    return out;
+  }
+  bool eof() { return !net::recv_frame(sock).has_value(); }
+
+  net::Socket sock;
+};
+
+/// Trained serving world shared by every test: 10 Haswell regions, two
+/// scalar-cap power artifacts (v1/v2 reload material) and an EDP
+/// artifact, mirroring tests/service_test.cpp.
+class ServerFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto machine = hw::MachineModel::haswell();
+    sim_ = new sim::Simulator(machine);
+    auto regions = workloads::Suite::instance().all_regions();
+    regions.resize(10);
+    db_ = new core::MeasurementDb(
+        *sim_, core::SearchSpace::for_machine(machine), regions);
+    path_a_ = save_artifact(3, "server_model_a.pnp", /*edp=*/false);
+    path_b_ = save_artifact(5, "server_model_b.pnp", /*edp=*/false);
+    path_edp_ = save_artifact(3, "server_model_edp.pnp", /*edp=*/true);
+  }
+
+  static void TearDownTestSuite() {
+    delete db_;
+    delete sim_;
+    db_ = nullptr;
+    sim_ = nullptr;
+  }
+
+  static core::PnpOptions options(int epochs) {
+    core::PnpOptions opt;
+    opt.cap_onehot = false;  // power_at must be servable
+    opt.trainer.max_epochs = epochs;
+    opt.trainer.min_loss = 0.0;
+    return opt;
+  }
+
+  static std::string save_artifact(int epochs, const char* name, bool edp) {
+    core::PnpTuner t(*db_, options(epochs));
+    std::vector<int> all;
+    for (int r = 0; r < db_->num_regions(); ++r) all.push_back(r);
+    if (edp) t.train_edp_scenario(all);
+    else t.train_power_scenario(all);
+    const std::string path = ::testing::TempDir() + name;
+    t.save(path);
+    return path;
+  }
+
+  /// Deterministic mixed tune requests (power / power_at), as
+  /// (op, TuneRequest) pairs ready for the wire.
+  static std::vector<std::pair<proto::Op, serve::TuneRequest>> mixed_requests(
+      int n, std::uint64_t seed) {
+    std::vector<std::pair<proto::Op, serve::TuneRequest>> reqs;
+    std::uint64_t s = seed;
+    const auto next = [&s] {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      return static_cast<std::uint32_t>(s >> 33);
+    };
+    const int regions = db_->num_regions();
+    const int caps = db_->num_caps();
+    for (int i = 0; i < n; ++i) {
+      const int region = static_cast<int>(next() % regions);
+      if (i % 3 == 2) {
+        const double w = 30.0 + static_cast<double>(next() % 600) / 10.0;
+        reqs.emplace_back(proto::Op::PowerAt,
+                          serve::TuneRequest::power_at(region, w));
+      } else {
+        reqs.emplace_back(
+            proto::Op::Power,
+            serve::TuneRequest::power(region, static_cast<int>(next() % caps)));
+      }
+    }
+    return reqs;
+  }
+
+  /// Single-threaded reference through a freshly loaded PnpTuner — fully
+  /// independent of the service/server code path.
+  static serve::TuneResult reference(const core::PnpTuner& ref,
+                                     std::uint64_t version,
+                                     const serve::TuneRequest& q) {
+    serve::TuneResult r;
+    r.model_version = version;
+    switch (q.kind) {
+      case serve::TuneRequest::Kind::Power:
+        r.config = ref.predict_power(q.region, q.cap_index);
+        r.cap_index = q.cap_index;
+        break;
+      case serve::TuneRequest::Kind::PowerAt:
+        r.config = ref.predict_power_at(q.region, q.cap_w);
+        r.cap_index = -1;
+        break;
+      case serve::TuneRequest::Kind::Edp: {
+        const auto jc = ref.predict_edp(q.region);
+        r.config = jc.cfg;
+        r.cap_index = jc.cap_index;
+        break;
+      }
+    }
+    return r;
+  }
+
+  static void expect_result_eq(const serve::TuneResult& got,
+                               const serve::TuneResult& want, std::uint64_t id) {
+    EXPECT_EQ(got.config, want.config) << "request id " << id;
+    EXPECT_EQ(got.cap_index, want.cap_index) << "request id " << id;
+    EXPECT_EQ(got.model_version, want.model_version) << "request id " << id;
+  }
+
+  static sim::Simulator* sim_;
+  static core::MeasurementDb* db_;
+  static std::string path_a_, path_b_, path_edp_;
+};
+
+sim::Simulator* ServerFixture::sim_ = nullptr;
+core::MeasurementDb* ServerFixture::db_ = nullptr;
+std::string ServerFixture::path_a_;
+std::string ServerFixture::path_b_;
+std::string ServerFixture::path_edp_;
+
+// --- options validation ------------------------------------------------------
+
+TEST_F(ServerFixture, RejectsBadOptionsAndBadEndpoints) {
+  serve::TuningService service(*db_, path_a_);
+  const auto with = [](auto mut) {
+    serve::ServerOptions o;
+    mut(o);
+    return o;
+  };
+  EXPECT_THROW(serve::Server(service,
+                             with([](auto& o) { o.workers = 0; })),
+               Error);
+  EXPECT_THROW(serve::Server(service,
+                             with([](auto& o) { o.queue_depth = 0; })),
+               Error);
+  EXPECT_THROW(serve::Server(service, with([](auto& o) {
+                               o.max_frame_bytes = net::kMaxFrameBytes + 1;
+                             })),
+               Error);
+  EXPECT_THROW(serve::Server(service,
+                             with([](auto& o) { o.listen = "bogus:addr"; })),
+               Error);
+  // A stale unix socket file is an error, not silently stolen.
+  const std::string sock_path = ::testing::TempDir() + "server_stale.sock";
+  std::remove(sock_path.c_str());
+  {
+    serve::Server first(service,
+                        with([&](auto& o) { o.listen = "unix:" + sock_path; }));
+    EXPECT_THROW(serve::Server(service, with([&](auto& o) {
+                                 o.listen = "unix:" + sock_path;
+                               })),
+                 Error);
+  }
+  // ...and the file is unlinked on close, so rebinding works.
+  serve::Server again(service,
+                      with([&](auto& o) { o.listen = "unix:" + sock_path; }));
+}
+
+// --- loopback round trips ----------------------------------------------------
+
+TEST_F(ServerFixture, EveryRequestTypeRoundTripsBitIdenticalToReference) {
+  serve::TuningService service(*db_, path_a_);
+  serve::Server server(service, {});
+  Client c(server.address());
+
+  // Mixed power/power_at pipeline, answered out of order, every result
+  // byte-equal to the fresh-tuner reference at version 1.
+  const auto reqs = mixed_requests(60, 0x9e3779b97f4a7c15ull);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    c.send_tune(i + 1, reqs[i].first, reqs[i].second);
+  auto replies = c.recv_n(reqs.size());
+  {
+    const core::PnpTuner ref = core::PnpTuner::load(*db_, path_a_);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto it = replies.find(i + 1);
+      ASSERT_NE(it, replies.end()) << "no reply for id " << i + 1;
+      ASSERT_EQ(it->second.status, proto::Status::Ok) << it->second.error;
+      EXPECT_EQ(it->second.op, reqs[i].first);
+      expect_result_eq(it->second.result,
+                       reference(ref, 1, reqs[i].second), i + 1);
+    }
+  }
+
+  // reload -> v2; the same requests now match the v2 reference.
+  {
+    proto::Request q;
+    q.id = 1000;
+    q.op = proto::Op::Reload;
+    q.reload_path = path_b_;
+    c.send(q);
+    const auto r = c.recv();
+    ASSERT_EQ(r.status, proto::Status::Ok) << r.error;
+    ASSERT_EQ(r.op, proto::Op::Reload);
+    EXPECT_EQ(r.new_version, 2u);
+  }
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    c.send_tune(2000 + i, reqs[i].first, reqs[i].second);
+  replies = c.recv_n(reqs.size());
+  {
+    const core::PnpTuner ref = core::PnpTuner::load(*db_, path_b_);
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+      const auto& r = replies.at(2000 + i);
+      ASSERT_EQ(r.status, proto::Status::Ok) << r.error;
+      expect_result_eq(r.result, reference(ref, 2, reqs[i].second), 2000 + i);
+    }
+  }
+
+  // stats: counters agree with the server's own view, histogram counts
+  // every tune request answered so far (ok or error), sampled before the
+  // stats request itself is counted.
+  {
+    proto::Request q;
+    q.id = 3000;
+    q.op = proto::Op::Stats;
+    c.send(q);
+    LatencyHistogram hist;
+    auto payload = net::recv_frame(c.sock);
+    ASSERT_TRUE(payload.has_value());
+    const auto r = proto::decode_response(*payload, &hist);
+    ASSERT_EQ(r.status, proto::Status::Ok) << r.error;
+    ASSERT_EQ(r.op, proto::Op::Stats);
+    EXPECT_EQ(r.server.connections, 1u);
+    EXPECT_EQ(r.server.ok, 2 * reqs.size() + 1);  // tunes + reload
+    EXPECT_EQ(r.server.errors, 0u);
+    EXPECT_EQ(r.server.shed, 0u);
+    EXPECT_EQ(r.server.malformed, 0u);
+    EXPECT_EQ(hist.count(), 2 * reqs.size());  // reload/stats excluded
+    EXPECT_EQ(r.service.requests, 2 * reqs.size());
+    EXPECT_EQ(r.service.reloads, 1u);
+    EXPECT_EQ(hist.count(), server.latency().count());
+    EXPECT_EQ(hist.max_ns(), server.latency().max_ns());
+  }
+
+  // An invalid region is a per-request error; the connection survives it.
+  {
+    c.send_tune(4000, proto::Op::Power, serve::TuneRequest::power(9999, 0));
+    const auto r = c.recv();
+    EXPECT_EQ(r.status, proto::Status::Error);
+    EXPECT_FALSE(r.error.empty());
+    c.send_tune(4001, proto::Op::Power, reqs[0].second);
+    EXPECT_EQ(c.recv().status, proto::Status::Ok);
+  }
+
+  server.shutdown();
+  EXPECT_TRUE(c.eof());
+}
+
+TEST_F(ServerFixture, EdpRoundTripOverUnixSocketMatchesReference) {
+  const std::string sock_path = ::testing::TempDir() + "server_edp.sock";
+  std::remove(sock_path.c_str());
+  serve::TuningService service(*db_, path_edp_);
+  serve::ServerOptions opt;
+  opt.listen = "unix:" + sock_path;
+  serve::Server server(service, opt);
+  ASSERT_TRUE(server.address().is_unix);
+
+  Client c(server.address());
+  const core::PnpTuner ref = core::PnpTuner::load(*db_, path_edp_);
+  for (int region = 0; region < db_->num_regions(); ++region)
+    c.send_tune(static_cast<std::uint64_t>(region) + 1, proto::Op::Edp,
+                serve::TuneRequest::edp(region));
+  const auto replies = c.recv_n(static_cast<std::size_t>(db_->num_regions()));
+  for (int region = 0; region < db_->num_regions(); ++region) {
+    const auto& r = replies.at(static_cast<std::uint64_t>(region) + 1);
+    ASSERT_EQ(r.status, proto::Status::Ok) << r.error;
+    expect_result_eq(r.result,
+                     reference(ref, 1, serve::TuneRequest::edp(region)),
+                     static_cast<std::uint64_t>(region) + 1);
+  }
+}
+
+// --- malformed-frame corpus --------------------------------------------------
+
+TEST_F(ServerFixture, MalformedFramesRejectCleanlyWhileOthersKeepServing) {
+  serve::TuningService service(*db_, path_a_);
+  serve::ServerOptions opt;
+  opt.max_frame_bytes = 1024;
+  serve::Server server(service, opt);
+
+  // The canary holds one connection open across the whole corpus and
+  // must get a correct answer after every abuse.
+  Client canary(server.address());
+  const core::PnpTuner ref = core::PnpTuner::load(*db_, path_a_);
+  const auto probe_canary = [&](std::uint64_t id) {
+    canary.send_tune(id, proto::Op::Power, serve::TuneRequest::power(1, 0));
+    const auto r = canary.recv();
+    ASSERT_EQ(r.status, proto::Status::Ok) << r.error;
+    expect_result_eq(r.result,
+                     reference(ref, 1, serve::TuneRequest::power(1, 0)), id);
+  };
+  probe_canary(1);
+
+  std::uint64_t malformed = 0;
+
+  // (a) Truncated length prefix: 2 of 4 header bytes, then half-close.
+  // The stream cannot resync -> error frame (id unknowable: 0), then EOF.
+  {
+    Client c(server.address());
+    c.send_raw(std::string_view("\x02\x00", 2));
+    c.sock.shutdown_write();
+    const auto r = c.recv();
+    EXPECT_EQ(r.status, proto::Status::Error);
+    EXPECT_EQ(r.id, 0u);
+    EXPECT_TRUE(c.eof());
+    ++malformed;
+    probe_canary(2);
+  }
+
+  // (b) Oversized length claim: rejected before allocation, connection
+  // closed.
+  {
+    Client c(server.address());
+    std::string header;
+    wire::put_u32(header, opt.max_frame_bytes + 1);
+    c.send_raw(header);
+    const auto r = c.recv();
+    EXPECT_EQ(r.status, proto::Status::Error);
+    EXPECT_NE(r.error.find("exceeds"), std::string::npos) << r.error;
+    EXPECT_TRUE(c.eof());
+    ++malformed;
+    probe_canary(3);
+  }
+
+  // (c) Mid-frame disconnect: a frame claiming 64 bytes delivers 10, then
+  // the peer vanishes.
+  {
+    Client c(server.address());
+    std::string partial;
+    wire::put_u32(partial, 64);
+    partial.append(10, 'x');
+    c.send_raw(partial);
+    c.sock.shutdown_write();
+    EXPECT_EQ(c.recv().status, proto::Status::Error);
+    EXPECT_TRUE(c.eof());
+    ++malformed;
+    probe_canary(4);
+  }
+
+  // (d) Unknown opcode: the frame boundary is intact, so the error frame
+  // echoes the request id and the connection keeps serving.
+  {
+    Client c(server.address());
+    std::string payload;
+    wire::put_u64(payload, 77);
+    wire::put_u8(payload, 9);
+    net::send_frame(c.sock, payload);
+    const auto r = c.recv();
+    EXPECT_EQ(r.status, proto::Status::Error);
+    EXPECT_EQ(r.id, 77u);
+    EXPECT_NE(r.error.find("opcode"), std::string::npos) << r.error;
+    ++malformed;
+    c.send_tune(78, proto::Op::Power, serve::TuneRequest::power(0, 0));
+    EXPECT_EQ(c.recv().status, proto::Status::Ok);  // same conn still serves
+    probe_canary(5);
+  }
+
+  // (e) Garbage payload too short for even an id: error frame with id 0,
+  // connection survives.
+  {
+    Client c(server.address());
+    net::send_frame(c.sock, "abc");
+    const auto r = c.recv();
+    EXPECT_EQ(r.status, proto::Status::Error);
+    EXPECT_EQ(r.id, 0u);
+    ++malformed;
+    // (f) Truncated arguments after a valid opcode.
+    std::string payload;
+    wire::put_u64(payload, 91);
+    wire::put_u8(payload, static_cast<std::uint8_t>(proto::Op::Power));
+    wire::put_u32(payload, 1);  // region present, cap_index missing
+    net::send_frame(c.sock, payload);
+    const auto r2 = c.recv();
+    EXPECT_EQ(r2.status, proto::Status::Error);
+    EXPECT_EQ(r2.id, 91u);
+    ++malformed;
+    // (g) Trailing bytes after a well-formed request.
+    proto::Request q;
+    q.id = 92;
+    q.op = proto::Op::Edp;
+    q.tune = serve::TuneRequest::edp(0);
+    std::string enc = proto::encode_request(q);
+    wire::put_u8(enc, 0xff);
+    net::send_frame(c.sock, enc);
+    const auto r3 = c.recv();
+    EXPECT_EQ(r3.status, proto::Status::Error);
+    EXPECT_EQ(r3.id, 92u);
+    EXPECT_NE(r3.error.find("trailing"), std::string::npos) << r3.error;
+    ++malformed;
+    // (h) Empty payload.
+    net::send_frame(c.sock, "");
+    EXPECT_EQ(c.recv().status, proto::Status::Error);
+    ++malformed;
+    c.send_tune(93, proto::Op::Power, serve::TuneRequest::power(0, 0));
+    EXPECT_EQ(c.recv().status, proto::Status::Ok);
+    probe_canary(6);
+  }
+
+  const auto st = server.stats();
+  EXPECT_EQ(st.malformed, malformed);
+  EXPECT_EQ(st.shed, 0u);
+  server.shutdown();
+  EXPECT_TRUE(canary.eof());
+}
+
+// --- backpressure + drain (deterministic via the worker hook) ----------------
+
+/// A gate the single worker parks on: the test learns when the worker
+/// has dequeued a job (entered) and releases all executions at once.
+struct WorkerGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = false;
+  int entered = 0;
+
+  serve::ServerOptions options(int queue_depth) {
+    serve::ServerOptions o;
+    o.workers = 1;
+    o.queue_depth = queue_depth;
+    o.test_hook_before_execute = [this] {
+      std::unique_lock<std::mutex> lk(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lk, [this] { return open; });
+    };
+    return o;
+  }
+  void wait_entered(int n) {
+    std::unique_lock<std::mutex> lk(mu);
+    cv.wait(lk, [&] { return entered >= n; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> lk(mu);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+TEST_F(ServerFixture, FullQueueShedsExplicitlyAndServesEveryAcceptedRequest) {
+  serve::TuningService service(*db_, path_a_);
+  WorkerGate gate;
+  serve::Server server(service, gate.options(/*queue_depth=*/1));
+  Client c(server.address());
+
+  // id 1 occupies the (single) worker, id 2 fills the queue; the reader
+  // is strictly sequential per connection, so ids 3..6 must shed.
+  c.send_tune(1, proto::Op::Power, serve::TuneRequest::power(0, 0));
+  gate.wait_entered(1);
+  for (std::uint64_t id = 2; id <= 6; ++id)
+    c.send_tune(id, proto::Op::Power, serve::TuneRequest::power(0, 1));
+  // Shed replies arrive immediately, while the worker is still parked.
+  auto shed = c.recv_n(4);
+  for (std::uint64_t id = 3; id <= 6; ++id) {
+    ASSERT_TRUE(shed.count(id)) << "expected shed frame for id " << id;
+    EXPECT_EQ(shed[id].status, proto::Status::Shed);
+  }
+  EXPECT_EQ(server.stats().shed, 4u);
+
+  gate.release();
+  const auto done = c.recv_n(2);
+  const core::PnpTuner ref = core::PnpTuner::load(*db_, path_a_);
+  ASSERT_EQ(done.at(1).status, proto::Status::Ok);
+  expect_result_eq(done.at(1).result,
+                   reference(ref, 1, serve::TuneRequest::power(0, 0)), 1);
+  ASSERT_EQ(done.at(2).status, proto::Status::Ok);
+  expect_result_eq(done.at(2).result,
+                   reference(ref, 1, serve::TuneRequest::power(0, 1)), 2);
+  const auto st = server.stats();
+  EXPECT_EQ(st.ok, 2u);
+  EXPECT_EQ(st.shed, 4u);
+  EXPECT_EQ(server.latency().count(), 2u);  // shed never reaches the histogram
+}
+
+TEST_F(ServerFixture, ShutdownDrainsEveryAcceptedRequestThenClosesCleanly) {
+  serve::TuningService service(*db_, path_a_);
+  WorkerGate gate;
+  auto server = std::make_unique<serve::Server>(
+      service, gate.options(/*queue_depth=*/4));
+  const net::Address addr = server->address();
+  Client c(addr);
+
+  // Fill the pipeline: id 1 executing (parked on the gate — waited for,
+  // so the queue is empty when the burst lands), 2..5 queued. The shed
+  // frame for id 6 proves 2..5 were admitted (sequential reader) before
+  // shutdown begins.
+  c.send_tune(1, proto::Op::Power, serve::TuneRequest::power(1, 0));
+  gate.wait_entered(1);
+  for (std::uint64_t id = 2; id <= 6; ++id)
+    c.send_tune(id, proto::Op::Power,
+                serve::TuneRequest::power(static_cast<int>(id) % 10, 0));
+  {
+    const auto r = c.recv();
+    EXPECT_EQ(r.id, 6u);
+    EXPECT_EQ(r.status, proto::Status::Shed);
+  }
+
+  std::thread closer([&] { server->shutdown(); });
+  gate.release();
+  closer.join();
+
+  // Every accepted request (1..5) answered ok, then EOF — zero lost.
+  const auto replies = c.recv_n(5);
+  const core::PnpTuner ref = core::PnpTuner::load(*db_, path_a_);
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    ASSERT_TRUE(replies.count(id)) << "accepted request " << id << " lost";
+    ASSERT_EQ(replies.at(id).status, proto::Status::Ok);
+    expect_result_eq(
+        replies.at(id).result,
+        reference(ref, 1,
+                  serve::TuneRequest::power(static_cast<int>(id) % 10, 0)),
+        id);
+  }
+  EXPECT_TRUE(c.eof());
+  const auto st = server->stats();
+  EXPECT_EQ(st.ok, 5u);
+  EXPECT_EQ(st.shed, 1u);
+
+  // The listener is gone: a fresh connect must fail.
+  server.reset();
+  EXPECT_THROW(net::connect_to(addr), Error);
+}
+
+}  // namespace
+}  // namespace pnp

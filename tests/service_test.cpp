@@ -326,6 +326,12 @@ TEST_F(ServiceFixture, ReloadBoundaryEveryResultConsistentWithItsVersion) {
     team.emplace_back([&, t] {
       auto& mine = log[static_cast<std::size_t>(t)];
       for (std::size_t i = 0; i < mine.size(); ++i) {
+        // The last request per thread waits out the swap, so every run
+        // exercises traffic on both sides of the reload boundary even
+        // when a starved reload() finishes after the main burst.
+        if (i + 1 == mine.size())
+          while (!reload_done.load(std::memory_order_acquire))
+            std::this_thread::yield();
         mine[i].after_reload = reload_done.load(std::memory_order_acquire);
         mine[i].result = service.tune(reqs[i % reqs.size()]);
         completed.fetch_add(1, std::memory_order_relaxed);

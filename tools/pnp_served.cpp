@@ -1,0 +1,166 @@
+/// \file pnp_served.cpp
+/// The always-on network serving daemon: serve::Server over a
+/// serve::TuningService, speaking the length-prefixed binary protocol of
+/// docs/SERVING.md ("Network protocol") on a TCP or unix socket:
+///
+///   pnp_served --machine haswell|skylake --model MODEL --listen ADDR
+///              [--workers N] [--queue N] [--shards N] [--max-batch N]
+///              [--batch-wait-us N] [--no-coalesce]
+///
+/// ADDR is `unix:PATH` or `tcp:[HOST:]PORT` (`tcp:0` picks an ephemeral
+/// loopback port; the bound address is printed to stderr as
+/// `listening on …`). The daemon serves until SIGINT/SIGTERM, then drains
+/// gracefully — the listener closes first, every accepted request
+/// completes and flushes its reply, and a final summary (request counts
+/// and the p50/p95/p99 tune latency) lands on stderr. Exit codes: 0
+/// success (clean drain), 1 bad input (unreadable model, unbindable
+/// address), 2 bad usage.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "serve/server.hpp"
+#include "workloads/suite.hpp"
+
+using namespace pnp;
+
+namespace {
+
+struct Args {
+  std::string machine = "haswell";
+  std::string model_path;
+  std::string listen;
+  serve::ServerOptions server;
+  serve::TuningServiceOptions service;
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  %s --machine haswell|skylake --model MODEL --listen ADDR\n"
+      "     [--workers N] [--queue N] [--shards N] [--max-batch N]\n"
+      "     [--batch-wait-us N] [--no-coalesce]\n"
+      "ADDR: 'unix:PATH' or 'tcp:[HOST:]PORT' (tcp:0 = ephemeral port).\n"
+      "Serves until SIGINT/SIGTERM, then drains gracefully.\n",
+      argv0);
+  std::exit(2);
+}
+
+int parse_int(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(s, &pos);
+    PNP_CHECK_MSG(pos == s.size(), "trailing characters");
+    return v;
+  } catch (const std::exception&) {
+    throw Error(std::string("bad ") + what + " '" + s + "'");
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--machine") a.machine = value();
+    else if (flag == "--model") a.model_path = value();
+    else if (flag == "--listen") a.listen = value();
+    else if (flag == "--workers")
+      a.server.workers = parse_int(value(), "--workers");
+    else if (flag == "--queue")
+      a.server.queue_depth = parse_int(value(), "--queue");
+    else if (flag == "--shards")
+      a.service.cache_shards = parse_int(value(), "--shards");
+    else if (flag == "--max-batch")
+      a.service.max_batch = parse_int(value(), "--max-batch");
+    else if (flag == "--batch-wait-us")
+      a.service.batch_wait =
+          std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
+    else if (flag == "--no-coalesce") a.service.coalesce = false;
+    else usage(argv[0]);
+  }
+  if (a.model_path.empty() || a.listen.empty()) usage(argv[0]);
+  if (a.server.workers < 1 || a.server.queue_depth < 1) usage(argv[0]);
+  a.server.listen = a.listen;
+  return a;
+}
+
+hw::MachineModel machine_for(const std::string& name) {
+  if (name == "haswell") return hw::MachineModel::haswell();
+  if (name == "skylake") return hw::MachineModel::skylake();
+  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+// SIGINT/SIGTERM handshake: the handler writes one byte into a self-pipe
+// (async-signal-safe); the main thread blocks reading it.
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void on_signal(int) {
+  const char b = 's';
+  [[maybe_unused]] const ssize_t r = ::write(g_signal_pipe[1], &b, 1);
+}
+
+int run(const Args& a) {
+  const auto machine = machine_for(a.machine);
+  const sim::Simulator sim(machine);
+  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+                               workloads::Suite::instance().all_regions());
+  serve::TuningService service(db, a.model_path, a.service);
+  serve::Server server(service, a.server);
+  std::fprintf(stderr, "listening on %s (model %s v%llu, %d workers, queue %d)\n",
+               server.address().to_string().c_str(), a.model_path.c_str(),
+               static_cast<unsigned long long>(service.model_version()),
+               a.server.workers, a.server.queue_depth);
+
+  PNP_CHECK_MSG(::pipe(g_signal_pipe) == 0, "cannot create signal pipe");
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  char b;
+  while (::read(g_signal_pipe[0], &b, 1) < 0) {
+    // EINTR: the handler itself interrupted us; retry.
+  }
+  std::fprintf(stderr, "draining...\n");
+  server.shutdown();
+
+  const auto st = server.stats();
+  const auto& h = server.latency();
+  std::fprintf(stderr,
+               "served %llu ok, %llu errors, %llu shed, %llu malformed over "
+               "%llu connections\n",
+               static_cast<unsigned long long>(st.ok),
+               static_cast<unsigned long long>(st.errors),
+               static_cast<unsigned long long>(st.shed),
+               static_cast<unsigned long long>(st.malformed),
+               static_cast<unsigned long long>(st.connections));
+  if (h.count() > 0) {
+    std::fprintf(stderr,
+                 "tune latency (ns): p50<=%llu p95<=%llu p99<=%llu max=%llu\n",
+                 static_cast<unsigned long long>(h.quantile_ns(0.50)),
+                 static_cast<unsigned long long>(h.quantile_ns(0.95)),
+                 static_cast<unsigned long long>(h.quantile_ns(0.99)),
+                 static_cast<unsigned long long>(h.max_ns()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pnp_served: error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -37,13 +37,15 @@ struct Args {
   std::string model_path;
   std::string predictions_path;  // empty = stdout
   int epochs = 12;
+  bool scalar_cap = false;
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s train   --machine haswell|skylake --scenario power|edp\n"
-               "             --out MODEL [--epochs N] [--predictions FILE]\n"
+               "             --out MODEL [--epochs N] [--scalar-cap]\n"
+               "             [--predictions FILE]\n"
                "  %s predict --machine haswell|skylake --model MODEL\n"
                "             [--predictions FILE]\n"
                "  %s info    --model MODEL\n",
@@ -66,6 +68,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--out" || flag == "--model") a.model_path = value();
     else if (flag == "--predictions") a.predictions_path = value();
     else if (flag == "--epochs") a.epochs = std::stoi(value());
+    else if (flag == "--scalar-cap") a.scalar_cap = true;
     else usage(argv[0]);
   }
   return a;
@@ -119,6 +122,9 @@ int cmd_train(const Args& a) {
                                workloads::Suite::instance().all_regions());
   core::PnpOptions opt;
   opt.trainer.max_epochs = a.epochs;
+  // Scalar-cap models additionally serve arbitrary-watt power_at queries
+  // (paper Figs. 4-5) — what pnp_served needs for mixed loadgen blends.
+  opt.cap_onehot = !a.scalar_cap;
   core::PnpTuner tuner(db, opt);
   std::vector<int> all;
   for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
