@@ -105,19 +105,38 @@ constexpr std::uint32_t kWireLayout =
 }  // namespace
 
 void LatencyHistogram::encode(std::string& out) const {
-  wire::put_u32(out, kWireLayout);
-  wire::put_u64(out, count());
-  wire::put_u64(out, total_ns());
-  wire::put_u64(out, max_ns());
+  // Concurrent record() calls may land between any two atomic loads, and
+  // decode() strictly enforces internal consistency (bucket sum == count,
+  // no trailing bytes). So read the bucket array exactly once into a
+  // plain snapshot and derive *every* emitted field — count, nonzero, and
+  // the entry list — from that snapshot alone.
+  std::vector<std::uint64_t> snap(kBucketCount);
+  std::uint64_t sum = 0;
   std::uint32_t nonzero = 0;
-  for (std::size_t i = 0; i < kBucketCount; ++i)
-    if (buckets_[i].load(std::memory_order_relaxed)) ++nonzero;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    sum += snap[i];
+    if (snap[i]) ++nonzero;
+  }
+  // The summary counters are only advisory relative to the snapshot
+  // (total/max may trail or lead by in-flight samples); clamp the one
+  // combination decode() rejects — a non-zero summary on an empty
+  // histogram.
+  std::uint64_t total = total_ns_.load(std::memory_order_relaxed);
+  std::uint64_t mx = max_ns_.load(std::memory_order_relaxed);
+  if (sum == 0) {
+    total = 0;
+    mx = 0;
+  }
+  wire::put_u32(out, kWireLayout);
+  wire::put_u64(out, sum);
+  wire::put_u64(out, total);
+  wire::put_u64(out, mx);
   wire::put_u32(out, nonzero);
   for (std::size_t i = 0; i < kBucketCount; ++i) {
-    const std::uint64_t c = buckets_[i].load(std::memory_order_relaxed);
-    if (!c) continue;
+    if (!snap[i]) continue;
     wire::put_u32(out, static_cast<std::uint32_t>(i));
-    wire::put_u64(out, c);
+    wire::put_u64(out, snap[i]);
   }
 }
 

@@ -102,7 +102,9 @@ class LatencyHistogram {
 
   /// Append the wire form (docs/SERVING.md stats frame): layout tag,
   /// summary counters, then a sparse (u32 index, u64 count) list of the
-  /// non-empty buckets.
+  /// non-empty buckets. Safe against concurrent record(): the frame is
+  /// built from one bucket snapshot (count = the snapshot's sum), so it
+  /// always satisfies decode()'s consistency checks even mid-burst.
   void encode(std::string& out) const;
   /// Replace this histogram's contents with a decoded wire form. Throws
   /// pnp::Error on any malformed input (layout mismatch, bad index,

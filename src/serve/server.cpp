@@ -68,9 +68,14 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
       // connection down. Only half-close here — in-flight jobs may still
       // be writing their replies, and the fd itself is closed once all
       // threads are joined in shutdown(). Other connections are
-      // untouched.
-      malformed_.fetch_add(1, std::memory_order_relaxed);
-      reply(*conn, protocol::encode_error_response(0, e.what()));
+      // untouched. During a drain the stream ends because shutdown()
+      // half-closed our read side, not because the client misbehaved —
+      // don't inflate the malformed counter or emit an id-0 error frame
+      // a strict id-matching client cannot correlate.
+      if (!shut_down_.load(std::memory_order_relaxed)) {
+        malformed_.fetch_add(1, std::memory_order_relaxed);
+        reply(*conn, protocol::encode_error_response(0, e.what()));
+      }
       close_writes(*conn);
       conn->sock.shutdown_read();
       return;
@@ -106,15 +111,16 @@ bool Server::admit(Job job) {
     }
   }
   // Full queue (or draining): explicit backpressure, never unbounded
-  // buffering — the client gets a shed frame right now. Count before
-  // sending (a client holding shed frame N must find it in stats), but
-  // take the count back if the frame could not be delivered: during a
-  // drain the reader may still be flushing requests that were buffered
-  // before the FIN went out, and a refusal the client can never observe
-  // must not show up in the final stats the client reconciles against.
-  shed_.fetch_add(1, std::memory_order_relaxed);
-  if (!reply(*job.conn, protocol::encode_shed_response(job.request.id)))
-    shed_.fetch_sub(1, std::memory_order_relaxed);
+  // buffering — the client gets a shed frame right now. Count only after
+  // the frame is delivered: a refusal the client can never observe
+  // (during a drain the reader may still be flushing requests buffered
+  // before the FIN went out) must not show up in the stats the client
+  // reconciles against, and counting post-send keeps the counter
+  // monotonic. A client holding shed frame N still finds it in stats,
+  // because its stats request re-enters this reader only after the
+  // increment below.
+  if (reply(*job.conn, protocol::encode_shed_response(job.request.id)))
+    shed_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -215,8 +221,11 @@ void Server::close_writes(Conn& conn) {
 void Server::shutdown() {
   {
     std::lock_guard<std::mutex> lk(shutdown_mu_);
-    if (shut_down_) return;
-    shut_down_ = true;
+    if (shut_down_.load(std::memory_order_relaxed)) return;
+    // Readers consult this flag to tell a drain-induced EOF from a
+    // genuinely malformed stream; set it before step 2 half-closes their
+    // read sides.
+    shut_down_.store(true, std::memory_order_relaxed);
   }
   // 1. Stop admitting (late arrivals get shed frames) and close the
   //    listener so no new connections form.

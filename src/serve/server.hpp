@@ -156,7 +156,9 @@ class Server {
   std::vector<std::thread> workers_;
 
   std::mutex shutdown_mu_;
-  bool shut_down_ = false;
+  /// Atomic so readers can distinguish a drain-induced stream end from a
+  /// malformed stream without taking shutdown_mu_.
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace pnp::serve

@@ -11,8 +11,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -251,6 +253,40 @@ TEST(LatencyHistogram, EmptyHistogramRoundTrips) {
   got.decode(r);
   EXPECT_EQ(got.count(), 0u);
   EXPECT_EQ(got.max_ns(), 0u);
+}
+
+TEST(LatencyHistogram, EncodeUnderConcurrentRecordAlwaysDecodes) {
+  // encode() must emit an internally consistent snapshot even while
+  // workers hammer record(): every frame decodes cleanly (sum == count,
+  // no trailing bytes), exactly what a live stats poller relies on.
+  Hist h;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> team;
+  for (int t = 0; t < kWriters; ++t)
+    team.emplace_back([&h, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed))
+        h.record(static_cast<std::uint64_t>(t) * 131 + (i++ % 100003));
+    });
+  // Don't start sampling until the writers are demonstrably running, so
+  // every encode round genuinely races live record() calls.
+  while (h.count() < 1000) std::this_thread::yield();
+  std::uint64_t prev_count = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string payload;
+    h.encode(payload);
+    Hist got;
+    wire::Reader r(payload);
+    ASSERT_NO_THROW(got.decode(r)) << "round " << round;
+    EXPECT_TRUE(r.done()) << "round " << round;
+    // Snapshots are monotone: counts only grow between encodes.
+    EXPECT_GE(got.count(), prev_count) << "round " << round;
+    prev_count = got.count();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& th : team) th.join();
+  EXPECT_GT(prev_count, 0u);
 }
 
 TEST(LatencyHistogram, DecodeRejectsMalformedWire) {

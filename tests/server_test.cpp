@@ -525,6 +525,13 @@ TEST_F(ServerFixture, FullQueueShedsExplicitlyAndServesEveryAcceptedRequest) {
     ASSERT_TRUE(shed.count(id)) << "expected shed frame for id " << id;
     EXPECT_EQ(shed[id].status, proto::Status::Shed);
   }
+  // The reader counts a shed only after its frame is delivered, so the
+  // out-of-band stats() API trails the frames we just read off the
+  // socket by the reader's post-send increment — poll briefly. (In-band
+  // stats requests never see the gap: the same reader thread increments
+  // before it reads the next frame.)
+  for (int spin = 0; spin < 10000 && server.stats().shed < 4; ++spin)
+    std::this_thread::yield();
   EXPECT_EQ(server.stats().shed, 4u);
 
   gate.release();

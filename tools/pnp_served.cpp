@@ -19,6 +19,7 @@
 #include <signal.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <string>
 
@@ -109,6 +110,15 @@ extern "C" void on_signal(int) {
 }
 
 int run(const Args& a) {
+  // Install the handlers before the server exists and starts accepting:
+  // a signal delivered in that window must park in the self-pipe for the
+  // drain below, not kill the daemon with the default disposition.
+  PNP_CHECK_MSG(::pipe(g_signal_pipe) == 0, "cannot create signal pipe");
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
   const auto machine = machine_for(a.machine);
   const sim::Simulator sim(machine);
   const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
@@ -120,15 +130,13 @@ int run(const Args& a) {
                static_cast<unsigned long long>(service.model_version()),
                a.server.workers, a.server.queue_depth);
 
-  PNP_CHECK_MSG(::pipe(g_signal_pipe) == 0, "cannot create signal pipe");
-  struct sigaction sa = {};
-  sa.sa_handler = on_signal;
-  ::sigaction(SIGINT, &sa, nullptr);
-  ::sigaction(SIGTERM, &sa, nullptr);
-
   char b;
-  while (::read(g_signal_pipe[0], &b, 1) < 0) {
-    // EINTR: the handler itself interrupted us; retry.
+  for (;;) {
+    const ssize_t r = ::read(g_signal_pipe[0], &b, 1);
+    if (r >= 0) break;  // got the handler's byte (or EOF — either way, stop)
+    // Retry only the handler interrupting us mid-read; any other errno
+    // (EBADF, ...) would busy-spin forever.
+    PNP_CHECK_MSG(errno == EINTR, "signal pipe read failed");
   }
   std::fprintf(stderr, "draining...\n");
   server.shutdown();
