@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -26,6 +27,7 @@
 #include "core/baselines.hpp"
 #include "core/measurement_db.hpp"
 #include "core/pnp_tuner.hpp"
+#include "core/tuner_artifact.hpp"
 #include "graph/builder.hpp"
 #include "ir/extract.hpp"
 #include "nn/loss.hpp"
@@ -230,73 +232,112 @@ void BM_PnpInference(benchmark::State& state) {
 }
 BENCHMARK(BM_PnpInference);
 
-void BM_PredictBatch(benchmark::State& state) {
-  // Steady-state serving: a 64-query batch (16 regions × 4 caps) through
-  // the InferenceEngine. Each distinct graph is encoded once ever (cached
-  // across batches) and all per-query buffers are reused — compare the
-  // per-query cost (ns/op ÷ 64) against BM_PnpInference, which re-encodes
-  // the graph on every call.
-  const auto machine = hw::MachineModel::haswell();
-  const sim::Simulator simulator(machine);
-  const auto space = core::SearchSpace::for_machine(machine);
-  static const core::MeasurementDb db(
-      simulator, space, workloads::Suite::instance().all_regions());
-  static serve::InferenceEngine* engine = [] {
+/// Shared serving fixtures: one measurement db and ONE trained artifact
+/// behind every serving benchmark, so the f64/f32 rows and the service
+/// saturation curves all serve the same weights and differ only in the
+/// dimension each benchmark varies (precision, thread count, shard mode).
+const core::MeasurementDb& serving_db() {
+  static const core::MeasurementDb* db = [] {
+    const auto machine = hw::MachineModel::haswell();
+    const sim::Simulator simulator(machine);
+    return new core::MeasurementDb(
+        simulator, core::SearchSpace::for_machine(machine),
+        workloads::Suite::instance().all_regions());
+  }();
+  return *db;
+}
+
+const core::TunerArtifact& serving_artifact() {
+  static const core::TunerArtifact* art = [] {
     core::PnpOptions opt;
     opt.trainer.max_epochs = 8;
-    core::PnpTuner tuner(db, opt);
+    core::PnpTuner tuner(serving_db(), opt);
     std::vector<int> train;
     for (int r = 0; r < 40; ++r) train.push_back(r);
     tuner.train_power_scenario(train);
-    return new serve::InferenceEngine(std::move(tuner));
+    return new core::TunerArtifact(tuner.to_artifact());
   }();
+  return *art;
+}
+
+void BM_PredictBatch(benchmark::State& state, nn::Precision precision) {
+  // Steady-state serving: a 64-query batch (16 regions × 4 caps) through
+  // the InferenceEngine's arena-backed fast path. Each distinct graph is
+  // encoded once ever (cached across batches) and the dense phase runs in
+  // one planned workspace — compare the per-query cost (ns/op ÷ 64)
+  // against BM_PnpInference, which re-encodes the graph on every call,
+  // and the f32 row against the f64 row for the SIMD-width win.
+  static serve::InferenceEngine* engines[2] = {nullptr, nullptr};
+  const std::size_t pi = precision == nn::Precision::f32 ? 1 : 0;
+  if (!engines[pi]) {
+    serve::EngineOptions eopt;
+    eopt.precision = precision;
+    engines[pi] = new serve::InferenceEngine(
+        core::PnpTuner::from_artifact(serving_db(), serving_artifact()), eopt);
+  }
+  serve::InferenceEngine& engine = *engines[pi];
   static const std::vector<serve::PowerQuery> queries = [] {
     std::vector<serve::PowerQuery> q;
     for (int r = 40; r < 56; ++r)
-      for (int k = 0; k < db.num_caps(); ++k) q.push_back({r, k});
+      for (int k = 0; k < serving_db().num_caps(); ++k) q.push_back({r, k});
     return q;
   }();
   for (auto _ : state) {
-    auto out = engine->predict_power_batch(queries);
+    auto out = engine.predict_power_batch(queries);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(queries.size()));
 }
-BENCHMARK(BM_PredictBatch);
+BENCHMARK_CAPTURE(BM_PredictBatch, f64, nn::Precision::f64);
+BENCHMARK_CAPTURE(BM_PredictBatch, f32, nn::Precision::f32);
 
-void BM_ServiceThroughput(benchmark::State& state) {
-  // Concurrent serving throughput: N caller threads issue single power
-  // queries against one TuningService (sharded encoding cache + admission
-  // queue). Reported as queries/sec via items_per_second; compare 1/2/4
-  // threads to see how coalescing and cache sharding hold up under
-  // contention (numbers in docs/BENCHMARKS.md).
-  const auto machine = hw::MachineModel::haswell();
-  const sim::Simulator simulator(machine);
-  const auto space = core::SearchSpace::for_machine(machine);
-  static const core::MeasurementDb db(
-      simulator, space, workloads::Suite::instance().all_regions());
-  static serve::TuningService* service = [] {
-    core::PnpOptions opt;
-    opt.trainer.max_epochs = 8;
-    core::PnpTuner tuner(db, opt);
-    std::vector<int> train;
-    for (int r = 0; r < 40; ++r) train.push_back(r);
-    tuner.train_power_scenario(train);
-    return new serve::TuningService(std::move(tuner));
-  }();
+/// Saturation-curve body shared by the per-precision and sharded service
+/// benchmarks: N caller threads issue single power queries against one
+/// TuningService; items_per_second is the served query rate. Run at
+/// 1/2/4/8 threads the curve shows where each serving mode saturates
+/// (numbers in docs/BENCHMARKS.md).
+void service_throughput(benchmark::State& state, serve::TuningService& svc) {
   // Round-robin over 16 held-out regions × all caps; offset per thread so
   // concurrent callers hit different shards.
   int i = state.thread_index() * 7;
   for (auto _ : state) {
-    const serve::TuneRequest q =
-        serve::TuneRequest::power(40 + (i % 16), i % db.num_caps());
+    const serve::TuneRequest q = serve::TuneRequest::power(
+        40 + (i % 16), i % serving_db().num_caps());
     ++i;
-    benchmark::DoNotOptimize(service->tune(q).config.threads);
+    benchmark::DoNotOptimize(svc.tune(q).config.threads);
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ServiceThroughput)->Threads(1)->Threads(2)->Threads(4)->UseRealTime();
+
+serve::TuningService& service_for(nn::Precision precision, int worker_shards) {
+  const auto make = [](nn::Precision p, int shards) {
+    serve::TuningServiceOptions sopt;
+    sopt.precision = p;
+    sopt.worker_shards = shards;
+    return new serve::TuningService(
+        core::PnpTuner::from_artifact(serving_db(), serving_artifact()), sopt);
+  };
+  static serve::TuningService* f64_svc = make(nn::Precision::f64, 0);
+  static serve::TuningService* f32_svc = make(nn::Precision::f32, 0);
+  static serve::TuningService* sharded_svc = make(nn::Precision::f64, 2);
+  if (worker_shards > 0) return *sharded_svc;
+  return precision == nn::Precision::f32 ? *f32_svc : *f64_svc;
+}
+
+void BM_ServiceThroughput(benchmark::State& state, nn::Precision precision,
+                          int worker_shards) {
+  service_throughput(state, service_for(precision, worker_shards));
+}
+BENCHMARK_CAPTURE(BM_ServiceThroughput, f64, nn::Precision::f64, 0)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServiceThroughput, f32, nn::Precision::f32, 0)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServiceThroughput, sharded, nn::Precision::f64, 2)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
 
 void BM_HistogramRecord(benchmark::State& state) {
   // The per-request cost the network server pays to record one latency
@@ -376,23 +417,63 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
     benchmark::ConsoleReporter::ReportRuns(runs);
   }
 
+  /// Parse an existing flat `"name": number` map written by a previous
+  /// run — the only shape this reporter ever produces — so a filtered run
+  /// (--benchmark_filter=BM_Service.*) merges into the full kernel table
+  /// instead of clobbering it down to the filtered subset. Anything that
+  /// doesn't parse is skipped (the re-measured entries still land).
+  static std::vector<std::pair<std::string, double>> read_existing(
+      const std::string& path) {
+    std::vector<std::pair<std::string, double>> out;
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) return out;
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      const char* q1 = std::strchr(line, '"');
+      if (!q1) continue;
+      const char* q2 = std::strchr(q1 + 1, '"');
+      if (!q2) continue;
+      const char* colon = std::strchr(q2 + 1, ':');
+      if (!colon) continue;
+      char* end = nullptr;
+      const double ns = std::strtod(colon + 1, &end);
+      if (end == colon + 1) continue;
+      out.emplace_back(std::string(q1 + 1, q2), ns);
+    }
+    std::fclose(f);
+    return out;
+  }
+
   void Finalize() override {
     benchmark::ConsoleReporter::Finalize();
     const char* env_path = std::getenv("PNP_BENCH_JSON");
     const std::string path = env_path ? env_path : "BENCH_micro.json";
+    // Merge by key: keep every previously recorded kernel, overwrite the
+    // ones this run re-measured, append the new ones in run order.
+    std::vector<std::pair<std::string, double>> merged = read_existing(path);
+    for (const auto& [name, ns] : results_) {
+      bool found = false;
+      for (auto& [mname, mns] : merged)
+        if (mname == name) {
+          mns = ns;
+          found = true;
+          break;
+        }
+      if (!found) merged.emplace_back(name, ns);
+    }
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return;
     }
     std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < results_.size(); ++i)
-      std::fprintf(f, "  \"%s\": %.1f%s\n", results_[i].first.c_str(),
-                   results_[i].second, i + 1 < results_.size() ? "," : "");
+    for (std::size_t i = 0; i < merged.size(); ++i)
+      std::fprintf(f, "  \"%s\": %.1f%s\n", merged[i].first.c_str(),
+                   merged[i].second, i + 1 < merged.size() ? "," : "");
     std::fprintf(f, "}\n");
     std::fclose(f);
-    std::fprintf(stderr, "wrote %s (%zu kernels, ns/op)\n", path.c_str(),
-                 results_.size());
+    std::fprintf(stderr, "wrote %s (%zu kernels, %zu re-measured, ns/op)\n",
+                 path.c_str(), merged.size(), results_.size());
   }
 
  private:

@@ -26,6 +26,24 @@
 
 namespace pnp {
 
+/// Shard index a 64-bit key maps to among `n` shards. Mixes the bits
+/// (splitmix64 finalizer) so both dense keys (region ids 0,1,2,…) and
+/// pointer-like keys spread evenly. This is THE routing function of the
+/// serving layer: StripedSharedMutex::stripe_of delegates here, and
+/// serve::TuningService routes requests to worker shards with it — so a
+/// service whose cache stripe count equals its worker count sends a
+/// region's requests and its cache entry to the same index (one worker
+/// per stripe → no cross-worker lock contention at steady state).
+inline std::size_t shard_of_key(std::uint64_t key, std::size_t n) {
+  PNP_CHECK_MSG(n > 0, "shard_of_key needs at least one shard");
+  key ^= key >> 30;
+  key *= 0xbf58476d1ce4e5b9ull;
+  key ^= key >> 27;
+  key *= 0x94d049bb133111ebull;
+  key ^= key >> 31;
+  return static_cast<std::size_t>(key % n);
+}
+
 /// N independent reader-writer locks ("stripes") addressed by key. Callers
 /// that partition a shared structure (a sharded cache, a bucketed table)
 /// lock only the stripe their key hashes to, so accesses to different
@@ -41,15 +59,9 @@ class StripedSharedMutex {
 
   std::size_t stripes() const { return mus_.size(); }
 
-  /// Stripe a key maps to. Mixes the bits (splitmix64 finalizer) so both
-  /// dense keys (region ids 0,1,2,…) and pointer-like keys spread evenly.
+  /// Stripe a key maps to (shard_of_key over this mutex's stripe count).
   std::size_t stripe_of(std::uint64_t key) const {
-    key ^= key >> 30;
-    key *= 0xbf58476d1ce4e5b9ull;
-    key ^= key >> 27;
-    key *= 0x94d049bb133111ebull;
-    key ^= key >> 31;
-    return static_cast<std::size_t>(key % mus_.size());
+    return shard_of_key(key, mus_.size());
   }
 
   /// The lock of one stripe (locking is logically non-mutating: the

@@ -162,6 +162,47 @@ SplitResult Evaluator::score(const EvalSplit& split,
   return res;
 }
 
+Evaluator::PrecisionDelta Evaluator::precision_delta(
+    const EvalSplit& split, std::span<const sim::OmpConfig> reference,
+    std::span<const sim::OmpConfig> candidate) const {
+  const auto qs = queries(split);
+  PNP_CHECK_MSG(reference.size() == qs.size(),
+                "precision_delta() got " << reference.size()
+                                         << " reference configs for "
+                                         << qs.size() << " queries");
+  PNP_CHECK_MSG(candidate.size() == qs.size(),
+                "precision_delta() got " << candidate.size()
+                                         << " candidate configs for "
+                                         << qs.size() << " queries");
+  const auto& cap_w = db_.space().power_caps();
+
+  PrecisionDelta d;
+  d.queries = static_cast<int>(qs.size());
+  std::vector<double> ref_t(qs.size()), cand_t(qs.size()), dflt(qs.size()),
+      best(qs.size());
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    const auto& q = qs[i];
+    const auto& desc = db_.region(q.region).region->desc;
+    const double w = cap_w[static_cast<std::size_t>(q.cap_index)];
+    const sim::ExecutionResult ref = sim_.expected(desc, reference[i], w);
+    const sim::ExecutionResult cand = sim_.expected(desc, candidate[i], w);
+    ref_t[i] = ref.seconds;
+    cand_t[i] = cand.seconds;
+    dflt[i] = db_.at_default(q.region, q.cap_index).seconds;
+    best[i] = db_.best_time(q.region, q.cap_index);
+    if (!(reference[i] == candidate[i])) ++d.flips;
+    d.max_abs_dpower_w = std::max(
+        d.max_abs_dpower_w, std::abs(cand.avg_power_w - ref.avg_power_w));
+    d.max_abs_dtime_s =
+        std::max(d.max_abs_dtime_s, std::abs(cand.seconds - ref.seconds));
+  }
+  if (d.queries > 0) d.flip_rate = static_cast<double>(d.flips) / d.queries;
+  d.geomean_speedup_reference = metrics_over(ref_t, dflt, best).geomean_speedup;
+  d.geomean_speedup_candidate =
+      metrics_over(cand_t, dflt, best).geomean_speedup;
+  return d;
+}
+
 SplitResult Evaluator::evaluate(const EvalSplit& split,
                                 const EvaluatorOptions& opt) const {
   const PnpTuner tuner = train(split, opt);

@@ -114,6 +114,34 @@ class Evaluator {
   SplitResult evaluate(const EvalSplit& split,
                        const EvaluatorOptions& opt) const;
 
+  /// Agreement between two serving tiers of the SAME trained model over
+  /// the same test grid — the acceptance gate of the opt-in f32 inference
+  /// tier (docs/SERVING.md): how often did the reduced-precision argmax
+  /// flip the chosen configuration, and when it flipped, how much did the
+  /// outcome (power drawn, execution time) actually move.
+  struct PrecisionDelta {
+    int queries = 0;
+    int flips = 0;          ///< queries where the chosen configs differ
+    double flip_rate = 0.0; ///< flips / queries (0 when queries == 0)
+    /// Outcome deltas |candidate − reference| under noiseless
+    /// sim.expected() at each query's cap, maxed over all queries (not
+    /// just flipped ones; agreeing configs contribute 0).
+    double max_abs_dpower_w = 0.0;
+    double max_abs_dtime_s = 0.0;
+    /// Headline metric of each tier over the grid, for side-by-side
+    /// reporting (geometric-mean speedup over the default config).
+    double geomean_speedup_reference = 0.0;
+    double geomean_speedup_candidate = 0.0;
+  };
+
+  /// Compare `candidate` (e.g. f32-tier engine output) against
+  /// `reference` (f64), one config per queries() entry in order. Pure
+  /// scoring: the Evaluator never sees the engines, so any two prediction
+  /// sources can be diffed. Throws pnp::Error on size mismatches.
+  PrecisionDelta precision_delta(
+      const EvalSplit& split, std::span<const sim::OmpConfig> reference,
+      std::span<const sim::OmpConfig> candidate) const;
+
  private:
   void check_split(const EvalSplit& split) const;
 

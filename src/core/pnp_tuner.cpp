@@ -44,12 +44,22 @@ int PnpTuner::extra_feature_count(Mode mode) const {
 void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
                           std::optional<double> cap_w,
                           std::vector<double>& x) const {
-  x.clear();
+  x.resize(static_cast<std::size_t>(extra_feature_count(mode_)));
+  fill_extra_into(region, cap_index, cap_w, x);
+}
+
+void PnpTuner::fill_extra_into(int region, std::optional<int> cap_index,
+                               std::optional<double> cap_w,
+                               std::span<double> x) const {
+  PNP_CHECK_MSG(static_cast<int>(x.size()) == extra_feature_count(mode_),
+                "extra-feature buffer holds " << x.size() << ", expected "
+                                              << extra_feature_count(mode_));
+  std::size_t n = 0;
   if (mode_ == Mode::Power) {
     if (opt_.cap_onehot) {
       PNP_CHECK(cap_index.has_value());
       for (int k = 0; k < db_.num_caps(); ++k)
-        x.push_back(k == *cap_index ? 1.0 : 0.0);
+        x[n++] = k == *cap_index ? 1.0 : 0.0;
     } else {
       // Normalized power constraint (paper §IV-B, unseen-cap experiment).
       const double w =
@@ -57,7 +67,7 @@ void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
               ? *cap_w
               : db_.space().power_caps()[static_cast<std::size_t>(
                     cap_index.value())];
-      x.push_back(w / db_.space().tdp());
+      x[n++] = w / db_.space().tdp();
     }
   }
   if (opt_.use_counters) {
@@ -67,9 +77,10 @@ void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
       const double z = (std::log1p(vals[static_cast<std::size_t>(i)]) -
                         counter_mean_[static_cast<std::size_t>(i)]) /
                        counter_std_[static_cast<std::size_t>(i)];
-      x.push_back(z);
+      x[n++] = z;
     }
   }
+  PNP_CHECK(n == x.size());
 }
 
 std::vector<double> PnpTuner::make_extra(int region,
@@ -106,7 +117,7 @@ std::vector<int> PnpTuner::edp_labels(int region) const {
   return {jb.cap_index * per_cap + omp};
 }
 
-sim::OmpConfig PnpTuner::decode_config(const std::vector<int>& preds,
+sim::OmpConfig PnpTuner::decode_config(std::span<const int> preds,
                                        int base) const {
   const SearchSpace& s = db_.space();
   if (opt_.factored_heads) {
@@ -284,7 +295,7 @@ PnpTuner::JointChoice PnpTuner::predict_edp(int region) const {
   return jc;
 }
 
-void PnpTuner::save(const std::string& path) const {
+TunerArtifact PnpTuner::to_artifact() const {
   PNP_CHECK_MSG(net_ != nullptr && mode_ != Mode::None,
                 "no trained model to save — run train_*_scenario first");
   TunerArtifact art;
@@ -298,13 +309,18 @@ void PnpTuner::save(const std::string& path) const {
   art.counter_std = counter_std_;
   art.head_sizes = net_->config().head_sizes;
   art.extra_features = net_->config().extra_features;
+  art.serve_precision = serve_precision_;
   art.set_space(db_.space());
   art.net_weights = net_->state_dict();
-  art.save_file(path);
+  return art;
 }
 
-PnpTuner PnpTuner::load(const MeasurementDb& db, const std::string& path) {
-  const TunerArtifact art = TunerArtifact::load_file(path);
+void PnpTuner::save(const std::string& path) const {
+  to_artifact().save_file(path);
+}
+
+PnpTuner PnpTuner::from_artifact(const MeasurementDb& db,
+                                 const TunerArtifact& art) {
   // Reject incompatible artifacts before building any model state (graph
   // extraction and tensor construction are the expensive part of the
   // constructor) — hot reload relies on this being side-effect-free.
@@ -314,11 +330,16 @@ PnpTuner PnpTuner::load(const MeasurementDb& db, const std::string& path) {
   return tuner;
 }
 
+PnpTuner PnpTuner::load(const MeasurementDb& db, const std::string& path) {
+  return from_artifact(db, TunerArtifact::load_file(path));
+}
+
 void PnpTuner::restore(const TunerArtifact& art) {
   // load() validates before constructing; re-validate here so restore is
   // safe on its own too (the checks are cheap and side-effect-free).
   validate_artifact(art, db_);
   mode_ = art.mode == TunerArtifact::Mode::Power ? Mode::Power : Mode::Edp;
+  serve_precision_ = art.serve_precision;
   vocab_ = art.make_vocab();
   tensors_.clear();
   tensors_.reserve(graphs_.size());

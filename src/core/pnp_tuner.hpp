@@ -105,6 +105,20 @@ class PnpTuner {
   /// saved. Throws pnp::Error on malformed or incompatible artifacts.
   static PnpTuner load(const MeasurementDb& db, const std::string& path);
 
+  /// In-memory artifact round-trip — save()/load() without the file.
+  /// PnpTuner is move-only (it owns the net), so this is how callers stamp
+  /// out several independent tuners from one training run (e.g. an f64
+  /// reference and an f32 fast tier served side by side).
+  TunerArtifact to_artifact() const;
+  static PnpTuner from_artifact(const MeasurementDb& db,
+                                const TunerArtifact& art);
+
+  /// Preferred serving precision, persisted in the artifact (missing key →
+  /// f64, so artifacts from before the f32 tier load unchanged). Serving
+  /// layers may override per engine; training is always f64.
+  nn::Precision serve_precision() const { return serve_precision_; }
+  void set_serve_precision(nn::Precision p) { serve_precision_ = p; }
+
   /// The training vocabulary (valid after train_* or load()).
   const graph::Vocabulary& vocab() const { return vocab_; }
 
@@ -130,6 +144,10 @@ class PnpTuner {
   /// buffer's capacity is warm) — the serving fast path.
   void fill_extra(int region, std::optional<int> cap_index,
                   std::optional<double> cap_w, std::vector<double>& x) const;
+  /// fill_extra into a pre-sized span of exactly extra_feature_count(mode)
+  /// doubles — the arena-backed path (no resize, no allocation, ever).
+  void fill_extra_into(int region, std::optional<int> cap_index,
+                       std::optional<double> cap_w, std::span<double> x) const;
   std::vector<double> make_extra(int region, std::optional<int> cap_index,
                                  std::optional<double> cap_w) const;
   int extra_feature_count(Mode mode) const;
@@ -139,7 +157,7 @@ class PnpTuner {
   void restore(const TunerArtifact& art);
   std::vector<int> power_labels(int region, int cap) const;
   std::vector<int> edp_labels(int region) const;
-  sim::OmpConfig decode_config(const std::vector<int>& preds, int base) const;
+  sim::OmpConfig decode_config(std::span<const int> preds, int base) const;
   void build_model(Mode mode, const std::vector<int>& train_regions);
   nn::TrainReport run_training(const std::vector<nn::TrainSample>& samples);
 
@@ -150,6 +168,7 @@ class PnpTuner {
   std::vector<graph::GraphTensors> tensors_;       // rebuilt per training run
   std::unique_ptr<nn::RgcnNet> net_;
   Mode mode_ = Mode::None;
+  nn::Precision serve_precision_ = nn::Precision::f64;
 
   // Counter normalization (fit on training regions).
   std::vector<double> counter_mean_, counter_std_;

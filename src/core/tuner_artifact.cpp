@@ -144,6 +144,8 @@ StateDict TunerArtifact::to_state_dict() const {
 
   sd.put("model.head_sizes", to_doubles(head_sizes));
   sd.put_int("model.extra_features", extra_features);
+  sd.put_int("serve.precision",
+             serve_precision == nn::Precision::f32 ? 1 : 0);
   sd.put_int("model.vocab_size",
              static_cast<std::int64_t>(vocab_tokens.size()) + 1);
 
@@ -244,6 +246,14 @@ TunerArtifact TunerArtifact::from_state_dict(const StateDict& sd) {
   a.extra_features = static_cast<int>(sd.get_int("model.extra_features"));
   PNP_CHECK_MSG(a.extra_features >= 0 && a.extra_features <= (1 << 20),
                 "extra-feature count out of range: " << a.extra_features);
+
+  // Optional (added with the f32 inference tier); absent entry → f64.
+  if (sd.contains_int("serve.precision")) {
+    const std::int64_t p = sd.get_int("serve.precision");
+    PNP_CHECK_MSG(p == 0 || p == 1,
+                  "serve.precision must be 0 (f64) or 1 (f32), got " << p);
+    a.serve_precision = p == 1 ? nn::Precision::f32 : nn::Precision::f64;
+  }
 
   if (version >= 2) {
     // The search-space fingerprint is mandatory from v2 on (it may be

@@ -18,6 +18,7 @@
 
 #include "common/serialize.hpp"
 #include "graph/vocab.hpp"
+#include "nn/matrix.hpp"
 
 namespace pnp::core {
 
@@ -51,6 +52,10 @@ struct TunerArtifact {
   std::vector<double> counter_mean, counter_std;  ///< empty unless counters
   std::vector<int> head_sizes;
   int extra_features = 0;
+  /// Preferred serving tier ("serve.precision" int entry, 0 = f64,
+  /// 1 = f32). Optional for back-compat: artifacts written before the f32
+  /// tier existed have no entry and load as f64.
+  nn::Precision serve_precision = nn::Precision::f64;
   StateDict net_weights;  ///< unprefixed RgcnNet parameter names
 
   /// Fingerprint of the search space the tuner was trained against

@@ -41,4 +41,9 @@ int argmax_index(std::span<const double> xs) {
   return static_cast<int>(std::max_element(xs.begin(), xs.end()) - xs.begin());
 }
 
+int argmax_index(std::span<const float> xs) {
+  PNP_CHECK(!xs.empty());
+  return static_cast<int>(std::max_element(xs.begin(), xs.end()) - xs.begin());
+}
+
 }  // namespace pnp::nn

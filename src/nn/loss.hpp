@@ -20,4 +20,7 @@ std::vector<double> softmax(std::span<const double> logits);
 /// Argmax convenience with deterministic (lowest index) tie-breaking.
 int argmax_index(std::span<const double> xs);
 
+/// f32-tier overload; identical first-max-wins tie-breaking.
+int argmax_index(std::span<const float> xs);
+
 }  // namespace pnp::nn

@@ -510,6 +510,84 @@ void gemm_nt_acc_naive(const Matrix& a, const Matrix& b, Matrix& c) {
 
 }  // namespace detail
 
+MatrixF::MatrixF(int rows, int cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0.0f) {
+  PNP_CHECK(rows >= 0 && cols >= 0);
+}
+
+MatrixF MatrixF::from(const Matrix& m) {
+  MatrixF f(m.rows(), m.cols());
+  const double* src = m.data();
+  float* dst = f.data();
+  for (std::size_t i = 0; i < f.size(); ++i)
+    dst[i] = static_cast<float>(src[i]);
+  return f;
+}
+
+void gemv_f32(std::span<const float> x, const MatrixF& w,
+              std::span<const float> bias, std::span<float> out) {
+  const int k = w.rows(), n = w.cols();
+  PNP_CHECK_MSG(static_cast<int>(x.size()) == k &&
+                    static_cast<int>(out.size()) == n &&
+                    (bias.empty() || static_cast<int>(bias.size()) == n),
+                "gemv_f32 shapes: x(" << x.size() << ")·W(" << k << "x" << n
+                                      << ") -> out(" << out.size() << ")");
+#if defined(__AVX512F__)
+  for (int j0 = 0; j0 < n; j0 += 16) {
+    const int rem = std::min(16, n - j0);
+    const auto m = static_cast<__mmask16>(
+        rem == 16 ? 0xffffu : ((1u << rem) - 1u));
+    __m512 acc = bias.empty()
+                     ? _mm512_setzero_ps()
+                     : _mm512_maskz_loadu_ps(m, bias.data() + j0);
+    for (int i = 0; i < k; ++i)
+      acc = _mm512_fmadd_ps(_mm512_set1_ps(x[static_cast<std::size_t>(i)]),
+                            _mm512_maskz_loadu_ps(m, w.row(i) + j0), acc);
+    _mm512_mask_storeu_ps(out.data() + j0, m, acc);
+  }
+#elif defined(__AVX2__) && defined(__FMA__)
+  alignas(32) static constexpr std::int32_t kBits[16] = {
+      -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (int j0 = 0; j0 < n; j0 += 8) {
+    const int rem = std::min(8, n - j0);
+    const __m256i m = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kBits + (8 - rem)));
+    __m256 acc = bias.empty()
+                     ? _mm256_setzero_ps()
+                     : _mm256_maskload_ps(bias.data() + j0, m);
+    for (int i = 0; i < k; ++i)
+      acc = _mm256_fmadd_ps(_mm256_set1_ps(x[static_cast<std::size_t>(i)]),
+                            _mm256_maskload_ps(w.row(i) + j0, m), acc);
+    _mm256_maskstore_ps(out.data() + j0, m, acc);
+  }
+#else
+  detail::gemv_f32_naive(x, w, bias, out);
+#endif
+}
+
+namespace detail {
+
+void gemv_f32_naive(std::span<const float> x, const MatrixF& w,
+                    std::span<const float> bias, std::span<float> out) {
+  const int k = w.rows(), n = w.cols();
+  PNP_CHECK(static_cast<int>(x.size()) == k &&
+            static_cast<int>(out.size()) == n &&
+            (bias.empty() || static_cast<int>(bias.size()) == n));
+  for (int j = 0; j < n; ++j)
+    out[static_cast<std::size_t>(j)] =
+        bias.empty() ? 0.0f : bias[static_cast<std::size_t>(j)];
+  for (int i = 0; i < k; ++i) {
+    const float xi = x[static_cast<std::size_t>(i)];
+    const float* wi = w.row(i);
+    for (int j = 0; j < n; ++j) out[static_cast<std::size_t>(j)] += xi * wi[j];
+  }
+}
+
+}  // namespace detail
+
 void add_bias_rows(Matrix& m, std::span<const double> bias) {
   PNP_CHECK(static_cast<int>(bias.size()) == m.cols());
   for (int i = 0; i < m.rows(); ++i) {

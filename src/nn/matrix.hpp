@@ -126,6 +126,68 @@ void gemm_nt_acc_naive(const Matrix& a, const Matrix& b, Matrix& c);
 
 }  // namespace detail
 
+/// Inference precision tier (docs/SERVING.md, "Precision tiers"). f64 is
+/// the bit-exact reference — identical to training arithmetic. f32 is the
+/// opt-in fast tier: weights and encodings are down-converted once at
+/// load/publish and the dense phase runs the float kernels below at twice
+/// the SIMD width.
+enum class Precision { f64, f32 };
+
+inline const char* precision_name(Precision p) {
+  return p == Precision::f32 ? "f32" : "f64";
+}
+
+/// Row-major single-precision matrix for the f32 inference tier. Only the
+/// forward-pass surface — training stays f64 so gradient checks remain
+/// meaningful.
+class MatrixF {
+ public:
+  MatrixF() = default;
+  MatrixF(int rows, int cols);
+
+  /// Down-convert an f64 matrix once (load/publish time).
+  static MatrixF from(const Matrix& m);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* row(int r) {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+  const float* row(int r) const {
+    return data_.data() + static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_);
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  std::span<const float> flat() const { return data_; }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = xᵀ·W + bias — the dense-layer primitive of the f32 tier. Shapes:
+/// x (k), W (k×n), bias (n or empty → 0), out (n). Row-major W is streamed
+/// row-by-row with x broadcast, so the hot loop is n-wide FMA at float
+/// SIMD width (16 lanes under AVX-512, 8 under AVX2 — double the f64
+/// kernels'). Column blocks are independent; the per-column summation
+/// order is fixed, so results are deterministic.
+void gemv_f32(std::span<const float> x, const MatrixF& w,
+              std::span<const float> bias, std::span<float> out);
+
+namespace detail {
+
+/// Scalar reference for gemv_f32 — the ground truth of its property test.
+void gemv_f32_naive(std::span<const float> x, const MatrixF& w,
+                    std::span<const float> bias, std::span<float> out);
+
+}  // namespace detail
+
 /// Add a bias row vector to every row of m.
 void add_bias_rows(Matrix& m, std::span<const double> bias);
 

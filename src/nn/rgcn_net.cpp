@@ -200,19 +200,35 @@ RgcnNet::DenseCache RgcnNet::dense_forward(std::span<const double> readout,
 void RgcnNet::dense_forward_into(std::span<const double> readout,
                                  std::span<const double> extra,
                                  DenseCache& c) const {
+  c.u0.resize(readout.size() + extra.size());
+  c.z1.resize(static_cast<std::size_t>(cfg_.dense_hidden1));
+  c.a1.resize(static_cast<std::size_t>(cfg_.dense_hidden1));
+  c.z2.resize(static_cast<std::size_t>(cfg_.dense_hidden2));
+  c.a2.resize(static_cast<std::size_t>(cfg_.dense_hidden2));
+  c.logits.resize(static_cast<std::size_t>(cfg_.total_logits()));
+  dense_forward_spans(readout, extra, c.u0, c.z1, c.a1, c.z2, c.a2, c.logits);
+}
+
+void RgcnNet::dense_forward_spans(std::span<const double> readout,
+                                  std::span<const double> extra,
+                                  std::span<double> u0, std::span<double> z1,
+                                  std::span<double> a1, std::span<double> z2,
+                                  std::span<double> a2,
+                                  std::span<double> logits) const {
   PNP_CHECK(static_cast<int>(readout.size()) == cfg_.hidden);
   PNP_CHECK_MSG(static_cast<int>(extra.size()) == cfg_.extra_features,
                 "expected " << cfg_.extra_features << " extra features, got "
                             << extra.size());
-  c.u0.assign(readout.begin(), readout.end());
-  c.u0.insert(c.u0.end(), extra.begin(), extra.end());
+  PNP_CHECK(u0.size() == readout.size() + extra.size());
+  std::copy(readout.begin(), readout.end(), u0.begin());
+  std::copy(extra.begin(), extra.end(), u0.begin() + readout.size());
 
-  auto linear = [&](const std::vector<double>& in, int w_idx, int b_idx,
-                    std::vector<double>& out) {
+  auto linear = [&](std::span<const double> in, int w_idx, int b_idx,
+                    std::span<double> out) {
     const Matrix& w = P(w_idx).w;
     const Matrix& b = P(b_idx).w;
     PNP_CHECK(static_cast<int>(in.size()) == w.rows());
-    out.resize(static_cast<std::size_t>(w.cols()));
+    PNP_CHECK(static_cast<int>(out.size()) == w.cols());
     for (int j = 0; j < w.cols(); ++j) out[static_cast<std::size_t>(j)] = b(0, j);
     for (int i = 0; i < w.rows(); ++i) {
       const double vi = in[static_cast<std::size_t>(i)];
@@ -223,13 +239,28 @@ void RgcnNet::dense_forward_into(std::span<const double> readout,
     }
   };
 
-  linear(c.u0, w1_, b1_, c.z1);
-  c.a1.resize(c.z1.size());
-  for (std::size_t i = 0; i < c.z1.size(); ++i) c.a1[i] = relu(c.z1[i]);
-  linear(c.a1, w2_, b2_, c.z2);
-  c.a2.resize(c.z2.size());
-  for (std::size_t i = 0; i < c.z2.size(); ++i) c.a2[i] = relu(c.z2[i]);
-  linear(c.a2, w3_, b3_, c.logits);
+  linear(u0, w1_, b1_, z1);
+  PNP_CHECK(a1.size() == z1.size() && a2.size() == z2.size());
+  for (std::size_t i = 0; i < z1.size(); ++i) a1[i] = relu(z1[i]);
+  linear(a1, w2_, b2_, z2);
+  for (std::size_t i = 0; i < z2.size(); ++i) a2[i] = relu(z2[i]);
+  linear(a2, w3_, b3_, logits);
+}
+
+RgcnNet::DenseWeightsF32 RgcnNet::dense_weights_f32() const {
+  return DenseWeightsF32{MatrixF::from(P(w1_).w), MatrixF::from(P(b1_).w),
+                         MatrixF::from(P(w2_).w), MatrixF::from(P(b2_).w),
+                         MatrixF::from(P(w3_).w), MatrixF::from(P(b3_).w)};
+}
+
+void RgcnNet::dense_forward_f32(const DenseWeightsF32& w,
+                                std::span<const float> u0, std::span<float> h1,
+                                std::span<float> h2, std::span<float> logits) {
+  gemv_f32(u0, w.w1, w.b1.flat(), h1);
+  for (float& v : h1) v = v > 0.0f ? v : 0.0f;
+  gemv_f32(h1, w.w2, w.b2.flat(), h2);
+  for (float& v : h2) v = v > 0.0f ? v : 0.0f;
+  gemv_f32(h2, w.w3, w.b3.flat(), logits);
 }
 
 RgcnNet::DenseCache RgcnNet::forward(const graph::GraphTensors& g,
@@ -439,6 +470,11 @@ std::span<const double> RgcnNet::head_logits(const DenseCache& cache,
   const int len = cfg_.head_sizes[static_cast<std::size_t>(head)];
   return std::span<const double>(cache.logits)
       .subspan(static_cast<std::size_t>(off), static_cast<std::size_t>(len));
+}
+
+int RgcnNet::head_offset(int head) const {
+  PNP_CHECK(head >= 0 && head < static_cast<int>(head_offset_.size()));
+  return head_offset_[static_cast<std::size_t>(head)];
 }
 
 std::vector<Param*> RgcnNet::params() {

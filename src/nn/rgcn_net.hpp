@@ -77,6 +77,10 @@ class RgcnNet {
     std::vector<std::vector<Matrix>> relw;
     /// Mean-pooled readout (length = hidden).
     std::vector<double> readout;
+    /// f32 inference tier: the readout down-converted once per encode.
+    /// RgcnNet itself never touches this — serve::ModelState fills it when
+    /// serving at Precision::f32 so cached encodings carry both tiers.
+    std::vector<float> readout_f32;
   };
 
   /// Cached state of one dense-head forward pass.
@@ -121,6 +125,34 @@ class RgcnNet {
                           std::span<const double> extra,
                           DenseCache& cache) const;
 
+  /// As dense_forward_into(), but writing into caller-provided buffers of
+  /// exactly the right sizes (u0 = dense_in(), z1/a1 = dense_hidden1,
+  /// z2/a2 = dense_hidden2, logits = total_logits()). This is the shared
+  /// implementation — dense_forward_into() delegates here, so the
+  /// arena-backed serving path is bit-identical to the allocation path by
+  /// construction.
+  void dense_forward_spans(std::span<const double> readout,
+                           std::span<const double> extra, std::span<double> u0,
+                           std::span<double> z1, std::span<double> a1,
+                           std::span<double> z2, std::span<double> a2,
+                           std::span<double> logits) const;
+
+  /// The dense stage's weights down-converted once (at load/publish) for
+  /// the f32 inference tier.
+  struct DenseWeightsF32 {
+    MatrixF w1, b1, w2, b2, w3, b3;
+  };
+  DenseWeightsF32 dense_weights_f32() const;
+
+  /// f32-tier dense forward over pre-converted weights: h1 = relu(u0·w1+b1),
+  /// h2 = relu(h1·w2+b2), logits = h2·w3+b3. `u0` is the f32 readout ⊕
+  /// extra features, filled by the caller; h1/h2 sizes are dense_hidden1/2.
+  /// ReLU runs in place so the f32 tier needs no separate pre-activation
+  /// buffers (inference only — no backward pass).
+  static void dense_forward_f32(const DenseWeightsF32& w,
+                                std::span<const float> u0, std::span<float> h1,
+                                std::span<float> h2, std::span<float> logits);
+
   /// Convenience: encode + dense in one call.
   DenseCache forward(const graph::GraphTensors& g,
                      std::span<const double> extra) const;
@@ -147,6 +179,13 @@ class RgcnNet {
 
   /// View of one head's logits inside a DenseCache.
   std::span<const double> head_logits(const DenseCache& cache, int head) const;
+
+  /// Offset of head `head`'s logits inside the concatenated logits vector
+  /// (for span/arena-backed callers that slice logits themselves).
+  int head_offset(int head) const;
+
+  /// Dense-stage input width: hidden + extra_features.
+  int dense_in() const { return cfg_.hidden + cfg_.extra_features; }
 
   const RgcnNetConfig& config() const { return cfg_; }
 

@@ -34,10 +34,76 @@ const char* mode_name(core::PnpTuner::Mode m) {
 
 // --- ModelState --------------------------------------------------------------
 
-ModelState::ModelState(core::PnpTuner tuner) : tuner_(std::move(tuner)) {
+namespace {
+
+// Arena tensor indices, in execution-step order. The f64 tier mirrors the
+// allocation path's DenseCache buffer-for-buffer (separate pre/post
+// activations) so both paths run the identical dense_forward_spans code;
+// the f32 tier runs ReLU in place and needs fewer slots.
+enum F64Slot { kExtra64 = 0, kU0, kZ1, kA1, kZ2, kA2, kLogits, kPreds64 };
+enum F32Slot { kExtra32 = 0, kU0F, kH1F, kH2F, kLogitsF, kPreds32 };
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+}  // namespace
+
+ModelState::ModelState(core::PnpTuner tuner,
+                       std::optional<nn::Precision> precision)
+    : tuner_(std::move(tuner)),
+      precision_(precision.value_or(tuner_.serve_precision())) {
   PNP_CHECK_MSG(
       tuner_.net_ != nullptr && tuner_.mode_ != core::PnpTuner::Mode::None,
       "serving needs a trained or loaded tuner");
+  if (precision_ == nn::Precision::f32)
+    dense_f32_ = tuner_.net_->dense_weights_f32();
+}
+
+void ModelState::Workspace::bind(const ModelState& m) {
+  const nn::RgcnNetConfig& cfg = m.tuner_.net_->config();
+  const int heads = static_cast<int>(cfg.head_sizes.size());
+  std::uint64_t key = 0x8000000000000001ull;  // never 0 (= unbound)
+  key = mix(key, static_cast<std::uint64_t>(m.precision_));
+  key = mix(key, static_cast<std::uint64_t>(cfg.extra_features));
+  key = mix(key, static_cast<std::uint64_t>(cfg.hidden));
+  key = mix(key, static_cast<std::uint64_t>(cfg.dense_hidden1));
+  key = mix(key, static_cast<std::uint64_t>(cfg.dense_hidden2));
+  key = mix(key, static_cast<std::uint64_t>(cfg.total_logits()));
+  key = mix(key, static_cast<std::uint64_t>(heads));
+  if (key == key_) return;
+
+  // Lifetimes by execution step of run_heads: fill_extra writes `extra`
+  // (0), u0 = readout ⊕ extra (1), each linear/activation is one step,
+  // argmax reads logits and writes preds last. Buffers whose intervals
+  // never meet (e.g. extra and z1) share bytes.
+  const auto d = [](int n) { return static_cast<std::size_t>(n) * sizeof(double); };
+  const auto f = [](int n) { return static_cast<std::size_t>(n) * sizeof(float); };
+  std::vector<nn::TensorSpec> specs;
+  if (m.precision_ == nn::Precision::f64) {
+    specs = {
+        {"extra", d(cfg.extra_features), 0, 1},
+        {"u0", d(cfg.hidden + cfg.extra_features), 1, 2},
+        {"z1", d(cfg.dense_hidden1), 2, 3},
+        {"a1", d(cfg.dense_hidden1), 3, 4},
+        {"z2", d(cfg.dense_hidden2), 4, 5},
+        {"a2", d(cfg.dense_hidden2), 5, 6},
+        {"logits", d(cfg.total_logits()), 6, 7},
+        {"preds", static_cast<std::size_t>(heads) * sizeof(int), 7, 8},
+    };
+  } else {
+    specs = {
+        {"extra", d(cfg.extra_features), 0, 1},
+        {"u0f", f(cfg.hidden + cfg.extra_features), 1, 2},
+        {"h1f", f(cfg.dense_hidden1), 2, 3},
+        {"h2f", f(cfg.dense_hidden2), 3, 4},
+        {"logitsf", f(cfg.total_logits()), 4, 5},
+        {"preds", static_cast<std::size_t>(heads) * sizeof(int), 5, 6},
+    };
+  }
+  arena_.reset(nn::ArenaPlan::build(std::move(specs)));
+  key_ = key;
 }
 
 bool ModelState::scalar_cap() const { return !tuner_.opt_.cap_onehot; }
@@ -70,6 +136,13 @@ void ModelState::encode(int region, nn::RgcnNet::GnnCache& out) const {
   validate_region(region);
   tuner_.net_->encode_into(tuner_.tensors_[static_cast<std::size_t>(region)],
                            out);
+  if (precision_ == nn::Precision::f32) {
+    // Down-convert once per encode; cached encodings then carry both
+    // tiers, so the per-query fast path never touches doubles.
+    out.readout_f32.resize(out.readout.size());
+    for (std::size_t i = 0; i < out.readout.size(); ++i)
+      out.readout_f32[i] = static_cast<float>(out.readout[i]);
+  }
 }
 
 void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
@@ -77,41 +150,136 @@ void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
                            std::optional<double> cap_w, Scratch& s) const {
   tuner_.fill_extra(region, cap_index, cap_w, s.extra);
   const nn::RgcnNet& net = *tuner_.net_;
-  net.dense_forward_into(enc.readout, s.extra, s.dc);
+  const nn::RgcnNetConfig& cfg = net.config();
+  const int heads = static_cast<int>(cfg.head_sizes.size());
   s.preds.clear();
-  const int heads = static_cast<int>(net.config().head_sizes.size());
+  if (precision_ == nn::Precision::f64) {
+    net.dense_forward_into(enc.readout, s.extra, s.dc);
+    for (int h = 0; h < heads; ++h)
+      s.preds.push_back(nn::argmax_index(net.head_logits(s.dc, h)));
+    return;
+  }
+  PNP_CHECK_MSG(enc.readout_f32.size() == enc.readout.size(),
+                "encoding lacks the f32 readout — encode regions through "
+                "this f32 ModelState");
+  s.u0f.resize(enc.readout_f32.size() + s.extra.size());
+  std::copy(enc.readout_f32.begin(), enc.readout_f32.end(), s.u0f.begin());
+  for (std::size_t i = 0; i < s.extra.size(); ++i)
+    s.u0f[enc.readout_f32.size() + i] = static_cast<float>(s.extra[i]);
+  s.h1f.resize(static_cast<std::size_t>(cfg.dense_hidden1));
+  s.h2f.resize(static_cast<std::size_t>(cfg.dense_hidden2));
+  s.logitsf.resize(static_cast<std::size_t>(cfg.total_logits()));
+  nn::RgcnNet::dense_forward_f32(dense_f32_, s.u0f, s.h1f, s.h2f, s.logitsf);
   for (int h = 0; h < heads; ++h)
-    s.preds.push_back(nn::argmax_index(net.head_logits(s.dc, h)));
+    s.preds.push_back(nn::argmax_index(
+        std::span<const float>(s.logitsf)
+            .subspan(static_cast<std::size_t>(net.head_offset(h)),
+                     static_cast<std::size_t>(
+                         cfg.head_sizes[static_cast<std::size_t>(h)]))));
 }
 
-sim::OmpConfig ModelState::decode_power(const Scratch& s) const {
-  return tuner_.decode_config(s.preds, 0);
+void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
+                           std::optional<int> cap_index,
+                           std::optional<double> cap_w, Workspace& ws) const {
+  ws.bind(*this);
+  const nn::RgcnNet& net = *tuner_.net_;
+  const nn::RgcnNetConfig& cfg = net.config();
+  const int heads = static_cast<int>(cfg.head_sizes.size());
+  nn::Arena& a = ws.arena_;
+  const auto dspan = [&a](std::size_t slot) {
+    return std::span<double>(a.data<double>(slot), a.count<double>(slot));
+  };
+  const auto fspan = [&a](std::size_t slot) {
+    return std::span<float>(a.data<float>(slot), a.count<float>(slot));
+  };
+  if (precision_ == nn::Precision::f64) {
+    const std::span<double> extra = dspan(kExtra64);
+    tuner_.fill_extra_into(region, cap_index, cap_w, extra);
+    const std::span<double> logits = dspan(kLogits);
+    net.dense_forward_spans(enc.readout, extra, dspan(kU0), dspan(kZ1),
+                            dspan(kA1), dspan(kZ2), dspan(kA2), logits);
+    int* preds = a.data<int>(kPreds64);
+    for (int h = 0; h < heads; ++h)
+      preds[h] = nn::argmax_index(std::span<const double>(logits).subspan(
+          static_cast<std::size_t>(net.head_offset(h)),
+          static_cast<std::size_t>(
+              cfg.head_sizes[static_cast<std::size_t>(h)])));
+    return;
+  }
+  PNP_CHECK_MSG(enc.readout_f32.size() == enc.readout.size(),
+                "encoding lacks the f32 readout — encode regions through "
+                "this f32 ModelState");
+  const std::span<double> extra = dspan(kExtra32);
+  tuner_.fill_extra_into(region, cap_index, cap_w, extra);
+  const std::span<float> u0 = fspan(kU0F);
+  std::copy(enc.readout_f32.begin(), enc.readout_f32.end(), u0.begin());
+  for (std::size_t i = 0; i < extra.size(); ++i)
+    u0[enc.readout_f32.size() + i] = static_cast<float>(extra[i]);
+  const std::span<float> logits = fspan(kLogitsF);
+  nn::RgcnNet::dense_forward_f32(dense_f32_, u0, fspan(kH1F), fspan(kH2F),
+                                 logits);
+  int* preds = a.data<int>(kPreds32);
+  for (int h = 0; h < heads; ++h)
+    preds[h] = nn::argmax_index(std::span<const float>(logits).subspan(
+        static_cast<std::size_t>(net.head_offset(h)),
+        static_cast<std::size_t>(
+            cfg.head_sizes[static_cast<std::size_t>(h)])));
 }
 
-core::PnpTuner::JointChoice ModelState::decode_edp(const Scratch& s) const {
+std::span<const int> ModelState::preds_of(const Workspace& ws) const {
+  PNP_CHECK_MSG(ws.key_ != 0, "decode before run_heads on this workspace");
+  const std::size_t slot =
+      precision_ == nn::Precision::f64 ? kPreds64 : kPreds32;
+  return {ws.arena_.data<int>(slot), ws.arena_.count<int>(slot)};
+}
+
+sim::OmpConfig ModelState::decode_power_preds(
+    std::span<const int> preds) const {
+  return tuner_.decode_config(preds, 0);
+}
+
+core::PnpTuner::JointChoice ModelState::decode_edp_preds(
+    std::span<const int> preds) const {
   core::PnpTuner::JointChoice jc;
   if (tuner_.opt_.factored_heads) {
-    jc.cap_index = s.preds[0];
-    jc.cfg = tuner_.decode_config(s.preds, 1);
+    jc.cap_index = preds[0];
+    jc.cfg = tuner_.decode_config(preds, 1);
   } else {
     const core::SearchSpace& space = tuner_.db_.space();
     const int per_cap = space.num_thread_classes() *
                         space.num_schedule_classes() *
                         space.num_chunk_classes();
-    jc.cap_index = s.preds[0] / per_cap;
-    jc.cfg = tuner_.decode_config(s.preds, 0);
+    jc.cap_index = preds[0] / per_cap;
+    jc.cfg = tuner_.decode_config(preds, 0);
   }
   return jc;
+}
+
+sim::OmpConfig ModelState::decode_power(const Scratch& s) const {
+  return decode_power_preds(s.preds);
+}
+
+sim::OmpConfig ModelState::decode_power(const Workspace& ws) const {
+  return decode_power_preds(preds_of(ws));
+}
+
+core::PnpTuner::JointChoice ModelState::decode_edp(const Scratch& s) const {
+  return decode_edp_preds(s.preds);
+}
+
+core::PnpTuner::JointChoice ModelState::decode_edp(const Workspace& ws) const {
+  return decode_edp_preds(preds_of(ws));
 }
 
 // --- InferenceEngine ---------------------------------------------------------
 
 InferenceEngine::InferenceEngine(const core::MeasurementDb& db,
-                                 const std::string& path)
-    : InferenceEngine(core::PnpTuner::load(db, path)) {}
+                                 const std::string& path,
+                                 EngineOptions options)
+    : InferenceEngine(core::PnpTuner::load(db, path), options) {}
 
-InferenceEngine::InferenceEngine(core::PnpTuner tuner)
-    : state_(std::move(tuner)) {
+InferenceEngine::InferenceEngine(core::PnpTuner tuner, EngineOptions options)
+    : state_(std::move(tuner), options.precision), opt_(options) {
   scratch_.resize(static_cast<std::size_t>(worker_count()));
 }
 
@@ -153,6 +321,19 @@ void InferenceEngine::for_each_query(std::size_t n, Fn&& fn) {
 #endif
 }
 
+sim::OmpConfig InferenceEngine::serve_power(const nn::RgcnNet::GnnCache& enc,
+                                            int region,
+                                            std::optional<int> cap_index,
+                                            std::optional<double> cap_w,
+                                            PerThread& t) {
+  if (opt_.use_arena) {
+    state_.run_heads(enc, region, cap_index, cap_w, t.ws);
+    return state_.decode_power(t.ws);
+  }
+  state_.run_heads(enc, region, cap_index, cap_w, t.scratch);
+  return state_.decode_power(t.scratch);
+}
+
 sim::OmpConfig InferenceEngine::predict_power(int region, int cap_index) {
   const PowerQuery q{region, cap_index};
   return predict_power_batch(std::span<const PowerQuery>(&q, 1))[0];
@@ -174,10 +355,10 @@ std::vector<sim::OmpConfig> InferenceEngine::predict_power_batch(
   ensure_encoded(regions_buf_);
 
   std::vector<sim::OmpConfig> out(queries.size());
-  for_each_query(queries.size(), [&](std::size_t i, Scratch& s) {
-    state_.run_heads(enc_.find(queries[i].region)->second, queries[i].region,
-                     queries[i].cap_index, std::nullopt, s);
-    out[i] = state_.decode_power(s);
+  for_each_query(queries.size(), [&](std::size_t i, PerThread& t) {
+    out[i] = serve_power(enc_.find(queries[i].region)->second,
+                         queries[i].region, queries[i].cap_index,
+                         std::nullopt, t);
   });
   return out;
 }
@@ -190,10 +371,9 @@ std::vector<sim::OmpConfig> InferenceEngine::predict_power_at_batch(
   ensure_encoded(regions);
 
   std::vector<sim::OmpConfig> out(regions.size());
-  for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
-    state_.run_heads(enc_.find(regions[i])->second, regions[i], std::nullopt,
-                     cap_w, s);
-    out[i] = state_.decode_power(s);
+  for_each_query(regions.size(), [&](std::size_t i, PerThread& t) {
+    out[i] = serve_power(enc_.find(regions[i])->second, regions[i],
+                         std::nullopt, cap_w, t);
   });
   return out;
 }
@@ -204,10 +384,16 @@ std::vector<core::PnpTuner::JointChoice> InferenceEngine::predict_edp_batch(
   ensure_encoded(regions);
 
   std::vector<core::PnpTuner::JointChoice> out(regions.size());
-  for_each_query(regions.size(), [&](std::size_t i, Scratch& s) {
-    state_.run_heads(enc_.find(regions[i])->second, regions[i], std::nullopt,
-                     std::nullopt, s);
-    out[i] = state_.decode_edp(s);
+  for_each_query(regions.size(), [&](std::size_t i, PerThread& t) {
+    if (opt_.use_arena) {
+      state_.run_heads(enc_.find(regions[i])->second, regions[i],
+                       std::nullopt, std::nullopt, t.ws);
+      out[i] = state_.decode_edp(t.ws);
+    } else {
+      state_.run_heads(enc_.find(regions[i])->second, regions[i],
+                       std::nullopt, std::nullopt, t.scratch);
+      out[i] = state_.decode_edp(t.scratch);
+    }
   });
   return out;
 }

@@ -21,6 +21,7 @@
 /// See docs/SERVING.md for the end-to-end flow (pnp_tune CLI → artifact →
 /// engine → service).
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "core/pnp_tuner.hpp"
+#include "nn/arena.hpp"
 
 namespace pnp::serve {
 
@@ -46,11 +48,16 @@ struct PowerQuery {
 class ModelState {
  public:
   /// Adopt a trained or loaded tuner. Throws pnp::Error if the tuner has
-  /// no trained scenario.
-  explicit ModelState(core::PnpTuner tuner);
+  /// no trained scenario. `precision` overrides the serving tier; nullopt
+  /// uses the tuner's artifact-persisted preference (f64 by default).
+  /// At Precision::f32 the dense weights are down-converted once here and
+  /// encodings additionally carry an f32 readout.
+  explicit ModelState(core::PnpTuner tuner,
+                      std::optional<nn::Precision> precision = std::nullopt);
 
   const core::PnpTuner& tuner() const { return tuner_; }
   core::PnpTuner::Mode mode() const { return tuner_.mode(); }
+  nn::Precision precision() const { return precision_; }
   int num_regions() const { return tuner_.db().num_regions(); }
   int num_caps() const { return tuner_.db().num_caps(); }
   /// True when the model uses the normalized scalar cap feature and can
@@ -58,11 +65,37 @@ class ModelState {
   bool scalar_cap() const;
 
   /// Per-query dense-phase scratch; reused across calls so steady-state
-  /// serving allocates nothing.
+  /// serving allocates nothing. This is the allocation-path oracle the
+  /// arena-backed Workspace below is tested against.
   struct Scratch {
     nn::RgcnNet::DenseCache dc;
     std::vector<double> extra;
     std::vector<int> preds;
+    /// f32 tier only: u0 = readout_f32 ⊕ extra, in-place-relu hiddens,
+    /// logits.
+    std::vector<float> u0f, h1f, h2f, logitsf;
+  };
+
+  /// Arena-backed per-thread serving workspace: every per-request scratch
+  /// tensor of run_heads — extra features, dense activations, logits,
+  /// predictions — laid into ONE contiguous nn::Arena with lifetime-based
+  /// byte reuse (nn/arena.hpp). bind() re-plans only when the model's
+  /// dense shape or precision changes (first use and hot reloads);
+  /// steady-state run_heads/decode touch one hot cache-resident block and
+  /// never allocate.
+  class Workspace {
+   public:
+    /// Plan (or re-plan) the arena for `m`; cheap no-op when already
+    /// bound to the same shape/precision key.
+    void bind(const ModelState& m);
+    /// Total planned arena bytes (0 before the first bind).
+    std::size_t arena_bytes() const { return arena_.bytes(); }
+    const nn::ArenaPlan& plan() const { return arena_.plan(); }
+
+   private:
+    friend class ModelState;
+    std::uint64_t key_ = 0;  ///< shape/precision fingerprint; 0 = unbound
+    nn::Arena arena_;
   };
 
   // --- Validation (all throw pnp::Error) ---------------------------------
@@ -85,13 +118,39 @@ class ModelState {
                  std::optional<int> cap_index, std::optional<double> cap_w,
                  Scratch& s) const;
 
+  /// Arena-backed run_heads: identical arithmetic (the dense phase runs
+  /// through the same span implementation), zero allocations at steady
+  /// state. Results are bit-identical to the Scratch overload.
+  void run_heads(const nn::RgcnNet::GnnCache& enc, int region,
+                 std::optional<int> cap_index, std::optional<double> cap_w,
+                 Workspace& ws) const;
+
   /// Decode s.preds after a power-scenario run_heads.
   sim::OmpConfig decode_power(const Scratch& s) const;
+  sim::OmpConfig decode_power(const Workspace& ws) const;
   /// Decode s.preds after an EDP run_heads.
   core::PnpTuner::JointChoice decode_edp(const Scratch& s) const;
+  core::PnpTuner::JointChoice decode_edp(const Workspace& ws) const;
 
  private:
+  sim::OmpConfig decode_power_preds(std::span<const int> preds) const;
+  core::PnpTuner::JointChoice decode_edp_preds(
+      std::span<const int> preds) const;
+  std::span<const int> preds_of(const Workspace& ws) const;
+
   core::PnpTuner tuner_;
+  nn::Precision precision_ = nn::Precision::f64;
+  /// f32 tier only: the dense weights down-converted once at construction.
+  nn::RgcnNet::DenseWeightsF32 dense_f32_;
+};
+
+struct EngineOptions {
+  /// Serving tier override; nullopt uses the artifact's persisted
+  /// preference (f64 for artifacts predating the f32 tier).
+  std::optional<nn::Precision> precision;
+  /// Arena-backed per-query scratch (the fast path). false keeps the
+  /// allocation-path oracle — kept selectable so tests can compare both.
+  bool use_arena = true;
 };
 
 class InferenceEngine {
@@ -99,14 +158,16 @@ class InferenceEngine {
   /// Serve the artifact at `path` against `db` (the fresh-process entry:
   /// load + validate + ready to predict). Throws pnp::Error on malformed
   /// or incompatible artifacts.
-  InferenceEngine(const core::MeasurementDb& db, const std::string& path);
+  InferenceEngine(const core::MeasurementDb& db, const std::string& path,
+                  EngineOptions options = {});
 
   /// Adopt an already-trained or already-loaded tuner.
-  explicit InferenceEngine(core::PnpTuner tuner);
+  explicit InferenceEngine(core::PnpTuner tuner, EngineOptions options = {});
 
   const core::PnpTuner& tuner() const { return state_.tuner(); }
   /// The immutable model this engine serves.
   const ModelState& state() const { return state_; }
+  nn::Precision precision() const { return state_.precision(); }
 
   /// Single-query predictions; bit-identical to PnpTuner::predict_* but
   /// allocation-free in steady state.
@@ -133,22 +194,33 @@ class InferenceEngine {
   std::size_t cached_encodings() const { return enc_.size(); }
 
  private:
-  /// Per-thread dense-phase scratch (index 0 serves the serial path).
-  using Scratch = ModelState::Scratch;
+  /// Per-thread serving state (index 0 serves the serial path): the
+  /// allocation-path Scratch and the arena-backed Workspace; EngineOptions
+  /// picks which one each query uses.
+  struct PerThread {
+    ModelState::Scratch scratch;
+    ModelState::Workspace ws;
+  };
 
   /// Encode any not-yet-cached regions of the batch (parallel when built
   /// with PNP_PARALLEL).
   void ensure_encoded(std::span<const int> regions);
-  /// Run `fn(i, scratch)` for every i in [0, n) — query-parallel with
+  /// Run `fn(i, per_thread)` for every i in [0, n) — query-parallel with
   /// per-thread scratch under PNP_PARALLEL, serial otherwise. Queries are
   /// independent and write disjoint outputs, so the parallel path is
   /// bit-identical to the serial one.
   template <class Fn>
   void for_each_query(std::size_t n, Fn&& fn);
+  /// run_heads through the arena or allocation path per opt_.use_arena,
+  /// then decode_power.
+  sim::OmpConfig serve_power(const nn::RgcnNet::GnnCache& enc, int region,
+                             std::optional<int> cap_index,
+                             std::optional<double> cap_w, PerThread& t);
 
   ModelState state_;
+  EngineOptions opt_;
   std::unordered_map<int, nn::RgcnNet::GnnCache> enc_;
-  std::vector<Scratch> scratch_;
+  std::vector<PerThread> scratch_;
   std::vector<int> pending_;      ///< ensure_encoded work list (reused)
   std::vector<int> regions_buf_;  ///< per-batch region-id staging (reused)
 };

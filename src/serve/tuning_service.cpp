@@ -4,20 +4,42 @@
 
 #include "common/error.hpp"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace pnp::serve {
 
 namespace {
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
+/// Best-effort: pin `t` to CPU `cpu` mod hardware_concurrency. Failures
+/// (cgroup-restricted affinity masks, non-Linux hosts) are ignored —
+/// pinning is a locality hint, never a correctness requirement.
+void pin_to_cpu(std::thread& t, unsigned cpu) {
+#if defined(__linux__)
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % hw, &set);
+  (void)pthread_setaffinity_np(t.native_handle(), sizeof(set), &set);
+#else
+  (void)t;
+  (void)cpu;
+#endif
+}
+
 }  // namespace
 
 // --- Snapshot ----------------------------------------------------------------
 
 TuningService::Snapshot::Snapshot(core::PnpTuner tuner,
+                                  std::optional<nn::Precision> precision,
                                   std::size_t shard_count,
                                   std::shared_ptr<Counters> ctrs)
-    : model(std::move(tuner)),
+    : model(std::move(tuner), precision),
       locks(shard_count),
       shards(shard_count),
       counters(std::move(ctrs)) {}
@@ -48,18 +70,29 @@ const nn::RgcnNet::GnnCache& TuningService::Snapshot::encoding(
   return *it->second;
 }
 
-TuneResult TuningService::Snapshot::serve(const TuneRequest& q,
-                                          ModelState::Scratch& s) const {
+TuneResult TuningService::Snapshot::serve(const TuneRequest& q, ServeCtx& c,
+                                          bool use_arena) const {
   model.validate_region(q.region);
   TuneResult out;
   out.model_version = version;
+  // Same primitives either way; use_arena only picks which per-thread
+  // buffers back them (arena fast path vs allocation-path oracle).
+  const auto run = [&](std::optional<int> ci, std::optional<double> cw) {
+    const nn::RgcnNet::GnnCache& enc = encoding(q.region);
+    if (use_arena)
+      model.run_heads(enc, q.region, ci, cw, c.ws);
+    else
+      model.run_heads(enc, q.region, ci, cw, c.scratch);
+  };
+  const auto power = [&] {
+    return use_arena ? model.decode_power(c.ws) : model.decode_power(c.scratch);
+  };
   switch (q.kind) {
     case TuneRequest::Kind::Power: {
       model.require_mode(core::PnpTuner::Mode::Power, "a power query");
       model.validate_cap(q.cap_index);
-      model.run_heads(encoding(q.region), q.region, q.cap_index, std::nullopt,
-                      s);
-      out.config = model.decode_power(s);
+      run(q.cap_index, std::nullopt);
+      out.config = power();
       out.cap_index = q.cap_index;
       return out;
     }
@@ -68,16 +101,16 @@ TuneResult TuningService::Snapshot::serve(const TuneRequest& q,
       model.require_scalar_cap();
       PNP_CHECK_MSG(q.cap_w > 0.0,
                     "cap must be positive, got " << q.cap_w << " W");
-      model.run_heads(encoding(q.region), q.region, std::nullopt, q.cap_w, s);
-      out.config = model.decode_power(s);
+      run(std::nullopt, q.cap_w);
+      out.config = power();
       out.cap_index = -1;
       return out;
     }
     case TuneRequest::Kind::Edp: {
       model.require_mode(core::PnpTuner::Mode::Edp, "an edp query");
-      model.run_heads(encoding(q.region), q.region, std::nullopt,
-                      std::nullopt, s);
-      const core::PnpTuner::JointChoice jc = model.decode_edp(s);
+      run(std::nullopt, std::nullopt);
+      const core::PnpTuner::JointChoice jc =
+          use_arena ? model.decode_edp(c.ws) : model.decode_edp(c.scratch);
       out.config = jc.cfg;
       out.cap_index = jc.cap_index;
       return out;
@@ -97,22 +130,22 @@ std::size_t TuningService::Snapshot::cached() const {
   return n;
 }
 
-// --- ScratchLease ------------------------------------------------------------
+// --- CtxLease ----------------------------------------------------------------
 
-TuningService::ScratchLease::ScratchLease(TuningService& svc) : svc_(svc) {
-  std::lock_guard<std::mutex> lk(svc_.scratch_mu_);
-  if (svc_.scratch_free_.empty()) {
-    svc_.scratch_owned_.push_back(std::make_unique<ModelState::Scratch>());
-    scratch_ = svc_.scratch_owned_.back().get();
+TuningService::CtxLease::CtxLease(TuningService& svc) : svc_(svc) {
+  std::lock_guard<std::mutex> lk(svc_.ctx_mu_);
+  if (svc_.ctx_free_.empty()) {
+    svc_.ctx_owned_.push_back(std::make_unique<ServeCtx>());
+    ctx_ = svc_.ctx_owned_.back().get();
   } else {
-    scratch_ = svc_.scratch_free_.back();
-    svc_.scratch_free_.pop_back();
+    ctx_ = svc_.ctx_free_.back();
+    svc_.ctx_free_.pop_back();
   }
 }
 
-TuningService::ScratchLease::~ScratchLease() {
-  std::lock_guard<std::mutex> lk(svc_.scratch_mu_);
-  svc_.scratch_free_.push_back(scratch_);
+TuningService::CtxLease::~CtxLease() {
+  std::lock_guard<std::mutex> lk(svc_.ctx_mu_);
+  svc_.ctx_free_.push_back(ctx_);
 }
 
 // --- TuningService -----------------------------------------------------------
@@ -121,30 +154,107 @@ TuningService::TuningService(const core::MeasurementDb& db,
                              const std::string& artifact_path,
                              TuningServiceOptions options)
     : db_(db), opt_(options), counters_(std::make_shared<Counters>()) {
-  std::lock_guard<std::mutex> rl(reload_mu_);
-  publish_locked(core::PnpTuner::load(db_, artifact_path));
+  {
+    std::lock_guard<std::mutex> rl(reload_mu_);
+    publish_locked(core::PnpTuner::load(db_, artifact_path));
+  }
+  start_workers();
 }
 
 TuningService::TuningService(core::PnpTuner tuner,
                              TuningServiceOptions options)
     : db_(tuner.db()), opt_(options),
       counters_(std::make_shared<Counters>()) {
-  std::lock_guard<std::mutex> rl(reload_mu_);
-  publish_locked(std::move(tuner));
+  {
+    std::lock_guard<std::mutex> rl(reload_mu_);
+    publish_locked(std::move(tuner));
+  }
+  start_workers();
+}
+
+TuningService::~TuningService() {
+  for (auto& w : workers_) {
+    std::lock_guard<std::mutex> lk(w->mu);
+    w->stop = true;
+    w->cv.notify_all();
+  }
+  for (auto& w : workers_)
+    if (w->thread.joinable()) w->thread.join();
 }
 
 std::size_t TuningService::shard_count() const {
+  // Worker mode stripes the cache to exactly the worker count so a
+  // region's cache stripe and its worker coincide (see shard_of_key).
+  if (opt_.worker_shards > 0)
+    return static_cast<std::size_t>(opt_.worker_shards);
   return static_cast<std::size_t>(std::max(1, opt_.cache_shards));
 }
 
 std::uint64_t TuningService::publish_locked(core::PnpTuner tuner) {
   // ModelState's constructor rejects untrained tuners, so an invalid
   // candidate throws here, before anything is published.
-  auto snap =
-      std::make_shared<Snapshot>(std::move(tuner), shard_count(), counters_);
+  auto snap = std::make_shared<Snapshot>(std::move(tuner), opt_.precision,
+                                         shard_count(), counters_);
   snap->version = snapshot_.version() + 1;
   const std::uint64_t published = snapshot_.publish(std::move(snap));
   return published;
+}
+
+void TuningService::start_workers() {
+  if (opt_.worker_shards <= 0) return;
+  workers_.reserve(static_cast<std::size_t>(opt_.worker_shards));
+  for (int i = 0; i < opt_.worker_shards; ++i) {
+    workers_.push_back(std::make_unique<WorkerShard>());
+    WorkerShard& w = *workers_.back();
+    w.thread = std::thread([this, &w] { worker_loop(w); });
+    if (opt_.pin_workers) pin_to_cpu(w.thread, static_cast<unsigned>(i));
+  }
+}
+
+void TuningService::worker_loop(WorkerShard& w) {
+  const std::size_t max_batch =
+      static_cast<std::size_t>(std::max(1, opt_.max_batch));
+  std::vector<Pending*> batch;
+  std::unique_lock<std::mutex> lk(w.mu);
+  for (;;) {
+    w.cv.wait(lk, [&] { return w.stop || !w.queue.empty(); });
+    if (w.queue.empty()) return;  // stop && drained
+    const auto take = static_cast<std::ptrdiff_t>(
+        std::min(w.queue.size(), max_batch));
+    batch.assign(w.queue.begin(), w.queue.begin() + take);
+    w.queue.erase(w.queue.begin(), w.queue.begin() + take);
+    lk.unlock();
+    counters_->batches.fetch_add(1, kRelaxed);
+    counters_->coalesced.fetch_add(batch.size() - 1, kRelaxed);
+    // One snapshot per drained batch — same atomicity contract as the
+    // leader/follower path.
+    const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
+    for (Pending* p : batch) {
+      try {
+        p->result = snap->serve(*p->req, w.ctx, opt_.use_arena);
+      } catch (...) {
+        p->error = std::current_exception();
+      }
+    }
+    lk.lock();
+    for (Pending* p : batch) p->done = true;
+    w.cv.notify_all();
+  }
+}
+
+TuneResult TuningService::tune_sharded(const TuneRequest& request) {
+  WorkerShard& w = *workers_[shard_of_key(
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(request.region)),
+      workers_.size())];
+  Pending p;
+  p.req = &request;
+  std::unique_lock<std::mutex> lk(w.mu);
+  w.queue.push_back(&p);
+  w.cv.notify_all();
+  w.cv.wait(lk, [&] { return p.done; });
+  lk.unlock();
+  if (p.error) std::rethrow_exception(p.error);
+  return p.result;
 }
 
 std::uint64_t TuningService::reload(const std::string& artifact_path) {
@@ -171,6 +281,10 @@ core::PnpTuner::Mode TuningService::mode() const {
   return snapshot_.current().value->model.mode();
 }
 
+nn::Precision TuningService::precision() const {
+  return snapshot_.current().value->model.precision();
+}
+
 std::size_t TuningService::cached_encodings() const {
   return snapshot_.current().value->cached();
 }
@@ -181,10 +295,10 @@ void TuningService::run_batch(const std::vector<Pending*>& batch) {
   // One snapshot for the whole batch: every request in it is served —
   // and version-tagged — by exactly one model, never a half-swapped one.
   const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
-  ScratchLease lease(*this);
+  CtxLease lease(*this);
   for (Pending* p : batch) {
     try {
-      p->result = snap->serve(*p->req, lease.get());
+      p->result = snap->serve(*p->req, lease.get(), opt_.use_arena);
     } catch (...) {
       p->error = std::current_exception();
     }
@@ -194,11 +308,13 @@ void TuningService::run_batch(const std::vector<Pending*>& batch) {
 TuneResult TuningService::tune(const TuneRequest& request) {
   counters_->requests.fetch_add(1, kRelaxed);
 
+  if (!workers_.empty()) return tune_sharded(request);
+
   if (!opt_.coalesce) {
     counters_->batches.fetch_add(1, kRelaxed);
     const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
-    ScratchLease lease(*this);
-    return snap->serve(request, lease.get());
+    CtxLease lease(*this);
+    return snap->serve(request, lease.get(), opt_.use_arena);
   }
 
   Pending p;
@@ -251,11 +367,11 @@ std::vector<TuneResult> TuningService::tune_batch(
   if (!requests.empty())
     counters_->coalesced.fetch_add(requests.size() - 1, kRelaxed);
   const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
-  ScratchLease lease(*this);
+  CtxLease lease(*this);
   std::vector<TuneResult> out;
   out.reserve(requests.size());
   for (const TuneRequest& q : requests)
-    out.push_back(snap->serve(q, lease.get()));
+    out.push_back(snap->serve(q, lease.get(), opt_.use_arena));
   return out;
 }
 

@@ -21,6 +21,15 @@
 ///    queue; tune() simply returns their result (or rethrows their
 ///    error).
 ///
+///  - **Worker shards (opt-in).** worker_shards > 0 replaces the
+///    leader/follower queue with N dedicated worker threads, requests
+///    routed by region hash (common/sync.hpp shard_of_key) to the worker
+///    whose index equals the region's cache stripe. Each worker owns one
+///    serving context — allocation-path Scratch plus arena-backed
+///    Workspace (nn/arena.hpp) — so steady-state serving is
+///    allocation-free and workers never touch each other's cache
+///    stripes. Optionally pinned to cores (pin_workers).
+///
 ///  - **Versioned hot reload.** reload(path) loads and validates a new
 ///    artifact entirely off to the side, then atomically publishes it
 ///    (common/sync.hpp VersionedSnapshot). In-flight requests finish on
@@ -41,8 +50,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -96,6 +107,29 @@ struct TuningServiceOptions {
   /// own request directly against the current snapshot (lowest latency,
   /// no coalescing; cache sharding still applies).
   bool coalesce = true;
+  /// > 0 → worker-shard mode: that many dedicated worker threads, each
+  /// owning one serving context (scratch + arena workspace). Requests are
+  /// routed to workers by region hash (common/sync.hpp shard_of_key) and
+  /// the encoding cache is striped to exactly the worker count, so a
+  /// region's worker and its cache stripe coincide — workers never
+  /// contend on each other's stripes. Supersedes the leader/follower
+  /// admission queue (`coalesce` is ignored); batching still happens
+  /// because a busy worker drains up to max_batch queued requests per
+  /// wakeup. 0 (default) keeps the caller-thread leader/follower path.
+  int worker_shards = 0;
+  /// Worker-shard mode only: best-effort pin worker i to CPU
+  /// i mod hardware_concurrency (Linux pthread_setaffinity_np; silently
+  /// a no-op elsewhere or when the affinity call is rejected).
+  bool pin_workers = false;
+  /// Serving tier override passed to every published ModelState; nullopt
+  /// uses each artifact's persisted preference (f64 for artifacts
+  /// predating the f32 tier). A reload may therefore switch tiers
+  /// mid-stream when the new artifact asks for a different one.
+  std::optional<nn::Precision> precision;
+  /// Serve through the arena-backed Workspace fast path (zero steady-state
+  /// allocations). false keeps the allocation-path Scratch oracle —
+  /// selectable so tests can compare both end to end.
+  bool use_arena = true;
 };
 
 class TuningService {
@@ -134,10 +168,16 @@ class TuningService {
   /// serving, unchanged. Concurrent reloads are serialized.
   std::uint64_t reload(const std::string& artifact_path);
 
+  ~TuningService();
+
   /// Version of the model currently serving new requests.
   std::uint64_t model_version() const { return snapshot_.version(); }
   /// Scenario of the model currently serving new requests.
   core::PnpTuner::Mode mode() const;
+  /// Inference tier of the model currently serving new requests.
+  nn::Precision precision() const;
+  /// Worker threads in worker-shard mode (0 on the leader/follower path).
+  int worker_shards() const { return static_cast<int>(workers_.size()); }
   /// Region encodings cached by the current snapshot.
   std::size_t cached_encodings() const;
 
@@ -166,13 +206,21 @@ class TuningService {
         encode_hits{0}, encode_misses{0}, reloads{0}, failed_reloads{0};
   };
 
+  /// One thread's serving context: the allocation-path Scratch and the
+  /// arena-backed Workspace; TuningServiceOptions::use_arena picks which
+  /// one each request runs through.
+  struct ServeCtx {
+    ModelState::Scratch scratch;
+    ModelState::Workspace ws;
+  };
+
   /// One published model: the immutable ModelState plus its sharded
   /// encoding cache. The cache is internally synchronized and append-only
   /// (entries are never replaced or erased), so a reference returned by
   /// encoding() stays valid for the snapshot's lifetime.
   struct Snapshot {
-    Snapshot(core::PnpTuner tuner, std::size_t shard_count,
-             std::shared_ptr<Counters> counters);
+    Snapshot(core::PnpTuner tuner, std::optional<nn::Precision> precision,
+             std::size_t shard_count, std::shared_ptr<Counters> counters);
 
     std::uint64_t version = 0;
     ModelState model;
@@ -187,8 +235,9 @@ class TuningService {
     /// Get-or-compute the encoding of `region` (encode runs unlocked; on
     /// a race the first insert wins — both encodings are bit-identical).
     const nn::RgcnNet::GnnCache& encoding(int region) const;
-    /// Serve one request entirely against this snapshot.
-    TuneResult serve(const TuneRequest& q, ModelState::Scratch& s) const;
+    /// Serve one request entirely against this snapshot, through the
+    /// arena or the allocation path per `use_arena`.
+    TuneResult serve(const TuneRequest& q, ServeCtx& c, bool use_arena) const;
     std::size_t cached() const;
   };
 
@@ -200,16 +249,29 @@ class TuningService {
     bool done = false;
   };
 
-  /// RAII lease of a Scratch from the service pool.
-  class ScratchLease {
+  /// One worker shard: a dedicated thread draining its own queue with its
+  /// own serving context. `mu` guards `queue` and `stop`; `cv` is both
+  /// the worker's wakeup and the callers' completion signal.
+  struct WorkerShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<Pending*> queue;
+    bool stop = false;
+    ServeCtx ctx;
+    std::thread thread;
+  };
+
+  /// RAII lease of a ServeCtx from the service pool (leader/follower and
+  /// tune_batch paths; worker shards own theirs outright).
+  class CtxLease {
    public:
-    explicit ScratchLease(TuningService& svc);
-    ~ScratchLease();
-    ModelState::Scratch& get() { return *scratch_; }
+    explicit CtxLease(TuningService& svc);
+    ~CtxLease();
+    ServeCtx& get() { return *ctx_; }
 
    private:
     TuningService& svc_;
-    ModelState::Scratch* scratch_;
+    ServeCtx* ctx_;
   };
 
   std::size_t shard_count() const;
@@ -217,6 +279,14 @@ class TuningService {
   std::uint64_t publish_locked(core::PnpTuner tuner);
   /// Execute a formed batch against one snapshot, filling each Pending.
   void run_batch(const std::vector<Pending*>& batch);
+  /// Spawn opt_.worker_shards workers (no-op at 0).
+  void start_workers();
+  /// Body of one worker thread: drain ≤ max_batch requests per wakeup,
+  /// serve them against one snapshot, wake the owners; exits when `stop`
+  /// is set and the queue is empty.
+  void worker_loop(WorkerShard& w);
+  /// Worker-shard tune(): route by region hash, park until served.
+  TuneResult tune_sharded(const TuneRequest& request);
 
   const core::MeasurementDb& db_;
   TuningServiceOptions opt_;
@@ -224,16 +294,21 @@ class TuningService {
   VersionedSnapshot<Snapshot> snapshot_;
   std::mutex reload_mu_;  ///< serializes publishes (ctor + reload)
 
-  // Admission queue (leader/follower combining).
+  // Admission queue (leader/follower combining; unused in worker mode).
   std::mutex admit_mu_;
   std::condition_variable admit_cv_;
   std::vector<Pending*> queue_;
   bool leader_active_ = false;
 
-  // Scratch pool (grows on demand, reused forever).
-  std::mutex scratch_mu_;
-  std::vector<std::unique_ptr<ModelState::Scratch>> scratch_owned_;
-  std::vector<ModelState::Scratch*> scratch_free_;
+  // Worker shards (empty on the leader/follower path). The vector is
+  // filled once in the constructor and never resized, so unsynchronized
+  // reads of workers_.size()/workers_[i] are safe.
+  std::vector<std::unique_ptr<WorkerShard>> workers_;
+
+  // ServeCtx pool (grows on demand, reused forever).
+  std::mutex ctx_mu_;
+  std::vector<std::unique_ptr<ServeCtx>> ctx_owned_;
+  std::vector<ServeCtx*> ctx_free_;
 };
 
 }  // namespace pnp::serve

@@ -549,6 +549,118 @@ TEST_F(ServiceFixture, StatsInvariantsHoldUnderConcurrency) {
   EXPECT_EQ(service.stats().encode_misses, before);
 }
 
+// --- worker-shard mode -------------------------------------------------------
+
+TEST(ShardOfKey, DeterministicInRangeAndSpreading) {
+  // The router every shard consumer shares: stable across calls, always
+  // in range, and not degenerate (distinct small keys spread over
+  // stripes rather than clumping on one).
+  std::vector<int> hits(4, 0);
+  for (std::uint64_t k = 0; k < 64; ++k) {
+    const std::size_t s = shard_of_key(k, 4);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(s, shard_of_key(k, 4));
+    ++hits[s];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+  EXPECT_THROW(shard_of_key(1, 0), Error);
+}
+
+TEST_F(ServiceFixture, ShardedServiceMatchesReferenceUnderConcurrency) {
+  // Worker-shard mode answers exactly like the single-threaded tuner and
+  // keeps the accounting invariants: shards change scheduling, nothing
+  // else.
+  serve::TuningServiceOptions opt;
+  opt.worker_shards = 3;
+  opt.max_batch = 8;
+  serve::TuningService service(*db_, path_a_, opt);
+  EXPECT_EQ(service.worker_shards(), 3);
+
+  const auto reqs = mixed_power_requests(256);
+  const auto want = reference_answers(path_a_, 1, reqs);
+  const auto got = hammer(service, reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    expect_result_eq(got[i], want[i], i);
+
+  const auto st = service.stats();
+  EXPECT_EQ(st.requests, reqs.size());
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_LE(st.batches, st.requests);
+  EXPECT_EQ(st.coalesced, st.requests - st.batches);
+  EXPECT_EQ(st.encode_hits + st.encode_misses, st.requests);
+  EXPECT_LE(service.cached_encodings(),
+            static_cast<std::size_t>(db_->num_regions()));
+}
+
+TEST_F(ServiceFixture, ShardedReloadBoundaryResultsMatchTheirVersion) {
+  // Hot reload under worker shards: a client hammering throughout must
+  // see every result consistent with the version that served it — v1
+  // answers before the swap, v2 answers after, nothing in between.
+  serve::TuningServiceOptions opt;
+  opt.worker_shards = 2;
+  serve::TuningService service(*db_, path_a_, opt);
+
+  const auto reqs = mixed_power_requests(400);
+  const auto want_v1 = reference_answers(path_a_, 1, reqs);
+  const auto want_v2 = reference_answers(path_b_, 2, reqs);
+
+  std::vector<serve::TuneResult> results(reqs.size());
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> team;
+  for (int t = 0; t < kThreads; ++t)
+    team.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= reqs.size()) return;
+        results[i] = service.tune(reqs[i]);
+      }
+    });
+  // Swap models mid-stream.
+  while (next.load() < reqs.size() / 2) std::this_thread::yield();
+  EXPECT_EQ(service.reload(path_b_), 2u);
+  for (auto& th : team) th.join();
+
+  // Every hammered result must match the reference for whichever version
+  // claims to have served it (the stream may drain before the reload
+  // lands — the version tag, not timing, is the contract).
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    ASSERT_TRUE(results[i].model_version == 1 || results[i].model_version == 2)
+        << "request " << i << " version " << results[i].model_version;
+    expect_result_eq(
+        results[i],
+        results[i].model_version == 1 ? want_v1[i] : want_v2[i], i);
+  }
+  // After the reload returns, the workers serve v2 — deterministically.
+  const auto post = service.tune(reqs[0]);
+  expect_result_eq(post, want_v2[0], 0);
+}
+
+TEST_F(ServiceFixture, ShardedBadRequestsFailAloneAndEdpServes) {
+  // A malformed request must fail only its caller — the worker thread
+  // catches and forwards, then keeps serving its shard.
+  serve::TuningServiceOptions opt;
+  opt.worker_shards = 2;
+  serve::TuningService service(*db_, path_a_, opt);
+  EXPECT_THROW(service.tune(serve::TuneRequest::power(db_->num_regions(), 0)),
+               Error);
+  EXPECT_THROW(service.tune(serve::TuneRequest::edp(0)), Error);  // wrong mode
+  const auto ok = service.tune(serve::TuneRequest::power(0, 0));
+  EXPECT_EQ(ok.model_version, 1u);
+
+  // EDP artifacts serve through shards like any other.
+  serve::TuningService edp(*db_, path_edp_, opt);
+  const auto reqs = [&] {
+    std::vector<serve::TuneRequest> r;
+    for (int i = 0; i < db_->num_regions(); ++i)
+      r.push_back(serve::TuneRequest::edp(i));
+    return r;
+  }();
+  const auto want = reference_answers(path_edp_, 1, reqs);
+  const auto got = hammer(edp, reqs);
+  for (std::size_t i = 0; i < reqs.size(); ++i)
+    expect_result_eq(got[i], want[i], i);
+}
+
 TEST_F(ServiceFixture, AdoptedTunerAndUntrainedRejection) {
   // The in-process adoption path (no artifact file) serves identically.
   core::PnpTuner t(*db_, options(3));

@@ -34,6 +34,7 @@
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "core/evaluator.hpp"
+#include "core/tuner_artifact.hpp"
 #include "serve/inference_engine.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/suite.hpp"
@@ -215,9 +216,39 @@ int run(const Args& a) {
 
   const auto& caps_w = space.power_caps();
   std::vector<core::SplitResult> results;
-  for (const auto& split : splits) {
-    serve::InferenceEngine engine(evaluator.train(split, eopt));
-    const auto configs = predict_split(evaluator, split, engine, caps_w);
+  core::Evaluator::PrecisionDelta pdelta;
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const auto& split = splits[i];
+    core::PnpTuner tuner = evaluator.train(split, eopt);
+    std::vector<sim::OmpConfig> configs;
+    if (i == 0) {
+      // The unseen-app split doubles as the f32-tier acceptance gate:
+      // stamp an f64 reference engine and an f32 candidate engine from
+      // ONE artifact of the same trained model (an in-memory round trip —
+      // exactly what reload deserializes), serve the identical grid
+      // through both, and diff. The reference grid is also the split's
+      // scored prediction set, so the f64 path stays the single source of
+      // truth for the headline metrics.
+      const core::TunerArtifact art = tuner.to_artifact();
+      serve::EngineOptions ref_opt, f32_opt;
+      ref_opt.precision = nn::Precision::f64;
+      f32_opt.precision = nn::Precision::f32;
+      serve::InferenceEngine ref_engine(core::PnpTuner::from_artifact(db, art),
+                                        ref_opt);
+      serve::InferenceEngine f32_engine(core::PnpTuner::from_artifact(db, art),
+                                        f32_opt);
+      configs = predict_split(evaluator, split, ref_engine, caps_w);
+      const auto f32_configs =
+          predict_split(evaluator, split, f32_engine, caps_w);
+      pdelta = evaluator.precision_delta(split, configs, f32_configs);
+      std::fprintf(stderr,
+                   "f32 tier: %d/%d flips (%.4f), max |dPower| %.4f W\n",
+                   pdelta.flips, pdelta.queries, pdelta.flip_rate,
+                   pdelta.max_abs_dpower_w);
+    } else {
+      serve::InferenceEngine engine(std::move(tuner));
+      configs = predict_split(evaluator, split, engine, caps_w);
+    }
     results.push_back(evaluator.score(split, configs));
     const auto& res = results.back();
     std::fprintf(stderr,
@@ -260,6 +291,18 @@ int run(const Args& a) {
   w.key("training").begin_object();
   w.key("epochs").value(a.epochs);
   w.key("counters").value(a.counters);  // base flag; see per-split values
+  w.end_object();
+  w.key("precision_tier").begin_object();
+  w.key("split").value(results.front().name);
+  w.key("reference").value(nn::precision_name(nn::Precision::f64));
+  w.key("candidate").value(nn::precision_name(nn::Precision::f32));
+  w.key("queries").value(pdelta.queries);
+  w.key("flips").value(pdelta.flips);
+  w.key("flip_rate").value(pdelta.flip_rate);
+  w.key("max_abs_dpower_w").value(pdelta.max_abs_dpower_w);
+  w.key("max_abs_dtime_s").value(pdelta.max_abs_dtime_s);
+  w.key("geomean_speedup_f64").value(pdelta.geomean_speedup_reference);
+  w.key("geomean_speedup_f32").value(pdelta.geomean_speedup_candidate);
   w.end_object();
   w.key("splits").begin_array();
   for (std::size_t i = 0; i < results.size(); ++i)

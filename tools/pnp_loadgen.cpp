@@ -8,8 +8,17 @@
 ///   pnp_loadgen --target ADDR [--seed S] [--requests N] [--rate R]
 ///               [--arrivals poisson|fixed] [--connections C]
 ///               [--blend power:W,power_at:W,edp:W] [--regions N] [--caps N]
+///               [--precision f64|f32]
 ///               [--reload PATH --reload-after K] [--no-stats]
 ///               [--connect-timeout-ms T] [--recv-timeout-ms T] [--out FILE]
+///
+/// `--precision` records which serving tier the targeted daemon runs
+/// (pnp_served --precision) in the summary header, so a sweep over both
+/// tiers yields self-describing outputs; it changes no request bytes.
+/// When `--no-stats` is absent the summary ends with a `p99_side_by_side`
+/// line putting the client-observed and server-observed p99 next to each
+/// other — the gap is the transport + queueing overhead the wire adds on
+/// top of the service's own serve time.
 ///
 /// Open loop: every request's send time is fixed up front by the arrival
 /// process (Poisson or fixed-interval at `--rate` req/s, from `--seed`) —
@@ -61,6 +70,7 @@ struct Args {
   std::string blend = "power:2,power_at:1";
   int regions = 10;
   int caps = 4;
+  std::string precision;  // label only; empty = unspecified
   std::string reload_path;
   int reload_after = -1;
   bool fetch_stats = true;
@@ -75,6 +85,7 @@ struct Args {
       "  %s --target ADDR [--seed S] [--requests N] [--rate R]\n"
       "     [--arrivals poisson|fixed] [--connections C]\n"
       "     [--blend power:W,power_at:W,edp:W] [--regions N] [--caps N]\n"
+      "     [--precision f64|f32]\n"
       "     [--reload PATH --reload-after K] [--no-stats]\n"
       "     [--connect-timeout-ms T] [--recv-timeout-ms T] [--out FILE]\n"
       "ADDR: 'unix:PATH' or 'tcp:HOST:PORT' of a running pnp_served.\n",
@@ -128,6 +139,10 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--blend") a.blend = value();
     else if (flag == "--regions") a.regions = parse_int(value(), "--regions");
     else if (flag == "--caps") a.caps = parse_int(value(), "--caps");
+    else if (flag == "--precision") {
+      a.precision = value();
+      if (a.precision != "f64" && a.precision != "f32") usage(argv[0]);
+    }
     else if (flag == "--reload") a.reload_path = value();
     else if (flag == "--reload-after")
       a.reload_after = parse_int(value(), "--reload-after");
@@ -375,7 +390,9 @@ int run(const Args& a) {
      << " requests=" << a.requests << " connections=" << a.connections
      << " rate=" << a.rate << " arrivals=" << (a.poisson ? "poisson" : "fixed")
      << " blend=power:" << blend.power << ",power_at:" << blend.power_at
-     << ",edp:" << blend.edp << "\n";
+     << ",edp:" << blend.edp;
+  if (!a.precision.empty()) os << " precision=" << a.precision;
+  os << "\n";
   os << "sent=" << schedule.size() << " ok=" << ok << " errors=" << errors
      << " shed=" << shed << " reload_ok=" << reload_ok
      << " reload_errors=" << reload_errors << "\n";
@@ -417,6 +434,15 @@ int run(const Args& a) {
        << " reloads=" << resp.service.reloads
        << " failed_reloads=" << resp.service.failed_reloads << "\n";
     print_quantiles(os, "server_latency_ns", server_latency);
+    // Client p99 (full round trip) next to server p99 (admission→reply):
+    // the difference is what the wire + reader/worker queueing add.
+    if (latency.count() > 0 && server_latency.count() > 0) {
+      const std::uint64_t client_p99 = latency.quantile_ns(0.99);
+      const std::uint64_t server_p99 = server_latency.quantile_ns(0.99);
+      os << "p99_side_by_side client_ns=" << client_p99
+         << " server_ns=" << server_p99 << " transport_overhead_ns="
+         << (client_p99 > server_p99 ? client_p99 - server_p99 : 0) << "\n";
+    }
   }
 
   if (a.out_path.empty()) {

@@ -4,8 +4,16 @@
 /// docs/SERVING.md ("Network protocol") on a TCP or unix socket:
 ///
 ///   pnp_served --machine haswell|skylake --model MODEL --listen ADDR
-///              [--workers N] [--queue N] [--shards N] [--max-batch N]
+///              [--workers N] [--queue N] [--shards N] [--pin]
+///              [--cache-stripes N] [--precision f64|f32] [--max-batch N]
 ///              [--batch-wait-us N] [--no-coalesce]
+///
+/// `--shards N` puts the TuningService in worker-shard mode: N dedicated
+/// serving threads, requests routed by region hash, one encoding-cache
+/// stripe + arena workspace per worker (`--pin` additionally pins them to
+/// cores). `--cache-stripes` sizes the encoding cache's lock striping on
+/// the default (leader/follower) path. `--precision` overrides the
+/// artifact's persisted serving tier.
 ///
 /// ADDR is `unix:PATH` or `tcp:[HOST:]PORT` (`tcp:0` picks an ephemeral
 /// loopback port; the bound address is printed to stderr as
@@ -44,9 +52,12 @@ struct Args {
       stderr,
       "usage:\n"
       "  %s --machine haswell|skylake --model MODEL --listen ADDR\n"
-      "     [--workers N] [--queue N] [--shards N] [--max-batch N]\n"
+      "     [--workers N] [--queue N] [--shards N] [--pin]\n"
+      "     [--cache-stripes N] [--precision f64|f32] [--max-batch N]\n"
       "     [--batch-wait-us N] [--no-coalesce]\n"
       "ADDR: 'unix:PATH' or 'tcp:[HOST:]PORT' (tcp:0 = ephemeral port).\n"
+      "--shards N serves through N region-hash-routed worker shards;\n"
+      "--precision overrides the artifact's serving tier.\n"
       "Serves until SIGINT/SIGTERM, then drains gracefully.\n",
       argv0);
   std::exit(2);
@@ -79,7 +90,16 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--queue")
       a.server.queue_depth = parse_int(value(), "--queue");
     else if (flag == "--shards")
-      a.service.cache_shards = parse_int(value(), "--shards");
+      a.service.worker_shards = parse_int(value(), "--shards");
+    else if (flag == "--pin") a.service.pin_workers = true;
+    else if (flag == "--cache-stripes")
+      a.service.cache_shards = parse_int(value(), "--cache-stripes");
+    else if (flag == "--precision") {
+      const std::string p = value();
+      if (p == "f64") a.service.precision = nn::Precision::f64;
+      else if (p == "f32") a.service.precision = nn::Precision::f32;
+      else throw Error("bad --precision '" + p + "' (expected f64 or f32)");
+    }
     else if (flag == "--max-batch")
       a.service.max_batch = parse_int(value(), "--max-batch");
     else if (flag == "--batch-wait-us")
@@ -125,10 +145,13 @@ int run(const Args& a) {
                                workloads::Suite::instance().all_regions());
   serve::TuningService service(db, a.model_path, a.service);
   serve::Server server(service, a.server);
-  std::fprintf(stderr, "listening on %s (model %s v%llu, %d workers, queue %d)\n",
+  std::fprintf(stderr,
+               "listening on %s (model %s v%llu %s, %d workers, queue %d, "
+               "%d shards)\n",
                server.address().to_string().c_str(), a.model_path.c_str(),
                static_cast<unsigned long long>(service.model_version()),
-               a.server.workers, a.server.queue_depth);
+               nn::precision_name(service.precision()), a.server.workers,
+               a.server.queue_depth, service.worker_shards());
 
   char b;
   for (;;) {

@@ -38,14 +38,21 @@ struct Args {
   std::string predictions_path;  // empty = stdout
   int epochs = 12;
   bool scalar_cap = false;
+  std::string precision;  // empty = keep the artifact's default (f64)
 };
+
+nn::Precision precision_for(const std::string& name) {
+  if (name == "f64") return nn::Precision::f64;
+  if (name == "f32") return nn::Precision::f32;
+  throw Error("unknown precision '" + name + "' (expected f64 or f32)");
+}
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
                "  %s train   --machine haswell|skylake --scenario power|edp\n"
                "             --out MODEL [--epochs N] [--scalar-cap]\n"
-               "             [--predictions FILE]\n"
+               "             [--precision f64|f32] [--predictions FILE]\n"
                "  %s predict --machine haswell|skylake --model MODEL\n"
                "             [--predictions FILE]\n"
                "  %s info    --model MODEL\n",
@@ -69,6 +76,7 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--predictions") a.predictions_path = value();
     else if (flag == "--epochs") a.epochs = std::stoi(value());
     else if (flag == "--scalar-cap") a.scalar_cap = true;
+    else if (flag == "--precision") a.precision = value();
     else usage(argv[0]);
   }
   return a;
@@ -137,8 +145,14 @@ int cmd_train(const Args& a) {
                a.machine.c_str(), a.scenario.c_str(), report.epochs_run,
                report.seconds, report.train_accuracy);
 
+  // Stamp the preferred serving tier into the artifact ("serve.precision"):
+  // loaders that don't override precision will serve at this tier.
+  if (!a.precision.empty())
+    tuner.set_serve_precision(precision_for(a.precision));
   tuner.save(a.model_path);
-  std::fprintf(stderr, "saved artifact -> %s\n", a.model_path.c_str());
+  std::fprintf(stderr, "saved artifact -> %s (serve precision %s)\n",
+               a.model_path.c_str(),
+               nn::precision_name(tuner.serve_precision()));
 
   serve::InferenceEngine engine(std::move(tuner));
   dump_to(engine, a.predictions_path);
@@ -171,6 +185,7 @@ int cmd_info(const Args& a) {
   for (int h : art.head_sizes) std::printf(" %d", h);
   std::printf("\nextra features: %d\n", art.extra_features);
   std::printf("counter stats: %zu\n", art.counter_mean.size());
+  std::printf("serve precision: %s\n", nn::precision_name(art.serve_precision));
   std::size_t weights = 0;
   for (const auto& name : art.net_weights.names())
     weights += art.net_weights.get(name).size();
