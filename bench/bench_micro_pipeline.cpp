@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <utility>
@@ -25,6 +26,7 @@
 
 #include "common/latency_histogram.hpp"
 #include "core/baselines.hpp"
+#include "core/config_search.hpp"
 #include "core/measurement_db.hpp"
 #include "core/pnp_tuner.hpp"
 #include "core/tuner_artifact.hpp"
@@ -119,6 +121,56 @@ void BM_ExhaustiveOracleSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExhaustiveOracleSweep);
+
+void BM_BeamSearch(benchmark::State& state, int width) {
+  // Model-guided decode over the extended, constraint-carrying space
+  // (haswell: 2164 joint classes, 3 validity rules) in EDP mode — the
+  // largest search the serving path ever runs. width < 0 scans the full
+  // joint class grid (the exhaustive test oracle), width == 0 runs the
+  // staged beam unpruned (exact), small widths show the sub-linear cost
+  // the production fallback actually pays.
+  static const core::SearchSpace space =
+      core::SearchSpace::extended_for_machine(hw::MachineModel::haswell());
+  static const std::vector<double> logits = [] {
+    std::vector<double> v;
+    std::uint64_t x = 0x2545f4914f6cdd1dull;  // deterministic pseudo-logits
+    const int n = space.num_cap_classes() + space.num_thread_classes() +
+                  space.num_schedule_classes() + space.num_chunk_classes();
+    for (int i = 0; i < n; ++i) {
+      x ^= x >> 12;
+      x ^= x << 25;
+      x ^= x >> 27;
+      v.push_back(static_cast<double>((x * 0x2545f4914f6cdd1dull) >> 11) *
+                      0x1p-52 -
+                  1.0);
+    }
+    // Plant the per-head argmax on (lowest cap, highest thread count) —
+    // a tuple the thread-per-watt rule prunes — so search_edp cannot take
+    // its O(1) fast path and the rows below time the staged beam itself.
+    v[0] = 8.0;
+    v[static_cast<std::size_t>(space.num_cap_classes() +
+                               space.num_thread_classes()) -
+      1] = 8.0;
+    return v;
+  }();
+  const std::span<const double> all(logits);
+  const std::size_t np = static_cast<std::size_t>(space.num_cap_classes());
+  const std::size_t nt = static_cast<std::size_t>(space.num_thread_classes());
+  const std::size_t ns = static_cast<std::size_t>(space.num_schedule_classes());
+  const std::size_t nc = static_cast<std::size_t>(space.num_chunk_classes());
+  const auto cap = all.subspan(0, np), thr = all.subspan(np, nt),
+             sch = all.subspan(np + nt, ns), chk = all.subspan(np + nt + ns, nc);
+  for (auto _ : state) {
+    const core::SearchChoice c =
+        width < 0 ? core::exhaustive_edp<double>(space, cap, thr, sch, chk)
+                  : core::search_edp<double>(space, cap, thr, sch, chk, width);
+    benchmark::DoNotOptimize(c.score);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_BeamSearch, exhaustive, -1);
+BENCHMARK_CAPTURE(BM_BeamSearch, full_width, 0);
+BENCHMARK_CAPTURE(BM_BeamSearch, width4, 4);
 
 nn::RgcnNetConfig table2_config(int vocab_size) {
   nn::RgcnNetConfig cfg;

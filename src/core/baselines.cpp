@@ -290,11 +290,12 @@ BaselineChoice run_opentuner(const sim::Simulator& sim,
     const int cap = uni.joint ? idx / per_cap : uni.fixed_cap_index;
     const int rem = uni.joint ? idx % per_cap : idx;
     if (rem >= grid) return false;  // default point has no axes
-    ax = {rem / (ns * nc), (rem / nc) % ns, rem % nc, cap};
+    const SearchSpace::GridAxes g = space.omp_axes(rem);
+    ax = {g.thread, g.sched, g.chunk, cap};
     return true;
   };
   auto from_axes = [&](const std::array<int, 4>& ax) {
-    const int rem = (ax[0] * ns + ax[1]) * nc + ax[2];
+    const int rem = space.omp_index_from_axes({ax[0], ax[1], ax[2]});
     return uni.joint ? ax[3] * per_cap + rem : rem;
   };
   auto clampi = [](int v, int lo, int hi) { return std::clamp(v, lo, hi); };

@@ -1,0 +1,345 @@
+#include "core/config_search.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/tuner_artifact.hpp"
+#include "nn/loss.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+/// A partially expanded class tuple. Unexpanded dimensions are -1.
+struct Partial {
+  double score = 0.0;
+  int cap = -1;
+  int thr = -1;
+  int sch = -1;
+  int chk = -1;
+};
+
+/// The deterministic ordering: score descending, then lexicographic
+/// ascending class tuple — identical to `nn::argmax_index`'s first-max-wins
+/// protocol, so an unconstrained full-width beam reproduces the historic
+/// independent-argmax decode exactly.
+bool better(const Partial& a, const Partial& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.cap != b.cap) return a.cap < b.cap;
+  if (a.thr != b.thr) return a.thr < b.thr;
+  if (a.sch != b.sch) return a.sch < b.sch;
+  return a.chk < b.chk;
+}
+
+void trim(std::vector<Partial>& beam, int width) {
+  std::sort(beam.begin(), beam.end(), better);
+  if (width > 0 && beam.size() > static_cast<std::size_t>(width))
+    beam.resize(static_cast<std::size_t>(width));
+}
+
+/// Class tuple of the machine default configuration — the guaranteed
+/// fallback (always constraint-valid, always representable as a label).
+template <typename T>
+SearchChoice default_choice(const SearchSpace& space, int cap_cls,
+                            double cap_base_score,
+                            std::span<const T> thread_logits,
+                            std::span<const T> sched_logits,
+                            std::span<const T> chunk_logits) {
+  const sim::OmpConfig def = space.default_config();
+  SearchChoice c;
+  c.cap_cls = cap_cls;
+  c.thread_cls = space.thread_class(def.threads);
+  for (std::size_t i = 0; i < space.schedule_values().size(); ++i)
+    if (space.schedule_values()[i] == def.schedule)
+      c.sched_cls = static_cast<int>(i);
+  c.chunk_cls = 0;
+  c.score = cap_base_score +
+            static_cast<double>(thread_logits[static_cast<std::size_t>(c.thread_cls)]);
+  c.score += static_cast<double>(sched_logits[static_cast<std::size_t>(c.sched_cls)]);
+  c.score += static_cast<double>(chunk_logits[static_cast<std::size_t>(c.chunk_cls)]);
+  c.used_fallback = true;
+  return c;
+}
+
+/// Shared beam core. For power mode `cap_logits` is empty and the single
+/// seed partial carries `fixed_cap_w` (cap_cls stays -1 in the result).
+template <typename T>
+SearchChoice beam_run(const SearchSpace& space, bool edp, double fixed_cap_w,
+                      std::span<const T> cap_logits,
+                      std::span<const T> thread_logits,
+                      std::span<const T> sched_logits,
+                      std::span<const T> chunk_logits, int beam_width) {
+  std::vector<Partial> beam;
+  if (edp) {
+    for (std::size_t i = 0; i < cap_logits.size(); ++i)
+      beam.push_back({static_cast<double>(cap_logits[i]),
+                      static_cast<int>(i), -1, -1, -1});
+    trim(beam, beam_width);
+  } else {
+    beam.push_back({0.0, -1, -1, -1, -1});
+  }
+
+  const std::vector<int>& threads = space.thread_values();
+  const int def_threads = space.default_config().threads;
+  std::vector<Partial> next;
+  // Thread stage: thread-only rules are checkable here, so prune early.
+  // The class holding the default thread count survives regardless (the
+  // default config is exempt); its invalid siblings die at the chunk stage.
+  for (const Partial& p : beam) {
+    const double cap_w =
+        edp ? space.power_caps()[static_cast<std::size_t>(p.cap)] : fixed_cap_w;
+    const int tmax = space.max_valid_threads(cap_w);
+    for (std::size_t i = 0; i < thread_logits.size(); ++i) {
+      const int t = threads[i];
+      if (t > tmax && t != def_threads) continue;
+      next.push_back({p.score + static_cast<double>(thread_logits[i]), p.cap,
+                      static_cast<int>(i), -1, -1});
+    }
+  }
+  beam.swap(next);
+  trim(beam, beam_width);
+
+  next.clear();
+  for (const Partial& p : beam)
+    for (std::size_t i = 0; i < sched_logits.size(); ++i)
+      next.push_back({p.score + static_cast<double>(sched_logits[i]), p.cap,
+                      p.thr, static_cast<int>(i), -1});
+  beam.swap(next);
+  trim(beam, beam_width);
+
+  // Chunk stage completes the tuple: this is where the constraint layer
+  // filters (schedule- and product-rules need the full config).
+  next.clear();
+  for (const Partial& p : beam) {
+    const double cap_w =
+        edp ? space.power_caps()[static_cast<std::size_t>(p.cap)] : fixed_cap_w;
+    for (std::size_t i = 0; i < chunk_logits.size(); ++i) {
+      const sim::OmpConfig cfg = space.config_from_classes(
+          p.thr, p.sch, static_cast<int>(i));
+      if (!space.is_valid(cfg, cap_w)) continue;
+      next.push_back({p.score + static_cast<double>(chunk_logits[i]), p.cap,
+                      p.thr, p.sch, static_cast<int>(i)});
+    }
+  }
+
+  if (next.empty()) {
+    // Pruning emptied the beam: serve the machine default (always valid).
+    if (edp) {
+      SearchChoice best{};
+      bool first = true;
+      for (std::size_t i = 0; i < cap_logits.size(); ++i) {
+        SearchChoice c = default_choice(space, static_cast<int>(i),
+                                        static_cast<double>(cap_logits[i]),
+                                        thread_logits, sched_logits,
+                                        chunk_logits);
+        if (first || c.score > best.score) best = c;
+        first = false;
+      }
+      return best;
+    }
+    return default_choice(space, -1, 0.0, thread_logits, sched_logits,
+                          chunk_logits);
+  }
+
+  const Partial& best = *std::min_element(
+      next.begin(), next.end(),
+      [](const Partial& a, const Partial& b) { return better(a, b); });
+  return {best.cap, best.thr, best.sch, best.chk, best.score, false};
+}
+
+}  // namespace
+
+template <typename T>
+SearchChoice search_power(const SearchSpace& space, double cap_w,
+                          std::span<const T> thread_logits,
+                          std::span<const T> sched_logits,
+                          std::span<const T> chunk_logits, int beam_width) {
+  PNP_CHECK(static_cast<int>(thread_logits.size()) == space.num_thread_classes());
+  PNP_CHECK(static_cast<int>(sched_logits.size()) == space.num_schedule_classes());
+  PNP_CHECK(static_cast<int>(chunk_logits.size()) == space.num_chunk_classes());
+  // Fast path: the per-head argmax tuple attains the maximum joint sum, so
+  // if the constraint layer admits it, it is the joint argmax — no search.
+  const int ti = nn::argmax_index(thread_logits);
+  const int si = nn::argmax_index(sched_logits);
+  const int ki = nn::argmax_index(chunk_logits);
+  if (space.is_valid(space.config_from_classes(ti, si, ki), cap_w)) {
+    double score = static_cast<double>(thread_logits[static_cast<std::size_t>(ti)]);
+    score += static_cast<double>(sched_logits[static_cast<std::size_t>(si)]);
+    score += static_cast<double>(chunk_logits[static_cast<std::size_t>(ki)]);
+    return {-1, ti, si, ki, score, false};
+  }
+  return beam_run<T>(space, /*edp=*/false, cap_w, {}, thread_logits,
+                     sched_logits, chunk_logits, beam_width);
+}
+
+template <typename T>
+SearchChoice search_edp(const SearchSpace& space, std::span<const T> cap_logits,
+                        std::span<const T> thread_logits,
+                        std::span<const T> sched_logits,
+                        std::span<const T> chunk_logits, int beam_width) {
+  PNP_CHECK(static_cast<int>(cap_logits.size()) == space.num_cap_classes());
+  PNP_CHECK(static_cast<int>(thread_logits.size()) == space.num_thread_classes());
+  PNP_CHECK(static_cast<int>(sched_logits.size()) == space.num_schedule_classes());
+  PNP_CHECK(static_cast<int>(chunk_logits.size()) == space.num_chunk_classes());
+  const int ci = nn::argmax_index(cap_logits);
+  const int ti = nn::argmax_index(thread_logits);
+  const int si = nn::argmax_index(sched_logits);
+  const int ki = nn::argmax_index(chunk_logits);
+  const double cap_w = space.power_caps()[static_cast<std::size_t>(ci)];
+  if (space.is_valid(space.config_from_classes(ti, si, ki), cap_w)) {
+    double score = static_cast<double>(cap_logits[static_cast<std::size_t>(ci)]);
+    score += static_cast<double>(thread_logits[static_cast<std::size_t>(ti)]);
+    score += static_cast<double>(sched_logits[static_cast<std::size_t>(si)]);
+    score += static_cast<double>(chunk_logits[static_cast<std::size_t>(ki)]);
+    return {ci, ti, si, ki, score, false};
+  }
+  return beam_run<T>(space, /*edp=*/true, 0.0, cap_logits, thread_logits,
+                     sched_logits, chunk_logits, beam_width);
+}
+
+template <typename T>
+SearchChoice exhaustive_power(const SearchSpace& space, double cap_w,
+                              std::span<const T> thread_logits,
+                              std::span<const T> sched_logits,
+                              std::span<const T> chunk_logits) {
+  PNP_CHECK(static_cast<int>(thread_logits.size()) == space.num_thread_classes());
+  PNP_CHECK(static_cast<int>(sched_logits.size()) == space.num_schedule_classes());
+  PNP_CHECK(static_cast<int>(chunk_logits.size()) == space.num_chunk_classes());
+  SearchChoice best{};
+  bool found = false;
+  for (std::size_t t = 0; t < thread_logits.size(); ++t) {
+    const double st = 0.0 + static_cast<double>(thread_logits[t]);
+    for (std::size_t s = 0; s < sched_logits.size(); ++s) {
+      const double ss = st + static_cast<double>(sched_logits[s]);
+      for (std::size_t k = 0; k < chunk_logits.size(); ++k) {
+        const sim::OmpConfig cfg = space.config_from_classes(
+            static_cast<int>(t), static_cast<int>(s), static_cast<int>(k));
+        if (!space.is_valid(cfg, cap_w)) continue;
+        const double sk = ss + static_cast<double>(chunk_logits[k]);
+        if (!found || sk > best.score) {
+          best = {-1, static_cast<int>(t), static_cast<int>(s),
+                  static_cast<int>(k), sk, false};
+          found = true;
+        }
+      }
+    }
+  }
+  if (!found)
+    return default_choice(space, -1, 0.0, thread_logits, sched_logits,
+                          chunk_logits);
+  return best;
+}
+
+template <typename T>
+SearchChoice exhaustive_edp(const SearchSpace& space,
+                            std::span<const T> cap_logits,
+                            std::span<const T> thread_logits,
+                            std::span<const T> sched_logits,
+                            std::span<const T> chunk_logits) {
+  PNP_CHECK(static_cast<int>(cap_logits.size()) == space.num_cap_classes());
+  SearchChoice best{};
+  bool found = false;
+  for (std::size_t c = 0; c < cap_logits.size(); ++c) {
+    const double cap_w = space.power_caps()[c];
+    const double sc = static_cast<double>(cap_logits[c]);
+    for (std::size_t t = 0; t < thread_logits.size(); ++t) {
+      const double st = sc + static_cast<double>(thread_logits[t]);
+      for (std::size_t s = 0; s < sched_logits.size(); ++s) {
+        const double ss = st + static_cast<double>(sched_logits[s]);
+        for (std::size_t k = 0; k < chunk_logits.size(); ++k) {
+          const sim::OmpConfig cfg = space.config_from_classes(
+              static_cast<int>(t), static_cast<int>(s), static_cast<int>(k));
+          if (!space.is_valid(cfg, cap_w)) continue;
+          const double sk = ss + static_cast<double>(chunk_logits[k]);
+          if (!found || sk > best.score) {
+            best = {static_cast<int>(c), static_cast<int>(t),
+                    static_cast<int>(s), static_cast<int>(k), sk, false};
+            found = true;
+          }
+        }
+      }
+    }
+  }
+  if (!found) {
+    SearchChoice fb{};
+    bool first = true;
+    for (std::size_t c = 0; c < cap_logits.size(); ++c) {
+      SearchChoice cand = default_choice(space, static_cast<int>(c),
+                                         static_cast<double>(cap_logits[c]),
+                                         thread_logits, sched_logits,
+                                         chunk_logits);
+      if (first || cand.score > fb.score) fb = cand;
+      first = false;
+    }
+    return fb;
+  }
+  return best;
+}
+
+template <typename T>
+int dense_argmax_valid(const SearchSpace& space, std::span<const T> logits,
+                       bool edp_scenario, double cap_w) {
+  int best = -1;
+  double best_score = 0.0;
+  for (int flat = 0; flat < static_cast<int>(logits.size()); ++flat) {
+    const TunerClasses c = tuner_classes_from_flat(space, flat, edp_scenario);
+    const sim::OmpConfig cfg =
+        space.config_from_classes(c.thread, c.sched, c.chunk);
+    const double w = edp_scenario
+                         ? space.power_caps()[static_cast<std::size_t>(c.cap)]
+                         : cap_w;
+    if (!space.is_valid(cfg, w)) continue;
+    const double score =
+        static_cast<double>(logits[static_cast<std::size_t>(flat)]);
+    if (best < 0 || score > best_score) {
+      best = flat;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+// The serving layer scores at both precision tiers.
+template SearchChoice search_power<double>(const SearchSpace&, double,
+                                           std::span<const double>,
+                                           std::span<const double>,
+                                           std::span<const double>, int);
+template SearchChoice search_power<float>(const SearchSpace&, double,
+                                          std::span<const float>,
+                                          std::span<const float>,
+                                          std::span<const float>, int);
+template SearchChoice search_edp<double>(const SearchSpace&,
+                                         std::span<const double>,
+                                         std::span<const double>,
+                                         std::span<const double>,
+                                         std::span<const double>, int);
+template SearchChoice search_edp<float>(const SearchSpace&,
+                                        std::span<const float>,
+                                        std::span<const float>,
+                                        std::span<const float>,
+                                        std::span<const float>, int);
+template SearchChoice exhaustive_power<double>(const SearchSpace&, double,
+                                               std::span<const double>,
+                                               std::span<const double>,
+                                               std::span<const double>);
+template SearchChoice exhaustive_power<float>(const SearchSpace&, double,
+                                              std::span<const float>,
+                                              std::span<const float>,
+                                              std::span<const float>);
+template SearchChoice exhaustive_edp<double>(const SearchSpace&,
+                                             std::span<const double>,
+                                             std::span<const double>,
+                                             std::span<const double>,
+                                             std::span<const double>);
+template SearchChoice exhaustive_edp<float>(const SearchSpace&,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<const float>);
+template int dense_argmax_valid<double>(const SearchSpace&,
+                                        std::span<const double>, bool, double);
+template int dense_argmax_valid<float>(const SearchSpace&,
+                                       std::span<const float>, bool, double);
+
+}  // namespace pnp::core

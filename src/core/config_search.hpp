@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file config_search.hpp
+/// Model-guided search over the factored head logits.
+///
+/// A factored model scores a joint configuration as the SUM of its
+/// per-dimension head logits (cap + thread + schedule + chunk). Because
+/// that sum is maximized by the per-head argmax tuple, the production
+/// decode is a two-step protocol:
+///
+///   1. Fast path: take the per-head argmax tuple (exactly the historic
+///      independent-argmax decode). If the constraint layer admits it, it
+///      IS the joint argmax — done. On constraint-free spaces (the paper's
+///      Table I grids) this is bit-identical to the pre-refactor behavior
+///      and costs nothing extra.
+///   2. Beam search fallback: only when the argmax tuple is pruned. The
+///      beam expands dimensions in the fixed order cap → thread →
+///      schedule → chunk, keeps the `beam_width` best partial sums at
+///      each stage (width <= 0 keeps everything), prunes thread classes
+///      a thread-only rule forbids at the query's cap, filters complete
+///      tuples through `SearchSpace::is_valid`, and falls back to the
+///      machine default configuration if pruning empties the beam (the
+///      default is always valid, so serving can never fail to answer).
+///
+/// Ties break deterministically: higher score first, then lexicographic
+/// ascending (cap, thread, schedule, chunk) class order — the same "first
+/// maximum wins" protocol as `nn::argmax_index`. `exhaustive_*` scan the
+/// entire class grid with the same scoring and tie-break and are the test
+/// oracle: beam search with width >= the space size must match them
+/// bit-for-bit.
+
+#include <span>
+
+#include "core/search_space.hpp"
+
+namespace pnp::core {
+
+/// Outcome of a model-guided search: the chosen class tuple, its score
+/// (sum of the per-head logits, summed in cap→thread→sched→chunk order),
+/// and whether the constraint layer forced the default-config fallback.
+struct SearchChoice {
+  int cap_cls = 0;
+  int thread_cls = 0;
+  int sched_cls = 0;
+  int chunk_cls = 0;
+  double score = 0.0;
+  bool used_fallback = false;
+};
+
+/// Power mode: the cap is part of the query, so only the thread/schedule/
+/// chunk heads are searched. `cap_w` feeds the constraint layer.
+template <typename T>
+SearchChoice search_power(const SearchSpace& space, double cap_w,
+                          std::span<const T> thread_logits,
+                          std::span<const T> sched_logits,
+                          std::span<const T> chunk_logits, int beam_width);
+
+/// EDP mode: the cap head is searched jointly with the config heads.
+template <typename T>
+SearchChoice search_edp(const SearchSpace& space,
+                        std::span<const T> cap_logits,
+                        std::span<const T> thread_logits,
+                        std::span<const T> sched_logits,
+                        std::span<const T> chunk_logits, int beam_width);
+
+/// Exhaustive oracles: scan every class tuple in lexicographic order,
+/// keep the best constraint-valid one (strictly-greater update == the
+/// tie-break protocol above). O(joint class grid) — tests and benchmarks.
+template <typename T>
+SearchChoice exhaustive_power(const SearchSpace& space, double cap_w,
+                              std::span<const T> thread_logits,
+                              std::span<const T> sched_logits,
+                              std::span<const T> chunk_logits);
+
+template <typename T>
+SearchChoice exhaustive_edp(const SearchSpace& space,
+                            std::span<const T> cap_logits,
+                            std::span<const T> thread_logits,
+                            std::span<const T> sched_logits,
+                            std::span<const T> chunk_logits);
+
+/// Dense (one-logit-per-config) layout: validity-filtered argmax over the
+/// flat class grid. Strictly-greater updates in index order — the same
+/// first-max-wins tie-break as `nn::argmax_index`, so on an unconstrained
+/// space this equals argmax_index(logits) exactly. For EDP layouts the
+/// flat index is cap-majored and `cap_w` is ignored. Returns -1 when the
+/// constraint layer prunes every class (callers fall back to the default
+/// config).
+template <typename T>
+int dense_argmax_valid(const SearchSpace& space, std::span<const T> logits,
+                       bool edp_scenario, double cap_w);
+
+}  // namespace pnp::core

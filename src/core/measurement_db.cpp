@@ -43,15 +43,23 @@ const sim::ExecutionResult& MeasurementDb::at_default(int region, int cap) const
 }
 
 int MeasurementDb::best_candidate_by_time(int region, int cap) const {
-  int best = 0;
-  double best_t = at(region, cap, 0).seconds;
-  for (int c = 1; c < per_cap_; ++c) {
+  // The oracle respects the constraint layer: invalid candidates are not
+  // runnable, so they can be neither the answer nor a training label. The
+  // default candidate is always valid, so a best always exists. On an
+  // unconstrained space (Table I) every candidate passes and this is the
+  // historic lowest-index-tie scan unchanged.
+  const double cap_w = space_.power_caps()[static_cast<std::size_t>(cap)];
+  int best = -1;
+  double best_t = 0.0;
+  for (int c = 0; c < per_cap_; ++c) {
+    if (!space_.is_valid(space_.candidate(c), cap_w)) continue;
     const double t = at(region, cap, c).seconds;
-    if (t < best_t) {
+    if (best < 0 || t < best_t) {
       best_t = t;
       best = c;
     }
   }
+  PNP_CHECK(best >= 0);
   return best;
 }
 
@@ -61,17 +69,21 @@ double MeasurementDb::best_time(int region, int cap) const {
 
 MeasurementDb::JointBest MeasurementDb::best_by_edp(int region) const {
   JointBest jb;
-  jb.edp = at(region, 0, 0).edp();
+  bool found = false;
   for (int k = 0; k < num_caps(); ++k) {
+    const double cap_w = space_.power_caps()[static_cast<std::size_t>(k)];
     for (int c = 0; c < per_cap_; ++c) {
+      if (!space_.is_valid(space_.candidate(c), cap_w)) continue;
       const double e = at(region, k, c).edp();
-      if (e < jb.edp) {
+      if (!found || e < jb.edp) {
         jb.edp = e;
         jb.cap_index = k;
         jb.candidate = c;
+        found = true;
       }
     }
   }
+  PNP_CHECK(found);
   return jb;
 }
 

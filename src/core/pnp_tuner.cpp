@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/config_search.hpp"
 #include "core/tuner_artifact.hpp"
 #include "ir/extract.hpp"
 #include "nn/loss.hpp"
@@ -94,27 +95,16 @@ std::vector<double> PnpTuner::make_extra(int region,
 std::vector<int> PnpTuner::power_labels(int region, int cap) const {
   const int c = db_.best_candidate_by_time(region, cap);
   const sim::OmpConfig cfg = db_.space().candidate(c);
-  const SearchSpace& s = db_.space();
-  const int ti = s.thread_class(cfg.threads);
-  const int si = static_cast<int>(cfg.schedule);
-  const int ci = s.chunk_class(cfg.chunk);
-  if (opt_.factored_heads) return {ti, si, ci};
-  return {(ti * s.num_schedule_classes() + si) * s.num_chunk_classes() + ci};
+  return tuner_labels(db_.space(), tuner_classes_for(db_.space(), cfg, cap),
+                      opt_.factored_heads, /*edp_scenario=*/false);
 }
 
 std::vector<int> PnpTuner::edp_labels(int region) const {
   const auto jb = db_.best_by_edp(region);
   const sim::OmpConfig cfg = db_.space().candidate(jb.candidate);
-  const SearchSpace& s = db_.space();
-  const int ti = s.thread_class(cfg.threads);
-  const int si = static_cast<int>(cfg.schedule);
-  const int ci = s.chunk_class(cfg.chunk);
-  if (opt_.factored_heads) return {jb.cap_index, ti, si, ci};
-  const int omp =
-      (ti * s.num_schedule_classes() + si) * s.num_chunk_classes() + ci;
-  const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
-                      s.num_chunk_classes();
-  return {jb.cap_index * per_cap + omp};
+  return tuner_labels(db_.space(),
+                      tuner_classes_for(db_.space(), cfg, jb.cap_index),
+                      opt_.factored_heads, /*edp_scenario=*/true);
 }
 
 sim::OmpConfig PnpTuner::decode_config(std::span<const int> preds,
@@ -125,16 +115,68 @@ sim::OmpConfig PnpTuner::decode_config(std::span<const int> preds,
                                  preds[static_cast<std::size_t>(base) + 1],
                                  preds[static_cast<std::size_t>(base) + 2]);
   }
-  int flat = preds[0];
-  if (mode_ == Mode::Edp) {
-    const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
-                        s.num_chunk_classes();
-    flat %= per_cap;
+  const TunerClasses c =
+      tuner_classes_from_flat(s, preds[0], mode_ == Mode::Edp);
+  return s.config_from_classes(c.thread, c.sched, c.chunk);
+}
+
+sim::OmpConfig PnpTuner::decode_power_logits(std::span<const double> logits,
+                                             double cap_w,
+                                             int beam_width) const {
+  const SearchSpace& s = db_.space();
+  if (opt_.factored_heads) {
+    const int nt = s.num_thread_classes(), ns = s.num_schedule_classes();
+    const int nc = s.num_chunk_classes();
+    const auto choice = search_power<double>(
+        s, cap_w, logits.subspan(0, static_cast<std::size_t>(nt)),
+        logits.subspan(static_cast<std::size_t>(nt),
+                       static_cast<std::size_t>(ns)),
+        logits.subspan(static_cast<std::size_t>(nt + ns),
+                       static_cast<std::size_t>(nc)),
+        beam_width);
+    return s.config_from_classes(choice.thread_cls, choice.sched_cls,
+                                 choice.chunk_cls);
   }
-  const int ci = flat % s.num_chunk_classes();
-  const int si = (flat / s.num_chunk_classes()) % s.num_schedule_classes();
-  const int ti = flat / (s.num_chunk_classes() * s.num_schedule_classes());
-  return s.config_from_classes(ti, si, ci);
+  const int flat = dense_argmax_valid(s, logits, /*edp=*/false, cap_w);
+  if (flat < 0) return s.default_config();
+  const TunerClasses c = tuner_classes_from_flat(s, flat, /*edp=*/false);
+  return s.config_from_classes(c.thread, c.sched, c.chunk);
+}
+
+PnpTuner::JointChoice PnpTuner::decode_edp_logits(
+    std::span<const double> logits, int beam_width) const {
+  const SearchSpace& s = db_.space();
+  JointChoice jc;
+  if (opt_.factored_heads) {
+    const int np = s.num_cap_classes(), nt = s.num_thread_classes();
+    const int ns = s.num_schedule_classes(), nc = s.num_chunk_classes();
+    const auto choice = search_edp<double>(
+        s, logits.subspan(0, static_cast<std::size_t>(np)),
+        logits.subspan(static_cast<std::size_t>(np),
+                       static_cast<std::size_t>(nt)),
+        logits.subspan(static_cast<std::size_t>(np + nt),
+                       static_cast<std::size_t>(ns)),
+        logits.subspan(static_cast<std::size_t>(np + nt + ns),
+                       static_cast<std::size_t>(nc)),
+        beam_width);
+    jc.cap_index = choice.cap_cls;
+    jc.cfg = s.config_from_classes(choice.thread_cls, choice.sched_cls,
+                                   choice.chunk_cls);
+    return jc;
+  }
+  int flat = dense_argmax_valid(s, logits, /*edp=*/true, 0.0);
+  if (flat < 0) {
+    // Everything pruned: serve the default at the best-scoring default
+    // slot's cap — scan the per-cap default logits is overkill here, the
+    // highest cap (TDP, least constrained) is the canonical fallback.
+    jc.cap_index = s.num_cap_classes() - 1;
+    jc.cfg = s.default_config();
+    return jc;
+  }
+  const TunerClasses c = tuner_classes_from_flat(s, flat, /*edp=*/true);
+  jc.cap_index = c.cap;
+  jc.cfg = s.config_from_classes(c.thread, c.sched, c.chunk);
+  return jc;
 }
 
 std::vector<int> PnpTuner::head_layout(Mode mode) const {
@@ -259,9 +301,12 @@ sim::OmpConfig PnpTuner::predict_power(int region, int cap_index) const {
   PNP_CHECK_MSG(mode_ == Mode::Power && net_ != nullptr,
                 "train_power_scenario must run first");
   const auto extra = make_extra(region, cap_index, std::nullopt);
-  const auto preds = nn::predict_labels(
-      *net_, tensors_[static_cast<std::size_t>(region)], extra);
-  return decode_config(preds, 0);
+  const auto dc =
+      net_->forward(tensors_[static_cast<std::size_t>(region)], extra);
+  return decode_power_logits(
+      dc.logits,
+      db_.space().power_caps()[static_cast<std::size_t>(cap_index)],
+      /*beam_width=*/0);
 }
 
 sim::OmpConfig PnpTuner::predict_power_at(int region, double cap_w) const {
@@ -270,29 +315,18 @@ sim::OmpConfig PnpTuner::predict_power_at(int region, double cap_w) const {
   PNP_CHECK_MSG(!opt_.cap_onehot,
                 "predicting at an arbitrary cap requires the scalar feature");
   const auto extra = make_extra(region, std::nullopt, cap_w);
-  const auto preds = nn::predict_labels(
-      *net_, tensors_[static_cast<std::size_t>(region)], extra);
-  return decode_config(preds, 0);
+  const auto dc =
+      net_->forward(tensors_[static_cast<std::size_t>(region)], extra);
+  return decode_power_logits(dc.logits, cap_w, /*beam_width=*/0);
 }
 
 PnpTuner::JointChoice PnpTuner::predict_edp(int region) const {
   PNP_CHECK_MSG(mode_ == Mode::Edp && net_ != nullptr,
                 "train_edp_scenario must run first");
   const auto extra = make_extra(region, std::nullopt, std::nullopt);
-  const auto preds = nn::predict_labels(
-      *net_, tensors_[static_cast<std::size_t>(region)], extra);
-  JointChoice jc;
-  if (opt_.factored_heads) {
-    jc.cap_index = preds[0];
-    jc.cfg = decode_config(preds, 1);
-  } else {
-    const SearchSpace& s = db_.space();
-    const int per_cap = s.num_thread_classes() * s.num_schedule_classes() *
-                        s.num_chunk_classes();
-    jc.cap_index = preds[0] / per_cap;
-    jc.cfg = decode_config(preds, 0);
-  }
-  return jc;
+  const auto dc =
+      net_->forward(tensors_[static_cast<std::size_t>(region)], extra);
+  return decode_edp_logits(dc.logits, /*beam_width=*/0);
 }
 
 TunerArtifact PnpTuner::to_artifact() const {

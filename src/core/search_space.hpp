@@ -17,6 +17,15 @@
 /// configuration is representable as a label (see DESIGN.md §2 on this
 /// deliberate deviation); the oracle and the baselines stay on the paper's
 /// 508-point space.
+///
+/// Beyond Table I the space is parameterized: `custom()` builds a space
+/// over arbitrary thread/chunk grids and `extended_for_machine()` builds a
+/// ≥2000-point grid with realistic validity constraints. Constraints are
+/// declarative `ConstraintRule` triples (kind, a, b) so they can be
+/// fingerprinted into the tuner artifact, and `is_valid()` is the single
+/// constraint layer every scorer (oracle, beam search, serving decode)
+/// consults. The machine's default configuration is always valid — it is
+/// the guaranteed fallback when pruning empties a cap's slice.
 
 #include <vector>
 
@@ -25,10 +34,50 @@
 
 namespace pnp::core {
 
+/// One declarative validity constraint. Rules are (kind, a, b) triples of
+/// plain numbers — no callbacks — so a space's constraint set can be
+/// serialized verbatim into the artifact fingerprint and compared on load.
+struct ConstraintRule {
+  enum class Kind : int {
+    /// threads <= a.
+    kMaxThreads = 0,
+    /// threads <= a * cap_w: high thread counts are invalid under tight
+    /// power caps (they would immediately throttle).
+    kMaxThreadsPerWatt = 1,
+    /// schedule index == int(a) and chunk != 0 implies chunk >= b:
+    /// fine-grained chunks under dynamic scheduling thrash the runtime.
+    kMinChunkForSchedule = 2,
+    /// threads * chunk <= a (chunk != 0): oversubscribed iteration blocks.
+    kMaxChunkThreadProduct = 3,
+  };
+  Kind kind = Kind::kMaxThreads;
+  double a = 0.0;
+  double b = 0.0;
+
+  friend bool operator==(const ConstraintRule&, const ConstraintRule&) = default;
+};
+
+/// Number of rule kinds — loaders reject fingerprints outside [0, count).
+inline constexpr int kNumConstraintKinds = 4;
+
 class SearchSpace {
  public:
   /// Table I values for one of the two machines (keyed on machine name).
   static SearchSpace for_machine(const hw::MachineModel& m);
+
+  /// Extended constraint-carrying grid for the same machine: ~12 thread
+  /// classes × 3 schedules × 15 chunk classes (+ default) over the Table I
+  /// caps — ≥2000 joint candidates — with the validity rules above.
+  static SearchSpace extended_for_machine(const hw::MachineModel& m);
+
+  /// Fully parameterized space. `default_cfg.threads` must be on the
+  /// thread grid and `default_cfg.chunk` must be 0 (the compiler-default
+  /// chunk class) so the default remains representable as a label.
+  static SearchSpace custom(std::vector<int> threads,
+                            std::vector<sim::Schedule> schedules,
+                            std::vector<int> chunks, std::vector<double> caps,
+                            sim::OmpConfig default_cfg,
+                            std::vector<ConstraintRule> constraints = {});
 
   const std::vector<int>& thread_values() const { return threads_; }
   const std::vector<sim::Schedule>& schedule_values() const { return schedules_; }
@@ -38,11 +87,43 @@ class SearchSpace {
   /// Thermal design power = the highest cap (no constraint).
   double tdp() const { return caps_.back(); }
 
+  // --- Constraint layer ---------------------------------------------------
+  const std::vector<ConstraintRule>& constraints() const { return constraints_; }
+  bool has_constraints() const { return !constraints_.empty(); }
+
+  /// True when `cfg` may run at power cap `cap_w`. The machine default is
+  /// always valid (the fallback guarantee); other configs must satisfy
+  /// every rule.
+  bool is_valid(const sim::OmpConfig& cfg, double cap_w) const;
+
+  /// Largest thread count on the grid that the thread-only rules admit at
+  /// `cap_w` (0 if they admit none). The default config is exempt from
+  /// pruning — `is_valid` handles that; this is the beam search's early
+  /// thread-stage bound.
+  int max_valid_threads(double cap_w) const;
+
+  /// Joint candidates removed by the constraint layer (0 on Table I
+  /// spaces, which carry no constraints).
+  int joint_invalid_count() const;
+
   // --- Per-cap OpenMP configuration grid (126 points) --------------------
   int num_omp_configs() const;
   sim::OmpConfig omp_config(int index) const;
   /// Index of a grid configuration; -1 if not on the grid.
   int omp_index(const sim::OmpConfig& cfg) const;
+
+  /// Axis positions of one grid configuration on the raw value grids
+  /// (thread-major layout: index == (thread * S + sched) * C + chunk).
+  /// The single codec behind omp_config/omp_index and the baselines'
+  /// neighborhood moves; the classifier's label layout (with its extra
+  /// default-chunk class) lives in the tuner_head_layout helper family.
+  struct GridAxes {
+    int thread = 0;
+    int sched = 0;
+    int chunk = 0;
+  };
+  GridAxes omp_axes(int index) const;
+  int omp_index_from_axes(const GridAxes& ax) const;
 
   /// The default OpenMP configuration for this machine.
   sim::OmpConfig default_config() const { return default_; }
@@ -81,6 +162,7 @@ class SearchSpace {
   std::vector<sim::Schedule> schedules_;
   std::vector<int> chunks_;
   std::vector<double> caps_;
+  std::vector<ConstraintRule> constraints_;
   sim::OmpConfig default_;
 };
 

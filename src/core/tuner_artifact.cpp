@@ -92,6 +92,31 @@ void TunerArtifact::set_space(const SearchSpace& space) {
   space_chunks = space.chunk_values();
   space_caps = space.power_caps();
   space_schedules = space.num_schedule_classes();
+  space_constraints.clear();
+  for (const ConstraintRule& r : space.constraints()) {
+    space_constraints.push_back(static_cast<double>(static_cast<int>(r.kind)));
+    space_constraints.push_back(r.a);
+    space_constraints.push_back(r.b);
+  }
+  has_constraint_fingerprint = true;
+}
+
+std::vector<ConstraintRule> TunerArtifact::constraint_rules() const {
+  PNP_CHECK_MSG(space_constraints.size() % 3 == 0,
+                "constraint fingerprint length must be a multiple of 3");
+  std::vector<ConstraintRule> rules;
+  for (std::size_t i = 0; i < space_constraints.size(); i += 3) {
+    const double kd = space_constraints[i];
+    PNP_CHECK_MSG(std::isfinite(kd) && kd == std::floor(kd) && kd >= 0.0 &&
+                      kd < static_cast<double>(kNumConstraintKinds),
+                  "unknown constraint kind in fingerprint: " << kd);
+    const double a = space_constraints[i + 1], b = space_constraints[i + 2];
+    PNP_CHECK_MSG(std::isfinite(a) && std::isfinite(b),
+                  "constraint parameters must be finite");
+    rules.push_back({static_cast<ConstraintRule::Kind>(static_cast<int>(kd)),
+                     a, b});
+  }
+  return rules;
 }
 
 graph::Vocabulary TunerArtifact::make_vocab() const {
@@ -153,6 +178,10 @@ StateDict TunerArtifact::to_state_dict() const {
   sd.put("space.chunks", to_doubles(space_chunks));
   sd.put("space.caps", space_caps);
   sd.put_int("space.schedules", space_schedules);
+  // v3: the constraint fingerprint is written even when empty — its
+  // presence is what distinguishes "trained on an unconstrained space"
+  // from "predates the constraint layer".
+  sd.put("space.constraints", space_constraints);
 
   for (const auto& name : net_weights.names())
     sd.put(kNetPrefix + name, net_weights.get(name));
@@ -270,6 +299,18 @@ TunerArtifact TunerArtifact::from_state_dict(const StateDict& sd) {
                   "unreasonable search-space fingerprint");
   }
 
+  if (version >= 3) {
+    // The constraint fingerprint is mandatory from v3 on; empty means the
+    // space genuinely carries no rules. Decoding validates triple shape,
+    // rule kinds, and finiteness, so a malformed fingerprint fails here
+    // with pnp::Error rather than mis-scoring at serve time.
+    a.space_constraints = sd.get("space.constraints");
+    PNP_CHECK_MSG(a.space_constraints.size() <= 3 * 4096,
+                  "unreasonable constraint fingerprint");
+    a.has_constraint_fingerprint = true;
+    (void)a.constraint_rules();
+  }
+
   const std::string prefix = kNetPrefix;
   for (const auto& name : sd.names())
     if (name.rfind(prefix, 0) == 0)
@@ -298,6 +339,55 @@ std::vector<int> tuner_head_layout(const SearchSpace& space,
             space.num_chunk_classes()};
   }
   return {edp_scenario ? space.num_cap_classes() * per_cap : per_cap};
+}
+
+TunerClasses tuner_classes_for(const SearchSpace& space,
+                               const sim::OmpConfig& cfg, int cap_index) {
+  TunerClasses c;
+  c.cap = cap_index;
+  c.thread = space.thread_class(cfg.threads);
+  c.sched = -1;
+  for (std::size_t i = 0; i < space.schedule_values().size(); ++i)
+    if (space.schedule_values()[i] == cfg.schedule) c.sched = static_cast<int>(i);
+  PNP_CHECK_MSG(c.sched >= 0, "schedule not in search space");
+  c.chunk = space.chunk_class(cfg.chunk);
+  return c;
+}
+
+int tuner_flat_class(const SearchSpace& space, const TunerClasses& c,
+                     bool edp_scenario) {
+  const int flat = (c.thread * space.num_schedule_classes() + c.sched) *
+                       space.num_chunk_classes() +
+                   c.chunk;
+  if (!edp_scenario) return flat;
+  const int per_cap = space.num_thread_classes() *
+                      space.num_schedule_classes() * space.num_chunk_classes();
+  return c.cap * per_cap + flat;
+}
+
+TunerClasses tuner_classes_from_flat(const SearchSpace& space, int flat,
+                                     bool edp_scenario) {
+  TunerClasses c;
+  if (edp_scenario) {
+    const int per_cap = space.num_thread_classes() *
+                        space.num_schedule_classes() *
+                        space.num_chunk_classes();
+    c.cap = flat / per_cap;
+    flat %= per_cap;
+  }
+  c.chunk = flat % space.num_chunk_classes();
+  c.sched = (flat / space.num_chunk_classes()) % space.num_schedule_classes();
+  c.thread = flat / (space.num_chunk_classes() * space.num_schedule_classes());
+  return c;
+}
+
+std::vector<int> tuner_labels(const SearchSpace& space, const TunerClasses& c,
+                              bool factored_heads, bool edp_scenario) {
+  if (factored_heads) {
+    if (edp_scenario) return {c.cap, c.thread, c.sched, c.chunk};
+    return {c.thread, c.sched, c.chunk};
+  }
+  return {tuner_flat_class(space, c, edp_scenario)};
 }
 
 int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
@@ -350,6 +440,22 @@ void validate_artifact(const TunerArtifact& art, const MeasurementDb& db) {
                   "artifact was trained against a different search space "
                   "(thread/chunk/cap grid mismatch) — cross-machine reuse "
                   "goes through import_gnn, not load");
+  }
+
+  // v3+ artifacts additionally pin the constraint layer: a model trained
+  // with one validity rule set must not silently serve a space with
+  // another (the labels themselves depend on what the oracle may pick).
+  // Pre-v3 artifacts never recorded rules; they may serve only
+  // unconstrained spaces (the legacy path).
+  if (art.has_constraint_fingerprint) {
+    PNP_CHECK_MSG(art.constraint_rules() == space.constraints(),
+                  "artifact was trained under a different constraint set "
+                  "than this search space carries");
+  } else {
+    PNP_CHECK_MSG(!space.has_constraints(),
+                  "pre-v3 artifact (no constraint fingerprint) cannot serve "
+                  "a constraint-carrying search space — retrain and save as "
+                  "v3");
   }
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/serialize.hpp"
+#include "core/search_space.hpp"
 #include "graph/vocab.hpp"
 #include "nn/matrix.hpp"
 
@@ -24,7 +25,6 @@ namespace pnp::core {
 
 struct PnpOptions;
 class MeasurementDb;
-class SearchSpace;
 
 /// Number of profiled hardware counters the dynamic variant appends to the
 /// dense input (paper §IV-B): instructions, L1/L2/L3 misses, branch
@@ -34,9 +34,13 @@ inline constexpr int kNumProfiledCounters = 5;
 struct TunerArtifact {
   /// Bumped when the artifact layout changes incompatibly; loaders reject
   /// files with a newer version than they understand. v2 added the
-  /// "space.*" search-space fingerprint; v1 files (no fingerprint) still
-  /// load, skipping the fingerprint check.
-  static constexpr std::int64_t kFormatVersion = 2;
+  /// "space.*" search-space fingerprint; v3 added the "space.constraints"
+  /// fingerprint (flat (kind, a, b) triples of the space's ConstraintRule
+  /// set). v1/v2 files still load onto the legacy path: no constraint
+  /// fingerprint recorded, so the constraint-set check is skipped and —
+  /// their spaces carrying no rules — scoring degenerates to the historic
+  /// exhaustive/argmax decode.
+  static constexpr std::int64_t kFormatVersion = 3;
   static constexpr const char* kKind = "pnp-tuner";
 
   /// Mirrors PnpTuner's private mode enum (0 = none is rejected on save).
@@ -67,6 +71,17 @@ struct TunerArtifact {
   std::vector<int> space_chunks;
   std::vector<double> space_caps;
   int space_schedules = 0;
+
+  /// Constraint-set fingerprint (format v3+): the space's ConstraintRule
+  /// list flattened to (kind, a, b) triples, in rule order. Present —
+  /// possibly empty — in every v3 file; absent (and empty here) for
+  /// v1/v2 files. `has_constraint_fingerprint` distinguishes "v3 with no
+  /// rules" from "pre-v3, never recorded".
+  std::vector<double> space_constraints;
+  bool has_constraint_fingerprint = false;
+
+  /// The fingerprint decoded back into rules (validated on load).
+  std::vector<ConstraintRule> constraint_rules() const;
 
   // PnpOptions is round-tripped field by field (see tuner_artifact.cpp);
   // the struct itself is stored here for symmetric save/load code.
@@ -116,6 +131,42 @@ struct TunerArtifact {
 std::vector<int> tuner_head_layout(const SearchSpace& space,
                                    bool factored_heads, bool edp_scenario);
 
+// --- Head-index math: the single source of truth ---------------------------
+// Everything that maps between configurations, per-dimension class tuples,
+// and the dense layout's flat class index goes through these helpers —
+// trainer label construction, prediction decode, serving, and the
+// baselines all share one arithmetic.
+
+/// One joint decision in class coordinates. `cap` is meaningful only for
+/// the EDP scenario (power queries carry the cap outside the label).
+struct TunerClasses {
+  int cap = 0;
+  int thread = 0;
+  int sched = 0;
+  int chunk = 0;
+
+  friend bool operator==(const TunerClasses&, const TunerClasses&) = default;
+};
+
+/// Class tuple of a configuration (+ cap index) under `space`. Throws if
+/// the config is off the class grid.
+TunerClasses tuner_classes_for(const SearchSpace& space,
+                               const sim::OmpConfig& cfg, int cap_index);
+
+/// Flat class index of a tuple in the dense one-logit-per-config layout
+/// ((thread · S + sched) · C + chunk, cap-majored for EDP).
+int tuner_flat_class(const SearchSpace& space, const TunerClasses& c,
+                     bool edp_scenario);
+
+/// Inverse of tuner_flat_class (power scenarios leave `cap` at 0).
+TunerClasses tuner_classes_from_flat(const SearchSpace& space, int flat,
+                                     bool edp_scenario);
+
+/// Training labels for a tuple, in head order for the given layout:
+/// factored → one label per head, dense → the single flat class.
+std::vector<int> tuner_labels(const SearchSpace& space, const TunerClasses& c,
+                              bool factored_heads, bool edp_scenario);
+
 /// Width of the dense classifier's extra-feature slot for a mode/options
 /// combination under a db with `num_caps` power caps.
 int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
@@ -123,8 +174,8 @@ int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
 
 /// Validate a loaded artifact against the measurement db it is about to
 /// serve: classifier head layout, extra-feature width, counter stats,
-/// train-cap indices, and (v2+ artifacts) the recorded search-space
-/// fingerprint must all agree with `db`. Throws pnp::Error on any
+/// train-cap indices, the (v2+) recorded search-space fingerprint, and
+/// the (v3+) constraint fingerprint must all agree with `db`. Throws pnp::Error on any
 /// mismatch; used by PnpTuner::load *before* any model state is built and
 /// by serve::TuningService::reload so a bad artifact can never displace a
 /// live model.

@@ -5,6 +5,8 @@
 #endif
 
 #include "common/error.hpp"
+#include "core/config_search.hpp"
+#include "core/tuner_artifact.hpp"
 #include "nn/loss.hpp"
 
 namespace pnp::serve {
@@ -51,9 +53,10 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 }  // namespace
 
 ModelState::ModelState(core::PnpTuner tuner,
-                       std::optional<nn::Precision> precision)
+                       std::optional<nn::Precision> precision, int beam_width)
     : tuner_(std::move(tuner)),
-      precision_(precision.value_or(tuner_.serve_precision())) {
+      precision_(precision.value_or(tuner_.serve_precision())),
+      beam_width_(beam_width) {
   PNP_CHECK_MSG(
       tuner_.net_ != nullptr && tuner_.mode_ != core::PnpTuner::Mode::None,
       "serving needs a trained or loaded tuner");
@@ -148,6 +151,10 @@ void ModelState::encode(int region, nn::RgcnNet::GnnCache& out) const {
 void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
                            std::optional<int> cap_index,
                            std::optional<double> cap_w, Scratch& s) const {
+  s.cap_w = cap_index.has_value()
+                ? tuner_.db_.space()
+                      .power_caps()[static_cast<std::size_t>(*cap_index)]
+                : cap_w.value_or(0.0);
   tuner_.fill_extra(region, cap_index, cap_w, s.extra);
   const nn::RgcnNet& net = *tuner_.net_;
   const nn::RgcnNetConfig& cfg = net.config();
@@ -182,6 +189,10 @@ void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
                            std::optional<int> cap_index,
                            std::optional<double> cap_w, Workspace& ws) const {
   ws.bind(*this);
+  ws.cap_w_ = cap_index.has_value()
+                  ? tuner_.db_.space()
+                        .power_caps()[static_cast<std::size_t>(*cap_index)]
+                  : cap_w.value_or(0.0);
   const nn::RgcnNet& net = *tuner_.net_;
   const nn::RgcnNetConfig& cfg = net.config();
   const int heads = static_cast<int>(cfg.head_sizes.size());
@@ -228,47 +239,134 @@ void ModelState::run_heads(const nn::RgcnNet::GnnCache& enc, int region,
 
 std::span<const int> ModelState::preds_of(const Workspace& ws) const {
   PNP_CHECK_MSG(ws.key_ != 0, "decode before run_heads on this workspace");
-  const std::size_t slot =
-      precision_ == nn::Precision::f64 ? kPreds64 : kPreds32;
+  const std::size_t slot = precision_ == nn::Precision::f64
+                               ? static_cast<std::size_t>(kPreds64)
+                               : static_cast<std::size_t>(kPreds32);
   return {ws.arena_.data<int>(slot), ws.arena_.count<int>(slot)};
 }
 
-sim::OmpConfig ModelState::decode_power_preds(
-    std::span<const int> preds) const {
-  return tuner_.decode_config(preds, 0);
+template <typename T>
+sim::OmpConfig ModelState::decode_power_logits_t(std::span<const int> preds,
+                                                 std::span<const T> logits,
+                                                 double cap_w) const {
+  const core::SearchSpace& space = tuner_.db_.space();
+  // Fast path: run_heads already computed the per-head (or flat) argmax —
+  // the maximum-sum tuple. If the constraint layer admits it, it is the
+  // constrained argmax too, and this decode is the historic one verbatim.
+  const sim::OmpConfig fast = tuner_.decode_config(preds, 0);
+  if (space.is_valid(fast, cap_w)) return fast;
+  if (tuner_.opt_.factored_heads) {
+    const int nt = space.num_thread_classes();
+    const int ns = space.num_schedule_classes();
+    const int nc = space.num_chunk_classes();
+    const auto choice = core::search_power<T>(
+        space, cap_w, logits.subspan(0, static_cast<std::size_t>(nt)),
+        logits.subspan(static_cast<std::size_t>(nt),
+                       static_cast<std::size_t>(ns)),
+        logits.subspan(static_cast<std::size_t>(nt + ns),
+                       static_cast<std::size_t>(nc)),
+        beam_width_);
+    return space.config_from_classes(choice.thread_cls, choice.sched_cls,
+                                     choice.chunk_cls);
+  }
+  const int flat =
+      core::dense_argmax_valid<T>(space, logits, /*edp_scenario=*/false, cap_w);
+  if (flat < 0) return space.default_config();
+  const core::TunerClasses c =
+      core::tuner_classes_from_flat(space, flat, /*edp_scenario=*/false);
+  return space.config_from_classes(c.thread, c.sched, c.chunk);
 }
 
-core::PnpTuner::JointChoice ModelState::decode_edp_preds(
-    std::span<const int> preds) const {
+template <typename T>
+core::PnpTuner::JointChoice ModelState::decode_edp_logits_t(
+    std::span<const int> preds, std::span<const T> logits) const {
+  const core::SearchSpace& space = tuner_.db_.space();
   core::PnpTuner::JointChoice jc;
   if (tuner_.opt_.factored_heads) {
     jc.cap_index = preds[0];
     jc.cfg = tuner_.decode_config(preds, 1);
   } else {
-    const core::SearchSpace& space = tuner_.db_.space();
-    const int per_cap = space.num_thread_classes() *
-                        space.num_schedule_classes() *
-                        space.num_chunk_classes();
-    jc.cap_index = preds[0] / per_cap;
+    jc.cap_index = core::tuner_classes_from_flat(space, preds[0],
+                                                 /*edp_scenario=*/true)
+                       .cap;
     jc.cfg = tuner_.decode_config(preds, 0);
   }
+  const double cap_w =
+      space.power_caps()[static_cast<std::size_t>(jc.cap_index)];
+  if (space.is_valid(jc.cfg, cap_w)) return jc;
+  if (tuner_.opt_.factored_heads) {
+    const int np = space.num_cap_classes();
+    const int nt = space.num_thread_classes();
+    const int ns = space.num_schedule_classes();
+    const int nc = space.num_chunk_classes();
+    const auto choice = core::search_edp<T>(
+        space, logits.subspan(0, static_cast<std::size_t>(np)),
+        logits.subspan(static_cast<std::size_t>(np),
+                       static_cast<std::size_t>(nt)),
+        logits.subspan(static_cast<std::size_t>(np + nt),
+                       static_cast<std::size_t>(ns)),
+        logits.subspan(static_cast<std::size_t>(np + nt + ns),
+                       static_cast<std::size_t>(nc)),
+        beam_width_);
+    jc.cap_index = choice.cap_cls;
+    jc.cfg = space.config_from_classes(choice.thread_cls, choice.sched_cls,
+                                       choice.chunk_cls);
+    return jc;
+  }
+  const int flat = core::dense_argmax_valid<T>(space, logits,
+                                               /*edp_scenario=*/true, 0.0);
+  if (flat < 0) {
+    jc.cap_index = space.num_cap_classes() - 1;
+    jc.cfg = space.default_config();
+    return jc;
+  }
+  const core::TunerClasses c =
+      core::tuner_classes_from_flat(space, flat, /*edp_scenario=*/true);
+  jc.cap_index = c.cap;
+  jc.cfg = space.config_from_classes(c.thread, c.sched, c.chunk);
   return jc;
 }
 
 sim::OmpConfig ModelState::decode_power(const Scratch& s) const {
-  return decode_power_preds(s.preds);
+  if (precision_ == nn::Precision::f64)
+    return decode_power_logits_t<double>(
+        s.preds, std::span<const double>(s.dc.logits), s.cap_w);
+  return decode_power_logits_t<float>(
+      s.preds, std::span<const float>(s.logitsf), s.cap_w);
 }
 
 sim::OmpConfig ModelState::decode_power(const Workspace& ws) const {
-  return decode_power_preds(preds_of(ws));
+  const std::span<const int> preds = preds_of(ws);
+  if (precision_ == nn::Precision::f64)
+    return decode_power_logits_t<double>(
+        preds,
+        std::span<const double>(ws.arena_.data<double>(kLogits),
+                                ws.arena_.count<double>(kLogits)),
+        ws.cap_w_);
+  return decode_power_logits_t<float>(
+      preds,
+      std::span<const float>(ws.arena_.data<float>(kLogitsF),
+                             ws.arena_.count<float>(kLogitsF)),
+      ws.cap_w_);
 }
 
 core::PnpTuner::JointChoice ModelState::decode_edp(const Scratch& s) const {
-  return decode_edp_preds(s.preds);
+  if (precision_ == nn::Precision::f64)
+    return decode_edp_logits_t<double>(s.preds,
+                                       std::span<const double>(s.dc.logits));
+  return decode_edp_logits_t<float>(s.preds,
+                                    std::span<const float>(s.logitsf));
 }
 
 core::PnpTuner::JointChoice ModelState::decode_edp(const Workspace& ws) const {
-  return decode_edp_preds(preds_of(ws));
+  const std::span<const int> preds = preds_of(ws);
+  if (precision_ == nn::Precision::f64)
+    return decode_edp_logits_t<double>(
+        preds, std::span<const double>(ws.arena_.data<double>(kLogits),
+                                       ws.arena_.count<double>(kLogits)));
+  return decode_edp_logits_t<float>(
+      preds, std::span<const float>(ws.arena_.data<float>(kLogitsF),
+                                    ws.arena_.count<float>(kLogitsF)));
 }
 
 // --- InferenceEngine ---------------------------------------------------------
@@ -279,7 +377,8 @@ InferenceEngine::InferenceEngine(const core::MeasurementDb& db,
     : InferenceEngine(core::PnpTuner::load(db, path), options) {}
 
 InferenceEngine::InferenceEngine(core::PnpTuner tuner, EngineOptions options)
-    : state_(std::move(tuner), options.precision), opt_(options) {
+    : state_(std::move(tuner), options.precision, options.beam_width),
+      opt_(options) {
   scratch_.resize(static_cast<std::size_t>(worker_count()));
 }
 

@@ -51,9 +51,13 @@ class ModelState {
   /// no trained scenario. `precision` overrides the serving tier; nullopt
   /// uses the tuner's artifact-persisted preference (f64 by default).
   /// At Precision::f32 the dense weights are down-converted once here and
-  /// encodings additionally carry an f32 readout.
+  /// encodings additionally carry an f32 readout. `beam_width` bounds the
+  /// constraint-fallback beam search (<= 0 = full width, exact); it only
+  /// matters when the per-head argmax tuple violates a constraint —
+  /// unconstrained spaces never run the beam.
   explicit ModelState(core::PnpTuner tuner,
-                      std::optional<nn::Precision> precision = std::nullopt);
+                      std::optional<nn::Precision> precision = std::nullopt,
+                      int beam_width = 0);
 
   const core::PnpTuner& tuner() const { return tuner_; }
   core::PnpTuner::Mode mode() const { return tuner_.mode(); }
@@ -74,6 +78,10 @@ class ModelState {
     /// f32 tier only: u0 = readout_f32 ⊕ extra, in-place-relu hiddens,
     /// logits.
     std::vector<float> u0f, h1f, h2f, logitsf;
+    /// Query cap in watts, stashed by run_heads for the decode-time
+    /// constraint check (0 for EDP queries, which carry the cap in the
+    /// prediction itself).
+    double cap_w = 0.0;
   };
 
   /// Arena-backed per-thread serving workspace: every per-request scratch
@@ -95,6 +103,7 @@ class ModelState {
    private:
     friend class ModelState;
     std::uint64_t key_ = 0;  ///< shape/precision fingerprint; 0 = unbound
+    double cap_w_ = 0.0;     ///< query cap stash (see Scratch::cap_w)
     nn::Arena arena_;
   };
 
@@ -125,21 +134,33 @@ class ModelState {
                  std::optional<int> cap_index, std::optional<double> cap_w,
                  Workspace& ws) const;
 
-  /// Decode s.preds after a power-scenario run_heads.
+  /// Decode after a power-scenario run_heads: the argmax tuple in preds is
+  /// constraint-checked against the stashed query cap; a violation falls
+  /// back to beam search over the logits (both live in the scratch /
+  /// workspace, at the serving tier). On unconstrained spaces this is the
+  /// historic argmax decode bit-for-bit.
   sim::OmpConfig decode_power(const Scratch& s) const;
   sim::OmpConfig decode_power(const Workspace& ws) const;
-  /// Decode s.preds after an EDP run_heads.
+  /// Decode after an EDP run_heads (same fast-path/beam protocol).
   core::PnpTuner::JointChoice decode_edp(const Scratch& s) const;
   core::PnpTuner::JointChoice decode_edp(const Workspace& ws) const;
 
+  /// Beam width of the constraint-fallback search (0 = full width).
+  int beam_width() const { return beam_width_; }
+
  private:
-  sim::OmpConfig decode_power_preds(std::span<const int> preds) const;
-  core::PnpTuner::JointChoice decode_edp_preds(
-      std::span<const int> preds) const;
+  template <typename T>
+  sim::OmpConfig decode_power_logits_t(std::span<const int> preds,
+                                       std::span<const T> logits,
+                                       double cap_w) const;
+  template <typename T>
+  core::PnpTuner::JointChoice decode_edp_logits_t(
+      std::span<const int> preds, std::span<const T> logits) const;
   std::span<const int> preds_of(const Workspace& ws) const;
 
   core::PnpTuner tuner_;
   nn::Precision precision_ = nn::Precision::f64;
+  int beam_width_ = 0;
   /// f32 tier only: the dense weights down-converted once at construction.
   nn::RgcnNet::DenseWeightsF32 dense_f32_;
 };
@@ -151,6 +172,9 @@ struct EngineOptions {
   /// Arena-backed per-query scratch (the fast path). false keeps the
   /// allocation-path oracle — kept selectable so tests can compare both.
   bool use_arena = true;
+  /// Constraint-fallback beam width (<= 0 = full width). Only consulted
+  /// when the argmax tuple is pruned by the space's constraint layer.
+  int beam_width = 0;
 };
 
 class InferenceEngine {

@@ -366,6 +366,121 @@ TEST_F(PersistenceFixture, ImportGnnFromLegacyV1File) {
   EXPECT_EQ(target.mode(), core::PnpTuner::Mode::Power);
 }
 
+// --- artifact v3: constraint fingerprint -------------------------------------
+
+TEST_F(PersistenceFixture, LegacyVersionArtifactsServeOnLegacyPath) {
+  // v1/v2 files never recorded a constraint fingerprint. They must still
+  // load against an unconstrained (Table I) space and serve bit-identical
+  // predictions through the historic decode path.
+  core::PnpTuner trained(*db_, small_options());
+  trained.train_power_scenario(all_regions());
+  const std::string path = ::testing::TempDir() + "pnp_artifact_v3.pnp";
+  trained.save(path);
+  const StateDict good = StateDict::load_file(path);
+
+  for (std::int64_t version : {std::int64_t{1}, std::int64_t{2}}) {
+    SCOPED_TRACE(version);
+    StateDict legacy = good;
+    legacy.put_int("artifact.version", version);
+    const auto art = core::TunerArtifact::from_state_dict(legacy);
+    EXPECT_EQ(art.version, version);
+    EXPECT_FALSE(art.has_constraint_fingerprint);
+    EXPECT_TRUE(art.constraint_rules().empty());
+
+    const std::string p = ::testing::TempDir() + "pnp_artifact_legacy_" +
+                          std::to_string(version) + ".pnp";
+    legacy.save_file(p);
+    const core::PnpTuner loaded = core::PnpTuner::load(*db_, p);
+    for (int r = 0; r < db_->num_regions(); ++r)
+      for (int k = 0; k < db_->num_caps(); ++k)
+        EXPECT_EQ(loaded.predict_power(r, k), trained.predict_power(r, k))
+            << "region " << r << " cap " << k;
+  }
+}
+
+TEST_F(PersistenceFixture, ConstraintFingerprintGuardsLoad) {
+  // A db over the extended, constraint-carrying space: its artifacts are
+  // v3 with a non-empty fingerprint, and loading demands an exact match.
+  const auto machine = hw::MachineModel::haswell();
+  auto regions = workloads::Suite::instance().all_regions();
+  regions.resize(8);
+  const core::MeasurementDb xdb(
+      *sim_, core::SearchSpace::extended_for_machine(machine), regions);
+  ASSERT_TRUE(xdb.space().has_constraints());
+
+  core::PnpTuner trained(xdb, small_options());
+  trained.train_power_scenario([&] {
+    std::vector<int> r;
+    for (int i = 0; i < xdb.num_regions(); ++i) r.push_back(i);
+    return r;
+  }());
+  const std::string path = ::testing::TempDir() + "pnp_artifact_ext.pnp";
+  trained.save(path);
+  const StateDict good = StateDict::load_file(path);
+
+  // The untouched v3 artifact reloads and serves the constrained space.
+  const core::PnpTuner reloaded = core::PnpTuner::load(xdb, path);
+  EXPECT_EQ(reloaded.predict_power(0, 0), trained.predict_power(0, 0));
+
+  {  // pre-v3 artifact (no fingerprint) vs a constraint-carrying space
+    StateDict legacy = good;
+    legacy.put_int("artifact.version", 2);
+    const std::string p = ::testing::TempDir() + "pnp_artifact_ext_v2.pnp";
+    legacy.save_file(p);
+    EXPECT_THROW(core::PnpTuner::load(xdb, p), Error);
+  }
+  {  // fingerprint present but disagreeing with the space's rule set
+    StateDict bad = good;
+    auto rules = bad.get("space.constraints");
+    ASSERT_GE(rules.size(), 3u);
+    rules[1] += 1.0;  // perturb the first rule's parameter
+    bad.put("space.constraints", rules);
+    const std::string p = ::testing::TempDir() + "pnp_artifact_ext_bad.pnp";
+    bad.save_file(p);
+    EXPECT_THROW(core::PnpTuner::load(xdb, p), Error);
+  }
+  {  // fingerprint emptied: "v3, no rules" must not serve a ruled space
+    StateDict bad = good;
+    bad.put("space.constraints", {});
+    const std::string p = ::testing::TempDir() + "pnp_artifact_ext_empty.pnp";
+    bad.save_file(p);
+    EXPECT_THROW(core::PnpTuner::load(xdb, p), Error);
+  }
+  {  // head-layout family flipped (factored artifact claiming dense heads)
+    StateDict bad = good;
+    bad.put_int("opt.factored_heads", 0);
+    const std::string p = ::testing::TempDir() + "pnp_artifact_ext_dense.pnp";
+    bad.save_file(p);
+    EXPECT_THROW(core::PnpTuner::load(xdb, p), Error);
+  }
+}
+
+TEST_F(PersistenceFixture, MalformedConstraintFingerprintRejected) {
+  core::PnpTuner trained(*db_, small_options());
+  trained.train_power_scenario(all_regions());
+  const std::string path = ::testing::TempDir() + "pnp_artifact_fp.pnp";
+  trained.save(path);
+  const StateDict good = StateDict::load_file(path);
+
+  const auto rejects = [&](std::vector<double> fp) {
+    StateDict bad = good;
+    bad.put("space.constraints", std::move(fp));
+    EXPECT_THROW(core::TunerArtifact::from_state_dict(bad), Error);
+  };
+  rejects({1.0, 2.0});                    // not a multiple of 3
+  rejects({9.0, 1.0, 1.0});               // no such rule kind
+  rejects({-1.0, 1.0, 1.0});              // negative kind
+  rejects({0.5, 1.0, 1.0});               // fractional kind
+  rejects({0.0, std::nan(""), 1.0});      // non-finite parameter
+  rejects({0.0, 1.0, HUGE_VAL});          // infinite parameter
+  rejects(std::vector<double>(3 * 4097));  // absurd rule count
+
+  // A well-formed empty fingerprint still loads (v3 over Table I space).
+  const auto art = core::TunerArtifact::from_state_dict(good);
+  EXPECT_TRUE(art.has_constraint_fingerprint);
+  EXPECT_TRUE(art.constraint_rules().empty());
+}
+
 // --- InferenceEngine ---------------------------------------------------------
 
 TEST_F(PersistenceFixture, BatchedPowerMatchesSequential) {

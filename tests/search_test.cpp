@@ -1,0 +1,461 @@
+/// Search-equivalence and constraint-layer tests (ISSUE 8): beam/top-k
+/// model-guided search vs the exhaustive oracle, the extended
+/// constraint-carrying spaces, custom-space validation, and the serving
+/// decode's fast-path/fallback protocol end to end.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/config_search.hpp"
+#include "core/measurement_db.hpp"
+#include "core/pnp_tuner.hpp"
+#include "core/search_space.hpp"
+#include "core/tuner_artifact.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/tuning_service.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+namespace {
+
+/// Deterministic logit generator (xorshift64*): tests never touch global
+/// RNG state, so every run scores the identical synthetic models.
+class LogitGen {
+ public:
+  explicit LogitGen(std::uint64_t seed) : s_(seed * 2685821657736338717ull + 1) {}
+  double next() {
+    s_ ^= s_ >> 12;
+    s_ ^= s_ << 25;
+    s_ ^= s_ >> 27;
+    const std::uint64_t v = s_ * 2685821657736338717ull;
+    return static_cast<double>(v >> 11) / 4503599627370496.0 - 1.0;  // [-1,1)
+  }
+  std::vector<double> vec(int n) {
+    std::vector<double> out(static_cast<std::size_t>(n));
+    for (double& x : out) x = next();
+    return out;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+std::vector<SearchSpace> all_spaces() {
+  std::vector<SearchSpace> spaces;
+  for (const auto& m :
+       {hw::MachineModel::haswell(), hw::MachineModel::skylake()}) {
+    spaces.push_back(SearchSpace::for_machine(m));
+    spaces.push_back(SearchSpace::extended_for_machine(m));
+  }
+  return spaces;
+}
+
+bool same_choice(const SearchChoice& a, const SearchChoice& b) {
+  return a.cap_cls == b.cap_cls && a.thread_cls == b.thread_cls &&
+         a.sched_cls == b.sched_cls && a.chunk_cls == b.chunk_cls &&
+         a.score == b.score;  // bit-identical, not approximately equal
+}
+
+// --- Extended / custom space shape ----------------------------------------
+
+TEST(ExtendedSpace, HaswellExceedsTwoThousandConfigs) {
+  const auto s = SearchSpace::extended_for_machine(hw::MachineModel::haswell());
+  EXPECT_EQ(s.num_thread_classes(), 12);
+  EXPECT_EQ(s.num_schedule_classes(), 3);
+  EXPECT_EQ(s.num_chunk_classes(), 16);  // 15 values + default class
+  EXPECT_GE(s.joint_size(), 2000);
+  EXPECT_EQ(s.joint_size(), 4 * (12 * 3 * 15 + 1));
+  EXPECT_TRUE(s.has_constraints());
+  EXPECT_GT(s.joint_invalid_count(), 0);
+  EXPECT_LT(s.joint_invalid_count(), s.joint_size());
+}
+
+TEST(ExtendedSpace, SkylakeExceedsTwoThousandConfigs) {
+  const auto s = SearchSpace::extended_for_machine(hw::MachineModel::skylake());
+  EXPECT_EQ(s.num_thread_classes(), 16);
+  EXPECT_GE(s.joint_size(), 2000);
+  EXPECT_TRUE(s.has_constraints());
+}
+
+TEST(ExtendedSpace, FullGridValidAtTdpOnly) {
+  const auto s = SearchSpace::extended_for_machine(hw::MachineModel::haswell());
+  // The thread-per-watt slope admits the whole thread grid exactly at TDP.
+  EXPECT_EQ(s.max_valid_threads(s.tdp()), 32);
+  // At the tightest cap (40 W) high thread counts are pruned:
+  // 40 * 32 / 85 ≈ 15.06, so 12 is the largest admissible grid value.
+  EXPECT_EQ(s.max_valid_threads(40.0), 12);
+  EXPECT_FALSE(s.is_valid({16, sim::Schedule::Static, 32}, 40.0));
+  EXPECT_TRUE(s.is_valid({12, sim::Schedule::Static, 32}, 40.0));
+}
+
+TEST(ExtendedSpace, DefaultConfigValidAtEveryCap) {
+  for (const auto& s : all_spaces())
+    for (double cap_w : s.power_caps())
+      EXPECT_TRUE(s.is_valid(s.default_config(), cap_w));
+}
+
+TEST(ExtendedSpace, DynamicScheduleChunkFloor) {
+  const auto s = SearchSpace::extended_for_machine(hw::MachineModel::haswell());
+  EXPECT_FALSE(s.is_valid({4, sim::Schedule::Dynamic, 2}, s.tdp()));
+  EXPECT_TRUE(s.is_valid({4, sim::Schedule::Dynamic, 4}, s.tdp()));
+  EXPECT_TRUE(s.is_valid({4, sim::Schedule::Static, 2}, s.tdp()));
+}
+
+TEST(ExtendedSpace, ChunkThreadProductCeiling) {
+  const auto s = SearchSpace::extended_for_machine(hw::MachineModel::haswell());
+  EXPECT_FALSE(s.is_valid({32, sim::Schedule::Static, 256}, s.tdp()));
+  EXPECT_TRUE(s.is_valid({8, sim::Schedule::Static, 256}, s.tdp()));
+}
+
+TEST(PaperSpace, TableOneCarriesNoConstraints) {
+  for (const auto& m :
+       {hw::MachineModel::haswell(), hw::MachineModel::skylake()}) {
+    const auto s = SearchSpace::for_machine(m);
+    EXPECT_FALSE(s.has_constraints());
+    EXPECT_EQ(s.joint_invalid_count(), 0);
+    // Constraint pruning can never remove a config the oracle would pick:
+    // every joint point stays valid at its cap.
+    for (int i = 0; i < s.joint_size(); ++i) {
+      const auto p = s.joint_point(i);
+      EXPECT_TRUE(s.is_valid(
+          p.cfg, s.power_caps()[static_cast<std::size_t>(p.cap_index)]));
+    }
+  }
+}
+
+TEST(CustomSpace, ValidatesItsInputs) {
+  const sim::OmpConfig def{8, sim::Schedule::Static, 0};
+  const std::vector<sim::Schedule> scheds{sim::Schedule::Static};
+  EXPECT_THROW(SearchSpace::custom({}, scheds, {1}, {50.0}, def), Error);
+  EXPECT_THROW(SearchSpace::custom({8}, scheds, {1}, {60.0, 50.0}, def),
+               Error);  // caps must ascend
+  EXPECT_THROW(SearchSpace::custom({8}, scheds, {1}, {50.0},
+                                   {8, sim::Schedule::Static, 16}),
+               Error);  // default chunk must be 0
+  EXPECT_THROW(SearchSpace::custom({4}, scheds, {1}, {50.0}, def),
+               Error);  // default threads off the grid
+  EXPECT_THROW(SearchSpace::custom({8}, {sim::Schedule::Dynamic}, {1}, {50.0},
+                                   def),
+               Error);  // default schedule off the grid
+  EXPECT_THROW(
+      SearchSpace::custom({8}, scheds, {1}, {50.0}, def,
+                          {{static_cast<ConstraintRule::Kind>(99), 1.0, 0.0}}),
+      Error);  // unknown constraint kind
+  const auto ok = SearchSpace::custom(
+      {4, 8}, scheds, {1, 2}, {50.0}, def,
+      {{ConstraintRule::Kind::kMaxThreads, 4.0, 0.0}});
+  EXPECT_TRUE(ok.has_constraints());
+  EXPECT_EQ(ok.max_valid_threads(50.0), 4);
+}
+
+// --- Beam search vs the exhaustive oracle ---------------------------------
+
+template <typename T>
+void check_power_equivalence(const SearchSpace& s, std::uint64_t seed) {
+  LogitGen gen(seed);
+  const auto thr64 = gen.vec(s.num_thread_classes());
+  const auto sch64 = gen.vec(s.num_schedule_classes());
+  const auto chk64 = gen.vec(s.num_chunk_classes());
+  std::vector<T> thr(thr64.begin(), thr64.end());
+  std::vector<T> sch(sch64.begin(), sch64.end());
+  std::vector<T> chk(chk64.begin(), chk64.end());
+  const std::span<const T> ts(thr), ss(sch), cs(chk);
+  for (double cap_w : s.power_caps()) {
+    const SearchChoice oracle = exhaustive_power<T>(s, cap_w, ts, ss, cs);
+    EXPECT_TRUE(s.is_valid(
+        s.config_from_classes(oracle.thread_cls, oracle.sched_cls,
+                              oracle.chunk_cls),
+        cap_w));
+    // Full width (0) and any width >= the space size are bit-identical to
+    // the exhaustive scan.
+    for (int width : {0, s.joint_size()}) {
+      const SearchChoice beam = search_power<T>(s, cap_w, ts, ss, cs, width);
+      EXPECT_TRUE(same_choice(beam, oracle))
+          << "cap " << cap_w << " width " << width;
+    }
+    // Narrow beams must still answer with a valid config and can never
+    // beat the oracle's score.
+    for (int width : {1, 2, 3}) {
+      const SearchChoice beam = search_power<T>(s, cap_w, ts, ss, cs, width);
+      EXPECT_TRUE(s.is_valid(
+          s.config_from_classes(beam.thread_cls, beam.sched_cls,
+                                beam.chunk_cls),
+          cap_w));
+      EXPECT_LE(beam.score, oracle.score);
+    }
+  }
+}
+
+template <typename T>
+void check_edp_equivalence(const SearchSpace& s, std::uint64_t seed) {
+  LogitGen gen(seed);
+  const auto cap64 = gen.vec(s.num_cap_classes());
+  const auto thr64 = gen.vec(s.num_thread_classes());
+  const auto sch64 = gen.vec(s.num_schedule_classes());
+  const auto chk64 = gen.vec(s.num_chunk_classes());
+  std::vector<T> cap(cap64.begin(), cap64.end());
+  std::vector<T> thr(thr64.begin(), thr64.end());
+  std::vector<T> sch(sch64.begin(), sch64.end());
+  std::vector<T> chk(chk64.begin(), chk64.end());
+  const std::span<const T> ps(cap), ts(thr), ss(sch), cs(chk);
+  const SearchChoice oracle = exhaustive_edp<T>(s, ps, ts, ss, cs);
+  for (int width : {0, s.joint_size()}) {
+    const SearchChoice beam = search_edp<T>(s, ps, ts, ss, cs, width);
+    EXPECT_TRUE(same_choice(beam, oracle)) << "width " << width;
+  }
+  for (int width : {1, 2, 3}) {
+    const SearchChoice beam = search_edp<T>(s, ps, ts, ss, cs, width);
+    EXPECT_TRUE(s.is_valid(
+        s.config_from_classes(beam.thread_cls, beam.sched_cls, beam.chunk_cls),
+        s.power_caps()[static_cast<std::size_t>(beam.cap_cls)]));
+    EXPECT_LE(beam.score, oracle.score);
+  }
+}
+
+TEST(BeamSearch, MatchesExhaustivePowerF64) {
+  for (const auto& s : all_spaces())
+    for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u})
+      check_power_equivalence<double>(s, seed);
+}
+
+TEST(BeamSearch, MatchesExhaustivePowerF32) {
+  for (const auto& s : all_spaces())
+    for (std::uint64_t seed : {1u, 2u, 3u})
+      check_power_equivalence<float>(s, seed);
+}
+
+TEST(BeamSearch, MatchesExhaustiveEdpF64) {
+  for (const auto& s : all_spaces())
+    for (std::uint64_t seed : {7u, 8u, 9u, 10u, 11u})
+      check_edp_equivalence<double>(s, seed);
+}
+
+TEST(BeamSearch, MatchesExhaustiveEdpF32) {
+  for (const auto& s : all_spaces())
+    for (std::uint64_t seed : {7u, 8u, 9u})
+      check_edp_equivalence<float>(s, seed);
+}
+
+TEST(BeamSearch, TieBreakIsLexicographicOnEqualLogits) {
+  // All-zero logits: every tuple scores 0, so the winner must be the first
+  // valid tuple in (cap, thread, sched, chunk) lexicographic order — the
+  // same first-max-wins protocol as nn::argmax_index.
+  for (const auto& s : all_spaces()) {
+    const std::vector<double> thr(static_cast<std::size_t>(s.num_thread_classes()), 0.0);
+    const std::vector<double> sch(static_cast<std::size_t>(s.num_schedule_classes()), 0.0);
+    const std::vector<double> chk(static_cast<std::size_t>(s.num_chunk_classes()), 0.0);
+    const double cap_w = s.power_caps().front();
+    const SearchChoice beam =
+        search_power<double>(s, cap_w, thr, sch, chk, 0);
+    const SearchChoice oracle =
+        exhaustive_power<double>(s, cap_w, thr, sch, chk);
+    EXPECT_TRUE(same_choice(beam, oracle));
+    EXPECT_EQ(oracle.thread_cls, 0);
+    EXPECT_EQ(oracle.sched_cls, 0);
+    EXPECT_EQ(oracle.chunk_cls, 0);  // (1 thread, static, default chunk)
+  }
+}
+
+TEST(BeamSearch, FastPathEqualsArgmaxOnUnconstrainedSpace) {
+  // On a constraint-free space the per-head argmax tuple is always valid,
+  // so the search must return exactly the independent-argmax decode.
+  const auto s = SearchSpace::for_machine(hw::MachineModel::haswell());
+  LogitGen gen(42);
+  const auto thr = gen.vec(s.num_thread_classes());
+  const auto sch = gen.vec(s.num_schedule_classes());
+  const auto chk = gen.vec(s.num_chunk_classes());
+  const auto argmax = [](const std::vector<double>& v) {
+    int best = 0;
+    for (std::size_t i = 1; i < v.size(); ++i)
+      if (v[i] > v[static_cast<std::size_t>(best)]) best = static_cast<int>(i);
+    return best;
+  };
+  const SearchChoice c =
+      search_power<double>(s, s.power_caps()[0], thr, sch, chk, 0);
+  EXPECT_EQ(c.thread_cls, argmax(thr));
+  EXPECT_EQ(c.sched_cls, argmax(sch));
+  EXPECT_EQ(c.chunk_cls, argmax(chk));
+  EXPECT_FALSE(c.used_fallback);
+}
+
+TEST(BeamSearch, FallsBackToDefaultWhenEverythingIsPruned) {
+  // kMaxThreads 0.5 prunes every grid config; only the default survives
+  // (the fallback guarantee).
+  const auto s = SearchSpace::custom(
+      {4, 8}, {sim::Schedule::Static, sim::Schedule::Dynamic}, {16, 32},
+      {50.0, 80.0}, {8, sim::Schedule::Static, 0},
+      {{ConstraintRule::Kind::kMaxThreads, 0.5, 0.0}});
+  LogitGen gen(3);
+  const auto thr = gen.vec(s.num_thread_classes());
+  const auto sch = gen.vec(s.num_schedule_classes());
+  const auto chk = gen.vec(s.num_chunk_classes());
+  for (double cap_w : s.power_caps()) {
+    const SearchChoice c = search_power<double>(s, cap_w, thr, sch, chk, 0);
+    // The default tuple is reachable as a regular (always-valid) beam
+    // member, so this is a genuine search result, not the emergency
+    // fallback path.
+    EXPECT_EQ(s.config_from_classes(c.thread_cls, c.sched_cls, c.chunk_cls),
+              s.default_config());
+    const SearchChoice ex = exhaustive_power<double>(s, cap_w, thr, sch, chk);
+    EXPECT_TRUE(same_choice(c, ex));
+  }
+  // Dense layout: the only valid flat class is the default tuple's.
+  std::vector<double> dense(
+      static_cast<std::size_t>(s.num_thread_classes() *
+                               s.num_schedule_classes() *
+                               s.num_chunk_classes()));
+  LogitGen dg(4);
+  for (double& x : dense) x = dg.next();
+  const int flat = dense_argmax_valid<double>(s, dense, false, 50.0);
+  ASSERT_GE(flat, 0);
+  const TunerClasses tc = tuner_classes_from_flat(s, flat, false);
+  EXPECT_EQ(s.config_from_classes(tc.thread, tc.sched, tc.chunk),
+            s.default_config());
+}
+
+TEST(DenseArgmax, EqualsPlainArgmaxOnUnconstrainedSpace) {
+  const auto s = SearchSpace::for_machine(hw::MachineModel::skylake());
+  LogitGen gen(9);
+  std::vector<double> dense(
+      static_cast<std::size_t>(s.num_thread_classes() *
+                               s.num_schedule_classes() *
+                               s.num_chunk_classes()));
+  for (double& x : dense) x = gen.next();
+  int plain = 0;
+  for (std::size_t i = 1; i < dense.size(); ++i)
+    if (dense[i] > dense[static_cast<std::size_t>(plain)])
+      plain = static_cast<int>(i);
+  EXPECT_EQ(dense_argmax_valid<double>(s, dense, false, s.power_caps()[0]),
+            plain);
+}
+
+// --- Trained models: serving equals the tuner, across spaces and widths ---
+
+MeasurementDb small_db(const hw::MachineModel& m, const SearchSpace& space) {
+  auto regions = workloads::Suite::instance().all_regions();
+  regions.resize(12);  // enough structure, fast to measure and train
+  return MeasurementDb(sim::Simulator(m), space, regions);
+}
+
+TEST(ModelGuidedServing, EngineMatchesTunerOnExtendedSpace) {
+  const auto m = hw::MachineModel::haswell();
+  const auto space = SearchSpace::extended_for_machine(m);
+  const MeasurementDb db = small_db(m, space);
+  PnpOptions opt;
+  opt.trainer.max_epochs = 2;
+  PnpTuner tuner(db, opt);
+  std::vector<int> all;
+  for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
+  tuner.train_power_scenario(all);
+
+  // The tuner's own predictions (full-width search) are the reference;
+  // the engine must match at full width through both scratch paths.
+  std::vector<sim::OmpConfig> ref;
+  for (int r = 0; r < db.num_regions(); ++r)
+    for (int k = 0; k < db.num_caps(); ++k)
+      ref.push_back(tuner.predict_power(r, k));
+
+  for (const bool use_arena : {true, false}) {
+    serve::EngineOptions eopt;
+    eopt.use_arena = use_arena;
+    serve::InferenceEngine engine(PnpTuner::from_artifact(db, tuner.to_artifact()),
+                                  eopt);
+    std::size_t i = 0;
+    for (int r = 0; r < db.num_regions(); ++r)
+      for (int k = 0; k < db.num_caps(); ++k)
+        EXPECT_EQ(engine.predict_power(r, k), ref[i++])
+            << "region " << r << " cap " << k << " arena " << use_arena;
+  }
+
+  // A narrow beam still serves valid configs at every cap.
+  serve::EngineOptions narrow;
+  narrow.beam_width = 2;
+  serve::InferenceEngine engine(PnpTuner::from_artifact(db, tuner.to_artifact()),
+                                narrow);
+  for (int r = 0; r < db.num_regions(); ++r)
+    for (int k = 0; k < db.num_caps(); ++k)
+      EXPECT_TRUE(space.is_valid(
+          engine.predict_power(r, k),
+          space.power_caps()[static_cast<std::size_t>(k)]));
+}
+
+TEST(ModelGuidedServing, EdpEngineMatchesTunerOnExtendedSpace) {
+  const auto m = hw::MachineModel::haswell();
+  const auto space = SearchSpace::extended_for_machine(m);
+  const MeasurementDb db = small_db(m, space);
+  PnpOptions opt;
+  opt.trainer.max_epochs = 2;
+  PnpTuner tuner(db, opt);
+  std::vector<int> all;
+  for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
+  tuner.train_edp_scenario(all);
+
+  std::vector<PnpTuner::JointChoice> ref;
+  for (int r = 0; r < db.num_regions(); ++r) ref.push_back(tuner.predict_edp(r));
+
+  serve::InferenceEngine engine(
+      PnpTuner::from_artifact(db, tuner.to_artifact()));
+  for (int r = 0; r < db.num_regions(); ++r) {
+    const auto jc = engine.predict_edp(r);
+    EXPECT_EQ(jc.cap_index, ref[static_cast<std::size_t>(r)].cap_index);
+    EXPECT_EQ(jc.cfg, ref[static_cast<std::size_t>(r)].cfg);
+    EXPECT_TRUE(space.is_valid(
+        jc.cfg, space.power_caps()[static_cast<std::size_t>(jc.cap_index)]));
+  }
+}
+
+TEST(ModelGuidedServing, ServiceHotReloadsExtendedSpaceArtifact) {
+  const auto m = hw::MachineModel::haswell();
+  const auto space = SearchSpace::extended_for_machine(m);
+  const MeasurementDb db = small_db(m, space);
+  ASSERT_GE(space.joint_size(), 2000);
+
+  PnpOptions opt;
+  opt.trainer.max_epochs = 2;
+  std::vector<int> all;
+  for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
+
+  PnpTuner first(db, opt);
+  first.train_power_scenario(all);
+  const std::string p1 = testing::TempDir() + "search_ext_v1.pnp";
+  const std::string p2 = testing::TempDir() + "search_ext_v2.pnp";
+  first.save(p1);
+  opt.seed = 99;  // a genuinely different second model
+  PnpTuner second(db, opt);
+  second.train_power_scenario(all);
+  second.save(p2);
+
+  serve::TuningServiceOptions sopt;
+  sopt.beam_width = 4;
+  serve::TuningService service(db, p1, sopt);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  // Serve → hot-reload → serve; both versions answer deterministically and
+  // within the constraint layer.
+  const auto grid = [&](std::uint64_t want_version) {
+    std::vector<serve::TuneResult> out;
+    for (int r = 0; r < db.num_regions(); ++r)
+      for (int k = 0; k < db.num_caps(); ++k) {
+        const auto res = service.tune(serve::TuneRequest::power(r, k));
+        EXPECT_EQ(res.model_version, want_version);
+        EXPECT_TRUE(space.is_valid(
+            res.config, space.power_caps()[static_cast<std::size_t>(k)]));
+        out.push_back(res);
+      }
+    return out;
+  };
+  const auto g1a = grid(1);
+  const auto g1b = grid(1);
+  for (std::size_t i = 0; i < g1a.size(); ++i)
+    EXPECT_EQ(g1a[i].config, g1b[i].config);
+
+  EXPECT_EQ(service.reload(p2), 2u);
+  const auto g2 = grid(2);
+  EXPECT_EQ(g2.size(), g1a.size());
+}
+
+}  // namespace
+}  // namespace pnp::core

@@ -2,7 +2,9 @@
 /// Cross-suite generalization harness CLI (docs/WORKLOADS.md):
 ///
 ///   pnp_eval --seed 7 --regions 64 [--machine haswell|skylake]
-///            [--epochs N] [--max-per-app K] [--counters] [--out FILE]
+///            [--epochs N] [--max-per-app K] [--counters]
+///            [--heads factored|dense] [--space table1|extended]
+///            [--beam-width N] [--out FILE]
 ///
 /// End-to-end flow: procedurally generate a corpus of --regions OpenMP
 /// regions (workloads::Generator), build one MeasurementDb over paper
@@ -19,7 +21,7 @@
 ///                          (scalar cap feature + counters), test on the
 ///                          generated regions at the held-out cap.
 ///
-/// Output is one stable JSON document (schema "pnp-eval-v1", self-checked
+/// Output is one stable JSON document (schema "pnp-eval-v2", self-checked
 /// with json_validate before writing): a pure function of the flags, so
 /// two runs with the same arguments are byte-identical — serial and
 /// OMP_NUM_THREADS-fixed PNP_PARALLEL builds included. CI runs it twice
@@ -50,6 +52,9 @@ struct Args {
   int epochs = 12;
   bool counters = false;
   std::string machine = "haswell";
+  std::string heads = "factored";  // factored | dense
+  std::string space = "table1";    // table1 | extended
+  int beam_width = 0;              // <= 0 = full-width (exact) search
   std::string out_path;  // empty = stdout
 };
 
@@ -57,7 +62,8 @@ struct Args {
   std::fprintf(stderr,
                "usage: %s [--seed N] [--regions N] [--machine haswell|skylake]\n"
                "          [--epochs N] [--max-per-app N] [--counters]\n"
-               "          [--out FILE]\n",
+               "          [--heads factored|dense] [--space table1|extended]\n"
+               "          [--beam-width N] [--out FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -76,6 +82,9 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--epochs") a.epochs = std::stoi(value());
     else if (flag == "--max-per-app") a.max_per_app = std::stoi(value());
     else if (flag == "--counters") a.counters = true;
+    else if (flag == "--heads") a.heads = value();
+    else if (flag == "--space") a.space = value();
+    else if (flag == "--beam-width") a.beam_width = std::stoi(value());
     else if (flag == "--out") a.out_path = value();
     else usage(argv[0]);
   }
@@ -86,6 +95,19 @@ hw::MachineModel machine_for(const std::string& name) {
   if (name == "haswell") return hw::MachineModel::haswell();
   if (name == "skylake") return hw::MachineModel::skylake();
   throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+core::SearchSpace space_for(const std::string& name,
+                            const hw::MachineModel& m) {
+  if (name == "table1") return core::SearchSpace::for_machine(m);
+  if (name == "extended") return core::SearchSpace::extended_for_machine(m);
+  throw Error("unknown space '" + name + "' (expected table1 or extended)");
+}
+
+bool factored_for(const std::string& heads) {
+  if (heads == "factored") return true;
+  if (heads == "dense") return false;
+  throw Error("unknown heads '" + heads + "' (expected factored or dense)");
 }
 
 /// Serve one split's test grid through the batched engine, in the
@@ -167,7 +189,7 @@ void emit_split(JsonWriter& w, const core::EvalSplit& split,
 int run(const Args& a) {
   const auto machine = machine_for(a.machine);
   const sim::Simulator sim(machine);
-  const auto space = core::SearchSpace::for_machine(machine);
+  const auto space = space_for(a.space, machine);
 
   workloads::GeneratorOptions gopt;
   gopt.seed = a.seed;
@@ -190,6 +212,7 @@ int run(const Args& a) {
   eopt.pnp.trainer.max_epochs = a.epochs;
   eopt.pnp.use_counters = a.counters;
   eopt.pnp.seed = a.seed;
+  eopt.pnp.factored_heads = factored_for(a.heads);
   const core::Evaluator evaluator(sim, db);
 
   const auto is_generated = [&](const std::string& app) {
@@ -233,6 +256,7 @@ int run(const Args& a) {
       serve::EngineOptions ref_opt, f32_opt;
       ref_opt.precision = nn::Precision::f64;
       f32_opt.precision = nn::Precision::f32;
+      ref_opt.beam_width = f32_opt.beam_width = a.beam_width;
       serve::InferenceEngine ref_engine(core::PnpTuner::from_artifact(db, art),
                                         ref_opt);
       serve::InferenceEngine f32_engine(core::PnpTuner::from_artifact(db, art),
@@ -246,7 +270,9 @@ int run(const Args& a) {
                    pdelta.flips, pdelta.queries, pdelta.flip_rate,
                    pdelta.max_abs_dpower_w);
     } else {
-      serve::InferenceEngine engine(std::move(tuner));
+      serve::EngineOptions eng_opt;
+      eng_opt.beam_width = a.beam_width;
+      serve::InferenceEngine engine(std::move(tuner), eng_opt);
       configs = predict_split(evaluator, split, engine, caps_w);
     }
     results.push_back(evaluator.score(split, configs));
@@ -259,9 +285,25 @@ int run(const Args& a) {
 
   JsonWriter w;
   w.begin_object();
-  w.key("schema").value("pnp-eval-v1");
+  w.key("schema").value("pnp-eval-v2");
   w.key("machine").value(a.machine);
   w.key("seed").value(static_cast<std::uint64_t>(a.seed));
+  // Self-describing search-space block: the grid this run tuned over, how
+  // the classifier scored it, and how much of it the constraint layer
+  // prunes — so an archived report is interpretable without the flags.
+  w.key("search_space").begin_object();
+  w.key("space").value(a.space);
+  w.key("heads").value(a.heads);
+  w.key("beam_width").value(a.beam_width);
+  w.key("caps").value(space.num_cap_classes());
+  w.key("threads").value(space.num_thread_classes());
+  w.key("schedules").value(space.num_schedule_classes());
+  w.key("chunks").value(space.num_chunk_classes());
+  w.key("joint_candidates").value(space.joint_size());
+  w.key("constraint_rules").value(
+      static_cast<std::int64_t>(space.constraints().size()));
+  w.key("constraint_pruned").value(space.joint_invalid_count());
+  w.end_object();
   w.key("generator").begin_object();
   w.key("regions").value(a.regions);
   w.key("max_regions_per_app").value(a.max_per_app);

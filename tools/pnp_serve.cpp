@@ -4,7 +4,8 @@
 ///
 ///   pnp_serve --machine haswell|skylake --model MODEL --requests FILE
 ///             [--threads N] [--shards N] [--max-batch N]
-///             [--batch-wait-us N] [--no-coalesce] [--out FILE]
+///             [--batch-wait-us N] [--no-coalesce]
+///             [--space table1|extended] [--beam-width N] [--out FILE]
 ///
 /// The request file holds one request per line ('#' starts a comment):
 ///
@@ -44,6 +45,7 @@ struct Args {
   std::string model_path;
   std::string requests_path;
   std::string out_path;  // empty = stdout
+  std::string space = "table1";  // table1 | extended
   int threads = 4;
   serve::TuningServiceOptions service;
 };
@@ -54,7 +56,8 @@ struct Args {
       "usage:\n"
       "  %s --machine haswell|skylake --model MODEL --requests FILE\n"
       "     [--threads N] [--shards N] [--max-batch N] [--batch-wait-us N]\n"
-      "     [--no-coalesce] [--out FILE]\n"
+      "     [--no-coalesce] [--space table1|extended] [--beam-width N]\n"
+      "     [--out FILE]\n"
       "request file lines: 'power R K' | 'power_at R WATTS' | 'edp R' |\n"
       "'reload PATH' (a barrier: drains, swaps the model, continues)\n",
       argv0);
@@ -93,6 +96,9 @@ Args parse_args(int argc, char** argv) {
       a.service.batch_wait =
           std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
     else if (flag == "--no-coalesce") a.service.coalesce = false;
+    else if (flag == "--space") a.space = value();
+    else if (flag == "--beam-width")
+      a.service.beam_width = parse_int(value(), "--beam-width");
     else usage(argv[0]);
   }
   if (a.model_path.empty() || a.requests_path.empty()) usage(argv[0]);
@@ -104,6 +110,13 @@ hw::MachineModel machine_for(const std::string& name) {
   if (name == "haswell") return hw::MachineModel::haswell();
   if (name == "skylake") return hw::MachineModel::skylake();
   throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+core::SearchSpace space_for(const std::string& name,
+                            const hw::MachineModel& m) {
+  if (name == "table1") return core::SearchSpace::for_machine(m);
+  if (name == "extended") return core::SearchSpace::extended_for_machine(m);
+  throw Error("unknown space '" + name + "' (expected table1 or extended)");
 }
 
 struct Op {
@@ -227,7 +240,7 @@ void print_grid(const std::vector<Op>& ops,
 int run(const Args& a) {
   const auto machine = machine_for(a.machine);
   const sim::Simulator sim(machine);
-  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+  const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());
   serve::TuningService service(db, a.model_path, a.service);
   std::fprintf(stderr, "serving %s v%llu with %d threads\n",

@@ -39,6 +39,9 @@ struct Args {
   int epochs = 12;
   bool scalar_cap = false;
   std::string precision;  // empty = keep the artifact's default (f64)
+  std::string heads = "factored";  // factored | dense
+  std::string space = "table1";    // table1 | extended
+  int beam_width = 0;              // <= 0 = full-width (exact) search
 };
 
 nn::Precision precision_for(const std::string& name) {
@@ -52,8 +55,11 @@ nn::Precision precision_for(const std::string& name) {
                "usage:\n"
                "  %s train   --machine haswell|skylake --scenario power|edp\n"
                "             --out MODEL [--epochs N] [--scalar-cap]\n"
-               "             [--precision f64|f32] [--predictions FILE]\n"
+               "             [--precision f64|f32] [--heads factored|dense]\n"
+               "             [--space table1|extended] [--beam-width N]\n"
+               "             [--predictions FILE]\n"
                "  %s predict --machine haswell|skylake --model MODEL\n"
+               "             [--space table1|extended] [--beam-width N]\n"
                "             [--predictions FILE]\n"
                "  %s info    --model MODEL\n",
                argv0, argv0, argv0);
@@ -77,6 +83,9 @@ Args parse_args(int argc, char** argv) {
     else if (flag == "--epochs") a.epochs = std::stoi(value());
     else if (flag == "--scalar-cap") a.scalar_cap = true;
     else if (flag == "--precision") a.precision = value();
+    else if (flag == "--heads") a.heads = value();
+    else if (flag == "--space") a.space = value();
+    else if (flag == "--beam-width") a.beam_width = std::stoi(value());
     else usage(argv[0]);
   }
   return a;
@@ -86,6 +95,19 @@ hw::MachineModel machine_for(const std::string& name) {
   if (name == "haswell") return hw::MachineModel::haswell();
   if (name == "skylake") return hw::MachineModel::skylake();
   throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+}
+
+core::SearchSpace space_for(const std::string& name,
+                            const hw::MachineModel& m) {
+  if (name == "table1") return core::SearchSpace::for_machine(m);
+  if (name == "extended") return core::SearchSpace::extended_for_machine(m);
+  throw Error("unknown space '" + name + "' (expected table1 or extended)");
+}
+
+bool factored_for(const std::string& heads) {
+  if (heads == "factored") return true;
+  if (heads == "dense") return false;
+  throw Error("unknown heads '" + heads + "' (expected factored or dense)");
 }
 
 /// Dump predictions over the full query grid in a stable text format —
@@ -126,13 +148,14 @@ int cmd_train(const Args& a) {
   if (a.model_path.empty()) throw Error("train needs --out MODEL");
   const auto machine = machine_for(a.machine);
   const sim::Simulator sim(machine);
-  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+  const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());
   core::PnpOptions opt;
   opt.trainer.max_epochs = a.epochs;
   // Scalar-cap models additionally serve arbitrary-watt power_at queries
   // (paper Figs. 4-5) — what pnp_served needs for mixed loadgen blends.
   opt.cap_onehot = !a.scalar_cap;
+  opt.factored_heads = factored_for(a.heads);
   core::PnpTuner tuner(db, opt);
   std::vector<int> all;
   for (int r = 0; r < db.num_regions(); ++r) all.push_back(r);
@@ -154,7 +177,9 @@ int cmd_train(const Args& a) {
                a.model_path.c_str(),
                nn::precision_name(tuner.serve_precision()));
 
-  serve::InferenceEngine engine(std::move(tuner));
+  serve::EngineOptions eopt;
+  eopt.beam_width = a.beam_width;
+  serve::InferenceEngine engine(std::move(tuner), eopt);
   dump_to(engine, a.predictions_path);
   return 0;
 }
@@ -163,9 +188,11 @@ int cmd_predict(const Args& a) {
   if (a.model_path.empty()) throw Error("predict needs --model MODEL");
   const auto machine = machine_for(a.machine);
   const sim::Simulator sim(machine);
-  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
+  const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());
-  serve::InferenceEngine engine(db, a.model_path);
+  serve::EngineOptions eopt;
+  eopt.beam_width = a.beam_width;
+  serve::InferenceEngine engine(db, a.model_path, eopt);
   std::fprintf(stderr, "loaded artifact %s (%zu regions)\n",
                a.model_path.c_str(),
                static_cast<std::size_t>(db.num_regions()));
@@ -181,9 +208,14 @@ int cmd_info(const Args& a) {
   std::printf("mode: %s\n",
               art.mode == core::TunerArtifact::Mode::Power ? "power" : "edp");
   std::printf("vocab tokens: %zu (+1 OOV)\n", art.vocab_tokens.size());
+  std::printf("heads: %s\n", art.opt_factored_heads ? "factored" : "dense");
   std::printf("head sizes:");
   for (int h : art.head_sizes) std::printf(" %d", h);
   std::printf("\nextra features: %d\n", art.extra_features);
+  if (art.has_constraint_fingerprint)
+    std::printf("constraint rules: %zu\n", art.constraint_rules().size());
+  else
+    std::printf("constraint rules: none (pre-v3 artifact)\n");
   std::printf("counter stats: %zu\n", art.counter_mean.size());
   std::printf("serve precision: %s\n", nn::precision_name(art.serve_precision));
   std::size_t weights = 0;
