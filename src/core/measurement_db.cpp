@@ -1,5 +1,7 @@
 #include "core/measurement_db.hpp"
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace pnp::core {
@@ -27,10 +29,24 @@ std::size_t MeasurementDb::slot(int region, int cap, int candidate) const {
   PNP_CHECK(region >= 0 && region < num_regions());
   PNP_CHECK(cap >= 0 && cap < num_caps());
   PNP_CHECK(candidate >= 0 && candidate < per_cap_);
-  return (static_cast<std::size_t>(region) * static_cast<std::size_t>(num_caps()) +
-          static_cast<std::size_t>(cap)) *
-             static_cast<std::size_t>(per_cap_) +
-         static_cast<std::size_t>(candidate);
+  return grid_slot(static_cast<std::size_t>(region),
+                   static_cast<std::size_t>(num_caps()),
+                   static_cast<std::size_t>(per_cap_),
+                   static_cast<std::size_t>(cap),
+                   static_cast<std::size_t>(candidate));
+}
+
+void MeasurementDb::apply_observation(int region, int cap, int candidate,
+                                      double seconds, double joules) {
+  PNP_CHECK_MSG(std::isfinite(seconds) && seconds > 0.0,
+                "observation seconds must be finite and > 0, got " << seconds);
+  PNP_CHECK_MSG(std::isfinite(joules) && joules > 0.0,
+                "observation joules must be finite and > 0, got " << joules);
+  sim::ExecutionResult& cell = results_[slot(region, cap, candidate)];
+  cell.seconds = seconds;
+  cell.joules = joules;
+  cell.avg_power_w = joules / seconds;
+  // counters + frequency_ghz intentionally untouched (see header).
 }
 
 const sim::ExecutionResult& MeasurementDb::at(int region, int cap,

@@ -55,6 +55,26 @@ class MeasurementDb {
   /// if absent.
   int find_region(const std::string& app, const std::string& region) const;
 
+  /// Overwrite one cell's timing/energy with an observed measurement
+  /// (feedback loop: replayed MeasurementLog records correcting or
+  /// refreshing the table). avg_power_w is rederived as joules/seconds;
+  /// the cell's profiled counters and frequency are preserved —
+  /// observations carry power/runtime only, and the tuner's counter
+  /// features must not be zeroed by an ingest. Bounds-checked; seconds
+  /// and joules must be finite and positive.
+  void apply_observation(int region, int cap, int candidate, double seconds,
+                         double joules);
+
+  /// Pure row-major grid index, computed entirely in std::size_t: safe
+  /// even when regions × caps × per_cap exceeds INT_MAX (extended spaces
+  /// already hold >2000 configs per region, and ingestion grows corpora
+  /// unbounded). slot() and the log-replay path both route through this.
+  static std::size_t grid_slot(std::size_t region, std::size_t num_caps,
+                               std::size_t per_cap, std::size_t cap,
+                               std::size_t candidate) {
+    return (region * num_caps + cap) * per_cap + candidate;
+  }
+
  private:
   std::size_t slot(int region, int cap, int candidate) const;
 

@@ -1,0 +1,216 @@
+#include "core/measurement_log.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/wire.hpp"
+#include "core/measurement_db.hpp"
+
+namespace pnp::core {
+
+namespace {
+
+constexpr char kMagic[] = "PNPMLOG1";
+constexpr std::size_t kMagicLen = 8;
+/// Payload of one record: u32 + f64 + u32 + u8 + u32 + f64 + f64.
+constexpr std::size_t kRecordBytes = 37;
+/// Hard ceiling on a record's length claim — far above any record this
+/// version writes, far below anything that could make the reader allocate
+/// unboundedly on a hostile length field.
+constexpr std::uint32_t kMaxRecordBytes = 4096;
+
+void check_positive_finite(double v, const char* what) {
+  PNP_CHECK_MSG(std::isfinite(v) && v > 0.0,
+                "measurement record: " << what << " must be finite and > 0, got "
+                                       << v);
+}
+
+std::string encode_record(const MeasurementRecord& rec) {
+  std::string out;
+  wire::put_u32(out, static_cast<std::uint32_t>(rec.region));
+  wire::put_f64(out, rec.cap_w);
+  wire::put_u32(out, static_cast<std::uint32_t>(rec.config.threads));
+  wire::put_u8(out, static_cast<std::uint8_t>(rec.config.schedule));
+  wire::put_u32(out, static_cast<std::uint32_t>(rec.config.chunk));
+  wire::put_f64(out, rec.seconds);
+  wire::put_f64(out, rec.joules);
+  return out;
+}
+
+/// Decode one payload, rejecting narrowing: the wire carries u32s, the db
+/// indexes with ints, and a value above INT_MAX must die here — not wrap
+/// negative in a cast and wander into slot arithmetic.
+MeasurementRecord decode_record(std::string_view payload) {
+  wire::Reader r(payload);
+  MeasurementRecord rec;
+  const std::uint32_t region = r.u32();
+  PNP_CHECK_MSG(region <= static_cast<std::uint32_t>(
+                              std::numeric_limits<int>::max()),
+                "measurement record: region " << region << " overflows int");
+  rec.region = static_cast<int>(region);
+  rec.cap_w = r.f64();
+  const std::uint32_t threads = r.u32();
+  PNP_CHECK_MSG(threads >= 1 &&
+                    threads <= static_cast<std::uint32_t>(
+                                   std::numeric_limits<int>::max()),
+                "measurement record: thread count " << threads
+                                                    << " out of range");
+  rec.config.threads = static_cast<int>(threads);
+  const std::uint8_t sched = r.u8();
+  PNP_CHECK_MSG(sched < static_cast<std::uint8_t>(sim::kNumSchedules),
+                "measurement record: bad schedule byte "
+                    << static_cast<int>(sched));
+  rec.config.schedule = static_cast<sim::Schedule>(sched);
+  const std::uint32_t chunk = r.u32();
+  PNP_CHECK_MSG(chunk <= static_cast<std::uint32_t>(
+                             std::numeric_limits<int>::max()),
+                "measurement record: chunk " << chunk << " overflows int");
+  rec.config.chunk = static_cast<int>(chunk);
+  rec.seconds = r.f64();
+  rec.joules = r.f64();
+  r.expect_done("measurement record");
+  validate_measurement(rec);
+  return rec;
+}
+
+}  // namespace
+
+void validate_measurement(const MeasurementRecord& rec) {
+  PNP_CHECK_MSG(rec.region >= 0,
+                "measurement record: negative region " << rec.region);
+  PNP_CHECK_MSG(rec.config.threads >= 1, "measurement record: thread count "
+                                             << rec.config.threads
+                                             << " out of range");
+  PNP_CHECK_MSG(rec.config.chunk >= 0,
+                "measurement record: negative chunk " << rec.config.chunk);
+  const auto sched = static_cast<int>(rec.config.schedule);
+  PNP_CHECK_MSG(sched >= 0 && sched < sim::kNumSchedules,
+                "measurement record: bad schedule " << sched);
+  check_positive_finite(rec.cap_w, "cap_w");
+  check_positive_finite(rec.seconds, "seconds");
+  check_positive_finite(rec.joules, "joules");
+}
+
+GridCell locate_observation(const MeasurementDb& db,
+                            const MeasurementRecord& rec) {
+  validate_measurement(rec);
+  GridCell cell;
+  PNP_CHECK_MSG(rec.region >= 0 && rec.region < db.num_regions(),
+                "observation names region " << rec.region << ", db has "
+                                            << db.num_regions());
+  cell.region = rec.region;
+  cell.cap = db.space().cap_index(rec.cap_w);  // throws on off-grid caps
+  cell.candidate = db.space().omp_index(rec.config);
+  if (cell.candidate < 0) {
+    PNP_CHECK_MSG(rec.config == db.space().default_config(),
+                  "observation config " << rec.config.to_string()
+                                        << " is not in the search space");
+    cell.candidate = db.space().num_omp_configs();
+  }
+  return cell;
+}
+
+std::size_t replay_observations(MeasurementDb& db,
+                                const std::vector<MeasurementRecord>& records,
+                                std::size_t from) {
+  PNP_CHECK_MSG(from <= records.size(), "replay offset " << from
+                                                         << " past the log's "
+                                                         << records.size()
+                                                         << " record(s)");
+  // Locate (and so validate) everything first: one bad record aborts the
+  // whole batch before any cell is touched.
+  std::vector<GridCell> cells;
+  cells.reserve(records.size() - from);
+  for (std::size_t i = from; i < records.size(); ++i)
+    cells.push_back(locate_observation(db, records[i]));
+  for (std::size_t i = from; i < records.size(); ++i) {
+    const GridCell& c = cells[i - from];
+    db.apply_observation(c.region, c.cap, c.candidate, records[i].seconds,
+                         records[i].joules);
+  }
+  return cells.size();
+}
+
+MeasurementLog::MeasurementLog(const std::string& path) : path_(path) {
+  std::ifstream probe(path_, std::ios::binary);
+  if (probe.is_open()) {
+    probe.close();
+    // Existing file: validate it end to end so a torn or poisoned log is
+    // rejected before any new observation is acknowledged on top of it.
+    count_ = read_all(path_).size();
+    return;
+  }
+  std::ofstream os(path_, std::ios::binary);
+  PNP_CHECK_MSG(os.is_open(), "cannot create measurement log '" << path_
+                                                                << "'");
+  os.write(kMagic, static_cast<std::streamsize>(kMagicLen));
+  os.flush();
+  PNP_CHECK_MSG(os.good(), "cannot write measurement log magic to '"
+                               << path_ << "'");
+}
+
+std::uint64_t MeasurementLog::append(const MeasurementRecord& rec) {
+  validate_measurement(rec);
+  std::string frame;
+  const std::string payload = encode_record(rec);
+  wire::put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame += payload;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  PNP_CHECK_MSG(!failed_, "measurement log '"
+                              << path_
+                              << "' is failed; refusing further appends");
+  std::ofstream os(path_, std::ios::binary | std::ios::app);
+  if (!os.is_open()) {
+    failed_ = true;
+    throw Error("cannot open measurement log '" + path_ + "' for append");
+  }
+  // One write + flush per record: the record is fully on its way to disk
+  // before the caller (the server's observe handler) acknowledges it.
+  os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  os.flush();
+  if (!os.good()) {
+    failed_ = true;
+    throw Error("measurement log '" + path_ + "' append failed");
+  }
+  return ++count_;
+}
+
+std::uint64_t MeasurementLog::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return count_;
+}
+
+std::vector<MeasurementRecord> MeasurementLog::read_all(
+    const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PNP_CHECK_MSG(is.is_open(), "cannot open measurement log '" << path << "'");
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  PNP_CHECK_MSG(is.good() || is.eof(),
+                "reading measurement log '" << path << "' failed");
+
+  wire::Reader r(bytes);
+  PNP_CHECK_MSG(r.remaining() >= kMagicLen,
+                "measurement log '" << path << "': missing magic");
+  PNP_CHECK_MSG(r.bytes(kMagicLen) == std::string_view(kMagic, kMagicLen),
+                "measurement log '" << path
+                                    << "': bad magic (not a PNPMLOG1 file)");
+  std::vector<MeasurementRecord> out;
+  while (!r.done()) {
+    const std::uint32_t len = r.u32();
+    PNP_CHECK_MSG(len >= kRecordBytes && len <= kMaxRecordBytes,
+                  "measurement log '" << path << "': record length " << len
+                                      << " outside [" << kRecordBytes << ", "
+                                      << kMaxRecordBytes << "]");
+    // Reader::bytes bounds-checks: a length claim past EOF (a torn tail)
+    // throws here instead of yielding a short record.
+    out.push_back(decode_record(r.bytes(len)));
+  }
+  return out;
+}
+
+}  // namespace pnp::core

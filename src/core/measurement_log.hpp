@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file measurement_log.hpp
+/// Durable append-only store of runtime measurements — the ingestion half
+/// of the serving feedback loop (docs/SERVING.md, "Model lifecycle").
+/// Observed (region, config, cap, runtime/energy) samples arrive through
+/// the `observe` protocol op, land here as length-prefixed records, and
+/// are later replayed onto a MeasurementDb copy that the background
+/// retrainer fine-tunes on.
+///
+/// File format (little-endian, versioned by the magic):
+///
+///   8 bytes  "PNPMLOG1"
+///   per record:
+///     u32 len      payload length (fixed 37 today; bounded, never trusted)
+///     u32 region   db region index
+///     f64 cap_w    power cap in watts (must match a search-space cap)
+///     u32 threads  OpenMP configuration
+///     u8  sched    sim::Schedule (< kNumSchedules)
+///     u32 chunk
+///     f64 seconds  measured runtime (finite, > 0)
+///     f64 joules   measured package energy (finite, > 0)
+///
+/// The reader treats the file as hostile, exactly like the StateDict
+/// loader: every length is bounded, every value validated, truncation /
+/// trailing bytes / absurd values throw pnp::Error and nothing is
+/// half-applied. The writer is sticky-failing: after any append error the
+/// log refuses further appends, so a torn tail can never grow into a
+/// longer corrupt file behind already-acknowledged records.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/omp_config.hpp"
+
+namespace pnp::core {
+
+class MeasurementDb;
+
+/// One observed measurement, as carried by the wire op and the log.
+struct MeasurementRecord {
+  int region = 0;
+  double cap_w = 0.0;
+  sim::OmpConfig config;
+  double seconds = 0.0;
+  double joules = 0.0;
+};
+
+/// Where a record lands on a MeasurementDb grid.
+struct GridCell {
+  int region = 0;
+  int cap = 0;
+  int candidate = 0;
+};
+
+/// Value-sanity check shared by append and read: finite positive
+/// measurements, a known schedule, non-negative indices. Throws
+/// pnp::Error naming the offending field.
+void validate_measurement(const MeasurementRecord& rec);
+
+/// Map a record onto `db`'s grid or throw pnp::Error: the region must be
+/// in range, the cap must match a search-space cap exactly, and the
+/// configuration must be a grid candidate (or the default config, which
+/// maps to the default slot). Nothing is mutated.
+GridCell locate_observation(const MeasurementDb& db,
+                            const MeasurementRecord& rec);
+
+/// Replay records[from..) onto `db`, all-or-nothing: every record is
+/// located (and so validated) before any cell is overwritten, so a
+/// poisoned batch never leaves the db half-applied. Returns the number of
+/// records applied.
+std::size_t replay_observations(MeasurementDb& db,
+                                const std::vector<MeasurementRecord>& records,
+                                std::size_t from = 0);
+
+class MeasurementLog {
+ public:
+  /// Open `path` for appending, creating it (with the magic) if absent.
+  /// An existing file is fully validated first — a torn or corrupt log is
+  /// rejected here, before the daemon ever acknowledges an observe.
+  explicit MeasurementLog(const std::string& path);
+
+  MeasurementLog(const MeasurementLog&) = delete;
+  MeasurementLog& operator=(const MeasurementLog&) = delete;
+
+  /// Durably append one record (validated, encoded, written and flushed
+  /// in one call) and return its 1-based sequence number. Thread-safe.
+  /// Throws pnp::Error on invalid records or I/O failure; after an I/O
+  /// failure the log is sticky-failed and every later append throws too.
+  std::uint64_t append(const MeasurementRecord& rec);
+
+  /// Records in the log (pre-existing + appended). Thread-safe.
+  std::uint64_t size() const;
+
+  const std::string& path() const { return path_; }
+
+  /// Hardened bulk reader: parse and validate the whole file. Throws
+  /// pnp::Error on a bad magic, truncated record, oversized length claim,
+  /// trailing bytes, or any invalid field — a poisoned log yields no
+  /// records at all, never a prefix.
+  static std::vector<MeasurementRecord> read_all(const std::string& path);
+
+ private:
+  mutable std::mutex mu_;
+  std::string path_;
+  std::uint64_t count_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace pnp::core

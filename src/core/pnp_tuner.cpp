@@ -297,6 +297,57 @@ nn::TrainReport PnpTuner::train_edp_scenario(
   return run_training(samples);
 }
 
+nn::TrainReport PnpTuner::fine_tune(const std::vector<int>& train_regions,
+                                    const nn::TrainerConfig& cfg) {
+  PNP_CHECK_MSG(net_ != nullptr && mode_ != Mode::None,
+                "fine_tune needs a trained or restored model");
+  PNP_CHECK(!train_regions.empty());
+
+  // Samples are rebuilt exactly as train_*_scenario builds them — from the
+  // db's *current* labels — but build_model is skipped: vocab_, tensors_,
+  // counter stats and net_ stay as they are, so the existing weights are
+  // the starting point.
+  std::vector<nn::TrainSample> samples;
+  samples.reserve(train_regions.size());
+  if (mode_ == Mode::Power) {
+    std::vector<int> caps = opt_.train_cap_indices;
+    if (caps.empty())
+      for (int k = 0; k < db_.num_caps(); ++k) caps.push_back(k);
+    for (int r : train_regions) {
+      nn::TrainSample s;
+      s.graph = &tensors_[static_cast<std::size_t>(r)];
+      for (int k : caps) {
+        nn::SampleMember m;
+        m.extra = make_extra(r, k, std::nullopt);
+        m.labels = power_labels(r, k);
+        s.members.push_back(std::move(m));
+      }
+      samples.push_back(std::move(s));
+    }
+  } else {
+    for (int r : train_regions) {
+      nn::TrainSample s;
+      s.graph = &tensors_[static_cast<std::size_t>(r)];
+      nn::SampleMember m;
+      m.extra = make_extra(r, std::nullopt, std::nullopt);
+      m.labels = edp_labels(r);
+      s.members.push_back(std::move(m));
+      samples.push_back(std::move(s));
+    }
+  }
+
+  const nn::TrainerConfig saved = opt_.trainer;
+  opt_.trainer = cfg;
+  try {
+    nn::TrainReport report = run_training(samples);
+    opt_.trainer = saved;
+    return report;
+  } catch (...) {
+    opt_.trainer = saved;
+    throw;
+  }
+}
+
 sim::OmpConfig PnpTuner::predict_power(int region, int cap_index) const {
   PNP_CHECK_MSG(mode_ == Mode::Power && net_ != nullptr,
                 "train_power_scenario must run first");

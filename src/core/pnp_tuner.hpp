@@ -94,6 +94,20 @@ class PnpTuner {
   };
   JointChoice predict_edp(int region) const;
 
+  // --- Continual retraining -------------------------------------------------
+  /// Continue training the current model on the db's *current* labels
+  /// without rebuilding it: vocabulary, graph tensors, counter statistics
+  /// and — crucially — the network weights are all kept, so training
+  /// warm-starts from wherever the model is (a freshly trained tuner or
+  /// one restored from the serving artifact). This is the feedback loop's
+  /// retrain step: after observations are replayed into the MeasurementDb,
+  /// best-by-time / best-by-EDP labels are rederived from the grown table
+  /// and the incumbent weights are fine-tuned toward them under `cfg`
+  /// (which overrides the stored trainer config for this call only).
+  /// Throws pnp::Error when no scenario has been trained or restored.
+  nn::TrainReport fine_tune(const std::vector<int>& train_regions,
+                            const nn::TrainerConfig& cfg);
+
   // --- Persistence ----------------------------------------------------------
   /// Write the full trained tuner — options, vocabulary, counter stats,
   /// mode, head layout, and all net weights — as a versioned artifact

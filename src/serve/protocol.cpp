@@ -44,6 +44,15 @@ std::string encode_request(const Request& q) {
       break;
     case Op::Stats:
       break;
+    case Op::Observe:
+      put_i32(out, q.observe.region);
+      wire::put_f64(out, q.observe.cap_w);
+      put_i32(out, q.observe.config.threads);
+      wire::put_u8(out, static_cast<std::uint8_t>(q.observe.config.schedule));
+      put_i32(out, q.observe.config.chunk);
+      wire::put_f64(out, q.observe.seconds);
+      wire::put_f64(out, q.observe.joules);
+      break;
   }
   return out;
 }
@@ -83,6 +92,23 @@ Request decode_request(std::string_view payload) {
     case static_cast<std::uint8_t>(Op::Stats):
       q.op = Op::Stats;
       break;
+    case static_cast<std::uint8_t>(Op::Observe): {
+      q.op = Op::Observe;
+      q.observe.region = get_i32(r);
+      q.observe.cap_w = r.f64();
+      q.observe.config.threads = get_i32(r);
+      const std::uint8_t sched = r.u8();
+      PNP_CHECK_MSG(sched < static_cast<std::uint8_t>(sim::kNumSchedules),
+                    "bad schedule byte " << static_cast<int>(sched));
+      q.observe.config.schedule = static_cast<sim::Schedule>(sched);
+      q.observe.config.chunk = get_i32(r);
+      q.observe.seconds = r.f64();
+      q.observe.joules = r.f64();
+      // Value sanity (finite positive measurements, sane indices) lives in
+      // core::validate_measurement, called by the server before the record
+      // can become durable — the codec only guards the byte layout.
+      break;
+    }
     default:
       throw Error("unknown opcode " + std::to_string(op));
   }
@@ -114,8 +140,16 @@ std::string encode_reload_response(std::uint64_t id, std::uint64_t version) {
   return out;
 }
 
+std::string encode_observe_response(std::uint64_t id, std::uint64_t seq) {
+  std::string out = response_header(id, Status::Ok);
+  wire::put_u8(out, static_cast<std::uint8_t>(Op::Observe));
+  wire::put_u64(out, seq);
+  return out;
+}
+
 std::string encode_stats_response(std::uint64_t id, const ServerCounters& sc,
                                   const TuningService::Stats& svc,
+                                  const RetrainCounters& rc,
                                   const LatencyHistogram& hist) {
   std::string out = response_header(id, Status::Ok);
   wire::put_u8(out, static_cast<std::uint8_t>(Op::Stats));
@@ -131,6 +165,13 @@ std::string encode_stats_response(std::uint64_t id, const ServerCounters& sc,
   wire::put_u64(out, svc.encode_misses);
   wire::put_u64(out, svc.reloads);
   wire::put_u64(out, svc.failed_reloads);
+  wire::put_u64(out, rc.observed);
+  wire::put_u64(out, rc.attempts);
+  wire::put_u64(out, rc.published);
+  wire::put_u64(out, rc.rejected_gate);
+  wire::put_u64(out, rc.rejected_candidate);
+  wire::put_u64(out, rc.rejected_log);
+  wire::put_u64(out, rc.last_published_version);
   hist.encode(out);
   return out;
 }
@@ -189,6 +230,10 @@ Response decode_response(std::string_view payload,
       resp.op = Op::Reload;
       resp.new_version = r.u64();
       break;
+    case static_cast<std::uint8_t>(Op::Observe):
+      resp.op = Op::Observe;
+      resp.observe_seq = r.u64();
+      break;
     case static_cast<std::uint8_t>(Op::Stats): {
       resp.op = Op::Stats;
       resp.server.connections = r.u64();
@@ -203,6 +248,13 @@ Response decode_response(std::string_view payload,
       resp.service.encode_misses = r.u64();
       resp.service.reloads = r.u64();
       resp.service.failed_reloads = r.u64();
+      resp.retrain.observed = r.u64();
+      resp.retrain.attempts = r.u64();
+      resp.retrain.published = r.u64();
+      resp.retrain.rejected_gate = r.u64();
+      resp.retrain.rejected_candidate = r.u64();
+      resp.retrain.rejected_log = r.u64();
+      resp.retrain.last_published_version = r.u64();
       if (stats_hist != nullptr) {
         stats_hist->decode(r);
       } else {

@@ -11,12 +11,16 @@
 ///
 ///   u64 id          echoed verbatim in the response (responses may be
 ///                   written out of order across a connection's pipeline)
-///   u8  opcode      1 power | 2 power_at | 3 edp | 4 reload | 5 stats
+///   u8  opcode      1 power | 2 power_at | 3 edp | 4 reload | 5 stats |
+///                   6 observe
 ///   opcode 1: u32 region, u32 cap_index
 ///   opcode 2: u32 region, f64 cap_watts
 ///   opcode 3: u32 region
 ///   opcode 4: u32 path_len, path bytes (the artifact to hot-reload)
 ///   opcode 5: (empty)
+///   opcode 6: u32 region, f64 cap_watts, u32 threads, u8 schedule,
+///             u32 chunk, f64 seconds, f64 joules — one observed
+///             measurement for the feedback loop (core::MeasurementLog)
 ///
 /// Response payload:
 ///
@@ -29,8 +33,14 @@
 ///     5:     the stats blob: u64 × {connections, ok, error, shed,
 ///            malformed} server counters, u64 × {requests, batches,
 ///            coalesced, encode_hits, encode_misses, reloads,
-///            failed_reloads} TuningService counters, then the
-///            common::LatencyHistogram wire form
+///            failed_reloads} TuningService counters, u64 × {observed,
+///            attempts, published, rejected_gate, rejected_candidate,
+///            rejected_log, last_published_version} retrain counters
+///            (all zero when the daemon runs without a retrain
+///            controller), then the common::LatencyHistogram wire form
+///     6:     u64 seq — the measurement's 1-based sequence number in the
+///            durable log (the append is flushed before this reply is
+///            written)
 ///   status 1: u32 msg_len, message bytes (the pnp::Error text)
 ///   status 2: (empty — the admission queue was full; retry later)
 ///
@@ -44,6 +54,7 @@
 #include <string_view>
 
 #include "common/latency_histogram.hpp"
+#include "core/measurement_log.hpp"
 #include "serve/tuning_service.hpp"
 
 namespace pnp::serve::protocol {
@@ -54,6 +65,7 @@ enum class Op : std::uint8_t {
   Edp = 3,
   Reload = 4,
   Stats = 5,
+  Observe = 6,
 };
 
 enum class Status : std::uint8_t {
@@ -67,6 +79,7 @@ struct Request {
   Op op = Op::Power;
   TuneRequest tune;          ///< Power / PowerAt / Edp
   std::string reload_path;   ///< Reload
+  core::MeasurementRecord observe;  ///< Observe
 };
 
 /// Server-side counters carried by a stats response, alongside the
@@ -79,6 +92,19 @@ struct ServerCounters {
   std::uint64_t malformed = 0;    ///< frames rejected before admission
 };
 
+/// Feedback-loop counters carried by a stats response (docs/SERVING.md,
+/// "Model lifecycle"). All zero when the daemon runs without a retrain
+/// controller.
+struct RetrainCounters {
+  std::uint64_t observed = 0;       ///< log records ingested into the train db
+  std::uint64_t attempts = 0;       ///< retrain rounds that trained a candidate
+  std::uint64_t published = 0;      ///< candidates that passed the gate
+  std::uint64_t rejected_gate = 0;  ///< candidates worse on the held-out split
+  std::uint64_t rejected_candidate = 0;  ///< candidates whose save/reload failed
+  std::uint64_t rejected_log = 0;   ///< rounds aborted by a corrupt/poisoned log
+  std::uint64_t last_published_version = 0;  ///< 0 = never published
+};
+
 /// A decoded response. Which fields are meaningful depends on (status,
 /// op), mirroring the payload layout above.
 struct Response {
@@ -87,9 +113,11 @@ struct Response {
   Op op = Op::Power;           ///< echoed opcode (Status::Ok only)
   TuneResult result;           ///< tune opcodes
   std::uint64_t new_version = 0;  ///< reload
+  std::uint64_t observe_seq = 0;  ///< observe: durable log sequence number
   std::string error;           ///< Status::Error message
   ServerCounters server;       ///< stats
   TuningService::Stats service;  ///< stats
+  RetrainCounters retrain;     ///< stats
 };
 
 std::string encode_request(const Request& q);
@@ -105,8 +133,10 @@ std::uint64_t peek_id(std::string_view payload);
 
 std::string encode_tune_response(std::uint64_t id, Op op, const TuneResult& r);
 std::string encode_reload_response(std::uint64_t id, std::uint64_t version);
+std::string encode_observe_response(std::uint64_t id, std::uint64_t seq);
 std::string encode_stats_response(std::uint64_t id, const ServerCounters& sc,
                                   const TuningService::Stats& svc,
+                                  const RetrainCounters& rc,
                                   const LatencyHistogram& hist);
 std::string encode_error_response(std::uint64_t id, std::string_view message);
 std::string encode_shed_response(std::uint64_t id);

@@ -171,6 +171,26 @@ void Server::execute(const Job& job) {
         errors_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
+    case protocol::Op::Observe:
+      try {
+        PNP_CHECK_MSG(opt_.observe_log != nullptr,
+                      "observation ingestion is disabled on this server");
+        // Locate before appending: a record that cannot land on the
+        // serving grid (unknown region, off-grid cap or config, absurd
+        // values) is refused here and never becomes durable.
+        core::locate_observation(service_.db(), q.observe);
+        const std::uint64_t seq = opt_.observe_log->append(q.observe);
+        // The append flushed before we reply: a client holding this ack
+        // can count on the record surviving a drain (exactly-once — the
+        // drain finishes every admitted request, and a request is only
+        // admitted once).
+        out = protocol::encode_observe_response(q.id, seq);
+        ok_.fetch_add(1, std::memory_order_relaxed);
+      } catch (const std::exception& e) {
+        out = protocol::encode_error_response(q.id, e.what());
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
     case protocol::Op::Stats: {
       // Counters are sampled before this stats request itself is counted.
       protocol::ServerCounters sc;
@@ -180,7 +200,10 @@ void Server::execute(const Job& job) {
       sc.errors = st.errors;
       sc.shed = st.shed;
       sc.malformed = st.malformed;
-      out = protocol::encode_stats_response(q.id, sc, service_.stats(),
+      const protocol::RetrainCounters rc =
+          opt_.retrain_counters ? opt_.retrain_counters()
+                                : protocol::RetrainCounters{};
+      out = protocol::encode_stats_response(q.id, sc, service_.stats(), rc,
                                             latency_);
       ok_.fetch_add(1, std::memory_order_relaxed);
       break;

@@ -61,6 +61,16 @@ struct ServerOptions {
   /// Largest request payload a client may send; larger length claims
   /// close the connection (net::kMaxFrameBytes caps it).
   std::uint32_t max_frame_bytes = 64 * 1024;
+  /// Ingestion sink for `observe` requests (the feedback loop's write
+  /// path). null → observe requests are answered with an error frame.
+  /// The log must outlive the server. An admitted observe is appended —
+  /// and flushed — before its reply is written, and the graceful drain
+  /// finishes every admitted request, so an observe accepted before a
+  /// drain is always durably logged and answered exactly once.
+  core::MeasurementLog* observe_log = nullptr;
+  /// Source of the feedback-loop counters exported in the stats frame
+  /// (serve/retrainer.hpp RetrainController::counters). null → zeros.
+  std::function<protocol::RetrainCounters()> retrain_counters;
   /// Test-only: invoked by a worker before executing each admitted
   /// request. Lets tests hold the worker pool on a latch to fill the
   /// admission queue deterministically (tests/server_test.cpp). Must be

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/tuner_artifact.hpp"
 
 #if defined(__linux__)
 #include <pthread.h>
@@ -13,7 +14,15 @@ namespace pnp::serve {
 
 namespace {
 
-constexpr auto kRelaxed = std::memory_order_relaxed;
+// Counter increments release, stats() loads acquire: a derived counter's
+// increment (hit/miss/batch/coalesced) is sequenced after its request's
+// increment, so a stats() snapshot that observes the derived increment
+// also observes the request increment — provided it reads the derived
+// counters first and `requests` last (see stats()). On x86 this costs
+// nothing over relaxed; the ordering is what makes the documented
+// snapshot invariants provable instead of accidental.
+constexpr auto kRelease = std::memory_order_release;
+constexpr auto kAcquire = std::memory_order_acquire;
 
 /// Best-effort: pin `t` to CPU `cpu` mod hardware_concurrency. Failures
 /// (cgroup-restricted affinity masks, non-Linux hosts) are ignored —
@@ -52,7 +61,7 @@ const nn::RgcnNet::GnnCache& TuningService::Snapshot::encoding(
     std::shared_lock<std::shared_mutex> rl(locks.at(stripe));
     const auto it = shards[stripe].find(region);
     if (it != shards[stripe].end()) {
-      counters->encode_hits.fetch_add(1, kRelaxed);
+      counters->encode_hits.fetch_add(1, kRelease);
       // Safe to use after unlock: entries are append-only and the pointee
       // is immutable once published under the stripe lock.
       return *it->second;
@@ -63,7 +72,7 @@ const nn::RgcnNet::GnnCache& TuningService::Snapshot::encoding(
   // region, both encodes are bit-identical and the first insert wins.
   auto fresh = std::make_unique<nn::RgcnNet::GnnCache>();
   model.encode(region, *fresh);
-  counters->encode_misses.fetch_add(1, kRelaxed);
+  counters->encode_misses.fetch_add(1, kRelease);
   std::unique_lock<std::shared_mutex> wl(locks.at(stripe));
   const auto [it, inserted] =
       shards[stripe].try_emplace(region, std::move(fresh));
@@ -225,8 +234,8 @@ void TuningService::worker_loop(WorkerShard& w) {
     batch.assign(w.queue.begin(), w.queue.begin() + take);
     w.queue.erase(w.queue.begin(), w.queue.begin() + take);
     lk.unlock();
-    counters_->batches.fetch_add(1, kRelaxed);
-    counters_->coalesced.fetch_add(batch.size() - 1, kRelaxed);
+    counters_->batches.fetch_add(1, kRelease);
+    counters_->coalesced.fetch_add(batch.size() - 1, kRelease);
     // One snapshot per drained batch — same atomicity contract as the
     // leader/follower path.
     const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
@@ -270,10 +279,10 @@ std::uint64_t TuningService::reload(const std::string& artifact_path) {
                   "reload would switch the served scenario (power vs edp); "
                   "start a new service for a different scenario");
     const std::uint64_t v = publish_locked(std::move(fresh));
-    counters_->reloads.fetch_add(1, kRelaxed);
+    counters_->reloads.fetch_add(1, kRelease);
     return v;
   } catch (...) {
-    counters_->failed_reloads.fetch_add(1, kRelaxed);
+    counters_->failed_reloads.fetch_add(1, kRelease);
     throw;
   }
 }
@@ -291,8 +300,8 @@ std::size_t TuningService::cached_encodings() const {
 }
 
 void TuningService::run_batch(const std::vector<Pending*>& batch) {
-  counters_->batches.fetch_add(1, kRelaxed);
-  counters_->coalesced.fetch_add(batch.size() - 1, kRelaxed);
+  counters_->batches.fetch_add(1, kRelease);
+  counters_->coalesced.fetch_add(batch.size() - 1, kRelease);
   // One snapshot for the whole batch: every request in it is served —
   // and version-tagged — by exactly one model, never a half-swapped one.
   const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
@@ -307,12 +316,12 @@ void TuningService::run_batch(const std::vector<Pending*>& batch) {
 }
 
 TuneResult TuningService::tune(const TuneRequest& request) {
-  counters_->requests.fetch_add(1, kRelaxed);
+  counters_->requests.fetch_add(1, kRelease);
 
   if (!workers_.empty()) return tune_sharded(request);
 
   if (!opt_.coalesce) {
-    counters_->batches.fetch_add(1, kRelaxed);
+    counters_->batches.fetch_add(1, kRelease);
     const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
     CtxLease lease(*this);
     return snap->serve(request, lease.get(), opt_.use_arena);
@@ -363,10 +372,10 @@ TuneResult TuningService::tune(const TuneRequest& request) {
 
 std::vector<TuneResult> TuningService::tune_batch(
     std::span<const TuneRequest> requests) {
-  counters_->requests.fetch_add(requests.size(), kRelaxed);
-  counters_->batches.fetch_add(1, kRelaxed);
+  counters_->requests.fetch_add(requests.size(), kRelease);
+  counters_->batches.fetch_add(1, kRelease);
   if (!requests.empty())
-    counters_->coalesced.fetch_add(requests.size() - 1, kRelaxed);
+    counters_->coalesced.fetch_add(requests.size() - 1, kRelease);
   const std::shared_ptr<const Snapshot> snap = snapshot_.current().value;
   CtxLease lease(*this);
   std::vector<TuneResult> out;
@@ -377,15 +386,30 @@ std::vector<TuneResult> TuningService::tune_batch(
 }
 
 TuningService::Stats TuningService::stats() const {
+  // Read order is the contract (see the Stats doc comment): every derived
+  // counter first, `requests` last, all with acquire. A derived increment
+  // is released after its request's increment, so observing it here
+  // guarantees the later `requests` load covers that request too —
+  // which is exactly the snapshot invariants
+  //   encode_hits + encode_misses <= requests
+  //   batches + coalesced        <= requests.
+  // Reading `requests` first (or everything relaxed, as this used to)
+  // allows a snapshot where a request's hit is counted but the request
+  // itself is not, momentarily violating the stats frame's own
+  // documented arithmetic under load.
   Stats s;
-  s.requests = counters_->requests.load(kRelaxed);
-  s.batches = counters_->batches.load(kRelaxed);
-  s.coalesced = counters_->coalesced.load(kRelaxed);
-  s.encode_hits = counters_->encode_hits.load(kRelaxed);
-  s.encode_misses = counters_->encode_misses.load(kRelaxed);
-  s.reloads = counters_->reloads.load(kRelaxed);
-  s.failed_reloads = counters_->failed_reloads.load(kRelaxed);
+  s.encode_hits = counters_->encode_hits.load(kAcquire);
+  s.encode_misses = counters_->encode_misses.load(kAcquire);
+  s.coalesced = counters_->coalesced.load(kAcquire);
+  s.batches = counters_->batches.load(kAcquire);
+  s.reloads = counters_->reloads.load(kAcquire);
+  s.failed_reloads = counters_->failed_reloads.load(kAcquire);
+  s.requests = counters_->requests.load(kAcquire);
   return s;
+}
+
+core::TunerArtifact TuningService::current_artifact() const {
+  return snapshot_.current().value->model.tuner().to_artifact();
 }
 
 }  // namespace pnp::serve

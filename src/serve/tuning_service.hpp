@@ -184,6 +184,13 @@ class TuningService {
   int worker_shards() const { return static_cast<int>(workers_.size()); }
   /// Region encodings cached by the current snapshot.
   std::size_t cached_encodings() const;
+  /// The measurement db this service validates and serves against.
+  const core::MeasurementDb& db() const { return db_; }
+  /// Full artifact of the model currently serving new requests — the
+  /// warm-start source for the retrain loop (serve/retrainer.hpp).
+  /// Consistent with one published snapshot; reloading it through
+  /// from_artifact yields bit-identical predictions to that snapshot.
+  core::TunerArtifact current_artifact() const;
 
   struct Stats {
     std::uint64_t requests = 0;       ///< tune() + tune_batch() requests
@@ -200,6 +207,24 @@ class TuningService {
     std::uint64_t reloads = 0;        ///< successful reload() calls
     std::uint64_t failed_reloads = 0; ///< reload() calls that threw
   };
+  /// A consistent-enough snapshot of the counters. Under concurrent
+  /// traffic a snapshot is NOT an instantaneous cut — requests are always
+  /// mid-flight — but every snapshot satisfies the invariants
+  ///
+  ///     encode_hits + encode_misses <= requests
+  ///     batches + coalesced        <= requests
+  ///
+  /// because every derived counter's increment happens after its
+  /// request's increment (release order), and stats() reads the derived
+  /// counters first and `requests` last (acquire order) — a derived
+  /// increment can never be visible without the request increment that
+  /// caused it. At quiescence (no tune/tune_batch call in flight) both
+  /// become the documented equalities:
+  ///
+  ///     encode_hits + encode_misses == requests
+  ///     batches + coalesced        == requests
+  ///
+  /// tests/stats_consistency_test.cpp hammers both claims.
   Stats stats() const;
 
  private:

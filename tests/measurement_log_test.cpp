@@ -1,0 +1,302 @@
+// Tests for core::MeasurementLog (the feedback loop's durable ingest
+// format), validate/locate/replay, and the overflow-hardened grid
+// indexing of MeasurementDb (docs/SERVING.md, "Model lifecycle").
+
+#include <climits>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/wire.hpp"
+#include "core/measurement_db.hpp"
+#include "core/measurement_log.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  return std::string(std::istreambuf_iterator<char>(is), {});
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+MeasurementRecord record(int region, double cap_w, int threads,
+                         sim::Schedule sched, int chunk, double seconds,
+                         double joules) {
+  MeasurementRecord m;
+  m.region = region;
+  m.cap_w = cap_w;
+  m.config = sim::OmpConfig{threads, sched, chunk};
+  m.seconds = seconds;
+  m.joules = joules;
+  return m;
+}
+
+TEST(MeasurementLogTest, AppendAndReadAllRoundTrips) {
+  const std::string path = temp_path("mlog_roundtrip.bin");
+  std::remove(path.c_str());
+  {
+    MeasurementLog log(path);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.append(record(0, 40.0, 4, sim::Schedule::Static, 0, 1.25,
+                                55.0)),
+              1u);
+    EXPECT_EQ(log.append(record(3, 70.0, 16, sim::Schedule::Guided, 8, 0.5,
+                                30.0)),
+              2u);
+    EXPECT_EQ(log.size(), 2u);
+  }
+  const auto records = MeasurementLog::read_all(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].region, 0);
+  EXPECT_DOUBLE_EQ(records[0].cap_w, 40.0);
+  EXPECT_EQ(records[0].config.threads, 4);
+  EXPECT_EQ(records[0].config.schedule, sim::Schedule::Static);
+  EXPECT_DOUBLE_EQ(records[0].seconds, 1.25);
+  EXPECT_DOUBLE_EQ(records[0].joules, 55.0);
+  EXPECT_EQ(records[1].region, 3);
+  EXPECT_EQ(records[1].config.threads, 16);
+  EXPECT_EQ(records[1].config.schedule, sim::Schedule::Guided);
+  EXPECT_EQ(records[1].config.chunk, 8);
+}
+
+TEST(MeasurementLogTest, ReopenResumesCountAndAppends) {
+  const std::string path = temp_path("mlog_reopen.bin");
+  std::remove(path.c_str());
+  {
+    MeasurementLog log(path);
+    log.append(record(1, 40.0, 2, sim::Schedule::Dynamic, 4, 2.0, 80.0));
+  }
+  {
+    MeasurementLog log(path);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(log.append(record(2, 55.0, 8, sim::Schedule::Static, 0, 1.0,
+                                42.0)),
+              2u);
+  }
+  EXPECT_EQ(MeasurementLog::read_all(path).size(), 2u);
+}
+
+TEST(MeasurementLogTest, BadMagicRejected) {
+  const std::string path = temp_path("mlog_badmagic.bin");
+  dump(path, "NOTALOG1");
+  EXPECT_THROW(MeasurementLog::read_all(path), Error);
+  EXPECT_THROW(MeasurementLog{path}, Error);
+}
+
+TEST(MeasurementLogTest, TornTailRejectedWholesale) {
+  const std::string path = temp_path("mlog_torn.bin");
+  std::remove(path.c_str());
+  {
+    MeasurementLog log(path);
+    log.append(record(0, 40.0, 4, sim::Schedule::Static, 0, 1.0, 50.0));
+    log.append(record(1, 55.0, 8, sim::Schedule::Guided, 2, 0.7, 33.0));
+  }
+  // Chop mid-record: a crash between the length prefix and the payload.
+  std::string bytes = slurp(path);
+  dump(path, bytes.substr(0, bytes.size() - 5));
+  // All-or-nothing: the intact first record is NOT returned.
+  EXPECT_THROW(MeasurementLog::read_all(path), Error);
+  // And the writer refuses to open over a torn log rather than appending
+  // unreadable garbage after the tear.
+  EXPECT_THROW(MeasurementLog{path}, Error);
+}
+
+TEST(MeasurementLogTest, OversizedLengthClaimRejected) {
+  const std::string path = temp_path("mlog_oversize.bin");
+  std::string bytes = "PNPMLOG1";
+  {
+    std::string frame;
+    wire::put_u32(frame, 1u << 20);  // absurd length claim, no payload
+    bytes += frame;
+  }
+  dump(path, bytes);
+  EXPECT_THROW(MeasurementLog::read_all(path), Error);
+}
+
+TEST(MeasurementLogTest, PoisonedValuesRejected) {
+  const std::string path = temp_path("mlog_poison.bin");
+  MeasurementLog log(path);
+  // Every invalid field is refused at append time…
+  EXPECT_THROW(log.append(record(-1, 40.0, 4, sim::Schedule::Static, 0, 1.0,
+                                 50.0)),
+               Error);
+  EXPECT_THROW(log.append(record(0, 0.0, 4, sim::Schedule::Static, 0, 1.0,
+                                 50.0)),
+               Error);
+  EXPECT_THROW(log.append(record(0, 40.0, 0, sim::Schedule::Static, 0, 1.0,
+                                 50.0)),
+               Error);
+  EXPECT_THROW(log.append(record(0, 40.0, 4, sim::Schedule::Static, -2, 1.0,
+                                 50.0)),
+               Error);
+  EXPECT_THROW(log.append(record(0, 40.0, 4, sim::Schedule::Static, 0, -1.0,
+                                 50.0)),
+               Error);
+  EXPECT_THROW(log.append(record(0, 40.0, 4, sim::Schedule::Static, 0, 1.0,
+                                 0.0)),
+               Error);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(MeasurementLogTest, NarrowingRegionRejectedOnRead) {
+  // A u32 region that does not fit an int must not wrap negative.
+  const std::string path = temp_path("mlog_narrow.bin");
+  std::string payload;
+  wire::put_u32(payload, 0xFFFFFFFFu);  // region
+  wire::put_f64(payload, 40.0);
+  wire::put_u32(payload, 4);  // threads
+  wire::put_u8(payload, 0);   // schedule
+  wire::put_u32(payload, 0);  // chunk
+  wire::put_f64(payload, 1.0);
+  wire::put_f64(payload, 50.0);
+  std::string bytes = "PNPMLOG1";
+  wire::put_u32(bytes, static_cast<std::uint32_t>(payload.size()));
+  bytes += payload;
+  dump(path, bytes);
+  EXPECT_THROW(MeasurementLog::read_all(path), Error);
+}
+
+class GridFixture : public ::testing::Test {
+ protected:
+  static const MeasurementDb& db() {
+    static const hw::MachineModel machine = hw::MachineModel::haswell();
+    static const sim::Simulator sim(machine);
+    static const MeasurementDb instance(
+        sim, SearchSpace::for_machine(machine),
+        workloads::Suite::instance().all_regions());
+    return instance;
+  }
+};
+
+TEST_F(GridFixture, LocateObservationMapsOnGridRecords) {
+  const auto& space = db().space();
+  MeasurementRecord m = record(2, space.power_caps()[1], 1, sim::Schedule::Static,
+                               0, 1.0, 40.0);
+  m.config = space.candidate(5);
+  const GridCell cell = locate_observation(db(), m);
+  EXPECT_EQ(cell.region, 2);
+  EXPECT_EQ(cell.cap, 1);
+  EXPECT_EQ(cell.candidate, 5);
+
+  // The default config maps to the dedicated default slot.
+  m.config = space.default_config();
+  EXPECT_EQ(locate_observation(db(), m).candidate, space.num_omp_configs());
+}
+
+TEST_F(GridFixture, LocateObservationRejectsOffGrid) {
+  const auto& space = db().space();
+  MeasurementRecord ok = record(0, space.power_caps()[0], 1,
+                                sim::Schedule::Static, 0, 1.0, 40.0);
+  ok.config = space.candidate(0);
+
+  MeasurementRecord m = ok;
+  m.region = db().num_regions();
+  EXPECT_THROW(locate_observation(db(), m), Error);
+
+  m = ok;
+  m.cap_w = 17.77;  // between grid caps
+  EXPECT_THROW(locate_observation(db(), m), Error);
+
+  m = ok;
+  m.config.threads = 9999;  // off-grid config that is not the default
+  EXPECT_THROW(locate_observation(db(), m), Error);
+}
+
+TEST_F(GridFixture, ApplyObservationPreservesCountersAndFrequency) {
+  MeasurementDb copy = db();
+  const sim::ExecutionResult before = copy.at(1, 2, 3);
+  copy.apply_observation(1, 2, 3, before.seconds * 2.0, before.joules * 3.0);
+  const sim::ExecutionResult& after = copy.at(1, 2, 3);
+  EXPECT_DOUBLE_EQ(after.seconds, before.seconds * 2.0);
+  EXPECT_DOUBLE_EQ(after.joules, before.joules * 3.0);
+  EXPECT_DOUBLE_EQ(after.avg_power_w,
+                   before.joules * 3.0 / (before.seconds * 2.0));
+  EXPECT_DOUBLE_EQ(after.frequency_ghz, before.frequency_ghz);
+  EXPECT_DOUBLE_EQ(after.counters.instructions, before.counters.instructions);
+  EXPECT_DOUBLE_EQ(after.counters.l3_misses, before.counters.l3_misses);
+  // Untouched neighbors stay bit-identical.
+  EXPECT_DOUBLE_EQ(copy.at(1, 2, 4).seconds, db().at(1, 2, 4).seconds);
+}
+
+TEST_F(GridFixture, ReplayObservationsIsAllOrNothing) {
+  MeasurementDb copy = db();
+  const auto& space = db().space();
+  MeasurementRecord good = record(0, space.power_caps()[0], 1,
+                                  sim::Schedule::Static, 0, 9.0, 90.0);
+  good.config = space.candidate(0);
+  MeasurementRecord bad = good;
+  bad.region = db().num_regions();  // cannot land on the grid
+
+  const double untouched = copy.at(0, 0, 0).seconds;
+  EXPECT_THROW(replay_observations(copy, {good, bad}), Error);
+  // The good record preceding the bad one was NOT applied.
+  EXPECT_DOUBLE_EQ(copy.at(0, 0, 0).seconds, untouched);
+
+  EXPECT_EQ(replay_observations(copy, {good}), 1u);
+  EXPECT_DOUBLE_EQ(copy.at(0, 0, 0).seconds, 9.0);
+
+  // `from` skips already-consumed records.
+  EXPECT_EQ(replay_observations(copy, {good, good}, 1), 1u);
+}
+
+TEST(GridSlotTest, MatchesRowMajorReferenceWithoutOverflow) {
+  // Products that overflow int (and even uint32) must index correctly:
+  // the ingestion path grows corpora unbounded, and extended spaces put
+  // thousands of candidates per (region, cap).
+  const std::size_t caps = 11, per_cap = 3000;
+  const std::size_t region = 69999, cap = 10, candidate = 2999;
+  // 64-bit reference arithmetic, unsigned throughout.
+  const std::size_t want = (region * caps + cap) * per_cap + candidate;
+  EXPECT_EQ(MeasurementDb::grid_slot(region, caps, per_cap, cap, candidate),
+            want);
+  ASSERT_GT(want, static_cast<std::size_t>(INT_MAX))
+      << "reference case must actually exceed int range";
+
+  // Spot-check the general formula against an explicit triple loop on a
+  // small grid (the same code path slot() routes through).
+  std::size_t flat = 0;
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t k = 0; k < 4; ++k)
+      for (std::size_t c = 0; c < 5; ++c)
+        EXPECT_EQ(MeasurementDb::grid_slot(r, 4, 5, k, c), flat++);
+}
+
+TEST(GridSlotTest, LargeCorpusReplayIndexesCorrectly) {
+  // A synthetic corpus big enough that region*caps*per_cap products
+  // exceed INT_MAX if computed in int. We can't allocate that grid, so
+  // exercise the replay path's *indexing* on the biggest real db we have
+  // and the slot math on the synthetic sizes above; at() bounds-checking
+  // guards the rest.
+  const hw::MachineModel machine = hw::MachineModel::haswell();
+  const sim::Simulator sim(machine);
+  const MeasurementDb db(sim, SearchSpace::for_machine(machine),
+                         workloads::Suite::instance().all_regions());
+  MeasurementDb copy = db;
+  const auto& space = db.space();
+  // Touch the last cell of the grid through the observation path: any
+  // narrowing in the slot computation lands out of bounds and throws.
+  const int r = db.num_regions() - 1;
+  const int k = db.num_caps() - 1;
+  const int c = space.num_omp_configs();  // the default slot
+  const double s = db.at(r, k, c).seconds;
+  copy.apply_observation(r, k, c, s * 1.5, db.at(r, k, c).joules);
+  EXPECT_DOUBLE_EQ(copy.at(r, k, c).seconds, s * 1.5);
+}
+
+}  // namespace
+}  // namespace pnp::core

@@ -1,0 +1,345 @@
+// End-to-end tests for the serving feedback loop (docs/SERVING.md,
+// "Model lifecycle"): observe → MeasurementLog → RetrainController
+// (replay, warm-start fine-tune, held-out gate) → TuningService::reload.
+//
+// The positive path proves a weak incumbent measurably improves after
+// online ingestion and is republished through reload(); every negative
+// path proves the incumbent keeps serving bit-identical predictions at
+// an unchanged version when the candidate is worse, corrupt, or the log
+// is poisoned.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/evaluator.hpp"
+#include "core/measurement_log.hpp"
+#include "core/pnp_tuner.hpp"
+#include "core/tuner_artifact.hpp"
+#include "serve/retrainer.hpp"
+#include "serve/tuning_service.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::serve {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+class RetrainFixture : public ::testing::Test {
+ protected:
+  RetrainFixture()
+      : machine_(hw::MachineModel::haswell()),
+        sim_(machine_),
+        db_(sim_, core::SearchSpace::for_machine(machine_),
+            workloads::Suite::instance().all_regions()) {}
+
+  /// Train a deliberately weak incumbent (2 epochs) and save it.
+  std::string save_weak_incumbent(const std::string& name) {
+    core::PnpOptions o;
+    o.trainer.max_epochs = 2;
+    core::PnpTuner tuner(db_, o);
+    std::vector<int> all;
+    for (int r = 0; r < db_.num_regions(); ++r) all.push_back(r);
+    tuner.train_power_scenario(all);
+    const std::string path = temp_path(name);
+    tuner.save(path);
+    return path;
+  }
+
+  /// Truthful observations for every grid cell of the given regions'
+  /// first candidates — enough fresh records to trigger a round.
+  void log_truth(core::MeasurementLog& log, int num_regions) {
+    const auto& space = db_.space();
+    for (int r = 0; r < num_regions; ++r) {
+      for (int k = 0; k < db_.num_caps(); ++k) {
+        core::MeasurementRecord m;
+        m.region = r;
+        m.cap_w = space.power_caps()[static_cast<std::size_t>(k)];
+        m.config = space.candidate(0);
+        const auto& res = db_.at(r, k, 0);
+        m.seconds = res.seconds;
+        m.joules = res.joules;
+        log.append(m);
+      }
+    }
+  }
+
+  /// Full (region × cap) prediction grid through the service — the
+  /// "what would a client see" witness for bit-identity checks.
+  std::vector<sim::OmpConfig> serve_grid(TuningService& service) {
+    std::vector<sim::OmpConfig> grid;
+    for (int r = 0; r < db_.num_regions(); ++r)
+      for (int k = 0; k < db_.num_caps(); ++k)
+        grid.push_back(service.tune(TuneRequest::power(r, k)).config);
+    return grid;
+  }
+
+  hw::MachineModel machine_;
+  sim::Simulator sim_;
+  core::MeasurementDb db_;
+};
+
+TEST_F(RetrainFixture, ConstructorValidatesOptions) {
+  const std::string model = save_weak_incumbent("rt_ctor.pnp");
+  TuningService service(db_, model, {});
+
+  RetrainOptions missing_log;
+  missing_log.publish_path = temp_path("rt_ctor_cand.pnp");
+  EXPECT_THROW(RetrainController(sim_, service, missing_log), Error);
+
+  RetrainOptions missing_publish;
+  missing_publish.log_path = temp_path("rt_ctor_log.bin");
+  EXPECT_THROW(RetrainController(sim_, service, missing_publish), Error);
+
+  RetrainOptions bad_holdout;
+  bad_holdout.log_path = temp_path("rt_ctor_log.bin");
+  bad_holdout.publish_path = temp_path("rt_ctor_cand.pnp");
+  bad_holdout.holdout_regions = {db_.num_regions()};
+  EXPECT_THROW(RetrainController(sim_, service, bad_holdout), Error);
+}
+
+TEST_F(RetrainFixture, NoNewDataIsANoOp) {
+  const std::string model = save_weak_incumbent("rt_nodata.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_nodata_log.bin");
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_nodata_cand.pnp");
+  RetrainController ctl(sim_, service, opt);
+
+  EXPECT_EQ(ctl.run_once(), RetrainController::Outcome::NoNewData);
+  EXPECT_EQ(ctl.stats().attempts, 0u);
+  EXPECT_EQ(service.model_version(), 1u);
+}
+
+TEST_F(RetrainFixture, ImprovedCandidateIsPublishedAndServedImmediately) {
+  const std::string model = save_weak_incumbent("rt_improve.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_improve_log.bin");
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+  log_truth(log, 4);
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_improve_cand.pnp");
+  opt.fine_tune.max_epochs = 60;
+  RetrainController ctl(sim_, service, opt);
+
+  // Incumbent's held-out quality before the loop runs.
+  core::EvalSplit split;
+  split.name = "gate";
+  split.test_regions = ctl.holdout_regions();
+  for (int r = 0; r < db_.num_regions(); ++r)
+    if (!std::count(split.test_regions.begin(), split.test_regions.end(), r))
+      split.train_regions.push_back(r);
+  const core::Evaluator ev(sim_, db_);
+  const auto queries = ev.queries(split);
+  const auto score = [&](TuningService& s) {
+    std::vector<sim::OmpConfig> cfgs;
+    for (const auto& q : queries)
+      cfgs.push_back(s.tune(TuneRequest::power(q.region, q.cap_index)).config);
+    return ev.score(split, cfgs).overall;
+  };
+  const auto before = score(service);
+
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::Published);
+  EXPECT_EQ(ctl.stats().published, 1u);
+  EXPECT_EQ(ctl.stats().observed, 16u);
+  EXPECT_EQ(ctl.stats().last_published_version, 2u);
+  EXPECT_EQ(service.model_version(), 2u);
+
+  // The model measurably improved on the held-out split, through the
+  // very service clients are hitting.
+  const auto after = score(service);
+  EXPECT_GT(after.geomean_speedup, before.geomean_speedup);
+  EXPECT_GE(after.oracle_match, before.oracle_match);
+
+  // The published artifact round-trips: a fresh service loading the
+  // candidate file serves the same predictions.
+  TuningService fresh(db_, opt.publish_path, {});
+  for (const auto& q : queries)
+    EXPECT_TRUE(
+        fresh.tune(TuneRequest::power(q.region, q.cap_index)).config ==
+        service.tune(TuneRequest::power(q.region, q.cap_index)).config);
+}
+
+TEST_F(RetrainFixture, WorseCandidateIsGateRejectedAndIncumbentUntouched) {
+  const std::string model = save_weak_incumbent("rt_worse.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_worse_log.bin");
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+  log_truth(log, 2);
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_worse_cand.pnp");
+  opt.fine_tune.max_epochs = 60;
+  // An unreachable gate margin: even a genuinely better candidate cannot
+  // clear it, standing in for "fine-tune made things worse on held-out".
+  opt.min_speedup_gain = 100.0;
+  RetrainController ctl(sim_, service, opt);
+
+  const auto grid_before = serve_grid(service);
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::RejectedGate);
+  EXPECT_EQ(ctl.stats().rejected_gate, 1u);
+  EXPECT_EQ(ctl.stats().published, 0u);
+
+  // Incumbent version and predictions bit-identical after the rejection.
+  EXPECT_EQ(service.model_version(), 1u);
+  const auto grid_after = serve_grid(service);
+  ASSERT_EQ(grid_before.size(), grid_after.size());
+  for (std::size_t i = 0; i < grid_before.size(); ++i)
+    EXPECT_TRUE(grid_before[i] == grid_after[i]) << "grid cell " << i;
+}
+
+TEST_F(RetrainFixture, CorruptCandidateNeverServes) {
+  const std::string model = save_weak_incumbent("rt_corrupt.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_corrupt_log.bin");
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+  log_truth(log, 4);
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_corrupt_cand.pnp");
+  opt.fine_tune.max_epochs = 60;
+  // Corrupt the candidate artifact after the save, before the reload —
+  // a torn disk write, in effect. reload() must refuse it.
+  opt.test_hook_after_save = [](const std::string& path) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os << "garbage";
+  };
+  RetrainController ctl(sim_, service, opt);
+
+  const auto grid_before = serve_grid(service);
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::RejectedCandidate);
+  EXPECT_EQ(ctl.stats().rejected_candidate, 1u);
+  EXPECT_EQ(ctl.stats().published, 0u);
+  EXPECT_EQ(service.model_version(), 1u);
+  EXPECT_EQ(service.stats().failed_reloads, 1u);
+
+  const auto grid_after = serve_grid(service);
+  for (std::size_t i = 0; i < grid_before.size(); ++i)
+    EXPECT_TRUE(grid_before[i] == grid_after[i]) << "grid cell " << i;
+}
+
+TEST_F(RetrainFixture, PoisonedLogIsRejectedWholesaleAndRepeatably) {
+  const std::string model = save_weak_incumbent("rt_poison.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_poison_log.bin");
+  std::remove(log_path.c_str());
+  {
+    core::MeasurementLog log(log_path);
+    log_truth(log, 2);
+  }
+  {
+    // Poison the tail the way an external writer (or bit rot) would —
+    // bytes the hardened reader must refuse.
+    std::ofstream os(log_path, std::ios::binary | std::ios::app);
+    os << "POISONED BYTES";
+  }
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_poison_cand.pnp");
+  opt.fine_tune.max_epochs = 60;
+  RetrainController ctl(sim_, service, opt);
+
+  const auto grid_before = serve_grid(service);
+  const auto& train_before = ctl.train_db();
+  const double cell_before = train_before.at(0, 0, 0).seconds;
+
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::RejectedLog);
+  EXPECT_EQ(ctl.stats().rejected_log, 1u);
+  EXPECT_EQ(ctl.stats().observed, 0u);
+  EXPECT_EQ(ctl.stats().attempts, 0u);
+
+  // Nothing was applied (even the intact prefix), nothing trained,
+  // nothing published — and the next round rejects again rather than
+  // consuming past the poison.
+  EXPECT_DOUBLE_EQ(ctl.train_db().at(0, 0, 0).seconds, cell_before);
+  EXPECT_EQ(service.model_version(), 1u);
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::RejectedLog);
+  EXPECT_EQ(ctl.stats().rejected_log, 2u);
+
+  const auto grid_after = serve_grid(service);
+  for (std::size_t i = 0; i < grid_before.size(); ++i)
+    EXPECT_TRUE(grid_before[i] == grid_after[i]) << "grid cell " << i;
+}
+
+TEST_F(RetrainFixture, OffGridObservationIsRejectedLog) {
+  const std::string model = save_weak_incumbent("rt_offgrid.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_offgrid_log.bin");
+  std::remove(log_path.c_str());
+  {
+    core::MeasurementLog log(log_path);
+    log_truth(log, 1);
+    // Structurally valid record that cannot land on this service's grid.
+    core::MeasurementRecord m;
+    m.region = db_.num_regions() + 7;
+    m.cap_w = db_.space().power_caps()[0];
+    m.config = db_.space().candidate(0);
+    m.seconds = 1.0;
+    m.joules = 40.0;
+    log.append(m);
+  }
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_offgrid_cand.pnp");
+  RetrainController ctl(sim_, service, opt);
+
+  ASSERT_EQ(ctl.run_once(), RetrainController::Outcome::RejectedLog);
+  EXPECT_EQ(ctl.stats().observed, 0u);  // all-or-nothing: prefix not applied
+  EXPECT_EQ(service.model_version(), 1u);
+}
+
+TEST_F(RetrainFixture, BackgroundThreadPublishesAndStopsCleanly) {
+  const std::string model = save_weak_incumbent("rt_thread.pnp");
+  TuningService service(db_, model, {});
+  const std::string log_path = temp_path("rt_thread_log.bin");
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+  log_truth(log, 4);
+
+  RetrainOptions opt;
+  opt.log_path = log_path;
+  opt.publish_path = temp_path("rt_thread_cand.pnp");
+  opt.fine_tune.max_epochs = 60;
+  RetrainController ctl(sim_, service, opt);
+  ctl.start(std::chrono::milliseconds(20));
+
+  // Serve reads concurrently with the background round.
+  for (int i = 0; i < 200; ++i)
+    service.tune(TuneRequest::power(i % db_.num_regions(), 0));
+  // Wait (bounded) for the publish to land.
+  for (int i = 0; i < 500 && ctl.stats().published == 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ctl.stop();
+
+  EXPECT_EQ(ctl.stats().published, 1u);
+  EXPECT_EQ(service.model_version(), 2u);
+  // stop() is idempotent and start() can be called again.
+  ctl.stop();
+  ctl.start(std::chrono::milliseconds(50));
+  ctl.stop();
+}
+
+}  // namespace
+}  // namespace pnp::serve

@@ -13,14 +13,17 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/net.hpp"
+#include "core/measurement_log.hpp"
 #include "serve/server.hpp"
 #include "workloads/suite.hpp"
 
@@ -356,6 +359,172 @@ TEST_F(SoakFixture, DrainUnderLoadAnswersEveryAcceptedRequestExactlyOnce) {
   // Tune traffic only, ok or error, lands in the histogram.
   EXPECT_EQ(server->latency().count(), client_ok + client_errors);
   EXPECT_GT(client_ok, 0u);
+  server.reset();
+}
+
+/// Drain sweep over a mixed read/write blend: every 3rd request is an
+/// `observe` (feedback-loop write path) carrying a truthful on-grid
+/// measurement, the rest are tunes. The write-path drain contract: an
+/// observe the server acked with Ok is durably in the measurement log
+/// exactly once, no acked record is lost, and no record exists without
+/// having been acked — the acked sequence numbers are exactly {1..N}
+/// where N is the number of records the drained log holds.
+TEST_F(SoakFixture, MixedReadWriteDrainLogsEveryAckedObserveExactlyOnce) {
+  const std::string log_path = ::testing::TempDir() + "soak_observe.log";
+  std::remove(log_path.c_str());
+  core::MeasurementLog log(log_path);
+
+  serve::TuningService service(*db_, path_a_);
+  serve::ServerOptions opt;
+  opt.workers = 2;
+  opt.queue_depth = 32;
+  opt.observe_log = &log;
+  auto server = std::make_unique<serve::Server>(service, opt);
+
+  const int nr = db_->num_regions();
+  const int nc = db_->num_caps();
+  const int nomp = db_->space().num_omp_configs();
+
+  // Truthful on-grid observe derived from the request id alone, so the
+  // main thread can re-derive what any acked record must contain.
+  const auto observe_for_id = [&](std::uint64_t id) {
+    const int r = static_cast<int>(id % static_cast<std::uint64_t>(nr));
+    const int cap = static_cast<int>(id % static_cast<std::uint64_t>(nc));
+    const int cand = static_cast<int>(id % static_cast<std::uint64_t>(nomp));
+    core::MeasurementRecord rec;
+    rec.region = r;
+    rec.cap_w = db_->space().power_caps()[static_cast<std::size_t>(cap)];
+    rec.config = db_->space().candidate(cand);
+    const sim::ExecutionResult& truth = db_->at(r, cap, cand);
+    rec.seconds = truth.seconds;
+    rec.joules = truth.joules;
+    return rec;
+  };
+
+  struct MixedLog {
+    std::atomic<int> sent{0};
+    int tune_ok = 0, errors = 0, shed = 0;
+    std::vector<std::uint64_t> observe_seqs;  ///< seq of every Ok-acked observe
+    bool clean_eof = false;
+    std::string failure;
+  };
+  std::vector<MixedLog> logs(kClients);
+  std::vector<std::thread> team;
+  for (int c = 0; c < kClients; ++c)
+    team.emplace_back([&, c] {
+      MixedLog& mlog = logs[c];
+      try {
+        net::Socket sock = net::connect_to(server->address(), 2000);
+        sock.set_recv_timeout_ms(20000);
+        const auto reqs = client_requests(c, 64);
+        std::uint64_t id = 0;
+        int outstanding = 0;
+        bool open = true;
+        const auto recv_one = [&]() -> bool {
+          auto payload = net::recv_frame(sock);
+          if (!payload.has_value()) return false;  // server drained us
+          const proto::Response r = proto::decode_response(*payload);
+          if (r.status == proto::Status::Ok) {
+            if (r.id % 3 == 0)
+              mlog.observe_seqs.push_back(r.observe_seq);
+            else
+              ++mlog.tune_ok;
+          } else if (r.status == proto::Status::Error) {
+            ++mlog.errors;
+          } else {
+            ++mlog.shed;
+          }
+          --outstanding;
+          return true;
+        };
+        while (open && id < 20000) {
+          proto::Request req;
+          req.id = ++id;
+          if (id % 3 == 0) {
+            req.op = proto::Op::Observe;
+            req.observe = observe_for_id(id);
+          } else {
+            const auto& q = reqs[static_cast<std::size_t>(id) % reqs.size()];
+            req.op = op_of(q);
+            req.tune = q;
+          }
+          try {
+            net::send_frame(sock, proto::encode_request(req));
+          } catch (const std::exception&) {
+            break;  // write side torn down by the drain
+          }
+          mlog.sent.fetch_add(1, std::memory_order_relaxed);
+          ++outstanding;
+          while (open && outstanding >= kWindow) open = recv_one();
+        }
+        while (recv_one()) {
+        }
+        mlog.clean_eof = true;
+      } catch (const std::exception& e) {
+        mlog.failure = e.what();
+      }
+    });
+
+  // Let mixed traffic build, then drain mid-burst.
+  for (;;) {
+    std::uint64_t total = 0;
+    for (auto& l : logs) total += static_cast<std::uint64_t>(l.sent.load());
+    if (total >= 200) break;
+    std::this_thread::yield();
+  }
+  server->shutdown();
+  for (auto& t : team) t.join();
+
+  std::uint64_t client_tune_ok = 0, client_errors = 0, client_shed = 0;
+  std::vector<std::uint64_t> acked_seqs;
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(logs[c].failure.empty()) << "client " << c << ": "
+                                         << logs[c].failure;
+    EXPECT_TRUE(logs[c].clean_eof) << "client " << c;
+    client_tune_ok += static_cast<std::uint64_t>(logs[c].tune_ok);
+    client_errors += static_cast<std::uint64_t>(logs[c].errors);
+    client_shed += static_cast<std::uint64_t>(logs[c].shed);
+    acked_seqs.insert(acked_seqs.end(), logs[c].observe_seqs.begin(),
+                      logs[c].observe_seqs.end());
+  }
+  // Every request was well-formed and on-grid: the only non-Ok status a
+  // client may see is Shed (queue full during the burst).
+  EXPECT_EQ(client_errors, 0u);
+
+  // Exactly-once durability: the drained log's records correspond 1:1
+  // with the Ok-acked observes — the acked seqs are {1..N} with no
+  // duplicates, no gaps, and no unacked extras beyond N... a record the
+  // server appended but whose reply was lost would violate clean_eof
+  // above (the drain flushes every admitted reply before EOF).
+  const auto records = core::MeasurementLog::read_all(log_path);
+  EXPECT_EQ(records.size(), log.size());
+  ASSERT_EQ(acked_seqs.size(), records.size());
+  const std::set<std::uint64_t> unique_seqs(acked_seqs.begin(),
+                                            acked_seqs.end());
+  ASSERT_EQ(unique_seqs.size(), acked_seqs.size()) << "duplicate observe ack";
+  if (!unique_seqs.empty()) {
+    EXPECT_EQ(*unique_seqs.begin(), 1u);
+    EXPECT_EQ(*unique_seqs.rbegin(), unique_seqs.size());
+  }
+
+  // No record was half-applied or mangled: every durable record lands on
+  // the grid and carries the exact truthful values some client sent.
+  for (const auto& rec : records) {
+    const core::GridCell cell = core::locate_observation(*db_, rec);
+    const sim::ExecutionResult& truth =
+        db_->at(cell.region, cell.cap, cell.candidate);
+    EXPECT_EQ(rec.seconds, truth.seconds);
+    EXPECT_EQ(rec.joules, truth.joules);
+  }
+
+  const auto st = server->stats();
+  EXPECT_EQ(st.ok, client_tune_ok + acked_seqs.size());
+  EXPECT_EQ(st.errors, 0u);
+  EXPECT_EQ(st.shed, client_shed);
+  EXPECT_EQ(st.malformed, 0u);
+  // Only tune traffic lands in the latency histogram.
+  EXPECT_EQ(server->latency().count(), client_tune_ok);
+  EXPECT_GT(acked_seqs.size(), 0u);
   server.reset();
 }
 

@@ -7,7 +7,8 @@
 ///
 ///   pnp_loadgen --target ADDR [--seed S] [--requests N] [--rate R]
 ///               [--arrivals poisson|fixed] [--connections C]
-///               [--blend power:W,power_at:W,edp:W] [--regions N] [--caps N]
+///               [--blend power:W,power_at:W,edp:W,observe:W]
+///               [--machine haswell|skylake] [--regions N] [--caps N]
 ///               [--precision f64|f32]
 ///               [--reload PATH --reload-after K] [--no-stats]
 ///               [--connect-timeout-ms T] [--recv-timeout-ms T] [--out FILE]
@@ -15,6 +16,14 @@
 /// `--precision` records which serving tier the targeted daemon runs
 /// (pnp_served --precision) in the summary header, so a sweep over both
 /// tiers yields self-describing outputs; it changes no request bytes.
+///
+/// An `observe:W` blend weight mixes write-path traffic in: observe
+/// requests carrying truthful (region, cap, config, runtime/energy)
+/// measurements drawn from the same noiseless tables pnp_served builds
+/// (`--machine` must match the daemon's), so an enabled feedback loop
+/// (pnp_served --observe-log --retrain-interval) ingests real ground
+/// truth. With observe weight 0 the planned request stream is
+/// byte-identical to earlier versions of this tool for the same seed.
 /// When `--no-stats` is absent the summary ends with a `p99_side_by_side`
 /// line putting the client-observed and server-observed p99 next to each
 /// other — the gap is the transport + queueing overhead the wire adds on
@@ -52,7 +61,9 @@
 #include "common/latency_histogram.hpp"
 #include "common/net.hpp"
 #include "common/rng.hpp"
+#include "core/measurement_db.hpp"
 #include "serve/protocol.hpp"
+#include "workloads/suite.hpp"
 
 using namespace pnp;
 namespace protocol = serve::protocol;
@@ -62,6 +73,7 @@ namespace {
 struct Args {
   std::string target;
   std::string out_path;  // empty = stdout
+  std::string machine = "haswell";  // observe blends: must match the daemon
   std::uint64_t seed = 7;
   int requests = 1000;
   double rate = 2000.0;  // offered req/s across all connections
@@ -84,7 +96,8 @@ struct Args {
       "usage:\n"
       "  %s --target ADDR [--seed S] [--requests N] [--rate R]\n"
       "     [--arrivals poisson|fixed] [--connections C]\n"
-      "     [--blend power:W,power_at:W,edp:W] [--regions N] [--caps N]\n"
+      "     [--blend power:W,power_at:W,edp:W,observe:W]\n"
+      "     [--machine haswell|skylake] [--regions N] [--caps N]\n"
       "     [--precision f64|f32]\n"
       "     [--reload PATH --reload-after K] [--no-stats]\n"
       "     [--connect-timeout-ms T] [--recv-timeout-ms T] [--out FILE]\n"
@@ -136,6 +149,7 @@ Args parse_args(int argc, char** argv) {
       else usage(argv[0]);
     } else if (flag == "--connections")
       a.connections = parse_int(value(), "--connections");
+    else if (flag == "--machine") a.machine = value();
     else if (flag == "--blend") a.blend = value();
     else if (flag == "--regions") a.regions = parse_int(value(), "--regions");
     else if (flag == "--caps") a.caps = parse_int(value(), "--caps");
@@ -162,10 +176,11 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-/// Relative request-kind weights parsed from "power:2,power_at:1,edp:0".
+/// Relative request-kind weights parsed from
+/// "power:2,power_at:1,edp:0,observe:1".
 struct Blend {
-  int power = 0, power_at = 0, edp = 0;
-  int total() const { return power + power_at + edp; }
+  int power = 0, power_at = 0, edp = 0, observe = 0;
+  int total() const { return power + power_at + edp + observe; }
 };
 
 Blend parse_blend(const std::string& spec) {
@@ -182,6 +197,7 @@ Blend parse_blend(const std::string& spec) {
     if (kind == "power") b.power = w;
     else if (kind == "power_at") b.power_at = w;
     else if (kind == "edp") b.edp = w;
+    else if (kind == "observe") b.observe = w;
     else throw Error("unknown blend kind '" + kind + "'");
   }
   PNP_CHECK_MSG(b.total() > 0, "blend '" << spec << "' has no positive weight");
@@ -192,11 +208,17 @@ struct PlannedRequest {
   protocol::Request request;
   std::uint64_t offset_ns = 0;  ///< send time relative to run start
   bool is_tune = false;         ///< counted into the latency histogram
+  bool is_observe = false;      ///< write-path; counted separately
 };
 
 /// The full seeded open-loop schedule: request i's kind/arguments and
-/// arrival offset are a pure function of (seed, i).
-std::vector<PlannedRequest> plan(const Args& a, const Blend& blend) {
+/// arrival offset are a pure function of (seed, i). `obs_db` supplies
+/// truthful measurement values for observe requests (non-null iff the
+/// blend has observe weight); cap and candidate indices are derived from
+/// the same single uniform draw every kind consumes, so a zero observe
+/// weight leaves the stream byte-identical to earlier tool versions.
+std::vector<PlannedRequest> plan(const Args& a, const Blend& blend,
+                                 const core::MeasurementDb* obs_db) {
   Rng rng(a.seed);
   std::vector<PlannedRequest> out;
   out.reserve(static_cast<std::size_t>(a.requests));
@@ -229,18 +251,41 @@ std::vector<PlannedRequest> plan(const Args& a, const Blend& blend) {
     const int region =
         static_cast<int>(rng.uniform_index(static_cast<std::size_t>(a.regions)));
     const double draw = rng.uniform(0.0, 1.0);
-    p.is_tune = true;
     if (pick < blend.power) {
+      p.is_tune = true;
       p.request.op = protocol::Op::Power;
       p.request.tune = serve::TuneRequest::power(
           region, static_cast<int>(draw * a.caps));
     } else if (pick < blend.power + blend.power_at) {
+      p.is_tune = true;
       p.request.op = protocol::Op::PowerAt;
       p.request.tune =
           serve::TuneRequest::power_at(region, 30.0 + draw * 60.0);
-    } else {
+    } else if (pick < blend.power + blend.power_at + blend.edp) {
+      p.is_tune = true;
       p.request.op = protocol::Op::Edp;
       p.request.tune = serve::TuneRequest::edp(region);
+    } else {
+      // Truthful observation of one grid cell: the cap index comes from
+      // the draw's integer part over the cap axis, the candidate from the
+      // fractional remainder — one draw, two independent uniforms.
+      p.is_observe = true;
+      p.request.op = protocol::Op::Observe;
+      const int nr = obs_db->num_regions();
+      const int r = region % nr;
+      const int nc = obs_db->num_caps();
+      const int nomp = obs_db->space().num_omp_configs();
+      const double scaled = draw * nc;
+      const int cap = std::min(nc - 1, static_cast<int>(scaled));
+      const int cand =
+          std::min(nomp - 1, static_cast<int>((scaled - cap) * nomp));
+      const sim::ExecutionResult& res = obs_db->at(r, cap, cand);
+      p.request.observe.region = r;
+      p.request.observe.cap_w = obs_db->space().power_caps()[
+          static_cast<std::size_t>(cap)];
+      p.request.observe.config = obs_db->space().candidate(cand);
+      p.request.observe.seconds = res.seconds;
+      p.request.observe.joules = res.joules;
     }
     out.push_back(std::move(p));
   }
@@ -257,9 +302,12 @@ struct ConnDriver {
       sent_at;
   LatencyHistogram latency;
   std::uint64_t ok = 0, errors = 0, shed = 0, reload_ok = 0, reload_errors = 0;
+  std::uint64_t observe_ok = 0, observe_errors = 0;
   std::string failure;  ///< first transport/protocol failure, if any
   std::chrono::steady_clock::time_point last_reply;
 };
+
+enum class ReqKind : std::uint8_t { Control, Tune, Observe };
 
 void sender_loop(ConnDriver& c, std::chrono::steady_clock::time_point start) {
   try {
@@ -282,7 +330,7 @@ void sender_loop(ConnDriver& c, std::chrono::steady_clock::time_point start) {
   }
 }
 
-void receiver_loop(ConnDriver& c, const std::vector<bool>& is_tune_id) {
+void receiver_loop(ConnDriver& c, const std::vector<ReqKind>& kind_by_id) {
   try {
     for (std::size_t n = 0; n < c.mine.size(); ++n) {
       const auto frame = net::recv_frame(c.sock);
@@ -301,13 +349,19 @@ void receiver_loop(ConnDriver& c, const std::vector<bool>& is_tune_id) {
         c.sent_at.erase(it);
       }
       c.last_reply = now;
-      const bool tune = resp.id < is_tune_id.size() && is_tune_id[resp.id];
+      const ReqKind kind = resp.id < kind_by_id.size() ? kind_by_id[resp.id]
+                                                       : ReqKind::Control;
+      const bool tune = kind == ReqKind::Tune;
       switch (resp.status) {
         case protocol::Status::Ok:
-          (tune ? c.ok : c.reload_ok)++;
+          (kind == ReqKind::Tune      ? c.ok
+           : kind == ReqKind::Observe ? c.observe_ok
+                                      : c.reload_ok)++;
           break;
         case protocol::Status::Error:
-          (tune ? c.errors : c.reload_errors)++;
+          (kind == ReqKind::Tune      ? c.errors
+           : kind == ReqKind::Observe ? c.observe_errors
+                                      : c.reload_errors)++;
           break;
         case protocol::Status::Shed:
           ++c.shed;
@@ -340,9 +394,29 @@ void print_quantiles(std::ostream& os, const char* label,
 int run(const Args& a) {
   const Blend blend = parse_blend(a.blend);
   const net::Address target = net::Address::parse(a.target);
-  const std::vector<PlannedRequest> schedule = plan(a, blend);
-  std::vector<bool> is_tune_id(schedule.size());
-  for (const auto& p : schedule) is_tune_id[p.request.id] = p.is_tune;
+
+  // Observe blends carry real measurements: rebuild the daemon's own
+  // noiseless tables (pnp_served uses the table-1 space + the full suite)
+  // so every observation is ground truth for its grid cell.
+  std::unique_ptr<core::MeasurementDb> obs_db;
+  if (blend.observe > 0) {
+    const hw::MachineModel machine = a.machine == "skylake"
+                                         ? hw::MachineModel::skylake()
+                                         : hw::MachineModel::haswell();
+    PNP_CHECK_MSG(a.machine == "haswell" || a.machine == "skylake",
+                  "unknown machine '" << a.machine << "'");
+    const sim::Simulator sim(machine);
+    obs_db = std::make_unique<core::MeasurementDb>(
+        sim, core::SearchSpace::for_machine(machine),
+        workloads::Suite::instance().all_regions());
+  }
+
+  const std::vector<PlannedRequest> schedule = plan(a, blend, obs_db.get());
+  std::vector<ReqKind> kind_by_id(schedule.size(), ReqKind::Control);
+  for (const auto& p : schedule)
+    kind_by_id[p.request.id] = p.is_tune      ? ReqKind::Tune
+                               : p.is_observe ? ReqKind::Observe
+                                              : ReqKind::Control;
 
   // Connect every connection up front (retrying while a freshly started
   // daemon finishes binding), then fan the schedule out round-robin.
@@ -360,13 +434,14 @@ int run(const Args& a) {
   std::vector<std::thread> team;
   for (auto& c : conns) {
     team.emplace_back([&c, start] { sender_loop(*c, start); });
-    team.emplace_back([&c, &is_tune_id] { receiver_loop(*c, is_tune_id); });
+    team.emplace_back([&c, &kind_by_id] { receiver_loop(*c, kind_by_id); });
   }
   for (auto& t : team) t.join();
 
   // Aggregate in connection order: the merge is deterministic addition.
   LatencyHistogram latency;
   std::uint64_t ok = 0, errors = 0, shed = 0, reload_ok = 0, reload_errors = 0;
+  std::uint64_t observe_ok = 0, observe_errors = 0;
   auto last_reply = start;
   for (auto& c : conns) {
     if (!c->failure.empty())
@@ -377,6 +452,8 @@ int run(const Args& a) {
     shed += c->shed;
     reload_ok += c->reload_ok;
     reload_errors += c->reload_errors;
+    observe_ok += c->observe_ok;
+    observe_errors += c->observe_errors;
     if (c->last_reply > last_reply) last_reply = c->last_reply;
   }
   const double elapsed_s =
@@ -390,12 +467,13 @@ int run(const Args& a) {
      << " requests=" << a.requests << " connections=" << a.connections
      << " rate=" << a.rate << " arrivals=" << (a.poisson ? "poisson" : "fixed")
      << " blend=power:" << blend.power << ",power_at:" << blend.power_at
-     << ",edp:" << blend.edp;
+     << ",edp:" << blend.edp << ",observe:" << blend.observe;
   if (!a.precision.empty()) os << " precision=" << a.precision;
   os << "\n";
   os << "sent=" << schedule.size() << " ok=" << ok << " errors=" << errors
      << " shed=" << shed << " reload_ok=" << reload_ok
-     << " reload_errors=" << reload_errors << "\n";
+     << " reload_errors=" << reload_errors << " observe_ok=" << observe_ok
+     << " observe_errors=" << observe_errors << "\n";
   {
     char buf[64];
     std::snprintf(buf, sizeof buf, "elapsed_s=%.3f achieved_rps=%.1f",
@@ -433,6 +511,14 @@ int run(const Args& a) {
        << " encode_misses=" << resp.service.encode_misses
        << " reloads=" << resp.service.reloads
        << " failed_reloads=" << resp.service.failed_reloads << "\n";
+    os << "retrain observed=" << resp.retrain.observed
+       << " attempts=" << resp.retrain.attempts
+       << " published=" << resp.retrain.published
+       << " rejected_gate=" << resp.retrain.rejected_gate
+       << " rejected_candidate=" << resp.retrain.rejected_candidate
+       << " rejected_log=" << resp.retrain.rejected_log
+       << " last_published_version=" << resp.retrain.last_published_version
+       << "\n";
     print_quantiles(os, "server_latency_ns", server_latency);
     // Client p99 (full round trip) next to server p99 (admission→reply):
     // the difference is what the wire + reader/worker queueing add.

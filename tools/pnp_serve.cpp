@@ -6,6 +6,7 @@
 ///             [--threads N] [--shards N] [--max-batch N]
 ///             [--batch-wait-us N] [--no-coalesce]
 ///             [--space table1|extended] [--beam-width N] [--out FILE]
+///             [--observe-log PATH]
 ///
 /// The request file holds one request per line ('#' starts a comment):
 ///
@@ -13,14 +14,20 @@
 ///   power_at <region> <cap_watts>      (scalar-cap models only)
 ///   edp      <region>
 ///   reload   <artifact-path>
+///   observe  <region> <cap_watts> <threads> <sched> <chunk> <seconds> <joules>
 ///
 /// Query lines are served concurrently by N pool threads. A `reload` line
 /// is a barrier: all earlier requests drain, the model is swapped, and
 /// later requests are served by the new version — so the printed grid,
 /// including the per-request model-version tags, is a pure function of
 /// the file and byte-identical across runs and thread counts (CI runs the
-/// same file twice and diffs). Exit codes: 0 success, 1 bad input
-/// (unreadable model/request file, invalid request), 2 bad usage.
+/// same file twice and diffs). An `observe` line (requires --observe-log)
+/// is also a barrier: the measurement is validated against the serving
+/// grid and durably appended to the core::MeasurementLog, feeding the
+/// retraining loop of docs/SERVING.md "Model lifecycle" (`sched` is the
+/// schedule index: 0=static, 1=dynamic, 2=guided). Exit codes: 0 success,
+/// 1 bad input (unreadable model/request file, invalid request), 2 bad
+/// usage.
 
 #include <atomic>
 #include <cstdio>
@@ -33,6 +40,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/measurement_log.hpp"
 #include "serve/tuning_service.hpp"
 #include "workloads/suite.hpp"
 
@@ -46,6 +54,7 @@ struct Args {
   std::string requests_path;
   std::string out_path;  // empty = stdout
   std::string space = "table1";  // table1 | extended
+  std::string observe_log;  // empty = observe lines rejected
   int threads = 4;
   serve::TuningServiceOptions service;
 };
@@ -57,9 +66,11 @@ struct Args {
       "  %s --machine haswell|skylake --model MODEL --requests FILE\n"
       "     [--threads N] [--shards N] [--max-batch N] [--batch-wait-us N]\n"
       "     [--no-coalesce] [--space table1|extended] [--beam-width N]\n"
-      "     [--out FILE]\n"
+      "     [--out FILE] [--observe-log PATH]\n"
       "request file lines: 'power R K' | 'power_at R WATTS' | 'edp R' |\n"
-      "'reload PATH' (a barrier: drains, swaps the model, continues)\n",
+      "'reload PATH' (a barrier: drains, swaps the model, continues) |\n"
+      "'observe R WATTS THREADS SCHED CHUNK SECONDS JOULES' (a barrier:\n"
+      "validates + appends the measurement to --observe-log)\n",
       argv0);
   std::exit(2);
 }
@@ -97,6 +108,7 @@ Args parse_args(int argc, char** argv) {
           std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
     else if (flag == "--no-coalesce") a.service.coalesce = false;
     else if (flag == "--space") a.space = value();
+    else if (flag == "--observe-log") a.observe_log = value();
     else if (flag == "--beam-width")
       a.service.beam_width = parse_int(value(), "--beam-width");
     else usage(argv[0]);
@@ -121,8 +133,10 @@ core::SearchSpace space_for(const std::string& name,
 
 struct Op {
   bool is_reload = false;
-  serve::TuneRequest request;  // when !is_reload
-  std::string reload_path;     // when is_reload
+  bool is_observe = false;
+  serve::TuneRequest request;       // query lines
+  std::string reload_path;          // when is_reload
+  core::MeasurementRecord observe;  // when is_observe
   int line = 0;
 };
 
@@ -163,6 +177,17 @@ std::vector<Op> parse_requests(const std::string& path) {
       if (!(ls >> p)) throw fail("expected 'reload PATH'");
       op.is_reload = true;
       op.reload_path = p;
+    } else if (kind == "observe") {
+      int sched = 0;
+      core::MeasurementRecord& m = op.observe;
+      if (!(ls >> m.region >> m.cap_w >> m.config.threads >> sched >>
+            m.config.chunk >> m.seconds >> m.joules))
+        throw fail(
+            "expected 'observe R WATTS THREADS SCHED CHUNK SECONDS JOULES'");
+      if (sched < 0 || sched >= sim::kNumSchedules)
+        throw fail("schedule index out of range");
+      m.config.schedule = static_cast<sim::Schedule>(sched);
+      op.is_observe = true;
     } else {
       throw fail("unknown request kind");
     }
@@ -213,6 +238,12 @@ void print_grid(const std::vector<Op>& ops,
       os << "# reload -> v=" << results[i].model_version << "\n";
       continue;
     }
+    if (ops[i].is_observe) {
+      // Barrier ops park their result in the model_version slot: for an
+      // observe that's the log sequence number of the appended record.
+      os << "# observe -> seq=" << results[i].model_version << "\n";
+      continue;
+    }
     const serve::TuneRequest& q = ops[i].request;
     const serve::TuneResult& r = results[i];
     os << "req=" << req++ << " ";
@@ -252,19 +283,31 @@ int run(const Args& a) {
   std::vector<serve::TuneResult> results(ops.size());
   std::vector<std::string> errors(ops.size());
 
-  // Serve the file as segments between reload barriers: every request
-  // before a reload is answered by the old model, every request after by
-  // the new one — which makes the version tags deterministic. (The racy
-  // mid-stream reload path is exercised by tests/service_test.cpp.)
+  std::optional<core::MeasurementLog> observe_log;
+  if (!a.observe_log.empty()) observe_log.emplace(a.observe_log);
+
+  // Serve the file as segments between barriers (reload/observe lines):
+  // every request before a barrier is answered by the old model, every
+  // request after by the new one — which makes the version tags
+  // deterministic. (The racy mid-stream reload path is exercised by
+  // tests/service_test.cpp.)
   std::size_t seg_begin = 0;
   for (std::size_t i = 0; i <= ops.size(); ++i) {
-    if (i < ops.size() && !ops[i].is_reload) continue;
+    if (i < ops.size() && !ops[i].is_reload && !ops[i].is_observe) continue;
     run_segment(service, ops, seg_begin, i, a.threads, results, errors);
-    if (i < ops.size()) {
+    if (i < ops.size() && ops[i].is_reload) {
       results[i].model_version = service.reload(ops[i].reload_path);
       std::fprintf(stderr, "reloaded %s -> v%llu\n",
                    ops[i].reload_path.c_str(),
                    static_cast<unsigned long long>(results[i].model_version));
+    } else if (i < ops.size()) {
+      PNP_CHECK_MSG(observe_log.has_value(),
+                    "request file line " << ops[i].line
+                                         << ": observe needs --observe-log");
+      // Refuse off-grid measurements before anything becomes durable,
+      // exactly like the network server's observe path.
+      core::locate_observation(service.db(), ops[i].observe);
+      results[i].model_version = observe_log->append(ops[i].observe);
     }
     seg_begin = i + 1;
   }

@@ -7,6 +7,9 @@
 ///              [--workers N] [--queue N] [--shards N] [--pin]
 ///              [--cache-stripes N] [--precision f64|f32] [--max-batch N]
 ///              [--batch-wait-us N] [--no-coalesce]
+///              [--observe-log PATH] [--retrain-interval MS]
+///              [--retrain-publish PATH] [--retrain-epochs N]
+///              [--retrain-min-records N] [--retrain-min-gain X]
 ///
 /// `--shards N` puts the TuningService in worker-shard mode: N dedicated
 /// serving threads, requests routed by region hash, one encoding-cache
@@ -14,6 +17,20 @@
 /// cores). `--cache-stripes` sizes the encoding cache's lock striping on
 /// the default (leader/follower) path. `--precision` overrides the
 /// artifact's persisted serving tier.
+///
+/// `--observe-log PATH` opens (or creates) a core::MeasurementLog and
+/// enables the `observe` opcode: clients stream real (region, config,
+/// cap, runtime/energy) measurements, each durably appended before it is
+/// acked. `--retrain-interval MS` additionally starts the
+/// serve::RetrainController feedback loop (requires --observe-log and the
+/// power scenario): every MS milliseconds, new log records are replayed
+/// onto a private copy of the measurement db, a candidate is warm-started
+/// from the incumbent's weights and fine-tuned, and it is published
+/// through the zero-downtime reload path only if it beats the incumbent
+/// on a held-out split. `--retrain-publish` names the candidate artifact
+/// file (default: observe-log path + ".candidate"); `--retrain-epochs`
+/// bounds each fine-tune; `--retrain-min-records` is the per-round
+/// ingest floor; `--retrain-min-gain` is the gate's speedup margin.
 ///
 /// ADDR is `unix:PATH` or `tcp:[HOST:]PORT` (`tcp:0` picks an ephemeral
 /// loopback port; the bound address is printed to stderr as
@@ -29,9 +46,12 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "common/error.hpp"
+#include "serve/retrainer.hpp"
 #include "serve/server.hpp"
 #include "workloads/suite.hpp"
 
@@ -45,6 +65,9 @@ struct Args {
   std::string listen;
   serve::ServerOptions server;
   serve::TuningServiceOptions service;
+  std::string observe_log;
+  int retrain_interval_ms = 0;  ///< 0 = feedback loop off
+  serve::RetrainOptions retrain;
 };
 
 [[noreturn]] void usage(const char* argv0) {
@@ -55,9 +78,14 @@ struct Args {
       "     [--workers N] [--queue N] [--shards N] [--pin]\n"
       "     [--cache-stripes N] [--precision f64|f32] [--max-batch N]\n"
       "     [--batch-wait-us N] [--no-coalesce]\n"
+      "     [--observe-log PATH] [--retrain-interval MS]\n"
+      "     [--retrain-publish PATH] [--retrain-epochs N]\n"
+      "     [--retrain-min-records N] [--retrain-min-gain X]\n"
       "ADDR: 'unix:PATH' or 'tcp:[HOST:]PORT' (tcp:0 = ephemeral port).\n"
       "--shards N serves through N region-hash-routed worker shards;\n"
       "--precision overrides the artifact's serving tier.\n"
+      "--observe-log enables the observe opcode; --retrain-interval\n"
+      "starts the gated online-retraining loop (requires --observe-log).\n"
       "Serves until SIGINT/SIGTERM, then drains gracefully.\n",
       argv0);
   std::exit(2);
@@ -106,11 +134,33 @@ Args parse_args(int argc, char** argv) {
       a.service.batch_wait =
           std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
     else if (flag == "--no-coalesce") a.service.coalesce = false;
+    else if (flag == "--observe-log") a.observe_log = value();
+    else if (flag == "--retrain-interval")
+      a.retrain_interval_ms = parse_int(value(), "--retrain-interval");
+    else if (flag == "--retrain-publish") a.retrain.publish_path = value();
+    else if (flag == "--retrain-epochs")
+      a.retrain.fine_tune.max_epochs = parse_int(value(), "--retrain-epochs");
+    else if (flag == "--retrain-min-records")
+      a.retrain.min_new_records = static_cast<std::uint64_t>(
+          parse_int(value(), "--retrain-min-records"));
+    else if (flag == "--retrain-min-gain") {
+      try {
+        a.retrain.min_speedup_gain = std::stod(value());
+      } catch (const std::exception&) {
+        throw Error("bad --retrain-min-gain");
+      }
+    }
     else usage(argv[0]);
   }
   if (a.model_path.empty() || a.listen.empty()) usage(argv[0]);
   if (a.server.workers < 1 || a.server.queue_depth < 1) usage(argv[0]);
+  if (a.retrain_interval_ms < 0) usage(argv[0]);
+  if (a.retrain_interval_ms > 0 && a.observe_log.empty())
+    throw Error("--retrain-interval requires --observe-log");
   a.server.listen = a.listen;
+  a.retrain.log_path = a.observe_log;
+  if (a.retrain.publish_path.empty() && !a.observe_log.empty())
+    a.retrain.publish_path = a.observe_log + ".candidate";
   return a;
 }
 
@@ -144,7 +194,36 @@ int run(const Args& a) {
   const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
                                workloads::Suite::instance().all_regions());
   serve::TuningService service(db, a.model_path, a.service);
-  serve::Server server(service, a.server);
+
+  std::unique_ptr<core::MeasurementLog> observe_log;
+  std::unique_ptr<serve::RetrainController> retrainer;
+  serve::ServerOptions server_opt = a.server;
+  if (!a.observe_log.empty()) {
+    observe_log = std::make_unique<core::MeasurementLog>(a.observe_log);
+    server_opt.observe_log = observe_log.get();
+  }
+  if (a.retrain_interval_ms > 0) {
+    serve::RetrainOptions ro = a.retrain;
+    ro.verbose = true;
+    retrainer = std::make_unique<serve::RetrainController>(sim, service,
+                                                           std::move(ro));
+    server_opt.retrain_counters = [&retrainer] {
+      const auto s = retrainer->stats();
+      serve::protocol::RetrainCounters rc;
+      rc.observed = s.observed;
+      rc.attempts = s.attempts;
+      rc.published = s.published;
+      rc.rejected_gate = s.rejected_gate;
+      rc.rejected_candidate = s.rejected_candidate;
+      rc.rejected_log = s.rejected_log;
+      rc.last_published_version = s.last_published_version;
+      return rc;
+    };
+  }
+
+  serve::Server server(service, server_opt);
+  if (retrainer)
+    retrainer->start(std::chrono::milliseconds(a.retrain_interval_ms));
   std::fprintf(stderr,
                "listening on %s (model %s v%llu %s, %d workers, queue %d, "
                "%d shards)\n",
@@ -162,6 +241,9 @@ int run(const Args& a) {
     PNP_CHECK_MSG(errno == EINTR, "signal pipe read failed");
   }
   std::fprintf(stderr, "draining...\n");
+  // Stop the feedback loop before the drain: the final summary below must
+  // not race a publish, and a round in flight completes first.
+  if (retrainer) retrainer->stop();
   server.shutdown();
 
   const auto st = server.stats();
@@ -181,6 +263,24 @@ int run(const Args& a) {
                  static_cast<unsigned long long>(h.quantile_ns(0.95)),
                  static_cast<unsigned long long>(h.quantile_ns(0.99)),
                  static_cast<unsigned long long>(h.max_ns()));
+  }
+  if (observe_log)
+    std::fprintf(stderr, "observe log %s: %llu records\n",
+                 observe_log->path().c_str(),
+                 static_cast<unsigned long long>(observe_log->size()));
+  if (retrainer) {
+    const auto rs = retrainer->stats();
+    std::fprintf(stderr,
+                 "retrain observed=%llu attempts=%llu published=%llu "
+                 "rejected_gate=%llu rejected_candidate=%llu "
+                 "rejected_log=%llu last_published_version=%llu\n",
+                 static_cast<unsigned long long>(rs.observed),
+                 static_cast<unsigned long long>(rs.attempts),
+                 static_cast<unsigned long long>(rs.published),
+                 static_cast<unsigned long long>(rs.rejected_gate),
+                 static_cast<unsigned long long>(rs.rejected_candidate),
+                 static_cast<unsigned long long>(rs.rejected_log),
+                 static_cast<unsigned long long>(rs.last_published_version));
   }
   return 0;
 }
