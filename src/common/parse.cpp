@@ -1,0 +1,66 @@
+#include "common/parse.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pnp {
+
+namespace {
+
+[[noreturn]] void fail(const char* what, const std::string& s,
+                       const char* why) {
+  throw Error(std::string("bad ") + what + " '" + s + "' (" + why + ")");
+}
+
+}  // namespace
+
+int parse_int(const std::string& s, const char* what, int min_value,
+              int max_value) {
+  int v = 0;
+  try {
+    std::size_t pos = 0;
+    v = std::stoi(s, &pos);
+    if (pos != s.size()) fail(what, s, "trailing characters");
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(what, s, "not an integer");
+  }
+  if (v < min_value || v > max_value)
+    throw Error(std::string("bad ") + what + " '" + s + "' (expected " +
+                std::to_string(min_value) + ".." + std::to_string(max_value) +
+                ")");
+  return v;
+}
+
+std::uint64_t parse_uint64(const std::string& s, const char* what) {
+  if (!s.empty() && (s[0] == '-' || s[0] == '+'))
+    fail(what, s, "expected an unsigned integer");
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(s, &pos);
+    if (pos != s.size()) fail(what, s, "trailing characters");
+    return static_cast<std::uint64_t>(v);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(what, s, "not an unsigned integer");
+  }
+}
+
+double parse_double(const std::string& s, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) fail(what, s, "trailing characters");
+    if (!std::isfinite(v)) fail(what, s, "not finite");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    fail(what, s, "not a number");
+  }
+}
+
+}  // namespace pnp

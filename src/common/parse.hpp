@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file parse.hpp
+/// Checked numeric parsing for CLI flags and specs. Every tool shares
+/// these instead of raw std::stoi so trailing garbage ("8garbage"),
+/// out-of-range values, and empty strings are rejected uniformly with a
+/// pnp::Error naming the offending flag — the caller decides whether
+/// that is a usage error (exit 2) or bad input (exit 1).
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace pnp {
+
+/// Parse a whole string as an int in [min_value, max_value]. Throws
+/// pnp::Error mentioning `what` on empty input, non-numeric characters,
+/// trailing characters, or a value outside the bounds.
+int parse_int(const std::string& s, const char* what,
+              int min_value = std::numeric_limits<int>::min(),
+              int max_value = std::numeric_limits<int>::max());
+
+/// Parse a whole string as a non-negative 64-bit integer (seeds).
+std::uint64_t parse_uint64(const std::string& s, const char* what);
+
+/// Parse a whole string as a finite double. Throws pnp::Error mentioning
+/// `what` on empty input, trailing characters, or non-finite values.
+double parse_double(const std::string& s, const char* what);
+
+}  // namespace pnp

@@ -15,9 +15,11 @@ namespace {
 /// Relative tolerance for "the chosen config ties the oracle".
 constexpr double kOracleTieRtol = 1e-9;
 
-SplitMetrics metrics_over(std::span<const double> chosen,
-                          std::span<const double> dflt,
-                          std::span<const double> best) {
+}  // namespace
+
+SplitMetrics split_metrics_over(std::span<const double> chosen,
+                                std::span<const double> dflt,
+                                std::span<const double> best) {
   SplitMetrics m;
   m.queries = static_cast<int>(chosen.size());
   if (chosen.empty()) return m;
@@ -35,8 +37,6 @@ SplitMetrics metrics_over(std::span<const double> chosen,
   m.oracle_match = static_cast<double>(ties) / static_cast<double>(m.queries);
   return m;
 }
-
-}  // namespace
 
 Evaluator::Evaluator(const sim::Simulator& sim, const MeasurementDb& db)
     : sim_(sim), db_(db) {}
@@ -147,7 +147,7 @@ SplitResult Evaluator::score(const EvalSplit& split,
     sp_per_query[i] = speedup(dflt[i], chosen[i]);
   }
 
-  res.overall = metrics_over(chosen, dflt, best);
+  res.overall = split_metrics_over(chosen, dflt, best);
   for (int k : res.eval_cap_indices) {
     std::vector<double> c, d, b;
     for (std::size_t i = 0; i < qs.size(); ++i) {
@@ -156,7 +156,7 @@ SplitResult Evaluator::score(const EvalSplit& split,
       d.push_back(dflt[i]);
       b.push_back(best[i]);
     }
-    res.per_cap.push_back(metrics_over(c, d, b));
+    res.per_cap.push_back(split_metrics_over(c, d, b));
   }
   res.per_app_speedup = per_app_geomean(apps, sp_per_query);
   return res;
@@ -197,9 +197,9 @@ Evaluator::PrecisionDelta Evaluator::precision_delta(
         std::max(d.max_abs_dtime_s, std::abs(cand.seconds - ref.seconds));
   }
   if (d.queries > 0) d.flip_rate = static_cast<double>(d.flips) / d.queries;
-  d.geomean_speedup_reference = metrics_over(ref_t, dflt, best).geomean_speedup;
+  d.geomean_speedup_reference = split_metrics_over(ref_t, dflt, best).geomean_speedup;
   d.geomean_speedup_candidate =
-      metrics_over(cand_t, dflt, best).geomean_speedup;
+      split_metrics_over(cand_t, dflt, best).geomean_speedup;
   return d;
 }
 

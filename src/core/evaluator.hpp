@@ -62,6 +62,14 @@ struct SplitMetrics {
   double oracle_match = 0.0;
 };
 
+/// §IV metrics from raw per-query timings: `chosen` is each query's
+/// achieved time, `dflt` the default config's, `best` the oracle's. Shared
+/// by Evaluator::score, precision_delta, and the fleet evaluator
+/// (fleet.hpp) so every split in the codebase scores identically.
+SplitMetrics split_metrics_over(std::span<const double> chosen,
+                                std::span<const double> dflt,
+                                std::span<const double> best);
+
 struct SplitResult {
   std::string name;
   int num_train_regions = 0;

@@ -1,0 +1,124 @@
+#include "core/fleet.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pnp::core {
+
+Fleet::Fleet(std::uint64_t seed, int count,
+             const std::vector<workloads::Corpus::RegionRef>& regions)
+    : seed_(seed) {
+  PNP_CHECK_MSG(count >= 1, "a fleet needs at least one machine, got "
+                                << count);
+  PNP_CHECK_MSG(!regions.empty(), "a fleet needs at least one region");
+  const hw::MachineGenerator gen(seed);
+  machines_ = gen.fleet(count);
+  sims_.reserve(machines_.size());
+  dbs_.reserve(machines_.size());
+  for (const hw::MachineModel& m : machines_) {
+    sims_.push_back(std::make_unique<sim::Simulator>(m));
+    dbs_.push_back(std::make_unique<MeasurementDb>(
+        *sims_.back(), SearchSpace::for_machine(m), regions));
+  }
+}
+
+const hw::MachineModel& Fleet::machine(int i) const {
+  PNP_CHECK(i >= 0 && i < size());
+  return machines_[static_cast<std::size_t>(i)];
+}
+
+const sim::Simulator& Fleet::sim(int i) const {
+  PNP_CHECK(i >= 0 && i < size());
+  return *sims_[static_cast<std::size_t>(i)];
+}
+
+const MeasurementDb& Fleet::db(int i) const {
+  PNP_CHECK(i >= 0 && i < size());
+  return *dbs_[static_cast<std::size_t>(i)];
+}
+
+FleetEvaluator::FleetEvaluator(const Fleet& fleet) : fleet_(fleet) {}
+
+TunerArtifact FleetEvaluator::train(int holdout, const PnpOptions& base) const {
+  PNP_CHECK_MSG(holdout >= 1, "unseen-machine split needs >= 1 held-out "
+                              "machine, got " << holdout);
+  const int train_count = fleet_.size() - holdout;
+  PNP_CHECK_MSG(train_count >= 1,
+                "unseen-machine split needs >= 1 training machine ("
+                    << fleet_.size() << " machines, " << holdout
+                    << " held out)");
+
+  PnpOptions pnp = base;
+  pnp.machine_features = true;
+  pnp.seed = hash_combine(base.seed, fleet_.seed());
+
+  std::vector<const MeasurementDb*> dbs;
+  dbs.reserve(static_cast<std::size_t>(train_count));
+  for (int i = 0; i < train_count; ++i) dbs.push_back(&fleet_.db(i));
+
+  std::vector<int> regions;
+  for (int r = 0; r < fleet_.db(0).num_regions(); ++r) regions.push_back(r);
+
+  PnpTuner tuner(fleet_.db(0), pnp);
+  tuner.train_power_fleet(dbs, regions);
+  return tuner.to_artifact();
+}
+
+MachineSplitResult FleetEvaluator::score_on(int index,
+                                            const TunerArtifact& art) const {
+  const MeasurementDb& db = fleet_.db(index);
+  const sim::Simulator& sim = fleet_.sim(index);
+  const PnpTuner tuner = PnpTuner::from_artifact(db, art);
+
+  MachineSplitResult res;
+  res.machine_index = index;
+  res.machine_name = db.machine().name;
+  res.fingerprint = hw::machine_fingerprint(db.machine());
+
+  const auto& cap_w = db.space().power_caps();
+  const std::size_t cells = static_cast<std::size_t>(db.num_regions()) *
+                            static_cast<std::size_t>(db.num_caps());
+  std::vector<double> chosen, dflt, best;
+  chosen.reserve(cells);
+  dflt.reserve(cells);
+  best.reserve(cells);
+  for (int r = 0; r < db.num_regions(); ++r)
+    for (int k = 0; k < db.num_caps(); ++k) {
+      const sim::OmpConfig cfg = tuner.predict_power(r, k);
+      // Predictions may land off the measurement grid (default-chunk
+      // classes) — score through noiseless expected(), like
+      // Evaluator::score does.
+      const auto& desc = db.region(r).region->desc;
+      chosen.push_back(
+          sim.expected(desc, cfg, cap_w[static_cast<std::size_t>(k)]).seconds);
+      dflt.push_back(db.at_default(r, k).seconds);
+      best.push_back(db.best_time(r, k));
+    }
+
+  res.overall = split_metrics_over(chosen, dflt, best);
+  for (int k = 0; k < db.num_caps(); ++k) {
+    std::vector<double> c, d, b;
+    for (int r = 0; r < db.num_regions(); ++r) {
+      const std::size_t i =
+          static_cast<std::size_t>(r) * static_cast<std::size_t>(db.num_caps()) +
+          static_cast<std::size_t>(k);
+      c.push_back(chosen[i]);
+      d.push_back(dflt[i]);
+      b.push_back(best[i]);
+    }
+    res.per_cap.push_back(split_metrics_over(c, d, b));
+  }
+  return res;
+}
+
+std::vector<MachineSplitResult> FleetEvaluator::evaluate(
+    int holdout, const PnpOptions& base) const {
+  const TunerArtifact art = train(holdout, base);
+  std::vector<MachineSplitResult> out;
+  out.reserve(static_cast<std::size_t>(holdout));
+  for (int i = fleet_.size() - holdout; i < fleet_.size(); ++i)
+    out.push_back(score_on(i, art));
+  return out;
+}
+
+}  // namespace pnp::core

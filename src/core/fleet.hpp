@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file fleet.hpp
+/// The hardware zoo's cross-machine harness (docs/HARDWARE.md): a Fleet
+/// owns the seeded generated machines plus one simulator and one
+/// exhaustive MeasurementDb per machine — all over a shared region list —
+/// and the FleetEvaluator runs the unseen-machine transfer split on top:
+/// train one machine-conditioned tuner across the first N−K machines'
+/// tables (PnpTuner::train_power_fleet), round-trip it through the v4
+/// fleet artifact, and score it on the K held-out machines the model
+/// never saw. The analogue of the paper's unseen-cap protocol (§IV-B,
+/// Figs. 4–5) with the machine, not the power constraint, as the held-out
+/// axis.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.hpp"
+#include "core/measurement_db.hpp"
+#include "core/pnp_tuner.hpp"
+#include "core/tuner_artifact.hpp"
+#include "hw/machine_generator.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/suite.hpp"
+
+namespace pnp::core {
+
+/// Generated machines 0..count-1 of `seed`'s zoo, each with its simulator
+/// and fully swept measurement table over `regions`. Construction is the
+/// expensive part (count exhaustive sweeps); everything after is lookups.
+/// The referenced corpora must outlive the Fleet.
+class Fleet {
+ public:
+  Fleet(std::uint64_t seed, int count,
+        const std::vector<workloads::Corpus::RegionRef>& regions);
+
+  int size() const { return static_cast<int>(machines_.size()); }
+  std::uint64_t seed() const { return seed_; }
+  const hw::MachineModel& machine(int i) const;
+  const sim::Simulator& sim(int i) const;
+  const MeasurementDb& db(int i) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::vector<hw::MachineModel> machines_;
+  std::vector<std::unique_ptr<sim::Simulator>> sims_;
+  std::vector<std::unique_ptr<MeasurementDb>> dbs_;
+};
+
+/// One held-out machine's share of the unseen-machine split, scored with
+/// the same §IV metrics as every other split in the codebase.
+struct MachineSplitResult {
+  int machine_index = 0;  ///< fleet index
+  std::string machine_name;
+  std::uint64_t fingerprint = 0;
+  SplitMetrics overall;
+  /// Parallel to the machine's own cap grid (ascending cap order).
+  std::vector<SplitMetrics> per_cap;
+};
+
+class FleetEvaluator {
+ public:
+  /// The fleet must outlive the evaluator.
+  explicit FleetEvaluator(const Fleet& fleet);
+
+  /// Train the machine-conditioned tuner on machines [0, size−holdout)
+  /// over every region, and return its v4 fleet artifact. `base` options
+  /// have machine_features forced on; the fleet seed is folded into the
+  /// weight-init seed so different zoos get different initializations.
+  TunerArtifact train(int holdout, const PnpOptions& base) const;
+
+  /// Load `art` against machine `index`'s db (full v4 validation — this
+  /// throws for single-machine artifacts from another machine) and score
+  /// its predictions over every (region, cap) cell of that machine's
+  /// table. Deterministic: f64 tuner inference, no threading.
+  MachineSplitResult score_on(int index, const TunerArtifact& art) const;
+
+  /// train() + score_on() for every held-out machine, in fleet order.
+  std::vector<MachineSplitResult> evaluate(int holdout,
+                                           const PnpOptions& base) const;
+
+ private:
+  const Fleet& fleet_;
+};
+
+}  // namespace pnp::core

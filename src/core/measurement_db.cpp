@@ -9,7 +9,7 @@ namespace pnp::core {
 MeasurementDb::MeasurementDb(
     const sim::Simulator& sim, const SearchSpace& space,
     const std::vector<workloads::Corpus::RegionRef>& regions)
-    : space_(space), regions_(regions) {
+    : space_(space), machine_(sim.machine()), regions_(regions) {
   per_cap_ = space_.num_candidates_per_cap();
   const std::size_t total = regions_.size() *
                             static_cast<std::size_t>(num_caps()) *

@@ -28,6 +28,10 @@ class MeasurementDb {
   int num_regions() const { return static_cast<int>(regions_.size()); }
   int num_caps() const { return static_cast<int>(space_.power_caps().size()); }
   const SearchSpace& space() const { return space_; }
+  /// The machine the table was swept on (copied from the simulator):
+  /// machine-conditioned model features and the artifact-v4 machine
+  /// fingerprint both read it.
+  const hw::MachineModel& machine() const { return machine_; }
   const workloads::Corpus::RegionRef& region(int r) const {
     return regions_[static_cast<std::size_t>(r)];
   }
@@ -79,6 +83,7 @@ class MeasurementDb {
   std::size_t slot(int region, int cap, int candidate) const;
 
   SearchSpace space_;
+  hw::MachineModel machine_;
   std::vector<workloads::Corpus::RegionRef> regions_;
   std::vector<sim::ExecutionResult> results_;
   int per_cap_ = 0;

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "core/config_search.hpp"
 #include "core/tuner_artifact.hpp"
+#include "hw/machine_generator.hpp"
 #include "ir/extract.hpp"
 #include "nn/loss.hpp"
 
@@ -35,11 +36,14 @@ PnpTuner::PnpTuner(const MeasurementDb& db, PnpOptions options)
   if (!opt_.train_cap_indices.empty())
     PNP_CHECK_MSG(!opt_.cap_onehot,
                   "unseen-cap training requires the scalar cap feature");
+  const auto mf = hw::machine_feature_vector(db_.machine());
+  machine_feats_.assign(mf.begin(), mf.end());
 }
 
 int PnpTuner::extra_feature_count(Mode mode) const {
   return tuner_extra_feature_count(mode == Mode::Power, opt_.cap_onehot,
-                                   db_.num_caps(), opt_.use_counters);
+                                   db_.num_caps(), opt_.use_counters,
+                                   opt_.machine_features);
 }
 
 void PnpTuner::fill_extra(int region, std::optional<int> cap_index,
@@ -81,6 +85,8 @@ void PnpTuner::fill_extra_into(int region, std::optional<int> cap_index,
       x[n++] = z;
     }
   }
+  if (opt_.machine_features)
+    for (double v : machine_feats_) x[n++] = v;
   PNP_CHECK(n == x.size());
 }
 
@@ -93,10 +99,43 @@ std::vector<double> PnpTuner::make_extra(int region,
 }
 
 std::vector<int> PnpTuner::power_labels(int region, int cap) const {
-  const int c = db_.best_candidate_by_time(region, cap);
-  const sim::OmpConfig cfg = db_.space().candidate(c);
-  return tuner_labels(db_.space(), tuner_classes_for(db_.space(), cfg, cap),
+  return power_labels_db(db_, region, cap);
+}
+
+std::vector<int> PnpTuner::power_labels_db(const MeasurementDb& db, int region,
+                                           int cap) const {
+  const int c = db.best_candidate_by_time(region, cap);
+  const sim::OmpConfig cfg = db.space().candidate(c);
+  return tuner_labels(db.space(), tuner_classes_for(db.space(), cfg, cap),
                       opt_.factored_heads, /*edp_scenario=*/false);
+}
+
+std::vector<double> PnpTuner::fleet_extra(const MeasurementDb& db,
+                                          std::span<const double> mfeats,
+                                          int region, int cap) const {
+  // Mirrors fill_extra_into's Mode::Power layout, but every machine-bound
+  // input comes from the fleet db: the cap feature is indexed into (or
+  // normalized by) *that machine's* cap grid, counters come from its
+  // table, and mfeats are its machine features.
+  std::vector<double> x;
+  x.reserve(static_cast<std::size_t>(extra_feature_count(Mode::Power)));
+  if (opt_.cap_onehot) {
+    for (int k = 0; k < db.num_caps(); ++k) x.push_back(k == cap ? 1.0 : 0.0);
+  } else {
+    x.push_back(db.space().power_caps()[static_cast<std::size_t>(cap)] /
+                db.space().tdp());
+  }
+  if (opt_.use_counters) {
+    const auto vals = counter_values(db.at(region, 0, 0).counters);
+    PNP_CHECK(counter_mean_.size() == kNumCounters);
+    for (int i = 0; i < kNumCounters; ++i)
+      x.push_back((std::log1p(vals[static_cast<std::size_t>(i)]) -
+                   counter_mean_[static_cast<std::size_t>(i)]) /
+                  counter_std_[static_cast<std::size_t>(i)]);
+  }
+  for (double v : mfeats) x.push_back(v);
+  PNP_CHECK(static_cast<int>(x.size()) == extra_feature_count(Mode::Power));
+  return x;
 }
 
 std::vector<int> PnpTuner::edp_labels(int region) const {
@@ -186,6 +225,8 @@ std::vector<int> PnpTuner::head_layout(Mode mode) const {
 
 void PnpTuner::build_model(Mode mode, const std::vector<int>& train_regions) {
   mode_ = mode;
+  // A rebuilt model is single-machine until train_power_fleet stamps it.
+  fleet_fingerprints_.clear();
 
   // Vocabulary strictly from training graphs; held-out regions exercise the
   // OOV path like the paper's unseen applications do.
@@ -274,6 +315,91 @@ nn::TrainReport PnpTuner::train_power_scenario(
       s.members.push_back(std::move(m));
     }
     samples.push_back(std::move(s));
+  }
+  return run_training(samples);
+}
+
+nn::TrainReport PnpTuner::train_power_fleet(
+    const std::vector<const MeasurementDb*>& dbs,
+    const std::vector<int>& train_regions) {
+  PNP_CHECK(!train_regions.empty());
+  PNP_CHECK_MSG(opt_.machine_features,
+                "fleet training requires machine_features — without them the "
+                "model cannot tell the fleet's machines apart");
+  PNP_CHECK_MSG(!dbs.empty() && dbs[0] == &db_,
+                "fleet training must start with this tuner's own db");
+  for (const MeasurementDb* db : dbs) {
+    PNP_CHECK(db != nullptr);
+    PNP_CHECK_MSG(db->num_regions() == db_.num_regions(),
+                  "fleet dbs must cover the same regions");
+    for (int r = 0; r < db_.num_regions(); ++r)
+      PNP_CHECK_MSG(db->region(r).region == db_.region(r).region,
+                    "fleet dbs must reference the same region objects (one "
+                    "graph per region serves the whole fleet)");
+    PNP_CHECK_MSG(db->num_caps() == db_.num_caps(),
+                  "fleet dbs must have the same cap count, got "
+                      << db->num_caps() << " vs " << db_.num_caps());
+    PNP_CHECK_MSG(tuner_head_layout(db->space(), opt_.factored_heads,
+                                    /*edp_scenario=*/false) ==
+                      tuner_head_layout(db_.space(), opt_.factored_heads,
+                                        /*edp_scenario=*/false),
+                  "fleet dbs must share one classifier head layout — machine '"
+                      << db->machine().name << "' has a different space shape");
+  }
+
+  build_model(Mode::Power, train_regions);
+
+  // Counter statistics must describe the whole fleet, not just machine 0:
+  // refit over every (db, training region) pair.
+  if (opt_.use_counters) {
+    counter_mean_.assign(kNumCounters, 0.0);
+    counter_std_.assign(kNumCounters, 0.0);
+    const double count =
+        static_cast<double>(dbs.size() * train_regions.size());
+    for (const MeasurementDb* db : dbs)
+      for (int r : train_regions) {
+        const auto vals = counter_values(db->at(r, 0, 0).counters);
+        for (int i = 0; i < kNumCounters; ++i)
+          counter_mean_[static_cast<std::size_t>(i)] +=
+              std::log1p(vals[static_cast<std::size_t>(i)]);
+      }
+    for (auto& m : counter_mean_) m /= count;
+    for (const MeasurementDb* db : dbs)
+      for (int r : train_regions) {
+        const auto vals = counter_values(db->at(r, 0, 0).counters);
+        for (int i = 0; i < kNumCounters; ++i) {
+          const double d = std::log1p(vals[static_cast<std::size_t>(i)]) -
+                           counter_mean_[static_cast<std::size_t>(i)];
+          counter_std_[static_cast<std::size_t>(i)] += d * d;
+        }
+      }
+    for (auto& s : counter_std_) {
+      s = std::sqrt(s / count);
+      if (s < 1e-9) s = 1.0;
+    }
+  }
+
+  std::vector<int> caps = opt_.train_cap_indices;
+  if (caps.empty())
+    for (int k = 0; k < db_.num_caps(); ++k) caps.push_back(k);
+
+  std::vector<nn::TrainSample> samples;
+  samples.reserve(dbs.size() * train_regions.size());
+  fleet_fingerprints_.clear();
+  for (const MeasurementDb* db : dbs) {
+    fleet_fingerprints_.push_back(hw::machine_fingerprint(db->machine()));
+    const auto mfeats = hw::machine_feature_vector(db->machine());
+    for (int r : train_regions) {
+      nn::TrainSample s;
+      s.graph = &tensors_[static_cast<std::size_t>(r)];
+      for (int k : caps) {
+        nn::SampleMember m;
+        m.extra = fleet_extra(*db, mfeats, r, k);
+        m.labels = power_labels_db(*db, r, k);
+        s.members.push_back(std::move(m));
+      }
+      samples.push_back(std::move(s));
+    }
   }
   return run_training(samples);
 }
@@ -396,6 +522,12 @@ TunerArtifact PnpTuner::to_artifact() const {
   art.extra_features = net_->config().extra_features;
   art.serve_precision = serve_precision_;
   art.set_space(db_.space());
+  // v4 machine identity: the primary training machine, plus the full
+  // fingerprint list when the model was fleet-trained.
+  art.machine_name = db_.machine().name;
+  art.machine_fingerprint = hw::machine_fingerprint(db_.machine());
+  art.fleet = !fleet_fingerprints_.empty();
+  art.fleet_fingerprints = fleet_fingerprints_;
   art.net_weights = net_->state_dict();
   return art;
 }
@@ -425,6 +557,8 @@ void PnpTuner::restore(const TunerArtifact& art) {
   validate_artifact(art, db_);
   mode_ = art.mode == TunerArtifact::Mode::Power ? Mode::Power : Mode::Edp;
   serve_precision_ = art.serve_precision;
+  fleet_fingerprints_ = art.fleet ? art.fleet_fingerprints
+                                  : std::vector<std::uint64_t>{};
   vocab_ = art.make_vocab();
   tensors_.clear();
   tensors_.reserve(graphs_.size());

@@ -42,6 +42,11 @@ struct PnpOptions {
   bool use_counters = false;  ///< dynamic variant (5 profiled counters)
   bool cap_onehot = true;     ///< false → normalized scalar cap feature
   bool factored_heads = true; ///< false → one flat softmax over all configs
+  /// Append hw::kNumMachineFeatures machine-conditioned inputs (normalized
+  /// core count, bandwidth/compute balance, cap-range shape) to the dense
+  /// block — what lets one artifact serve a whole hardware zoo
+  /// (train_power_fleet, docs/HARDWARE.md).
+  bool machine_features = false;
 
   // Model hyperparameters (paper Table II: 4 RGCN + 3 FC layers; widths
   // sized for single-core training of 60 LOOCV folds per figure).
@@ -79,6 +84,25 @@ class PnpTuner {
   /// Train on the given region indices; labels are the db's best-by-time
   /// candidates per cap.
   nn::TrainReport train_power_scenario(const std::vector<int>& train_regions);
+
+  /// Fleet variant of the power scenario (docs/HARDWARE.md): one model
+  /// trained across several machines' measurement tables at once. `dbs`
+  /// must start with this tuner's own db, share its regions (same
+  /// RegionRef identity — one graph per region serves every machine), cap
+  /// count, and search-space *shape*; machine_features must be enabled so
+  /// the model can tell the machines apart. Counter statistics are refit
+  /// over all dbs' training regions. The resulting artifact records every
+  /// training machine's fingerprint and loads on machines outside the
+  /// fleet whose space shape matches — the unseen-machine transfer split.
+  nn::TrainReport train_power_fleet(
+      const std::vector<const MeasurementDb*>& dbs,
+      const std::vector<int>& train_regions);
+
+  /// Fingerprints of the fleet's training machines (empty unless
+  /// train_power_fleet ran or a fleet artifact was restored).
+  const std::vector<std::uint64_t>& fleet_fingerprints() const {
+    return fleet_fingerprints_;
+  }
 
   /// Predict the best OpenMP configuration for `region` at `cap_index`.
   /// `cap_w_override` substitutes the cap feature value (unseen caps).
@@ -170,6 +194,15 @@ class PnpTuner {
   /// Restore trained state from a loaded artifact (load() helper).
   void restore(const TunerArtifact& art);
   std::vector<int> power_labels(int region, int cap) const;
+  /// power_labels against an arbitrary fleet db (labels are computed in
+  /// that machine's own space — same class *shape*, different values).
+  std::vector<int> power_labels_db(const MeasurementDb& db, int region,
+                                   int cap) const;
+  /// Power-scenario extra block for a fleet db: cap feature from the db's
+  /// own space, counters from its table, `mfeats` its machine features.
+  std::vector<double> fleet_extra(const MeasurementDb& db,
+                                  std::span<const double> mfeats, int region,
+                                  int cap) const;
   std::vector<int> edp_labels(int region) const;
   sim::OmpConfig decode_config(std::span<const int> preds, int base) const;
   /// Constraint-aware decode straight from the classifier logits: factored
@@ -196,6 +229,12 @@ class PnpTuner {
 
   // Counter normalization (fit on training regions).
   std::vector<double> counter_mean_, counter_std_;
+
+  // Machine-conditioned features of db_'s machine (always computed; used
+  // only when opt_.machine_features) and, after train_power_fleet or a
+  // fleet restore, the training machines' fingerprints.
+  std::vector<double> machine_feats_;
+  std::vector<std::uint64_t> fleet_fingerprints_;
 
   // Pending transfer-learning import (applied at build_model time).
   std::optional<StateDict> pending_gnn_;

@@ -19,17 +19,30 @@ SearchSpace SearchSpace::for_machine(const hw::MachineModel& m) {
     s.threads_ = {1, 2, 4, 8, 16, 32};
     s.caps_ = {40.0, 60.0, 70.0, 85.0};
   } else {
-    // Generic machine: powers of two up to max threads (at most 6 thread
-    // classes including max_threads itself); caps spanning [min_cap, tdp]
-    // in four steps.
+    // Generic machine — the main path for generated machines (the
+    // hardware zoo, docs/HARDWARE.md): powers of two up to max threads
+    // (at most 6 thread classes including max_threads itself; exactly 6
+    // for every MachineGenerator machine, whose contract guarantees
+    // max_threads() >= 32 — what gives the whole fleet one classifier
+    // head layout); caps spanning [min_cap, tdp] in four steps.
     int t = 1;
     while (t < m.max_threads() && s.threads_.size() < 5) {
       s.threads_.push_back(t);
       t *= 2;
     }
     s.threads_.push_back(m.max_threads());
+    // Degenerate cap ranges (min_cap == tdp, or so narrow the four points
+    // collide within cap_index's 1e-9 match tolerance) collapse to the
+    // distinct points only — duplicate caps would make cap_index
+    // ambiguous and break the per-cap label layout.
     const double lo = m.min_cap_w, hi = m.tdp_w;
-    s.caps_ = {lo, lo + (hi - lo) / 3.0, lo + 2.0 * (hi - lo) / 3.0, hi};
+    PNP_CHECK_MSG(lo <= hi && lo > 0.0,
+                  "machine '" << m.name << "' has an invalid cap range ["
+                              << lo << ", " << hi << "]");
+    for (double cap :
+         {lo, lo + (hi - lo) / 3.0, lo + 2.0 * (hi - lo) / 3.0, hi}) {
+      if (s.caps_.empty() || cap - s.caps_.back() > 1e-6) s.caps_.push_back(cap);
+    }
   }
   s.default_ = sim::OmpConfig{m.max_threads(), sim::Schedule::Static, 0};
   return s;

@@ -1,12 +1,14 @@
 #include "core/tuner_artifact.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <string>
 
 #include "common/error.hpp"
 #include "core/measurement_db.hpp"
 #include "core/pnp_tuner.hpp"
 #include "core/search_space.hpp"
+#include "hw/machine_generator.hpp"
 
 namespace pnp::core {
 
@@ -39,12 +41,56 @@ std::vector<double> to_doubles(const std::vector<int>& v) {
   return std::vector<double>(v.begin(), v.end());
 }
 
+// Fleet fingerprints travel as a newline-joined string of fixed-width hex
+// values: StateDict arrays are f64-only and a u64 does not round-trip
+// through a double, while the textual form is exact and byte-stable.
+std::string encode_fingerprints(const std::vector<std::uint64_t>& fps) {
+  std::string out;
+  for (std::uint64_t fp : fps) {
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(fp));
+    if (!out.empty()) out += '\n';
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> decode_fingerprints(const std::string& joined) {
+  std::vector<std::uint64_t> out;
+  if (joined.empty()) return out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t end = joined.find('\n', start);
+    const std::string tok = joined.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    PNP_CHECK_MSG(tok.size() == 16,
+                  "fleet fingerprint entry must be 16 hex digits, got '"
+                      << tok << "'");
+    std::uint64_t v = 0;
+    for (char c : tok) {
+      int d = 0;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = 10 + (c - 'a');
+      else
+        PNP_CHECK_MSG(false, "fleet fingerprint entry holds a non-hex "
+                             "character: '" << tok << "'");
+      v = (v << 4) | static_cast<std::uint64_t>(d);
+    }
+    out.push_back(v);
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
 }  // namespace
 
 void TunerArtifact::set_options(const PnpOptions& o) {
   opt_use_counters = o.use_counters;
   opt_cap_onehot = o.cap_onehot;
   opt_factored_heads = o.factored_heads;
+  opt_machine_features = o.machine_features;
   opt_emb_dim = o.emb_dim;
   opt_rgcn_layers = o.rgcn_layers;
   opt_hidden = o.hidden;
@@ -68,6 +114,7 @@ PnpOptions TunerArtifact::options() const {
   o.use_counters = opt_use_counters;
   o.cap_onehot = opt_cap_onehot;
   o.factored_heads = opt_factored_heads;
+  o.machine_features = opt_machine_features;
   o.emb_dim = opt_emb_dim;
   o.rgcn_layers = opt_rgcn_layers;
   o.hidden = opt_hidden;
@@ -136,6 +183,7 @@ StateDict TunerArtifact::to_state_dict() const {
   sd.put_int("opt.use_counters", opt_use_counters ? 1 : 0);
   sd.put_int("opt.cap_onehot", opt_cap_onehot ? 1 : 0);
   sd.put_int("opt.factored_heads", opt_factored_heads ? 1 : 0);
+  sd.put_int("opt.machine_features", opt_machine_features ? 1 : 0);
   sd.put_int("opt.emb_dim", opt_emb_dim);
   sd.put_int("opt.rgcn_layers", opt_rgcn_layers);
   sd.put_int("opt.hidden", opt_hidden);
@@ -182,6 +230,22 @@ StateDict TunerArtifact::to_state_dict() const {
   // presence is what distinguishes "trained on an unconstrained space"
   // from "predates the constraint layer".
   sd.put("space.constraints", space_constraints);
+
+  // v4: machine identity. Saving without a recorded machine is an error —
+  // only loaded pre-v4 files may carry fingerprint 0, and they keep their
+  // original version on round-trip semantics by never reaching save
+  // (PnpTuner always stamps the identity before writing).
+  PNP_CHECK_MSG(machine_fingerprint != 0 && !machine_name.empty(),
+                "artifact is missing its machine identity (v4 requires the "
+                "training machine's name and fingerprint)");
+  PNP_CHECK_MSG(!fleet || !fleet_fingerprints.empty(),
+                "fleet artifact must list its training machines");
+  sd.put_string("machine.name", machine_name);
+  sd.put_int("machine.fingerprint",
+             static_cast<std::int64_t>(machine_fingerprint));
+  sd.put_int("machine.fleet", fleet ? 1 : 0);
+  sd.put_string("machine.fleet_fingerprints",
+                encode_fingerprints(fleet_fingerprints));
 
   for (const auto& name : net_weights.names())
     sd.put(kNetPrefix + name, net_weights.get(name));
@@ -311,6 +375,29 @@ TunerArtifact TunerArtifact::from_state_dict(const StateDict& sd) {
     (void)a.constraint_rules();
   }
 
+  if (version >= 4) {
+    // Machine identity is mandatory from v4 on; pre-v4 files leave
+    // machine_fingerprint at 0, which routes validate_artifact onto the
+    // legacy (no machine check) path.
+    a.opt_machine_features = sd.get_int("opt.machine_features") != 0;
+    a.machine_name = sd.get_string("machine.name");
+    a.machine_fingerprint =
+        static_cast<std::uint64_t>(sd.get_int("machine.fingerprint"));
+    PNP_CHECK_MSG(!a.machine_name.empty() && a.machine_fingerprint != 0,
+                  "v4 artifact must record its training machine's name and "
+                  "fingerprint");
+    a.fleet = sd.get_int("machine.fleet") != 0;
+    a.fleet_fingerprints =
+        decode_fingerprints(sd.get_string("machine.fleet_fingerprints"));
+    PNP_CHECK_MSG(a.fleet_fingerprints.size() <= 4096,
+                  "unreasonable fleet fingerprint count "
+                      << a.fleet_fingerprints.size());
+    PNP_CHECK_MSG(!a.fleet || !a.fleet_fingerprints.empty(),
+                  "fleet artifact must list its training machines");
+    PNP_CHECK_MSG(!a.fleet || a.opt_machine_features,
+                  "fleet artifact must carry machine-conditioned features");
+  }
+
   const std::string prefix = kNetPrefix;
   for (const auto& name : sd.names())
     if (name.rfind(prefix, 0) == 0)
@@ -391,10 +478,12 @@ std::vector<int> tuner_labels(const SearchSpace& space, const TunerClasses& c,
 }
 
 int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
-                              int num_caps, bool use_counters) {
+                              int num_caps, bool use_counters,
+                              bool machine_features) {
   int n = 0;
   if (power_scenario) n += cap_onehot ? num_caps : 1;
   if (use_counters) n += kNumProfiledCounters;
+  if (machine_features) n += hw::kNumMachineFeatures;
   return n;
 }
 
@@ -413,7 +502,9 @@ void validate_artifact(const TunerArtifact& art, const MeasurementDb& db) {
       "space");
   PNP_CHECK_MSG(art.extra_features ==
                     tuner_extra_feature_count(!edp, art.opt_cap_onehot,
-                                              db.num_caps(), art.opt_use_counters),
+                                              db.num_caps(),
+                                              art.opt_use_counters,
+                                              art.opt_machine_features),
                 "artifact extra-feature count " << art.extra_features
                                                 << " does not match this "
                                                    "db/options layout");
@@ -428,18 +519,48 @@ void validate_artifact(const TunerArtifact& art, const MeasurementDb& db) {
                   "artifact train-cap index " << k << " out of range [0, "
                                               << db.num_caps() << ")");
 
+  // v4+ artifacts pin the exact training machine: a single-machine model
+  // serves only the machine it was swept on. Fleet artifacts instead carry
+  // machine-conditioned features and are checked shape-only below — that
+  // is the unseen-machine transfer path (docs/HARDWARE.md). Fingerprint 0
+  // means pre-v4, never recorded: legacy path, machine check skipped.
+  if (art.machine_fingerprint != 0 && !art.fleet) {
+    const std::uint64_t here = hw::machine_fingerprint(db.machine());
+    PNP_CHECK_MSG(art.machine_fingerprint == here,
+                  "artifact was trained on machine '"
+                      << art.machine_name << "' but this db was swept on '"
+                      << db.machine().name
+                      << "' — cross-machine serving needs a fleet artifact "
+                         "(docs/HARDWARE.md)");
+  }
+
   // v2+ artifacts carry the exact space they were trained on; two machines
   // can share a head layout (Haswell/Skylake both classify 6×3×8 over 4
   // caps) yet mean different things by class i, so compare the values.
+  // Fleet artifacts relax this to shape-only: thread/cap *values* differ
+  // per machine by design, and the machine features carry that identity
+  // into the model instead.
   if (!art.space_threads.empty() || !art.space_chunks.empty() ||
       !art.space_caps.empty() || art.space_schedules != 0) {
-    PNP_CHECK_MSG(art.space_threads == space.thread_values() &&
-                      art.space_chunks == space.chunk_values() &&
-                      art.space_caps == space.power_caps() &&
-                      art.space_schedules == space.num_schedule_classes(),
-                  "artifact was trained against a different search space "
-                  "(thread/chunk/cap grid mismatch) — cross-machine reuse "
-                  "goes through import_gnn, not load");
+    if (art.fleet) {
+      PNP_CHECK_MSG(art.opt_machine_features,
+                    "fleet artifact must carry machine-conditioned features");
+      PNP_CHECK_MSG(
+          art.space_threads.size() == space.thread_values().size() &&
+              art.space_chunks.size() == space.chunk_values().size() &&
+              art.space_caps.size() == space.power_caps().size() &&
+              art.space_schedules == space.num_schedule_classes(),
+          "fleet artifact search-space shape does not match this machine's "
+          "space (thread/chunk/cap grid sizes must agree across the fleet)");
+    } else {
+      PNP_CHECK_MSG(art.space_threads == space.thread_values() &&
+                        art.space_chunks == space.chunk_values() &&
+                        art.space_caps == space.power_caps() &&
+                        art.space_schedules == space.num_schedule_classes(),
+                    "artifact was trained against a different search space "
+                    "(thread/chunk/cap grid mismatch) — cross-machine reuse "
+                    "goes through import_gnn, not load");
+    }
   }
 
   // v3+ artifacts additionally pin the constraint layer: a model trained

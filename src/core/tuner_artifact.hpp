@@ -36,11 +36,14 @@ struct TunerArtifact {
   /// files with a newer version than they understand. v2 added the
   /// "space.*" search-space fingerprint; v3 added the "space.constraints"
   /// fingerprint (flat (kind, a, b) triples of the space's ConstraintRule
-  /// set). v1/v2 files still load onto the legacy path: no constraint
-  /// fingerprint recorded, so the constraint-set check is skipped and —
-  /// their spaces carrying no rules — scoring degenerates to the historic
-  /// exhaustive/argmax decode.
-  static constexpr std::int64_t kFormatVersion = 3;
+  /// set); v4 added the "machine.*" identity block — the training
+  /// machine's name and full-descriptor fingerprint, plus the fleet flag
+  /// and per-machine fingerprints for fleet-trained models
+  /// (docs/HARDWARE.md). v1–v3 files still load onto the legacy path: no
+  /// constraint/machine fingerprint recorded, so those checks are skipped
+  /// and — their spaces carrying no rules — scoring degenerates to the
+  /// historic exhaustive/argmax decode.
+  static constexpr std::int64_t kFormatVersion = 4;
   static constexpr const char* kKind = "pnp-tuner";
 
   /// Mirrors PnpTuner's private mode enum (0 = none is rejected on save).
@@ -83,11 +86,26 @@ struct TunerArtifact {
   /// The fingerprint decoded back into rules (validated on load).
   std::vector<ConstraintRule> constraint_rules() const;
 
+  /// Machine identity (format v4+; docs/HARDWARE.md "Machine
+  /// fingerprints"). `machine_fingerprint` is hw::machine_fingerprint of
+  /// the primary training machine; 0 means "pre-v4, never recorded" and
+  /// routes validation onto the legacy path. A single-machine artifact
+  /// must serve exactly the machine it was trained on; a fleet artifact
+  /// (`fleet` true, `fleet_fingerprints` listing every training machine)
+  /// carries machine-conditioned features instead and may serve any
+  /// machine whose search-space *shape* matches — that is the
+  /// unseen-machine transfer path of paper Figs. 4–5.
+  std::string machine_name;
+  std::uint64_t machine_fingerprint = 0;
+  bool fleet = false;
+  std::vector<std::uint64_t> fleet_fingerprints;
+
   // PnpOptions is round-tripped field by field (see tuner_artifact.cpp);
   // the struct itself is stored here for symmetric save/load code.
   bool opt_use_counters = false;
   bool opt_cap_onehot = true;
   bool opt_factored_heads = true;
+  bool opt_machine_features = false;
   int opt_emb_dim = 0;
   int opt_rgcn_layers = 0;
   int opt_hidden = 0;
@@ -168,9 +186,12 @@ std::vector<int> tuner_labels(const SearchSpace& space, const TunerClasses& c,
                               bool factored_heads, bool edp_scenario);
 
 /// Width of the dense classifier's extra-feature slot for a mode/options
-/// combination under a db with `num_caps` power caps.
+/// combination under a db with `num_caps` power caps. `machine_features`
+/// appends hw::kNumMachineFeatures machine-conditioned inputs (fleet
+/// training, docs/HARDWARE.md).
 int tuner_extra_feature_count(bool power_scenario, bool cap_onehot,
-                              int num_caps, bool use_counters);
+                              int num_caps, bool use_counters,
+                              bool machine_features);
 
 /// Validate a loaded artifact against the measurement db it is about to
 /// serve: classifier head layout, extra-feature width, counter stats,

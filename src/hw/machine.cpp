@@ -20,6 +20,8 @@ double MachineModel::power_demand_w(int active_cores, int sockets_used,
                                     double f_ghz, double activity) const {
   PNP_CHECK(active_cores >= 0 && active_cores <= total_cores());
   PNP_CHECK(sockets_used >= 0 && sockets_used <= sockets);
+  PNP_CHECK_MSG(active_cores == 0 || sockets_used >= 1,
+                "active cores must occupy at least one socket");
   const double per_core =
       alpha_w_per_core * f_ghz * f_ghz * f_ghz + beta_w_per_core * f_ghz;
   const double act = 0.35 + 0.65 * activity;  // stalled cores still clock

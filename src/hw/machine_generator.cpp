@@ -1,0 +1,237 @@
+#include "hw/machine_generator.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/parse.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace pnp::hw {
+
+namespace {
+
+/// lo + q·k for a uniform k — a quantized draw, so every sampled value is
+/// one of a small closed set of doubles (bit-stable across platforms).
+double pick_q(Rng& rng, double lo, double q, int steps) {
+  return lo + q * static_cast<double>(rng.uniform_int(0, steps));
+}
+
+/// One of an explicit menu.
+template <typename T, std::size_t N>
+T pick(Rng& rng, const std::array<T, N>& menu) {
+  return menu[rng.uniform_index(N)];
+}
+
+struct Ladder {
+  int fmin_mhz = 0, fmax_mhz = 0, step_mhz = 0;
+};
+
+/// Sample a DVFS ladder in integer MHz: fmax from [lo, hi] on a 100 MHz
+/// raster, a step from `steps_mhz`, and a depth of `kmin..kmax` rungs
+/// (clamped so fmin never falls below 800 MHz). fmin is always exactly
+/// fmax − k·step, i.e. on the ladder.
+Ladder sample_ladder(Rng& rng, int fmax_lo_mhz, int fmax_hi_mhz,
+                     std::array<int, 2> steps_mhz, int kmin, int kmax) {
+  Ladder l;
+  l.fmax_mhz = fmax_lo_mhz + 100 * rng.uniform_int(
+                                       0, (fmax_hi_mhz - fmax_lo_mhz) / 100);
+  l.step_mhz = pick(rng, steps_mhz);
+  const int kcap = (l.fmax_mhz - 800) / l.step_mhz;
+  int k = rng.uniform_int(kmin, kmax);
+  if (k > kcap) k = kcap;
+  l.fmin_mhz = l.fmax_mhz - k * l.step_mhz;
+  return l;
+}
+
+}  // namespace
+
+const char* archetype_name(MachineArchetype a) {
+  switch (a) {
+    case MachineArchetype::kBigNodeServer: return "big-node-server";
+    case MachineArchetype::kNarrowDesktop: return "narrow-desktop";
+    case MachineArchetype::kManyThinCore: return "many-thin-core";
+    case MachineArchetype::kBandwidthBound: return "bandwidth-bound";
+  }
+  throw Error("unknown machine archetype");
+}
+
+MachineArchetype MachineGenerator::archetype_of(int index) const {
+  PNP_CHECK_MSG(index >= 0, "machine index must be >= 0, got " << index);
+  return static_cast<MachineArchetype>(index % kNumMachineArchetypes);
+}
+
+MachineModel MachineGenerator::machine(int index) const {
+  const MachineArchetype arch = archetype_of(index);
+  Rng rng(hash_combine(seed_, static_cast<std::uint64_t>(index)));
+
+  MachineModel m;
+  m.name = "gen:" + std::to_string(seed_) + ":" + std::to_string(index);
+
+  Ladder ladder;
+  switch (arch) {
+    case MachineArchetype::kBigNodeServer:
+      m.sockets = 2 * rng.uniform_int(1, 2);
+      m.cores_per_socket = 12 + 2 * rng.uniform_int(0, 8);
+      m.smt_per_core = 2;
+      ladder = sample_ladder(rng, 2400, 3600, {100, 100}, 16, 28);
+      m.l1d_kib_per_core = pick(rng, std::array<double, 2>{32.0, 48.0});
+      m.l2_kib_per_core =
+          pick(rng, std::array<double, 3>{512.0, 1024.0, 2048.0});
+      m.l3_mib_per_socket =
+          pick(rng, std::array<double, 4>{16.0, 22.0, 32.0, 48.0});
+      m.mem_bw_gbs_per_socket = pick_q(rng, 80.0, 10.0, 6);
+      m.flops_per_cycle_per_core = pick(rng, std::array<double, 2>{16.0, 32.0});
+      m.alpha_w_per_core = pick_q(rng, 0.10, 0.002, 100);
+      m.beta_w_per_core = pick_q(rng, 0.20, 0.01, 30);
+      m.p_static_w = pick_q(rng, 12.0, 1.0, 13);
+      m.p_uncore_per_socket_w = pick_q(rng, 5.0, 1.0, 5);
+      break;
+    case MachineArchetype::kNarrowDesktop:
+      m.sockets = 1;
+      m.cores_per_socket = 16 + 2 * rng.uniform_int(0, 4);
+      m.smt_per_core = 2;
+      ladder = sample_ladder(rng, 3600, 5000, {50, 100}, 24, 48);
+      m.l1d_kib_per_core = pick(rng, std::array<double, 2>{32.0, 48.0});
+      m.l2_kib_per_core = pick(rng, std::array<double, 2>{1024.0, 2048.0});
+      m.l3_mib_per_socket =
+          pick(rng, std::array<double, 3>{24.0, 32.0, 64.0});
+      m.mem_bw_gbs_per_socket = pick_q(rng, 40.0, 10.0, 4);
+      m.flops_per_cycle_per_core = 16.0;
+      m.alpha_w_per_core = pick_q(rng, 0.12, 0.002, 90);
+      m.beta_w_per_core = pick_q(rng, 0.20, 0.01, 25);
+      m.p_static_w = pick_q(rng, 8.0, 1.0, 7);
+      m.p_uncore_per_socket_w = pick_q(rng, 4.0, 1.0, 4);
+      break;
+    case MachineArchetype::kManyThinCore:
+      m.sockets = rng.uniform_int(1, 2);
+      m.cores_per_socket = 32 + 4 * rng.uniform_int(0, 8);
+      m.smt_per_core = pick(rng, std::array<int, 2>{1, 4});
+      ladder = sample_ladder(rng, 1200, 2000, {50, 100}, 8, 16);
+      m.l1d_kib_per_core = 32.0;
+      m.l2_kib_per_core = pick(rng, std::array<double, 2>{256.0, 512.0});
+      m.l3_mib_per_socket =
+          pick(rng, std::array<double, 3>{8.0, 16.0, 32.0});
+      m.mem_bw_gbs_per_socket = pick_q(rng, 60.0, 10.0, 6);
+      m.flops_per_cycle_per_core = pick(rng, std::array<double, 2>{4.0, 8.0});
+      m.alpha_w_per_core = pick_q(rng, 0.03, 0.001, 70);
+      m.beta_w_per_core = pick_q(rng, 0.10, 0.01, 20);
+      m.p_static_w = pick_q(rng, 10.0, 1.0, 10);
+      m.p_uncore_per_socket_w = pick_q(rng, 4.0, 1.0, 4);
+      break;
+    case MachineArchetype::kBandwidthBound:
+      m.sockets = rng.uniform_int(1, 2);
+      m.cores_per_socket = 16 + 4 * rng.uniform_int(0, 4);
+      m.smt_per_core = 2;
+      ladder = sample_ladder(rng, 2000, 3000, {100, 100}, 12, 20);
+      m.l1d_kib_per_core = pick(rng, std::array<double, 2>{32.0, 48.0});
+      m.l2_kib_per_core = pick(rng, std::array<double, 2>{512.0, 1024.0});
+      m.l3_mib_per_socket =
+          pick(rng, std::array<double, 3>{32.0, 48.0, 64.0});
+      m.mem_bw_gbs_per_socket = pick_q(rng, 150.0, 25.0, 10);
+      m.flops_per_cycle_per_core = pick(rng, std::array<double, 2>{8.0, 16.0});
+      m.alpha_w_per_core = pick_q(rng, 0.08, 0.002, 60);
+      m.beta_w_per_core = pick_q(rng, 0.20, 0.01, 20);
+      m.p_static_w = pick_q(rng, 15.0, 1.0, 15);
+      m.p_uncore_per_socket_w = pick_q(rng, 8.0, 1.0, 6);
+      break;
+  }
+
+  m.fmin_ghz = static_cast<double>(ladder.fmin_mhz) / 1000.0;
+  m.fmax_ghz = static_cast<double>(ladder.fmax_mhz) / 1000.0;
+  m.fstep_ghz = static_cast<double>(ladder.step_mhz) / 1000.0;
+  m.numa_remote_factor = pick_q(rng, 0.75, 0.01, 20);
+  m.smt_throughput_gain = pick_q(rng, 1.10, 0.01, 25);
+
+  // Calibrate the package limits to the sampled coefficients: TDP is the
+  // integer-watt demand of the whole package at a mid-ladder sustained
+  // frequency, so every machine's power model, cap range, and ladder are
+  // consistent by construction rather than independently sampled.
+  const int ft_mhz =
+      ladder.fmin_mhz +
+      ((ladder.fmax_mhz - ladder.fmin_mhz) * 3 / 5 / ladder.step_mhz) *
+          ladder.step_mhz;
+  const double ft = static_cast<double>(ft_mhz) / 1000.0;
+  const double per_core =
+      m.alpha_w_per_core * ft * ft * ft + m.beta_w_per_core * ft;
+  m.tdp_w = std::ceil(m.p_static_w +
+                      m.p_uncore_per_socket_w * static_cast<double>(m.sockets) +
+                      static_cast<double>(m.total_cores()) * per_core);
+  const double cap_ratio = pick_q(rng, 0.40, 0.01, 20);
+  m.min_cap_w = std::floor(cap_ratio * m.tdp_w);
+  return m;
+}
+
+std::vector<MachineModel> MachineGenerator::fleet(int count) const {
+  PNP_CHECK_MSG(count >= 1, "fleet size must be >= 1, got " << count);
+  std::vector<MachineModel> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) out.push_back(machine(i));
+  return out;
+}
+
+std::uint64_t machine_fingerprint(const MachineModel& m) {
+  std::uint64_t h = fnv1a(std::string_view(m.name));
+  const auto mix_d = [&h](double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof bits);
+    h = hash_combine(h, bits);
+  };
+  const auto mix_i = [&h](int v) {
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  };
+  mix_i(m.sockets);
+  mix_i(m.cores_per_socket);
+  mix_i(m.smt_per_core);
+  mix_d(m.fmin_ghz);
+  mix_d(m.fmax_ghz);
+  mix_d(m.fstep_ghz);
+  mix_d(m.l1d_kib_per_core);
+  mix_d(m.l2_kib_per_core);
+  mix_d(m.l3_mib_per_socket);
+  mix_d(m.mem_bw_gbs_per_socket);
+  mix_d(m.numa_remote_factor);
+  mix_d(m.p_static_w);
+  mix_d(m.p_uncore_per_socket_w);
+  mix_d(m.alpha_w_per_core);
+  mix_d(m.beta_w_per_core);
+  mix_d(m.tdp_w);
+  mix_d(m.min_cap_w);
+  mix_d(m.flops_per_cycle_per_core);
+  mix_d(m.smt_throughput_gain);
+  return h;
+}
+
+std::array<double, kNumMachineFeatures> machine_feature_vector(
+    const MachineModel& m) {
+  // 1. Thread scale: log2(max_threads)/8 — 0.375 for a 8-thread desktop,
+  //    1.0 at 256 threads. 2. Bandwidth/compute balance: package DRAM
+  //    bandwidth over peak FLOP rate at fmax (a machine-level arithmetic
+  //    intensity breakpoint). 3. Cap-range shape: how deep the cap grid
+  //    cuts below TDP.
+  const double threads = static_cast<double>(m.max_threads());
+  const double bw =
+      static_cast<double>(m.sockets) * m.mem_bw_gbs_per_socket;
+  const double flops = static_cast<double>(m.total_cores()) *
+                       m.flops_per_cycle_per_core * m.fmax_ghz;
+  return {std::log2(threads) / 8.0, bw / flops, m.min_cap_w / m.tdp_w};
+}
+
+MachineModel machine_by_name(const std::string& name) {
+  if (name == "haswell") return MachineModel::haswell();
+  if (name == "skylake") return MachineModel::skylake();
+  if (starts_with(name, "gen:")) {
+    const std::vector<std::string> parts = split(name, ':');
+    PNP_CHECK_MSG(parts.size() == 3,
+                  "bad generated-machine spec '"
+                      << name << "' (expected gen:<seed>:<index>)");
+    const std::uint64_t seed = parse_uint64(parts[1], "machine seed");
+    const int index = parse_int(parts[2], "machine index", 0);
+    return MachineGenerator(seed).machine(index);
+  }
+  throw Error("unknown machine '" + name +
+              "' (expected haswell, skylake, or gen:<seed>:<index>)");
+}
+
+}  // namespace pnp::hw

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file machine_generator.hpp
+/// The hardware zoo (ROADMAP item 5, docs/HARDWARE.md): a seeded
+/// deterministic generator of realistic MachineModel descriptors, the
+/// hardware-axis mirror of the PR-4 workload generator. Every descriptor
+/// is a pure function of (seed, machine index) — bit-identical across
+/// runs, platforms, and build modes — so "train on N machines, evaluate
+/// on held-out ones" (generalizing paper Figs. 4–5) is a reproducible
+/// experiment, not a lottery.
+///
+/// Machines are drawn from four archetype families, assigned round-robin
+/// by index so any contiguous fleet covers all of them:
+///
+///   index % 4 == 0  big-node server   (2-4 sockets, 12-28 cores each)
+///   index % 4 == 1  narrow desktop    (1 socket, high clocks, big L3)
+///   index % 4 == 2  many-thin-core    (32-64 slim cores, low clocks)
+///   index % 4 == 3  bandwidth-bound   (HBM-class memory, modest cores)
+///
+/// Generator contract (tests/machine_generator_test.cpp enforces it):
+///  - all frequencies are integer MHz, so every ladder point
+///    fmax − k·fstep is exactly representable and fmin is on the ladder;
+///  - max_threads() >= 32, so the generic SearchSpace::for_machine grid
+///    always has the full 6 thread classes and every generated machine
+///    shares one classifier head layout (what lets a single fleet
+///    artifact serve them all — docs/HARDWARE.md "Fleet artifacts");
+///  - tdp_w is derived from the sampled alpha/beta power coefficients at
+///    a mid-ladder sustained frequency (integer watts), min_cap_w is
+///    40-60% of tdp_w, so cap grids are non-degenerate and the power
+///    model is self-consistent;
+///  - the descriptor's name is its spec, "gen:<seed>:<index>", and
+///    machine_by_name() round-trips it.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+
+namespace pnp::hw {
+
+enum class MachineArchetype : int {
+  kBigNodeServer = 0,
+  kNarrowDesktop = 1,
+  kManyThinCore = 2,
+  kBandwidthBound = 3,
+};
+
+inline constexpr int kNumMachineArchetypes = 4;
+
+const char* archetype_name(MachineArchetype a);
+
+class MachineGenerator {
+ public:
+  explicit MachineGenerator(std::uint64_t seed) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  /// Archetype family of machine `index` (round-robin).
+  MachineArchetype archetype_of(int index) const;
+
+  /// The `index`-th machine of this seed's zoo. Pure function of
+  /// (seed, index): two generators with equal seeds produce bit-identical
+  /// descriptors for every index, in any call order.
+  MachineModel machine(int index) const;
+
+  /// Machines 0..count-1.
+  std::vector<MachineModel> fleet(int count) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+/// Order-sensitive hash of every MachineModel field (name bytes plus the
+/// raw bit patterns of all numeric fields). Two machines agreeing on the
+/// fingerprint agree on the whole descriptor; artifact v4 stores it so a
+/// tuner trained on one machine refuses to serve another even when their
+/// search-space grids collide (docs/HARDWARE.md "Machine fingerprints").
+std::uint64_t machine_fingerprint(const MachineModel& m);
+
+/// Machine-conditioned model inputs (artifact v4 fleet models append these
+/// to the dense-layer extra features so one network can tell the fleet's
+/// machines apart): log2-normalized thread count, bandwidth/compute
+/// balance, and cap-range shape. All O(1) magnitudes by construction.
+inline constexpr int kNumMachineFeatures = 3;
+std::array<double, kNumMachineFeatures> machine_feature_vector(
+    const MachineModel& m);
+
+/// The one machine registry every tool shares: resolves the two paper
+/// machines ("haswell", "skylake") and generated-machine specs
+/// ("gen:<seed>:<index>"). Throws pnp::Error on anything else. For every
+/// accepted name, machine_by_name(name).name == name.
+MachineModel machine_by_name(const std::string& name);
+
+}  // namespace pnp::hw

@@ -26,11 +26,16 @@ double PowerCapController::max_frequency_ghz(const MachineModel& m,
   PNP_CHECK(active_cores >= 1 && sockets_used >= 1);
   // Walk the ladder downward until the demand fits. Demand is evaluated at
   // full activity — RAPL must budget for the worst case within its window.
-  double f = m.fmax_ghz;
-  while (f > m.fmin_ghz + 1e-9 &&
-         m.power_demand_w(active_cores, sockets_used, f) > cap_w)
-    f -= m.fstep_ghz;
-  return std::max(f, m.fmin_ghz);
+  // Each rung is recomputed from fmax by integer index — never accumulated
+  // subtraction — so every returned frequency is an exact ladder point
+  // regardless of ladder depth (generated machines have arbitrary ladders).
+  const int rungs = static_cast<int>(
+      std::lround((m.fmax_ghz - m.fmin_ghz) / m.fstep_ghz));
+  for (int k = 0; k < rungs; ++k) {
+    const double f = m.fmax_ghz - static_cast<double>(k) * m.fstep_ghz;
+    if (m.power_demand_w(active_cores, sockets_used, f) <= cap_w) return f;
+  }
+  return m.fmin_ghz;
 }
 
 void EnergyMeter::accumulate(double watts, double seconds) {

@@ -28,14 +28,17 @@ std::string encode_request(const Request& q) {
   wire::put_u8(out, static_cast<std::uint8_t>(q.op));
   switch (q.op) {
     case Op::Power:
+      wire::put_u32(out, q.machine);
       put_i32(out, q.tune.region);
       put_i32(out, q.tune.cap_index);
       break;
     case Op::PowerAt:
+      wire::put_u32(out, q.machine);
       put_i32(out, q.tune.region);
       wire::put_f64(out, q.tune.cap_w);
       break;
     case Op::Edp:
+      wire::put_u32(out, q.machine);
       put_i32(out, q.tune.region);
       break;
     case Op::Reload:
@@ -65,6 +68,7 @@ Request decode_request(std::string_view payload) {
   switch (op) {
     case static_cast<std::uint8_t>(Op::Power): {
       q.op = Op::Power;
+      q.machine = r.u32();
       const int region = get_i32(r);
       const int cap = get_i32(r);
       q.tune = TuneRequest::power(region, cap);
@@ -72,6 +76,7 @@ Request decode_request(std::string_view payload) {
     }
     case static_cast<std::uint8_t>(Op::PowerAt): {
       q.op = Op::PowerAt;
+      q.machine = r.u32();
       const int region = get_i32(r);
       const double watts = r.f64();
       q.tune = TuneRequest::power_at(region, watts);
@@ -79,6 +84,7 @@ Request decode_request(std::string_view payload) {
     }
     case static_cast<std::uint8_t>(Op::Edp): {
       q.op = Op::Edp;
+      q.machine = r.u32();
       q.tune = TuneRequest::edp(get_i32(r));
       break;
     }

@@ -13,9 +13,9 @@
 ///                   written out of order across a connection's pipeline)
 ///   u8  opcode      1 power | 2 power_at | 3 edp | 4 reload | 5 stats |
 ///                   6 observe
-///   opcode 1: u32 region, u32 cap_index
-///   opcode 2: u32 region, f64 cap_watts
-///   opcode 3: u32 region
+///   opcode 1: u32 machine, u32 region, u32 cap_index
+///   opcode 2: u32 machine, u32 region, f64 cap_watts
+///   opcode 3: u32 machine, u32 region
 ///   opcode 4: u32 path_len, path bytes (the artifact to hot-reload)
 ///   opcode 5: (empty)
 ///   opcode 6: u32 region, f64 cap_watts, u32 threads, u8 schedule,
@@ -48,6 +48,14 @@
 /// Integers that carry an `int` (region, cap_index, chunk) are encoded as
 /// two's-complement u32 so invalid negatives round-trip into the
 /// service's own validation instead of dying in the codec.
+///
+/// The tune opcodes (1/2/3) carry a required `machine` field — the tenant
+/// index of a multi-tenant daemon (pnp_served --machine A,B,...). Single-
+/// tenant daemons accept only machine 0; routing to an out-of-range
+/// tenant is a Status::Error, not a malformed frame. Reload deliberately
+/// carries no machine: it is a broadcast barrier that swaps every
+/// tenant's model. Observe always lands on tenant 0, the retraining
+/// tenant. Stats sums the per-tenant service counters.
 
 #include <cstdint>
 #include <string>
@@ -77,6 +85,7 @@ enum class Status : std::uint8_t {
 struct Request {
   std::uint64_t id = 0;
   Op op = Op::Power;
+  std::uint32_t machine = 0;  ///< tenant index (Power / PowerAt / Edp)
   TuneRequest tune;          ///< Power / PowerAt / Edp
   std::string reload_path;   ///< Reload
   core::MeasurementRecord observe;  ///< Observe

@@ -29,9 +29,15 @@ bool is_tune_op(protocol::Op op) {
 }  // namespace
 
 Server::Server(TuningService& service, ServerOptions options)
-    : service_(service),
+    : Server(std::vector<TuningService*>{&service}, std::move(options)) {}
+
+Server::Server(std::vector<TuningService*> services, ServerOptions options)
+    : services_(std::move(services)),
       opt_(validated(std::move(options))),
       listener_(net::Address::parse(opt_.listen)) {
+  PNP_CHECK_MSG(!services_.empty(), "a server needs at least one service");
+  for (const TuningService* s : services_)
+    PNP_CHECK_MSG(s != nullptr, "a server tenant service must not be null");
   workers_.reserve(static_cast<std::size_t>(opt_.workers));
   for (int i = 0; i < opt_.workers; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -153,7 +159,10 @@ void Server::execute(const Job& job) {
     case protocol::Op::PowerAt:
     case protocol::Op::Edp:
       try {
-        const TuneResult r = service_.tune(q.tune);
+        PNP_CHECK_MSG(q.machine < services_.size(),
+                      "unknown tenant " << q.machine << " (this daemon serves "
+                                        << services_.size() << ")");
+        const TuneResult r = services_[q.machine]->tune(q.tune);
         out = protocol::encode_tune_response(q.id, q.op, r);
         ok_.fetch_add(1, std::memory_order_relaxed);
       } catch (const std::exception& e) {
@@ -163,7 +172,20 @@ void Server::execute(const Job& job) {
       break;
     case protocol::Op::Reload:
       try {
-        const std::uint64_t v = service_.reload(q.reload_path);
+        // Broadcast: every tenant swaps to the same artifact (sequential,
+        // not atomic — a tenant that rejects the artifact leaves earlier
+        // tenants on the new model and the rest on the old, and the error
+        // reply names it). The echoed version is tenant 0's.
+        std::uint64_t v = 0;
+        for (std::size_t t = 0; t < services_.size(); ++t) {
+          try {
+            const std::uint64_t vt = services_[t]->reload(q.reload_path);
+            if (t == 0) v = vt;
+          } catch (const std::exception& e) {
+            throw Error("tenant " + std::to_string(t) +
+                        " rejected the reload: " + e.what());
+          }
+        }
         out = protocol::encode_reload_response(q.id, v);
         ok_.fetch_add(1, std::memory_order_relaxed);
       } catch (const std::exception& e) {
@@ -177,8 +199,9 @@ void Server::execute(const Job& job) {
                       "observation ingestion is disabled on this server");
         // Locate before appending: a record that cannot land on the
         // serving grid (unknown region, off-grid cap or config, absurd
-        // values) is refused here and never becomes durable.
-        core::locate_observation(service_.db(), q.observe);
+        // values) is refused here and never becomes durable. Observations
+        // always ingest against tenant 0, the retraining tenant.
+        core::locate_observation(services_[0]->db(), q.observe);
         const std::uint64_t seq = opt_.observe_log->append(q.observe);
         // The append flushed before we reply: a client holding this ack
         // can count on the record surviving a drain (exactly-once — the
@@ -203,8 +226,20 @@ void Server::execute(const Job& job) {
       const protocol::RetrainCounters rc =
           opt_.retrain_counters ? opt_.retrain_counters()
                                 : protocol::RetrainCounters{};
-      out = protocol::encode_stats_response(q.id, sc, service_.stats(), rc,
-                                            latency_);
+      // Multi-tenant: the exported service counters are the sum over
+      // tenants — one daemon, one stats frame.
+      TuningService::Stats svc;
+      for (const TuningService* s : services_) {
+        const TuningService::Stats t = s->stats();
+        svc.requests += t.requests;
+        svc.batches += t.batches;
+        svc.coalesced += t.coalesced;
+        svc.encode_hits += t.encode_hits;
+        svc.encode_misses += t.encode_misses;
+        svc.reloads += t.reloads;
+        svc.failed_reloads += t.failed_reloads;
+      }
+      out = protocol::encode_stats_response(q.id, sc, svc, rc, latency_);
       ok_.fetch_add(1, std::memory_order_relaxed);
       break;
     }

@@ -30,6 +30,16 @@
 /// opcode. Request semantics and results are exactly TuningService's:
 /// the soak suite (tests/server_soak_test.cpp) proves served results are
 /// bit-identical to an in-process reference, across a hot reload.
+///
+/// A server may front several TuningServices at once — one per machine of
+/// a multi-tenant daemon (pnp_served --machine A,B,...). Tune requests
+/// carry the tenant index on the wire and are routed to that tenant's
+/// service; an out-of-range index is an error reply, not a protocol
+/// violation. `reload` is a broadcast (every tenant swaps to the same
+/// artifact — only a fleet artifact can satisfy every tenant's machine
+/// fingerprint, docs/HARDWARE.md), `observe` always ingests against
+/// tenant 0 (the retraining tenant), and `stats` sums the per-tenant
+/// service counters.
 
 #include <atomic>
 #include <condition_variable>
@@ -80,9 +90,14 @@ struct ServerOptions {
 
 class Server {
  public:
-  /// Bind, listen, and start serving `service` immediately. Throws
+  /// Bind, listen, and start serving `service` immediately (single
+  /// tenant: every tune request must carry machine index 0). Throws
   /// pnp::Error on a bad option or an unbindable address.
   Server(TuningService& service, ServerOptions options);
+  /// Multi-tenant: tune requests route to services[machine]. The
+  /// services (all non-null, ≥ 1) must outlive the server; tenant 0 is
+  /// the observe/retrain tenant.
+  Server(std::vector<TuningService*> services, ServerOptions options);
   /// Implies shutdown().
   ~Server();
 
@@ -142,7 +157,7 @@ class Server {
   /// Half-close a connection's write side, serialized against reply().
   static void close_writes(Conn& conn);
 
-  TuningService& service_;
+  std::vector<TuningService*> services_;  ///< tenant index → service
   ServerOptions opt_;
   net::Listener listener_;
   LatencyHistogram latency_;

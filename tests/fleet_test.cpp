@@ -1,0 +1,163 @@
+/// Tests for the cross-machine transfer harness (core::Fleet +
+/// core::FleetEvaluator, docs/HARDWARE.md): fleet construction over
+/// generated machines, the unseen-machine split's training and scoring,
+/// determinism of the split results, and the artifact-v4 machine-identity
+/// rules — a fleet artifact serves every fleet machine (including ones it
+/// never trained on) while a single-machine artifact refuses a foreign db.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/fleet.hpp"
+#include "core/tuner_artifact.hpp"
+#include "workloads/generator.hpp"
+
+namespace pnp::core {
+namespace {
+
+constexpr std::uint64_t kFleetSeed = 42;
+
+class FleetTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    workloads::GeneratorOptions gopt;
+    gopt.seed = 19;
+    gopt.num_regions = 6;
+    corpus_ = new workloads::Corpus(workloads::Generator(gopt).generate());
+    fleet_ = new Fleet(kFleetSeed, 4, corpus_->all_regions());
+  }
+  static void TearDownTestSuite() {
+    delete fleet_;
+    delete corpus_;
+  }
+
+  static PnpOptions fast_options() {
+    PnpOptions opt;
+    opt.trainer.max_epochs = 2;
+    return opt;
+  }
+
+  static workloads::Corpus* corpus_;
+  static Fleet* fleet_;
+};
+
+workloads::Corpus* FleetTest::corpus_ = nullptr;
+Fleet* FleetTest::fleet_ = nullptr;
+
+TEST_F(FleetTest, ConstructionSweepsEveryMachine) {
+  ASSERT_EQ(fleet_->size(), 4);
+  EXPECT_EQ(fleet_->seed(), kFleetSeed);
+  const hw::MachineGenerator gen(kFleetSeed);
+  for (int i = 0; i < fleet_->size(); ++i) {
+    EXPECT_EQ(fleet_->machine(i).name, gen.machine(i).name);
+    EXPECT_EQ(fleet_->db(i).num_regions(), 6);
+    EXPECT_GT(fleet_->db(i).num_caps(), 0);
+    // Each db sweeps its own machine's space — caps end at that TDP.
+    EXPECT_DOUBLE_EQ(fleet_->db(i).space().tdp(), fleet_->machine(i).tdp_w);
+  }
+  EXPECT_THROW(fleet_->machine(-1), Error);
+  EXPECT_THROW(fleet_->db(4), Error);
+  EXPECT_THROW(Fleet(kFleetSeed, 0, corpus_->all_regions()), Error);
+}
+
+TEST_F(FleetTest, TrainProducesFleetArtifactWithMachineIdentity) {
+  const FleetEvaluator ev(*fleet_);
+  const TunerArtifact art = ev.train(/*holdout=*/1, fast_options());
+  EXPECT_EQ(art.version, TunerArtifact::kFormatVersion);
+  EXPECT_TRUE(art.fleet);
+  EXPECT_TRUE(art.opt_machine_features);
+  // Trained on machines 0..2 → three fleet fingerprints, tenant 0 first.
+  ASSERT_EQ(art.fleet_fingerprints.size(), 3u);
+  EXPECT_EQ(art.machine_name, fleet_->machine(0).name);
+  EXPECT_EQ(art.machine_fingerprint,
+            hw::machine_fingerprint(fleet_->machine(0)));
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(art.fleet_fingerprints[static_cast<std::size_t>(i)],
+              hw::machine_fingerprint(fleet_->machine(i)));
+  EXPECT_THROW(ev.train(/*holdout=*/0, fast_options()), Error);
+  EXPECT_THROW(ev.train(/*holdout=*/4, fast_options()), Error);
+}
+
+TEST_F(FleetTest, FleetArtifactServesHeldOutMachine) {
+  const FleetEvaluator ev(*fleet_);
+  const TunerArtifact art = ev.train(/*holdout=*/1, fast_options());
+  // Machine 3 is not in the fingerprint list — a fleet artifact still
+  // loads there (that is the whole point of the transfer split).
+  const MachineSplitResult res = ev.score_on(3, art);
+  EXPECT_EQ(res.machine_index, 3);
+  EXPECT_EQ(res.machine_name, fleet_->machine(3).name);
+  EXPECT_EQ(res.fingerprint, hw::machine_fingerprint(fleet_->machine(3)));
+  EXPECT_EQ(res.overall.queries,
+            fleet_->db(3).num_regions() * fleet_->db(3).num_caps());
+  EXPECT_GT(res.overall.geomean_speedup, 0.0);
+  EXPECT_GT(res.overall.geomean_normalized, 0.0);
+  EXPECT_LE(res.overall.geomean_normalized, 1.0 + 1e-9);
+  ASSERT_EQ(static_cast<int>(res.per_cap.size()), fleet_->db(3).num_caps());
+}
+
+TEST_F(FleetTest, EvaluateIsDeterministic) {
+  const FleetEvaluator ev(*fleet_);
+  const auto a = ev.evaluate(/*holdout=*/2, fast_options());
+  const auto b = ev.evaluate(/*holdout=*/2, fast_options());
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].machine_index, b[i].machine_index);
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint);
+    EXPECT_DOUBLE_EQ(a[i].overall.geomean_speedup,
+                     b[i].overall.geomean_speedup);
+    EXPECT_DOUBLE_EQ(a[i].overall.geomean_normalized,
+                     b[i].overall.geomean_normalized);
+    EXPECT_EQ(a[i].overall.oracle_match, b[i].overall.oracle_match);
+  }
+}
+
+TEST_F(FleetTest, SingleMachineArtifactRefusesForeignDb) {
+  // Train an ordinary (non-fleet) tuner on machine 0 and try to serve
+  // machine 1: the v4 machine fingerprint must refuse the load even
+  // though both generated machines share the same grid *shape*.
+  PnpTuner tuner(fleet_->db(0), fast_options());
+  std::vector<int> all;
+  for (int r = 0; r < fleet_->db(0).num_regions(); ++r) all.push_back(r);
+  tuner.train_power_scenario(all);
+  const TunerArtifact art = tuner.to_artifact();
+  EXPECT_FALSE(art.fleet);
+  EXPECT_NE(art.machine_fingerprint, 0u);
+
+  // Same machine: loads.
+  EXPECT_NO_THROW(PnpTuner::from_artifact(fleet_->db(0), art));
+  // Foreign machine: refused with the cross-machine message.
+  try {
+    PnpTuner::from_artifact(fleet_->db(1), art);
+    FAIL() << "cross-machine load was accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cross-machine"), std::string::npos);
+  }
+}
+
+TEST_F(FleetTest, FleetArtifactRoundTripsThroughDisk) {
+  const FleetEvaluator ev(*fleet_);
+  const TunerArtifact art = ev.train(/*holdout=*/2, fast_options());
+  const std::string path = ::testing::TempDir() + "/fleet_artifact.pnp";
+  art.save_file(path);
+  const TunerArtifact loaded = TunerArtifact::load_file(path);
+  std::remove(path.c_str());
+  EXPECT_TRUE(loaded.fleet);
+  EXPECT_EQ(loaded.machine_name, art.machine_name);
+  EXPECT_EQ(loaded.machine_fingerprint, art.machine_fingerprint);
+  EXPECT_EQ(loaded.fleet_fingerprints, art.fleet_fingerprints);
+  EXPECT_TRUE(loaded.opt_machine_features);
+  // The reloaded artifact scores the held-out machines identically.
+  const MachineSplitResult from_mem = ev.score_on(2, art);
+  const MachineSplitResult from_disk = ev.score_on(2, loaded);
+  EXPECT_DOUBLE_EQ(from_mem.overall.geomean_speedup,
+                   from_disk.overall.geomean_speedup);
+  EXPECT_DOUBLE_EQ(from_mem.overall.geomean_normalized,
+                   from_disk.overall.geomean_normalized);
+}
+
+}  // namespace
+}  // namespace pnp::core

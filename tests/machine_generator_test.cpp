@@ -1,0 +1,326 @@
+/// Tests for the hardware zoo (docs/HARDWARE.md): the seeded
+/// MachineGenerator's determinism and archetype invariants, the shared
+/// machine_by_name registry, machine fingerprints and feature vectors,
+/// the generic SearchSpace::for_machine/extended_for_machine property
+/// sweep over generated machines, and the machine-plumbing bugfixes
+/// (exact ladder frequencies, the socket-consistency check).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/search_space.hpp"
+#include "hw/machine_generator.hpp"
+#include "hw/power.hpp"
+
+namespace pnp::hw {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr int kSweep = 32;  ///< machines per property sweep
+
+bool same_machine(const MachineModel& a, const MachineModel& b) {
+  return a.name == b.name && a.sockets == b.sockets &&
+         a.cores_per_socket == b.cores_per_socket &&
+         a.smt_per_core == b.smt_per_core && a.fmin_ghz == b.fmin_ghz &&
+         a.fmax_ghz == b.fmax_ghz && a.fstep_ghz == b.fstep_ghz &&
+         a.l1d_kib_per_core == b.l1d_kib_per_core &&
+         a.l2_kib_per_core == b.l2_kib_per_core &&
+         a.l3_mib_per_socket == b.l3_mib_per_socket &&
+         a.mem_bw_gbs_per_socket == b.mem_bw_gbs_per_socket &&
+         a.numa_remote_factor == b.numa_remote_factor &&
+         a.p_static_w == b.p_static_w &&
+         a.p_uncore_per_socket_w == b.p_uncore_per_socket_w &&
+         a.alpha_w_per_core == b.alpha_w_per_core &&
+         a.beta_w_per_core == b.beta_w_per_core && a.tdp_w == b.tdp_w &&
+         a.min_cap_w == b.min_cap_w &&
+         a.flops_per_cycle_per_core == b.flops_per_cycle_per_core &&
+         a.smt_throughput_gain == b.smt_throughput_gain;
+}
+
+TEST(MachineGenerator, DeterministicAcrossGeneratorsAndCallOrder) {
+  const MachineGenerator g1(kSeed);
+  const MachineGenerator g2(kSeed);
+  // Draw in opposite orders: machine(i) must be a pure function of
+  // (seed, index), independent of what was drawn before.
+  std::vector<MachineModel> fwd, rev;
+  for (int i = 0; i < 8; ++i) fwd.push_back(g1.machine(i));
+  for (int i = 7; i >= 0; --i) rev.push_back(g2.machine(i));
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(same_machine(fwd[static_cast<std::size_t>(i)],
+                             rev[static_cast<std::size_t>(7 - i)]))
+        << "machine " << i << " depends on draw order";
+  // fleet() is just machine(0..n-1).
+  const auto fleet = g1.fleet(8);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(same_machine(fleet[static_cast<std::size_t>(i)],
+                             fwd[static_cast<std::size_t>(i)]));
+}
+
+TEST(MachineGenerator, DistinctSeedsAndIndicesDiffer) {
+  const MachineGenerator a(1), b(2);
+  EXPECT_FALSE(same_machine(a.machine(0), b.machine(0)));
+  EXPECT_FALSE(same_machine(a.machine(0), a.machine(4)));  // same archetype
+}
+
+TEST(MachineGenerator, GeneratorContractHoldsAcrossTheSweep) {
+  const MachineGenerator gen(kSeed);
+  for (int i = 0; i < kSweep; ++i) {
+    const MachineModel m = gen.machine(i);
+    SCOPED_TRACE(m.name);
+    // Name is the spec.
+    EXPECT_EQ(m.name, "gen:" + std::to_string(kSeed) + ":" + std::to_string(i));
+    // Head-layout invariant: the full 6-class thread grid fits.
+    EXPECT_GE(m.max_threads(), 32);
+    // Sane topology.
+    EXPECT_GE(m.sockets, 1);
+    EXPECT_GE(m.cores_per_socket, 1);
+    EXPECT_GE(m.smt_per_core, 1);
+    // Integer-MHz ladder with fmin exactly on it.
+    const double mhz = 1000.0;
+    EXPECT_DOUBLE_EQ(std::round(m.fmax_ghz * mhz), m.fmax_ghz * mhz);
+    EXPECT_DOUBLE_EQ(std::round(m.fmin_ghz * mhz), m.fmin_ghz * mhz);
+    EXPECT_DOUBLE_EQ(std::round(m.fstep_ghz * mhz), m.fstep_ghz * mhz);
+    EXPECT_GT(m.fstep_ghz, 0.0);
+    EXPECT_LT(m.fmin_ghz, m.fmax_ghz);
+    const long long steps = std::llround((m.fmax_ghz - m.fmin_ghz) * mhz) /
+                            std::llround(m.fstep_ghz * mhz);
+    EXPECT_DOUBLE_EQ(std::llround(m.fstep_ghz * mhz) * steps,
+                     std::llround((m.fmax_ghz - m.fmin_ghz) * mhz))
+        << "fmin is off the ladder";
+    // Non-degenerate cap range; integer TDP watts.
+    EXPECT_GT(m.min_cap_w, 0.0);
+    EXPECT_LT(m.min_cap_w, m.tdp_w);
+    EXPECT_DOUBLE_EQ(std::round(m.tdp_w), m.tdp_w);
+    EXPECT_GE(m.min_cap_w, 0.4 * m.tdp_w - 1.0);
+    EXPECT_LE(m.min_cap_w, 0.6 * m.tdp_w + 1.0);
+    // Power model self-consistency: the TDP admits all cores at some
+    // ladder frequency, i.e. the lowest ladder point's all-core demand
+    // fits under the TDP.
+    EXPECT_LE(m.power_demand_w(m.total_cores(), m.sockets, m.fmin_ghz),
+              m.tdp_w + 1e-9);
+  }
+}
+
+TEST(MachineGenerator, ArchetypesAreRoundRobinAndShapeTheDraw) {
+  const MachineGenerator gen(kSeed);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(static_cast<int>(gen.archetype_of(i)), i % kNumMachineArchetypes);
+  // Family shape spot checks over several draws of each archetype.
+  for (int k = 0; k < 4; ++k) {
+    const MachineModel server = gen.machine(4 * k + 0);
+    EXPECT_GE(server.sockets, 2) << server.name;
+    const MachineModel desktop = gen.machine(4 * k + 1);
+    EXPECT_EQ(desktop.sockets, 1) << desktop.name;
+    const MachineModel thin = gen.machine(4 * k + 2);
+    EXPECT_GE(thin.total_cores(), 32) << thin.name;
+    const MachineModel hbm = gen.machine(4 * k + 3);
+    EXPECT_GT(hbm.mem_bw_gbs_per_socket, desktop.mem_bw_gbs_per_socket)
+        << hbm.name;
+  }
+  for (int a = 0; a < kNumMachineArchetypes; ++a)
+    EXPECT_NE(archetype_name(static_cast<MachineArchetype>(a)), nullptr);
+}
+
+TEST(MachineFingerprint, UniqueAcrossZooAndSensitiveToEveryField) {
+  const MachineGenerator gen(kSeed);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(seen.insert(machine_fingerprint(gen.machine(i))).second)
+        << "fingerprint collision at machine " << i;
+  // Same descriptor → same fingerprint; any field flip changes it.
+  MachineModel m = gen.machine(0);
+  const std::uint64_t fp = machine_fingerprint(m);
+  EXPECT_EQ(machine_fingerprint(gen.machine(0)), fp);
+  MachineModel renamed = m;
+  renamed.name += "x";
+  EXPECT_NE(machine_fingerprint(renamed), fp);
+  MachineModel retuned = m;
+  retuned.alpha_w_per_core += 1e-12;
+  EXPECT_NE(machine_fingerprint(retuned), fp);
+}
+
+TEST(MachineFeatures, BoundedAndDiscriminative) {
+  const MachineGenerator gen(kSeed);
+  std::set<std::array<double, kNumMachineFeatures>> distinct;
+  for (int i = 0; i < kSweep; ++i) {
+    const auto f = machine_feature_vector(gen.machine(i));
+    for (double v : f) {
+      EXPECT_TRUE(std::isfinite(v));
+      EXPECT_GE(v, -8.0);
+      EXPECT_LE(v, 8.0);
+    }
+    distinct.insert(f);
+  }
+  // The features must actually tell the fleet's machines apart.
+  EXPECT_GT(distinct.size(), static_cast<std::size_t>(kSweep / 2));
+}
+
+TEST(MachineRegistry, EveryAcceptedNameRoundTrips) {
+  // The two paper machines.
+  EXPECT_EQ(machine_by_name("haswell").name, "haswell");
+  EXPECT_EQ(machine_by_name("skylake").name, "skylake");
+  EXPECT_TRUE(same_machine(machine_by_name("haswell"), MachineModel::haswell()));
+  EXPECT_TRUE(same_machine(machine_by_name("skylake"), MachineModel::skylake()));
+  // Generated specs resolve to the exact generator draw.
+  const MachineGenerator gen(kSeed);
+  for (int i = 0; i < 8; ++i) {
+    const std::string spec =
+        "gen:" + std::to_string(kSeed) + ":" + std::to_string(i);
+    const MachineModel m = machine_by_name(spec);
+    EXPECT_EQ(m.name, spec);
+    EXPECT_TRUE(same_machine(m, gen.machine(i)));
+  }
+}
+
+TEST(MachineRegistry, RejectsBadNames) {
+  EXPECT_THROW(machine_by_name(""), Error);
+  EXPECT_THROW(machine_by_name("broadwell"), Error);
+  EXPECT_THROW(machine_by_name("gen:"), Error);
+  EXPECT_THROW(machine_by_name("gen:7"), Error);
+  EXPECT_THROW(machine_by_name("gen:7:"), Error);
+  EXPECT_THROW(machine_by_name("gen:x:0"), Error);
+  EXPECT_THROW(machine_by_name("gen:7:-1"), Error);
+  EXPECT_THROW(machine_by_name("gen:7:2garbage"), Error);
+  EXPECT_THROW(machine_by_name("gen:7:0:extra"), Error);
+}
+
+TEST(PowerCapController, LadderFrequenciesAreExactLadderPoints) {
+  // The bugfix: stepping by integer ladder index instead of repeated
+  // f -= fstep, so no accumulated FP error walks the result off the
+  // ladder. Check every cap/core combination lands exactly on
+  // fmax − k·fstep for all generated machines plus the paper pair.
+  const MachineGenerator gen(kSeed);
+  std::vector<MachineModel> machines = {MachineModel::haswell(),
+                                        MachineModel::skylake()};
+  for (int i = 0; i < 8; ++i) machines.push_back(gen.machine(i));
+  for (const MachineModel& m : machines) {
+    SCOPED_TRACE(m.name);
+    for (double cap = m.min_cap_w; cap <= m.tdp_w; cap += 7.0) {
+      for (int cores : {1, m.total_cores() / 2, m.total_cores()}) {
+        if (cores < 1) continue;
+        const double f =
+            PowerCapController::max_frequency_ghz(m, cap, cores, m.sockets);
+        EXPECT_GE(f, m.fmin_ghz - 1e-12);
+        EXPECT_LE(f, m.fmax_ghz + 1e-12);
+        const double k = (m.fmax_ghz - f) / m.fstep_ghz;
+        EXPECT_DOUBLE_EQ(m.fmax_ghz - std::round(k) * m.fstep_ghz, f)
+            << "cap " << cap << " cores " << cores << " → off-ladder " << f;
+      }
+    }
+  }
+}
+
+TEST(MachineModel, PowerDemandRejectsCorelessSocketState) {
+  const MachineModel m = MachineModel::haswell();
+  // The tightened check: active cores with no socket is inconsistent.
+  EXPECT_THROW(m.power_demand_w(4, 0, 2.0), Error);
+  // Zero cores on zero sockets stays the valid idle query.
+  EXPECT_DOUBLE_EQ(m.power_demand_w(0, 0, 2.0), m.p_static_w);
+}
+
+}  // namespace
+}  // namespace pnp::hw
+
+namespace pnp::core {
+namespace {
+
+using hw::MachineGenerator;
+using hw::MachineModel;
+
+/// Shared property assertions for a machine's generated space.
+void check_space(const SearchSpace& s, const MachineModel& m) {
+  // Threads strictly increasing, positive, within the machine.
+  const auto& th = s.thread_values();
+  ASSERT_FALSE(th.empty());
+  EXPECT_GE(th.front(), 1);
+  for (std::size_t i = 1; i < th.size(); ++i)
+    EXPECT_LT(th[i - 1], th[i]) << m.name;
+  EXPECT_LE(th.back(), m.max_threads()) << m.name;
+  // Caps strictly ascending within [min_cap, tdp], ending at the TDP.
+  const auto& caps = s.power_caps();
+  ASSERT_FALSE(caps.empty());
+  for (std::size_t i = 1; i < caps.size(); ++i)
+    EXPECT_LT(caps[i - 1], caps[i]) << m.name;
+  EXPECT_GE(caps.front(), m.min_cap_w - 1e-9) << m.name;
+  EXPECT_DOUBLE_EQ(caps.back(), m.tdp_w) << m.name;
+  EXPECT_DOUBLE_EQ(s.tdp(), m.tdp_w);
+  // The default is representable as a label and always valid.
+  const sim::OmpConfig dflt = s.default_config();
+  EXPECT_EQ(dflt.chunk, 0);
+  EXPECT_GE(s.thread_class(dflt.threads), 0) << m.name;
+  for (double cap : caps) EXPECT_TRUE(s.is_valid(dflt, cap)) << m.name;
+}
+
+TEST(GeneratedSpaces, ForMachinePropertySweep) {
+  const MachineGenerator gen(42);
+  for (int i = 0; i < 32; ++i) {
+    const MachineModel m = gen.machine(i);
+    SCOPED_TRACE(m.name);
+    const SearchSpace s = SearchSpace::for_machine(m);
+    check_space(s, m);
+    // The generator contract (max_threads ≥ 32) guarantees the full
+    // Table-I-shaped grid, so every zoo machine shares one head layout.
+    EXPECT_EQ(s.num_thread_classes(), 6);
+    EXPECT_EQ(s.num_schedule_classes(), 3);
+    EXPECT_EQ(s.num_chunk_classes(), 8);
+    EXPECT_EQ(s.num_cap_classes(), 4);
+    EXPECT_FALSE(s.has_constraints());
+  }
+}
+
+TEST(GeneratedSpaces, ExtendedForMachinePropertySweep) {
+  const MachineGenerator gen(42);
+  for (int i = 0; i < 32; ++i) {
+    const MachineModel m = gen.machine(i);
+    SCOPED_TRACE(m.name);
+    const SearchSpace s = SearchSpace::extended_for_machine(m);
+    check_space(s, m);
+    EXPECT_GE(s.joint_size(), 2000);
+    EXPECT_TRUE(s.has_constraints());
+    // Constraint pruning removes candidates but never the fallback.
+    EXPECT_GT(s.joint_invalid_count(), 0);
+    for (double cap : s.power_caps())
+      EXPECT_TRUE(s.is_valid(s.default_config(), cap));
+  }
+}
+
+TEST(GeneratedSpaces, DegenerateMachinesHandledOrRejected) {
+  // A 1-thread machine: the generic branch must either produce a valid
+  // single-thread grid or refuse with a clear error — never a malformed
+  // space. (The zoo never emits one; hand-built descriptors can.)
+  MachineModel tiny = MachineModel::haswell();
+  tiny.name = "tiny";
+  tiny.sockets = 1;
+  tiny.cores_per_socket = 1;
+  tiny.smt_per_core = 1;
+  try {
+    const SearchSpace s = SearchSpace::for_machine(tiny);
+    check_space(s, tiny);
+    EXPECT_EQ(s.thread_values().back(), 1);
+  } catch (const Error&) {
+    SUCCEED();  // clear rejection is equally acceptable
+  }
+
+  // min_cap == tdp would produce duplicate caps: either deduplicated to
+  // a single-cap space or rejected.
+  MachineModel flat = MachineModel::haswell();
+  flat.name = "flat";
+  flat.min_cap_w = flat.tdp_w;
+  try {
+    const SearchSpace s = SearchSpace::for_machine(flat);
+    const auto& caps = s.power_caps();
+    for (std::size_t i = 1; i < caps.size(); ++i)
+      EXPECT_LT(caps[i - 1], caps[i]);
+    EXPECT_DOUBLE_EQ(caps.back(), flat.tdp_w);
+  } catch (const Error&) {
+    SUCCEED();
+  }
+}
+
+}  // namespace
+}  // namespace pnp::core

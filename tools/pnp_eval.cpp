@@ -19,9 +19,15 @@
 ///                          present in the generated corpus);
 ///   - unseen-cap-low/high: train on paper regions at all caps but one
 ///                          (scalar cap feature + counters), test on the
-///                          generated regions at the held-out cap.
+///                          generated regions at the held-out cap;
+///   - unseen-machine:      with --machines N --holdout-machines K, build
+///                          a seeded hardware-zoo fleet (docs/HARDWARE.md),
+///                          train one machine-conditioned tuner across the
+///                          first N−K machines' tables, and score the v4
+///                          fleet artifact on the K machines it never saw
+///                          (the "machine_split" JSON block).
 ///
-/// Output is one stable JSON document (schema "pnp-eval-v2", self-checked
+/// Output is one stable JSON document (schema "pnp-eval-v3", self-checked
 /// with json_validate before writing): a pure function of the flags, so
 /// two runs with the same arguments are byte-identical — serial and
 /// OMP_NUM_THREADS-fixed PNP_PARALLEL builds included. CI runs it twice
@@ -30,13 +36,17 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
+#include "common/parse.hpp"
 #include "core/evaluator.hpp"
+#include "core/fleet.hpp"
 #include "core/tuner_artifact.hpp"
+#include "hw/machine_generator.hpp"
 #include "serve/inference_engine.hpp"
 #include "workloads/generator.hpp"
 #include "workloads/suite.hpp"
@@ -55,46 +65,74 @@ struct Args {
   std::string heads = "factored";  // factored | dense
   std::string space = "table1";    // table1 | extended
   int beam_width = 0;              // <= 0 = full-width (exact) search
+  int machines = 0;                // 0 = no unseen-machine split
+  int holdout_machines = 2;
   std::string out_path;  // empty = stdout
 };
 
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--seed N] [--regions N] [--machine haswell|skylake]\n"
+               "usage: %s [--seed N] [--regions N] [--machine NAME]\n"
                "          [--epochs N] [--max-per-app N] [--counters]\n"
                "          [--heads factored|dense] [--space table1|extended]\n"
-               "          [--beam-width N] [--out FILE]\n",
+               "          [--beam-width N] [--machines N]\n"
+               "          [--holdout-machines K] [--out FILE]\n"
+               "machine names: haswell, skylake, or gen:<seed>:<index>\n"
+               "--machines N adds the unseen-machine split over an N-machine\n"
+               "generated fleet (table1 space only), holding out the last K\n",
                argv0);
   std::exit(2);
 }
 
 Args parse_args(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--seed") a.seed = std::stoull(value());
-    else if (flag == "--regions") a.regions = std::stoi(value());
-    else if (flag == "--machine") a.machine = value();
-    else if (flag == "--epochs") a.epochs = std::stoi(value());
-    else if (flag == "--max-per-app") a.max_per_app = std::stoi(value());
-    else if (flag == "--counters") a.counters = true;
-    else if (flag == "--heads") a.heads = value();
-    else if (flag == "--space") a.space = value();
-    else if (flag == "--beam-width") a.beam_width = std::stoi(value());
-    else if (flag == "--out") a.out_path = value();
-    else usage(argv[0]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (flag == "--seed") a.seed = parse_uint64(value(), "--seed");
+      else if (flag == "--regions")
+        a.regions = parse_int(value(), "--regions", 1, 100000);
+      else if (flag == "--machine") a.machine = value();
+      else if (flag == "--epochs")
+        a.epochs = parse_int(value(), "--epochs", 1, 100000);
+      else if (flag == "--max-per-app")
+        a.max_per_app = parse_int(value(), "--max-per-app", 1, 100000);
+      else if (flag == "--counters") a.counters = true;
+      else if (flag == "--heads") a.heads = value();
+      else if (flag == "--space") a.space = value();
+      else if (flag == "--beam-width")
+        a.beam_width = parse_int(value(), "--beam-width", 0, 1 << 20);
+      else if (flag == "--machines")
+        a.machines = parse_int(value(), "--machines", 2, 256);
+      else if (flag == "--holdout-machines")
+        a.holdout_machines = parse_int(value(), "--holdout-machines", 1, 255);
+      else if (flag == "--out") a.out_path = value();
+      else usage(argv[0]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
+  }
+  if (a.machines > 0) {
+    if (a.machines - a.holdout_machines < 1) {
+      std::fprintf(stderr,
+                   "--holdout-machines %d leaves no training machine out of "
+                   "--machines %d\n",
+                   a.holdout_machines, a.machines);
+      usage(argv[0]);
+    }
+    if (a.space != "table1") {
+      std::fprintf(stderr,
+                   "--machines requires --space table1 (fleet machines share "
+                   "one head layout only on the generic grid)\n");
+      usage(argv[0]);
+    }
   }
   return a;
-}
-
-hw::MachineModel machine_for(const std::string& name) {
-  if (name == "haswell") return hw::MachineModel::haswell();
-  if (name == "skylake") return hw::MachineModel::skylake();
-  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
 }
 
 core::SearchSpace space_for(const std::string& name,
@@ -108,6 +146,12 @@ bool factored_for(const std::string& heads) {
   if (heads == "factored") return true;
   if (heads == "dense") return false;
   throw Error("unknown heads '" + heads + "' (expected factored or dense)");
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(fp));
+  return buf;
 }
 
 /// Serve one split's test grid through the batched engine, in the
@@ -187,7 +231,7 @@ void emit_split(JsonWriter& w, const core::EvalSplit& split,
 }
 
 int run(const Args& a) {
-  const auto machine = machine_for(a.machine);
+  const auto machine = hw::machine_by_name(a.machine);
   const sim::Simulator sim(machine);
   const auto space = space_for(a.space, machine);
 
@@ -283,9 +327,25 @@ int run(const Args& a) {
                  res.overall.geomean_speedup, res.overall.geomean_normalized);
   }
 
+  // Unseen-machine split (docs/HARDWARE.md): a seeded fleet over the SAME
+  // combined corpus, one machine-conditioned tuner trained across the
+  // first N−K machines' tables, scored on the K held-out machines.
+  std::unique_ptr<core::Fleet> fleet;
+  std::vector<core::MachineSplitResult> machine_results;
+  if (a.machines > 0) {
+    fleet = std::make_unique<core::Fleet>(a.seed, a.machines, regions);
+    const core::FleetEvaluator fleet_eval(*fleet);
+    machine_results = fleet_eval.evaluate(a.holdout_machines, eopt.pnp);
+    for (const auto& mr : machine_results)
+      std::fprintf(stderr,
+                   "unseen-machine %-18s speedup=%.3f normalized=%.3f\n",
+                   mr.machine_name.c_str(), mr.overall.geomean_speedup,
+                   mr.overall.geomean_normalized);
+  }
+
   JsonWriter w;
   w.begin_object();
-  w.key("schema").value("pnp-eval-v2");
+  w.key("schema").value("pnp-eval-v3");
   w.key("machine").value(a.machine);
   w.key("seed").value(static_cast<std::uint64_t>(a.seed));
   // Self-describing search-space block: the grid this run tuned over, how
@@ -334,6 +394,51 @@ int run(const Args& a) {
   w.key("epochs").value(a.epochs);
   w.key("counters").value(a.counters);  // base flag; see per-split values
   w.end_object();
+  if (fleet) {
+    const hw::MachineGenerator gen(a.seed);
+    w.key("machine_split").begin_object();
+    w.key("fleet_seed").value(static_cast<std::uint64_t>(a.seed));
+    w.key("machines").value(a.machines);
+    w.key("holdout").value(a.holdout_machines);
+    w.key("fleet").begin_array();
+    for (int i = 0; i < fleet->size(); ++i) {
+      const hw::MachineModel& m = fleet->machine(i);
+      w.begin_object();
+      w.key("index").value(i);
+      w.key("name").value(m.name);
+      w.key("archetype").value(hw::archetype_name(gen.archetype_of(i)));
+      w.key("fingerprint").value(
+          hex_fingerprint(hw::machine_fingerprint(m)));
+      w.key("max_threads").value(m.max_threads());
+      w.key("tdp_w").value(m.tdp_w);
+      w.key("min_cap_w").value(m.min_cap_w);
+      w.key("held_out").value(i >= fleet->size() - a.holdout_machines);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("holdout_results").begin_array();
+    for (const auto& mr : machine_results) {
+      const auto& mcaps = fleet->db(mr.machine_index).space().power_caps();
+      w.begin_object();
+      w.key("index").value(mr.machine_index);
+      w.key("name").value(mr.machine_name);
+      w.key("fingerprint").value(hex_fingerprint(mr.fingerprint));
+      w.key("overall");
+      emit_metrics(w, mr.overall);
+      w.key("per_cap").begin_array();
+      for (std::size_t k = 0; k < mr.per_cap.size(); ++k) {
+        w.begin_object();
+        w.key("cap_w").value(mcaps[k]);
+        w.key("metrics");
+        emit_metrics(w, mr.per_cap[k]);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.key("precision_tier").begin_object();
   w.key("split").value(results.front().name);
   w.key("reference").value(nn::precision_name(nn::Precision::f64));

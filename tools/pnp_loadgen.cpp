@@ -60,8 +60,10 @@
 #include "common/error.hpp"
 #include "common/latency_histogram.hpp"
 #include "common/net.hpp"
+#include "common/parse.hpp"
 #include "common/rng.hpp"
 #include "core/measurement_db.hpp"
+#include "hw/machine_generator.hpp"
 #include "serve/protocol.hpp"
 #include "workloads/suite.hpp"
 
@@ -85,6 +87,7 @@ struct Args {
   std::string precision;  // label only; empty = unspecified
   std::string reload_path;
   int reload_after = -1;
+  int tenants = 1;  // daemon tenants; tune requests round-robin over them
   bool fetch_stats = true;
   int connect_timeout_ms = 5000;
   int recv_timeout_ms = 30000;
@@ -97,80 +100,68 @@ struct Args {
       "  %s --target ADDR [--seed S] [--requests N] [--rate R]\n"
       "     [--arrivals poisson|fixed] [--connections C]\n"
       "     [--blend power:W,power_at:W,edp:W,observe:W]\n"
-      "     [--machine haswell|skylake] [--regions N] [--caps N]\n"
+      "     [--machine NAME] [--regions N] [--caps N] [--tenants N]\n"
       "     [--precision f64|f32]\n"
       "     [--reload PATH --reload-after K] [--no-stats]\n"
       "     [--connect-timeout-ms T] [--recv-timeout-ms T] [--out FILE]\n"
-      "ADDR: 'unix:PATH' or 'tcp:HOST:PORT' of a running pnp_served.\n",
+      "ADDR: 'unix:PATH' or 'tcp:HOST:PORT' of a running pnp_served.\n"
+      "machine names: haswell, skylake, or gen:<seed>:<index>\n",
       argv0);
   std::exit(2);
 }
 
-int parse_int(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(s, &pos);
-    PNP_CHECK_MSG(pos == s.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw Error(std::string("bad ") + what + " '" + s + "'");
-  }
-}
-
-double parse_double(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(s, &pos);
-    PNP_CHECK_MSG(pos == s.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw Error(std::string("bad ") + what + " '" + s + "'");
-  }
-}
-
 Args parse_args(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--target") a.target = value();
-    else if (flag == "--out") a.out_path = value();
-    else if (flag == "--seed")
-      a.seed = static_cast<std::uint64_t>(parse_int(value(), "--seed"));
-    else if (flag == "--requests") a.requests = parse_int(value(), "--requests");
-    else if (flag == "--rate") a.rate = parse_double(value(), "--rate");
-    else if (flag == "--arrivals") {
-      const std::string v = value();
-      if (v == "poisson") a.poisson = true;
-      else if (v == "fixed") a.poisson = false;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (flag == "--target") a.target = value();
+      else if (flag == "--out") a.out_path = value();
+      else if (flag == "--seed") a.seed = parse_uint64(value(), "--seed");
+      else if (flag == "--requests")
+        a.requests = parse_int(value(), "--requests", 1, 100000000);
+      else if (flag == "--rate") {
+        a.rate = parse_double(value(), "--rate");
+        if (a.rate <= 0.0) usage(argv[0]);
+      } else if (flag == "--arrivals") {
+        const std::string v = value();
+        if (v == "poisson") a.poisson = true;
+        else if (v == "fixed") a.poisson = false;
+        else usage(argv[0]);
+      } else if (flag == "--connections")
+        a.connections = parse_int(value(), "--connections", 1, 4096);
+      else if (flag == "--machine") a.machine = value();
+      else if (flag == "--blend") a.blend = value();
+      else if (flag == "--regions")
+        a.regions = parse_int(value(), "--regions", 1, 100000);
+      else if (flag == "--caps")
+        a.caps = parse_int(value(), "--caps", 1, 100000);
+      else if (flag == "--tenants")
+        a.tenants = parse_int(value(), "--tenants", 1, 256);
+      else if (flag == "--precision") {
+        a.precision = value();
+        if (a.precision != "f64" && a.precision != "f32") usage(argv[0]);
+      }
+      else if (flag == "--reload") a.reload_path = value();
+      else if (flag == "--reload-after")
+        a.reload_after = parse_int(value(), "--reload-after", 0, 100000000);
+      else if (flag == "--no-stats") a.fetch_stats = false;
+      else if (flag == "--connect-timeout-ms")
+        a.connect_timeout_ms =
+            parse_int(value(), "--connect-timeout-ms", 1, 600000);
+      else if (flag == "--recv-timeout-ms")
+        a.recv_timeout_ms = parse_int(value(), "--recv-timeout-ms", 1, 600000);
       else usage(argv[0]);
-    } else if (flag == "--connections")
-      a.connections = parse_int(value(), "--connections");
-    else if (flag == "--machine") a.machine = value();
-    else if (flag == "--blend") a.blend = value();
-    else if (flag == "--regions") a.regions = parse_int(value(), "--regions");
-    else if (flag == "--caps") a.caps = parse_int(value(), "--caps");
-    else if (flag == "--precision") {
-      a.precision = value();
-      if (a.precision != "f64" && a.precision != "f32") usage(argv[0]);
     }
-    else if (flag == "--reload") a.reload_path = value();
-    else if (flag == "--reload-after")
-      a.reload_after = parse_int(value(), "--reload-after");
-    else if (flag == "--no-stats") a.fetch_stats = false;
-    else if (flag == "--connect-timeout-ms")
-      a.connect_timeout_ms = parse_int(value(), "--connect-timeout-ms");
-    else if (flag == "--recv-timeout-ms")
-      a.recv_timeout_ms = parse_int(value(), "--recv-timeout-ms");
-    else usage(argv[0]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
   }
   if (a.target.empty()) usage(argv[0]);
-  if (a.requests < 1 || a.connections < 1 || a.rate <= 0.0 || a.regions < 1 ||
-      a.caps < 1)
-    usage(argv[0]);
   if (!a.reload_path.empty() != (a.reload_after >= 0)) usage(argv[0]);
   if (a.reload_after >= a.requests) usage(argv[0]);
   return a;
@@ -192,8 +183,7 @@ Blend parse_blend(const std::string& spec) {
     PNP_CHECK_MSG(colon != std::string::npos,
                   "bad blend part '" << part << "' (expected kind:weight)");
     const std::string kind = part.substr(0, colon);
-    const int w = parse_int(part.substr(colon + 1), "blend weight");
-    PNP_CHECK_MSG(w >= 0, "negative blend weight in '" << part << "'");
+    const int w = parse_int(part.substr(colon + 1), "blend weight", 0, 1000000);
     if (kind == "power") b.power = w;
     else if (kind == "power_at") b.power_at = w;
     else if (kind == "edp") b.edp = w;
@@ -251,6 +241,10 @@ std::vector<PlannedRequest> plan(const Args& a, const Blend& blend,
     const int region =
         static_cast<int>(rng.uniform_index(static_cast<std::size_t>(a.regions)));
     const double draw = rng.uniform(0.0, 1.0);
+    // Tenant routing is round-robin by request index — no extra rng draw,
+    // so --tenants 1 leaves the planned stream identical to a pre-tenant
+    // plan of the same seed.
+    p.request.machine = static_cast<std::uint32_t>(i % a.tenants);
     if (pick < blend.power) {
       p.is_tune = true;
       p.request.op = protocol::Op::Power;
@@ -400,11 +394,7 @@ int run(const Args& a) {
   // so every observation is ground truth for its grid cell.
   std::unique_ptr<core::MeasurementDb> obs_db;
   if (blend.observe > 0) {
-    const hw::MachineModel machine = a.machine == "skylake"
-                                         ? hw::MachineModel::skylake()
-                                         : hw::MachineModel::haswell();
-    PNP_CHECK_MSG(a.machine == "haswell" || a.machine == "skylake",
-                  "unknown machine '" << a.machine << "'");
+    const hw::MachineModel machine = hw::machine_by_name(a.machine);
     const sim::Simulator sim(machine);
     obs_db = std::make_unique<core::MeasurementDb>(
         sim, core::SearchSpace::for_machine(machine),
@@ -469,6 +459,7 @@ int run(const Args& a) {
      << " blend=power:" << blend.power << ",power_at:" << blend.power_at
      << ",edp:" << blend.edp << ",observe:" << blend.observe;
   if (!a.precision.empty()) os << " precision=" << a.precision;
+  if (a.tenants > 1) os << " tenants=" << a.tenants;
   os << "\n";
   os << "sent=" << schedule.size() << " ok=" << ok << " errors=" << errors
      << " shed=" << shed << " reload_ok=" << reload_ok

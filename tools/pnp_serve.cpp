@@ -2,7 +2,7 @@
 /// Drive serve::TuningService from a request file with a configurable
 /// thread pool and print a deterministic result grid (docs/SERVING.md):
 ///
-///   pnp_serve --machine haswell|skylake --model MODEL --requests FILE
+///   pnp_serve --machine NAME --model MODEL --requests FILE
 ///             [--threads N] [--shards N] [--max-batch N]
 ///             [--batch-wait-us N] [--no-coalesce]
 ///             [--space table1|extended] [--beam-width N] [--out FILE]
@@ -40,7 +40,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "core/measurement_log.hpp"
+#include "hw/machine_generator.hpp"
 #include "serve/tuning_service.hpp"
 #include "workloads/suite.hpp"
 
@@ -63,65 +65,54 @@ struct Args {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  %s --machine haswell|skylake --model MODEL --requests FILE\n"
+      "  %s --machine NAME --model MODEL --requests FILE\n"
       "     [--threads N] [--shards N] [--max-batch N] [--batch-wait-us N]\n"
       "     [--no-coalesce] [--space table1|extended] [--beam-width N]\n"
       "     [--out FILE] [--observe-log PATH]\n"
       "request file lines: 'power R K' | 'power_at R WATTS' | 'edp R' |\n"
       "'reload PATH' (a barrier: drains, swaps the model, continues) |\n"
       "'observe R WATTS THREADS SCHED CHUNK SECONDS JOULES' (a barrier:\n"
-      "validates + appends the measurement to --observe-log)\n",
+      "validates + appends the measurement to --observe-log)\n"
+      "machine names: haswell, skylake, or gen:<seed>:<index>\n",
       argv0);
   std::exit(2);
 }
 
-int parse_int(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(s, &pos);
-    PNP_CHECK_MSG(pos == s.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw Error(std::string("bad ") + what + " '" + s + "'");
-  }
-}
-
 Args parse_args(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--machine") a.machine = value();
-    else if (flag == "--model") a.model_path = value();
-    else if (flag == "--requests") a.requests_path = value();
-    else if (flag == "--out") a.out_path = value();
-    else if (flag == "--threads") a.threads = parse_int(value(), "--threads");
-    else if (flag == "--shards")
-      a.service.cache_shards = parse_int(value(), "--shards");
-    else if (flag == "--max-batch")
-      a.service.max_batch = parse_int(value(), "--max-batch");
-    else if (flag == "--batch-wait-us")
-      a.service.batch_wait =
-          std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
-    else if (flag == "--no-coalesce") a.service.coalesce = false;
-    else if (flag == "--space") a.space = value();
-    else if (flag == "--observe-log") a.observe_log = value();
-    else if (flag == "--beam-width")
-      a.service.beam_width = parse_int(value(), "--beam-width");
-    else usage(argv[0]);
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (flag == "--machine") a.machine = value();
+      else if (flag == "--model") a.model_path = value();
+      else if (flag == "--requests") a.requests_path = value();
+      else if (flag == "--out") a.out_path = value();
+      else if (flag == "--threads")
+        a.threads = parse_int(value(), "--threads", 1, 4096);
+      else if (flag == "--shards")
+        a.service.cache_shards = parse_int(value(), "--shards", 1, 4096);
+      else if (flag == "--max-batch")
+        a.service.max_batch = parse_int(value(), "--max-batch", 1, 1 << 20);
+      else if (flag == "--batch-wait-us")
+        a.service.batch_wait = std::chrono::microseconds(
+            parse_int(value(), "--batch-wait-us", 0, 60000000));
+      else if (flag == "--no-coalesce") a.service.coalesce = false;
+      else if (flag == "--space") a.space = value();
+      else if (flag == "--observe-log") a.observe_log = value();
+      else if (flag == "--beam-width")
+        a.service.beam_width = parse_int(value(), "--beam-width", 0, 1 << 20);
+      else usage(argv[0]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
   }
   if (a.model_path.empty() || a.requests_path.empty()) usage(argv[0]);
-  if (a.threads < 1) usage(argv[0]);
   return a;
-}
-
-hw::MachineModel machine_for(const std::string& name) {
-  if (name == "haswell") return hw::MachineModel::haswell();
-  if (name == "skylake") return hw::MachineModel::skylake();
-  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
 }
 
 core::SearchSpace space_for(const std::string& name,
@@ -269,7 +260,7 @@ void print_grid(const std::vector<Op>& ops,
 }
 
 int run(const Args& a) {
-  const auto machine = machine_for(a.machine);
+  const auto machine = hw::machine_by_name(a.machine);
   const sim::Simulator sim(machine);
   const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());

@@ -3,13 +3,22 @@
 /// serve::TuningService, speaking the length-prefixed binary protocol of
 /// docs/SERVING.md ("Network protocol") on a TCP or unix socket:
 ///
-///   pnp_served --machine haswell|skylake --model MODEL --listen ADDR
+///   pnp_served --machine NAME[,NAME...] --model MODEL --listen ADDR
 ///              [--workers N] [--queue N] [--shards N] [--pin]
 ///              [--cache-stripes N] [--precision f64|f32] [--max-batch N]
 ///              [--batch-wait-us N] [--no-coalesce]
 ///              [--observe-log PATH] [--retrain-interval MS]
 ///              [--retrain-publish PATH] [--retrain-epochs N]
 ///              [--retrain-min-records N] [--retrain-min-gain X]
+///
+/// `--machine` takes one or more comma-separated machine names (haswell,
+/// skylake, or gen:<seed>:<index> zoo specs, docs/HARDWARE.md). Each name
+/// becomes one *tenant*: its own simulator, measurement db, and
+/// TuningService, all serving the same artifact — so a multi-machine
+/// daemon needs a fleet artifact whose fingerprint list admits every
+/// tenant. Tune requests carry the tenant index on the wire; `reload`
+/// broadcasts to every tenant, `observe` and the retraining loop bind
+/// tenant 0.
 ///
 /// `--shards N` puts the TuningService in worker-shard mode: N dedicated
 /// serving threads, requests routed by region hash, one encoding-cache
@@ -48,9 +57,13 @@
 #include <cstdio>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
+#include "hw/machine_generator.hpp"
 #include "serve/retrainer.hpp"
 #include "serve/server.hpp"
 #include "workloads/suite.hpp"
@@ -74,7 +87,7 @@ struct Args {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  %s --machine haswell|skylake --model MODEL --listen ADDR\n"
+      "  %s --machine NAME[,NAME...] --model MODEL --listen ADDR\n"
       "     [--workers N] [--queue N] [--shards N] [--pin]\n"
       "     [--cache-stripes N] [--precision f64|f32] [--max-batch N]\n"
       "     [--batch-wait-us N] [--no-coalesce]\n"
@@ -82,6 +95,9 @@ struct Args {
       "     [--retrain-publish PATH] [--retrain-epochs N]\n"
       "     [--retrain-min-records N] [--retrain-min-gain X]\n"
       "ADDR: 'unix:PATH' or 'tcp:[HOST:]PORT' (tcp:0 = ephemeral port).\n"
+      "--machine NAME[,NAME...]: one tenant per comma-separated machine\n"
+      "(haswell, skylake, or gen:<seed>:<index>); multi-machine daemons\n"
+      "need a fleet artifact.\n"
       "--shards N serves through N region-hash-routed worker shards;\n"
       "--precision overrides the artifact's serving tier.\n"
       "--observe-log enables the observe opcode; --retrain-interval\n"
@@ -91,70 +107,59 @@ struct Args {
   std::exit(2);
 }
 
-int parse_int(const std::string& s, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const int v = std::stoi(s, &pos);
-    PNP_CHECK_MSG(pos == s.size(), "trailing characters");
-    return v;
-  } catch (const std::exception&) {
-    throw Error(std::string("bad ") + what + " '" + s + "'");
-  }
-}
-
 Args parse_args(int argc, char** argv) {
   Args a;
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--machine") a.machine = value();
-    else if (flag == "--model") a.model_path = value();
-    else if (flag == "--listen") a.listen = value();
-    else if (flag == "--workers")
-      a.server.workers = parse_int(value(), "--workers");
-    else if (flag == "--queue")
-      a.server.queue_depth = parse_int(value(), "--queue");
-    else if (flag == "--shards")
-      a.service.worker_shards = parse_int(value(), "--shards");
-    else if (flag == "--pin") a.service.pin_workers = true;
-    else if (flag == "--cache-stripes")
-      a.service.cache_shards = parse_int(value(), "--cache-stripes");
-    else if (flag == "--precision") {
-      const std::string p = value();
-      if (p == "f64") a.service.precision = nn::Precision::f64;
-      else if (p == "f32") a.service.precision = nn::Precision::f32;
-      else throw Error("bad --precision '" + p + "' (expected f64 or f32)");
-    }
-    else if (flag == "--max-batch")
-      a.service.max_batch = parse_int(value(), "--max-batch");
-    else if (flag == "--batch-wait-us")
-      a.service.batch_wait =
-          std::chrono::microseconds(parse_int(value(), "--batch-wait-us"));
-    else if (flag == "--no-coalesce") a.service.coalesce = false;
-    else if (flag == "--observe-log") a.observe_log = value();
-    else if (flag == "--retrain-interval")
-      a.retrain_interval_ms = parse_int(value(), "--retrain-interval");
-    else if (flag == "--retrain-publish") a.retrain.publish_path = value();
-    else if (flag == "--retrain-epochs")
-      a.retrain.fine_tune.max_epochs = parse_int(value(), "--retrain-epochs");
-    else if (flag == "--retrain-min-records")
-      a.retrain.min_new_records = static_cast<std::uint64_t>(
-          parse_int(value(), "--retrain-min-records"));
-    else if (flag == "--retrain-min-gain") {
-      try {
-        a.retrain.min_speedup_gain = std::stod(value());
-      } catch (const std::exception&) {
-        throw Error("bad --retrain-min-gain");
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (flag == "--machine") a.machine = value();
+      else if (flag == "--model") a.model_path = value();
+      else if (flag == "--listen") a.listen = value();
+      else if (flag == "--workers")
+        a.server.workers = parse_int(value(), "--workers", 1, 4096);
+      else if (flag == "--queue")
+        a.server.queue_depth = parse_int(value(), "--queue", 1, 1 << 20);
+      else if (flag == "--shards")
+        a.service.worker_shards = parse_int(value(), "--shards", 0, 4096);
+      else if (flag == "--pin") a.service.pin_workers = true;
+      else if (flag == "--cache-stripes")
+        a.service.cache_shards = parse_int(value(), "--cache-stripes", 1, 4096);
+      else if (flag == "--precision") {
+        const std::string p = value();
+        if (p == "f64") a.service.precision = nn::Precision::f64;
+        else if (p == "f32") a.service.precision = nn::Precision::f32;
+        else throw Error("bad --precision '" + p + "' (expected f64 or f32)");
       }
+      else if (flag == "--max-batch")
+        a.service.max_batch = parse_int(value(), "--max-batch", 1, 1 << 20);
+      else if (flag == "--batch-wait-us")
+        a.service.batch_wait = std::chrono::microseconds(
+            parse_int(value(), "--batch-wait-us", 0, 60000000));
+      else if (flag == "--no-coalesce") a.service.coalesce = false;
+      else if (flag == "--observe-log") a.observe_log = value();
+      else if (flag == "--retrain-interval")
+        a.retrain_interval_ms =
+            parse_int(value(), "--retrain-interval", 0, 86400000);
+      else if (flag == "--retrain-publish") a.retrain.publish_path = value();
+      else if (flag == "--retrain-epochs")
+        a.retrain.fine_tune.max_epochs =
+            parse_int(value(), "--retrain-epochs", 1, 100000);
+      else if (flag == "--retrain-min-records")
+        a.retrain.min_new_records = static_cast<std::uint64_t>(
+            parse_int(value(), "--retrain-min-records", 0, 1 << 30));
+      else if (flag == "--retrain-min-gain")
+        a.retrain.min_speedup_gain = parse_double(value(), "--retrain-min-gain");
+      else usage(argv[0]);
     }
-    else usage(argv[0]);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
   }
   if (a.model_path.empty() || a.listen.empty()) usage(argv[0]);
-  if (a.server.workers < 1 || a.server.queue_depth < 1) usage(argv[0]);
-  if (a.retrain_interval_ms < 0) usage(argv[0]);
   if (a.retrain_interval_ms > 0 && a.observe_log.empty())
     throw Error("--retrain-interval requires --observe-log");
   a.server.listen = a.listen;
@@ -164,10 +169,17 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-hw::MachineModel machine_for(const std::string& name) {
-  if (name == "haswell") return hw::MachineModel::haswell();
-  if (name == "skylake") return hw::MachineModel::skylake();
-  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
+/// "--machine A,B,C" → one resolved MachineModel per tenant, in order.
+std::vector<hw::MachineModel> machines_for(const std::string& spec) {
+  std::vector<hw::MachineModel> out;
+  std::istringstream is(spec);
+  std::string name;
+  while (std::getline(is, name, ',')) {
+    PNP_CHECK_MSG(!name.empty(), "empty machine name in '" << spec << "'");
+    out.push_back(hw::machine_by_name(name));
+  }
+  PNP_CHECK_MSG(!out.empty(), "no machine names in '" << spec << "'");
+  return out;
 }
 
 // SIGINT/SIGTERM handshake: the handler writes one byte into a self-pipe
@@ -189,11 +201,25 @@ int run(const Args& a) {
   ::sigaction(SIGINT, &sa, nullptr);
   ::sigaction(SIGTERM, &sa, nullptr);
 
-  const auto machine = machine_for(a.machine);
-  const sim::Simulator sim(machine);
-  const core::MeasurementDb db(sim, core::SearchSpace::for_machine(machine),
-                               workloads::Suite::instance().all_regions());
-  serve::TuningService service(db, a.model_path, a.service);
+  // One tenant per --machine name: its own simulator, measurement db,
+  // and TuningService, all loading the same artifact. Tenant 0 is the
+  // observe/retrain tenant. Construction order doubles as lifetime
+  // order: sims outlive dbs outlive services outlive the server.
+  const std::vector<hw::MachineModel> machines = machines_for(a.machine);
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::vector<std::unique_ptr<core::MeasurementDb>> dbs;
+  std::vector<std::unique_ptr<serve::TuningService>> services;
+  for (const hw::MachineModel& m : machines) {
+    sims.push_back(std::make_unique<sim::Simulator>(m));
+    dbs.push_back(std::make_unique<core::MeasurementDb>(
+        *sims.back(), core::SearchSpace::for_machine(m),
+        workloads::Suite::instance().all_regions()));
+    services.push_back(std::make_unique<serve::TuningService>(
+        *dbs.back(), a.model_path, a.service));
+  }
+  serve::TuningService& service = *services.front();
+  std::vector<serve::TuningService*> tenants;
+  for (auto& s : services) tenants.push_back(s.get());
 
   std::unique_ptr<core::MeasurementLog> observe_log;
   std::unique_ptr<serve::RetrainController> retrainer;
@@ -205,7 +231,8 @@ int run(const Args& a) {
   if (a.retrain_interval_ms > 0) {
     serve::RetrainOptions ro = a.retrain;
     ro.verbose = true;
-    retrainer = std::make_unique<serve::RetrainController>(sim, service,
+    retrainer = std::make_unique<serve::RetrainController>(*sims.front(),
+                                                           service,
                                                            std::move(ro));
     server_opt.retrain_counters = [&retrainer] {
       const auto s = retrainer->stats();
@@ -221,16 +248,17 @@ int run(const Args& a) {
     };
   }
 
-  serve::Server server(service, server_opt);
+  serve::Server server(tenants, server_opt);
   if (retrainer)
     retrainer->start(std::chrono::milliseconds(a.retrain_interval_ms));
   std::fprintf(stderr,
-               "listening on %s (model %s v%llu %s, %d workers, queue %d, "
-               "%d shards)\n",
+               "listening on %s (model %s v%llu %s, %zu tenants, %d workers, "
+               "queue %d, %d shards)\n",
                server.address().to_string().c_str(), a.model_path.c_str(),
                static_cast<unsigned long long>(service.model_version()),
-               nn::precision_name(service.precision()), a.server.workers,
-               a.server.queue_depth, service.worker_shards());
+               nn::precision_name(service.precision()), tenants.size(),
+               a.server.workers, a.server.queue_depth,
+               service.worker_shards());
 
   char b;
   for (;;) {

@@ -22,7 +22,9 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 #include "core/tuner_artifact.hpp"
+#include "hw/machine_generator.hpp"
 #include "serve/inference_engine.hpp"
 #include "workloads/suite.hpp"
 
@@ -53,15 +55,16 @@ nn::Precision precision_for(const std::string& name) {
 [[noreturn]] void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage:\n"
-               "  %s train   --machine haswell|skylake --scenario power|edp\n"
+               "  %s train   --machine NAME --scenario power|edp\n"
                "             --out MODEL [--epochs N] [--scalar-cap]\n"
                "             [--precision f64|f32] [--heads factored|dense]\n"
                "             [--space table1|extended] [--beam-width N]\n"
                "             [--predictions FILE]\n"
-               "  %s predict --machine haswell|skylake --model MODEL\n"
+               "  %s predict --machine NAME --model MODEL\n"
                "             [--space table1|extended] [--beam-width N]\n"
                "             [--predictions FILE]\n"
-               "  %s info    --model MODEL\n",
+               "  %s info    --model MODEL\n"
+               "machine names: haswell, skylake, or gen:<seed>:<index>\n",
                argv0, argv0, argv0);
   std::exit(2);
 }
@@ -70,31 +73,32 @@ Args parse_args(int argc, char** argv) {
   if (argc < 2) usage(argv[0]);
   Args a;
   a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--machine") a.machine = value();
-    else if (flag == "--scenario") a.scenario = value();
-    else if (flag == "--out" || flag == "--model") a.model_path = value();
-    else if (flag == "--predictions") a.predictions_path = value();
-    else if (flag == "--epochs") a.epochs = std::stoi(value());
-    else if (flag == "--scalar-cap") a.scalar_cap = true;
-    else if (flag == "--precision") a.precision = value();
-    else if (flag == "--heads") a.heads = value();
-    else if (flag == "--space") a.space = value();
-    else if (flag == "--beam-width") a.beam_width = std::stoi(value());
-    else usage(argv[0]);
+  try {
+    for (int i = 2; i < argc; ++i) {
+      const std::string flag = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (flag == "--machine") a.machine = value();
+      else if (flag == "--scenario") a.scenario = value();
+      else if (flag == "--out" || flag == "--model") a.model_path = value();
+      else if (flag == "--predictions") a.predictions_path = value();
+      else if (flag == "--epochs")
+        a.epochs = parse_int(value(), "--epochs", 1, 100000);
+      else if (flag == "--scalar-cap") a.scalar_cap = true;
+      else if (flag == "--precision") a.precision = value();
+      else if (flag == "--heads") a.heads = value();
+      else if (flag == "--space") a.space = value();
+      else if (flag == "--beam-width")
+        a.beam_width = parse_int(value(), "--beam-width", 0, 1 << 20);
+      else usage(argv[0]);
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    usage(argv[0]);
   }
   return a;
-}
-
-hw::MachineModel machine_for(const std::string& name) {
-  if (name == "haswell") return hw::MachineModel::haswell();
-  if (name == "skylake") return hw::MachineModel::skylake();
-  throw Error("unknown machine '" + name + "' (expected haswell or skylake)");
 }
 
 core::SearchSpace space_for(const std::string& name,
@@ -146,7 +150,7 @@ void dump_to(serve::InferenceEngine& engine, const std::string& path) {
 
 int cmd_train(const Args& a) {
   if (a.model_path.empty()) throw Error("train needs --out MODEL");
-  const auto machine = machine_for(a.machine);
+  const auto machine = hw::machine_by_name(a.machine);
   const sim::Simulator sim(machine);
   const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());
@@ -186,7 +190,7 @@ int cmd_train(const Args& a) {
 
 int cmd_predict(const Args& a) {
   if (a.model_path.empty()) throw Error("predict needs --model MODEL");
-  const auto machine = machine_for(a.machine);
+  const auto machine = hw::machine_by_name(a.machine);
   const sim::Simulator sim(machine);
   const core::MeasurementDb db(sim, space_for(a.space, machine),
                                workloads::Suite::instance().all_regions());
@@ -216,6 +220,19 @@ int cmd_info(const Args& a) {
     std::printf("constraint rules: %zu\n", art.constraint_rules().size());
   else
     std::printf("constraint rules: none (pre-v3 artifact)\n");
+  if (art.machine_fingerprint != 0) {
+    std::printf("machine: %s (fingerprint %016llx)\n",
+                art.machine_name.c_str(),
+                static_cast<unsigned long long>(art.machine_fingerprint));
+    if (art.fleet)
+      std::printf("fleet: yes (%zu training machines, machine features %s)\n",
+                  art.fleet_fingerprints.size(),
+                  art.opt_machine_features ? "on" : "off");
+    else
+      std::printf("fleet: no\n");
+  } else {
+    std::printf("machine: unknown (pre-v4 artifact)\n");
+  }
   std::printf("counter stats: %zu\n", art.counter_mean.size());
   std::printf("serve precision: %s\n", nn::precision_name(art.serve_precision));
   std::size_t weights = 0;
